@@ -1,0 +1,17 @@
+//! Criterion bench for the ablation studies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use subvt_bench::ablation::{ablation_bits, ablation_refclk, ablation_shrink};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("bits_sweep", |b| b.iter(ablation_bits));
+    g.bench_function("refclk_sweep", |b| b.iter(ablation_refclk));
+    g.bench_function("shrink_sweep", |b| b.iter(ablation_shrink));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

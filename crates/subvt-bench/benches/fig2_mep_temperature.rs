@@ -1,0 +1,32 @@
+//! Criterion bench for the Fig. 2 reproduction: MEP vs temperature.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use subvt_bench::figures::fig2_mep_temperature;
+use subvt_device::energy::{energy_per_cycle, CircuitProfile};
+use subvt_device::mosfet::Environment;
+use subvt_device::technology::Technology;
+use subvt_device::units::Volts;
+
+fn bench(c: &mut Criterion) {
+    let tech = Technology::st_130nm();
+    let ring = CircuitProfile::ring_oscillator();
+
+    let mut g = c.benchmark_group("fig2");
+    g.bench_function("hot_energy_point", |b| {
+        b.iter(|| {
+            energy_per_cycle(
+                &tech,
+                &ring,
+                black_box(Volts(0.25)),
+                Environment::at_celsius(85.0),
+            )
+        })
+    });
+    g.bench_function("full_figure", |b| b.iter(fig2_mep_temperature));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for the Fig. 3 reproduction: the calibrated delay
+//! model across five decades.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use subvt_bench::figures::fig3_delay_corners;
+use subvt_device::delay::GateTiming;
+use subvt_device::mosfet::Environment;
+use subvt_device::technology::{GateKind, Technology};
+use subvt_device::units::Volts;
+
+fn bench(c: &mut Criterion) {
+    let tech = Technology::st_130nm();
+    let timing = GateTiming::new(&tech);
+    let env = Environment::nominal();
+
+    let mut g = c.benchmark_group("fig3");
+    g.bench_function("gate_delay", |b| {
+        b.iter(|| timing.gate_delay(GateKind::Inverter, black_box(Volts(0.2)), env))
+    });
+    g.bench_function("full_figure", |b| b.iter(fig3_delay_corners));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for the Fig. 6 reproduction: the switched-converter
+//! transient (this is the expensive mixed-mode co-simulation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use subvt_bench::savings::fig6_transient;
+use subvt_dcdc::converter::{ConverterParams, DcDcConverter};
+use subvt_dcdc::filter::NoLoad;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(20);
+    g.bench_function("converter_system_cycle", |b| {
+        let mut dc = DcDcConverter::new(ConverterParams::default(), Box::new(NoLoad));
+        dc.set_word(19);
+        b.iter(|| dc.run_system_cycles(1))
+    });
+    g.bench_function("full_transient", |b| b.iter(fig6_transient));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

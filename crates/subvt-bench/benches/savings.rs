@@ -1,0 +1,23 @@
+//! Criterion bench for the Sec. IV savings study: full controller runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use subvt_core::experiment::{run_scenario, savings_experiment, Scenario};
+use subvt_core::SupplyPolicy;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("savings");
+    g.sample_size(10);
+    let mut short = Scenario::paper_worked_example();
+    short.cycles = 200;
+    g.bench_function("controller_200_cycles", |b| {
+        b.iter(|| run_scenario(&short, SupplyPolicy::AdaptiveCompensated))
+    });
+    g.bench_function("four_way_comparison", |b| {
+        b.iter(|| savings_experiment(&short))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

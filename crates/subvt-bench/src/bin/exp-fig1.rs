@@ -1,0 +1,51 @@
+//! Regenerates the paper's Fig. 1: minimum energy point with process
+//! variation (NAND ring oscillator, α = 0.1, SS/TT/FS corners).
+
+use subvt_bench::figures::fig1_mep_corners;
+use subvt_bench::report::{f, Table};
+
+fn main() {
+    println!("Fig. 1 — MEP with process variation (ring oscillator, α = 0.1, 25 °C)\n");
+
+    let series = fig1_mep_corners();
+
+    let mut sweep = Table::new(
+        "Energy vs supply voltage (fJ per operation)",
+        &["Vdd (mV)", "SS", "TT", "FS"],
+    );
+    let grid = &series[0].sweep;
+    for (i, point) in grid.iter().enumerate() {
+        let mut cells = vec![f(point.vdd.millivolts(), 0)];
+        for s in &series {
+            cells.push(f(s.sweep[i].total().femtos(), 3));
+        }
+        sweep.row(&cells);
+    }
+    println!("{}", sweep.render());
+
+    let mut mep = Table::new(
+        "Located minimum-energy points (paper: SS 220 mV/1.70 fJ, TT 200 mV/2.65 fJ, FS 250 mV/2.42 fJ)",
+        &["corner", "Vopt (mV)", "Emin (fJ)", "leakage fraction"],
+    );
+    for s in &series {
+        mep.row(&[
+            s.corner.to_string(),
+            f(s.mep.vopt.millivolts(), 1),
+            f(s.mep.energy.femtos(), 3),
+            f(s.mep.breakdown.leakage_fraction(), 3),
+        ]);
+    }
+    println!("{}", mep.render());
+
+    let vopt: Vec<f64> = series.iter().map(|s| s.mep.vopt.volts()).collect();
+    let e: Vec<f64> = series.iter().map(|s| s.mep.energy.value()).collect();
+    let vmin = vopt.iter().fold(f64::MAX, |a, &b| a.min(b));
+    let vmax = vopt.iter().fold(0.0f64, |a, &b| a.max(b));
+    let emin = e.iter().fold(f64::MAX, |a, &b| a.min(b));
+    let emax = e.iter().fold(0.0f64, |a, &b| a.max(b));
+    println!(
+        "Vopt spread: {:.1}% (paper: ~25%); energy spread: {:.1}% (paper: ~55%)",
+        (vmax - vmin) / vmin * 100.0,
+        (emax - emin) / emin * 100.0
+    );
+}

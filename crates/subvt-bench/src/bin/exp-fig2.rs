@@ -1,0 +1,46 @@
+//! Regenerates the paper's Fig. 2: minimum energy point with
+//! temperature variation (TT corner, 25/85/115 °C).
+
+use subvt_bench::figures::fig2_mep_temperature;
+use subvt_bench::report::{f, Table};
+
+fn main() {
+    println!("Fig. 2 — MEP with temperature variation (ring oscillator, α = 0.1, TT)\n");
+
+    let series = fig2_mep_temperature();
+
+    let mut sweep = Table::new(
+        "Energy vs supply voltage (fJ per operation)",
+        &["Vdd (mV)", "T=25", "T=85", "T=115"],
+    );
+    for (i, point) in series[0].sweep.iter().enumerate() {
+        let mut cells = vec![f(point.vdd.millivolts(), 0)];
+        for s in &series {
+            cells.push(f(s.sweep[i].total().femtos(), 3));
+        }
+        sweep.row(&cells);
+    }
+    println!("{}", sweep.render());
+
+    let mut mep = Table::new(
+        "Located minimum-energy points (paper: 200 mV/2.6 fJ @25 °C, 250 mV/3.2 fJ @85 °C)",
+        &["T (°C)", "Vopt (mV)", "Emin (fJ)"],
+    );
+    for s in &series {
+        mep.row(&[
+            f(s.celsius, 0),
+            f(s.mep.vopt.millivolts(), 1),
+            f(s.mep.energy.femtos(), 3),
+        ]);
+    }
+    println!("{}", mep.render());
+
+    let cold = &series[0].mep;
+    let hot = &series[1].mep;
+    println!(
+        "25→85 °C: Vopt {:.0} → {:.0} mV, energy {:+.1}% (paper: 200 → 250 mV, +25%)",
+        cold.vopt.millivolts(),
+        hot.vopt.millivolts(),
+        (hot.energy.value() / cold.energy.value() - 1.0) * 100.0
+    );
+}

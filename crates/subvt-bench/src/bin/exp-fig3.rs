@@ -1,0 +1,56 @@
+//! Regenerates the paper's Fig. 3: delay vs supply voltage per process
+//! corner (five decades, log scale).
+
+use subvt_bench::figures::fig3_delay_corners;
+use subvt_bench::report::{f, Table};
+
+fn main() {
+    println!("Fig. 3 — Delay with process variation (inverter, SS/TT/FS)\n");
+
+    let series = fig3_delay_corners();
+    let mut t = Table::new(
+        "Inverter delay (ns)",
+        &["Vdd (mV)", "SS", "TT", "FS"],
+    );
+    for (i, &(v, _)) in series[0].delays.iter().enumerate() {
+        t.row(&[
+            f(v.millivolts(), 0),
+            format!("{:.4e}", series[0].delays[i].1),
+            format!("{:.4e}", series[1].delays[i].1),
+            format!("{:.4e}", series[2].delays[i].1),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // The paper's calibration anchors (TT).
+    let tt = &series[1];
+    let at = |mv: f64| {
+        tt.delays
+            .iter()
+            .min_by(|a, b| {
+                (a.0.millivolts() - mv)
+                    .abs()
+                    .partial_cmp(&(b.0.millivolts() - mv).abs())
+                    .unwrap()
+            })
+            .unwrap()
+            .1
+    };
+    println!(
+        "TT anchors: {:.0} ps @1.2 V (paper 102), {:.0} ps @0.6 V (paper 442), {:.0} ns @0.2 V (paper 79.43)",
+        at(1200.0) * 1e3,
+        at(600.0) * 1e3,
+        at(200.0)
+    );
+    // The paper's "10% Vdd variation → up to 30% delay" claim: the
+    // sensitivity grows as Vdd sinks; ~30% is reached near the top of
+    // the subthreshold-affected region and it only gets worse below.
+    for mv in [700.0, 500.0, 350.0, 250.0] {
+        let d0 = at(mv);
+        let d1 = at(mv * 0.9);
+        println!(
+            "10% Vdd drop at {mv:.0} mV changes delay by {:+.0}% (paper: up to ~30% and beyond in subthreshold)",
+            (d1 / d0 - 1.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! The paper's stated future work: "investigate the energy consumption
+//! of the proposed adaptive controller" — net savings after charging
+//! the controller's own blocks.
+//!
+//! Accounting follows the paper's own argument: "the circuit with
+//! voltage scaling capability would have an embedded DC-DC converter
+//! which will be reused for the proposed controller reducing its area
+//! overhead" — so the PWM/converter is *reused infrastructure* and the
+//! controller's marginal cost is the TDC measurement plus the control
+//! logic, duty-cycled at the sensing interval.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use subvt_bench::report::{f, pct, Table};
+use subvt_core::controller::{AdaptiveController, ControllerConfig, SupplyKind, SupplyPolicy};
+use subvt_core::experiment::design_rate_controller;
+use subvt_core::overhead::{overhead_per_cycle, ControllerInventory, NetSavings};
+use subvt_core::RateController;
+use subvt_device::corner::ProcessCorner;
+use subvt_device::delay::GateMismatch;
+use subvt_device::mosfet::Environment;
+use subvt_device::technology::Technology;
+use subvt_device::units::{Hertz, Joules, Seconds, Volts};
+use subvt_device::delay::{GateTiming, SupplyRangeError};
+use subvt_device::energy::CircuitProfile;
+use subvt_device::technology::GateKind;
+use subvt_device::units::Seconds as DevSeconds;
+use subvt_loads::fir::FirFilter;
+use subvt_loads::load::CircuitLoad;
+use subvt_loads::ring_oscillator::RingOscillator;
+use subvt_loads::workload::{WorkloadPattern, WorkloadSource};
+
+/// A synthetic multi-kilogate DSP subsystem: twenty FIR-sized blocks.
+#[derive(Debug, Clone)]
+struct DspSubsystem {
+    profile: CircuitProfile,
+}
+
+impl DspSubsystem {
+    fn new() -> DspSubsystem {
+        let mut profile = FirFilter::lowpass_9tap().profile().clone();
+        profile.name = "dsp-50kgate".into();
+        profile.gates *= 20.0;
+        DspSubsystem { profile }
+    }
+}
+
+impl CircuitLoad for DspSubsystem {
+    fn name(&self) -> &str {
+        &self.profile.name
+    }
+    fn profile(&self) -> &CircuitProfile {
+        &self.profile
+    }
+    fn critical_path(
+        &self,
+        tech: &Technology,
+        vdd: Volts,
+        env: Environment,
+        mismatch: GateMismatch,
+    ) -> Result<DevSeconds, SupplyRangeError> {
+        let t = GateTiming::new(tech).gate_delay_with(GateKind::Nand2, vdd, env, mismatch, 1.0)?;
+        Ok(t * self.profile.depth)
+    }
+}
+
+fn run_load<L: CircuitLoad + Clone>(
+    load: &L,
+    rate: RateController,
+    policy: SupplyPolicy,
+    cycles: u64,
+) -> Joules {
+    let tech = Technology::st_130nm();
+    let mut c = AdaptiveController::new(
+        tech,
+        load.clone(),
+        rate,
+        Environment::nominal(),
+        Environment::at_corner(ProcessCorner::Ss),
+        GateMismatch::NOMINAL,
+        policy,
+        SupplyKind::Ideal,
+        ControllerConfig::default(),
+    );
+    let mut wl = WorkloadSource::new(WorkloadPattern::Constant { per_cycle: 1 });
+    let mut rng = StdRng::seed_from_u64(11);
+    c.run(&mut wl, cycles, &mut rng).account.total()
+}
+
+fn main() {
+    println!("Controller self-energy (the paper's future-work experiment)\n");
+
+    let tech = Technology::st_130nm();
+    let b = overhead_per_cycle(
+        &tech,
+        ControllerInventory::default(),
+        Volts(0.20625),
+        Hertz::from_megahertz(64.0),
+        Seconds::from_micros(1.0),
+    );
+    let mut t = Table::new(
+        "Controller energy per 1 µs system cycle (TDC line at 206 mV, logic at 1.2 V)",
+        &["block", "energy (fJ)", "reused infrastructure?"],
+    );
+    t.row(&["TDC + quantizer".into(), f(b.tdc.femtos(), 1), "no — marginal cost".into()]);
+    t.row(&["PWM @64 MHz".into(), f(b.pwm.femtos(), 1), "yes — the DC-DC exists anyway (paper Sec. IV)".into()]);
+    t.row(&["control/FIFO/LUT".into(), f(b.control.femtos(), 1), "no — marginal cost".into()]);
+    println!("{}", t.render());
+
+    // Marginal cost per sensing event.
+    let per_measurement = b.tdc + b.control;
+    println!(
+        "Marginal controller cost: {:.0} fJ per TDC measurement (dominated by the\n64 quantizer flip-flops + encoder on the 1.2 V rail).\n",
+        per_measurement.femtos()
+    );
+
+    let cycles = 2_000u64;
+    let fir = FirFilter::lowpass_9tap();
+    let fir_rate = RateController::design(
+        &tech,
+        &fir,
+        Environment::nominal(),
+        &[(8, Hertz(200e3)), (32, Hertz(2e6))],
+    )
+    .expect("designable");
+    let ring = RingOscillator::paper_circuit();
+    let ring_rate = design_rate_controller(&tech, Environment::nominal()).expect("designable");
+
+    let mut nt = Table::new(
+        "Net savings vs fixed supply after charging TDC+control (slow die, 1 item/cycle, 2 ms)",
+        &["load", "sense every", "gross savings", "overhead/load E", "net savings", "worthwhile"],
+    );
+    let loads: Vec<(&str, Joules, Joules)> = vec![
+        (
+            "64-gate ring probe",
+            run_load(&ring, ring_rate.clone(), SupplyPolicy::AdaptiveCompensated, cycles),
+            run_load(&ring, ring_rate, SupplyPolicy::FixedWord(22), cycles),
+        ),
+        (
+            "9-tap FIR (2.4 kgate)",
+            run_load(&fir, fir_rate.clone(), SupplyPolicy::AdaptiveCompensated, cycles),
+            run_load(&fir, fir_rate.clone(), SupplyPolicy::FixedWord(24), cycles),
+        ),
+        {
+            let dsp = DspSubsystem::new();
+            (
+                "DSP subsystem (48 kgate)",
+                run_load(&dsp, fir_rate.clone(), SupplyPolicy::AdaptiveCompensated, cycles),
+                run_load(&dsp, fir_rate, SupplyPolicy::FixedWord(24), cycles),
+            )
+        },
+    ];
+    for (name, controlled, baseline) in loads {
+        for interval in [1u64, 10, 100] {
+            let overhead = Joules(
+                per_measurement.value() * (cycles as f64) / interval as f64,
+            );
+            let net = NetSavings {
+                controlled,
+                baseline,
+                overhead,
+            };
+            nt.row(&[
+                name.to_owned(),
+                format!("{interval} cycles"),
+                pct(net.gross()),
+                pct(overhead.value() / controlled.value()),
+                pct(net.net()),
+                if net.worthwhile() { "yes".into() } else { "NO".into() },
+            ]);
+        }
+    }
+    println!("{}", nt.render());
+    println!(
+        "Finding: against the paper's 64-gate ring-oscillator *probe* the sensing\n\
+         cost swamps the load energy at any sensing rate; the 2.4 kgate FIR pays\n\
+         off once sensing is duty-cycled to every ~10 system cycles; a ~50 kgate\n\
+         subsystem affords sensing every cycle. The paper's reuse argument covers\n\
+         the converter, but the TDC quantizer (64 flip-flops at 1.2 V) is the true\n\
+         marginal cost a designer must budget."
+    );
+}

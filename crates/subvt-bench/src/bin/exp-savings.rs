@@ -1,0 +1,56 @@
+//! Regenerates the paper's Sec. IV headline: energy savings of the
+//! adaptive controller vs running without it, across corners,
+//! temperatures and Monte-Carlo dies.
+
+use subvt_bench::report::{f, pct, Table};
+use subvt_bench::savings::{savings_matrix, savings_monte_carlo};
+
+fn main() {
+    println!("Sec. IV — Energy savings of the adaptive controller\n");
+
+    let mut t = Table::new(
+        "Scenario matrix (paper: \"energy improvement of up to 55% compared to when no controller is employed\")",
+        &[
+            "scenario",
+            "LUT shift",
+            "mean Vdd (mV)",
+            "vs fixed supply",
+            "vs uncompensated",
+            "oracle efficiency",
+            "loss rate",
+        ],
+    );
+    for report in savings_matrix() {
+        t.row(&[
+            report.scenario.clone(),
+            format!("{:+}", report.compensated.compensation),
+            f(report.compensated.mean_vout.millivolts(), 1),
+            pct(report.savings_vs_fixed()),
+            pct(report.savings_vs_uncompensated()),
+            f(report.oracle_efficiency(), 3),
+            format!("{:.2e}", report.compensated.loss_rate()),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let mut mc = Table::new(
+        "Monte-Carlo dies (global + correlated N/P Vth variation)",
+        &["die", "severity (corner units)", "LUT shift", "savings vs fixed"],
+    );
+    let rows = savings_monte_carlo(12, 2026);
+    for row in &rows {
+        mc.row(&[
+            row.die.to_string(),
+            f(row.corner_units, 2),
+            format!("{:+}", row.compensation),
+            pct(row.savings_vs_fixed),
+        ]);
+    }
+    println!("{}", mc.render());
+
+    let best = rows
+        .iter()
+        .map(|r| r.savings_vs_fixed)
+        .fold(0.0f64, f64::max);
+    println!("Best-case saving across sampled dies: {}", pct(best));
+}

@@ -1,0 +1,40 @@
+//! Regenerates the paper's Table I: supply voltage vs quantizer output
+//! (64-stage delay line, 14 ns Ref_clk).
+
+use subvt_bench::figures::table1_rows;
+use subvt_bench::report::{f, Table};
+use subvt_tdc::table1::PAPER_SIGNATURES;
+
+fn main() {
+    println!("Table I — Supply voltage and quantizer output (14 ns Ref_clk)\n");
+
+    let rows = table1_rows();
+    let mut t = Table::new(
+        "Quantizer signatures (ours vs paper; the absolute pattern depends on an unpublished sampling phase — the burst structure and sensitivity are the reproduction targets)",
+        &["Vdd", "ours (hex)", "paper (hex)", "cell delay", "bursts", "code"],
+    );
+    for (row, &(label, paper)) in rows.iter().zip(PAPER_SIGNATURES.iter()) {
+        t.row(&[
+            label.to_owned(),
+            row.hex(),
+            paper.to_owned(),
+            format!("{:.0} ps", row.cell_delay.picos()),
+            row.bursts.to_string(),
+            row.code.map_or("unreliable".into(), |c| c.to_string()),
+        ]);
+    }
+    println!("{}", t.render());
+
+    if let (Some(c12), Some(c10)) = (rows[0].code, rows[1].code) {
+        println!(
+            "Edge shift 1.2 V → 1.0 V: {} stages (paper: 16 shifts, 12.5 mV each)",
+            c12 - c10
+        );
+    }
+    println!(
+        "0.6 V row: {} bursts → double-latched, unreliable (paper: \"data being latched twice\")",
+        rows[3].bursts
+    );
+    let span = rows[3].cell_delay.value() * 64.0 / 14e-9;
+    println!("0.6 V line window spans {} Ref_clk periods", f(span, 2));
+}

@@ -1,0 +1,73 @@
+//! Parametric yield: fraction of Monte-Carlo dies meeting a
+//! (throughput, energy) spec with and without the adaptive controller.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use subvt_bench::report::{f, pct, Table};
+use subvt_core::yield_study::{yield_study, YieldSpec};
+use subvt_device::mosfet::Environment;
+use subvt_device::technology::Technology;
+use subvt_device::units::{Hertz, Joules};
+use subvt_device::variation::VariationModel;
+use subvt_loads::ring_oscillator::RingOscillator;
+
+fn main() {
+    println!("Parametric yield under Monte-Carlo variation (500 dies per row)\n");
+
+    let tech = Technology::st_130nm();
+    let ring = RingOscillator::paper_circuit();
+    let model = VariationModel::st_130nm();
+
+    let mut t = Table::new(
+        "Spec: sustain the rate at ≤ the energy bound (design word 11 = TT MEP)",
+        &[
+            "spec rate (kHz)",
+            "energy bound (fJ)",
+            "fixed @MEP word",
+            "fixed +2 guard",
+            "adaptive",
+            "dithered (sub-LSB)",
+            "mean adaptive E (fJ)",
+        ],
+    );
+    for (rate_khz, e_fj) in [(110.0, 2.9), (110.0, 3.5), (60.0, 2.9), (125.0, 2.8)] {
+        let spec = YieldSpec {
+            min_rate: Hertz(rate_khz * 1e3),
+            max_energy_per_op: Joules::from_femtos(e_fj),
+        };
+        let run = |fixed_word: u8, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            yield_study(
+                &tech,
+                &ring,
+                Environment::nominal(),
+                &model,
+                spec,
+                fixed_word,
+                11,
+                500,
+                &mut rng,
+            )
+        };
+        let at_mep = run(11, 1);
+        let guarded = run(13, 1);
+        t.row(&[
+            f(rate_khz, 0),
+            f(e_fj, 2),
+            pct(at_mep.fixed_yield()),
+            pct(guarded.fixed_yield()),
+            pct(at_mep.adaptive_yield()),
+            pct(at_mep.dithered_yield()),
+            at_mep
+                .mean_adaptive_energy()
+                .map_or("-".into(), |e| f(e.femtos(), 3)),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "The fixed design is squeezed: at the MEP word it fails slow dies on rate;\n\
+         guard-banded up it fails the energy bound. The adaptive design settles\n\
+         each die at its own word and escapes the squeeze (residual misses are\n\
+         18.75 mV quantization — the dithering extension's territory)."
+    );
+}

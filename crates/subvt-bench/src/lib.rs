@@ -1,0 +1,27 @@
+//! # subvt-bench
+//!
+//! Experiment harnesses reproducing **every table and figure** of
+//! *"Variation Resilient Adaptive Controller for Subthreshold
+//! Circuits"* (DATE 2009), plus the ablations DESIGN.md calls out.
+//!
+//! Each experiment has a data generator here, a printable harness
+//! binary (`exp-fig1`, `exp-fig2`, `exp-fig3`, `exp-table1`,
+//! `exp-fig6`, `exp-savings`, `exp-ablations`) and a Criterion bench.
+//!
+//! | Experiment | Generator | Binary |
+//! |---|---|---|
+//! | Fig. 1 MEP vs corner | [`figures::fig1_mep_corners`] | `exp-fig1` |
+//! | Fig. 2 MEP vs temperature | [`figures::fig2_mep_temperature`] | `exp-fig2` |
+//! | Fig. 3 delay vs Vdd | [`figures::fig3_delay_corners`] | `exp-fig3` |
+//! | Table I quantizer output | [`figures::table1_rows`] | `exp-table1` |
+//! | Fig. 6 transient | [`savings::fig6_transient`] | `exp-fig6` |
+//! | Sec. IV savings | [`savings::savings_matrix`] | `exp-savings` |
+//! | Ablations | [`ablation`] | `exp-ablations` |
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ablation;
+pub mod figures;
+pub mod report;
+pub mod savings;

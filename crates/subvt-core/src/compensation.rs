@@ -1,0 +1,225 @@
+//! The variation-compensation loop.
+//!
+//! Paper Sec. IV: the TDC signature is compared against the desired
+//! value each system cycle; a persistent deviation is folded into the
+//! LUT ("this takes place in the first 2 system cycles"). Requiring
+//! the deviation to persist filters metastability glitches and
+//! converter transients out of the correction path.
+
+use std::fmt;
+
+/// Policy for turning raw per-cycle deviations into LUT shifts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompensationPolicy {
+    /// Consecutive cycles a deviation must persist before acting (the
+    /// paper's correction lands after 2 cycles).
+    pub confirm_cycles: u32,
+    /// Largest single correction step in LSBs.
+    pub max_step: i16,
+    /// Total correction budget in LSBs (safety bound).
+    pub max_total: i16,
+}
+
+impl Default for CompensationPolicy {
+    fn default() -> CompensationPolicy {
+        CompensationPolicy {
+            confirm_cycles: 2,
+            max_step: 1,
+            // Bounded by the sensor's neighbour visibility: deviations
+            // beyond ±3 LSB saturate, so trusting them further invites
+            // runaway correction under large temperature shifts.
+            max_total: 3,
+        }
+    }
+}
+
+/// The compensation state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompensationLoop {
+    policy: CompensationPolicy,
+    streak_sign: i16,
+    streak_len: u32,
+    applied_total: i16,
+    corrections: u32,
+}
+
+impl CompensationLoop {
+    /// Creates a loop with the given policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confirm_cycles` is zero or the step/total bounds are
+    /// not positive.
+    pub fn new(policy: CompensationPolicy) -> CompensationLoop {
+        assert!(policy.confirm_cycles > 0, "need at least one confirm cycle");
+        assert!(
+            policy.max_step > 0 && policy.max_total > 0,
+            "correction bounds must be positive"
+        );
+        CompensationLoop {
+            policy,
+            streak_sign: 0,
+            streak_len: 0,
+            applied_total: 0,
+            corrections: 0,
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> CompensationPolicy {
+        self.policy
+    }
+
+    /// Net correction applied so far (LSBs).
+    pub fn applied_total(&self) -> i16 {
+        self.applied_total
+    }
+
+    /// Number of discrete corrections issued.
+    pub fn corrections(&self) -> u32 {
+        self.corrections
+    }
+
+    /// Feeds one cycle's sensed deviation (in LSBs; the sensor's sign
+    /// convention: negative = die reads slow). Returns the LUT shift to
+    /// apply this cycle, if any — the shift opposes the deviation.
+    pub fn observe(&mut self, deviation: i16) -> Option<i16> {
+        let sign = deviation.signum();
+        if sign == 0 {
+            self.streak_sign = 0;
+            self.streak_len = 0;
+            return None;
+        }
+        if sign == self.streak_sign {
+            self.streak_len += 1;
+        } else {
+            self.streak_sign = sign;
+            self.streak_len = 1;
+        }
+        if self.streak_len < self.policy.confirm_cycles {
+            return None;
+        }
+        // Confirmed: correct against the deviation, bounded per step
+        // and in total.
+        self.streak_len = 0;
+        self.streak_sign = 0;
+        let wanted = (-deviation).clamp(-self.policy.max_step, self.policy.max_step);
+        let room_up = self.policy.max_total - self.applied_total;
+        let room_down = -self.policy.max_total - self.applied_total;
+        let step = wanted.clamp(room_down, room_up);
+        if step == 0 {
+            return None;
+        }
+        self.applied_total += step;
+        self.corrections += 1;
+        Some(step)
+    }
+
+    /// Forgets any in-progress streak (e.g. after a commanded voltage
+    /// step, when transients would alias as deviations).
+    pub fn reset_streak(&mut self) {
+        self.streak_sign = 0;
+        self.streak_len = 0;
+    }
+}
+
+impl fmt::Display for CompensationLoop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "compensation: {} LSB applied in {} corrections",
+            self.applied_total, self.corrections
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn looper() -> CompensationLoop {
+        CompensationLoop::new(CompensationPolicy::default())
+    }
+
+    #[test]
+    fn correction_lands_after_two_cycles() {
+        // The paper's worked example: a slow die reads −1 for two
+        // consecutive system cycles, then the LUT gains +1.
+        let mut c = looper();
+        assert_eq!(c.observe(-1), None, "first cycle only starts the streak");
+        assert_eq!(c.observe(-1), Some(1), "second cycle confirms");
+        assert_eq!(c.applied_total(), 1);
+        assert_eq!(c.corrections(), 1);
+    }
+
+    #[test]
+    fn zero_deviation_resets_the_streak() {
+        let mut c = looper();
+        assert_eq!(c.observe(-1), None);
+        assert_eq!(c.observe(0), None);
+        assert_eq!(c.observe(-1), None, "streak restarted");
+        assert_eq!(c.observe(-1), Some(1));
+    }
+
+    #[test]
+    fn sign_flip_restarts_the_streak() {
+        let mut c = looper();
+        assert_eq!(c.observe(-1), None);
+        assert_eq!(c.observe(1), None);
+        assert_eq!(c.observe(1), Some(-1), "fast die pulls the LUT down");
+        assert_eq!(c.applied_total(), -1);
+    }
+
+    #[test]
+    fn step_is_clamped() {
+        let mut c = looper();
+        c.observe(-3);
+        let step = c.observe(-3);
+        assert_eq!(step, Some(1), "max_step bounds a large deviation");
+    }
+
+    #[test]
+    fn total_budget_is_respected() {
+        let mut c = CompensationLoop::new(CompensationPolicy {
+            confirm_cycles: 1,
+            max_step: 2,
+            max_total: 3,
+        });
+        assert_eq!(c.observe(-2), Some(2));
+        assert_eq!(c.observe(-2), Some(1), "clipped at the budget");
+        assert_eq!(c.observe(-2), None, "budget exhausted");
+        assert_eq!(c.applied_total(), 3);
+        // Opposite-direction room remains.
+        assert_eq!(c.observe(2), Some(-2));
+        assert_eq!(c.applied_total(), 1);
+    }
+
+    #[test]
+    fn reset_streak_discards_progress() {
+        let mut c = looper();
+        c.observe(-1);
+        c.reset_streak();
+        assert_eq!(c.observe(-1), None);
+        assert_eq!(c.observe(-1), Some(1));
+    }
+
+    #[test]
+    fn display_reports_totals() {
+        let mut c = looper();
+        c.observe(-1);
+        c.observe(-1);
+        assert_eq!(
+            format!("{c}"),
+            "compensation: 1 LSB applied in 1 corrections"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "confirm cycle")]
+    fn zero_confirm_rejected() {
+        let _ = CompensationLoop::new(CompensationPolicy {
+            confirm_cycles: 0,
+            ..CompensationPolicy::default()
+        });
+    }
+}

@@ -1,0 +1,143 @@
+//! Energy bookkeeping for controller runs.
+
+use std::fmt;
+
+use subvt_device::units::{Joules, Seconds};
+
+/// Accumulated energy of one run, split by mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyAccount {
+    dynamic: Joules,
+    leakage: Joules,
+    converter: Joules,
+    operations: u64,
+    active_time: Seconds,
+}
+
+impl EnergyAccount {
+    /// An empty account.
+    pub fn new() -> EnergyAccount {
+        EnergyAccount::default()
+    }
+
+    /// Adds switching energy for `ops` operations.
+    pub fn add_dynamic(&mut self, energy: Joules, ops: u64) {
+        self.dynamic += energy;
+        self.operations += ops;
+    }
+
+    /// Adds leakage energy over a span.
+    pub fn add_leakage(&mut self, energy: Joules, span: Seconds) {
+        self.leakage += energy;
+        self.active_time += span;
+    }
+
+    /// Adds converter (conduction + switching) loss.
+    pub fn add_converter(&mut self, energy: Joules) {
+        self.converter += energy;
+    }
+
+    /// Total switching energy.
+    pub fn dynamic(&self) -> Joules {
+        self.dynamic
+    }
+
+    /// Total leakage energy.
+    pub fn leakage(&self) -> Joules {
+        self.leakage
+    }
+
+    /// Total converter loss.
+    pub fn converter(&self) -> Joules {
+        self.converter
+    }
+
+    /// Total of all mechanisms.
+    pub fn total(&self) -> Joules {
+        self.dynamic + self.leakage + self.converter
+    }
+
+    /// Operations performed.
+    pub fn operations(&self) -> u64 {
+        self.operations
+    }
+
+    /// Wall-clock simulated.
+    pub fn active_time(&self) -> Seconds {
+        self.active_time
+    }
+
+    /// Average energy per operation (load energy only, excluding
+    /// converter loss), or `None` when no operations ran.
+    pub fn energy_per_op(&self) -> Option<Joules> {
+        if self.operations == 0 {
+            None
+        } else {
+            Some((self.dynamic + self.leakage) / self.operations as f64)
+        }
+    }
+
+    /// Fractional saving of `self` relative to `baseline`
+    /// (`1 − self/baseline`), comparing total energy.
+    pub fn savings_vs(&self, baseline: &EnergyAccount) -> f64 {
+        let b = baseline.total().value();
+        if b == 0.0 {
+            0.0
+        } else {
+            1.0 - self.total().value() / b
+        }
+    }
+}
+
+impl fmt::Display for EnergyAccount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.3} fJ total ({:.3} dyn + {:.3} leak + {:.3} conv) over {} ops",
+            self.total().femtos(),
+            self.dynamic.femtos(),
+            self.leakage.femtos(),
+            self.converter.femtos(),
+            self.operations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation_and_totals() {
+        let mut a = EnergyAccount::new();
+        a.add_dynamic(Joules::from_femtos(10.0), 4);
+        a.add_leakage(Joules::from_femtos(6.0), Seconds::from_micros(2.0));
+        a.add_converter(Joules::from_femtos(1.0));
+        assert!((a.total().femtos() - 17.0).abs() < 1e-9);
+        assert_eq!(a.operations(), 4);
+        assert!((a.energy_per_op().unwrap().femtos() - 4.0).abs() < 1e-9);
+        assert!((a.active_time().value() - 2e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn empty_account_has_no_per_op() {
+        assert_eq!(EnergyAccount::new().energy_per_op(), None);
+    }
+
+    #[test]
+    fn savings_comparison() {
+        let mut a = EnergyAccount::new();
+        a.add_dynamic(Joules::from_femtos(45.0), 1);
+        let mut b = EnergyAccount::new();
+        b.add_dynamic(Joules::from_femtos(100.0), 1);
+        assert!((a.savings_vs(&b) - 0.55).abs() < 1e-12);
+        assert_eq!(a.savings_vs(&EnergyAccount::new()), 0.0);
+    }
+
+    #[test]
+    fn display_reports_breakdown() {
+        let mut a = EnergyAccount::new();
+        a.add_dynamic(Joules::from_femtos(1.0), 1);
+        assert!(format!("{a}").contains("1 ops"));
+    }
+}

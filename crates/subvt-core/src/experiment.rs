@@ -1,0 +1,336 @@
+//! Scenario definitions and the paper's headline savings experiment.
+//!
+//! Paper Sec. IV: the chip is signed off at one corner, fabricated at
+//! another, and the controller's TDC signature corrects the LUT so the
+//! load lands back on its true minimum-energy point — "energy gains up
+//! to 55 % can be achieved" relative to running without the controller.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use subvt_device::delay::GateMismatch;
+use subvt_device::mosfet::Environment;
+use subvt_device::technology::Technology;
+use subvt_device::units::Hertz;
+use subvt_digital::lut::VoltageWord;
+use subvt_loads::ring_oscillator::RingOscillator;
+use subvt_loads::workload::{WorkloadPattern, WorkloadSource};
+
+use crate::controller::{
+    AdaptiveController, ControllerConfig, RunSummary, SupplyKind, SupplyPolicy,
+};
+use crate::rate_controller::{DesignError, RateController};
+
+/// A complete experimental scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name for reports.
+    pub name: String,
+    /// Environment the controller was designed/calibrated for.
+    pub design_env: Environment,
+    /// Environment of the actual silicon.
+    pub actual_env: Environment,
+    /// Die-level threshold mismatch of the actual silicon.
+    pub die: GateMismatch,
+    /// Data arrival pattern.
+    pub workload: WorkloadPattern,
+    /// System cycles to simulate.
+    pub cycles: u64,
+    /// RNG seed (workload and metastability).
+    pub seed: u64,
+    /// Controller configuration.
+    pub config: ControllerConfig,
+}
+
+impl Scenario {
+    /// The paper's worked example: designed at the typical corner,
+    /// fabricated slow, light streaming workload.
+    pub fn paper_worked_example() -> Scenario {
+        Scenario {
+            name: "tt-design-on-ss-die".to_owned(),
+            design_env: Environment::nominal(),
+            actual_env: Environment::at_corner(subvt_device::corner::ProcessCorner::Ss),
+            die: GateMismatch::NOMINAL,
+            // A 10%-duty streaming workload: the mean rate (~100 kHz)
+            // sits at the ring's MEP capacity, so the controller dwells
+            // at the minimum-energy point most of the time — the
+            // regime the paper's Sec. III motivates.
+            workload: WorkloadPattern::Burst {
+                busy_rate: 1,
+                busy_cycles: 10,
+                idle_cycles: 90,
+            },
+            cycles: 2_000,
+            seed: 42,
+            config: ControllerConfig::default(),
+        }
+    }
+
+    /// Returns the scenario with a different actual environment.
+    pub fn with_actual_env(mut self, env: Environment) -> Scenario {
+        self.actual_env = env;
+        self
+    }
+
+    /// Returns the scenario with a different workload.
+    pub fn with_workload(mut self, workload: WorkloadPattern) -> Scenario {
+        self.workload = workload;
+        self
+    }
+}
+
+/// The standard band → required-rate table used by the experiments
+/// (items arrive per 1 µs system cycle, so 1 item/cycle = 1 MHz...
+/// here the load is the ring oscillator whose "operation" is one
+/// oscillation period; light bands only need tens of kHz).
+fn standard_band_rates() -> Vec<(usize, Hertz)> {
+    vec![
+        (8, Hertz(100e3)),
+        (16, Hertz(1e6)),
+        (32, Hertz(10e6)),
+    ]
+}
+
+/// Designs the scenario's rate controller at an environment.
+///
+/// # Errors
+///
+/// Propagates [`DesignError`] from the LUT design.
+pub fn design_rate_controller(
+    tech: &Technology,
+    env: Environment,
+) -> Result<RateController, DesignError> {
+    RateController::design(
+        tech,
+        &RingOscillator::paper_circuit(),
+        env,
+        &standard_band_rates(),
+    )
+}
+
+/// The design-time "no controller" supply word: fast enough for the
+/// peak workload at the slowest corner, plus a guard band of
+/// `guard_lsb` LSBs.
+///
+/// # Errors
+///
+/// Propagates [`DesignError`] when no word sustains the worst case.
+pub fn fixed_baseline_word(
+    tech: &Technology,
+    workload: &WorkloadPattern,
+    guard_lsb: u8,
+) -> Result<VoltageWord, DesignError> {
+    let ring = RingOscillator::paper_circuit();
+    // Peak arrivals per cycle over the pattern.
+    let peak_per_cycle = match workload {
+        WorkloadPattern::Constant { per_cycle } => f64::from(*per_cycle),
+        WorkloadPattern::Burst { busy_rate, .. } => f64::from(*busy_rate),
+        WorkloadPattern::Poisson { mean } => mean * 3.0,
+        WorkloadPattern::Schedule(s) => f64::from(s.iter().copied().max().unwrap_or(0)),
+    };
+    let rate = Hertz(peak_per_cycle.max(1.0) / 1e-6);
+    let worst = Environment::at_corner(subvt_device::corner::ProcessCorner::Ss);
+    let word = RateController::word_for_rate(tech, &ring, worst, rate)?;
+    Ok((word + guard_lsb).min(63))
+}
+
+/// Results of all policies over one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SavingsReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Full controller (sensing + compensation).
+    pub compensated: RunSummary,
+    /// Rate control only (sensor off).
+    pub uncompensated: RunSummary,
+    /// Design-time fixed supply ("no controller").
+    pub fixed: RunSummary,
+    /// The fixed word the baseline used.
+    pub fixed_word: VoltageWord,
+    /// Oracle: controller designed with knowledge of the actual die.
+    pub oracle: RunSummary,
+}
+
+impl SavingsReport {
+    /// Headline saving: full controller vs. no controller.
+    pub fn savings_vs_fixed(&self) -> f64 {
+        self.compensated.account.savings_vs(&self.fixed.account)
+    }
+
+    /// Saving attributable to the variation compensation alone.
+    pub fn savings_vs_uncompensated(&self) -> f64 {
+        self.compensated
+            .account
+            .savings_vs(&self.uncompensated.account)
+    }
+
+    /// How close the controller gets to the oracle (1 = matches).
+    pub fn oracle_efficiency(&self) -> f64 {
+        let c = self.compensated.account.total().value();
+        if c == 0.0 {
+            0.0
+        } else {
+            self.oracle.account.total().value() / c
+        }
+    }
+}
+
+fn run_policy(
+    scenario: &Scenario,
+    rate: RateController,
+    policy: SupplyPolicy,
+) -> RunSummary {
+    let tech = Technology::st_130nm();
+    let mut controller = AdaptiveController::new(
+        tech,
+        RingOscillator::paper_circuit(),
+        rate,
+        scenario.design_env,
+        scenario.actual_env,
+        scenario.die,
+        policy,
+        SupplyKind::Ideal,
+        scenario.config,
+    );
+    let mut workload = WorkloadSource::new(scenario.workload.clone());
+    let mut rng = StdRng::seed_from_u64(scenario.seed);
+    controller.run(&mut workload, scenario.cycles, &mut rng)
+}
+
+/// Runs one policy over a scenario (rate controller designed at the
+/// scenario's design environment).
+///
+/// # Errors
+///
+/// Propagates [`DesignError`].
+pub fn run_scenario(scenario: &Scenario, policy: SupplyPolicy) -> Result<RunSummary, DesignError> {
+    let tech = Technology::st_130nm();
+    let rate = design_rate_controller(&tech, scenario.design_env)?;
+    Ok(run_policy(scenario, rate, policy))
+}
+
+/// Runs the full four-way comparison over a scenario.
+///
+/// # Errors
+///
+/// Propagates [`DesignError`].
+pub fn savings_experiment(scenario: &Scenario) -> Result<SavingsReport, DesignError> {
+    let tech = Technology::st_130nm();
+    let designed = design_rate_controller(&tech, scenario.design_env)?;
+    let oracle_rate = design_rate_controller(&tech, scenario.actual_env)?;
+    let fixed_word = fixed_baseline_word(&tech, &scenario.workload, 2)?;
+
+    Ok(SavingsReport {
+        scenario: scenario.name.clone(),
+        compensated: run_policy(scenario, designed.clone(), SupplyPolicy::AdaptiveCompensated),
+        uncompensated: run_policy(
+            scenario,
+            designed,
+            SupplyPolicy::AdaptiveUncompensated,
+        ),
+        fixed: run_policy(
+            scenario,
+            oracle_rate.clone(), // LUT unused under FixedWord
+            SupplyPolicy::FixedWord(fixed_word),
+        ),
+        fixed_word,
+        oracle: run_policy(scenario, oracle_rate, SupplyPolicy::AdaptiveUncompensated),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subvt_device::corner::ProcessCorner;
+
+    #[test]
+    fn paper_scenario_headline_savings() {
+        // "The benefits of the proposed controller is reflected with
+        // energy improvement of up to 55% compared to when no
+        // controller is employed."
+        let report = savings_experiment(&Scenario::paper_worked_example()).unwrap();
+        let s = report.savings_vs_fixed();
+        assert!(
+            (0.35..0.9).contains(&s),
+            "savings vs fixed supply: {s} (fixed word {})",
+            report.fixed_word
+        );
+        // All policies must actually do the work.
+        assert_eq!(report.compensated.dropped, 0);
+        assert_eq!(report.fixed.dropped, 0);
+    }
+
+    #[test]
+    fn compensation_beats_no_compensation_on_a_slow_die() {
+        let report = savings_experiment(&Scenario::paper_worked_example()).unwrap();
+        // On a slow die, the uncompensated LUT undershoots the MEP;
+        // compensation must not lose energy, and the corrected run
+        // lands +1 LSB above the design word.
+        assert!((1..=2).contains(&report.compensated.compensation));
+        assert_eq!(report.uncompensated.compensation, 0);
+        let s = report.savings_vs_uncompensated();
+        assert!(s > -0.05, "compensation should not cost energy: {s}");
+    }
+
+    #[test]
+    fn controller_tracks_the_oracle() {
+        let report = savings_experiment(&Scenario::paper_worked_example()).unwrap();
+        let eff = report.oracle_efficiency();
+        assert!(
+            (0.8..=1.02).contains(&eff),
+            "oracle efficiency {eff}"
+        );
+    }
+
+    #[test]
+    fn hot_die_scenario_compensates_down_to_the_budget() {
+        // Hot subthreshold silicon is *faster* (Vth drop + steeper
+        // exponential), so the delay-targeted signature pulls the LUT
+        // down — while the true MEP moves *up* with temperature. The
+        // compensation budget is what keeps this divergence bounded;
+        // EXPERIMENTS.md discusses the finding.
+        let scenario = Scenario::paper_worked_example()
+            .with_actual_env(Environment::at_celsius(85.0));
+        let report = savings_experiment(&scenario).unwrap();
+        assert_eq!(report.compensated.compensation, -3, "saturates the budget");
+        assert!(report.savings_vs_fixed() > 0.1);
+        // The controller still does all the work.
+        assert_eq!(report.compensated.dropped, 0);
+        // ...but pure-temperature compensation costs energy relative to
+        // leaving the LUT alone (the documented limitation).
+        assert!(report.savings_vs_uncompensated() < 0.0);
+    }
+
+    #[test]
+    fn fast_corner_scenario() {
+        let scenario = Scenario::paper_worked_example()
+            .with_actual_env(Environment::at_corner(ProcessCorner::Ff));
+        let report = savings_experiment(&scenario).unwrap();
+        assert!(report.compensated.compensation < 0);
+    }
+
+    #[test]
+    fn fixed_word_covers_worst_case() {
+        let tech = Technology::st_130nm();
+        let word = fixed_baseline_word(
+            &tech,
+            &WorkloadPattern::Constant { per_cycle: 1 },
+            2,
+        )
+        .unwrap();
+        assert!(word > 11, "guard-banded word must exceed the MEP word");
+        assert!(word < 64);
+    }
+
+    #[test]
+    fn bursty_workload_scenario_runs_clean() {
+        let scenario = Scenario::paper_worked_example().with_workload(WorkloadPattern::Burst {
+            busy_rate: 4,
+            busy_cycles: 10,
+            idle_cycles: 30,
+        });
+        let report = savings_experiment(&scenario).unwrap();
+        assert!(report.compensated.loss_rate() < 0.01);
+        assert!(report.savings_vs_fixed() > 0.2);
+    }
+}

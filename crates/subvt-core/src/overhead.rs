@@ -1,0 +1,210 @@
+//! Energy consumption of the adaptive controller itself — the paper's
+//! stated future work ("As future work, we will investigate the energy
+//! consumption of the proposed adaptive controller through
+//! simulations").
+//!
+//! The controller's own blocks burn energy every system cycle:
+//!
+//! * the TDC delay line toggles all its cells once per measurement (at
+//!   the *load's* low supply — cheap);
+//! * the quantizer flip-flops, encoder and comparator run at the
+//!   measurement rate;
+//! * the 6-bit PWM counter and toggle flip-flop run at the full 64 MHz
+//!   from the 1.2 V rail ("rest of the circuit is implemented with
+//!   standard CMOS cells that operates above the transistor threshold
+//!   voltage");
+//! * the FIFO, rate controller and LUT tick once per system cycle.
+//!
+//! This module prices those contributions with the same device model
+//! used for the load, then nets them against the controller's savings.
+
+use subvt_device::constants::NOMINAL_VDD;
+use subvt_device::technology::{GateKind, Technology};
+use subvt_device::units::{Hertz, Joules, Seconds, Volts};
+
+/// Gate counts of the controller's building blocks (NAND-equivalents).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerInventory {
+    /// TDC delay-line cells (run at the measured supply).
+    pub tdc_cells: u32,
+    /// Quantizer flip-flops (≈ 6 gates each) plus encoder.
+    pub quantizer_gates: u32,
+    /// PWM counter + toggle FF + duty register (64 MHz, 1.2 V).
+    pub pwm_gates: u32,
+    /// Comparator + rate controller adder + LUT access.
+    pub control_gates: u32,
+    /// FIFO pointer/flag logic exercised per cycle (storage not
+    /// counted: it belongs to the system, not the controller).
+    pub fifo_gates: u32,
+}
+
+impl Default for ControllerInventory {
+    fn default() -> ControllerInventory {
+        ControllerInventory {
+            tdc_cells: 64,
+            quantizer_gates: 64 * 6 + 60,
+            pwm_gates: 6 * 8 + 10,
+            control_gates: 80,
+            fifo_gates: 60,
+        }
+    }
+}
+
+/// Per-system-cycle energy of the controller's own blocks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadBreakdown {
+    /// TDC measurement energy (delay line + quantizer sampling).
+    pub tdc: Joules,
+    /// PWM counter and output stage drive logic at 64 MHz.
+    pub pwm: Joules,
+    /// Comparator, rate controller, LUT and FIFO control.
+    pub control: Joules,
+}
+
+impl OverheadBreakdown {
+    /// Total controller energy per system cycle.
+    pub fn total(&self) -> Joules {
+        self.tdc + self.pwm + self.control
+    }
+}
+
+/// Prices one system cycle of controller activity.
+///
+/// * `measured_vdd` — the supply the TDC line runs at this cycle;
+/// * `clock` — the fast clock (64 MHz);
+/// * `system_cycle` — 1 µs.
+///
+/// Blocks above threshold (PWM, control) are charged CV² at 1.2 V per
+/// toggle with a 0.15 activity factor; the TDC line is charged one
+/// full-line transition per measurement at the measured supply.
+pub fn overhead_per_cycle(
+    tech: &Technology,
+    inventory: ControllerInventory,
+    measured_vdd: Volts,
+    clock: Hertz,
+    system_cycle: Seconds,
+) -> OverheadBreakdown {
+    let cap = tech.gate_cap.value() * GateKind::Nand2.cap_factor();
+    let cv2 = |v: Volts| cap * v.volts() * v.volts();
+
+    // TDC: every cell toggles twice per measurement (edge in, edge
+    // out), quantizer gates sample once at the full rail.
+    let v_line = measured_vdd.max(Volts(0.0));
+    let tdc = Joules(
+        2.0 * f64::from(inventory.tdc_cells) * cv2(v_line)
+            + 0.25 * f64::from(inventory.quantizer_gates) * cv2(NOMINAL_VDD),
+    );
+
+    // PWM: counter bits toggle at 64 MHz with binary weighting
+    // (~2 effective toggles per tick across a 6-bit counter).
+    let ticks = clock.value() * system_cycle.value();
+    let pwm = Joules(2.0 * ticks * cv2(NOMINAL_VDD) + 0.15 * f64::from(inventory.pwm_gates) * cv2(NOMINAL_VDD));
+
+    // Control: one evaluation per system cycle.
+    let control = Joules(
+        0.15 * f64::from(inventory.control_gates + inventory.fifo_gates) * cv2(NOMINAL_VDD),
+    );
+
+    OverheadBreakdown { tdc, pwm, control }
+}
+
+/// Nets the controller's overhead against its measured savings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetSavings {
+    /// Load energy with the controller (excl. overhead).
+    pub controlled: Joules,
+    /// Load energy without the controller.
+    pub baseline: Joules,
+    /// Controller overhead over the run.
+    pub overhead: Joules,
+}
+
+impl NetSavings {
+    /// Gross saving fraction, ignoring overhead.
+    pub fn gross(&self) -> f64 {
+        1.0 - self.controlled.value() / self.baseline.value()
+    }
+
+    /// Net saving fraction with the controller's own energy charged.
+    pub fn net(&self) -> f64 {
+        1.0 - (self.controlled.value() + self.overhead.value()) / self.baseline.value()
+    }
+
+    /// True when the controller pays for itself.
+    pub fn worthwhile(&self) -> bool {
+        self.net() > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subvt_device::units::Hertz;
+
+    fn breakdown(vdd_mv: f64) -> OverheadBreakdown {
+        overhead_per_cycle(
+            &Technology::st_130nm(),
+            ControllerInventory::default(),
+            Volts::from_millivolts(vdd_mv),
+            Hertz::from_megahertz(64.0),
+            Seconds::from_micros(1.0),
+        )
+    }
+
+    #[test]
+    fn pwm_dominates_the_overhead() {
+        // 64 ticks/cycle at 1.2 V dwarf one subthreshold line toggle —
+        // the architectural reason the paper reuses "an embedded DC-DC
+        // converter which will be reused … reducing its area overhead".
+        let b = breakdown(206.0);
+        assert!(b.pwm.value() > b.tdc.value());
+        assert!(b.pwm.value() > b.control.value());
+    }
+
+    #[test]
+    fn tdc_energy_scales_with_measured_supply() {
+        let low = breakdown(206.0);
+        let high = breakdown(900.0);
+        assert!(high.tdc.value() > low.tdc.value());
+        // PWM/control are supply-independent (they sit on the 1.2 V rail).
+        assert!((high.pwm.value() - low.pwm.value()).abs() < 1e-24);
+    }
+
+    #[test]
+    fn overhead_magnitude_is_hundreds_of_femtojoules() {
+        // Sanity: ~134 gate-toggles at 1.2 V ≈ 0.5 pJ per µs cycle —
+        // small against the ring oscillator's ~2.65 fJ × hundreds of
+        // ops, but not negligible at very light workloads.
+        let total = breakdown(206.0).total();
+        assert!(
+            (50.0..5_000.0).contains(&total.femtos()),
+            "{} fJ",
+            total.femtos()
+        );
+    }
+
+    #[test]
+    fn net_savings_account() {
+        let n = NetSavings {
+            controlled: Joules::from_femtos(450.0),
+            baseline: Joules::from_femtos(1000.0),
+            overhead: Joules::from_femtos(100.0),
+        };
+        assert!((n.gross() - 0.55).abs() < 1e-12);
+        assert!((n.net() - 0.45).abs() < 1e-12);
+        assert!(n.worthwhile());
+        let marginal = NetSavings {
+            controlled: Joules::from_femtos(950.0),
+            baseline: Joules::from_femtos(1000.0),
+            overhead: Joules::from_femtos(100.0),
+        };
+        assert!(!marginal.worthwhile());
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let b = breakdown(300.0);
+        let sum = b.tdc.value() + b.pwm.value() + b.control.value();
+        assert!((b.total().value() - sum).abs() < 1e-24);
+    }
+}

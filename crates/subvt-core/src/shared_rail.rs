@@ -1,0 +1,282 @@
+//! Shared-rail analysis: several loads on one DC-DC output.
+//!
+//! The paper's controller drives a single load. A real SoC hangs many
+//! blocks off one converter, and the rail must satisfy the *fastest*
+//! demand among them while every other block burns energy above its
+//! own optimum — the classic argument for (and cost model of) voltage
+//! islands. This module prices that compromise: one shared rail vs
+//! per-load rails, for a set of loads with individual rate demands.
+
+use subvt_device::delay::{GateMismatch, SupplyRangeError};
+use subvt_device::mosfet::Environment;
+use subvt_device::technology::Technology;
+use subvt_device::units::{Hertz, Joules, Volts};
+use subvt_digital::lut::VoltageWord;
+use subvt_loads::load::CircuitLoad;
+use subvt_tdc::sensor::word_voltage;
+
+/// One block on the rail: a load plus its required rate.
+#[derive(Debug)]
+pub struct RailClient<'a> {
+    /// The circuit.
+    pub load: &'a dyn CircuitLoad,
+    /// Required operation rate.
+    pub rate: Hertz,
+}
+
+/// Result of the shared-vs-island comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RailComparison {
+    /// The word a shared rail must run at (max of the per-load words).
+    pub shared_word: VoltageWord,
+    /// Per-load words an island design would use.
+    pub island_words: Vec<VoltageWord>,
+    /// Energy per second on the shared rail.
+    pub shared_power: Joules,
+    /// Energy per second with per-load islands.
+    pub island_power: Joules,
+    /// Per-client `(shared, island)` powers, in client order.
+    pub client_powers: Vec<(Joules, Joules)>,
+}
+
+impl RailComparison {
+    /// Fractional energy penalty of sharing (`shared/island − 1`).
+    pub fn sharing_penalty(&self) -> f64 {
+        if self.island_power.value() == 0.0 {
+            return 0.0;
+        }
+        self.shared_power.value() / self.island_power.value() - 1.0
+    }
+
+    /// Per-client sharing penalty (the compromise is invisible in the
+    /// total when one client dominates the power budget).
+    pub fn client_penalty(&self, index: usize) -> f64 {
+        let (shared, island) = self.client_powers[index];
+        if island.value() == 0.0 {
+            0.0
+        } else {
+            shared.value() / island.value() - 1.0
+        }
+    }
+}
+
+/// Smallest word at which `load` sustains `rate`, floored at the
+/// load's MEP word.
+fn word_for(
+    tech: &Technology,
+    load: &dyn CircuitLoad,
+    env: Environment,
+    rate: Hertz,
+) -> Result<VoltageWord, SupplyRangeError> {
+    let mep = subvt_device::mep::find_mep(
+        tech,
+        load.profile(),
+        env,
+        tech.min_vdd + Volts(0.02),
+        Volts(0.9),
+    )?;
+    let mep_word = ((mep.vopt.volts() / 0.018_75).ceil().clamp(1.0, 63.0)) as VoltageWord;
+    for word in mep_word..=63 {
+        let v = word_voltage(word);
+        if let Ok(max) = load.max_rate(tech, v, env, GateMismatch::NOMINAL) {
+            if max.value() >= rate.value() {
+                return Ok(word);
+            }
+        }
+    }
+    Ok(63)
+}
+
+/// Power of `load` meeting `rate` at supply `v` (per-op energy at the
+/// offered rate plus gated idle leakage).
+fn power_at(
+    tech: &Technology,
+    load: &dyn CircuitLoad,
+    env: Environment,
+    v: Volts,
+    rate: Hertz,
+    idle_retention: f64,
+) -> Result<Joules, SupplyRangeError> {
+    let e = load.energy_per_op(tech, v, env)?;
+    let busy = (rate.value() * e.cycle_time.value()).min(1.0);
+    let idle_power = e.leak_current.value() * v.volts() * idle_retention;
+    Ok(Joules(
+        rate.value() * e.total().value() + idle_power * (1.0 - busy),
+    ))
+}
+
+/// Compares one shared rail against per-load islands for `clients`.
+///
+/// # Errors
+///
+/// Returns [`SupplyRangeError`] when any load's demand is unreachable.
+///
+/// # Panics
+///
+/// Panics if `clients` is empty.
+pub fn compare_shared_rail(
+    tech: &Technology,
+    env: Environment,
+    clients: &[RailClient<'_>],
+    idle_retention: f64,
+) -> Result<RailComparison, SupplyRangeError> {
+    assert!(!clients.is_empty(), "need at least one rail client");
+    let mut island_words = Vec::with_capacity(clients.len());
+    for c in clients {
+        island_words.push(word_for(tech, c.load, env, c.rate)?);
+    }
+    let shared_word = *island_words.iter().max().expect("non-empty");
+
+    let mut shared_power = 0.0;
+    let mut island_power = 0.0;
+    let mut client_powers = Vec::with_capacity(clients.len());
+    for (c, &w) in clients.iter().zip(&island_words) {
+        let shared = power_at(
+            tech,
+            c.load,
+            env,
+            word_voltage(shared_word),
+            c.rate,
+            idle_retention,
+        )?;
+        let island = power_at(tech, c.load, env, word_voltage(w), c.rate, idle_retention)?;
+        shared_power += shared.value();
+        island_power += island.value();
+        client_powers.push((shared, island));
+    }
+    Ok(RailComparison {
+        shared_word,
+        island_words,
+        shared_power: Joules(shared_power),
+        island_power: Joules(island_power),
+        client_powers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subvt_loads::adder::RippleCarryAdder;
+    use subvt_loads::fir::FirFilter;
+    use subvt_loads::ring_oscillator::RingOscillator;
+
+    #[test]
+    fn mismatched_demands_make_sharing_expensive_for_the_slow_client() {
+        // A slow sensor-sampling ring plus a fast FIR: the shared rail
+        // must run at the FIR's word and the ring pays the V² premium —
+        // invisible in the total (the FIR dominates) but large for the
+        // ring itself.
+        let tech = Technology::st_130nm();
+        let env = Environment::nominal();
+        let ring = RingOscillator::paper_circuit();
+        let fir = FirFilter::lowpass_9tap();
+        let clients = [
+            RailClient {
+                load: &ring,
+                rate: Hertz(20e3),
+            },
+            RailClient {
+                load: &fir,
+                rate: Hertz(2e6),
+            },
+        ];
+        let cmp = compare_shared_rail(&tech, env, &clients, 0.05).unwrap();
+        assert!(cmp.shared_word > cmp.island_words[0]);
+        assert!(
+            cmp.client_penalty(0) > 0.5,
+            "ring's own penalty {}",
+            cmp.client_penalty(0)
+        );
+        assert!(cmp.client_penalty(1).abs() < 1e-9, "the pace-setter pays nothing");
+    }
+
+    #[test]
+    fn comparable_clients_show_the_penalty_in_the_total() {
+        // Two FIR-class blocks with a 3-4 word spread in demand and
+        // comparable power budgets: the total rises visibly.
+        let tech = Technology::st_130nm();
+        let env = Environment::nominal();
+        let a = FirFilter::lowpass_9tap();
+        let b = FirFilter::lowpass_9tap();
+        let clients = [
+            RailClient {
+                load: &a,
+                rate: Hertz(1.0e6),
+            },
+            RailClient {
+                load: &b,
+                rate: Hertz(2.5e6),
+            },
+        ];
+        let cmp = compare_shared_rail(&tech, env, &clients, 0.05).unwrap();
+        assert!(cmp.island_words[1] > cmp.island_words[0]);
+        assert!(
+            cmp.sharing_penalty() > 0.05,
+            "total penalty {}",
+            cmp.sharing_penalty()
+        );
+    }
+
+    #[test]
+    fn matched_demands_share_for_free() {
+        let tech = Technology::st_130nm();
+        let env = Environment::nominal();
+        let a = RingOscillator::paper_circuit();
+        let b = RingOscillator::paper_circuit();
+        let clients = [
+            RailClient {
+                load: &a,
+                rate: Hertz(100e3),
+            },
+            RailClient {
+                load: &b,
+                rate: Hertz(100e3),
+            },
+        ];
+        let cmp = compare_shared_rail(&tech, env, &clients, 0.05).unwrap();
+        assert_eq!(cmp.island_words[0], cmp.island_words[1]);
+        assert!(cmp.sharing_penalty().abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_word_is_the_max_island_word() {
+        let tech = Technology::st_130nm();
+        let env = Environment::nominal();
+        let ring = RingOscillator::paper_circuit();
+        let fir = FirFilter::lowpass_9tap();
+        let adder = RippleCarryAdder::new(16);
+        let clients = [
+            RailClient { load: &ring, rate: Hertz(50e3) },
+            RailClient { load: &fir, rate: Hertz(500e3) },
+            RailClient { load: &adder, rate: Hertz(3e6) },
+        ];
+        let cmp = compare_shared_rail(&tech, env, &clients, 0.05).unwrap();
+        assert_eq!(
+            cmp.shared_word,
+            *cmp.island_words.iter().max().unwrap()
+        );
+        assert_eq!(cmp.island_words.len(), 3);
+        assert!(cmp.shared_power.value() >= cmp.island_power.value());
+    }
+
+    #[test]
+    fn island_words_never_sink_below_each_mep() {
+        // Even a trivial rate demand floors at the load's MEP word.
+        let tech = Technology::st_130nm();
+        let env = Environment::nominal();
+        let ring = RingOscillator::paper_circuit();
+        let clients = [RailClient {
+            load: &ring,
+            rate: Hertz(1.0),
+        }];
+        let cmp = compare_shared_rail(&tech, env, &clients, 0.05).unwrap();
+        assert!(cmp.island_words[0] >= 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rail client")]
+    fn empty_client_list_rejected() {
+        let tech = Technology::st_130nm();
+        let _ = compare_shared_rail(&tech, Environment::nominal(), &[], 0.05);
+    }
+}

@@ -1,0 +1,192 @@
+//! Closed-loop transient reproduction of the paper's Fig. 6.
+//!
+//! The figure shows the switched converter stepping its output as the
+//! rate controller issues new words: an initial 350 mV (word 19), a
+//! step down to 220 mV (word 12), and a step up to 880 mV (word 47),
+//! with the PWM waveform underneath.
+
+use subvt_dcdc::converter::{ConverterParams, DcDcConverter};
+use subvt_dcdc::filter::LoadCurrent;
+use subvt_device::units::Volts;
+use subvt_digital::lut::VoltageWord;
+use subvt_sim::time::SimTime;
+use subvt_sim::trace::AnalogTrace;
+
+/// One commanded step of the transient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransientStep {
+    /// Voltage word loaded into the converter.
+    pub word: VoltageWord,
+    /// System cycles (µs) to hold it.
+    pub cycles: u64,
+}
+
+/// The paper's Fig. 6 schedule. The figure's annotations: "Initial
+/// V_dd = 350 mV" (word 19 ≈ 356 mV), "V_dd from 350 mV to 220 mV"
+/// (word 12 ≈ 225 mV), "V_dd from 220 mV to 880 mV" (word 47 ≈ 881 mV).
+pub fn fig6_schedule() -> Vec<TransientStep> {
+    vec![
+        TransientStep { word: 19, cycles: 60 },
+        TransientStep { word: 12, cycles: 60 },
+        TransientStep { word: 47, cycles: 60 },
+    ]
+}
+
+/// Summary of one settled segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentSummary {
+    /// The commanded word.
+    pub word: VoltageWord,
+    /// Ideal target voltage (`word × 18.75 mV`).
+    pub target: Volts,
+    /// Mean output over the last fifth of the segment.
+    pub settled: Volts,
+    /// Peak-to-peak ripple over the last fifth of the segment.
+    pub ripple: Volts,
+    /// System cycles until the output entered and stayed within
+    /// half an LSB of the settled value (`None` if it never did).
+    pub settling_cycles: Option<u64>,
+    /// Segment start time.
+    pub start: SimTime,
+    /// Segment end time.
+    pub end: SimTime,
+}
+
+/// Result of a transient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientResult {
+    /// The full output-voltage trace (one sample per 64 MHz tick).
+    pub trace: AnalogTrace,
+    /// Per-step summaries.
+    pub segments: Vec<SegmentSummary>,
+}
+
+/// Runs a transient schedule on the switched converter driving `load`.
+///
+/// # Panics
+///
+/// Panics if `steps` is empty.
+pub fn run_transient(
+    params: ConverterParams,
+    load: Box<dyn LoadCurrent>,
+    steps: &[TransientStep],
+) -> TransientResult {
+    assert!(!steps.is_empty(), "need at least one transient step");
+    let mut converter = DcDcConverter::new(params, load);
+    converter.enable_trace("v_out");
+    let mut segments = Vec::with_capacity(steps.len());
+    for step in steps {
+        let start = converter.now();
+        converter.set_word(step.word);
+        converter.run_system_cycles(step.cycles);
+        let end = converter.now();
+        segments.push((step.word, start, end));
+    }
+    let trace = converter.take_trace().expect("tracing was enabled");
+
+    let cycle = SimTime::ZERO + subvt_sim::time::SimDuration::from_micros(1);
+    let cycle_span = cycle.since(SimTime::ZERO);
+    let summaries = segments
+        .into_iter()
+        .map(|(word, start, end)| {
+            let span = end.since(start);
+            let tail_start = start + (span - span / 5);
+            let settled = Volts(trace.mean(tail_start, end).unwrap_or(0.0));
+            let ripple = Volts(trace.ripple(tail_start, end).unwrap_or(0.0));
+            let target = DcDcConverter::ideal_vout(word);
+            let settling_cycles = trace
+                .settling_time_in(start, end, settled.volts(), 0.009_375)
+                .map(|t| t.since(start).femtos() / cycle_span.femtos());
+            SegmentSummary {
+                word,
+                target,
+                settled,
+                ripple,
+                settling_cycles,
+                start,
+                end,
+            }
+        })
+        .collect();
+    TransientResult {
+        trace,
+        segments: summaries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subvt_dcdc::filter::ConstantLoad;
+    use subvt_device::units::Amps;
+
+    fn fig6() -> TransientResult {
+        run_transient(
+            ConverterParams::default(),
+            Box::new(ConstantLoad(Amps(5e-6))),
+            &fig6_schedule(),
+        )
+    }
+
+    #[test]
+    fn fig6_reaches_all_three_levels() {
+        let r = fig6();
+        assert_eq!(r.segments.len(), 3);
+        let targets = [356.25, 225.0, 881.25];
+        for (seg, target) in r.segments.iter().zip(targets) {
+            assert!(
+                (seg.settled.millivolts() - target).abs() < 12.0,
+                "word {}: settled {} vs {target} mV",
+                seg.word,
+                seg.settled.millivolts()
+            );
+        }
+    }
+
+    #[test]
+    fn fig6_steps_in_the_right_directions() {
+        let r = fig6();
+        assert!(r.segments[1].settled.volts() < r.segments[0].settled.volts());
+        assert!(r.segments[2].settled.volts() > r.segments[1].settled.volts());
+    }
+
+    #[test]
+    fn ripple_stays_below_one_lsb() {
+        let r = fig6();
+        for seg in &r.segments {
+            assert!(
+                seg.ripple.millivolts() < 18.75,
+                "word {}: ripple {} mV",
+                seg.word,
+                seg.ripple.millivolts()
+            );
+        }
+    }
+
+    #[test]
+    fn settling_happens_within_the_segment() {
+        let r = fig6();
+        for seg in &r.segments {
+            let cycles = seg.settling_cycles.expect("settles");
+            assert!(cycles < 55, "word {}: {} cycles", seg.word, cycles);
+        }
+    }
+
+    #[test]
+    fn trace_covers_the_whole_run() {
+        let r = fig6();
+        assert!(!r.trace.is_empty());
+        let last = r.segments.last().unwrap().end;
+        assert!(r.trace.samples().last().unwrap().0 >= last);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one transient step")]
+    fn empty_schedule_rejected() {
+        let _ = run_transient(
+            ConverterParams::default(),
+            Box::new(ConstantLoad(Amps(1e-6))),
+            &[],
+        );
+    }
+}

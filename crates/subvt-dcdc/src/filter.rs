@@ -1,0 +1,254 @@
+//! The converter's off-chip LC output filter as an ODE system.
+//!
+//! Paper Sec. III: "The average voltage is dependent on the low pass
+//! filter consisting of external components L and C."
+//!
+//! State vector: `y = [i_L (A), v_out (V)]` with
+//!
+//! ```text
+//! di_L/dt  = (v_sw − i_L·(r_src + DCR) − v_out) / L
+//! dv_out/dt = (i_L − i_load(v_out)) / C
+//! ```
+//!
+//! where `(v_sw, r_src)` is the power stage's Thevenin equivalent for
+//! the current PWM level.
+
+use std::fmt;
+
+use subvt_device::units::{Amps, Farads, Henries, Ohms, Volts};
+use subvt_sim::analog::OdeSystem;
+
+/// A load seen by the converter output.
+pub trait LoadCurrent: fmt::Debug {
+    /// Current drawn at output voltage `v`.
+    fn current(&self, v: Volts) -> Amps;
+}
+
+/// An open-circuit output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NoLoad;
+
+impl LoadCurrent for NoLoad {
+    fn current(&self, _v: Volts) -> Amps {
+        Amps::ZERO
+    }
+}
+
+/// A resistive load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResistiveLoad(pub Ohms);
+
+impl LoadCurrent for ResistiveLoad {
+    fn current(&self, v: Volts) -> Amps {
+        Amps(v.volts() / self.0.value())
+    }
+}
+
+/// A constant-current sink (clamped to zero below 0 V).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantLoad(pub Amps);
+
+impl LoadCurrent for ConstantLoad {
+    fn current(&self, v: Volts) -> Amps {
+        if v.volts() > 0.0 {
+            self.0
+        } else {
+            Amps::ZERO
+        }
+    }
+}
+
+/// Passive values of the output filter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilterParams {
+    /// Output inductance.
+    pub inductance: Henries,
+    /// Output capacitance.
+    pub capacitance: Farads,
+    /// Inductor series resistance (DCR).
+    pub dcr: Ohms,
+}
+
+impl Default for FilterParams {
+    fn default() -> FilterParams {
+        // Chosen so the 1 MHz PWM ripple stays well below one
+        // 18.75 mV LSB while settling within a few tens of system
+        // cycles (ζ ≈ 0.5 with the power-stage resistance in series).
+        FilterParams {
+            inductance: Henries(22e-6),
+            capacitance: Farads(470e-9),
+            dcr: Ohms(2.0),
+        }
+    }
+}
+
+impl FilterParams {
+    /// Natural (undamped) resonance frequency of the filter in hertz.
+    pub fn natural_frequency(&self) -> f64 {
+        1.0 / (std::f64::consts::TAU
+            * (self.inductance.value() * self.capacitance.value()).sqrt())
+    }
+}
+
+/// The buck output filter with its driving Thevenin source.
+#[derive(Debug)]
+pub struct BuckFilter {
+    params: FilterParams,
+    /// Thevenin source voltage of the power stage (set per PWM tick).
+    pub source_voltage: Volts,
+    /// Thevenin source resistance of the power stage.
+    pub source_resistance: Ohms,
+    load: Box<dyn LoadCurrent>,
+}
+
+impl BuckFilter {
+    /// Index of the inductor current in the state vector.
+    pub const STATE_CURRENT: usize = 0;
+    /// Index of the output voltage in the state vector.
+    pub const STATE_VOUT: usize = 1;
+
+    /// Creates a filter driven into `load`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless L and C are positive.
+    pub fn new(params: FilterParams, load: Box<dyn LoadCurrent>) -> BuckFilter {
+        assert!(
+            params.inductance.value() > 0.0 && params.capacitance.value() > 0.0,
+            "L and C must be positive"
+        );
+        BuckFilter {
+            params,
+            source_voltage: Volts::ZERO,
+            source_resistance: Ohms(1e9),
+            load,
+        }
+    }
+
+    /// Filter passives.
+    pub fn params(&self) -> FilterParams {
+        self.params
+    }
+
+    /// The attached load.
+    pub fn load(&self) -> &dyn LoadCurrent {
+        self.load.as_ref()
+    }
+
+    /// Replaces the load (e.g. when the workload changes).
+    pub fn set_load(&mut self, load: Box<dyn LoadCurrent>) {
+        self.load = load;
+    }
+
+    /// Instantaneous conduction-loss power for a state vector.
+    pub fn conduction_loss(&self, y: &[f64]) -> f64 {
+        let i = y[Self::STATE_CURRENT];
+        i * i * (self.source_resistance.value() + self.params.dcr.value())
+    }
+}
+
+impl OdeSystem for BuckFilter {
+    fn dim(&self) -> usize {
+        2
+    }
+
+    fn derivatives(&self, _t: f64, y: &[f64], dydt: &mut [f64]) {
+        let i_l = y[Self::STATE_CURRENT];
+        let v_out = y[Self::STATE_VOUT];
+        let r = self.source_resistance.value() + self.params.dcr.value();
+        dydt[Self::STATE_CURRENT] =
+            (self.source_voltage.volts() - i_l * r - v_out) / self.params.inductance.value();
+        dydt[Self::STATE_VOUT] =
+            (i_l - self.load.current(Volts(v_out)).value()) / self.params.capacitance.value();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subvt_sim::analog::{integrate_span, IntegrationMethod};
+
+    #[test]
+    fn loads_draw_expected_current() {
+        assert_eq!(NoLoad.current(Volts(0.5)), Amps::ZERO);
+        let r = ResistiveLoad(Ohms(1000.0));
+        assert!((r.current(Volts(0.5)).value() - 0.5e-3).abs() < 1e-12);
+        let c = ConstantLoad(Amps(1e-6));
+        assert_eq!(c.current(Volts(0.5)).value(), 1e-6);
+        assert_eq!(c.current(Volts(-0.1)).value(), 0.0);
+    }
+
+    #[test]
+    fn dc_steady_state_follows_source() {
+        // Constant source: v_out settles to v_src (minus IR drop with a
+        // resistive load).
+        let mut f = BuckFilter::new(FilterParams::default(), Box::new(ResistiveLoad(Ohms(1e4))));
+        f.source_voltage = Volts(0.6);
+        f.source_resistance = Ohms(5.0);
+        let mut y = [0.0, 0.0];
+        // 200 µs is >> the settle time.
+        integrate_span(&f, IntegrationMethod::Rk4, 0.0, &mut y, 200e-6, 200_000);
+        let expected = 0.6 * 1e4 / (1e4 + 7.0);
+        assert!(
+            (y[BuckFilter::STATE_VOUT] - expected).abs() < 1e-3,
+            "vout {} vs {expected}",
+            y[1]
+        );
+        let i_expected = expected / 1e4;
+        assert!((y[BuckFilter::STATE_CURRENT] - i_expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn natural_frequency_of_defaults() {
+        let f0 = FilterParams::default().natural_frequency();
+        assert!((4e4..8e4).contains(&f0), "f0 = {f0} Hz");
+    }
+
+    #[test]
+    fn response_is_reasonably_damped() {
+        // With the power-stage resistance in series, overshoot must be
+        // modest (no multi-cycle ringing that would confuse the
+        // up/down comparator).
+        let mut f = BuckFilter::new(FilterParams::default(), Box::new(NoLoad));
+        f.source_voltage = Volts(0.356);
+        f.source_resistance = Ohms(5.0);
+        let mut y = [0.0, 0.0];
+        let mut peak: f64 = 0.0;
+        for _ in 0..400 {
+            integrate_span(&f, IntegrationMethod::Rk4, 0.0, &mut y, 0.5e-6, 100);
+            peak = peak.max(y[BuckFilter::STATE_VOUT]);
+        }
+        assert!(peak < 0.356 * 1.25, "overshoot too large: {peak}");
+        assert!((y[BuckFilter::STATE_VOUT] - 0.356).abs() < 2e-3);
+    }
+
+    #[test]
+    fn conduction_loss_is_quadratic_in_current() {
+        let mut f = BuckFilter::new(FilterParams::default(), Box::new(NoLoad));
+        f.source_resistance = Ohms(5.0);
+        let p1 = f.conduction_loss(&[0.01, 0.3]);
+        let p2 = f.conduction_loss(&[0.02, 0.3]);
+        assert!((p2 / p1 - 4.0).abs() < 1e-9);
+        assert!((p1 - 0.0001 * 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_swap() {
+        let mut f = BuckFilter::new(FilterParams::default(), Box::new(NoLoad));
+        assert_eq!(f.load().current(Volts(1.0)).value(), 0.0);
+        f.set_load(Box::new(ConstantLoad(Amps(2e-6))));
+        assert_eq!(f.load().current(Volts(1.0)).value(), 2e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "L and C must be positive")]
+    fn zero_inductance_rejected() {
+        let _ = BuckFilter::new(
+            FilterParams {
+                inductance: Henries(0.0),
+                ..FilterParams::default()
+            },
+            Box::new(NoLoad),
+        );
+    }
+}

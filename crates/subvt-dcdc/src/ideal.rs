@@ -1,0 +1,86 @@
+//! An ideal (instantaneous, lossless) converter model.
+//!
+//! Used as the reference for converter-accuracy experiments and to run
+//! long energy studies where the switched LC dynamics are irrelevant.
+
+use subvt_device::constants::DCDC_LSB;
+use subvt_device::units::Volts;
+use subvt_digital::lut::VoltageWord;
+
+/// An ideal DC-DC converter: the output steps instantly to
+/// `word × 18.75 mV` with no ripple or loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IdealConverter {
+    word: VoltageWord,
+    trim: i16,
+}
+
+impl IdealConverter {
+    /// Creates an ideal converter at word 0 (output off).
+    pub fn new() -> IdealConverter {
+        IdealConverter { word: 0, trim: 0 }
+    }
+
+    /// Loads a voltage word.
+    pub fn set_word(&mut self, word: VoltageWord) {
+        self.word = word.min(63);
+    }
+
+    /// Current word.
+    pub fn word(&self) -> VoltageWord {
+        self.word
+    }
+
+    /// Applies a ±LSB trim on top of the word (the comparator loop).
+    pub fn set_trim(&mut self, trim: i16) {
+        self.trim = trim;
+    }
+
+    /// Current trim.
+    pub fn trim(&self) -> i16 {
+        self.trim
+    }
+
+    /// Output voltage: `(word + trim) × 18.75 mV`, clamped to 0–1.2 V.
+    pub fn vout(&self) -> Volts {
+        let code = (i16::from(self.word) + self.trim).clamp(0, 63);
+        DCDC_LSB * f64::from(code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_is_word_times_lsb() {
+        let mut c = IdealConverter::new();
+        assert_eq!(c.vout(), Volts::ZERO);
+        c.set_word(19);
+        assert!((c.vout().millivolts() - 356.25).abs() < 1e-9);
+        c.set_word(64);
+        assert_eq!(c.word(), 63);
+    }
+
+    #[test]
+    fn trim_shifts_by_lsbs() {
+        let mut c = IdealConverter::new();
+        c.set_word(12);
+        c.set_trim(1);
+        assert!((c.vout().millivolts() - 243.75).abs() < 1e-9);
+        c.set_trim(-2);
+        assert!((c.vout().millivolts() - 187.5).abs() < 1e-9);
+        assert_eq!(c.trim(), -2);
+    }
+
+    #[test]
+    fn trim_clamps_at_range() {
+        let mut c = IdealConverter::new();
+        c.set_word(63);
+        c.set_trim(10);
+        assert!((c.vout().volts() - 1.2 * 63.0 / 64.0).abs() < 1e-9);
+        c.set_word(0);
+        c.set_trim(-5);
+        assert_eq!(c.vout(), Volts::ZERO);
+    }
+}

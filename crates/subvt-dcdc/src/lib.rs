@@ -1,0 +1,44 @@
+//! # subvt-dcdc
+//!
+//! The all-digital DC-DC converter of *"Variation Resilient Adaptive
+//! Controller for Subthreshold Circuits"* (DATE 2009): an "ultra
+//! dynamic voltage scaling" buck converter producing any Vdd from 0 to
+//! 1.2 V with a resolution of 1.2 V / 2⁶ = 18.75 mV.
+//!
+//! * [`power_stage`] — the selectable PMOS/NMOS power transistor array;
+//! * [`filter`] — the off-chip LC output filter as an ODE, plus load
+//!   models;
+//! * [`converter`] — the switched converter: 64 MHz PWM ticks
+//!   co-simulated with the filter (RK4), with loss accounting and
+//!   waveform tracing;
+//! * [`ideal`] — an instantaneous lossless reference converter.
+//!
+//! ## Example
+//!
+//! Regulate the paper's word 19 (≈ 356 mV):
+//!
+//! ```
+//! use subvt_dcdc::converter::{ConverterParams, DcDcConverter};
+//! use subvt_dcdc::filter::NoLoad;
+//!
+//! let mut dcdc = DcDcConverter::new(ConverterParams::default(), Box::new(NoLoad));
+//! dcdc.set_word(19);
+//! dcdc.run_system_cycles(120); // 120 µs of simulated time
+//! let vout = dcdc.vout().millivolts();
+//! assert!((vout - 356.25).abs() < 10.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod converter;
+pub mod efficiency;
+pub mod filter;
+pub mod ideal;
+pub mod power_stage;
+
+pub use converter::{ConverterParams, DcDcConverter, ModulationMode};
+pub use efficiency::{best_group_count, measure_efficiency, EfficiencyPoint, SwitchingLossModel};
+pub use filter::{BuckFilter, ConstantLoad, FilterParams, LoadCurrent, NoLoad, ResistiveLoad};
+pub use ideal::IdealConverter;
+pub use power_stage::{PowerStageParams, PowerTransistorArray};

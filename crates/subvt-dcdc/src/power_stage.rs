@@ -1,0 +1,210 @@
+//! The power transistor array (paper Sec. III).
+//!
+//! "The power transistor array has several back to back transistors
+//! connected together. By doing so we could select a group of PMOS and
+//! NMOS transistors based on the workload. For the highest workload,
+//! all the transistors in the array is selected."
+//!
+//! The array is a synchronous buck leg: the PMOS bank connects the
+//! switch node to the battery while the PWM is high, the NMOS bank
+//! connects it to ground while the PWM is low. Selecting fewer groups
+//! raises the effective on-resistance (right-sizing conduction loss to
+//! the load).
+
+use std::fmt;
+
+use subvt_device::units::{Ohms, Volts};
+use subvt_sim::logic::Logic;
+
+/// Configuration of the transistor array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerStageParams {
+    /// Number of selectable transistor groups.
+    pub groups: u32,
+    /// On-resistance of the full PMOS bank (all groups selected).
+    pub pmos_full_on: Ohms,
+    /// On-resistance of the full NMOS bank.
+    pub nmos_full_on: Ohms,
+    /// Off-resistance of a bank.
+    pub off_resistance: Ohms,
+}
+
+impl Default for PowerStageParams {
+    fn default() -> PowerStageParams {
+        PowerStageParams {
+            groups: 8,
+            pmos_full_on: Ohms(5.0),
+            nmos_full_on: Ohms(4.0),
+            off_resistance: Ohms(1e9),
+        }
+    }
+}
+
+/// The power transistor array with its current group selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerTransistorArray {
+    params: PowerStageParams,
+    selected: u32,
+}
+
+impl PowerTransistorArray {
+    /// Creates an array with all groups selected (highest workload).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter set has zero groups or non-positive
+    /// resistances.
+    pub fn new(params: PowerStageParams) -> PowerTransistorArray {
+        assert!(params.groups > 0, "need at least one transistor group");
+        assert!(
+            params.pmos_full_on.value() > 0.0
+                && params.nmos_full_on.value() > 0.0
+                && params.off_resistance.value() > 0.0,
+            "resistances must be positive"
+        );
+        PowerTransistorArray {
+            params,
+            selected: params.groups,
+        }
+    }
+
+    /// Array configuration.
+    pub fn params(&self) -> PowerStageParams {
+        self.params
+    }
+
+    /// Currently selected group count.
+    pub fn selected_groups(&self) -> u32 {
+        self.selected
+    }
+
+    /// Selects `groups` of the array (clamped to `1..=groups`).
+    pub fn select_groups(&mut self, groups: u32) {
+        self.selected = groups.clamp(1, self.params.groups);
+    }
+
+    /// Picks a group count for a workload fraction (0..=1 of peak load
+    /// current); the paper selects "based on the workload".
+    pub fn select_for_workload(&mut self, fraction: f64) {
+        let f = fraction.clamp(0.0, 1.0);
+        let g = (f * f64::from(self.params.groups)).ceil() as u32;
+        self.select_groups(g.max(1));
+    }
+
+    /// High-side (PMOS, to the battery) resistance for a PWM level.
+    /// An `Unknown` PWM level leaves both banks off (safe state).
+    pub fn high_side(&self, pwm: Logic) -> Ohms {
+        if pwm.is_high() {
+            Ohms(self.params.pmos_full_on.value() * f64::from(self.params.groups)
+                / f64::from(self.selected))
+        } else {
+            self.params.off_resistance
+        }
+    }
+
+    /// Low-side (NMOS, to ground) resistance for a PWM level.
+    pub fn low_side(&self, pwm: Logic) -> Ohms {
+        if pwm.is_low() {
+            Ohms(self.params.nmos_full_on.value() * f64::from(self.params.groups)
+                / f64::from(self.selected))
+        } else {
+            self.params.off_resistance
+        }
+    }
+
+    /// Thevenin equivalent seen by the inductor: `(open-circuit switch
+    /// node voltage, source resistance)` for a given PWM level and
+    /// battery voltage.
+    pub fn thevenin(&self, pwm: Logic, vbat: Volts) -> (Volts, Ohms) {
+        let gh = 1.0 / self.high_side(pwm).value();
+        let gl = 1.0 / self.low_side(pwm).value();
+        let g = gh + gl;
+        (Volts(vbat.volts() * gh / g), Ohms(1.0 / g))
+    }
+}
+
+impl fmt::Display for PowerTransistorArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "array {}/{} groups",
+            self.selected, self.params.groups
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_array_has_lowest_resistance() {
+        let a = PowerTransistorArray::new(PowerStageParams::default());
+        assert_eq!(a.selected_groups(), 8);
+        assert_eq!(a.high_side(Logic::High).value(), 5.0);
+        assert_eq!(a.low_side(Logic::Low).value(), 4.0);
+    }
+
+    #[test]
+    fn fewer_groups_raise_resistance() {
+        let mut a = PowerTransistorArray::new(PowerStageParams::default());
+        a.select_groups(2);
+        assert_eq!(a.high_side(Logic::High).value(), 20.0);
+        a.select_groups(0);
+        assert_eq!(a.selected_groups(), 1, "clamps to one group");
+        a.select_groups(100);
+        assert_eq!(a.selected_groups(), 8);
+    }
+
+    #[test]
+    fn workload_selection_scales_groups() {
+        let mut a = PowerTransistorArray::new(PowerStageParams::default());
+        a.select_for_workload(1.0);
+        assert_eq!(a.selected_groups(), 8);
+        a.select_for_workload(0.3);
+        assert_eq!(a.selected_groups(), 3);
+        a.select_for_workload(0.0);
+        assert_eq!(a.selected_groups(), 1);
+    }
+
+    #[test]
+    fn synchronous_switching() {
+        let a = PowerTransistorArray::new(PowerStageParams::default());
+        // PWM high: high side conducts, low side off.
+        assert!(a.high_side(Logic::High).value() < 10.0);
+        assert!(a.low_side(Logic::High).value() > 1e6);
+        // PWM low: reversed.
+        assert!(a.high_side(Logic::Low).value() > 1e6);
+        assert!(a.low_side(Logic::Low).value() < 10.0);
+        // Unknown: both off.
+        assert!(a.high_side(Logic::Unknown).value() > 1e6);
+        assert!(a.low_side(Logic::Unknown).value() > 1e6);
+    }
+
+    #[test]
+    fn thevenin_tracks_pwm() {
+        let a = PowerTransistorArray::new(PowerStageParams::default());
+        let (v_high, r_high) = a.thevenin(Logic::High, Volts(1.2));
+        assert!((v_high.volts() - 1.2).abs() < 1e-6, "≈Vbat when high");
+        assert!((r_high.value() - 5.0).abs() < 0.01);
+        let (v_low, r_low) = a.thevenin(Logic::Low, Volts(1.2));
+        assert!(v_low.volts() < 1e-6, "≈0 when low");
+        assert!((r_low.value() - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn display_shows_selection() {
+        let mut a = PowerTransistorArray::new(PowerStageParams::default());
+        a.select_groups(3);
+        assert_eq!(format!("{a}"), "array 3/8 groups");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one transistor group")]
+    fn zero_groups_rejected() {
+        let _ = PowerTransistorArray::new(PowerStageParams {
+            groups: 0,
+            ..PowerStageParams::default()
+        });
+    }
+}

@@ -1,0 +1,26 @@
+//! Calibration driver: fits the device models to their published/
+//! representative delay anchors and prints the constants baked into
+//! `Technology::st_130nm` and `Technology::generic_65nm`.
+
+use subvt_device::calibration::{fit_delay_model, paper_delay_points, DelayPoint};
+use subvt_device::technology::Technology;
+use subvt_device::units::{Seconds, Volts};
+
+fn main() {
+    let fit = fit_delay_model(&Technology::st_130nm(), &paper_delay_points());
+    println!(
+        "st_130nm : slope={:.6} dibl={:.6} spec={:.6e} rms={:.2e}",
+        fit.slope_factor, fit.dibl, fit.nmos_spec, fit.rms_relative_error
+    );
+
+    let anchors_65 = [
+        DelayPoint { vdd: Volts(1.2), delay: Seconds::from_picos(40.0) },
+        DelayPoint { vdd: Volts(0.6), delay: Seconds::from_picos(200.0) },
+        DelayPoint { vdd: Volts(0.25), delay: Seconds::from_picos(25_000.0) },
+    ];
+    let fit65 = fit_delay_model(&Technology::generic_65nm(), &anchors_65);
+    println!(
+        "generic65: slope={:.6} dibl={:.6} spec={:.6e} rms={:.2e}",
+        fit65.slope_factor, fit65.dibl, fit65.nmos_spec, fit65.rms_relative_error
+    );
+}

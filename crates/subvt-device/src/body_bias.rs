@@ -1,0 +1,226 @@
+//! Body (back-gate) biasing — the variation-mitigation alternative the
+//! paper cites as reference \[8\] (Jayakumar & Khatri, DAC'05).
+//!
+//! A reverse body bias raises the threshold voltage (cuts leakage,
+//! slows the device); a forward bias lowers it (speeds the device,
+//! leaks more). The body-effect model is the standard first-order
+//!
+//! ```text
+//! ΔVth(Vbs) = γ·(√(2φ_F − Vbs) − √(2φ_F))
+//! ```
+//!
+//! clamped to the forward-bias safety limit (a strongly forward-biased
+//! junction would conduct).
+//!
+//! The controller comparison lives in `subvt-core`: adaptive *supply*
+//! scaling (the paper's proposal) vs adaptive *body* biasing at a fixed
+//! supply (the cited alternative).
+
+use crate::delay::GateMismatch;
+use crate::units::Volts;
+
+/// Body-effect parameters of a device flavour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BodyEffect {
+    /// Body-effect coefficient γ (√V).
+    pub gamma: f64,
+    /// Surface potential 2φ_F (V).
+    pub surface_potential: f64,
+    /// Most-negative (reverse) usable bias.
+    pub max_reverse: Volts,
+    /// Most-positive (forward) usable bias before the junction turns on.
+    pub max_forward: Volts,
+}
+
+impl BodyEffect {
+    /// Representative 0.13 µm bulk-CMOS body effect.
+    pub fn bulk_130nm() -> BodyEffect {
+        BodyEffect {
+            gamma: 0.25,
+            surface_potential: 0.85,
+            max_reverse: Volts(-1.2),
+            max_forward: Volts(0.5),
+        }
+    }
+
+    /// Threshold shift produced by a source-body bias `vbs`
+    /// (negative = reverse bias = higher Vth).
+    ///
+    /// The bias is clamped into the usable window first.
+    pub fn vth_shift(&self, vbs: Volts) -> Volts {
+        let v = vbs.clamp(self.max_reverse, self.max_forward).volts();
+        let base = self.surface_potential;
+        // Guard the square root: a forward bias cannot deplete beyond
+        // the surface potential.
+        let arg = (base - v).max(0.0);
+        Volts(self.gamma * (arg.sqrt() - base.sqrt()))
+    }
+
+    /// The bias needed to produce a desired threshold shift, by
+    /// bisection over the usable window. Returns `None` when the shift
+    /// is outside what the window can produce.
+    pub fn bias_for_shift(&self, target: Volts) -> Option<Volts> {
+        let lo = self.max_reverse;
+        let hi = self.max_forward;
+        let f = |v: Volts| self.vth_shift(v) - target;
+        // vth_shift is monotone decreasing in vbs.
+        if f(lo).volts() < 0.0 || f(hi).volts() > 0.0 {
+            return None;
+        }
+        let (mut lo, mut hi) = (lo.volts(), hi.volts());
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if f(Volts(mid)).volts() > 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(Volts(0.5 * (lo + hi)))
+    }
+}
+
+impl Default for BodyEffect {
+    fn default() -> Self {
+        BodyEffect::bulk_130nm()
+    }
+}
+
+/// A die-wide body-bias setting for both wells.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BodyBias {
+    /// nMOS p-well bias (Vbs; negative = reverse).
+    pub nmos_vbs: Volts,
+    /// pMOS n-well bias expressed in the same convention (negative =
+    /// reverse = higher |Vth|).
+    pub pmos_vbs: Volts,
+}
+
+impl BodyBias {
+    /// Zero bias.
+    pub const ZERO: BodyBias = BodyBias {
+        nmos_vbs: Volts(0.0),
+        pmos_vbs: Volts(0.0),
+    };
+
+    /// A symmetric bias applied to both wells.
+    pub fn symmetric(vbs: Volts) -> BodyBias {
+        BodyBias {
+            nmos_vbs: vbs,
+            pmos_vbs: vbs,
+        }
+    }
+
+    /// Converts the bias into the equivalent per-gate threshold
+    /// mismatch the rest of the stack understands, using `effect`.
+    ///
+    /// This composes with process mismatch: apply it on top of a die's
+    /// [`GateMismatch`] with [`BodyBias::compose`].
+    pub fn to_mismatch(&self, effect: &BodyEffect) -> GateMismatch {
+        GateMismatch {
+            nmos_dvth: effect.vth_shift(self.nmos_vbs),
+            pmos_dvth: effect.vth_shift(self.pmos_vbs),
+        }
+    }
+
+    /// The die mismatch seen by the circuit when this bias is applied
+    /// on top of intrinsic process mismatch.
+    pub fn compose(&self, effect: &BodyEffect, process: GateMismatch) -> GateMismatch {
+        let bias = self.to_mismatch(effect);
+        GateMismatch {
+            nmos_dvth: process.nmos_dvth + bias.nmos_dvth,
+            pmos_dvth: process.pmos_dvth + bias.pmos_dvth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bias_means_zero_shift() {
+        let e = BodyEffect::bulk_130nm();
+        assert!(e.vth_shift(Volts::ZERO).volts().abs() < 1e-12);
+    }
+
+    #[test]
+    fn reverse_bias_raises_vth() {
+        let e = BodyEffect::bulk_130nm();
+        let shift = e.vth_shift(Volts(-0.6));
+        assert!(shift.volts() > 0.02, "reverse shift {shift}");
+    }
+
+    #[test]
+    fn forward_bias_lowers_vth() {
+        let e = BodyEffect::bulk_130nm();
+        let shift = e.vth_shift(Volts(0.4));
+        assert!(shift.volts() < -0.02, "forward shift {shift}");
+    }
+
+    #[test]
+    fn shift_is_monotone_in_bias() {
+        let e = BodyEffect::bulk_130nm();
+        let mut last = f64::MAX;
+        for i in 0..=20 {
+            let v = -1.2 + 1.7 * f64::from(i) / 20.0;
+            let s = e.vth_shift(Volts(v)).volts();
+            assert!(s <= last + 1e-12, "not monotone at {v}");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn bias_clamps_to_window() {
+        let e = BodyEffect::bulk_130nm();
+        assert_eq!(e.vth_shift(Volts(-5.0)), e.vth_shift(Volts(-1.2)));
+        assert_eq!(e.vth_shift(Volts(2.0)), e.vth_shift(Volts(0.5)));
+    }
+
+    #[test]
+    fn bias_for_shift_round_trips() {
+        let e = BodyEffect::bulk_130nm();
+        for target_mv in [-25.0, -10.0, 0.0, 10.0, 25.0] {
+            let target = Volts::from_millivolts(target_mv);
+            let bias = e.bias_for_shift(target).expect("within window");
+            let achieved = e.vth_shift(bias);
+            assert!(
+                (achieved - target).volts().abs() < 1e-6,
+                "{target_mv} mV: achieved {achieved}"
+            );
+        }
+    }
+
+    #[test]
+    fn unreachable_shift_is_none() {
+        let e = BodyEffect::bulk_130nm();
+        assert_eq!(e.bias_for_shift(Volts(0.5)), None);
+        assert_eq!(e.bias_for_shift(Volts(-0.5)), None);
+    }
+
+    #[test]
+    fn bias_composes_with_process_mismatch() {
+        let e = BodyEffect::bulk_130nm();
+        let process = GateMismatch {
+            nmos_dvth: Volts(0.015),
+            pmos_dvth: Volts(0.015),
+        };
+        // A forward bias can cancel a slow die's extra threshold.
+        let bias = BodyBias::symmetric(e.bias_for_shift(Volts(-0.015)).unwrap());
+        let net = bias.compose(&e, process);
+        assert!(net.nmos_dvth.volts().abs() < 1e-6);
+        assert!(net.pmos_dvth.volts().abs() < 1e-6);
+    }
+
+    #[test]
+    fn asymmetric_bias_targets_one_well() {
+        let e = BodyEffect::bulk_130nm();
+        let bias = BodyBias {
+            nmos_vbs: Volts(-0.6),
+            pmos_vbs: Volts::ZERO,
+        };
+        let m = bias.to_mismatch(&e);
+        assert!(m.nmos_dvth.volts() > 0.0);
+        assert!(m.pmos_dvth.volts().abs() < 1e-12);
+    }
+}

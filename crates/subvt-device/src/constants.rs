@@ -1,0 +1,68 @@
+//! Physical constants and technology-wide reference values.
+
+use crate::units::{Kelvin, Volts};
+
+/// Boltzmann constant, J/K.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Elementary charge, C.
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+
+/// Nominal reference temperature for the 0.13 µm process (25 °C).
+pub const NOMINAL_CELSIUS: f64 = 25.0;
+
+/// Nominal supply voltage of the 0.13 µm process, 1.2 V.
+pub const NOMINAL_VDD: Volts = Volts(1.2);
+
+/// The DC-DC converter resolution of the paper: 1.2 V / 2^6 = 18.75 mV.
+pub const DCDC_LSB: Volts = Volts(1.2 / 64.0);
+
+/// Number of bits in the paper's voltage code (Sec. II-A: "the number of
+/// bits has been selected as 6").
+pub const CODE_BITS: u32 = 6;
+
+/// Number of code levels, 2^6 = 64.
+pub const CODE_LEVELS: u32 = 1 << CODE_BITS;
+
+/// Thermal voltage kT/q at an absolute temperature.
+///
+/// ```
+/// # use subvt_device::constants::thermal_voltage;
+/// # use subvt_device::units::Kelvin;
+/// let ut = thermal_voltage(Kelvin::from_celsius(25.0));
+/// assert!((ut.millivolts() - 25.69).abs() < 0.05);
+/// ```
+#[inline]
+pub fn thermal_voltage(temperature: Kelvin) -> Volts {
+    Volts(BOLTZMANN * temperature.value() / ELEMENTARY_CHARGE)
+}
+
+/// Returns the nominal reference temperature as an absolute temperature.
+#[inline]
+pub fn nominal_temperature() -> Kelvin {
+    Kelvin::from_celsius(NOMINAL_CELSIUS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_voltage_at_room_temperature() {
+        let ut = thermal_voltage(Kelvin(300.0));
+        assert!((ut.millivolts() - 25.85).abs() < 0.05);
+    }
+
+    #[test]
+    fn thermal_voltage_scales_linearly() {
+        let a = thermal_voltage(Kelvin(300.0));
+        let b = thermal_voltage(Kelvin(600.0));
+        assert!((b.value() / a.value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lsb_is_18_75_millivolts() {
+        assert!((DCDC_LSB.millivolts() - 18.75).abs() < 1e-12);
+        assert_eq!(CODE_LEVELS, 64);
+    }
+}

@@ -1,0 +1,183 @@
+//! Process corners of the 0.13 µm CMOS process.
+//!
+//! The paper (Sec. II) simulates slow (SS), typical (TT), fast (FF) and
+//! mixed fast-slow (FS) corners, with an nMOS threshold voltage of
+//! 302 mV (SS), 287 mV (TT) and 272 mV (FF) — a ±15 mV global shift that
+//! "can vary up to 10 %".
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::units::Volts;
+
+/// A named global process corner.
+///
+/// The first letter refers to the nMOS device, the second to the pMOS
+/// device (`Fs` = fast nMOS, slow pMOS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ProcessCorner {
+    /// Slow nMOS, slow pMOS.
+    Ss,
+    /// Typical nMOS, typical pMOS (nominal).
+    #[default]
+    Tt,
+    /// Fast nMOS, fast pMOS.
+    Ff,
+    /// Fast nMOS, slow pMOS.
+    Fs,
+    /// Slow nMOS, fast pMOS.
+    Sf,
+}
+
+/// The global threshold-voltage shift of a "slow" device relative to
+/// typical: 302 mV − 287 mV = +15 mV (paper Sec. II).
+pub const CORNER_VTH_SHIFT: Volts = Volts(0.015);
+
+impl ProcessCorner {
+    /// All corners the paper's Fig. 1 and Fig. 3 sweep, in the plotted
+    /// order.
+    pub const FIGURE_CORNERS: [ProcessCorner; 3] =
+        [ProcessCorner::Ss, ProcessCorner::Tt, ProcessCorner::Fs];
+
+    /// Every modelled corner.
+    pub const ALL: [ProcessCorner; 5] = [
+        ProcessCorner::Ss,
+        ProcessCorner::Tt,
+        ProcessCorner::Ff,
+        ProcessCorner::Fs,
+        ProcessCorner::Sf,
+    ];
+
+    /// Threshold-voltage shift of the nMOS device relative to typical.
+    ///
+    /// ```
+    /// # use subvt_device::corner::ProcessCorner;
+    /// assert!(ProcessCorner::Ss.nmos_vth_shift().volts() > 0.0);
+    /// assert!(ProcessCorner::Fs.nmos_vth_shift().volts() < 0.0);
+    /// ```
+    #[inline]
+    pub fn nmos_vth_shift(self) -> Volts {
+        match self {
+            ProcessCorner::Ss | ProcessCorner::Sf => CORNER_VTH_SHIFT,
+            ProcessCorner::Tt => Volts::ZERO,
+            ProcessCorner::Ff | ProcessCorner::Fs => -CORNER_VTH_SHIFT,
+        }
+    }
+
+    /// Threshold-voltage shift of the pMOS device relative to typical.
+    #[inline]
+    pub fn pmos_vth_shift(self) -> Volts {
+        match self {
+            ProcessCorner::Ss | ProcessCorner::Fs => CORNER_VTH_SHIFT,
+            ProcessCorner::Tt => Volts::ZERO,
+            ProcessCorner::Ff | ProcessCorner::Sf => -CORNER_VTH_SHIFT,
+        }
+    }
+
+    /// True for the corners where both devices shift the same way.
+    #[inline]
+    pub fn is_symmetric(self) -> bool {
+        matches!(
+            self,
+            ProcessCorner::Ss | ProcessCorner::Tt | ProcessCorner::Ff
+        )
+    }
+
+    /// Short uppercase name as used in the paper's figures.
+    #[inline]
+    pub fn name(self) -> &'static str {
+        match self {
+            ProcessCorner::Ss => "SS",
+            ProcessCorner::Tt => "TT",
+            ProcessCorner::Ff => "FF",
+            ProcessCorner::Fs => "FS",
+            ProcessCorner::Sf => "SF",
+        }
+    }
+}
+
+impl fmt::Display for ProcessCorner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing a [`ProcessCorner`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCornerError {
+    input: String,
+}
+
+impl fmt::Display for ParseCornerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown process corner `{}` (expected one of SS, TT, FF, FS, SF)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseCornerError {}
+
+impl FromStr for ProcessCorner {
+    type Err = ParseCornerError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "SS" => Ok(ProcessCorner::Ss),
+            "TT" => Ok(ProcessCorner::Tt),
+            "FF" => Ok(ProcessCorner::Ff),
+            "FS" => Ok(ProcessCorner::Fs),
+            "SF" => Ok(ProcessCorner::Sf),
+            _ => Err(ParseCornerError {
+                input: s.to_owned(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_vth_values() {
+        // nMOS Vth: 302 mV slow, 287 mV typical, 272 mV fast.
+        let typical = Volts(0.287);
+        let ss = typical + ProcessCorner::Ss.nmos_vth_shift();
+        let ff = typical + ProcessCorner::Ff.nmos_vth_shift();
+        assert!((ss.millivolts() - 302.0).abs() < 1e-9);
+        assert!((ff.millivolts() - 272.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fs_is_asymmetric() {
+        let fs = ProcessCorner::Fs;
+        assert!(!fs.is_symmetric());
+        assert!(fs.nmos_vth_shift().volts() < 0.0);
+        assert!(fs.pmos_vth_shift().volts() > 0.0);
+        assert!(ProcessCorner::Tt.is_symmetric());
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for corner in ProcessCorner::ALL {
+            let parsed: ProcessCorner = corner.name().parse().expect("round trip");
+            assert_eq!(parsed, corner);
+        }
+        assert_eq!("ss".parse::<ProcessCorner>(), Ok(ProcessCorner::Ss));
+        assert!("XX".parse::<ProcessCorner>().is_err());
+    }
+
+    #[test]
+    fn parse_error_message_names_input() {
+        let err = "weird".parse::<ProcessCorner>().unwrap_err();
+        assert!(err.to_string().contains("weird"));
+    }
+
+    #[test]
+    fn default_is_typical() {
+        assert_eq!(ProcessCorner::default(), ProcessCorner::Tt);
+    }
+}

@@ -1,0 +1,354 @@
+//! Gate-delay model: the CV/I metric on top of the EKV currents.
+//!
+//! Reproduces the paper's Fig. 3 (delay vs supply voltage per process
+//! corner, five decades on a log axis) and the published inverter
+//! delays used to calibrate the TDC: 102 ps @ 1.2 V, 442 ps @ 0.6 V and
+//! 79 430 ps @ 0.2 V at the typical corner.
+
+use std::fmt;
+
+use crate::mosfet::Environment;
+use crate::technology::{GateKind, Technology};
+use crate::units::{Seconds, Volts};
+
+/// Error returned when a delay/energy query is made below the
+/// technology's functional supply floor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupplyRangeError {
+    vdd: Volts,
+    min_vdd: Volts,
+}
+
+impl SupplyRangeError {
+    /// The offending supply voltage.
+    pub fn vdd(&self) -> Volts {
+        self.vdd
+    }
+}
+
+impl fmt::Display for SupplyRangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "supply voltage {} is below the functional floor {} of the technology",
+            self.vdd, self.min_vdd
+        )
+    }
+}
+
+impl std::error::Error for SupplyRangeError {}
+
+/// Per-instance threshold mismatch of the pull-down / pull-up networks.
+///
+/// Zero for a nominal gate; sampled by [`crate::variation`] for Monte
+/// Carlo analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GateMismatch {
+    /// Local nMOS threshold shift.
+    pub nmos_dvth: Volts,
+    /// Local pMOS threshold shift.
+    pub pmos_dvth: Volts,
+}
+
+impl GateMismatch {
+    /// A perfectly nominal gate.
+    pub const NOMINAL: GateMismatch = GateMismatch {
+        nmos_dvth: Volts(0.0),
+        pmos_dvth: Volts(0.0),
+    };
+}
+
+/// Gate-level timing queries against a [`Technology`].
+#[derive(Debug, Clone, Copy)]
+pub struct GateTiming<'a> {
+    tech: &'a Technology,
+}
+
+impl<'a> GateTiming<'a> {
+    /// Creates a timing view of a technology.
+    pub fn new(tech: &'a Technology) -> GateTiming<'a> {
+        GateTiming { tech }
+    }
+
+    /// The underlying technology.
+    pub fn technology(&self) -> &'a Technology {
+        self.tech
+    }
+
+    /// Propagation delay of `kind` at `vdd` in `env`, for a nominal
+    /// device, with a fanout-of-1 load.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SupplyRangeError`] when `vdd` is below the functional
+    /// floor of the technology.
+    ///
+    /// ```
+    /// # use subvt_device::delay::GateTiming;
+    /// # use subvt_device::technology::{Technology, GateKind};
+    /// # use subvt_device::mosfet::Environment;
+    /// # use subvt_device::units::Volts;
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let tech = Technology::st_130nm();
+    /// let timing = GateTiming::new(&tech);
+    /// let d = timing.gate_delay(GateKind::Inverter, Volts(1.2), Environment::nominal())?;
+    /// assert!((d.picos() - 102.0).abs() / 102.0 < 0.05);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn gate_delay(
+        &self,
+        kind: GateKind,
+        vdd: Volts,
+        env: Environment,
+    ) -> Result<Seconds, SupplyRangeError> {
+        self.gate_delay_with(kind, vdd, env, GateMismatch::NOMINAL, 1.0)
+    }
+
+    /// Propagation delay with explicit local mismatch and fanout.
+    ///
+    /// The delay is the average of the pull-up and pull-down
+    /// transitions, each modelled as `delay_fit · C_load · Vdd / I_on`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SupplyRangeError`] when `vdd` is below the functional
+    /// floor of the technology.
+    pub fn gate_delay_with(
+        &self,
+        kind: GateKind,
+        vdd: Volts,
+        env: Environment,
+        mismatch: GateMismatch,
+        fanout: f64,
+    ) -> Result<Seconds, SupplyRangeError> {
+        if !self.tech.is_operational(vdd) {
+            return Err(SupplyRangeError {
+                vdd,
+                min_vdd: self.tech.min_vdd,
+            });
+        }
+        let cap = self.tech.gate_cap.value() * kind.cap_factor() * fanout.max(0.0);
+        let (n_stack, p_stack) = kind.stack_factors();
+        let i_n = self.tech.nmos.on_current(vdd, env, mismatch.nmos_dvth).value() * n_stack;
+        let i_p = self.tech.pmos.on_current(vdd, env, mismatch.pmos_dvth).value() * p_stack;
+        let charge = self.tech.delay_fit * cap * vdd.volts();
+        let t_fall = charge / i_n;
+        let t_rise = charge / i_p;
+        Ok(Seconds(0.5 * (t_fall + t_rise)))
+    }
+
+    /// Delay of a chain of `stages` identical gates (e.g. a delay
+    /// replica or one half-period of a ring oscillator).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SupplyRangeError`] when `vdd` is below the functional
+    /// floor of the technology.
+    pub fn chain_delay(
+        &self,
+        kind: GateKind,
+        stages: usize,
+        vdd: Volts,
+        env: Environment,
+    ) -> Result<Seconds, SupplyRangeError> {
+        Ok(self.gate_delay(kind, vdd, env)? * stages as f64)
+    }
+
+    /// The paper's TDC "single delay cell": one inverter plus one NOR
+    /// gate in series.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SupplyRangeError`] when `vdd` is below the functional
+    /// floor of the technology.
+    pub fn inv_nor_cell_delay(
+        &self,
+        vdd: Volts,
+        env: Environment,
+    ) -> Result<Seconds, SupplyRangeError> {
+        let inv = self.gate_delay(GateKind::Inverter, vdd, env)?;
+        let nor = self.gate_delay(GateKind::Nor2, vdd, env)?;
+        Ok(inv + nor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corner::ProcessCorner;
+
+    fn timing_fixture() -> Technology {
+        Technology::st_130nm()
+    }
+
+    #[test]
+    fn calibrated_inverter_delay_points() {
+        let tech = timing_fixture();
+        let timing = GateTiming::new(&tech);
+        let env = Environment::nominal();
+        let targets = [(1.2, 102.0), (0.6, 442.0), (0.2, 79_430.0)];
+        for (vdd, ps) in targets {
+            let d = timing
+                .gate_delay(GateKind::Inverter, Volts(vdd), env)
+                .expect("within range");
+            let rel = (d.picos() - ps).abs() / ps;
+            assert!(rel < 0.05, "at {vdd} V: {} ps vs target {ps} ps", d.picos());
+        }
+    }
+
+    #[test]
+    fn delay_monotone_decreasing_in_vdd() {
+        let tech = timing_fixture();
+        let timing = GateTiming::new(&tech);
+        let env = Environment::nominal();
+        let mut last = f64::INFINITY;
+        for mv in (100..=1200).step_by(20) {
+            let d = timing
+                .gate_delay(GateKind::Inverter, Volts::from_millivolts(f64::from(mv)), env)
+                .expect("within range")
+                .value();
+            assert!(d < last, "delay rose at {mv} mV");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn slow_corner_is_slower() {
+        let tech = timing_fixture();
+        let timing = GateTiming::new(&tech);
+        let v = Volts(0.3);
+        let d_tt = timing
+            .gate_delay(GateKind::Inverter, v, Environment::nominal())
+            .unwrap();
+        let d_ss = timing
+            .gate_delay(GateKind::Inverter, v, Environment::at_corner(ProcessCorner::Ss))
+            .unwrap();
+        let d_ff = timing
+            .gate_delay(GateKind::Inverter, v, Environment::at_corner(ProcessCorner::Ff))
+            .unwrap();
+        assert!(d_ss.value() > d_tt.value());
+        assert!(d_ff.value() < d_tt.value());
+    }
+
+    #[test]
+    fn ten_percent_vdd_shift_moves_subthreshold_delay_strongly() {
+        // Paper Sec. II: a 10 % Vdd variation causes up to ~30 % delay
+        // change in the subthreshold region.
+        let tech = timing_fixture();
+        let timing = GateTiming::new(&tech);
+        let env = Environment::nominal();
+        let d0 = timing
+            .gate_delay(GateKind::Inverter, Volts(0.25), env)
+            .unwrap()
+            .value();
+        let d1 = timing
+            .gate_delay(GateKind::Inverter, Volts(0.25 * 0.9), env)
+            .unwrap()
+            .value();
+        let change = (d1 - d0) / d0;
+        assert!(change > 0.25, "delay change {change}");
+    }
+
+    #[test]
+    fn heat_speeds_up_subthreshold_logic() {
+        let tech = timing_fixture();
+        let timing = GateTiming::new(&tech);
+        let v = Volts(0.25);
+        let d_cold = timing
+            .gate_delay(GateKind::Inverter, v, Environment::at_celsius(25.0))
+            .unwrap();
+        let d_hot = timing
+            .gate_delay(GateKind::Inverter, v, Environment::at_celsius(85.0))
+            .unwrap();
+        assert!(d_hot.value() < d_cold.value());
+    }
+
+    #[test]
+    fn below_floor_is_an_error() {
+        let tech = timing_fixture();
+        let timing = GateTiming::new(&tech);
+        let err = timing
+            .gate_delay(GateKind::Inverter, Volts(0.05), Environment::nominal())
+            .unwrap_err();
+        assert_eq!(err.vdd(), Volts(0.05));
+        assert!(err.to_string().contains("functional floor"));
+    }
+
+    #[test]
+    fn stacked_gates_are_slower_than_inverter() {
+        let tech = timing_fixture();
+        let timing = GateTiming::new(&tech);
+        let env = Environment::nominal();
+        let v = Volts(0.3);
+        let inv = timing.gate_delay(GateKind::Inverter, v, env).unwrap();
+        let nand = timing.gate_delay(GateKind::Nand2, v, env).unwrap();
+        let nor = timing.gate_delay(GateKind::Nor2, v, env).unwrap();
+        assert!(nand.value() > inv.value());
+        assert!(nor.value() > inv.value());
+    }
+
+    #[test]
+    fn chain_delay_scales_linearly() {
+        let tech = timing_fixture();
+        let timing = GateTiming::new(&tech);
+        let env = Environment::nominal();
+        let one = timing
+            .chain_delay(GateKind::Inverter, 1, Volts(0.5), env)
+            .unwrap();
+        let ten = timing
+            .chain_delay(GateKind::Inverter, 10, Volts(0.5), env)
+            .unwrap();
+        assert!((ten.value() / one.value() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mismatch_slows_one_edge() {
+        let tech = timing_fixture();
+        let timing = GateTiming::new(&tech);
+        let env = Environment::nominal();
+        let v = Volts(0.25);
+        let nominal = timing
+            .gate_delay_with(GateKind::Inverter, v, env, GateMismatch::NOMINAL, 1.0)
+            .unwrap();
+        let slowed = timing
+            .gate_delay_with(
+                GateKind::Inverter,
+                v,
+                env,
+                GateMismatch {
+                    nmos_dvth: Volts(0.03),
+                    pmos_dvth: Volts::ZERO,
+                },
+                1.0,
+            )
+            .unwrap();
+        assert!(slowed.value() > nominal.value());
+    }
+
+    #[test]
+    fn fanout_scales_delay() {
+        let tech = timing_fixture();
+        let timing = GateTiming::new(&tech);
+        let env = Environment::nominal();
+        let v = Volts(0.6);
+        let fo1 = timing
+            .gate_delay_with(GateKind::Inverter, v, env, GateMismatch::NOMINAL, 1.0)
+            .unwrap();
+        let fo4 = timing
+            .gate_delay_with(GateKind::Inverter, v, env, GateMismatch::NOMINAL, 4.0)
+            .unwrap();
+        assert!((fo4.value() / fo1.value() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inv_nor_cell_exceeds_inverter_alone() {
+        let tech = timing_fixture();
+        let timing = GateTiming::new(&tech);
+        let env = Environment::nominal();
+        let v = Volts(0.6);
+        let cell = timing.inv_nor_cell_delay(v, env).unwrap();
+        let inv = timing.gate_delay(GateKind::Inverter, v, env).unwrap();
+        assert!(cell.value() > inv.value());
+    }
+}

@@ -1,0 +1,223 @@
+//! Static noise margin and the minimum operational voltage.
+//!
+//! The technology's functional floor (`Technology::min_vdd`) is not an
+//! arbitrary constant: static CMOS stops regenerating when the static
+//! noise margin (SNM) of a cross-coupled inverter pair collapses under
+//! threshold mismatch. This module derives the floor from the device
+//! model — the mechanism behind the paper's observation that scaling
+//! "further below Vopt may result in correct circuit operation" only
+//! down to a point.
+//!
+//! Model: the butterfly-curve SNM of an inverter pair is approximated
+//! from the inverter DC transfer characteristic computed with the EKV
+//! currents (the voltage where pull-up and pull-down currents balance),
+//! degraded by the per-gate threshold mismatch.
+
+use crate::delay::GateMismatch;
+use crate::mosfet::Environment;
+use crate::technology::Technology;
+use crate::units::Volts;
+
+/// Computes the inverter switching threshold (the input voltage where
+/// the output crosses Vdd/2) by bisection on the current balance.
+///
+/// # Panics
+///
+/// Panics if `vdd` is not positive.
+pub fn switching_threshold(
+    tech: &Technology,
+    vdd: Volts,
+    env: Environment,
+    mismatch: GateMismatch,
+) -> Volts {
+    assert!(vdd.volts() > 0.0, "vdd must be positive");
+    let half_out = Volts(vdd.volts() / 2.0);
+    let imbalance = |vin: f64| -> f64 {
+        // nMOS pulls down with Vgs = vin; pMOS pulls up with
+        // Vsg = vdd − vin; both see |Vds| = vdd/2 at the crossing.
+        let i_n = tech
+            .nmos
+            .drain_current(Volts(vin), half_out, env, mismatch.nmos_dvth)
+            .value();
+        let i_p = tech
+            .pmos
+            .drain_current(Volts(vdd.volts() - vin), half_out, env, mismatch.pmos_dvth)
+            .value();
+        i_n - i_p
+    };
+    let (mut lo, mut hi) = (0.0, vdd.volts());
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if imbalance(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Volts(0.5 * (lo + hi))
+}
+
+/// First-order static noise margin of a cross-coupled pair: the
+/// distance from the switching threshold to the nearer rail, reduced by
+/// the input-referred effect of the pair's threshold mismatch.
+pub fn static_noise_margin(
+    tech: &Technology,
+    vdd: Volts,
+    env: Environment,
+    mismatch: GateMismatch,
+) -> Volts {
+    let vm = switching_threshold(tech, vdd, env, GateMismatch::NOMINAL);
+    let headroom = vm.volts().min(vdd.volts() - vm.volts());
+    // Mismatch between the two inverters of the pair shifts the two
+    // thresholds apart; worst case eats directly into the margin.
+    let mismatch_v = mismatch.nmos_dvth.volts().abs().max(mismatch.pmos_dvth.volts().abs());
+    Volts((headroom - mismatch_v).max(0.0))
+}
+
+/// The minimum supply at which the SNM stays above `required_margin`
+/// for a `sigma_bound`-σ mismatch pair — the physics behind the
+/// technology's `min_vdd`.
+///
+/// Returns `None` if no voltage up to 1.2 V achieves the margin.
+pub fn minimum_operational_vdd(
+    tech: &Technology,
+    env: Environment,
+    local_sigma: Volts,
+    sigma_bound: f64,
+    required_margin_fraction: f64,
+) -> Option<Volts> {
+    let mismatch = GateMismatch {
+        nmos_dvth: Volts(local_sigma.volts() * sigma_bound),
+        pmos_dvth: Volts(-local_sigma.volts() * sigma_bound),
+    };
+    let mut lo = 0.02;
+    let mut hi = 1.2;
+    let ok = |v: f64| -> bool {
+        let snm = static_noise_margin(tech, Volts(v), env, mismatch);
+        snm.volts() >= required_margin_fraction * v
+    };
+    if !ok(hi) {
+        return None;
+    }
+    if ok(lo) {
+        return Some(Volts(lo));
+    }
+    for _ in 0..50 {
+        let mid = 0.5 * (lo + hi);
+        if ok(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(Volts(hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (Technology, Environment) {
+        (Technology::st_130nm(), Environment::nominal())
+    }
+
+    #[test]
+    fn switching_threshold_is_near_midrail() {
+        let (tech, env) = fixture();
+        for vdd in [0.2, 0.4, 0.8, 1.2] {
+            let vm = switching_threshold(&tech, Volts(vdd), env, GateMismatch::NOMINAL);
+            let frac = vm.volts() / vdd;
+            assert!(
+                (0.3..0.7).contains(&frac),
+                "{vdd} V: Vm/Vdd = {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn nmos_mismatch_moves_the_threshold() {
+        let (tech, env) = fixture();
+        let vdd = Volts(0.3);
+        let nominal = switching_threshold(&tech, vdd, env, GateMismatch::NOMINAL);
+        let strong_n = switching_threshold(
+            &tech,
+            vdd,
+            env,
+            GateMismatch {
+                nmos_dvth: Volts(-0.03), // stronger nMOS
+                pmos_dvth: Volts::ZERO,
+            },
+        );
+        assert!(
+            strong_n.volts() < nominal.volts(),
+            "a stronger pull-down lowers Vm: {strong_n} vs {nominal}"
+        );
+    }
+
+    #[test]
+    fn snm_shrinks_with_vdd() {
+        let (tech, env) = fixture();
+        let m = GateMismatch::NOMINAL;
+        let high = static_noise_margin(&tech, Volts(0.6), env, m);
+        let low = static_noise_margin(&tech, Volts(0.15), env, m);
+        assert!(high.volts() > 2.0 * low.volts(), "high {high} low {low}");
+    }
+
+    #[test]
+    fn mismatch_eats_the_margin() {
+        let (tech, env) = fixture();
+        let vdd = Volts(0.2);
+        let clean = static_noise_margin(&tech, vdd, env, GateMismatch::NOMINAL);
+        let shaky = static_noise_margin(
+            &tech,
+            vdd,
+            env,
+            GateMismatch {
+                nmos_dvth: Volts(0.04),
+                pmos_dvth: Volts(-0.04),
+            },
+        );
+        assert!(shaky.volts() < clean.volts() - 0.03);
+    }
+
+    #[test]
+    fn derived_floor_matches_the_technology_constant() {
+        // The hand-set Technology::min_vdd (100 mV) should be
+        // consistent with a 3σ SNM requirement of ~20 % of Vdd.
+        let (tech, env) = fixture();
+        let vmin = minimum_operational_vdd(&tech, env, Volts(0.012), 3.0, 0.2)
+            .expect("achievable");
+        assert!(
+            (0.06..0.20).contains(&vmin.volts()),
+            "derived Vmin {} vs constant {}",
+            vmin,
+            tech.min_vdd
+        );
+    }
+
+    #[test]
+    fn impossible_margin_returns_none() {
+        let (tech, env) = fixture();
+        // Demanding SNM > 45 % of Vdd with huge mismatch: unreachable.
+        let v = minimum_operational_vdd(&tech, env, Volts(0.2), 3.0, 0.45);
+        assert_eq!(v, None);
+    }
+
+    #[test]
+    fn tighter_margin_requires_higher_vdd() {
+        let (tech, env) = fixture();
+        let loose = minimum_operational_vdd(&tech, env, Volts(0.012), 3.0, 0.10).unwrap();
+        let tight = minimum_operational_vdd(&tech, env, Volts(0.012), 3.0, 0.30).unwrap();
+        assert!(tight.volts() > loose.volts(), "loose {loose} tight {tight}");
+    }
+
+    #[test]
+    fn bigger_devices_lower_the_floor() {
+        // Pelgrom: upsizing shrinks σ, so the same yield target needs
+        // less supply — the sizing/Vmin interaction.
+        let (tech, env) = fixture();
+        let small = minimum_operational_vdd(&tech, env, Volts(0.012), 3.0, 0.2).unwrap();
+        let big = minimum_operational_vdd(&tech, env, Volts(0.006), 3.0, 0.2).unwrap();
+        assert!(big.volts() < small.volts());
+    }
+}

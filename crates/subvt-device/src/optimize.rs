@@ -1,0 +1,334 @@
+//! Small numerical-optimization toolbox.
+//!
+//! No analog/EDA crates exist in the ecosystem, so the fitting and
+//! minimum-search routines the reproduction needs are implemented here:
+//! a golden-section scalar minimizer (used to locate minimum-energy
+//! points) and a Nelder-Mead simplex minimizer (used to calibrate the
+//! device model against the paper's published silicon numbers).
+
+/// Result of a scalar minimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalarMinimum {
+    /// Argument of the minimum.
+    pub x: f64,
+    /// Function value at the minimum.
+    pub value: f64,
+}
+
+/// Minimizes a unimodal scalar function on `[lo, hi]` by golden-section
+/// search, to within `tol` on the argument.
+///
+/// The search is robust to mildly non-unimodal functions because it is
+/// seeded by a coarse grid scan that brackets the best grid point first.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi` or `tol <= 0`.
+///
+/// ```
+/// # use subvt_device::optimize::golden_section;
+/// let m = golden_section(|x| (x - 2.0) * (x - 2.0) + 1.0, 0.0, 5.0, 1e-9);
+/// assert!((m.x - 2.0).abs() < 1e-6);
+/// assert!((m.value - 1.0).abs() < 1e-9);
+/// ```
+pub fn golden_section<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, tol: f64) -> ScalarMinimum {
+    assert!(lo < hi, "invalid bracket: lo {lo} >= hi {hi}");
+    assert!(tol > 0.0, "tolerance must be positive");
+
+    // Coarse scan to bracket the global grid minimum.
+    const GRID: usize = 64;
+    let mut best_i = 0;
+    let mut best_v = f64::INFINITY;
+    for i in 0..=GRID {
+        let x = lo + (hi - lo) * (i as f64) / (GRID as f64);
+        let v = f(x);
+        if v < best_v {
+            best_v = v;
+            best_i = i;
+        }
+    }
+    let step = (hi - lo) / (GRID as f64);
+    let mut a = (lo + step * (best_i as f64 - 1.0)).max(lo);
+    let mut b = (lo + step * (best_i as f64 + 1.0)).min(hi);
+
+    const INV_PHI: f64 = 0.618_033_988_749_894_8;
+    let mut c = b - (b - a) * INV_PHI;
+    let mut d = a + (b - a) * INV_PHI;
+    let mut fc = f(c);
+    let mut fd = f(d);
+    while (b - a).abs() > tol {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - (b - a) * INV_PHI;
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + (b - a) * INV_PHI;
+            fd = f(d);
+        }
+    }
+    let x = 0.5 * (a + b);
+    let value = f(x);
+    ScalarMinimum { x, value }
+}
+
+/// Options controlling the Nelder-Mead simplex search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NelderMeadOptions {
+    /// Maximum number of function evaluations.
+    pub max_evals: usize,
+    /// Terminates when the simplex's value spread falls below this.
+    pub f_tol: f64,
+    /// Initial simplex scale relative to each coordinate (absolute
+    /// fallback `0.05` when a coordinate is zero).
+    pub initial_scale: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> NelderMeadOptions {
+        NelderMeadOptions {
+            max_evals: 20_000,
+            f_tol: 1e-12,
+            initial_scale: 0.10,
+        }
+    }
+}
+
+/// Result of a Nelder-Mead minimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimplexMinimum {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective value at the best point.
+    pub value: f64,
+    /// Number of objective evaluations consumed.
+    pub evals: usize,
+}
+
+/// Minimizes `f` over ℝⁿ starting from `x0` with the Nelder-Mead
+/// simplex algorithm (standard reflection/expansion/contraction/shrink
+/// coefficients 1, 2, ½, ½).
+///
+/// # Panics
+///
+/// Panics if `x0` is empty.
+///
+/// ```
+/// # use subvt_device::optimize::{nelder_mead, NelderMeadOptions};
+/// let rosenbrock = |x: &[f64]| {
+///     (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
+/// };
+/// let m = nelder_mead(rosenbrock, &[-1.2, 1.0], NelderMeadOptions::default());
+/// assert!((m.x[0] - 1.0).abs() < 1e-3 && (m.x[1] - 1.0).abs() < 1e-3);
+/// ```
+pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
+    mut f: F,
+    x0: &[f64],
+    options: NelderMeadOptions,
+) -> SimplexMinimum {
+    assert!(!x0.is_empty(), "cannot optimize over zero dimensions");
+    let n = x0.len();
+    let mut evals = 0usize;
+    let eval = |f: &mut F, x: &[f64], evals: &mut usize| -> f64 {
+        *evals += 1;
+        let v = f(x);
+        if v.is_nan() {
+            f64::INFINITY
+        } else {
+            v
+        }
+    };
+
+    // Build initial simplex.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    let v0 = eval(&mut f, x0, &mut evals);
+    simplex.push((x0.to_vec(), v0));
+    for i in 0..n {
+        let mut x = x0.to_vec();
+        let h = if x[i] != 0.0 {
+            options.initial_scale * x[i].abs()
+        } else {
+            0.05
+        };
+        x[i] += h;
+        let v = eval(&mut f, &x, &mut evals);
+        simplex.push((x, v));
+    }
+
+    while evals < options.max_evals {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let spread = simplex[n].1 - simplex[0].1;
+        if spread.abs() < options.f_tol {
+            break;
+        }
+
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; n];
+        for (x, _) in simplex.iter().take(n) {
+            for (c, xi) in centroid.iter_mut().zip(x) {
+                *c += xi / (n as f64);
+            }
+        }
+
+        let worst = simplex[n].clone();
+        let second_worst_v = simplex[n - 1].1;
+        let best_v = simplex[0].1;
+
+        let lerp = |t: f64| -> Vec<f64> {
+            centroid
+                .iter()
+                .zip(&worst.0)
+                .map(|(c, w)| c + t * (c - w))
+                .collect()
+        };
+
+        // Reflection.
+        let xr = lerp(1.0);
+        let vr = eval(&mut f, &xr, &mut evals);
+        if vr < best_v {
+            // Expansion.
+            let xe = lerp(2.0);
+            let ve = eval(&mut f, &xe, &mut evals);
+            simplex[n] = if ve < vr { (xe, ve) } else { (xr, vr) };
+            continue;
+        }
+        if vr < second_worst_v {
+            simplex[n] = (xr, vr);
+            continue;
+        }
+        // Contraction (outside if reflected point improved on worst).
+        let (xc, vc) = if vr < worst.1 {
+            let xc = lerp(0.5);
+            let vc = eval(&mut f, &xc, &mut evals);
+            (xc, vc)
+        } else {
+            let xc = lerp(-0.5);
+            let vc = eval(&mut f, &xc, &mut evals);
+            (xc, vc)
+        };
+        if vc < worst.1.min(vr) {
+            simplex[n] = (xc, vc);
+            continue;
+        }
+        // Shrink toward the best point.
+        let best_x = simplex[0].0.clone();
+        for entry in simplex.iter_mut().skip(1) {
+            let x: Vec<f64> = entry
+                .0
+                .iter()
+                .zip(&best_x)
+                .map(|(xi, bi)| bi + 0.5 * (xi - bi))
+                .collect();
+            let v = eval(&mut f, &x, &mut evals);
+            *entry = (x, v);
+        }
+    }
+
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    let (x, value) = simplex.swap_remove(0);
+    SimplexMinimum { x, value, evals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_section_quadratic() {
+        let m = golden_section(|x| (x - 0.22) * (x - 0.22), 0.05, 0.9, 1e-10);
+        assert!((m.x - 0.22).abs() < 1e-7);
+    }
+
+    #[test]
+    fn golden_section_boundary_minimum() {
+        let m = golden_section(|x| x, 1.0, 2.0, 1e-9);
+        assert!((m.x - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn golden_section_finds_global_of_two_dips() {
+        // Two local minima; the coarse scan should bracket the deeper one.
+        let f = |x: f64| (x - 1.0).powi(2).min((x - 4.0).powi(2) - 0.5);
+        let m = golden_section(f, 0.0, 5.0, 1e-9);
+        assert!((m.x - 4.0).abs() < 1e-5, "x = {}", m.x);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bracket")]
+    fn golden_section_rejects_bad_bracket() {
+        let _ = golden_section(|x| x, 2.0, 1.0, 1e-9);
+    }
+
+    #[test]
+    fn nelder_mead_sphere() {
+        let m = nelder_mead(
+            |x| x.iter().map(|v| v * v).sum(),
+            &[3.0, -2.0, 1.0],
+            NelderMeadOptions::default(),
+        );
+        for xi in &m.x {
+            assert!(xi.abs() < 1e-4, "x = {:?}", m.x);
+        }
+    }
+
+    #[test]
+    fn nelder_mead_rosenbrock_two_dim() {
+        let m = nelder_mead(
+            |x| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2),
+            &[-1.2, 1.0],
+            NelderMeadOptions::default(),
+        );
+        assert!(m.value < 1e-6, "value {}", m.value);
+    }
+
+    #[test]
+    fn nelder_mead_respects_eval_budget() {
+        let mut count = 0usize;
+        let opts = NelderMeadOptions {
+            max_evals: 50,
+            ..NelderMeadOptions::default()
+        };
+        let m = nelder_mead(
+            |x| {
+                count += 1;
+                x[0] * x[0] + x[1] * x[1]
+            },
+            &[10.0, 10.0],
+            opts,
+        );
+        assert!(m.evals <= 50 + 4, "evals {}", m.evals);
+        assert_eq!(count, m.evals);
+    }
+
+    #[test]
+    fn nelder_mead_handles_nan_objective() {
+        // NaN regions are treated as +inf, so the search stays in the
+        // valid region.
+        let m = nelder_mead(
+            |x| {
+                if x[0] < 0.0 {
+                    f64::NAN
+                } else {
+                    (x[0] - 1.0).powi(2)
+                }
+            },
+            &[2.0],
+            NelderMeadOptions::default(),
+        );
+        assert!((m.x[0] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn nelder_mead_zero_start_coordinate() {
+        let m = nelder_mead(
+            |x| (x[0] - 0.5).powi(2) + (x[1] + 0.5).powi(2),
+            &[0.0, 0.0],
+            NelderMeadOptions::default(),
+        );
+        assert!((m.x[0] - 0.5).abs() < 1e-4 && (m.x[1] + 0.5).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,164 @@
+//! Variation-driven device sizing — the design-time mitigation the
+//! paper cites as references \[5\]/\[7\] (Kwong & Chandrakasan, ISLPED'06;
+//! Zhai et al., ISLPED'05).
+//!
+//! Upsizing a subthreshold gate buys mismatch immunity (Pelgrom:
+//! σ(ΔVth) ∝ 1/√(W·L)) and drive at the price of switched capacitance
+//! and leakage width. This module quantifies that trade so the
+//! ablations can show why *runtime* adaptation (the paper's approach)
+//! complements rather than replaces sizing.
+
+use crate::energy::CircuitProfile;
+use crate::mosfet::Environment;
+use crate::optimize::golden_section;
+use crate::technology::Technology;
+use crate::units::{Joules, Volts};
+
+/// A candidate sizing point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizingPoint {
+    /// Upsizing factor relative to minimum size (≥ 1).
+    pub upsize: f64,
+    /// Energy per operation at the sizing's own MEP.
+    pub mep_energy: Joules,
+    /// The MEP supply voltage for this sizing.
+    pub vopt: Volts,
+    /// Local-mismatch σ relative to minimum size (= 1/√upsize).
+    pub relative_sigma: f64,
+    /// Worst-case energy when the die sits 3σ slow and the supply
+    /// cannot adapt (the guard-band cost sizing is meant to cover).
+    pub guardband_energy: Joules,
+}
+
+/// How upsizing scales the electrical profile.
+fn resized(profile: &CircuitProfile, upsize: f64) -> CircuitProfile {
+    let mut p = profile.clone();
+    // Switched capacitance and leakage width scale with W.
+    p.cap_scale *= upsize;
+    p.leak_scale *= upsize;
+    p
+}
+
+/// Evaluates a sizing sweep for `profile` in `env`.
+///
+/// For each upsizing factor the circuit's own MEP is located, and a
+/// "no-controller" guard-band cost is computed: a 3σ-slow die (σ
+/// shrinking with √upsize from `sigma_min`) must still meet the
+/// minimum-size circuit's MEP-speed, so the fixed supply is raised by
+/// the residual 3σ threshold shift, and the energy there is charged.
+///
+/// # Panics
+///
+/// Panics if `upsizes` is empty or contains a factor below 1.
+pub fn sizing_sweep(
+    tech: &Technology,
+    profile: &CircuitProfile,
+    env: Environment,
+    sigma_min: Volts,
+    upsizes: &[f64],
+) -> Vec<SizingPoint> {
+    assert!(!upsizes.is_empty(), "need at least one sizing factor");
+    upsizes
+        .iter()
+        .map(|&upsize| {
+            assert!(upsize >= 1.0, "upsizing factor {upsize} below minimum size");
+            let p = resized(profile, upsize);
+            let m = golden_section(
+                |v| {
+                    crate::energy::energy_per_cycle(tech, &p, Volts(v), env)
+                        .map(|e| e.total().value())
+                        .unwrap_or(f64::INFINITY)
+                },
+                0.12,
+                0.6,
+                1e-6,
+            );
+            let relative_sigma = 1.0 / upsize.sqrt();
+            // Guard band: raise the supply by the residual 3σ shift (a
+            // slow die needs that much more Vdd for the same speed in
+            // the exponential regime).
+            let guard = 3.0 * sigma_min.volts() * relative_sigma;
+            let guard_v = Volts((m.x + guard).min(0.9));
+            let guardband_energy = crate::energy::energy_per_cycle(tech, &p, guard_v, env)
+                .map(|e| e.total())
+                .unwrap_or(Joules(f64::INFINITY));
+            SizingPoint {
+                upsize,
+                mep_energy: Joules(m.value),
+                vopt: Volts(m.x),
+                relative_sigma,
+                guardband_energy,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep() -> Vec<SizingPoint> {
+        sizing_sweep(
+            &Technology::st_130nm(),
+            &CircuitProfile::ring_oscillator(),
+            Environment::nominal(),
+            Volts(0.012),
+            &[1.0, 2.0, 4.0, 8.0],
+        )
+    }
+
+    #[test]
+    fn upsizing_raises_mep_energy() {
+        let points = sweep();
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].mep_energy.value() > pair[0].mep_energy.value(),
+                "bigger devices must burn more at their MEP"
+            );
+        }
+    }
+
+    #[test]
+    fn upsizing_shrinks_mismatch() {
+        let points = sweep();
+        assert!((points[0].relative_sigma - 1.0).abs() < 1e-12);
+        assert!((points[3].relative_sigma - 1.0 / 8f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn guardband_energy_exceeds_mep_energy() {
+        for p in sweep() {
+            assert!(p.guardband_energy.value() > p.mep_energy.value());
+        }
+    }
+
+    #[test]
+    fn moderate_upsizing_can_beat_minimum_size_under_guardband() {
+        // The sizing papers' observation: with a guard band, some
+        // upsizing wins because the mismatch guard shrinks faster than
+        // the capacitance grows — up to a point.
+        let points = sweep();
+        let overhead = |p: &SizingPoint| p.guardband_energy.value() / p.mep_energy.value();
+        // Guard-band *relative* overhead must fall with upsizing.
+        assert!(overhead(&points[3]) < overhead(&points[0]));
+    }
+
+    #[test]
+    fn mep_voltage_stays_subthreshold_across_sizings() {
+        for p in sweep() {
+            assert!(p.vopt.volts() < 0.3, "upsize {}: {}", p.upsize, p.vopt);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below minimum size")]
+    fn downsizing_rejected() {
+        let _ = sizing_sweep(
+            &Technology::st_130nm(),
+            &CircuitProfile::ring_oscillator(),
+            Environment::nominal(),
+            Volts(0.012),
+            &[0.5],
+        );
+    }
+}

@@ -1,0 +1,254 @@
+//! The 0.13 µm technology bundle: device flavours plus gate-library
+//! electrical data.
+//!
+//! [`Technology::st_130nm`] returns the calibrated model of the paper's
+//! 0.13 µm ST CMOS process. Its constants are produced by
+//! [`crate::calibration::fit_delay_model`] against the paper's published
+//! inverter delays (102 ps @ 1.2 V, 442 ps @ 0.6 V, 79 430 ps @ 0.2 V)
+//! and are verified by the calibration tests.
+
+use crate::mosfet::{DeviceType, MosfetParams};
+use crate::units::{Farads, Volts};
+
+/// Logic-gate flavours of the small standard-cell library the paper's
+/// circuits use (ring oscillator of NAND gates, INV-NOR TDC delay cells).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GateKind {
+    /// Minimum-size inverter.
+    #[default]
+    Inverter,
+    /// Two-input NAND (stacked nMOS pull-down).
+    Nand2,
+    /// Two-input NOR (stacked pMOS pull-up).
+    Nor2,
+}
+
+impl GateKind {
+    /// All library gates.
+    pub const ALL: [GateKind; 3] = [GateKind::Inverter, GateKind::Nand2, GateKind::Nor2];
+
+    /// Effective switched-capacitance multiplier relative to an
+    /// inverter (larger input/self load for the two-input gates).
+    #[inline]
+    pub fn cap_factor(self) -> f64 {
+        match self {
+            GateKind::Inverter => 1.0,
+            GateKind::Nand2 | GateKind::Nor2 => 1.4,
+        }
+    }
+
+    /// Drive-strength derating of the stacked network.
+    ///
+    /// Returns `(nmos_factor, pmos_factor)`; the stacked pair conducts
+    /// roughly half as strongly as a single device of the same size.
+    #[inline]
+    pub fn stack_factors(self) -> (f64, f64) {
+        match self {
+            GateKind::Inverter => (1.0, 1.0),
+            GateKind::Nand2 => (0.55, 1.0),
+            GateKind::Nor2 => (1.0, 0.55),
+        }
+    }
+
+    /// Average number of leaking devices presented by the gate (used by
+    /// the energy model; stacked off-paths leak less).
+    #[inline]
+    pub fn leak_factor(self) -> f64 {
+        match self {
+            GateKind::Inverter => 1.0,
+            GateKind::Nand2 | GateKind::Nor2 => 0.8,
+        }
+    }
+}
+
+/// Calibrated parameters of one CMOS technology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    /// Human-readable process name.
+    pub name: String,
+    /// n-channel device parameters.
+    pub nmos: MosfetParams,
+    /// p-channel device parameters.
+    pub pmos: MosfetParams,
+    /// Effective switched capacitance of a minimum inverter (gate +
+    /// self + local-wire load).
+    pub gate_cap: Farads,
+    /// Dimensionless delay prefactor of the CV/I metric (≈ ln 2 for an
+    /// ideal RC step response; absorbed into the calibration).
+    pub delay_fit: f64,
+    /// Minimum functional supply voltage: below this, static CMOS logic
+    /// loses regenerative noise margins and the model reports failure.
+    pub min_vdd: Volts,
+    /// Nominal supply voltage.
+    pub nominal_vdd: Volts,
+}
+
+impl Technology {
+    /// The calibrated 0.13 µm ST-class process of the paper.
+    ///
+    /// `slope_factor`, `dibl` and the drive scale are the output of
+    /// [`crate::calibration::fit_delay_model`]; see that module's tests
+    /// for the provenance of each constant.
+    pub fn st_130nm() -> Technology {
+        let mut nmos = MosfetParams::nmos_130nm();
+        let mut pmos = MosfetParams::pmos_130nm();
+        // Calibrated against the paper's three inverter-delay points
+        // (see calibration::fit_delay_model and its regression test).
+        nmos.slope_factor = CALIBRATED_SLOPE_FACTOR;
+        pmos.slope_factor = CALIBRATED_SLOPE_FACTOR + 0.02;
+        nmos.dibl = CALIBRATED_DIBL;
+        pmos.dibl = CALIBRATED_DIBL;
+        nmos.spec_current = crate::units::Amps(CALIBRATED_NMOS_SPEC);
+        pmos.spec_current = crate::units::Amps(CALIBRATED_PMOS_SPEC);
+        Technology {
+            name: "st-0.13um".to_owned(),
+            nmos,
+            pmos,
+            gate_cap: Farads::from_femtos(2.0),
+            delay_fit: 0.69,
+            min_vdd: Volts(0.1),
+            nominal_vdd: Volts(1.2),
+        }
+    }
+
+    /// A representative 65 nm-class low-power process — the node of the
+    /// paper's references \[2\] (Kwong, ISSCC'08) and \[9\] (Ramadass,
+    /// JSSC'08), which demonstrate sub-Vt operation down to 250-300 mV.
+    ///
+    /// No delay triplet is published in those papers, so the anchors
+    /// (40 ps @ 1.2 V, 200 ps @ 0.6 V, 25 ns @ 0.25 V; Vth = 320 mV)
+    /// are representative rather than reproduced; the point of this
+    /// preset is to exercise the whole stack on a second node.
+    pub fn generic_65nm() -> Technology {
+        let mut nmos = MosfetParams::nmos_130nm();
+        let mut pmos = MosfetParams::pmos_130nm();
+        nmos.vth0 = Volts(0.320);
+        pmos.vth0 = Volts(0.335);
+        nmos.slope_factor = CALIBRATED_65NM_SLOPE;
+        pmos.slope_factor = CALIBRATED_65NM_SLOPE + 0.02;
+        nmos.dibl = CALIBRATED_65NM_DIBL;
+        pmos.dibl = CALIBRATED_65NM_DIBL;
+        nmos.spec_current = crate::units::Amps(CALIBRATED_65NM_NMOS_SPEC);
+        pmos.spec_current = crate::units::Amps(CALIBRATED_65NM_NMOS_SPEC / 2.0);
+        Technology {
+            name: "generic-65nm".to_owned(),
+            nmos,
+            pmos,
+            gate_cap: Farads::from_femtos(1.1),
+            delay_fit: 0.69,
+            min_vdd: Volts(0.10),
+            nominal_vdd: Volts(1.2),
+        }
+    }
+
+    /// Returns the parameters for one device flavour.
+    #[inline]
+    pub fn device(&self, device: DeviceType) -> &MosfetParams {
+        match device {
+            DeviceType::Nmos => &self.nmos,
+            DeviceType::Pmos => &self.pmos,
+        }
+    }
+
+    /// True when `vdd` is high enough for functional static-CMOS
+    /// operation in this technology.
+    #[inline]
+    pub fn is_operational(&self, vdd: Volts) -> bool {
+        vdd >= self.min_vdd
+    }
+}
+
+/// Calibrated subthreshold slope factor (fit_delay_model output; an
+/// exact three-point fit to the paper's published inverter delays).
+pub(crate) const CALIBRATED_SLOPE_FACTOR: f64 = 1.243_610;
+/// Calibrated DIBL coefficient (fit_delay_model output).
+pub(crate) const CALIBRATED_DIBL: f64 = 0.015_583;
+/// Calibrated nMOS specific current, A (fit_delay_model output).
+pub(crate) const CALIBRATED_NMOS_SPEC: f64 = 3.959_098e-8;
+/// Calibrated pMOS specific current, A (keeps the balanced-inverter
+/// n/p drive ratio: spec·W/L equal for both flavours).
+pub(crate) const CALIBRATED_PMOS_SPEC: f64 = CALIBRATED_NMOS_SPEC / 2.0;
+
+/// 65 nm preset slope factor (fit_delay_model against the
+/// representative anchors; see `examples/fit_constants.rs`).
+pub(crate) const CALIBRATED_65NM_SLOPE: f64 = 1.195_418;
+/// 65 nm preset DIBL coefficient (fit output).
+pub(crate) const CALIBRATED_65NM_DIBL: f64 = 0.013_982;
+/// 65 nm preset nMOS specific current, A (fit output).
+pub(crate) const CALIBRATED_65NM_NMOS_SPEC: f64 = 5.526_533e-8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn st_130nm_has_paper_vth() {
+        let tech = Technology::st_130nm();
+        assert!((tech.nmos.vth0.millivolts() - 287.0).abs() < 1e-9);
+        assert_eq!(tech.nominal_vdd, Volts(1.2));
+    }
+
+    #[test]
+    fn device_lookup_matches_flavour() {
+        let tech = Technology::st_130nm();
+        assert_eq!(tech.device(DeviceType::Nmos).device, DeviceType::Nmos);
+        assert_eq!(tech.device(DeviceType::Pmos).device, DeviceType::Pmos);
+    }
+
+    #[test]
+    fn operational_floor() {
+        let tech = Technology::st_130nm();
+        assert!(tech.is_operational(Volts(0.2)));
+        assert!(!tech.is_operational(Volts(0.05)));
+    }
+
+    #[test]
+    fn stack_factors_slow_the_stacked_network() {
+        let (n, p) = GateKind::Nand2.stack_factors();
+        assert!(n < 1.0 && (p - 1.0).abs() < 1e-12);
+        let (n, p) = GateKind::Nor2.stack_factors();
+        assert!((n - 1.0).abs() < 1e-12 && p < 1.0);
+    }
+
+    #[test]
+    fn two_input_gates_have_more_cap() {
+        assert!(GateKind::Nand2.cap_factor() > GateKind::Inverter.cap_factor());
+    }
+
+    #[test]
+    fn generic_65nm_hits_its_anchors() {
+        use crate::delay::GateTiming;
+        use crate::mosfet::Environment;
+        let tech = Technology::generic_65nm();
+        let timing = GateTiming::new(&tech);
+        let env = Environment::nominal();
+        for (v, ps) in [(1.2, 40.0), (0.6, 200.0), (0.25, 25_000.0)] {
+            let d = timing
+                .gate_delay(GateKind::Inverter, Volts(v), env)
+                .expect("in range");
+            assert!(
+                (d.picos() - ps).abs() / ps < 0.05,
+                "{v} V: {} ps vs {ps} ps",
+                d.picos()
+            );
+        }
+    }
+
+    #[test]
+    fn generic_65nm_is_faster_than_130nm() {
+        use crate::delay::GateTiming;
+        use crate::mosfet::Environment;
+        let env = Environment::nominal();
+        let t130 = Technology::st_130nm();
+        let t65 = Technology::generic_65nm();
+        for v in [0.4, 0.8, 1.2] {
+            let d130 = GateTiming::new(&t130)
+                .gate_delay(GateKind::Inverter, Volts(v), env)
+                .unwrap();
+            let d65 = GateTiming::new(&t65)
+                .gate_delay(GateKind::Inverter, Volts(v), env)
+                .unwrap();
+            assert!(d65.value() < d130.value(), "{v} V");
+        }
+    }
+}

@@ -1,0 +1,472 @@
+//! Strongly-typed physical quantities used throughout the stack.
+//!
+//! Every quantity is a thin newtype over `f64` in SI base units (volts,
+//! seconds, amperes, farads, joules, hertz, kelvin). The newtypes follow
+//! the `Miles`/`Kilometers` pattern of the Rust API guidelines
+//! (C-NEWTYPE): they exist so a supply voltage can never be confused with
+//! a threshold voltage expressed in millivolts, or a delay in
+//! picoseconds with a period in nanoseconds.
+//!
+//! ```
+//! use subvt_device::units::Volts;
+//!
+//! let vdd = Volts::from_millivolts(200.0);
+//! assert!((vdd.volts() - 0.2).abs() < 1e-12);
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Implements the shared arithmetic surface for a scalar SI newtype.
+macro_rules! si_scalar {
+    ($name:ident, $unit:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Returns the raw value in SI base units.
+            #[inline]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value of the quantity.
+            #[inline]
+            pub fn abs(self) -> $name {
+                $name(self.0.abs())
+            }
+
+            /// Returns the larger of two quantities.
+            #[inline]
+            pub fn max(self, other: $name) -> $name {
+                $name(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of two quantities.
+            #[inline]
+            pub fn min(self, other: $name) -> $name {
+                $name(self.0.min(other.0))
+            }
+
+            /// Clamps the quantity into `[lo, hi]`.
+            #[inline]
+            pub fn clamp(self, lo: $name, hi: $name) -> $name {
+                $name(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// True when the underlying value is finite (not NaN/inf).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            #[inline]
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            #[inline]
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|x| x.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $unit)
+            }
+        }
+
+        impl From<$name> for f64 {
+            #[inline]
+            fn from(v: $name) -> f64 {
+                v.0
+            }
+        }
+    };
+}
+
+si_scalar!(Volts, "V", "An electric potential in volts.");
+si_scalar!(Seconds, "s", "A duration in seconds.");
+si_scalar!(Amps, "A", "A current in amperes.");
+si_scalar!(Farads, "F", "A capacitance in farads.");
+si_scalar!(Joules, "J", "An energy in joules.");
+si_scalar!(Hertz, "Hz", "A frequency in hertz.");
+si_scalar!(Henries, "H", "An inductance in henries.");
+si_scalar!(Ohms, "Ω", "A resistance in ohms.");
+si_scalar!(Watts, "W", "A power in watts.");
+si_scalar!(Kelvin, "K", "An absolute temperature in kelvin.");
+
+impl Volts {
+    /// Constructs a voltage from millivolts.
+    ///
+    /// ```
+    /// # use subvt_device::units::Volts;
+    /// assert_eq!(Volts::from_millivolts(18.75), Volts(0.01875));
+    /// ```
+    #[inline]
+    pub fn from_millivolts(mv: f64) -> Volts {
+        Volts(mv * 1e-3)
+    }
+
+    /// Returns the value in volts (alias of [`Volts::value`]).
+    #[inline]
+    pub fn volts(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the value in millivolts.
+    #[inline]
+    pub fn millivolts(self) -> f64 {
+        self.0 * 1e3
+    }
+}
+
+impl Seconds {
+    /// Constructs a duration from picoseconds.
+    #[inline]
+    pub fn from_picos(ps: f64) -> Seconds {
+        Seconds(ps * 1e-12)
+    }
+
+    /// Constructs a duration from nanoseconds.
+    #[inline]
+    pub fn from_nanos(ns: f64) -> Seconds {
+        Seconds(ns * 1e-9)
+    }
+
+    /// Constructs a duration from microseconds.
+    #[inline]
+    pub fn from_micros(us: f64) -> Seconds {
+        Seconds(us * 1e-6)
+    }
+
+    /// Returns the value in seconds (alias of [`Seconds::value`]).
+    #[inline]
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the value in picoseconds.
+    #[inline]
+    pub fn picos(self) -> f64 {
+        self.0 * 1e12
+    }
+
+    /// Returns the value in nanoseconds.
+    #[inline]
+    pub fn nanos(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Reciprocal: frequency of a periodic event with this period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the duration is zero.
+    #[inline]
+    pub fn to_frequency(self) -> Hertz {
+        assert!(self.0 != 0.0, "cannot take frequency of a zero period");
+        Hertz(1.0 / self.0)
+    }
+}
+
+impl Hertz {
+    /// Constructs a frequency from megahertz.
+    #[inline]
+    pub fn from_megahertz(mhz: f64) -> Hertz {
+        Hertz(mhz * 1e6)
+    }
+
+    /// Period of a periodic event at this frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    #[inline]
+    pub fn to_period(self) -> Seconds {
+        assert!(self.0 != 0.0, "cannot take period of zero frequency");
+        Seconds(1.0 / self.0)
+    }
+}
+
+impl Joules {
+    /// Constructs an energy from femtojoules.
+    #[inline]
+    pub fn from_femtos(fj: f64) -> Joules {
+        Joules(fj * 1e-15)
+    }
+
+    /// Returns the value in femtojoules (the natural unit of
+    /// per-operation subthreshold energy; the paper's Figs. 1-2 are in
+    /// units of 1e-15 J).
+    #[inline]
+    pub fn femtos(self) -> f64 {
+        self.0 * 1e15
+    }
+}
+
+impl Amps {
+    /// Constructs a current from nanoamperes.
+    #[inline]
+    pub fn from_nanos(na: f64) -> Amps {
+        Amps(na * 1e-9)
+    }
+}
+
+impl Farads {
+    /// Constructs a capacitance from femtofarads.
+    #[inline]
+    pub fn from_femtos(ff: f64) -> Farads {
+        Farads(ff * 1e-15)
+    }
+}
+
+impl Kelvin {
+    /// Absolute zero expressed in degrees Celsius.
+    pub const CELSIUS_OFFSET: f64 = 273.15;
+
+    /// Constructs an absolute temperature from degrees Celsius.
+    ///
+    /// ```
+    /// # use subvt_device::units::Kelvin;
+    /// let t = Kelvin::from_celsius(25.0);
+    /// assert!((t.value() - 298.15).abs() < 1e-9);
+    /// ```
+    #[inline]
+    pub fn from_celsius(celsius: f64) -> Kelvin {
+        Kelvin(celsius + Kelvin::CELSIUS_OFFSET)
+    }
+
+    /// Returns the temperature in degrees Celsius.
+    #[inline]
+    pub fn celsius(self) -> f64 {
+        self.0 - Kelvin::CELSIUS_OFFSET
+    }
+}
+
+// Cross-unit products that appear in the physics.
+
+impl Mul<Volts> for Amps {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Volts) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Amps> for Volts {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Amps) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Volts> for Farads {
+    type Output = Coulombs;
+    #[inline]
+    fn mul(self, rhs: Volts) -> Coulombs {
+        Coulombs(self.0 * rhs.0)
+    }
+}
+
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    #[inline]
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+
+si_scalar!(Coulombs, "C", "An electric charge in coulombs.");
+
+impl Mul<Volts> for Coulombs {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Volts) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Div<Amps> for Coulombs {
+    type Output = Seconds;
+    #[inline]
+    fn div(self, rhs: Amps) -> Seconds {
+        Seconds(self.0 / rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn millivolt_round_trip() {
+        let v = Volts::from_millivolts(218.75);
+        assert!((v.millivolts() - 218.75).abs() < 1e-9);
+        assert!((v.volts() - 0.21875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Volts(1.0);
+        let b = Volts(0.25);
+        assert_eq!(a + b, Volts(1.25));
+        assert_eq!(a - b, Volts(0.75));
+        assert_eq!(a * 2.0, Volts(2.0));
+        assert_eq!(2.0 * a, Volts(2.0));
+        assert_eq!(a / 4.0, Volts(0.25));
+        assert!((a / b - 4.0).abs() < 1e-12);
+        assert_eq!(-b, Volts(-0.25));
+    }
+
+    #[test]
+    fn assign_ops_accumulate() {
+        let mut e = Joules::ZERO;
+        e += Joules::from_femtos(1.5);
+        e += Joules::from_femtos(0.5);
+        assert!((e.femtos() - 2.0).abs() < 1e-9);
+        e -= Joules::from_femtos(1.0);
+        assert!((e.femtos() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_of_quantities() {
+        let total: Joules = (0..4).map(|i| Joules::from_femtos(f64::from(i))).sum();
+        assert!((total.femtos() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn temperature_conversion() {
+        assert!((Kelvin::from_celsius(85.0).value() - 358.15).abs() < 1e-9);
+        assert!((Kelvin(300.0).celsius() - 26.85).abs() < 1e-9);
+    }
+
+    #[test]
+    fn period_frequency_round_trip() {
+        let f = Hertz::from_megahertz(64.0);
+        let t = f.to_period();
+        assert!((t.nanos() - 15.625).abs() < 1e-9);
+        assert!((t.to_frequency().value() - 64e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn power_energy_products() {
+        let p = Amps(2e-9) * Volts(0.3);
+        assert!((p.value() - 0.6e-9).abs() < 1e-21);
+        let e = p * Seconds::from_nanos(10.0);
+        assert!((e.femtos() - 6.0e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn charge_products() {
+        let q = Farads::from_femtos(10.0) * Volts(0.5);
+        assert!((q.value() - 5e-15).abs() < 1e-27);
+        let e = q * Volts(0.5);
+        assert!((e.femtos() - 2.5).abs() < 1e-12);
+        let t = q / Amps(1e-6);
+        assert!((t.nanos() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(format!("{}", Volts(0.2)), "0.2 V");
+        assert_eq!(format!("{}", Ohms(50.0)), "50 Ω");
+    }
+
+    #[test]
+    fn ordering_helpers() {
+        let a = Seconds::from_nanos(1.0);
+        let b = Seconds::from_nanos(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(Seconds::from_nanos(5.0).clamp(a, b), b);
+        assert!(Seconds(-1.0).abs() == Seconds(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero period")]
+    fn zero_period_frequency_panics() {
+        let _ = Seconds::ZERO.to_frequency();
+    }
+}

@@ -1,0 +1,247 @@
+//! Monte-Carlo process variation.
+//!
+//! The paper stresses that small threshold fluctuations (~±10 %) cause
+//! up to 96 % performance degradation at subthreshold voltages. This
+//! module samples per-die global shifts and per-device local mismatch
+//! (Pelgrom-style σ ∝ 1/√(W·L)) so the controller can be exercised
+//! across a population of virtual chips, not just the named corners.
+
+use rand::distributions::Distribution;
+use rand::Rng;
+
+use crate::delay::GateMismatch;
+use crate::units::Volts;
+
+/// Gaussian sampler built on `rand`'s uniform source via Box-Muller
+/// (keeps the dependency surface to `rand` core only).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    mean: f64,
+    sigma: f64,
+}
+
+impl Gaussian {
+    /// Creates a Gaussian with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or not finite.
+    pub fn new(mean: f64, sigma: f64) -> Gaussian {
+        assert!(sigma >= 0.0 && sigma.is_finite(), "invalid sigma {sigma}");
+        Gaussian { mean, sigma }
+    }
+}
+
+impl Distribution<f64> for Gaussian {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box-Muller transform; reject u1 == 0 to avoid ln(0).
+        let mut u1: f64 = rng.gen();
+        while u1 <= f64::MIN_POSITIVE {
+            u1 = rng.gen();
+        }
+        let u2: f64 = rng.gen();
+        let mag = (-2.0 * u1.ln()).sqrt();
+        self.mean + self.sigma * mag * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// Statistical description of threshold-voltage variation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationModel {
+    /// σ of the die-level (global) Vth shift shared by all devices of
+    /// one polarity.
+    pub global_sigma: Volts,
+    /// σ of the per-device (local, mismatch) Vth shift for a
+    /// minimum-size device.
+    pub local_sigma: Volts,
+    /// Correlation between the nMOS and pMOS global shifts
+    /// (1 = fully correlated corners, 0 = independent).
+    pub np_correlation: f64,
+}
+
+impl VariationModel {
+    /// Variation magnitudes representative of the paper's 0.13 µm
+    /// process: the quoted ±10 % Vth spread (~29 mV) is treated as a
+    /// 3σ bound on the global shift.
+    pub fn st_130nm() -> VariationModel {
+        VariationModel {
+            global_sigma: Volts(0.0096),
+            local_sigma: Volts(0.012),
+            np_correlation: 0.6,
+        }
+    }
+
+    /// Samples one virtual die.
+    pub fn sample_die<R: Rng + ?Sized>(&self, rng: &mut R) -> DieVariation {
+        let g = Gaussian::new(0.0, 1.0);
+        let zn = g.sample(rng);
+        let zi = g.sample(rng);
+        let rho = self.np_correlation.clamp(-1.0, 1.0);
+        let zp = rho * zn + (1.0 - rho * rho).sqrt() * zi;
+        DieVariation {
+            nmos_dvth: Volts(zn * self.global_sigma.volts()),
+            pmos_dvth: Volts(zp * self.global_sigma.volts()),
+            local_sigma: self.local_sigma,
+        }
+    }
+}
+
+/// The sampled global variation of one virtual die.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DieVariation {
+    /// Global nMOS threshold shift of this die.
+    pub nmos_dvth: Volts,
+    /// Global pMOS threshold shift of this die.
+    pub pmos_dvth: Volts,
+    /// Local mismatch σ used when sampling individual gates on this die.
+    pub local_sigma: Volts,
+}
+
+impl DieVariation {
+    /// A perfectly nominal die.
+    pub fn nominal() -> DieVariation {
+        DieVariation {
+            nmos_dvth: Volts::ZERO,
+            pmos_dvth: Volts::ZERO,
+            local_sigma: Volts::ZERO,
+        }
+    }
+
+    /// Samples the mismatch of one gate on this die (global shift plus
+    /// local Pelgrom term scaled by `1/sqrt(relative_area)`).
+    pub fn sample_gate<R: Rng + ?Sized>(&self, rng: &mut R, relative_area: f64) -> GateMismatch {
+        assert!(relative_area > 0.0, "device area must be positive");
+        let sigma = self.local_sigma.volts() / relative_area.sqrt();
+        let g = Gaussian::new(0.0, sigma);
+        GateMismatch {
+            nmos_dvth: self.nmos_dvth + Volts(g.sample(rng)),
+            pmos_dvth: self.pmos_dvth + Volts(g.sample(rng)),
+        }
+    }
+
+    /// The die-average mismatch (global shift only), e.g. for a large
+    /// replica structure that averages out local mismatch.
+    pub fn mean_gate(&self) -> GateMismatch {
+        GateMismatch {
+            nmos_dvth: self.nmos_dvth,
+            pmos_dvth: self.pmos_dvth,
+        }
+    }
+
+    /// Severity of this die in units of the corner shift: +1 ≈ an SS
+    /// die, −1 ≈ an FF die.
+    pub fn corner_units(&self) -> f64 {
+        let avg = 0.5 * (self.nmos_dvth.volts() + self.pmos_dvth.volts());
+        avg / crate::corner::CORNER_VTH_SHIFT.volts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = Gaussian::new(2.0, 3.0);
+        let n = 40_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.06, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.06, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sigma")]
+    fn gaussian_rejects_negative_sigma() {
+        let _ = Gaussian::new(0.0, -1.0);
+    }
+
+    #[test]
+    fn die_sampling_is_reproducible_with_seed() {
+        let model = VariationModel::st_130nm();
+        let a = model.sample_die(&mut StdRng::seed_from_u64(42));
+        let b = model.sample_die(&mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn global_spread_matches_ten_percent_bound() {
+        // 3σ of the global shift should be ≈ ±29 mV (±10 % of 287 mV).
+        let model = VariationModel::st_130nm();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let inside = (0..n)
+            .filter(|_| {
+                model
+                    .sample_die(&mut rng)
+                    .nmos_dvth
+                    .volts()
+                    .abs()
+                    < 0.0287
+            })
+            .count();
+        let frac = inside as f64 / n as f64;
+        assert!(frac > 0.99, "fraction inside 10% bound: {frac}");
+    }
+
+    #[test]
+    fn np_correlation_is_positive() {
+        let model = VariationModel::st_130nm();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 10_000;
+        let mut cov = 0.0;
+        for _ in 0..n {
+            let d = model.sample_die(&mut rng);
+            cov += d.nmos_dvth.volts() * d.pmos_dvth.volts();
+        }
+        cov /= n as f64;
+        let sigma2 = model.global_sigma.volts() * model.global_sigma.volts();
+        let rho = cov / sigma2;
+        assert!((rho - 0.6).abs() < 0.1, "rho {rho}");
+    }
+
+    #[test]
+    fn larger_devices_mismatch_less() {
+        let die = DieVariation {
+            nmos_dvth: Volts::ZERO,
+            pmos_dvth: Volts::ZERO,
+            local_sigma: Volts(0.012),
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 10_000;
+        let spread = |area: f64, rng: &mut StdRng| -> f64 {
+            let var = (0..n)
+                .map(|_| die.sample_gate(rng, area).nmos_dvth.volts().powi(2))
+                .sum::<f64>()
+                / n as f64;
+            var.sqrt()
+        };
+        let small = spread(1.0, &mut rng);
+        let big = spread(16.0, &mut rng);
+        assert!((small / big - 4.0).abs() < 0.3, "ratio {}", small / big);
+    }
+
+    #[test]
+    fn nominal_die_has_zero_mismatch() {
+        let die = DieVariation::nominal();
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = die.sample_gate(&mut rng, 1.0);
+        assert_eq!(g.nmos_dvth, Volts::ZERO);
+        assert_eq!(g.pmos_dvth, Volts::ZERO);
+        assert_eq!(die.corner_units(), 0.0);
+    }
+
+    #[test]
+    fn corner_units_scale() {
+        let die = DieVariation {
+            nmos_dvth: Volts(0.015),
+            pmos_dvth: Volts(0.015),
+            local_sigma: Volts::ZERO,
+        };
+        assert!((die.corner_units() - 1.0).abs() < 1e-9);
+    }
+}

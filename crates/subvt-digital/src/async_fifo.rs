@@ -1,0 +1,272 @@
+//! Asynchronous (dual-clock) FIFO with Gray-coded pointer crossing.
+//!
+//! The controller's FIFO sits between two timing worlds: data arrives
+//! on the producer's clock while the load drains on a clock derived
+//! from the (variable!) subthreshold supply. A safe implementation
+//! crosses each pointer into the other domain through two-flop
+//! synchronizers in Gray code, so a metastable capture costs at most a
+//! one-count-stale (conservative) occupancy estimate — never a corrupt
+//! one.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::gray::{from_gray, to_gray};
+
+/// A two-stage synchronizer for a multi-bit Gray value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct Synchronizer {
+    stage1: u64,
+    stage2: u64,
+}
+
+impl Synchronizer {
+    /// Clocks the synchronizer in the destination domain.
+    fn clock(&mut self, input: u64) -> u64 {
+        self.stage2 = self.stage1;
+        self.stage1 = input;
+        self.stage2
+    }
+
+    /// The value visible in the destination domain.
+    fn output(&self) -> u64 {
+        self.stage2
+    }
+}
+
+/// A dual-clock FIFO. `clock_write` and `clock_read` are called from
+/// their respective domains in any interleaving.
+#[derive(Debug, Clone)]
+pub struct AsyncFifo<T> {
+    storage: VecDeque<T>,
+    capacity: usize,
+    /// Free-running binary pointers (one extra wrap bit each).
+    write_ptr: u64,
+    read_ptr: u64,
+    /// Cross-domain views.
+    write_ptr_in_read_domain: Synchronizer,
+    read_ptr_in_write_domain: Synchronizer,
+    dropped: u64,
+}
+
+impl<T> AsyncFifo<T> {
+    /// Creates a FIFO with `capacity` slots (a power of two, for the
+    /// wrap-bit trick).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `capacity` is a power of two ≥ 2.
+    pub fn new(capacity: usize) -> AsyncFifo<T> {
+        assert!(
+            capacity >= 2 && capacity.is_power_of_two(),
+            "capacity must be a power of two ≥ 2"
+        );
+        AsyncFifo {
+            storage: VecDeque::with_capacity(capacity),
+            capacity,
+            write_ptr: 0,
+            read_ptr: 0,
+            write_ptr_in_read_domain: Synchronizer::default(),
+            read_ptr_in_write_domain: Synchronizer::default(),
+            dropped: 0,
+        }
+    }
+
+    /// Capacity in slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items dropped at full-FIFO writes.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// True occupancy (testbench view; hardware never sees this).
+    pub fn occupancy(&self) -> usize {
+        self.storage.len()
+    }
+
+    /// Write-domain full test using the *synchronized* read pointer —
+    /// conservative: may report full when space just opened.
+    pub fn appears_full(&self) -> bool {
+        let synced_read = from_gray(self.read_ptr_in_write_domain.output());
+        self.write_ptr.wrapping_sub(synced_read) >= self.capacity as u64
+    }
+
+    /// Read-domain empty test using the *synchronized* write pointer —
+    /// conservative: may report empty when data just landed.
+    pub fn appears_empty(&self) -> bool {
+        let synced_write = from_gray(self.write_ptr_in_read_domain.output());
+        synced_write == self.read_ptr
+    }
+
+    /// Read-domain occupancy estimate (what drives the rate controller).
+    pub fn apparent_queue_length(&self) -> usize {
+        let synced_write = from_gray(self.write_ptr_in_read_domain.output());
+        synced_write.wrapping_sub(self.read_ptr) as usize
+    }
+
+    /// One write-domain clock edge: synchronizes the read pointer and
+    /// pushes `item` if the FIFO does not appear full. Returns whether
+    /// the item was accepted.
+    pub fn clock_write(&mut self, item: Option<T>) -> bool {
+        self.read_ptr_in_write_domain.clock(to_gray(self.read_ptr));
+        match item {
+            Some(item) if !self.appears_full() => {
+                self.storage.push_back(item);
+                self.write_ptr = self.write_ptr.wrapping_add(1);
+                true
+            }
+            Some(_) => {
+                self.dropped += 1;
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// One read-domain clock edge: synchronizes the write pointer and
+    /// pops an item if the FIFO does not appear empty.
+    pub fn clock_read(&mut self, pop: bool) -> Option<T> {
+        self.write_ptr_in_read_domain.clock(to_gray(self.write_ptr));
+        if pop && !self.appears_empty() {
+            let item = self.storage.pop_front();
+            if item.is_some() {
+                self.read_ptr = self.read_ptr.wrapping_add(1);
+            }
+            item
+        } else {
+            None
+        }
+    }
+}
+
+impl<T> fmt::Display for AsyncFifo<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "async fifo {}/{} (apparent {})",
+            self.occupancy(),
+            self.capacity,
+            self.apparent_queue_length()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_crosses_domains_in_order() {
+        let mut f: AsyncFifo<u32> = AsyncFifo::new(8);
+        for i in 0..5 {
+            assert!(f.clock_write(Some(i)));
+        }
+        // The read domain needs two read clocks before the data shows
+        // (two-flop synchronizer latency).
+        assert_eq!(f.clock_read(true), None);
+        assert_eq!(f.clock_read(true), Some(0));
+        assert_eq!(f.clock_read(true), Some(1));
+        assert_eq!(f.clock_read(true), Some(2));
+    }
+
+    #[test]
+    fn empty_flag_is_conservative_not_wrong() {
+        let mut f: AsyncFifo<u8> = AsyncFifo::new(4);
+        f.clock_write(Some(7));
+        // Immediately after the write, the read domain still sees empty.
+        assert!(f.appears_empty());
+        assert_eq!(f.occupancy(), 1, "the data is physically there");
+        f.clock_read(false);
+        f.clock_read(false);
+        assert!(!f.appears_empty(), "visible after two read clocks");
+        assert_eq!(f.clock_read(true), Some(7));
+    }
+
+    #[test]
+    fn full_flag_is_conservative_not_wrong() {
+        let mut f: AsyncFifo<u8> = AsyncFifo::new(4);
+        for i in 0..4 {
+            assert!(f.clock_write(Some(i)));
+        }
+        assert!(f.appears_full());
+        // Drain one in the read domain...
+        f.clock_read(false);
+        f.clock_read(false);
+        assert_eq!(f.clock_read(true), Some(0));
+        // ...the write domain still *appears* full until the pointer
+        // crosses back (two write clocks).
+        assert!(f.appears_full());
+        assert!(!f.clock_write(Some(99)), "conservatively rejected");
+        f.clock_write(None);
+        assert!(!f.appears_full(), "space visible after sync");
+        assert!(f.clock_write(Some(4)));
+    }
+
+    #[test]
+    fn no_data_is_ever_lost_or_duplicated() {
+        // Randomized interleaving of domain clocks; conservation must
+        // hold exactly.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut f: AsyncFifo<u64> = AsyncFifo::new(8);
+        let mut next = 0u64;
+        let mut received = Vec::new();
+        let mut accepted = 0u64;
+        for _ in 0..5_000 {
+            if rng.gen_bool(0.5) {
+                let offer = rng.gen_bool(0.7);
+                if f.clock_write(offer.then_some(next)) {
+                    accepted += 1;
+                    next += 1;
+                } else if offer {
+                    next += 1; // dropped item still consumed an id
+                }
+            } else if let Some(v) = f.clock_read(rng.gen_bool(0.8)) {
+                received.push(v);
+            }
+        }
+        // Drain.
+        loop {
+            f.clock_read(false);
+            if f.appears_empty() && f.occupancy() == 0 {
+                break;
+            }
+            if let Some(v) = f.clock_read(true) {
+                received.push(v);
+            }
+        }
+        assert_eq!(received.len() as u64, accepted);
+        // FIFO order: received ids strictly increasing.
+        assert!(received.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn apparent_queue_length_lags_but_never_overshoots() {
+        let mut f: AsyncFifo<u8> = AsyncFifo::new(8);
+        for i in 0..6 {
+            f.clock_write(Some(i));
+        }
+        assert_eq!(f.apparent_queue_length(), 0, "not yet visible");
+        f.clock_read(false);
+        f.clock_read(false);
+        assert_eq!(f.apparent_queue_length(), 6);
+        assert!(f.apparent_queue_length() <= f.occupancy());
+    }
+
+    #[test]
+    fn display_shows_both_views() {
+        let mut f: AsyncFifo<u8> = AsyncFifo::new(4);
+        f.clock_write(Some(1));
+        assert_eq!(format!("{f}"), "async fifo 1/4 (apparent 0)");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = AsyncFifo::<u8>::new(6);
+    }
+}

@@ -1,0 +1,144 @@
+//! The DC-DC converter's magnitude comparator.
+//!
+//! Paper Sec. III: "The comparator output is a two bit value based on
+//! whether the output voltage Vout is less than ("01") or equal to
+//! ("10") or greater than ("11") the desired voltage."
+
+use std::fmt;
+
+use crate::counter::CountDirection;
+
+/// Outcome of comparing the measured voltage code against the desired
+/// code, with the paper's 2-bit encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Comparison {
+    /// Measured below desired — drive the supply up ("01").
+    Less,
+    /// Measured equals desired — hold ("10").
+    Equal,
+    /// Measured above desired — drive the supply down ("11").
+    Greater,
+}
+
+impl Comparison {
+    /// The paper's 2-bit encoding of the outcome.
+    pub fn to_bits(self) -> u8 {
+        match self {
+            Comparison::Less => 0b01,
+            Comparison::Equal => 0b10,
+            Comparison::Greater => 0b11,
+        }
+    }
+
+    /// Decodes the paper's 2-bit encoding.
+    ///
+    /// Returns `None` for the unused pattern `00`.
+    pub fn from_bits(bits: u8) -> Option<Comparison> {
+        match bits & 0b11 {
+            0b01 => Some(Comparison::Less),
+            0b10 => Some(Comparison::Equal),
+            0b11 => Some(Comparison::Greater),
+            _ => None,
+        }
+    }
+
+    /// The counter command this comparison implies for the supply:
+    /// below-target measurements push the voltage up, above-target
+    /// measurements pull it down.
+    pub fn to_direction(self) -> CountDirection {
+        match self {
+            Comparison::Less => CountDirection::Up,
+            Comparison::Equal => CountDirection::Hold,
+            Comparison::Greater => CountDirection::Down,
+        }
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Comparison::Less => "less(01)",
+            Comparison::Equal => "equal(10)",
+            Comparison::Greater => "greater(11)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A combinational magnitude comparator over voltage codes, with an
+/// optional dead band (codes within `tolerance` LSBs compare equal, so
+/// converter dither does not cause hunting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MagnitudeComparator {
+    tolerance: u8,
+}
+
+impl MagnitudeComparator {
+    /// An exact comparator (zero dead band).
+    pub fn new() -> MagnitudeComparator {
+        MagnitudeComparator { tolerance: 0 }
+    }
+
+    /// A comparator treating codes within `tolerance` LSBs as equal.
+    pub fn with_tolerance(tolerance: u8) -> MagnitudeComparator {
+        MagnitudeComparator { tolerance }
+    }
+
+    /// Compares `measured` against `desired`.
+    pub fn compare(&self, measured: u64, desired: u64) -> Comparison {
+        let diff = measured.abs_diff(desired);
+        if diff <= u64::from(self.tolerance) {
+            Comparison::Equal
+        } else if measured < desired {
+            Comparison::Less
+        } else {
+            Comparison::Greater
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_bit_encoding() {
+        assert_eq!(Comparison::Less.to_bits(), 0b01);
+        assert_eq!(Comparison::Equal.to_bits(), 0b10);
+        assert_eq!(Comparison::Greater.to_bits(), 0b11);
+        for c in [Comparison::Less, Comparison::Equal, Comparison::Greater] {
+            assert_eq!(Comparison::from_bits(c.to_bits()), Some(c));
+        }
+        assert_eq!(Comparison::from_bits(0b00), None);
+    }
+
+    #[test]
+    fn exact_comparison() {
+        let cmp = MagnitudeComparator::new();
+        assert_eq!(cmp.compare(10, 19), Comparison::Less);
+        assert_eq!(cmp.compare(19, 19), Comparison::Equal);
+        assert_eq!(cmp.compare(25, 19), Comparison::Greater);
+    }
+
+    #[test]
+    fn dead_band_absorbs_dither() {
+        let cmp = MagnitudeComparator::with_tolerance(1);
+        assert_eq!(cmp.compare(18, 19), Comparison::Equal);
+        assert_eq!(cmp.compare(20, 19), Comparison::Equal);
+        assert_eq!(cmp.compare(17, 19), Comparison::Less);
+        assert_eq!(cmp.compare(21, 19), Comparison::Greater);
+    }
+
+    #[test]
+    fn directions_close_the_loop() {
+        assert_eq!(Comparison::Less.to_direction(), CountDirection::Up);
+        assert_eq!(Comparison::Equal.to_direction(), CountDirection::Hold);
+        assert_eq!(Comparison::Greater.to_direction(), CountDirection::Down);
+    }
+
+    #[test]
+    fn display_shows_encoding() {
+        assert_eq!(format!("{}", Comparison::Less), "less(01)");
+        assert_eq!(format!("{}", Comparison::Equal), "equal(10)");
+    }
+}

@@ -1,0 +1,256 @@
+//! Up/down counter with terminal count — the heart of the PWM control
+//! (paper Sec. III: "a new value at the up-down counter register is
+//! updated in each duty cycle … at terminal count it triggers the
+//! toggle flip-flop").
+
+use std::fmt;
+
+use subvt_sim::logic::Bus;
+
+/// Count direction command for an [`UpDownCounter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CountDirection {
+    /// Increment.
+    Up,
+    /// Decrement.
+    Down,
+    /// Keep the current value.
+    #[default]
+    Hold,
+}
+
+/// Wrapping behaviour of a counter at its range limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OverflowMode {
+    /// Wrap around (a free-running hardware counter).
+    #[default]
+    Wrap,
+    /// Saturate at the limits (a register that must not glitch through
+    /// zero — the paper's "simple upper bound and lower bound … to
+    /// avoid the unwanted switching of all transistors at once").
+    Saturate,
+}
+
+/// A width-limited up/down counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpDownCounter {
+    value: Bus,
+    mode: OverflowMode,
+}
+
+impl UpDownCounter {
+    /// Creates a counter of `width` bits starting at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    pub fn new(width: u8, mode: OverflowMode) -> UpDownCounter {
+        UpDownCounter {
+            value: Bus::zero(width),
+            mode,
+        }
+    }
+
+    /// Current count.
+    pub fn value(&self) -> u64 {
+        self.value.value()
+    }
+
+    /// Counter width in bits.
+    pub fn width(&self) -> u8 {
+        self.value.width()
+    }
+
+    /// Loads a value (masked to the counter width).
+    pub fn load(&mut self, value: u64) {
+        self.value = Bus::new(self.value.width(), value);
+    }
+
+    /// True when the counter sits at its maximum value.
+    pub fn at_terminal(&self) -> bool {
+        self.value.is_terminal()
+    }
+
+    /// True when the counter sits at zero.
+    pub fn at_zero(&self) -> bool {
+        self.value.value() == 0
+    }
+
+    /// Applies one clock with a direction command. Returns `true` when
+    /// the step produced a terminal-count event (wrapped past the top
+    /// or hit the top, depending on the overflow mode).
+    pub fn clock(&mut self, dir: CountDirection) -> bool {
+        match dir {
+            CountDirection::Hold => false,
+            CountDirection::Up => {
+                if self.at_terminal() {
+                    match self.mode {
+                        OverflowMode::Wrap => {
+                            self.value = self.value.wrapping_inc();
+                            true
+                        }
+                        OverflowMode::Saturate => true,
+                    }
+                } else {
+                    self.value = self.value.wrapping_inc();
+                    self.at_terminal()
+                }
+            }
+            CountDirection::Down => {
+                if self.at_zero() {
+                    if self.mode == OverflowMode::Wrap {
+                        self.value = self.value.wrapping_dec();
+                    }
+                } else {
+                    self.value = self.value.wrapping_dec();
+                }
+                false
+            }
+        }
+    }
+}
+
+impl fmt::Display for UpDownCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.value.value(), (1u64 << self.width()) - 1)
+    }
+}
+
+/// A free-running modulo-N tick counter that reports wrap events —
+/// used to derive the 1 MHz system cycle from the 64 MHz clock
+/// (64 MHz / 2⁶, paper Sec. IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockDivider {
+    period: u64,
+    count: u64,
+}
+
+impl ClockDivider {
+    /// Creates a divider that fires every `period` input ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(period: u64) -> ClockDivider {
+        assert!(period > 0, "divider period must be positive");
+        ClockDivider { period, count: 0 }
+    }
+
+    /// Division ratio.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Ticks in the current cycle so far.
+    pub fn phase(&self) -> u64 {
+        self.count
+    }
+
+    /// Advances one input tick; returns `true` on the tick that
+    /// completes a cycle.
+    pub fn tick(&mut self) -> bool {
+        self.count += 1;
+        if self.count == self.period {
+            self.count = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Resets the phase.
+    pub fn reset(&mut self) {
+        self.count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_bit_counter_counts_to_63_and_wraps() {
+        let mut c = UpDownCounter::new(6, OverflowMode::Wrap);
+        let mut terminal_events = 0;
+        for _ in 0..64 {
+            if c.clock(CountDirection::Up) {
+                terminal_events += 1;
+            }
+        }
+        // Reached 63 at the 63rd step (terminal event), then wrapped.
+        assert_eq!(terminal_events, 2, "terminal at 63 and wrap past it");
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn hold_does_nothing() {
+        let mut c = UpDownCounter::new(6, OverflowMode::Wrap);
+        c.load(17);
+        assert!(!c.clock(CountDirection::Hold));
+        assert_eq!(c.value(), 17);
+    }
+
+    #[test]
+    fn down_counts_and_wraps() {
+        let mut c = UpDownCounter::new(4, OverflowMode::Wrap);
+        c.clock(CountDirection::Down);
+        assert_eq!(c.value(), 15);
+    }
+
+    #[test]
+    fn saturating_counter_pins_at_limits() {
+        let mut c = UpDownCounter::new(4, OverflowMode::Saturate);
+        c.load(15);
+        assert!(c.clock(CountDirection::Up));
+        assert_eq!(c.value(), 15, "saturated at top");
+        c.load(0);
+        c.clock(CountDirection::Down);
+        assert_eq!(c.value(), 0, "saturated at bottom");
+    }
+
+    #[test]
+    fn load_masks_to_width() {
+        let mut c = UpDownCounter::new(6, OverflowMode::Wrap);
+        c.load(0x1FF);
+        assert_eq!(c.value(), 63);
+        assert!(c.at_terminal());
+    }
+
+    #[test]
+    fn display_shows_value_and_max() {
+        let mut c = UpDownCounter::new(6, OverflowMode::Wrap);
+        c.load(19);
+        assert_eq!(format!("{c}"), "19/63");
+    }
+
+    #[test]
+    fn divider_derives_system_cycle() {
+        // 64 MHz / 64 = 1 MHz: fires once every 64 ticks.
+        let mut div = ClockDivider::new(64);
+        let mut fires = 0;
+        for _ in 0..640 {
+            if div.tick() {
+                fires += 1;
+            }
+        }
+        assert_eq!(fires, 10);
+        assert_eq!(div.phase(), 0);
+    }
+
+    #[test]
+    fn divider_phase_and_reset() {
+        let mut div = ClockDivider::new(4);
+        div.tick();
+        div.tick();
+        assert_eq!(div.phase(), 2);
+        div.reset();
+        assert_eq!(div.phase(), 0);
+        assert_eq!(div.period(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_divider_rejected() {
+        let _ = ClockDivider::new(0);
+    }
+}

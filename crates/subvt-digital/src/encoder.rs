@@ -1,0 +1,254 @@
+//! Thermometer-to-binary encoding for the TDC quantizer output
+//! (paper Fig. 4: "the quantizer provides the quantized delay and is
+//! encoded to a 6-bit value").
+
+use std::fmt;
+
+/// Why an encode attempt could not produce a trustworthy code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The word contains more than one contiguous run of ones — the
+    /// paper's "data being latched twice by a faster Ref_clk" failure
+    /// at 0.6 V (Sec. II-A).
+    MultipleBursts {
+        /// Number of distinct one-runs found.
+        bursts: u32,
+    },
+    /// The word is all zeros: the edge never arrived in the window.
+    Empty,
+    /// The word is all ones: the measurement saturated the line.
+    Saturated,
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::MultipleBursts { bursts } => write!(
+                f,
+                "quantizer word holds {bursts} bursts (double-latched; Ref_clk too fast for this supply)"
+            ),
+            EncodeError::Empty => write!(f, "quantizer word is empty (edge did not reach the line)"),
+            EncodeError::Saturated => {
+                write!(f, "quantizer word is saturated (edge passed the whole line)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// A thermometer-style quantizer word: `bits[0]` (LSB) is the delay
+/// stage nearest the input; a set bit means that stage sampled high.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QuantizerWord {
+    bits: u64,
+    width: u8,
+}
+
+impl QuantizerWord {
+    /// Wraps a raw sampled word of `width` stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    pub fn new(width: u8, bits: u64) -> QuantizerWord {
+        assert!((1..=64).contains(&width), "width {width} out of range");
+        let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+        QuantizerWord {
+            bits: bits & mask,
+            width,
+        }
+    }
+
+    /// Raw bits, stage 0 at the LSB.
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// Number of stages.
+    pub fn width(self) -> u8 {
+        self.width
+    }
+
+    /// Number of stages sampled high.
+    pub fn ones(self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Number of contiguous one-runs in the word.
+    pub fn burst_count(self) -> u32 {
+        // A run starts at each 0→1 boundary scanning from bit 0.
+        let starts = self.bits & !(self.bits << 1);
+        starts.count_ones()
+    }
+
+    /// Length of the run of ones starting at stage 0.
+    pub fn leading_run(self) -> u32 {
+        (!self.bits).trailing_zeros().min(u32::from(self.width))
+    }
+
+    /// Encodes the word to a stage position: the length of the
+    /// contiguous one-run that starts at stage 0 (where the propagating
+    /// edge has reached).
+    ///
+    /// # Errors
+    ///
+    /// * [`EncodeError::Empty`] / [`EncodeError::Saturated`] when the
+    ///   word carries no edge;
+    /// * [`EncodeError::MultipleBursts`] when more than one run is
+    ///   present (unreliable, double-latched measurement).
+    pub fn encode(self) -> Result<u32, EncodeError> {
+        if self.bits == 0 {
+            return Err(EncodeError::Empty);
+        }
+        if self.ones() == u32::from(self.width) {
+            return Err(EncodeError::Saturated);
+        }
+        let bursts = self.burst_count();
+        if bursts > 1 {
+            return Err(EncodeError::MultipleBursts { bursts });
+        }
+        // Exactly one burst. If it does not start at stage 0 the edge
+        // position is the end of the burst.
+        let start = self.bits.trailing_zeros();
+        let len = (self.bits >> start).trailing_ones();
+        Ok(start + len)
+    }
+
+    /// Encodes with single-bubble tolerance: isolated zero "bubbles"
+    /// inside an otherwise contiguous run (a classic flash/TDC
+    /// metastability artefact) are filled before encoding.
+    ///
+    /// # Errors
+    ///
+    /// As [`QuantizerWord::encode`], after bubble filling.
+    pub fn encode_bubble_tolerant(self) -> Result<u32, EncodeError> {
+        // Fill isolated zeros that have ones on both sides.
+        let filled = self.bits | ((self.bits << 1) & (self.bits >> 1));
+        QuantizerWord::new(self.width, filled).encode()
+    }
+
+    /// Formats the word as the paper's Table I does: hex, MSB-first
+    /// with stage 0 as the most significant displayed bit, grouped in
+    /// 16-bit words.
+    pub fn to_table_hex(self) -> String {
+        // Stage 0 is displayed first (leftmost), i.e. we reverse the
+        // bit order into display space.
+        let mut display: u64 = 0;
+        for i in 0..self.width {
+            if (self.bits >> i) & 1 == 1 {
+                display |= 1 << (self.width - 1 - i);
+            }
+        }
+        let hex_digits = usize::from(self.width).div_ceil(4);
+        let raw = format!("{display:0width$X}", width = hex_digits);
+        raw.as_bytes()
+            .chunks(4)
+            .map(|c| std::str::from_utf8(c).expect("ascii hex"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+impl fmt::Display for QuantizerWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_table_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word_of_run(width: u8, run: u32) -> QuantizerWord {
+        let bits = if run == 0 { 0 } else { (1u64 << run) - 1 };
+        QuantizerWord::new(width, bits)
+    }
+
+    #[test]
+    fn clean_run_encodes_to_its_length() {
+        for run in 1..63u32 {
+            let w = word_of_run(64, run);
+            assert_eq!(w.encode(), Ok(run));
+            assert_eq!(w.leading_run(), run);
+            assert_eq!(w.burst_count(), 1);
+        }
+    }
+
+    #[test]
+    fn offset_burst_encodes_to_trailing_edge() {
+        // 7 zeros then 33 ones (the paper's 0.8 V shape): position 40.
+        let bits = ((1u64 << 33) - 1) << 7;
+        let w = QuantizerWord::new(64, bits);
+        assert_eq!(w.encode(), Ok(40));
+    }
+
+    #[test]
+    fn empty_and_saturated_are_errors() {
+        assert_eq!(QuantizerWord::new(64, 0).encode(), Err(EncodeError::Empty));
+        assert_eq!(
+            QuantizerWord::new(16, 0xFFFF).encode(),
+            Err(EncodeError::Saturated)
+        );
+    }
+
+    #[test]
+    fn double_latch_is_detected() {
+        // Two bursts — the paper's unreliable 0.6 V signature.
+        let bits = 0b0000_1111_1110_0000_0001_1111_1100_0000u64;
+        let w = QuantizerWord::new(32, bits);
+        assert_eq!(w.burst_count(), 2);
+        assert_eq!(w.encode(), Err(EncodeError::MultipleBursts { bursts: 2 }));
+        let msg = w.encode().unwrap_err().to_string();
+        assert!(msg.contains("double-latched"), "{msg}");
+    }
+
+    #[test]
+    fn bubble_is_repaired() {
+        // Run of 9 with a bubble at position 4.
+        let bits = 0b1_1110_1111u64;
+        let w = QuantizerWord::new(16, bits);
+        assert!(w.encode().is_err());
+        assert_eq!(w.encode_bubble_tolerant(), Ok(9));
+    }
+
+    #[test]
+    fn two_adjacent_bubbles_stay_unreliable() {
+        let bits = 0b1_1100_1111u64;
+        let w = QuantizerWord::new(16, bits);
+        assert!(w.encode_bubble_tolerant().is_err());
+    }
+
+    #[test]
+    fn table_hex_matches_paper_format() {
+        // 7 leading ones out of 64 stages → "FE00 0000 0000 0000"
+        // (paper Table I, 1.2 V row).
+        let w = word_of_run(64, 7);
+        assert_eq!(w.to_table_hex(), "FE00 0000 0000 0000");
+        // 23 leading ones → "FFFF FE00 0000 0000" (1.0 V row).
+        let w = word_of_run(64, 23);
+        assert_eq!(w.to_table_hex(), "FFFF FE00 0000 0000");
+        assert_eq!(format!("{w}"), "FFFF FE00 0000 0000");
+    }
+
+    #[test]
+    fn table_hex_with_offset_matches_08v_row() {
+        // 7 zeros, 33 ones, 24 zeros → "01FF FFFF FF00 0000"
+        // (paper Table I, 0.8 V row).
+        let bits = ((1u64 << 33) - 1) << 7;
+        let w = QuantizerWord::new(64, bits);
+        assert_eq!(w.to_table_hex(), "01FF FFFF FF00 0000");
+    }
+
+    #[test]
+    fn narrow_word_hex() {
+        let w = QuantizerWord::new(8, 0b0000_0111);
+        assert_eq!(w.to_table_hex(), "E0");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_width_rejected() {
+        let _ = QuantizerWord::new(0, 0);
+    }
+}

@@ -1,0 +1,226 @@
+//! The input FIFO whose queue length drives the rate controller.
+//!
+//! Paper Sec. III: "The queue length is the difference between the
+//! write pointer and the read pointer of the FIFO. If the processing
+//! rate is faster than the arrival of data, the queue length diminishes
+//! rapidly … If the data approaches faster than it can process, it
+//! results in loss of data."
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A bounded FIFO with hardware-style pointers and loss accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fifo<T> {
+    buffer: VecDeque<T>,
+    capacity: usize,
+    write_pointer: u64,
+    read_pointer: u64,
+    dropped: u64,
+    peak_occupancy: usize,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Fifo<T> {
+        assert!(capacity > 0, "FIFO capacity must be positive");
+        Fifo {
+            buffer: VecDeque::with_capacity(capacity),
+            capacity,
+            write_pointer: 0,
+            read_pointer: 0,
+            dropped: 0,
+            peak_occupancy: 0,
+        }
+    }
+
+    /// Maximum occupancy.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue length (write pointer − read pointer).
+    pub fn queue_length(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    /// True when at capacity (the next push drops).
+    pub fn is_full(&self) -> bool {
+        self.buffer.len() == self.capacity
+    }
+
+    /// Queue length as a fraction of capacity (0..=1).
+    pub fn occupancy(&self) -> f64 {
+        self.queue_length() as f64 / self.capacity as f64
+    }
+
+    /// Total items accepted so far (the hardware write pointer).
+    pub fn write_pointer(&self) -> u64 {
+        self.write_pointer
+    }
+
+    /// Total items consumed so far (the hardware read pointer).
+    pub fn read_pointer(&self) -> u64 {
+        self.read_pointer
+    }
+
+    /// Items lost to overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Highest queue length observed.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    /// Offers an item. Returns `true` if accepted, `false` if the FIFO
+    /// was full and the item was dropped (counted in [`Fifo::dropped`]).
+    pub fn push(&mut self, item: T) -> bool {
+        if self.is_full() {
+            self.dropped += 1;
+            return false;
+        }
+        self.buffer.push_back(item);
+        self.write_pointer += 1;
+        self.peak_occupancy = self.peak_occupancy.max(self.buffer.len());
+        true
+    }
+
+    /// Consumes the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        let item = self.buffer.pop_front();
+        if item.is_some() {
+            self.read_pointer += 1;
+        }
+        item
+    }
+
+    /// Peeks at the oldest item without consuming it.
+    pub fn front(&self) -> Option<&T> {
+        self.buffer.front()
+    }
+
+    /// Drops all queued items (does not reset statistics).
+    pub fn clear(&mut self) {
+        let n = self.buffer.len() as u64;
+        self.buffer.clear();
+        self.read_pointer += n;
+    }
+}
+
+impl<T> fmt::Display for Fifo<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fifo {}/{} (wr {}, rd {}, dropped {})",
+            self.queue_length(),
+            self.capacity,
+            self.write_pointer,
+            self.read_pointer,
+            self.dropped
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_length_is_pointer_difference() {
+        let mut f = Fifo::new(8);
+        for i in 0..5 {
+            assert!(f.push(i));
+        }
+        f.pop();
+        f.pop();
+        assert_eq!(f.write_pointer(), 5);
+        assert_eq!(f.read_pointer(), 2);
+        assert_eq!(f.queue_length(), 3);
+        assert_eq!(
+            f.queue_length() as u64,
+            f.write_pointer() - f.read_pointer()
+        );
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let mut f = Fifo::new(2);
+        assert!(f.push('a'));
+        assert!(f.push('b'));
+        assert!(!f.push('c'));
+        assert_eq!(f.dropped(), 1);
+        assert_eq!(f.queue_length(), 2);
+        assert_eq!(f.pop(), Some('a'));
+        assert!(f.push('d'));
+        assert_eq!(f.dropped(), 1);
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut f = Fifo::new(4);
+        for i in 0..4 {
+            f.push(i);
+        }
+        for i in 0..4 {
+            assert_eq!(f.pop(), Some(i));
+        }
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn occupancy_and_peak() {
+        let mut f = Fifo::new(10);
+        for i in 0..7 {
+            f.push(i);
+        }
+        assert!((f.occupancy() - 0.7).abs() < 1e-12);
+        for _ in 0..7 {
+            f.pop();
+        }
+        assert_eq!(f.occupancy(), 0.0);
+        assert_eq!(f.peak_occupancy(), 7);
+    }
+
+    #[test]
+    fn front_peeks_without_consuming() {
+        let mut f = Fifo::new(2);
+        f.push(42);
+        assert_eq!(f.front(), Some(&42));
+        assert_eq!(f.queue_length(), 1);
+    }
+
+    #[test]
+    fn clear_advances_read_pointer() {
+        let mut f = Fifo::new(4);
+        for i in 0..3 {
+            f.push(i);
+        }
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(f.read_pointer(), 3);
+    }
+
+    #[test]
+    fn display_summarizes_state() {
+        let mut f = Fifo::new(2);
+        f.push(1);
+        assert_eq!(format!("{f}"), "fifo 1/2 (wr 1, rd 0, dropped 0)");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Fifo::<u8>::new(0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Flip-flops: the D flip-flops of the TDC quantizer and the toggle
+//! flip-flop that generates the PWM output (paper Fig. 5).
+
+use subvt_sim::logic::Logic;
+
+/// A positive-edge D flip-flop with asynchronous set/clear, modelled at
+/// the clock-call level: each call to [`DFlipFlop::clock`] is one
+/// rising edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DFlipFlop {
+    q: Logic,
+}
+
+impl DFlipFlop {
+    /// Creates a flip-flop with an unknown initial state (as silicon
+    /// powers up).
+    pub fn new() -> DFlipFlop {
+        DFlipFlop { q: Logic::Unknown }
+    }
+
+    /// Current output.
+    pub fn q(&self) -> Logic {
+        self.q
+    }
+
+    /// Complementary output.
+    pub fn q_bar(&self) -> Logic {
+        !self.q
+    }
+
+    /// Applies a rising clock edge, capturing `d`. Returns the new Q.
+    pub fn clock(&mut self, d: Logic) -> Logic {
+        self.q = d;
+        self.q
+    }
+
+    /// Asynchronous set (the `SET` pin in the paper's figures).
+    pub fn set(&mut self) {
+        self.q = Logic::High;
+    }
+
+    /// Asynchronous clear (the `CLR` pin in the paper's figures).
+    pub fn clear(&mut self) {
+        self.q = Logic::Low;
+    }
+}
+
+/// A toggle flip-flop: flips its output on every enabled clock edge.
+///
+/// The paper uses one to generate the PWM output: "at terminal count it
+/// triggers the toggle flip-flop to drive the PWM signal high".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ToggleFlipFlop {
+    q: Logic,
+}
+
+impl ToggleFlipFlop {
+    /// Creates a toggle flip-flop initialized low.
+    pub fn new() -> ToggleFlipFlop {
+        ToggleFlipFlop { q: Logic::Low }
+    }
+
+    /// Current output.
+    pub fn q(&self) -> Logic {
+        self.q
+    }
+
+    /// Applies a clock edge with toggle-enable `t`. Returns the new Q.
+    ///
+    /// An `Unknown` enable leaves the state unchanged (conservative).
+    pub fn clock(&mut self, t: Logic) -> Logic {
+        if t.is_high() {
+            self.q = !self.q;
+        }
+        self.q
+    }
+
+    /// Forces the output low.
+    pub fn clear(&mut self) {
+        self.q = Logic::Low;
+    }
+}
+
+impl Default for ToggleFlipFlop {
+    fn default() -> Self {
+        ToggleFlipFlop::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dff_captures_on_clock() {
+        let mut ff = DFlipFlop::new();
+        assert_eq!(ff.q(), Logic::Unknown);
+        assert_eq!(ff.clock(Logic::High), Logic::High);
+        assert_eq!(ff.q(), Logic::High);
+        assert_eq!(ff.q_bar(), Logic::Low);
+        ff.clock(Logic::Low);
+        assert_eq!(ff.q(), Logic::Low);
+    }
+
+    #[test]
+    fn dff_async_pins() {
+        let mut ff = DFlipFlop::new();
+        ff.set();
+        assert_eq!(ff.q(), Logic::High);
+        ff.clear();
+        assert_eq!(ff.q(), Logic::Low);
+    }
+
+    #[test]
+    fn dff_propagates_unknown() {
+        let mut ff = DFlipFlop::new();
+        ff.clock(Logic::Unknown);
+        assert_eq!(ff.q(), Logic::Unknown);
+        assert_eq!(ff.q_bar(), Logic::Unknown);
+    }
+
+    #[test]
+    fn toggle_flips_when_enabled() {
+        let mut tff = ToggleFlipFlop::new();
+        assert_eq!(tff.q(), Logic::Low);
+        assert_eq!(tff.clock(Logic::High), Logic::High);
+        assert_eq!(tff.clock(Logic::High), Logic::Low);
+        assert_eq!(tff.clock(Logic::Low), Logic::Low);
+        assert_eq!(tff.clock(Logic::Unknown), Logic::Low);
+        tff.clock(Logic::High);
+        tff.clear();
+        assert_eq!(tff.q(), Logic::Low);
+    }
+}

@@ -1,0 +1,123 @@
+//! Gray-code counters.
+//!
+//! FIFO pointers that cross clock domains (the controller's input side
+//! runs on the data clock, the drain side on the load clock) must be
+//! Gray-coded so a metastable sample is off by at most one — the
+//! classic async-FIFO construction backing the paper's Fig. 5 FIFO.
+
+use std::fmt;
+
+/// Converts binary to Gray code.
+#[inline]
+pub fn to_gray(binary: u64) -> u64 {
+    binary ^ (binary >> 1)
+}
+
+/// Converts Gray code back to binary.
+#[inline]
+pub fn from_gray(gray: u64) -> u64 {
+    let mut b = gray;
+    let mut shift = 1;
+    while shift < 64 {
+        b ^= b >> shift;
+        shift <<= 1;
+    }
+    b
+}
+
+/// A width-limited Gray-code counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrayCounter {
+    binary: u64,
+    width: u8,
+}
+
+impl GrayCounter {
+    /// Creates a `width`-bit Gray counter at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 63.
+    pub fn new(width: u8) -> GrayCounter {
+        assert!((1..=63).contains(&width), "width {width} out of range");
+        GrayCounter { binary: 0, width }
+    }
+
+    /// Counter width.
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// Current value in binary.
+    pub fn binary(&self) -> u64 {
+        self.binary
+    }
+
+    /// Current value in Gray code.
+    pub fn gray(&self) -> u64 {
+        to_gray(self.binary)
+    }
+
+    /// Advances one count (wrapping), returning the new Gray value.
+    pub fn increment(&mut self) -> u64 {
+        let mask = (1u64 << self.width) - 1;
+        self.binary = (self.binary + 1) & mask;
+        self.gray()
+    }
+}
+
+impl fmt::Display for GrayCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gray {:0w$b} (bin {})", self.gray(), self.binary, w = usize::from(self.width))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gray_round_trip() {
+        for v in 0..1024u64 {
+            assert_eq!(from_gray(to_gray(v)), v);
+        }
+        assert_eq!(from_gray(to_gray(u64::MAX)), u64::MAX);
+    }
+
+    #[test]
+    fn adjacent_counts_differ_in_one_bit() {
+        let mut c = GrayCounter::new(6);
+        let mut prev = c.gray();
+        for _ in 0..200 {
+            let next = c.increment();
+            assert_eq!((prev ^ next).count_ones(), 1, "{prev:b} -> {next:b}");
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn wraps_with_single_bit_change() {
+        let mut c = GrayCounter::new(4);
+        for _ in 0..15 {
+            c.increment();
+        }
+        let at_max = c.gray();
+        let wrapped = c.increment();
+        assert_eq!(c.binary(), 0);
+        assert_eq!((at_max ^ wrapped).count_ones(), 1);
+    }
+
+    #[test]
+    fn display_shows_both_codes() {
+        let mut c = GrayCounter::new(4);
+        c.increment();
+        c.increment();
+        assert_eq!(format!("{c}"), "gray 0011 (bin 2)");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_width_rejected() {
+        let _ = GrayCounter::new(0);
+    }
+}

@@ -1,0 +1,66 @@
+//! # subvt-digital
+//!
+//! Cycle/event-accurate RTL primitives for the `subvt` reproduction of
+//! *"Variation Resilient Adaptive Controller for Subthreshold
+//! Circuits"* (DATE 2009) — the blocks the paper modelled in VHDL:
+//!
+//! * [`flipflop`] — D and toggle flip-flops (TDC sampling, PWM output);
+//! * [`register`] — load-enabled registers;
+//! * [`counter`] — the 6-bit up/down counter with terminal count, and
+//!   the clock divider deriving the 1 MHz system cycle from 64 MHz;
+//! * [`encoder`] — thermometer-to-binary encoding of quantizer words,
+//!   including the Table I hex formatting and double-latch detection;
+//! * [`comparator`] — the "01/10/11" magnitude comparator of the DC-DC
+//!   control loop;
+//! * [`fifo`] — the input FIFO whose queue length drives the rate
+//!   controller, with loss accounting;
+//! * [`lut`] — the queue-length-banded voltage look-up table with the
+//!   compensation shift;
+//! * [`pwm`] — the N/64 duty-cycle PWM generator with guard bounds.
+//!
+//! ## Example
+//!
+//! The comparator-to-counter path of the converter's feedback loop:
+//!
+//! ```
+//! use subvt_digital::comparator::{Comparison, MagnitudeComparator};
+//! use subvt_digital::counter::{CountDirection, OverflowMode, UpDownCounter};
+//!
+//! let cmp = MagnitudeComparator::new();
+//! let mut duty = UpDownCounter::new(6, OverflowMode::Saturate);
+//! duty.load(19);
+//!
+//! // Measured code 18 < desired 19 → "01" → drive the supply up.
+//! let c = cmp.compare(18, 19);
+//! assert_eq!(c, Comparison::Less);
+//! assert_eq!(c.to_bits(), 0b01);
+//! duty.clock(c.to_direction());
+//! assert_eq!(duty.value(), 20);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod async_fifo;
+pub mod comparator;
+pub mod counter;
+pub mod encoder;
+pub mod fifo;
+pub mod gray;
+pub mod flipflop;
+pub mod lut;
+pub mod pwm;
+pub mod register;
+pub mod voter;
+
+pub use async_fifo::AsyncFifo;
+pub use comparator::{Comparison, MagnitudeComparator};
+pub use counter::{ClockDivider, CountDirection, OverflowMode, UpDownCounter};
+pub use encoder::{EncodeError, QuantizerWord};
+pub use fifo::Fifo;
+pub use gray::{from_gray, to_gray, GrayCounter};
+pub use flipflop::{DFlipFlop, ToggleFlipFlop};
+pub use lut::{LutError, VoltageLut, VoltageWord, WORD_LEVELS};
+pub use pwm::PwmGenerator;
+pub use register::Register;
+pub use voter::{majority, median_code, MedianVoter};

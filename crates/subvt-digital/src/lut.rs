@@ -1,0 +1,243 @@
+//! The rate controller's look-up table.
+//!
+//! Paper Sec. III: "Based on the range of the queue length, the
+//! location of the look up table is selected from which a 6-bit word is
+//! fetched. This is the desired voltage value encoded as bits. … The
+//! look up table is updated at regular intervals as the variations are
+//! sensed and needs to be corrected."
+
+use std::fmt;
+
+/// A 6-bit voltage word (0..=63); `w × 18.75 mV` at the DC-DC output.
+pub type VoltageWord = u8;
+
+/// Number of distinct 6-bit words.
+pub const WORD_LEVELS: u16 = 64;
+
+/// The queue-length-banded voltage LUT, including the global shift the
+/// compensation loop applies when the TDC signature reveals a process
+/// or temperature shift.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VoltageLut {
+    /// Upper queue-length bound (inclusive) of each band, ascending.
+    band_bounds: Vec<usize>,
+    /// Voltage word per band; one longer than `band_bounds` (the last
+    /// entry covers everything above the last bound).
+    words: Vec<VoltageWord>,
+    /// Net compensation shift applied on read, in LSBs.
+    shift: i16,
+}
+
+/// Error constructing a [`VoltageLut`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LutError {
+    /// `words` must be exactly one longer than `band_bounds`.
+    ShapeMismatch {
+        /// Number of band bounds supplied.
+        bounds: usize,
+        /// Number of words supplied.
+        words: usize,
+    },
+    /// Band bounds must be strictly ascending.
+    UnsortedBounds,
+    /// A word exceeds the 6-bit range.
+    WordOutOfRange {
+        /// The offending word.
+        word: VoltageWord,
+    },
+}
+
+impl fmt::Display for LutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LutError::ShapeMismatch { bounds, words } => write!(
+                f,
+                "need exactly bounds+1 words ({bounds} bounds, {words} words)"
+            ),
+            LutError::UnsortedBounds => write!(f, "band bounds must be strictly ascending"),
+            LutError::WordOutOfRange { word } => {
+                write!(f, "voltage word {word} exceeds the 6-bit range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LutError {}
+
+impl VoltageLut {
+    /// Builds a LUT from band bounds and per-band words.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LutError`] when the shape is inconsistent, bounds
+    /// are not ascending, or a word exceeds 6 bits.
+    pub fn new(band_bounds: Vec<usize>, words: Vec<VoltageWord>) -> Result<VoltageLut, LutError> {
+        if words.len() != band_bounds.len() + 1 {
+            return Err(LutError::ShapeMismatch {
+                bounds: band_bounds.len(),
+                words: words.len(),
+            });
+        }
+        if band_bounds.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(LutError::UnsortedBounds);
+        }
+        if let Some(&word) = words.iter().find(|&&w| u16::from(w) >= WORD_LEVELS) {
+            return Err(LutError::WordOutOfRange { word });
+        }
+        Ok(VoltageLut {
+            band_bounds,
+            words,
+            shift: 0,
+        })
+    }
+
+    /// Number of bands.
+    pub fn bands(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Current compensation shift in LSBs.
+    pub fn shift(&self) -> i16 {
+        self.shift
+    }
+
+    /// Band index a queue length falls in.
+    pub fn band_of(&self, queue_length: usize) -> usize {
+        self.band_bounds
+            .partition_point(|&bound| bound < queue_length)
+    }
+
+    /// Looks up the (shift-compensated) voltage word for a queue
+    /// length, clamped to the 6-bit range.
+    pub fn lookup(&self, queue_length: usize) -> VoltageWord {
+        let base = i16::from(self.words[self.band_of(queue_length)]);
+        (base + self.shift).clamp(0, i16::from(WORD_LEVELS as u8 - 1)) as VoltageWord
+    }
+
+    /// Raw (uncompensated) word of a band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `band` is out of range.
+    pub fn raw_word(&self, band: usize) -> VoltageWord {
+        self.words[band]
+    }
+
+    /// Applies a compensation shift: the paper's "the shift in this one
+    /// bit needs to be reflected in the LUT, so that the values coming
+    /// out from the rate controller … \[are\] compensated".
+    pub fn apply_shift(&mut self, delta: i16) {
+        self.shift += delta;
+    }
+
+    /// Clears the accumulated compensation.
+    pub fn reset_shift(&mut self) {
+        self.shift = 0;
+    }
+
+    /// Overwrites the raw word of one band (a design-time update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `band` is out of range or `word` exceeds 6 bits.
+    pub fn set_word(&mut self, band: usize, word: VoltageWord) {
+        assert!(u16::from(word) < WORD_LEVELS, "word {word} exceeds 6 bits");
+        self.words[band] = word;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lut_fixture() -> VoltageLut {
+        // Queue ≤ 4 → word 11 (~206 mV), ≤ 12 → 19 (~356 mV),
+        // ≤ 24 → 32 (600 mV), above → 47 (~881 mV).
+        VoltageLut::new(vec![4, 12, 24], vec![11, 19, 32, 47]).expect("valid lut")
+    }
+
+    #[test]
+    fn banding_selects_expected_words() {
+        let lut = lut_fixture();
+        assert_eq!(lut.bands(), 4);
+        assert_eq!(lut.lookup(0), 11);
+        assert_eq!(lut.lookup(4), 11);
+        assert_eq!(lut.lookup(5), 19);
+        assert_eq!(lut.lookup(12), 19);
+        assert_eq!(lut.lookup(13), 32);
+        assert_eq!(lut.lookup(24), 32);
+        assert_eq!(lut.lookup(25), 47);
+        assert_eq!(lut.lookup(10_000), 47);
+    }
+
+    #[test]
+    fn band_of_is_consistent_with_lookup() {
+        let lut = lut_fixture();
+        for q in 0..40 {
+            assert_eq!(lut.lookup(q), lut.raw_word(lut.band_of(q)));
+        }
+    }
+
+    #[test]
+    fn one_bit_compensation_shift() {
+        // The paper's worked example: word 19 must become 20 after the
+        // TDC reveals a 1-LSB (18.75 mV) slow-corner shift.
+        let mut lut = lut_fixture();
+        lut.apply_shift(1);
+        assert_eq!(lut.lookup(10), 20);
+        assert_eq!(lut.shift(), 1);
+        lut.apply_shift(-1);
+        assert_eq!(lut.lookup(10), 19);
+        lut.apply_shift(-3);
+        lut.reset_shift();
+        assert_eq!(lut.lookup(10), 19);
+    }
+
+    #[test]
+    fn shift_clamps_to_code_range() {
+        let mut lut = lut_fixture();
+        lut.apply_shift(100);
+        assert_eq!(lut.lookup(30), 63);
+        lut.reset_shift();
+        lut.apply_shift(-100);
+        assert_eq!(lut.lookup(0), 0);
+    }
+
+    #[test]
+    fn set_word_updates_band() {
+        let mut lut = lut_fixture();
+        lut.set_word(0, 13);
+        assert_eq!(lut.lookup(2), 13);
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert_eq!(
+            VoltageLut::new(vec![4], vec![1]),
+            Err(LutError::ShapeMismatch {
+                bounds: 1,
+                words: 1
+            })
+        );
+        assert_eq!(
+            VoltageLut::new(vec![5, 5], vec![1, 2, 3]),
+            Err(LutError::UnsortedBounds)
+        );
+        assert_eq!(
+            VoltageLut::new(vec![4], vec![1, 64]),
+            Err(LutError::WordOutOfRange { word: 64 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 6 bits")]
+    fn set_word_rejects_wide_word() {
+        lut_fixture().set_word(0, 70);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = VoltageLut::new(vec![4], vec![1]).unwrap_err();
+        assert!(e.to_string().contains("bounds+1"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Pulse-width-modulation generator.
+//!
+//! Paper Sec. III: a 6-bit register holds the data value `N`; the
+//! up/down counter free-runs at the 64 MHz clock; the PWM output is
+//! high for `N` of every 64 ticks ("duty ratio of N/2⁶=64"), so one
+//! PWM period is the 1 MHz system cycle. Guard bounds keep `N` away
+//! from the 0/64 ends to avoid "the unwanted switching of all
+//! transistors occurring at once".
+
+use std::fmt;
+
+use subvt_sim::logic::Logic;
+
+/// The PWM generator: a free-running modulo-2^width counter compared
+/// against a duty register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PwmGenerator {
+    width: u8,
+    counter: u64,
+    duty: u64,
+    guard_low: u64,
+    guard_high: u64,
+}
+
+impl PwmGenerator {
+    /// Creates a generator with a `width`-bit counter (the paper's is
+    /// 6-bit) and guard bounds one LSB inside each end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 16.
+    pub fn new(width: u8) -> PwmGenerator {
+        assert!((1..=16).contains(&width), "width {width} out of range");
+        let levels = 1u64 << width;
+        PwmGenerator {
+            width,
+            counter: 0,
+            duty: 0,
+            guard_low: 1,
+            guard_high: levels - 1,
+        }
+    }
+
+    /// Number of counter levels (2^width; the paper's 64).
+    pub fn levels(&self) -> u64 {
+        1 << self.width
+    }
+
+    /// Current duty value `N`.
+    pub fn duty(&self) -> u64 {
+        self.duty
+    }
+
+    /// Current duty ratio `N / 2^width`.
+    pub fn duty_ratio(&self) -> f64 {
+        self.duty as f64 / self.levels() as f64
+    }
+
+    /// Loads a new duty value, clamped into the guard band.
+    pub fn load_duty(&mut self, duty: u64) {
+        self.duty = duty.clamp(self.guard_low, self.guard_high);
+    }
+
+    /// Loads a duty value of zero explicitly (converter off), bypassing
+    /// the lower guard.
+    pub fn shutdown(&mut self) {
+        self.duty = 0;
+    }
+
+    /// Counter phase within the current PWM period.
+    pub fn phase(&self) -> u64 {
+        self.counter
+    }
+
+    /// Output level for the *current* tick, then advances the counter.
+    /// Returns `(level, terminal_count)` where `terminal_count` is true
+    /// on the last tick of a period.
+    pub fn tick(&mut self) -> (Logic, bool) {
+        let level = Logic::from_bool(self.counter < self.duty);
+        let terminal = self.counter == self.levels() - 1;
+        self.counter = if terminal { 0 } else { self.counter + 1 };
+        (level, terminal)
+    }
+
+    /// Resets the counter phase.
+    pub fn reset(&mut self) {
+        self.counter = 0;
+    }
+}
+
+impl fmt::Display for PwmGenerator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pwm {}/{} duty", self.duty, self.levels())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duty_ratio_n_over_64() {
+        let mut pwm = PwmGenerator::new(6);
+        pwm.load_duty(19);
+        assert_eq!(pwm.levels(), 64);
+        assert!((pwm.duty_ratio() - 19.0 / 64.0).abs() < 1e-12);
+        let mut highs = 0;
+        let mut terminals = 0;
+        for _ in 0..640 {
+            let (level, tc) = pwm.tick();
+            if level.is_high() {
+                highs += 1;
+            }
+            if tc {
+                terminals += 1;
+            }
+        }
+        assert_eq!(highs, 190, "19 high ticks per 64-tick period");
+        assert_eq!(terminals, 10, "one terminal count per period");
+    }
+
+    #[test]
+    fn high_ticks_lead_each_period() {
+        let mut pwm = PwmGenerator::new(6);
+        pwm.load_duty(3);
+        let levels: Vec<bool> = (0..64).map(|_| pwm.tick().0.is_high()).collect();
+        assert!(levels[0] && levels[1] && levels[2]);
+        assert!(levels[3..].iter().all(|&l| !l));
+    }
+
+    #[test]
+    fn guard_bounds_clamp_duty() {
+        let mut pwm = PwmGenerator::new(6);
+        pwm.load_duty(0);
+        assert_eq!(pwm.duty(), 1, "lower guard");
+        pwm.load_duty(64);
+        assert_eq!(pwm.duty(), 63, "upper guard");
+        pwm.load_duty(1000);
+        assert_eq!(pwm.duty(), 63);
+    }
+
+    #[test]
+    fn shutdown_bypasses_guard() {
+        let mut pwm = PwmGenerator::new(6);
+        pwm.shutdown();
+        assert_eq!(pwm.duty(), 0);
+        let all_low = (0..64).all(|_| pwm.tick().0.is_low());
+        assert!(all_low);
+    }
+
+    #[test]
+    fn reset_restarts_the_period() {
+        let mut pwm = PwmGenerator::new(6);
+        pwm.load_duty(10);
+        for _ in 0..30 {
+            pwm.tick();
+        }
+        assert_eq!(pwm.phase(), 30);
+        pwm.reset();
+        assert_eq!(pwm.phase(), 0);
+        assert!(pwm.tick().0.is_high());
+    }
+
+    #[test]
+    fn display_shows_duty() {
+        let mut pwm = PwmGenerator::new(6);
+        pwm.load_duty(19);
+        assert_eq!(format!("{pwm}"), "pwm 19/64 duty");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn too_wide_counter_rejected() {
+        let _ = PwmGenerator::new(20);
+    }
+}

@@ -1,0 +1,71 @@
+//! Clocked registers with load enable.
+
+use subvt_sim::logic::Bus;
+
+/// A width-limited register with load enable — the "6-bit register …
+/// used to store the value generated from the rate controller" of
+//  the paper's DC-DC converter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Register {
+    value: Bus,
+}
+
+impl Register {
+    /// Creates a `width`-bit register initialized to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    pub fn new(width: u8) -> Register {
+        Register {
+            value: Bus::zero(width),
+        }
+    }
+
+    /// Current contents.
+    pub fn value(&self) -> u64 {
+        self.value.value()
+    }
+
+    /// Register width in bits.
+    pub fn width(&self) -> u8 {
+        self.value.width()
+    }
+
+    /// Applies a clock edge: loads `data` when `enable` is true.
+    /// Returns the (possibly new) contents.
+    pub fn clock(&mut self, enable: bool, data: u64) -> u64 {
+        if enable {
+            self.value = Bus::new(self.value.width(), data);
+        }
+        self.value.value()
+    }
+
+    /// The contents as a [`Bus`].
+    pub fn to_bus(self) -> Bus {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_only_when_enabled() {
+        let mut r = Register::new(6);
+        assert_eq!(r.clock(false, 42), 0);
+        assert_eq!(r.clock(true, 42), 42);
+        assert_eq!(r.clock(false, 13), 42);
+        assert_eq!(r.value(), 42);
+    }
+
+    #[test]
+    fn masks_to_width() {
+        let mut r = Register::new(6);
+        r.clock(true, 0xFF);
+        assert_eq!(r.value(), 63);
+        assert_eq!(r.width(), 6);
+        assert_eq!(r.to_bus().value(), 63);
+    }
+}

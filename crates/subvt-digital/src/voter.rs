@@ -1,0 +1,136 @@
+//! Redundancy voting for noisy sensor readings.
+//!
+//! Subthreshold flip-flops are metastability-prone (paper Sec. II-A),
+//! so a production controller reads the TDC several times and votes.
+//! This module provides majority voting over logic levels and median
+//! voting over codes — the two schemes `subvt-core` can wrap around the
+//! sensor.
+
+use subvt_sim::logic::Logic;
+
+/// Majority vote over logic levels; `Unknown` inputs abstain.
+///
+/// Returns `Unknown` on a tie or when everything abstained.
+pub fn majority(levels: &[Logic]) -> Logic {
+    let mut high = 0i32;
+    let mut low = 0i32;
+    for &l in levels {
+        match l {
+            Logic::High => high += 1,
+            Logic::Low => low += 1,
+            Logic::Unknown => {}
+        }
+    }
+    match high.cmp(&low) {
+        std::cmp::Ordering::Greater => Logic::High,
+        std::cmp::Ordering::Less => Logic::Low,
+        std::cmp::Ordering::Equal => Logic::Unknown,
+    }
+}
+
+/// Median vote over sensor codes (robust to a minority of corrupted
+/// readings). Returns `None` for an empty slice.
+pub fn median_code(codes: &[u32]) -> Option<u32> {
+    if codes.is_empty() {
+        return None;
+    }
+    let mut sorted = codes.to_vec();
+    sorted.sort_unstable();
+    Some(sorted[sorted.len() / 2])
+}
+
+/// A repeated-measurement voter: collects up to `window` samples and
+/// reports the median once full.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MedianVoter {
+    window: usize,
+    samples: Vec<u32>,
+}
+
+impl MedianVoter {
+    /// Creates a voter over `window` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> MedianVoter {
+        assert!(window > 0, "voting window must be positive");
+        MedianVoter {
+            window,
+            samples: Vec::with_capacity(window),
+        }
+    }
+
+    /// Feeds one sample; returns the voted code when the window fills
+    /// (and resets for the next round).
+    pub fn feed(&mut self, code: u32) -> Option<u32> {
+        self.samples.push(code);
+        if self.samples.len() == self.window {
+            let result = median_code(&self.samples);
+            self.samples.clear();
+            result
+        } else {
+            None
+        }
+    }
+
+    /// Samples collected in the current round.
+    pub fn pending(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Discards the current round.
+    pub fn reset(&mut self) {
+        self.samples.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_basic() {
+        use Logic::*;
+        assert_eq!(majority(&[High, High, Low]), High);
+        assert_eq!(majority(&[Low, Low, High]), Low);
+        assert_eq!(majority(&[High, Low]), Unknown);
+        assert_eq!(majority(&[]), Unknown);
+    }
+
+    #[test]
+    fn unknowns_abstain() {
+        use Logic::*;
+        assert_eq!(majority(&[High, Unknown, Unknown]), High);
+        assert_eq!(majority(&[Unknown, Unknown]), Unknown);
+        assert_eq!(majority(&[High, Low, Unknown, High]), High);
+    }
+
+    #[test]
+    fn median_rejects_outliers() {
+        assert_eq!(median_code(&[31, 32, 63]), Some(32));
+        assert_eq!(median_code(&[0, 31, 32]), Some(31));
+        assert_eq!(median_code(&[40]), Some(40));
+        assert_eq!(median_code(&[]), None);
+    }
+
+    #[test]
+    fn voter_fires_every_window() {
+        let mut v = MedianVoter::new(3);
+        assert_eq!(v.feed(30), None);
+        assert_eq!(v.pending(), 1);
+        assert_eq!(v.feed(99), None);
+        assert_eq!(v.feed(31), Some(31), "outlier 99 outvoted");
+        assert_eq!(v.pending(), 0);
+        // Next round starts fresh.
+        assert_eq!(v.feed(10), None);
+        v.reset();
+        assert_eq!(v.pending(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "voting window")]
+    fn zero_window_rejected() {
+        let _ = MedianVoter::new(0);
+    }
+}

@@ -1,0 +1,47 @@
+//! # subvt-loads
+//!
+//! Load circuits for the `subvt` reproduction of *"Variation Resilient
+//! Adaptive Controller for Subthreshold Circuits"* (DATE 2009):
+//!
+//! * [`load`] — the [`CircuitLoad`] abstraction (critical path, energy
+//!   per operation, supply current);
+//! * [`ring_oscillator`] — the paper's NAND-ring case study with
+//!   switching-factor control, calibrated to the published Fig. 1 MEP
+//!   loci, plus a structural gate-level build;
+//! * [`fir`] — the functional 9-tap Q15 FIR filter the paper also
+//!   drives (its reference \[4\]);
+//! * [`workload`] — data-arrival processes (constant, burst, Poisson,
+//!   scheduled) feeding the controller's FIFO.
+//!
+//! ## Example
+//!
+//! ```
+//! use subvt_device::mosfet::Environment;
+//! use subvt_device::technology::Technology;
+//! use subvt_device::units::Volts;
+//! use subvt_loads::load::CircuitLoad;
+//! use subvt_loads::ring_oscillator::RingOscillator;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let tech = Technology::st_130nm();
+//! let ring = RingOscillator::paper_circuit();
+//! let f = ring.frequency(&tech, Volts(0.2), Environment::nominal())?;
+//! println!("ring at 200 mV: {:.1} kHz", f.value() / 1e3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adder;
+pub mod fir;
+pub mod load;
+pub mod ring_oscillator;
+pub mod workload;
+
+pub use adder::RippleCarryAdder;
+pub use fir::{FirFilter, Q15, TAPS};
+pub use load::CircuitLoad;
+pub use ring_oscillator::RingOscillator;
+pub use workload::{WorkloadPattern, WorkloadSource};

@@ -1,0 +1,82 @@
+//! The load abstraction the adaptive controller drives.
+
+use subvt_device::delay::{GateMismatch, SupplyRangeError};
+use subvt_device::energy::{energy_per_cycle, CircuitProfile, EnergyBreakdown};
+use subvt_device::mosfet::Environment;
+use subvt_device::technology::Technology;
+use subvt_device::units::{Amps, Hertz, Seconds, Volts};
+
+/// A digital circuit that can serve as the controller's load: it has a
+/// critical path (hence a maximum operating rate at a given supply) and
+/// a per-operation energy.
+pub trait CircuitLoad: std::fmt::Debug {
+    /// Human-readable load name.
+    fn name(&self) -> &str;
+
+    /// The electrical profile used for energy analysis.
+    fn profile(&self) -> &CircuitProfile;
+
+    /// Critical-path delay at the given operating point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SupplyRangeError`] below the technology's functional
+    /// floor.
+    fn critical_path(
+        &self,
+        tech: &Technology,
+        vdd: Volts,
+        env: Environment,
+        mismatch: GateMismatch,
+    ) -> Result<Seconds, SupplyRangeError>;
+
+    /// Maximum operation rate: `1 / critical_path`.
+    ///
+    /// # Errors
+    ///
+    /// As [`CircuitLoad::critical_path`].
+    fn max_rate(
+        &self,
+        tech: &Technology,
+        vdd: Volts,
+        env: Environment,
+        mismatch: GateMismatch,
+    ) -> Result<Hertz, SupplyRangeError> {
+        Ok(self.critical_path(tech, vdd, env, mismatch)?.to_frequency())
+    }
+
+    /// Energy breakdown of one operation.
+    ///
+    /// # Errors
+    ///
+    /// As [`CircuitLoad::critical_path`].
+    fn energy_per_op(
+        &self,
+        tech: &Technology,
+        vdd: Volts,
+        env: Environment,
+    ) -> Result<EnergyBreakdown, SupplyRangeError> {
+        energy_per_cycle(tech, self.profile(), vdd, env)
+    }
+
+    /// Average supply current while operating continuously at `vdd`:
+    /// dynamic charge per cycle over the cycle time, plus leakage.
+    ///
+    /// # Errors
+    ///
+    /// As [`CircuitLoad::critical_path`].
+    fn supply_current(
+        &self,
+        tech: &Technology,
+        vdd: Volts,
+        env: Environment,
+    ) -> Result<Amps, SupplyRangeError> {
+        let e = self.energy_per_op(tech, vdd, env)?;
+        let dynamic_current = if vdd.volts() > 0.0 {
+            e.dynamic.value() / vdd.volts() / e.cycle_time.value()
+        } else {
+            0.0
+        };
+        Ok(Amps(dynamic_current + e.leak_current.value()))
+    }
+}

@@ -1,0 +1,211 @@
+//! Workload (data-arrival) processes feeding the controller's FIFO.
+//!
+//! Paper Sec. III: "The input data is buffered at the FIFO and the data
+//! rate is used to estimate the processing rate" — the queue length is
+//! the controller's only window onto the workload, so the arrival
+//! pattern shapes everything downstream.
+
+use rand::Rng;
+
+/// An arrival process: how many data items arrive in each system cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadPattern {
+    /// A constant number of arrivals per cycle.
+    Constant {
+        /// Items per system cycle.
+        per_cycle: u32,
+    },
+    /// Alternating busy/idle phases.
+    Burst {
+        /// Items per cycle while busy.
+        busy_rate: u32,
+        /// Cycles per busy phase.
+        busy_cycles: u32,
+        /// Cycles per idle phase.
+        idle_cycles: u32,
+    },
+    /// Poisson arrivals with the given mean rate per cycle.
+    Poisson {
+        /// Mean items per system cycle.
+        mean: f64,
+    },
+    /// An explicit per-cycle schedule, repeated cyclically.
+    Schedule(Vec<u32>),
+}
+
+impl WorkloadPattern {
+    /// Long-run average arrivals per cycle.
+    pub fn mean_rate(&self) -> f64 {
+        match self {
+            WorkloadPattern::Constant { per_cycle } => f64::from(*per_cycle),
+            WorkloadPattern::Burst {
+                busy_rate,
+                busy_cycles,
+                idle_cycles,
+            } => {
+                f64::from(*busy_rate) * f64::from(*busy_cycles)
+                    / f64::from(busy_cycles + idle_cycles)
+            }
+            WorkloadPattern::Poisson { mean } => *mean,
+            WorkloadPattern::Schedule(s) => {
+                if s.is_empty() {
+                    0.0
+                } else {
+                    s.iter().map(|&x| f64::from(x)).sum::<f64>() / s.len() as f64
+                }
+            }
+        }
+    }
+}
+
+/// A running arrival generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSource {
+    pattern: WorkloadPattern,
+    cycle: u64,
+    total_arrivals: u64,
+}
+
+impl WorkloadSource {
+    /// Creates a source from a pattern.
+    pub fn new(pattern: WorkloadPattern) -> WorkloadSource {
+        WorkloadSource {
+            pattern,
+            cycle: 0,
+            total_arrivals: 0,
+        }
+    }
+
+    /// The underlying pattern.
+    pub fn pattern(&self) -> &WorkloadPattern {
+        &self.pattern
+    }
+
+    /// Cycles generated so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Total items generated so far.
+    pub fn total_arrivals(&self) -> u64 {
+        self.total_arrivals
+    }
+
+    /// Arrivals for the next system cycle.
+    pub fn next_arrivals<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u32 {
+        let n = match &self.pattern {
+            WorkloadPattern::Constant { per_cycle } => *per_cycle,
+            WorkloadPattern::Burst {
+                busy_rate,
+                busy_cycles,
+                idle_cycles,
+            } => {
+                let period = u64::from(busy_cycles + idle_cycles);
+                if self.cycle % period < u64::from(*busy_cycles) {
+                    *busy_rate
+                } else {
+                    0
+                }
+            }
+            WorkloadPattern::Poisson { mean } => sample_poisson(*mean, rng),
+            WorkloadPattern::Schedule(s) => {
+                if s.is_empty() {
+                    0
+                } else {
+                    s[(self.cycle % s.len() as u64) as usize]
+                }
+            }
+        };
+        self.cycle += 1;
+        self.total_arrivals += u64::from(n);
+        n
+    }
+}
+
+/// Knuth's Poisson sampler (fine for the small per-cycle means used
+/// here).
+fn sample_poisson<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> u32 {
+    assert!(mean >= 0.0 && mean.is_finite(), "invalid Poisson mean {mean}");
+    if mean == 0.0 {
+        return 0;
+    }
+    let l = (-mean).exp();
+    let mut k = 0u32;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k; // guard against pathological means
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_pattern() {
+        let mut src = WorkloadSource::new(WorkloadPattern::Constant { per_cycle: 3 });
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(src.next_arrivals(&mut rng), 3);
+        }
+        assert_eq!(src.total_arrivals(), 30);
+        assert_eq!(src.cycle(), 10);
+        assert_eq!(src.pattern().mean_rate(), 3.0);
+    }
+
+    #[test]
+    fn burst_pattern_alternates() {
+        let mut src = WorkloadSource::new(WorkloadPattern::Burst {
+            busy_rate: 5,
+            busy_cycles: 2,
+            idle_cycles: 3,
+        });
+        let mut rng = StdRng::seed_from_u64(0);
+        let seq: Vec<u32> = (0..10).map(|_| src.next_arrivals(&mut rng)).collect();
+        assert_eq!(seq, vec![5, 5, 0, 0, 0, 5, 5, 0, 0, 0]);
+        assert!((src.pattern().mean_rate() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisson_mean_converges() {
+        let mut src = WorkloadSource::new(WorkloadPattern::Poisson { mean: 2.5 });
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| u64::from(src.next_arrivals(&mut rng))).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 2.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_mean_is_silent() {
+        let mut src = WorkloadSource::new(WorkloadPattern::Poisson { mean: 0.0 });
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(src.next_arrivals(&mut rng), 0);
+    }
+
+    #[test]
+    fn schedule_repeats() {
+        let mut src = WorkloadSource::new(WorkloadPattern::Schedule(vec![1, 0, 4]));
+        let mut rng = StdRng::seed_from_u64(0);
+        let seq: Vec<u32> = (0..7).map(|_| src.next_arrivals(&mut rng)).collect();
+        assert_eq!(seq, vec![1, 0, 4, 1, 0, 4, 1]);
+        assert!((src.pattern().mean_rate() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_schedule_is_silent() {
+        let mut src = WorkloadSource::new(WorkloadPattern::Schedule(vec![]));
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(src.next_arrivals(&mut rng), 0);
+        assert_eq!(src.pattern().mean_rate(), 0.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Fixed-step ODE integration for the analog side of the mixed-mode
+//! simulation (the DC-DC converter's LC output filter).
+//!
+//! The paper co-simulates SPICE netlists with VHDL through VHDL-AMS
+//! bridges; here the analog blocks are ordinary differential equations
+//! advanced by explicit fixed-step integrators between digital clock
+//! ticks.
+
+/// A continuous-time system `dy/dt = f(t, y)`.
+pub trait OdeSystem {
+    /// Number of state variables.
+    fn dim(&self) -> usize;
+
+    /// Writes `f(t, y)` into `dydt`.
+    ///
+    /// Implementations may assume `y.len() == dydt.len() == self.dim()`.
+    fn derivatives(&self, t: f64, y: &[f64], dydt: &mut [f64]);
+}
+
+/// Explicit integration schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IntegrationMethod {
+    /// First-order forward Euler (reference/diagnostic only).
+    Euler,
+    /// Second-order explicit midpoint.
+    Midpoint,
+    /// Classical fourth-order Runge-Kutta.
+    #[default]
+    Rk4,
+}
+
+/// Advances `y` by one step `h` of `system` at time `t` using `method`.
+///
+/// # Panics
+///
+/// Panics if `y.len() != system.dim()` or `h` is not positive/finite.
+pub fn integrate_step<S: OdeSystem + ?Sized>(
+    system: &S,
+    method: IntegrationMethod,
+    t: f64,
+    y: &mut [f64],
+    h: f64,
+) {
+    assert_eq!(y.len(), system.dim(), "state dimension mismatch");
+    assert!(h > 0.0 && h.is_finite(), "invalid step size {h}");
+    let n = y.len();
+    match method {
+        IntegrationMethod::Euler => {
+            let mut k1 = vec![0.0; n];
+            system.derivatives(t, y, &mut k1);
+            for i in 0..n {
+                y[i] += h * k1[i];
+            }
+        }
+        IntegrationMethod::Midpoint => {
+            let mut k1 = vec![0.0; n];
+            let mut k2 = vec![0.0; n];
+            let mut ym = vec![0.0; n];
+            system.derivatives(t, y, &mut k1);
+            for i in 0..n {
+                ym[i] = y[i] + 0.5 * h * k1[i];
+            }
+            system.derivatives(t + 0.5 * h, &ym, &mut k2);
+            for i in 0..n {
+                y[i] += h * k2[i];
+            }
+        }
+        IntegrationMethod::Rk4 => {
+            let mut k1 = vec![0.0; n];
+            let mut k2 = vec![0.0; n];
+            let mut k3 = vec![0.0; n];
+            let mut k4 = vec![0.0; n];
+            let mut tmp = vec![0.0; n];
+            system.derivatives(t, y, &mut k1);
+            for i in 0..n {
+                tmp[i] = y[i] + 0.5 * h * k1[i];
+            }
+            system.derivatives(t + 0.5 * h, &tmp, &mut k2);
+            for i in 0..n {
+                tmp[i] = y[i] + 0.5 * h * k2[i];
+            }
+            system.derivatives(t + 0.5 * h, &tmp, &mut k3);
+            for i in 0..n {
+                tmp[i] = y[i] + h * k3[i];
+            }
+            system.derivatives(t + h, &tmp, &mut k4);
+            for i in 0..n {
+                y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+            }
+        }
+    }
+}
+
+/// Advances `y` across a span `dt` in `steps` equal sub-steps.
+///
+/// # Panics
+///
+/// Panics if `steps == 0` (and as in [`integrate_step`]).
+pub fn integrate_span<S: OdeSystem + ?Sized>(
+    system: &S,
+    method: IntegrationMethod,
+    t0: f64,
+    y: &mut [f64],
+    dt: f64,
+    steps: usize,
+) {
+    assert!(steps > 0, "need at least one sub-step");
+    let h = dt / steps as f64;
+    for k in 0..steps {
+        integrate_step(system, method, t0 + h * k as f64, y, h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// dy/dt = -y, y(0)=1 → y(t) = e^-t.
+    struct Decay;
+    impl OdeSystem for Decay {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn derivatives(&self, _t: f64, y: &[f64], dydt: &mut [f64]) {
+            dydt[0] = -y[0];
+        }
+    }
+
+    /// Harmonic oscillator: y'' = -ω² y, as a 2-state system.
+    struct Oscillator {
+        omega: f64,
+    }
+    impl OdeSystem for Oscillator {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn derivatives(&self, _t: f64, y: &[f64], dydt: &mut [f64]) {
+            dydt[0] = y[1];
+            dydt[1] = -self.omega * self.omega * y[0];
+        }
+    }
+
+    #[test]
+    fn rk4_matches_exponential_decay() {
+        let mut y = [1.0];
+        integrate_span(&Decay, IntegrationMethod::Rk4, 0.0, &mut y, 1.0, 100);
+        assert!((y[0] - (-1.0f64).exp()).abs() < 1e-9, "y = {}", y[0]);
+    }
+
+    #[test]
+    fn order_of_accuracy_ranking() {
+        // For the same step count, RK4 < midpoint < Euler error.
+        let run = |m: IntegrationMethod| {
+            let mut y = [1.0];
+            integrate_span(&Decay, m, 0.0, &mut y, 1.0, 20);
+            (y[0] - (-1.0f64).exp()).abs()
+        };
+        let e_euler = run(IntegrationMethod::Euler);
+        let e_mid = run(IntegrationMethod::Midpoint);
+        let e_rk4 = run(IntegrationMethod::Rk4);
+        assert!(e_rk4 < e_mid && e_mid < e_euler, "{e_rk4} {e_mid} {e_euler}");
+    }
+
+    #[test]
+    fn rk4_conserves_oscillator_energy() {
+        let osc = Oscillator { omega: 2.0 };
+        let mut y = [1.0, 0.0];
+        // Ten full periods.
+        let period = std::f64::consts::TAU / 2.0;
+        integrate_span(&osc, IntegrationMethod::Rk4, 0.0, &mut y, 10.0 * period, 4000);
+        let energy = 0.5 * y[1] * y[1] + 0.5 * 4.0 * y[0] * y[0];
+        assert!((energy - 2.0).abs() < 1e-6, "energy {energy}");
+    }
+
+    #[test]
+    fn rk4_convergence_is_fourth_order() {
+        let err = |steps: usize| {
+            let mut y = [1.0];
+            integrate_span(&Decay, IntegrationMethod::Rk4, 0.0, &mut y, 1.0, steps);
+            (y[0] - (-1.0f64).exp()).abs()
+        };
+        let e1 = err(10);
+        let e2 = err(20);
+        let order = (e1 / e2).log2();
+        assert!((3.5..4.5).contains(&order), "observed order {order}");
+    }
+
+    #[test]
+    #[should_panic(expected = "state dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let mut y = [1.0, 2.0];
+        integrate_step(&Decay, IntegrationMethod::Rk4, 0.0, &mut y, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid step size")]
+    fn non_positive_step_panics() {
+        let mut y = [1.0];
+        integrate_step(&Decay, IntegrationMethod::Rk4, 0.0, &mut y, 0.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Analog ↔ digital bridge elements.
+//!
+//! These are the Rust equivalents of the "several A-D and D-A VHDL-AMS
+//! models … inserted for communication between the digital and analog
+//! blocks of the controller" (paper Sec. IV).
+
+use crate::logic::Logic;
+
+/// A-D bridge: converts an analog node voltage to a logic level with
+/// hysteresis (a Schmitt-trigger comparator).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdDetector {
+    threshold: f64,
+    hysteresis: f64,
+    state: Logic,
+}
+
+impl ThresholdDetector {
+    /// Creates a detector switching around `threshold` volts with a
+    /// total hysteresis band of `hysteresis` volts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hysteresis` is negative.
+    pub fn new(threshold: f64, hysteresis: f64) -> ThresholdDetector {
+        assert!(hysteresis >= 0.0, "hysteresis must be non-negative");
+        ThresholdDetector {
+            threshold,
+            hysteresis,
+            state: Logic::Unknown,
+        }
+    }
+
+    /// Current output level.
+    pub fn output(&self) -> Logic {
+        self.state
+    }
+
+    /// Feeds a new sample; returns the new output level.
+    ///
+    /// The first known decision resolves `Unknown` using the plain
+    /// threshold; afterwards the hysteresis band applies.
+    pub fn update(&mut self, voltage: f64) -> Logic {
+        let half = 0.5 * self.hysteresis;
+        self.state = match self.state {
+            Logic::Unknown => Logic::from_bool(voltage > self.threshold),
+            Logic::Low => {
+                if voltage > self.threshold + half {
+                    Logic::High
+                } else {
+                    Logic::Low
+                }
+            }
+            Logic::High => {
+                if voltage < self.threshold - half {
+                    Logic::Low
+                } else {
+                    Logic::High
+                }
+            }
+        };
+        self.state
+    }
+
+    /// Feeds a sample and reports a rising/falling edge if one occurred.
+    pub fn update_edge(&mut self, voltage: f64) -> Option<Edge> {
+        let before = self.state;
+        let after = self.update(voltage);
+        match (before, after) {
+            (Logic::Low, Logic::High) => Some(Edge::Rising),
+            (Logic::High, Logic::Low) => Some(Edge::Falling),
+            _ => None,
+        }
+    }
+}
+
+/// A signal transition direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Edge {
+    /// Low → high transition.
+    Rising,
+    /// High → low transition.
+    Falling,
+}
+
+/// D-A bridge: converts a logic level into the conductance state of a
+/// power switch (used to drive the DC-DC power-transistor array).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchDriver {
+    on_resistance: f64,
+    off_resistance: f64,
+    active_high: bool,
+}
+
+impl SwitchDriver {
+    /// Creates a driver with the given on/off resistances.
+    ///
+    /// `active_high = false` models a pMOS switch (conducts when the
+    /// gate signal is low).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either resistance is not positive.
+    pub fn new(on_resistance: f64, off_resistance: f64, active_high: bool) -> SwitchDriver {
+        assert!(
+            on_resistance > 0.0 && off_resistance > 0.0,
+            "resistances must be positive"
+        );
+        SwitchDriver {
+            on_resistance,
+            off_resistance,
+            active_high,
+        }
+    }
+
+    /// Resistance presented for a gate level. `Unknown` drives the
+    /// switch off (safe state).
+    pub fn resistance(&self, gate: Logic) -> f64 {
+        let on = match gate {
+            Logic::High => self.active_high,
+            Logic::Low => !self.active_high,
+            Logic::Unknown => false,
+        };
+        if on {
+            self.on_resistance
+        } else {
+            self.off_resistance
+        }
+    }
+
+    /// Conductance (1/R) presented for a gate level.
+    pub fn conductance(&self, gate: Logic) -> f64 {
+        1.0 / self.resistance(gate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detector_basic_threshold() {
+        let mut d = ThresholdDetector::new(0.6, 0.0);
+        assert_eq!(d.output(), Logic::Unknown);
+        assert_eq!(d.update(0.7), Logic::High);
+        assert_eq!(d.update(0.5), Logic::Low);
+    }
+
+    #[test]
+    fn hysteresis_suppresses_chatter() {
+        let mut d = ThresholdDetector::new(0.6, 0.2);
+        d.update(0.0);
+        assert_eq!(d.output(), Logic::Low);
+        // Within the band: no switching either way.
+        assert_eq!(d.update(0.65), Logic::Low);
+        assert_eq!(d.update(0.69), Logic::Low);
+        // Above the upper bound: switches high.
+        assert_eq!(d.update(0.71), Logic::High);
+        // Back inside the band: stays high.
+        assert_eq!(d.update(0.55), Logic::High);
+        // Below the lower bound: switches low.
+        assert_eq!(d.update(0.49), Logic::Low);
+    }
+
+    #[test]
+    fn edges_are_reported_once() {
+        let mut d = ThresholdDetector::new(0.5, 0.0);
+        assert_eq!(d.update_edge(0.0), None); // unknown -> low: no edge
+        assert_eq!(d.update_edge(1.0), Some(Edge::Rising));
+        assert_eq!(d.update_edge(1.0), None);
+        assert_eq!(d.update_edge(0.0), Some(Edge::Falling));
+        assert_eq!(d.update_edge(0.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis")]
+    fn negative_hysteresis_rejected() {
+        let _ = ThresholdDetector::new(0.5, -0.1);
+    }
+
+    #[test]
+    fn nmos_switch_conducts_when_high() {
+        let s = SwitchDriver::new(10.0, 1e9, true);
+        assert_eq!(s.resistance(Logic::High), 10.0);
+        assert_eq!(s.resistance(Logic::Low), 1e9);
+        assert_eq!(s.resistance(Logic::Unknown), 1e9);
+        assert!((s.conductance(Logic::High) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmos_switch_conducts_when_low() {
+        let s = SwitchDriver::new(12.0, 1e9, false);
+        assert_eq!(s.resistance(Logic::Low), 12.0);
+        assert_eq!(s.resistance(Logic::High), 1e9);
+        assert_eq!(s.resistance(Logic::Unknown), 1e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_resistance_rejected() {
+        let _ = SwitchDriver::new(0.0, 1e9, true);
+    }
+}

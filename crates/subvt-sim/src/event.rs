@@ -1,0 +1,142 @@
+//! Time-ordered event queue.
+//!
+//! A thin wrapper around `BinaryHeap` that delivers events in
+//! `(time, sequence)` order, so same-time events are processed in the
+//! order they were scheduled — the determinism guarantee every digital
+//! simulator needs.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event queue delivering payloads in time order, FIFO within a
+/// timestamp.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    time: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue<T> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at `time`.
+    pub fn schedule(&mut self, time: SimTime, payload: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut q = EventQueue::new();
+        let t = |ns| SimTime::ZERO + SimDuration::from_nanos(ns);
+        q.schedule(t(5), "c");
+        q.schedule(t(1), "a");
+        q.schedule(t(3), "b");
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        assert_eq!(q.pop(), Some((t(3), "b")));
+        assert_eq!(q.pop(), Some((t(5), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_within_same_timestamp() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_femtos(42);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_femtos(7), ());
+        q.schedule(SimTime::from_femtos(3), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_femtos(3)));
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,223 @@
+//! Mixed-mode co-simulation driver.
+//!
+//! Mirrors the paper's validation setup: the digital side advances in
+//! clock ticks while the analog side (an [`OdeSystem`]) is integrated
+//! in fixed sub-steps between ticks. At every tick a user callback
+//! plays the role of the VHDL digital blocks — it reads the analog
+//! state and mutates the system (e.g. flips the PWM switches).
+
+use crate::analog::{integrate_span, IntegrationMethod, OdeSystem};
+use crate::time::{SimDuration, SimTime};
+
+/// What the per-tick digital callback wants next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TickOutcome {
+    /// Keep simulating.
+    #[default]
+    Continue,
+    /// Stop after this tick.
+    Stop,
+}
+
+/// Statistics of one co-simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoSimStats {
+    /// Number of digital ticks executed.
+    pub ticks: u64,
+    /// Number of analog integration sub-steps executed.
+    pub analog_steps: u64,
+    /// Final simulation time.
+    pub end_time: SimTime,
+}
+
+/// Configuration of a co-simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoSimConfig {
+    /// Digital clock period (one callback per period).
+    pub clock_period: SimDuration,
+    /// Analog integration sub-steps per clock period.
+    pub substeps: u32,
+    /// Integration scheme for the analog side.
+    pub method: IntegrationMethod,
+    /// Hard stop time.
+    pub stop_at: SimTime,
+}
+
+impl CoSimConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock period is zero or `substeps` is zero.
+    fn validate(&self) {
+        assert!(
+            !self.clock_period.is_zero(),
+            "clock period must be positive"
+        );
+        assert!(self.substeps > 0, "need at least one analog sub-step");
+    }
+}
+
+/// Runs a mixed-mode co-simulation.
+///
+/// Starting at time zero, the callback `on_tick(tick_index, time, y,
+/// system)` fires once per clock period *before* the analog span of
+/// that period is integrated, so switch settings chosen in tick `k`
+/// shape the analog evolution during period `k`.
+///
+/// Returns the final state and run statistics.
+///
+/// # Panics
+///
+/// Panics on invalid configuration or if `y0.len() != system.dim()`.
+///
+/// ```
+/// use subvt_sim::analog::{IntegrationMethod, OdeSystem};
+/// use subvt_sim::kernel::{run_cosim, CoSimConfig, TickOutcome};
+/// use subvt_sim::time::{SimDuration, SimTime};
+///
+/// /// RC discharge toward a digitally-selected target.
+/// struct Rc { target: f64 }
+/// impl OdeSystem for Rc {
+///     fn dim(&self) -> usize { 1 }
+///     fn derivatives(&self, _t: f64, y: &[f64], dydt: &mut [f64]) {
+///         dydt[0] = (self.target - y[0]) / 1e-6; // τ = 1 µs
+///     }
+/// }
+///
+/// let mut rc = Rc { target: 1.0 };
+/// let config = CoSimConfig {
+///     clock_period: SimDuration::from_nanos(100),
+///     substeps: 10,
+///     method: IntegrationMethod::Rk4,
+///     stop_at: SimTime::ZERO + SimDuration::from_micros(10),
+/// };
+/// let (y, stats) = run_cosim(&mut rc, &[0.0], config, |_k, _t, _y, _sys| TickOutcome::Continue);
+/// assert!((y[0] - 1.0).abs() < 1e-3);
+/// assert_eq!(stats.ticks, 100);
+/// ```
+pub fn run_cosim<S, F>(
+    system: &mut S,
+    y0: &[f64],
+    config: CoSimConfig,
+    mut on_tick: F,
+) -> (Vec<f64>, CoSimStats)
+where
+    S: OdeSystem,
+    F: FnMut(u64, SimTime, &mut [f64], &mut S) -> TickOutcome,
+{
+    config.validate();
+    assert_eq!(y0.len(), system.dim(), "initial state dimension mismatch");
+    let mut y = y0.to_vec();
+    let mut now = SimTime::ZERO;
+    let mut stats = CoSimStats::default();
+    let dt = config.clock_period.as_seconds();
+
+    let mut tick = 0u64;
+    while now < config.stop_at {
+        let outcome = on_tick(tick, now, &mut y, system);
+        stats.ticks += 1;
+        if outcome == TickOutcome::Stop {
+            break;
+        }
+        integrate_span(
+            system,
+            config.method,
+            now.as_seconds(),
+            &mut y,
+            dt,
+            config.substeps as usize,
+        );
+        stats.analog_steps += u64::from(config.substeps);
+        now += config.clock_period;
+        tick += 1;
+    }
+    stats.end_time = now;
+    (y, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Integrator {
+        rate: f64,
+    }
+    impl OdeSystem for Integrator {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn derivatives(&self, _t: f64, _y: &[f64], dydt: &mut [f64]) {
+            dydt[0] = self.rate;
+        }
+    }
+
+    fn config(stop_us: u64) -> CoSimConfig {
+        CoSimConfig {
+            clock_period: SimDuration::from_nanos(100),
+            substeps: 4,
+            method: IntegrationMethod::Rk4,
+            stop_at: SimTime::ZERO + SimDuration::from_micros(stop_us),
+        }
+    }
+
+    #[test]
+    fn ticks_and_time_advance_together() {
+        let mut sys = Integrator { rate: 1.0 };
+        let (y, stats) = run_cosim(&mut sys, &[0.0], config(1), |_, _, _, _| {
+            TickOutcome::Continue
+        });
+        assert_eq!(stats.ticks, 10);
+        assert_eq!(stats.analog_steps, 40);
+        assert!((y[0] - 1e-6).abs() < 1e-12, "integrated {}", y[0]);
+        assert_eq!(stats.end_time, SimTime::ZERO + SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn callback_can_reconfigure_the_system() {
+        // Digital control flips the slope sign halfway.
+        let mut sys = Integrator { rate: 1.0 };
+        let (y, _) = run_cosim(&mut sys, &[0.0], config(1), |k, _, _, sys| {
+            if k == 5 {
+                sys.rate = -1.0;
+            }
+            TickOutcome::Continue
+        });
+        assert!(y[0].abs() < 1e-12, "net integral {}", y[0]);
+    }
+
+    #[test]
+    fn early_stop() {
+        let mut sys = Integrator { rate: 1.0 };
+        let (_, stats) = run_cosim(&mut sys, &[0.0], config(1), |k, _, _, _| {
+            if k >= 3 {
+                TickOutcome::Stop
+            } else {
+                TickOutcome::Continue
+            }
+        });
+        assert_eq!(stats.ticks, 4); // ticks 0,1,2 continue; tick 3 stops
+    }
+
+    #[test]
+    fn callback_sees_monotone_time() {
+        let mut sys = Integrator { rate: 0.0 };
+        let mut last = None;
+        run_cosim(&mut sys, &[0.0], config(1), |_, t, _, _| {
+            if let Some(prev) = last {
+                assert!(t > prev);
+            }
+            last = Some(t);
+            TickOutcome::Continue
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn initial_state_must_match_dim() {
+        let mut sys = Integrator { rate: 0.0 };
+        let _ = run_cosim(&mut sys, &[0.0, 1.0], config(1), |_, _, _, _| {
+            TickOutcome::Continue
+        });
+    }
+}

@@ -1,0 +1,330 @@
+//! Logic values and small buses.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A three-state digital logic level.
+///
+/// `Unknown` models uninitialized nodes and metastability outcomes (the
+/// paper explicitly considers flip-flop metastability in the TDC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Logic {
+    /// Driven low.
+    Low,
+    /// Driven high.
+    High,
+    /// Unknown / metastable.
+    #[default]
+    Unknown,
+}
+
+impl Logic {
+    /// Converts a boolean to a logic level.
+    #[inline]
+    pub fn from_bool(b: bool) -> Logic {
+        if b {
+            Logic::High
+        } else {
+            Logic::Low
+        }
+    }
+
+    /// True when the level is `High`.
+    #[inline]
+    pub fn is_high(self) -> bool {
+        self == Logic::High
+    }
+
+    /// True when the level is `Low`.
+    #[inline]
+    pub fn is_low(self) -> bool {
+        self == Logic::Low
+    }
+
+    /// True when the level is known (driven high or low).
+    #[inline]
+    pub fn is_known(self) -> bool {
+        self != Logic::Unknown
+    }
+
+    /// Interprets the level as a bit, treating `Unknown` pessimistically
+    /// through the supplied default.
+    #[inline]
+    pub fn to_bool_or(self, unknown_as: bool) -> bool {
+        match self {
+            Logic::High => true,
+            Logic::Low => false,
+            Logic::Unknown => unknown_as,
+        }
+    }
+
+    /// Logical AND with unknown propagation (`0 AND X = 0`).
+    #[inline]
+    pub fn and(self, other: Logic) -> Logic {
+        match (self, other) {
+            (Logic::Low, _) | (_, Logic::Low) => Logic::Low,
+            (Logic::High, Logic::High) => Logic::High,
+            _ => Logic::Unknown,
+        }
+    }
+
+    /// Logical OR with unknown propagation (`1 OR X = 1`).
+    #[inline]
+    pub fn or(self, other: Logic) -> Logic {
+        match (self, other) {
+            (Logic::High, _) | (_, Logic::High) => Logic::High,
+            (Logic::Low, Logic::Low) => Logic::Low,
+            _ => Logic::Unknown,
+        }
+    }
+
+    /// Two-input NAND.
+    #[inline]
+    pub fn nand(self, other: Logic) -> Logic {
+        !(self.and(other))
+    }
+
+    /// Two-input NOR.
+    #[inline]
+    pub fn nor(self, other: Logic) -> Logic {
+        !(self.or(other))
+    }
+}
+
+impl Not for Logic {
+    type Output = Logic;
+    #[inline]
+    fn not(self) -> Logic {
+        match self {
+            Logic::Low => Logic::High,
+            Logic::High => Logic::Low,
+            Logic::Unknown => Logic::Unknown,
+        }
+    }
+}
+
+impl From<bool> for Logic {
+    #[inline]
+    fn from(b: bool) -> Logic {
+        Logic::from_bool(b)
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Logic::Low => '0',
+            Logic::High => '1',
+            Logic::Unknown => 'X',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// A fixed-width bus of up to 64 bits, stored LSB-first in a `u64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Bus {
+    bits: u64,
+    width: u8,
+}
+
+impl Bus {
+    /// Creates a bus of `width` bits holding `value` (masked to width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    pub fn new(width: u8, value: u64) -> Bus {
+        assert!((1..=64).contains(&width), "bus width {width} out of range");
+        Bus {
+            bits: value & Bus::mask(width),
+            width,
+        }
+    }
+
+    /// All-zero bus of `width` bits.
+    pub fn zero(width: u8) -> Bus {
+        Bus::new(width, 0)
+    }
+
+    fn mask(width: u8) -> u64 {
+        if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        }
+    }
+
+    /// The bus value as an integer.
+    #[inline]
+    pub fn value(self) -> u64 {
+        self.bits
+    }
+
+    /// Bus width in bits.
+    #[inline]
+    pub fn width(self) -> u8 {
+        self.width
+    }
+
+    /// Reads bit `index` (LSB = 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= width`.
+    #[inline]
+    pub fn bit(self, index: u8) -> Logic {
+        assert!(index < self.width, "bit {index} out of {}-bit bus", self.width);
+        Logic::from_bool((self.bits >> index) & 1 == 1)
+    }
+
+    /// Returns a copy with bit `index` set to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= width`.
+    #[inline]
+    pub fn with_bit(self, index: u8, value: bool) -> Bus {
+        assert!(index < self.width, "bit {index} out of {}-bit bus", self.width);
+        let bits = if value {
+            self.bits | (1 << index)
+        } else {
+            self.bits & !(1 << index)
+        };
+        Bus { bits, width: self.width }
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count_ones(self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Wrapping increment within the bus width (a hardware counter).
+    #[inline]
+    pub fn wrapping_inc(self) -> Bus {
+        Bus::new(self.width, self.bits.wrapping_add(1))
+    }
+
+    /// Wrapping decrement within the bus width.
+    #[inline]
+    pub fn wrapping_dec(self) -> Bus {
+        Bus::new(self.width, self.bits.wrapping_sub(1))
+    }
+
+    /// True when every bit is set (terminal count of an up-counter).
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self.bits == Bus::mask(self.width)
+    }
+}
+
+impl fmt::Display for Bus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'b", self.width)?;
+        for i in (0..self.width).rev() {
+            write!(f, "{}", self.bit(i))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::UpperHex for Bus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.bits, f)
+    }
+}
+
+impl fmt::LowerHex for Bus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.bits, f)
+    }
+}
+
+impl fmt::Binary for Bus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.bits, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logic_gates_follow_truth_tables() {
+        use Logic::*;
+        assert_eq!(High.and(High), High);
+        assert_eq!(High.and(Low), Low);
+        assert_eq!(Low.and(Unknown), Low);
+        assert_eq!(High.and(Unknown), Unknown);
+        assert_eq!(High.or(Unknown), High);
+        assert_eq!(Low.or(Unknown), Unknown);
+        assert_eq!(High.nand(High), Low);
+        assert_eq!(Low.nor(Low), High);
+        assert_eq!(!High, Low);
+        assert_eq!(!Unknown, Unknown);
+    }
+
+    #[test]
+    fn logic_conversions() {
+        assert_eq!(Logic::from(true), Logic::High);
+        assert!(Logic::High.to_bool_or(false));
+        assert!(Logic::Unknown.to_bool_or(true));
+        assert!(!Logic::Unknown.to_bool_or(false));
+        assert!(Logic::Unknown == Logic::default());
+        assert_eq!(format!("{}{}{}", Logic::Low, Logic::High, Logic::Unknown), "01X");
+    }
+
+    #[test]
+    fn bus_bit_access() {
+        let b = Bus::new(6, 0b010011);
+        assert_eq!(b.bit(0), Logic::High);
+        assert_eq!(b.bit(2), Logic::Low);
+        assert_eq!(b.bit(4), Logic::High);
+        assert_eq!(b.count_ones(), 3);
+        let b2 = b.with_bit(2, true);
+        assert_eq!(b2.value(), 0b010111);
+    }
+
+    #[test]
+    fn bus_masks_value_to_width() {
+        let b = Bus::new(6, 0xFFFF);
+        assert_eq!(b.value(), 63);
+        assert!(b.is_terminal());
+    }
+
+    #[test]
+    fn bus_wrapping_counter() {
+        let b = Bus::new(6, 63);
+        assert_eq!(b.wrapping_inc().value(), 0);
+        assert_eq!(Bus::new(6, 0).wrapping_dec().value(), 63);
+    }
+
+    #[test]
+    fn bus_width_64_works() {
+        let b = Bus::new(64, u64::MAX);
+        assert!(b.is_terminal());
+        assert_eq!(b.count_ones(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_width_bus_rejected() {
+        let _ = Bus::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 6-bit bus")]
+    fn out_of_range_bit_rejected() {
+        let _ = Bus::new(6, 0).bit(6);
+    }
+
+    #[test]
+    fn bus_formatting() {
+        let b = Bus::new(6, 0b010011);
+        assert_eq!(format!("{b}"), "6'b010011");
+        assert_eq!(format!("{b:X}"), "13");
+        assert_eq!(format!("{b:b}"), "10011");
+    }
+}

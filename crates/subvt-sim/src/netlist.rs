@@ -1,0 +1,530 @@
+//! Gate-level structural netlist with event-driven simulation.
+//!
+//! This plays the role SPICE played for the paper's structural pieces:
+//! ring oscillators, delay-replica chains and sampling flip-flops are
+//! built as netlists of delayed gates and simulated event-driven. Gate
+//! delays come from the `subvt-device` timing model, so the netlist
+//! oscillates/propagates at the speed the technology dictates at the
+//! simulated supply voltage.
+
+use std::fmt;
+
+use crate::event::EventQueue;
+use crate::logic::Logic;
+use crate::time::{SimDuration, SimTime};
+
+/// Handle to a signal (net) in a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SignalId(usize);
+
+/// Handle to a gate instance in a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GateId(usize);
+
+/// Gate flavours the structural simulator understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateFn {
+    /// Non-inverting buffer.
+    Buf,
+    /// Inverter.
+    Inv,
+    /// Two-input NAND.
+    Nand2,
+    /// Two-input NOR.
+    Nor2,
+    /// Two-input AND.
+    And2,
+    /// Two-input OR.
+    Or2,
+    /// Two-input XOR.
+    Xor2,
+    /// Positive-edge D flip-flop; inputs are `[d, clk]`.
+    Dff,
+}
+
+impl GateFn {
+    /// Number of input pins.
+    pub fn arity(self) -> usize {
+        match self {
+            GateFn::Buf | GateFn::Inv => 1,
+            _ => 2,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Gate {
+    func: GateFn,
+    inputs: Vec<SignalId>,
+    output: SignalId,
+    delay: SimDuration,
+    /// Previous clock level, for edge-triggered gates.
+    last_clk: Logic,
+    /// Generation counter implementing inertial delay: only the most
+    /// recently scheduled output transition of a gate is applied, so a
+    /// pulse narrower than the gate delay is swallowed (as a real gate
+    /// would).
+    gen: u64,
+    /// Value of the most recently scheduled output transition.
+    last_scheduled: Logic,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Update {
+    signal: SignalId,
+    value: Logic,
+    /// `Some((gate, generation))` for gate-driven updates; `None` for
+    /// external drives, which are never cancelled.
+    source: Option<(GateId, u64)>,
+}
+
+/// A structural netlist plus its event-driven simulation state.
+#[derive(Debug)]
+pub struct Netlist {
+    signals: Vec<Logic>,
+    names: Vec<String>,
+    gates: Vec<Gate>,
+    fanout: Vec<Vec<GateId>>,
+    queue: EventQueue<Update>,
+    now: SimTime,
+    events_processed: u64,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Netlist {
+        Netlist {
+            signals: Vec::new(),
+            names: Vec::new(),
+            gates: Vec::new(),
+            fanout: Vec::new(),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            events_processed: 0,
+        }
+    }
+
+    /// Adds a named signal initialized to `Unknown`.
+    pub fn add_signal(&mut self, name: impl Into<String>) -> SignalId {
+        self.signals.push(Logic::Unknown);
+        self.names.push(name.into());
+        self.fanout.push(Vec::new());
+        SignalId(self.signals.len() - 1)
+    }
+
+    /// Adds a gate driving `output` from `inputs` after `delay`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input count does not match the gate arity.
+    pub fn add_gate(
+        &mut self,
+        func: GateFn,
+        inputs: &[SignalId],
+        output: SignalId,
+        delay: SimDuration,
+    ) -> GateId {
+        assert_eq!(
+            inputs.len(),
+            func.arity(),
+            "{func:?} needs {} inputs, got {}",
+            func.arity(),
+            inputs.len()
+        );
+        let id = GateId(self.gates.len());
+        for &input in inputs {
+            self.fanout[input.0].push(id);
+        }
+        self.gates.push(Gate {
+            func,
+            inputs: inputs.to_vec(),
+            output,
+            delay,
+            last_clk: Logic::Unknown,
+            gen: 0,
+            last_scheduled: Logic::Unknown,
+        });
+        id
+    }
+
+    /// Current value of a signal.
+    pub fn signal(&self, id: SignalId) -> Logic {
+        self.signals[id.0]
+    }
+
+    /// Name of a signal.
+    pub fn signal_name(&self, id: SignalId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of signal-update events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Schedules an external drive of `signal` to `value` at absolute
+    /// time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current simulation time.
+    pub fn drive(&mut self, signal: SignalId, value: Logic, at: SimTime) {
+        assert!(at >= self.now, "cannot drive in the past ({at} < {})", self.now);
+        self.queue.schedule(
+            at,
+            Update {
+                signal,
+                value,
+                source: None,
+            },
+        );
+    }
+
+    /// Drives a periodic square wave on `signal`: rising edges every
+    /// `period` starting at `start`, high for `high_time`, for `cycles`
+    /// periods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `high_time >= period` or `high_time` is zero.
+    pub fn drive_clock(
+        &mut self,
+        signal: SignalId,
+        start: SimTime,
+        period: SimDuration,
+        high_time: SimDuration,
+        cycles: u64,
+    ) {
+        assert!(
+            !high_time.is_zero() && high_time < period,
+            "high time must be within the period"
+        );
+        for k in 0..cycles {
+            let rise = start + period * k;
+            self.drive(signal, Logic::High, rise);
+            self.drive(signal, Logic::Low, rise + high_time);
+        }
+        // Park low after the last cycle.
+        self.drive(signal, Logic::Low, start + period * cycles);
+    }
+
+    fn evaluate(gate: &mut Gate, signals: &[Logic]) -> Option<Logic> {
+        let get = |id: SignalId| signals[id.0];
+        match gate.func {
+            GateFn::Buf => Some(get(gate.inputs[0])),
+            GateFn::Inv => Some(!get(gate.inputs[0])),
+            GateFn::Nand2 => Some(get(gate.inputs[0]).nand(get(gate.inputs[1]))),
+            GateFn::Nor2 => Some(get(gate.inputs[0]).nor(get(gate.inputs[1]))),
+            GateFn::And2 => Some(get(gate.inputs[0]).and(get(gate.inputs[1]))),
+            GateFn::Or2 => Some(get(gate.inputs[0]).or(get(gate.inputs[1]))),
+            GateFn::Xor2 => {
+                let (a, b) = (get(gate.inputs[0]), get(gate.inputs[1]));
+                if a.is_known() && b.is_known() {
+                    Some(Logic::from_bool(a.is_high() != b.is_high()))
+                } else {
+                    Some(Logic::Unknown)
+                }
+            }
+            GateFn::Dff => {
+                let clk = get(gate.inputs[1]);
+                let rising = gate.last_clk.is_low() && clk.is_high();
+                gate.last_clk = clk;
+                if rising {
+                    Some(get(gate.inputs[0]))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Runs the simulation until the event queue drains or `until` is
+    /// reached, whichever comes first. Returns the number of events
+    /// processed by this call.
+    ///
+    /// Zero-delay combinational loops are broken by the event budget:
+    /// an assertion fires if a single call processes more than
+    /// `max_events`.
+    pub fn run_until(&mut self, until: SimTime, max_events: u64) -> u64 {
+        let mut processed = 0u64;
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            let (t, update) = self.queue.pop().expect("peeked event vanished");
+            self.now = t;
+            processed += 1;
+            assert!(
+                processed <= max_events,
+                "event budget {max_events} exhausted at {t} — oscillation too fast or zero-delay loop?"
+            );
+            // Inertial delay: a gate-driven update is only applied if it
+            // is still the gate's most recently scheduled transition.
+            if let Some((GateId(g), gen)) = update.source {
+                if self.gates[g].gen != gen {
+                    continue;
+                }
+            }
+            let changed = self.signals[update.signal.0] != update.value;
+            self.signals[update.signal.0] = update.value;
+            // Edge-triggered gates must see every clock event, value
+            // change or not; combinational gates only care on change.
+            for &gate_id in &self.fanout[update.signal.0].clone() {
+                let gate = &mut self.gates[gate_id.0];
+                let is_seq = gate.func == GateFn::Dff;
+                if !changed && !is_seq {
+                    continue;
+                }
+                if let Some(v) = Self::evaluate(gate, &self.signals) {
+                    let gate = &mut self.gates[gate_id.0];
+                    if v == gate.last_scheduled && !is_seq {
+                        continue;
+                    }
+                    gate.gen += 1;
+                    gate.last_scheduled = v;
+                    let at = t + gate.delay;
+                    let out = gate.output;
+                    let gen = gate.gen;
+                    self.queue.schedule(
+                        at,
+                        Update {
+                            signal: out,
+                            value: v,
+                            source: Some((gate_id, gen)),
+                        },
+                    );
+                }
+            }
+        }
+        if self.now < until && self.queue.is_empty() {
+            self.now = until;
+        }
+        self.events_processed += processed;
+        processed
+    }
+}
+
+impl Default for Netlist {
+    fn default() -> Self {
+        Netlist::new()
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "netlist: {} signals, {} gates, t = {}",
+            self.signals.len(),
+            self.gates.len(),
+            self.now
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(n: u64) -> SimDuration {
+        SimDuration::from_nanos(n)
+    }
+
+    fn at(n: u64) -> SimTime {
+        SimTime::ZERO + ns(n)
+    }
+
+    #[test]
+    fn inverter_chain_propagates_with_delay() {
+        let mut nl = Netlist::new();
+        let a = nl.add_signal("a");
+        let b = nl.add_signal("b");
+        let c = nl.add_signal("c");
+        nl.add_gate(GateFn::Inv, &[a], b, ns(1));
+        nl.add_gate(GateFn::Inv, &[b], c, ns(1));
+        nl.drive(a, Logic::Low, at(0));
+        nl.run_until(at(10), 1000);
+        assert_eq!(nl.signal(b), Logic::High);
+        assert_eq!(nl.signal(c), Logic::Low);
+        nl.drive(a, Logic::High, at(10));
+        nl.run_until(at(11), 1000);
+        assert_eq!(nl.signal(b), Logic::Low);
+        // c updates one more gate delay later.
+        assert_eq!(nl.signal(c), Logic::Low);
+        nl.run_until(at(12), 1000);
+        assert_eq!(nl.signal(c), Logic::High);
+    }
+
+    #[test]
+    fn nand_ring_oscillator_period_is_two_n_delays() {
+        // 3-stage NAND ring with enable tied high: period = 2·3·t_d.
+        let mut nl = Netlist::new();
+        let enable = nl.add_signal("enable");
+        let nodes: Vec<SignalId> = (0..3).map(|i| nl.add_signal(format!("n{i}"))).collect();
+        for i in 0..3 {
+            nl.add_gate(
+                GateFn::Nand2,
+                &[nodes[i], enable],
+                nodes[(i + 1) % 3],
+                ns(2),
+            );
+        }
+        // Initialize to a single circulating edge: with the enable
+        // high, (L, H, H) is the unique inconsistent-at-one-gate state.
+        nl.drive(nodes[0], Logic::Low, at(0));
+        nl.drive(nodes[1], Logic::High, at(0));
+        nl.drive(nodes[2], Logic::High, at(0));
+        nl.drive(enable, Logic::High, at(0));
+        // Observe node 0 transitions over a long window.
+        let mut transitions = Vec::new();
+        let mut last = Logic::Unknown;
+        for step in 1..=200 {
+            nl.run_until(at(step), 100_000);
+            let v = nl.signal(nodes[0]);
+            if v != last {
+                transitions.push(step);
+                last = v;
+            }
+        }
+        // Steady oscillation: same-value period = 12 ns (2·3·2 ns).
+        assert!(transitions.len() > 10, "ring did not oscillate");
+        let periods: Vec<u64> = transitions
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .skip(2)
+            .collect();
+        for p in &periods {
+            assert_eq!(*p, 6, "half-period should be 3 gate delays: {periods:?}");
+        }
+    }
+
+    #[test]
+    fn dff_samples_on_rising_edge_only() {
+        let mut nl = Netlist::new();
+        let d = nl.add_signal("d");
+        let clk = nl.add_signal("clk");
+        let q = nl.add_signal("q");
+        nl.add_gate(GateFn::Dff, &[d, clk], q, ns(1));
+        nl.drive(d, Logic::High, at(0));
+        nl.drive(clk, Logic::Low, at(0));
+        nl.run_until(at(1), 1000);
+        assert_eq!(nl.signal(q), Logic::Unknown, "no edge yet");
+        nl.drive(clk, Logic::High, at(2));
+        nl.run_until(at(4), 1000);
+        assert_eq!(nl.signal(q), Logic::High);
+        // Data change without an edge must not propagate.
+        nl.drive(d, Logic::Low, at(5));
+        nl.run_until(at(7), 1000);
+        assert_eq!(nl.signal(q), Logic::High);
+        // Falling edge: still no change.
+        nl.drive(clk, Logic::Low, at(8));
+        nl.run_until(at(9), 1000);
+        assert_eq!(nl.signal(q), Logic::High);
+        // Next rising edge captures the new data.
+        nl.drive(clk, Logic::High, at(10));
+        nl.run_until(at(12), 1000);
+        assert_eq!(nl.signal(q), Logic::Low);
+    }
+
+    #[test]
+    fn clock_driver_generates_square_wave() {
+        let mut nl = Netlist::new();
+        let clk = nl.add_signal("clk");
+        nl.drive_clock(clk, at(0), ns(14), ns(7), 3);
+        nl.run_until(at(3), 1000);
+        assert_eq!(nl.signal(clk), Logic::High);
+        nl.run_until(at(8), 1000);
+        assert_eq!(nl.signal(clk), Logic::Low);
+        nl.run_until(at(15), 1000);
+        assert_eq!(nl.signal(clk), Logic::High);
+    }
+
+    #[test]
+    fn xor_detects_difference() {
+        let mut nl = Netlist::new();
+        let a = nl.add_signal("a");
+        let b = nl.add_signal("b");
+        let y = nl.add_signal("y");
+        nl.add_gate(GateFn::Xor2, &[a, b], y, ns(1));
+        nl.drive(a, Logic::High, at(0));
+        nl.drive(b, Logic::Low, at(0));
+        nl.run_until(at(2), 100);
+        assert_eq!(nl.signal(y), Logic::High);
+        nl.drive(b, Logic::High, at(3));
+        nl.run_until(at(5), 100);
+        assert_eq!(nl.signal(y), Logic::Low);
+    }
+
+    #[test]
+    #[should_panic(expected = "event budget")]
+    fn zero_delay_loop_trips_budget() {
+        // A self-inverting node has no stable point: without a delay it
+        // re-schedules forever within one timestamp.
+        let mut nl = Netlist::new();
+        let a = nl.add_signal("a");
+        nl.add_gate(GateFn::Inv, &[a], a, SimDuration::ZERO);
+        nl.drive(a, Logic::Low, at(0));
+        nl.run_until(at(1), 1000);
+    }
+
+    #[test]
+    fn inertial_delay_swallows_narrow_pulse() {
+        // A 1 ns pulse into a 3 ns gate must not reach the output.
+        let mut nl = Netlist::new();
+        let a = nl.add_signal("a");
+        let y = nl.add_signal("y");
+        nl.add_gate(GateFn::Buf, &[a], y, ns(3));
+        nl.drive(a, Logic::Low, at(0));
+        nl.run_until(at(5), 100);
+        assert_eq!(nl.signal(y), Logic::Low);
+        nl.drive(a, Logic::High, at(10));
+        nl.drive(a, Logic::Low, at(11));
+        nl.run_until(at(20), 100);
+        assert_eq!(nl.signal(y), Logic::Low, "narrow pulse leaked through");
+        // A wide pulse does pass.
+        nl.drive(a, Logic::High, at(30));
+        nl.drive(a, Logic::Low, at(40));
+        nl.run_until(at(35), 100);
+        assert_eq!(nl.signal(y), Logic::High);
+        nl.run_until(at(50), 100);
+        assert_eq!(nl.signal(y), Logic::Low);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot drive in the past")]
+    fn driving_in_the_past_panics() {
+        let mut nl = Netlist::new();
+        let a = nl.add_signal("a");
+        nl.drive(a, Logic::High, at(5));
+        nl.run_until(at(5), 100);
+        nl.drive(a, Logic::Low, at(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs 2 inputs")]
+    fn arity_mismatch_panics() {
+        let mut nl = Netlist::new();
+        let a = nl.add_signal("a");
+        let y = nl.add_signal("y");
+        nl.add_gate(GateFn::Nand2, &[a], y, ns(1));
+    }
+
+    #[test]
+    fn display_and_counters() {
+        let mut nl = Netlist::new();
+        let a = nl.add_signal("a");
+        let y = nl.add_signal("y");
+        nl.add_gate(GateFn::Buf, &[a], y, ns(1));
+        nl.drive(a, Logic::High, at(0));
+        nl.run_until(at(5), 100);
+        assert!(nl.events_processed() >= 2);
+        assert_eq!(nl.signal_name(a), "a");
+        let s = format!("{nl}");
+        assert!(s.contains("2 signals") && s.contains("1 gates"), "{s}");
+    }
+}

@@ -1,0 +1,344 @@
+//! Simulation time.
+//!
+//! Time is an integer count of **femtoseconds** in a `u64`, which spans
+//! ~5.1 hours — vastly more than any transient the paper's controller
+//! needs (its system cycle is 1 µs) — while resolving the ~100 fs
+//! differences that pulse-shrinking analysis cares about without
+//! floating-point drift.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// An absolute simulation time (femtoseconds since time zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A non-negative span of simulation time (femtoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable time (~5.1 hours).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from raw femtoseconds.
+    #[inline]
+    pub const fn from_femtos(fs: u64) -> SimTime {
+        SimTime(fs)
+    }
+
+    /// Raw femtosecond count.
+    #[inline]
+    pub const fn femtos(self) -> u64 {
+        self.0
+    }
+
+    /// Time in seconds as `f64` (for analog math and reporting).
+    #[inline]
+    pub fn as_seconds(self) -> f64 {
+        self.0 as f64 * 1e-15
+    }
+
+    /// Duration elapsed since an earlier time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is after `self`.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        assert!(
+            earlier <= self,
+            "time went backwards: {earlier} is after {self}"
+        );
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// Saturating addition of a duration.
+    #[inline]
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from raw femtoseconds.
+    #[inline]
+    pub const fn from_femtos(fs: u64) -> SimDuration {
+        SimDuration(fs)
+    }
+
+    /// Creates a duration from picoseconds.
+    #[inline]
+    pub const fn from_picos(ps: u64) -> SimDuration {
+        SimDuration(ps * 1_000)
+    }
+
+    /// Creates a duration from nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> SimDuration {
+        SimDuration(ns * 1_000_000)
+    }
+
+    /// Creates a duration from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> SimDuration {
+        SimDuration(us * 1_000_000_000)
+    }
+
+    /// Converts a (non-negative, finite) span in seconds, rounding to
+    /// the nearest femtosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is negative, NaN, or too large to represent.
+    #[inline]
+    pub fn from_seconds(seconds: f64) -> SimDuration {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "invalid duration {seconds} s"
+        );
+        let fs = seconds * 1e15;
+        assert!(fs <= u64::MAX as f64, "duration {seconds} s overflows");
+        SimDuration(fs.round() as u64)
+    }
+
+    /// Raw femtosecond count.
+    #[inline]
+    pub const fn femtos(self) -> u64 {
+        self.0
+    }
+
+    /// Span in seconds as `f64`.
+    #[inline]
+    pub fn as_seconds(self) -> f64 {
+        self.0 as f64 * 1e-15
+    }
+
+    /// True for the zero duration.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked integer division into equal sub-steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is zero.
+    #[inline]
+    pub fn split(self, parts: u64) -> SimDuration {
+        assert!(parts > 0, "cannot split into zero parts");
+        SimDuration(self.0 / parts)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("simulation time overflow"))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("duration overflow"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("duration subtraction underflow"),
+        )
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.checked_mul(rhs).expect("duration overflow"))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Div<SimDuration> for SimDuration {
+    type Output = u64;
+    #[inline]
+    fn div(self, rhs: SimDuration) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Rem<SimDuration> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn rem(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 % rhs.0)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        format_femtos(self.0, f)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        format_femtos(self.0, f)
+    }
+}
+
+fn format_femtos(fs: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if fs == 0 {
+        return write!(f, "0 s");
+    }
+    let v = fs as f64;
+    if fs < 1_000 {
+        write!(f, "{fs} fs")
+    } else if fs < 1_000_000 {
+        write!(f, "{:.3} ps", v / 1e3)
+    } else if fs < 1_000_000_000 {
+        write!(f, "{:.3} ns", v / 1e6)
+    } else if fs < 1_000_000_000_000 {
+        write!(f, "{:.3} µs", v / 1e9)
+    } else {
+        write!(f, "{:.6} ms", v / 1e12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(SimDuration::from_nanos(14).femtos(), 14_000_000);
+        assert_eq!(SimDuration::from_picos(102).femtos(), 102_000);
+        assert_eq!(SimDuration::from_micros(1).femtos(), 1_000_000_000);
+        assert!((SimDuration::from_nanos(1).as_seconds() - 1e-9).abs() < 1e-24);
+    }
+
+    #[test]
+    fn from_seconds_rounds() {
+        let d = SimDuration::from_seconds(102e-12);
+        assert_eq!(d.femtos(), 102_000);
+        let d = SimDuration::from_seconds(1.5e-15);
+        assert_eq!(d.femtos(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn from_seconds_rejects_negative() {
+        let _ = SimDuration::from_seconds(-1.0);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_nanos(10);
+        assert_eq!(t.femtos(), 10_000_000);
+        let later = t + SimDuration::from_nanos(5);
+        assert_eq!(later.since(t), SimDuration::from_nanos(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn since_panics_on_reversed_order() {
+        let t = SimTime::from_femtos(5);
+        let _ = t.since(SimTime::from_femtos(10));
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_nanos(10);
+        let b = SimDuration::from_nanos(4);
+        assert_eq!(a - b, SimDuration::from_nanos(6));
+        assert_eq!(a * 3, SimDuration::from_nanos(30));
+        assert_eq!(a / 2, SimDuration::from_nanos(5));
+        assert_eq!(a / b, 2);
+        assert_eq!(a.split(4), SimDuration::from_femtos(2_500_000));
+    }
+
+    #[test]
+    fn modulo_phase_within_period() {
+        let period = SimDuration::from_nanos(14);
+        let t = SimTime::ZERO + period * 3 + SimDuration::from_nanos(5);
+        assert_eq!(t % period, SimDuration::from_nanos(5));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_femtos(1) < SimTime::from_femtos(2));
+        assert!(SimDuration::from_picos(1) < SimDuration::from_nanos(1));
+    }
+
+    #[test]
+    fn display_picks_scale() {
+        assert_eq!(format!("{}", SimDuration::from_femtos(12)), "12 fs");
+        assert_eq!(format!("{}", SimDuration::from_picos(102)), "102.000 ps");
+        assert_eq!(format!("{}", SimDuration::from_nanos(14)), "14.000 ns");
+        assert_eq!(format!("{}", SimDuration::from_micros(3)), "3.000 µs");
+        assert_eq!(format!("{}", SimDuration::ZERO), "0 s");
+    }
+
+    #[test]
+    fn saturating_add_clamps() {
+        let t = SimTime::MAX.saturating_add(SimDuration::from_nanos(1));
+        assert_eq!(t, SimTime::MAX);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_nanos).sum();
+        assert_eq!(total, SimDuration::from_nanos(10));
+    }
+}

@@ -1,0 +1,376 @@
+//! Waveform recording and analysis.
+//!
+//! Captures analog waveforms (like Fig. 6's `V_OUT` trace) and digital
+//! waveforms during simulation, computes settling metrics, and dumps
+//! CSV for external plotting.
+
+use std::fmt;
+use std::io::{self, Write};
+
+use crate::logic::Logic;
+use crate::time::{SimDuration, SimTime};
+
+/// A sampled analog waveform.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AnalogTrace {
+    name: String,
+    samples: Vec<(SimTime, f64)>,
+}
+
+impl AnalogTrace {
+    /// Creates an empty named trace.
+    pub fn new(name: impl Into<String>) -> AnalogTrace {
+        AnalogTrace {
+            name: name.into(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Trace name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the last recorded sample.
+    pub fn push(&mut self, time: SimTime, value: f64) {
+        if let Some(&(last, _)) = self.samples.last() {
+            assert!(time >= last, "trace samples must be time-ordered");
+        }
+        self.samples.push((time, value));
+    }
+
+    /// All samples, time-ordered.
+    pub fn samples(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Last sampled value.
+    pub fn last_value(&self) -> Option<f64> {
+        self.samples.last().map(|&(_, v)| v)
+    }
+
+    /// Minimum and maximum values over a time window (inclusive).
+    pub fn extent(&self, from: SimTime, to: SimTime) -> Option<(f64, f64)> {
+        let mut it = self
+            .samples
+            .iter()
+            .filter(|&&(t, _)| t >= from && t <= to)
+            .map(|&(_, v)| v);
+        let first = it.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for v in it {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Some((lo, hi))
+    }
+
+    /// Mean value over a time window (sample mean; assumes roughly
+    /// uniform sampling).
+    pub fn mean(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .samples
+            .iter()
+            .filter(|&&(t, _)| t >= from && t <= to)
+            .map(|&(_, v)| v)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// First time after `from` at which the trace enters and stays
+    /// within `±tolerance` of `target` until the end of the trace.
+    pub fn settling_time(&self, from: SimTime, target: f64, tolerance: f64) -> Option<SimTime> {
+        self.settling_time_in(from, SimTime::MAX, target, tolerance)
+    }
+
+    /// First time in `[from, to]` at which the trace enters and stays
+    /// within `±tolerance` of `target` until `to`.
+    pub fn settling_time_in(
+        &self,
+        from: SimTime,
+        to: SimTime,
+        target: f64,
+        tolerance: f64,
+    ) -> Option<SimTime> {
+        let mut candidate: Option<SimTime> = None;
+        for &(t, v) in &self.samples {
+            if t < from {
+                continue;
+            }
+            if t > to {
+                break;
+            }
+            if (v - target).abs() <= tolerance {
+                candidate.get_or_insert(t);
+            } else {
+                candidate = None;
+            }
+        }
+        candidate
+    }
+
+    /// Peak-to-peak ripple over a window.
+    pub fn ripple(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        self.extent(from, to).map(|(lo, hi)| hi - lo)
+    }
+}
+
+/// A recorded digital waveform.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DigitalTrace {
+    name: String,
+    transitions: Vec<(SimTime, Logic)>,
+}
+
+impl DigitalTrace {
+    /// Creates an empty named trace.
+    pub fn new(name: impl Into<String>) -> DigitalTrace {
+        DigitalTrace {
+            name: name.into(),
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Trace name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records a value; consecutive identical values are coalesced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the last recorded transition.
+    pub fn push(&mut self, time: SimTime, value: Logic) {
+        if let Some(&(last_t, last_v)) = self.transitions.last() {
+            assert!(time >= last_t, "trace samples must be time-ordered");
+            if last_v == value {
+                return;
+            }
+        }
+        self.transitions.push((time, value));
+    }
+
+    /// Value at a given time (value of the latest transition ≤ `time`).
+    pub fn value_at(&self, time: SimTime) -> Logic {
+        match self
+            .transitions
+            .partition_point(|&(t, _)| t <= time)
+            .checked_sub(1)
+        {
+            Some(i) => self.transitions[i].1,
+            None => Logic::Unknown,
+        }
+    }
+
+    /// All transitions.
+    pub fn transitions(&self) -> &[(SimTime, Logic)] {
+        &self.transitions
+    }
+
+    /// Number of rising edges in a window.
+    pub fn rising_edges(&self, from: SimTime, to: SimTime) -> usize {
+        self.transitions
+            .windows(2)
+            .filter(|w| {
+                let (t, v) = w[1];
+                t >= from && t <= to && v.is_high() && w[0].1.is_low()
+            })
+            .count()
+    }
+
+    /// Fraction of the window spent high (duty cycle estimate).
+    pub fn duty_cycle(&self, from: SimTime, to: SimTime) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        let mut high = SimDuration::ZERO;
+        let mut cursor = from;
+        let mut level = self.value_at(from);
+        for &(t, v) in &self.transitions {
+            if t <= from {
+                continue;
+            }
+            let t_clamped = t.min(to);
+            if level.is_high() {
+                high += t_clamped.since(cursor);
+            }
+            cursor = t_clamped;
+            level = v;
+            if t >= to {
+                break;
+            }
+        }
+        if cursor < to && level.is_high() {
+            high += to.since(cursor);
+        }
+        high.as_seconds() / to.since(from).as_seconds()
+    }
+}
+
+/// A set of traces that can be dumped as one CSV table.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSet {
+    analog: Vec<AnalogTrace>,
+}
+
+impl TraceSet {
+    /// Creates an empty trace set.
+    pub fn new() -> TraceSet {
+        TraceSet::default()
+    }
+
+    /// Adds a trace and returns its index.
+    pub fn add(&mut self, trace: AnalogTrace) -> usize {
+        self.analog.push(trace);
+        self.analog.len() - 1
+    }
+
+    /// Access a trace by index.
+    pub fn trace(&self, index: usize) -> Option<&AnalogTrace> {
+        self.analog.get(index)
+    }
+
+    /// Mutable access to a trace by index.
+    pub fn trace_mut(&mut self, index: usize) -> Option<&mut AnalogTrace> {
+        self.analog.get_mut(index)
+    }
+
+    /// Writes all traces as long-format CSV (`trace,time_s,value`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_csv<W: Write>(&self, mut w: W) -> io::Result<()> {
+        writeln!(w, "trace,time_s,value")?;
+        for trace in &self.analog {
+            for &(t, v) in trace.samples() {
+                writeln!(w, "{},{:.12e},{:.9e}", trace.name(), t.as_seconds(), v)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TraceSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} traces", self.analog.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_nanos(ns)
+    }
+
+    #[test]
+    fn analog_trace_stats() {
+        let mut tr = AnalogTrace::new("vout");
+        for i in 0..10 {
+            tr.push(t(i), i as f64 * 0.1);
+        }
+        assert_eq!(tr.len(), 10);
+        assert_eq!(tr.last_value(), Some(0.9));
+        assert_eq!(tr.extent(t(2), t(5)), Some((0.2, 0.5)));
+        assert!((tr.mean(t(0), t(9)).unwrap() - 0.45).abs() < 1e-12);
+        assert!((tr.ripple(t(0), t(9)).unwrap() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn settling_detection_requires_staying_in_band() {
+        let mut tr = AnalogTrace::new("v");
+        // Overshoots, re-enters, then stays.
+        let vals = [0.0, 0.3, 0.45, 0.6, 0.52, 0.46, 0.5, 0.5, 0.5];
+        for (i, v) in vals.iter().enumerate() {
+            tr.push(t(i as u64), *v);
+        }
+        // Band 0.5±0.05: enters at i=2 (0.45) but leaves at i=3 (0.6),
+        // re-enters for good at i=4? 0.52 in band, 0.46 in band, ...
+        let st = tr.settling_time(t(0), 0.5, 0.05).unwrap();
+        assert_eq!(st, t(4));
+        assert_eq!(tr.settling_time(t(0), 2.0, 0.05), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_sample_panics() {
+        let mut tr = AnalogTrace::new("v");
+        tr.push(t(5), 1.0);
+        tr.push(t(4), 1.0);
+    }
+
+    #[test]
+    fn digital_trace_coalesces_and_queries() {
+        let mut tr = DigitalTrace::new("clk");
+        tr.push(t(0), Logic::Low);
+        tr.push(t(1), Logic::Low); // coalesced
+        tr.push(t(2), Logic::High);
+        tr.push(t(4), Logic::Low);
+        assert_eq!(tr.transitions().len(), 3);
+        assert_eq!(tr.value_at(t(0)), Logic::Low);
+        assert_eq!(tr.value_at(t(3)), Logic::High);
+        assert_eq!(tr.value_at(t(5)), Logic::Low);
+        assert_eq!(tr.value_at(SimTime::ZERO), Logic::Low);
+    }
+
+    #[test]
+    fn rising_edge_count() {
+        let mut tr = DigitalTrace::new("clk");
+        for k in 0..5u64 {
+            tr.push(t(10 * k), Logic::High);
+            tr.push(t(10 * k + 5), Logic::Low);
+        }
+        assert_eq!(tr.rising_edges(t(1), t(50)), 4);
+    }
+
+    #[test]
+    fn duty_cycle_of_square_wave() {
+        let mut tr = DigitalTrace::new("pwm");
+        for k in 0..10u64 {
+            tr.push(t(10 * k), Logic::High);
+            tr.push(t(10 * k + 3), Logic::Low);
+        }
+        let d = tr.duty_cycle(t(0), t(100));
+        assert!((d - 0.3).abs() < 0.01, "duty {d}");
+    }
+
+    #[test]
+    fn csv_dump_contains_all_rows() {
+        let mut set = TraceSet::new();
+        let mut a = AnalogTrace::new("a");
+        a.push(t(0), 1.0);
+        a.push(t(1), 2.0);
+        let mut b = AnalogTrace::new("b");
+        b.push(t(0), 3.0);
+        set.add(a);
+        set.add(b);
+        let mut buf = Vec::new();
+        set.write_csv(&mut buf).expect("write to vec");
+        let s = String::from_utf8(buf).expect("utf8");
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.starts_with("trace,time_s,value"));
+        assert!(s.contains("\nb,"));
+        assert_eq!(format!("{set}"), "2 traces");
+    }
+}

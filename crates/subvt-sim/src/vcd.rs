@@ -1,0 +1,242 @@
+//! Value-change-dump (VCD) export: view simulation waveforms in GTKWave
+//! or any standard EDA waveform viewer.
+//!
+//! Digital traces become 1-bit wires; analog traces become `real`
+//! variables (GTKWave renders those as analog lanes).
+
+use std::io::{self, Write};
+
+use crate::logic::Logic;
+use crate::time::SimTime;
+use crate::trace::{AnalogTrace, DigitalTrace};
+
+/// A VCD document builder.
+#[derive(Debug, Default)]
+pub struct VcdWriter {
+    digital: Vec<DigitalTrace>,
+    analog: Vec<AnalogTrace>,
+    module: String,
+}
+
+impl VcdWriter {
+    /// Creates a writer with the given `$scope` module name.
+    pub fn new(module: impl Into<String>) -> VcdWriter {
+        VcdWriter {
+            digital: Vec::new(),
+            analog: Vec::new(),
+            module: module.into(),
+        }
+    }
+
+    /// Adds a digital trace.
+    pub fn add_digital(&mut self, trace: DigitalTrace) -> &mut Self {
+        self.digital.push(trace);
+        self
+    }
+
+    /// Adds an analog trace (exported as a VCD `real`).
+    pub fn add_analog(&mut self, trace: AnalogTrace) -> &mut Self {
+        self.analog.push(trace);
+        self
+    }
+
+    /// Number of traces registered.
+    pub fn len(&self) -> usize {
+        self.digital.len() + self.analog.len()
+    }
+
+    /// True when no traces were added.
+    pub fn is_empty(&self) -> bool {
+        self.digital.is_empty() && self.analog.is_empty()
+    }
+
+    fn id_code(index: usize) -> String {
+        // Printable VCD identifier alphabet (! .. ~).
+        let mut n = index;
+        let mut s = String::new();
+        loop {
+            s.push((b'!' + (n % 94) as u8) as char);
+            n /= 94;
+            if n == 0 {
+                break;
+            }
+        }
+        s
+    }
+
+    /// Writes the VCD document.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write<W: Write>(&self, mut w: W) -> io::Result<()> {
+        writeln!(w, "$date subvt simulation $end")?;
+        writeln!(w, "$version subvt vcd exporter $end")?;
+        writeln!(w, "$timescale 1 fs $end")?;
+        writeln!(w, "$scope module {} $end", self.module)?;
+        for (i, t) in self.digital.iter().enumerate() {
+            writeln!(w, "$var wire 1 {} {} $end", Self::id_code(i), sanitize(t.name()))?;
+        }
+        for (i, t) in self.analog.iter().enumerate() {
+            writeln!(
+                w,
+                "$var real 64 {} {} $end",
+                Self::id_code(self.digital.len() + i),
+                sanitize(t.name())
+            )?;
+        }
+        writeln!(w, "$upscope $end")?;
+        writeln!(w, "$enddefinitions $end")?;
+
+        // Merge all events into one time-ordered stream.
+        #[derive(Debug)]
+        enum Change {
+            Bit(usize, Logic),
+            Real(usize, f64),
+        }
+        let mut events: Vec<(SimTime, Change)> = Vec::new();
+        for (i, t) in self.digital.iter().enumerate() {
+            for &(time, value) in t.transitions() {
+                events.push((time, Change::Bit(i, value)));
+            }
+        }
+        for (i, t) in self.analog.iter().enumerate() {
+            for &(time, value) in t.samples() {
+                events.push((time, Change::Real(self.digital.len() + i, value)));
+            }
+        }
+        events.sort_by_key(|&(t, _)| t);
+
+        let mut current = None;
+        for (time, change) in events {
+            if current != Some(time) {
+                writeln!(w, "#{}", time.femtos())?;
+                current = Some(time);
+            }
+            match change {
+                Change::Bit(i, v) => {
+                    let c = match v {
+                        Logic::Low => '0',
+                        Logic::High => '1',
+                        Logic::Unknown => 'x',
+                    };
+                    writeln!(w, "{c}{}", Self::id_code(i))?;
+                }
+                Change::Real(i, v) => {
+                    writeln!(w, "r{v:.9e} {}", Self::id_code(i))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the VCD document to a string.
+    pub fn to_vcd_string(&self) -> String {
+        let mut buf = Vec::new();
+        self.write(&mut buf).expect("writing to a Vec cannot fail");
+        String::from_utf8(buf).expect("vcd output is ascii")
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_nanos(ns)
+    }
+
+    fn clock_trace() -> DigitalTrace {
+        let mut tr = DigitalTrace::new("clk");
+        for k in 0..3u64 {
+            tr.push(t(10 * k), Logic::High);
+            tr.push(t(10 * k + 5), Logic::Low);
+        }
+        tr
+    }
+
+    #[test]
+    fn header_declares_all_vars() {
+        let mut w = VcdWriter::new("tb");
+        w.add_digital(clock_trace());
+        let mut vout = AnalogTrace::new("v out");
+        vout.push(t(0), 0.0);
+        w.add_analog(vout);
+        let s = w.to_vcd_string();
+        assert!(s.contains("$timescale 1 fs $end"));
+        assert!(s.contains("$scope module tb $end"));
+        assert!(s.contains("$var wire 1 ! clk $end"));
+        assert!(s.contains("$var real 64 \" v_out $end"), "{s}");
+        assert!(s.contains("$enddefinitions $end"));
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn events_are_time_ordered_and_merged() {
+        let mut w = VcdWriter::new("tb");
+        w.add_digital(clock_trace());
+        let mut vout = AnalogTrace::new("vout");
+        vout.push(t(0), 0.1);
+        vout.push(t(5), 0.2);
+        w.add_analog(vout);
+        let s = w.to_vcd_string();
+        let body: Vec<&str> = s
+            .lines()
+            .skip_while(|l| !l.starts_with("$enddefinitions"))
+            .skip(1)
+            .collect();
+        // Timestamps must be non-decreasing.
+        let mut last = 0u64;
+        for line in &body {
+            if let Some(ts) = line.strip_prefix('#') {
+                let v: u64 = ts.parse().expect("numeric timestamp");
+                assert!(v >= last, "timestamps regressed: {v} < {last}");
+                last = v;
+            }
+        }
+        // Shared timestamp #0 appears once, carrying both changes.
+        let zero_count = body.iter().filter(|l| **l == "#0").count();
+        assert_eq!(zero_count, 1);
+    }
+
+    #[test]
+    fn logic_levels_encode_correctly() {
+        let mut tr = DigitalTrace::new("d");
+        tr.push(t(0), Logic::Unknown);
+        tr.push(t(1), Logic::High);
+        tr.push(t(2), Logic::Low);
+        let mut w = VcdWriter::new("tb");
+        w.add_digital(tr);
+        let s = w.to_vcd_string();
+        assert!(s.contains("x!"));
+        assert!(s.contains("1!"));
+        assert!(s.contains("0!"));
+    }
+
+    #[test]
+    fn id_codes_stay_printable_past_94_signals() {
+        assert_eq!(VcdWriter::id_code(0), "!");
+        assert_eq!(VcdWriter::id_code(93), "~");
+        let code = VcdWriter::id_code(94);
+        assert_eq!(code.len(), 2);
+        assert!(code.bytes().all(|b| (b'!'..=b'~').contains(&b)));
+    }
+
+    #[test]
+    fn real_values_use_r_prefix() {
+        let mut vout = AnalogTrace::new("v");
+        vout.push(t(0), 0.35625);
+        let mut w = VcdWriter::new("tb");
+        w.add_analog(vout);
+        let s = w.to_vcd_string();
+        assert!(s.contains("r3.562500000e-1 !"), "{s}");
+    }
+}

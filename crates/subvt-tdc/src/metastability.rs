@@ -1,0 +1,177 @@
+//! Flip-flop metastability in the quantizer.
+//!
+//! Paper Sec. II-A: "The metastability associated with the flip flops
+//! due to the variations are considered and incorporated in the
+//! design." A flip-flop whose data input transitions within its
+//! aperture of the sampling edge resolves randomly; the classic model
+//! gives a failure probability `exp(−slack/τ)` for slack beyond the
+//! aperture.
+
+use rand::Rng;
+
+use subvt_device::units::Seconds;
+use subvt_digital::encoder::QuantizerWord;
+
+use crate::quantizer::Quantizer;
+
+/// Metastability parameters of the sampling flip-flops.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetastabilityModel {
+    /// Aperture: a data edge within this window of the sampling edge
+    /// always produces a coin-flip outcome.
+    pub aperture: Seconds,
+    /// Regeneration time constant τ for the exponential tail beyond
+    /// the aperture.
+    pub tau: Seconds,
+}
+
+impl MetastabilityModel {
+    /// Representative values for subthreshold flip-flops, where
+    /// regeneration is slow (τ of a few hundred ps).
+    pub fn subthreshold_default() -> MetastabilityModel {
+        MetastabilityModel {
+            aperture: Seconds::from_picos(50.0),
+            tau: Seconds::from_picos(300.0),
+        }
+    }
+
+    /// Probability that a capture with the given time slack between
+    /// the data edge and the sampling edge resolves *randomly* rather
+    /// than cleanly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's aperture or τ is not positive.
+    pub fn upset_probability(&self, slack: Seconds) -> f64 {
+        assert!(
+            self.aperture.value() > 0.0 && self.tau.value() > 0.0,
+            "aperture and tau must be positive"
+        );
+        let s = slack.value().abs();
+        if s <= self.aperture.value() {
+            1.0
+        } else {
+            ((self.aperture.value() - s) / self.tau.value()).exp()
+        }
+    }
+
+    /// Samples the quantizer with metastable captures: each stage whose
+    /// sampled waveform point lies near a transition may flip.
+    ///
+    /// The returned word is the ideal word with boundary bits re-drawn
+    /// according to the upset probability — exactly the "bubble"
+    /// artefacts the encoder's bubble tolerance exists for.
+    pub fn sample_word<R: Rng + ?Sized>(
+        &self,
+        quantizer: &Quantizer,
+        cell_delay: Seconds,
+        rng: &mut R,
+    ) -> QuantizerWord {
+        let ideal = quantizer.sample(cell_delay);
+        let clk = quantizer.ref_clk();
+        let period = clk.period().value();
+        let high = clk.high_time().value();
+        let mut bits = ideal.bits();
+        for i in 0..ideal.width() {
+            let t = quantizer.sample_offset().value() - f64::from(i) * cell_delay.value();
+            let phase = t.rem_euclid(period);
+            // Distance to the nearest waveform transition (rising at 0,
+            // falling at `high`).
+            let d_rise = phase.min(period - phase);
+            let d_fall = (phase - high).abs().min(period - (phase - high).abs());
+            let slack = Seconds(d_rise.min(d_fall));
+            if rng.gen::<f64>() < self.upset_probability(slack) {
+                if rng.gen::<bool>() {
+                    bits |= 1 << i;
+                } else {
+                    bits &= !(1 << i);
+                }
+            }
+        }
+        QuantizerWord::new(ideal.width(), bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantizer::RefClock;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn within_aperture_is_certain_upset() {
+        let m = MetastabilityModel::subthreshold_default();
+        assert_eq!(m.upset_probability(Seconds::ZERO), 1.0);
+        assert_eq!(m.upset_probability(Seconds::from_picos(50.0)), 1.0);
+        assert_eq!(m.upset_probability(Seconds::from_picos(-30.0)), 1.0);
+    }
+
+    #[test]
+    fn probability_decays_exponentially_beyond_aperture() {
+        let m = MetastabilityModel::subthreshold_default();
+        let p1 = m.upset_probability(Seconds::from_picos(350.0));
+        let p2 = m.upset_probability(Seconds::from_picos(650.0));
+        // 300 ps further out = one τ = factor e.
+        assert!((p1 / p2 - std::f64::consts::E).abs() < 1e-9);
+        assert!(p1 < 0.5);
+    }
+
+    #[test]
+    fn far_from_edges_the_word_is_clean() {
+        // Huge cell delay relative to τ: only the boundary stage is at
+        // risk, everything else is deterministic.
+        let cell = Seconds::from_nanos(50.0);
+        let clk = RefClock::square(Seconds(cell.value() * 128.0));
+        let q = Quantizer::new(64, clk, Seconds(cell.value() * 32.5));
+        let ideal = q.sample(cell);
+        let m = MetastabilityModel::subthreshold_default();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let w = m.sample_word(&q, cell, &mut rng);
+            // At most the boundary bit differs.
+            let diff = (w.bits() ^ ideal.bits()).count_ones();
+            assert!(diff <= 1, "diff {diff}");
+        }
+    }
+
+    #[test]
+    fn boundary_stage_flips_sometimes() {
+        // Anchor exactly on a stage boundary: that stage samples right
+        // at the edge and must flip in some trials.
+        let cell = Seconds::from_nanos(1.0);
+        let clk = RefClock::square(Seconds(cell.value() * 128.0));
+        let q = Quantizer::new(64, clk, Seconds(cell.value() * 32.0));
+        let m = MetastabilityModel {
+            aperture: Seconds::from_picos(100.0),
+            tau: Seconds::from_picos(300.0),
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let codes: Vec<u64> = (0..200)
+            .map(|_| m.sample_word(&q, cell, &mut rng).bits())
+            .collect();
+        let distinct: std::collections::HashSet<u64> = codes.iter().copied().collect();
+        assert!(distinct.len() > 1, "metastability never manifested");
+    }
+
+    #[test]
+    fn bubble_tolerant_encode_repairs_most_upsets() {
+        let cell = Seconds::from_nanos(1.0);
+        let clk = RefClock::square(Seconds(cell.value() * 128.0));
+        let q = Quantizer::new(64, clk, Seconds(cell.value() * 32.3));
+        let m = MetastabilityModel::subthreshold_default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let ideal = q.sample(cell).encode().unwrap();
+        let mut ok = 0;
+        let trials = 100;
+        for _ in 0..trials {
+            let w = m.sample_word(&q, cell, &mut rng);
+            if let Ok(code) = w.encode_bubble_tolerant() {
+                if code.abs_diff(ideal) <= 1 {
+                    ok += 1;
+                }
+            }
+        }
+        assert!(ok > trials * 9 / 10, "only {ok}/{trials} clean");
+    }
+}

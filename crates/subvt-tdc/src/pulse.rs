@@ -1,0 +1,253 @@
+//! Pulse-width shrinking (paper Sec. II-A, Eq. 1).
+//!
+//! During measurement "the reference signal circulates by a delay
+//! resulting from INV-NOR circuit and is shrunk by a specific
+//! pulse-width/cycle until it diminishes completely". The shrink per
+//! circulation from stage (n−1) to (n+1) is
+//!
+//! ```text
+//! ΔW = (β − 1/β) · C_L(n−1) · (1/kp(n−1) − 1/kn(n−1)) · δi     (Eq. 1)
+//! ```
+//!
+//! where `β` is the aspect-ratio scaling of the n-th stage (β > 1 →
+//! shrink, β < 1 → expand), `C_L` the effective load capacitance and
+//! `kp`, `kn` the transconductance parameters.
+
+use std::fmt;
+
+use subvt_device::units::{Farads, Seconds};
+
+/// Electrical parameters of the width-controlling stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PulseShrinkStage {
+    /// Aspect-ratio factor β of the n-th stage relative to the others.
+    pub beta: f64,
+    /// Effective load capacitance `C_L`.
+    pub load_cap: Farads,
+    /// pMOS transconductance parameter `kp` (A/V²).
+    pub kp: f64,
+    /// nMOS transconductance parameter `kn` (A/V²).
+    pub kn: f64,
+    /// Proportionality factor δ (V; absorbs the supply-dependent swing
+    /// term of the full derivation).
+    pub delta: f64,
+}
+
+impl PulseShrinkStage {
+    /// A representative 0.13 µm stage: β = 1.2, C_L = 5 fF, hole
+    /// transconductance about half the electron one.
+    pub fn nominal_130nm() -> PulseShrinkStage {
+        PulseShrinkStage {
+            beta: 1.2,
+            load_cap: Farads::from_femtos(5.0),
+            kp: 60e-6,
+            kn: 140e-6,
+            delta: 0.5,
+        }
+    }
+
+    /// Returns the stage with a different β.
+    pub fn with_beta(mut self, beta: f64) -> PulseShrinkStage {
+        self.beta = beta;
+        self
+    }
+
+    /// Width change per circulation, Eq. 1. Positive = the pulse
+    /// shrinks; negative = it expands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if β, kp or kn is not positive.
+    pub fn width_change(&self) -> Seconds {
+        assert!(self.beta > 0.0, "beta must be positive");
+        assert!(self.kp > 0.0 && self.kn > 0.0, "transconductances must be positive");
+        let geometry = self.beta - 1.0 / self.beta;
+        let drive = 1.0 / self.kp - 1.0 / self.kn;
+        Seconds(geometry * self.load_cap.value() * drive * self.delta)
+    }
+
+    /// True when this sizing shrinks the pulse (β > 1 with kp < kn).
+    pub fn shrinks(&self) -> bool {
+        self.width_change().value() > 0.0
+    }
+}
+
+impl fmt::Display for PulseShrinkStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "β={:.2}, ΔW={:.3} ps/cycle",
+            self.beta,
+            self.width_change().picos()
+        )
+    }
+}
+
+/// Result of circulating a pulse until it vanishes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShrinkResult {
+    /// Circulations completed before the pulse vanished.
+    pub cycles: u32,
+    /// Width remaining when the pulse fell below the vanish threshold
+    /// (the quantization residue of the conversion).
+    pub residual: Seconds,
+}
+
+/// A pulse-shrinking ring: a circulating delay loop containing one
+/// width-controlling stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PulseShrinkRing {
+    stage: PulseShrinkStage,
+    /// Minimum propagatable pulse width: narrower pulses are swallowed
+    /// by the ring's own gates (the reason "it is difficult to keep the
+    /// pulsewidth shrinking to zero").
+    vanish_width: Seconds,
+}
+
+impl PulseShrinkRing {
+    /// Creates a ring around `stage`; pulses narrower than
+    /// `vanish_width` die.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vanish_width` is negative.
+    pub fn new(stage: PulseShrinkStage, vanish_width: Seconds) -> PulseShrinkRing {
+        assert!(vanish_width.value() >= 0.0, "vanish width must be non-negative");
+        PulseShrinkRing {
+            stage,
+            vanish_width,
+        }
+    }
+
+    /// The width-controlling stage.
+    pub fn stage(&self) -> PulseShrinkStage {
+        self.stage
+    }
+
+    /// Circulates a pulse of width `initial` until it vanishes or
+    /// `max_cycles` is reached (an expanding ring never vanishes).
+    ///
+    /// Returns `None` when the pulse survives `max_cycles` circulations
+    /// (β ≤ 1, or ΔW too small).
+    pub fn circulate(&self, initial: Seconds, max_cycles: u32) -> Option<ShrinkResult> {
+        let dw = self.stage.width_change().value();
+        if dw <= 0.0 {
+            return None;
+        }
+        let mut width = initial.value();
+        for cycles in 0..max_cycles {
+            if width <= self.vanish_width.value() {
+                return Some(ShrinkResult {
+                    cycles,
+                    residual: Seconds(width),
+                });
+            }
+            width -= dw;
+        }
+        None
+    }
+
+    /// Converts a vanish count back to a measured pulse width (the
+    /// time-to-digital conversion of the shrinking method).
+    pub fn width_from_cycles(&self, cycles: u32) -> Seconds {
+        Seconds(
+            self.vanish_width.value() + self.stage.width_change().value() * f64::from(cycles),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beta_above_one_shrinks() {
+        let s = PulseShrinkStage::nominal_130nm();
+        assert!(s.beta > 1.0);
+        assert!(s.shrinks());
+        assert!(s.width_change().value() > 0.0);
+    }
+
+    #[test]
+    fn beta_below_one_expands() {
+        let s = PulseShrinkStage::nominal_130nm().with_beta(0.8);
+        assert!(!s.shrinks());
+        assert!(s.width_change().value() < 0.0);
+    }
+
+    #[test]
+    fn beta_one_is_neutral() {
+        let s = PulseShrinkStage::nominal_130nm().with_beta(1.0);
+        assert!(s.width_change().value().abs() < 1e-30);
+    }
+
+    #[test]
+    fn shrink_grows_with_beta() {
+        let base = PulseShrinkStage::nominal_130nm();
+        let w12 = base.with_beta(1.2).width_change().value();
+        let w15 = base.with_beta(1.5).width_change().value();
+        assert!(w15 > w12);
+    }
+
+    #[test]
+    fn balanced_transconductance_means_no_shrink() {
+        let mut s = PulseShrinkStage::nominal_130nm();
+        s.kp = s.kn;
+        assert!(s.width_change().value().abs() < 1e-30);
+    }
+
+    #[test]
+    fn circulation_counts_width() {
+        let ring = PulseShrinkRing::new(
+            PulseShrinkStage::nominal_130nm(),
+            Seconds::from_picos(10.0),
+        );
+        let dw = ring.stage().width_change();
+        let w0 = Seconds(dw.value() * 100.0 + 11e-12);
+        let r = ring.circulate(w0, 10_000).expect("shrinks");
+        assert_eq!(r.cycles, 101);
+        assert!(r.residual.value() <= 10e-12 + dw.value());
+        // Round trip: reconstructed width within one ΔW of the input.
+        let reconstructed = ring.width_from_cycles(r.cycles);
+        assert!((reconstructed.value() - w0.value()).abs() <= dw.value() + 1e-15);
+    }
+
+    #[test]
+    fn wider_pulse_needs_more_cycles() {
+        let ring = PulseShrinkRing::new(PulseShrinkStage::nominal_130nm(), Seconds::ZERO);
+        let a = ring.circulate(Seconds::from_nanos(1.0), 1_000_000).unwrap();
+        let b = ring.circulate(Seconds::from_nanos(2.0), 1_000_000).unwrap();
+        assert!(b.cycles > a.cycles);
+        assert!((f64::from(b.cycles) / f64::from(a.cycles) - 2.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn expanding_ring_never_vanishes() {
+        let ring = PulseShrinkRing::new(
+            PulseShrinkStage::nominal_130nm().with_beta(0.9),
+            Seconds::from_picos(10.0),
+        );
+        assert_eq!(ring.circulate(Seconds::from_nanos(1.0), 10_000), None);
+    }
+
+    #[test]
+    fn offset_error_is_small_versus_dcdc_lsb() {
+        // Paper: "the error of the offset offered by pulse width
+        // shrinking doesn't bring so much variations to the actual
+        // DC-DC conversion" — the residual is bounded by one ΔW, which
+        // is far below the time equivalent of one 18.75 mV step at the
+        // paper's operating points (tens of ns of delay change).
+        let ring = PulseShrinkRing::new(
+            PulseShrinkStage::nominal_130nm(),
+            Seconds::from_picos(10.0),
+        );
+        let dw = ring.stage().width_change();
+        assert!(dw.picos() < 100.0, "ΔW = {} ps", dw.picos());
+    }
+
+    #[test]
+    fn display_reports_shrink_rate() {
+        let s = PulseShrinkStage::nominal_130nm();
+        assert!(format!("{s}").contains("ps/cycle"));
+    }
+}

@@ -1,0 +1,230 @@
+//! The delay quantizer: D flip-flops sampling the Ref_clk waveform as
+//! it propagates down the delay line (paper Fig. 4 and Table I).
+//!
+//! At a sampling instant, stage `i` of the line holds the value the
+//! reference waveform had `i` cell-delays ago, so the flip-flop word is
+//! a spatial snapshot of the waveform's recent history. The position of
+//! the propagating edge inside the word *is* the time-to-digital
+//! conversion; its movement with supply voltage gives the paper's
+//! "16 shifts per 200 mV" signature, and a Ref_clk period shorter than
+//! the window lets two pulses coexist in the line — the paper's
+//! "data being latched twice" failure at 0.6 V.
+
+use subvt_device::units::Seconds;
+use subvt_digital::encoder::QuantizerWord;
+
+/// The reference clock driving the TDC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefClock {
+    period: Seconds,
+    high_time: Seconds,
+}
+
+impl RefClock {
+    /// Creates a reference clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < high_time < period`.
+    pub fn new(period: Seconds, high_time: Seconds) -> RefClock {
+        assert!(
+            period.value() > 0.0 && high_time.value() > 0.0 && high_time < period,
+            "need 0 < high_time < period"
+        );
+        RefClock { period, high_time }
+    }
+
+    /// A square wave (50 % duty) of the given period.
+    pub fn square(period: Seconds) -> RefClock {
+        RefClock::new(period, period / 2.0)
+    }
+
+    /// The paper's 14 ns reference input (Sec. II-A).
+    pub fn paper_14ns() -> RefClock {
+        RefClock::square(Seconds::from_nanos(14.0))
+    }
+
+    /// Clock period.
+    pub fn period(&self) -> Seconds {
+        self.period
+    }
+
+    /// High time per period.
+    pub fn high_time(&self) -> Seconds {
+        self.high_time
+    }
+
+    /// Waveform level at time `t` relative to a rising edge at `t = 0`
+    /// (periodic for all `t`, including negative).
+    pub fn level_at(&self, t: Seconds) -> bool {
+        let phase = t.value().rem_euclid(self.period.value());
+        phase < self.high_time.value()
+    }
+}
+
+/// The quantizer: a bank of sampling flip-flops along the delay line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantizer {
+    stages: u8,
+    ref_clk: RefClock,
+    /// Sampling instant relative to a reference rising edge entering
+    /// stage 0.
+    sample_offset: Seconds,
+}
+
+impl Quantizer {
+    /// Creates a quantizer over `stages` flip-flops.
+    ///
+    /// `sample_offset` anchors the sampling instant relative to a
+    /// rising edge of the reference entering the line — in hardware it
+    /// is set by the delay replica ahead of the quantizer plus the
+    /// chosen sampling edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is 0 or `sample_offset` is negative.
+    pub fn new(stages: u8, ref_clk: RefClock, sample_offset: Seconds) -> Quantizer {
+        assert!(stages > 0, "need at least one stage");
+        assert!(
+            sample_offset.value() >= 0.0,
+            "sample offset must be non-negative"
+        );
+        Quantizer {
+            stages,
+            ref_clk,
+            sample_offset,
+        }
+    }
+
+    /// Number of sampling flip-flops.
+    pub fn stages(&self) -> u8 {
+        self.stages
+    }
+
+    /// The reference clock.
+    pub fn ref_clk(&self) -> RefClock {
+        self.ref_clk
+    }
+
+    /// The sampling anchor.
+    pub fn sample_offset(&self) -> Seconds {
+        self.sample_offset
+    }
+
+    /// Samples the line given its per-stage delay: stage `i` holds the
+    /// waveform value from `i` cell-delays before the sampling instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_delay` is not positive.
+    pub fn sample(&self, cell_delay: Seconds) -> QuantizerWord {
+        assert!(cell_delay.value() > 0.0, "cell delay must be positive");
+        let mut bits: u64 = 0;
+        for i in 0..self.stages {
+            let t = Seconds(self.sample_offset.value() - f64::from(i) * cell_delay.value());
+            if self.ref_clk.level_at(t) {
+                bits |= 1 << i;
+            }
+        }
+        QuantizerWord::new(self.stages, bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(x: f64) -> Seconds {
+        Seconds::from_nanos(x)
+    }
+
+    #[test]
+    fn ref_clock_waveform() {
+        let clk = RefClock::paper_14ns();
+        assert!((clk.period().nanos() - 14.0).abs() < 1e-12);
+        assert!(clk.level_at(ns(1.0)));
+        assert!(clk.level_at(ns(6.9)));
+        assert!(!clk.level_at(ns(7.1)));
+        assert!(!clk.level_at(ns(13.9)));
+        // Periodicity, including negative times.
+        assert!(clk.level_at(ns(15.0)));
+        assert!(clk.level_at(ns(-13.0)));
+        assert!(!clk.level_at(ns(-1.0)));
+    }
+
+    #[test]
+    fn fresh_edge_yields_leading_run() {
+        // Sample 5.5 cell-delays after a rising edge entered: stages
+        // 0..=5 are behind the edge (high), the rest still low.
+        let clk = RefClock::square(ns(1000.0));
+        let q = Quantizer::new(16, clk, ns(5.5));
+        let w = q.sample(ns(1.0));
+        assert_eq!(w.leading_run(), 6);
+        assert_eq!(w.encode(), Ok(6));
+    }
+
+    #[test]
+    fn edge_position_tracks_cell_delay() {
+        // Faster cells → edge further down the line → larger code.
+        let clk = RefClock::square(ns(1000.0));
+        let q = Quantizer::new(64, clk, ns(30.0));
+        let slow = q.sample(ns(1.0)).encode().unwrap();
+        let fast = q.sample(ns(0.6)).encode().unwrap();
+        assert_eq!(slow, 31);
+        assert_eq!(fast, 51);
+        assert!(fast > slow);
+    }
+
+    #[test]
+    fn short_period_produces_multiple_bursts() {
+        // Line window (64 × 0.44 ns ≈ 28 ns) spans two 14 ns periods:
+        // the paper's double-latch regime at 0.6 V.
+        let q = Quantizer::new(64, RefClock::paper_14ns(), ns(30.0));
+        let w = q.sample(Seconds::from_picos(442.0));
+        assert!(w.burst_count() >= 2, "bursts {}", w.burst_count());
+        assert!(w.encode().is_err());
+    }
+
+    #[test]
+    fn long_period_keeps_single_burst() {
+        // Same sampling, but a slow Ref_clk (the paper's suggested fix)
+        // restores a clean single-burst word.
+        let cell = Seconds::from_picos(442.0);
+        let period = Seconds(cell.value() * 256.0);
+        let clk = RefClock::square(period);
+        let q = Quantizer::new(64, clk, Seconds(cell.value() * 31.5));
+        let w = q.sample(cell);
+        assert_eq!(w.burst_count(), 1);
+        assert_eq!(w.encode(), Ok(32));
+    }
+
+    #[test]
+    fn sixteen_shifts_per_200mv_shape() {
+        // With a fixed anchor, the code moves by the ratio of cell
+        // delays. Using the paper's published inverter delays at 1.2 V
+        // (102 ps) and 1.0 V (~139 ps from the calibrated model), a
+        // 6.07 ns anchor gives the paper's "16 shifts" per 200 mV.
+        let clk = RefClock::square(ns(1000.0));
+        let q = Quantizer::new(64, clk, ns(6.07));
+        let at_12 = q.sample(Seconds::from_picos(102.0)).encode().unwrap();
+        let at_10 = q.sample(Seconds::from_picos(139.5)).encode().unwrap();
+        let shifts = at_12 - at_10;
+        assert!(
+            (14..=18).contains(&shifts),
+            "expected ~16 shifts, got {shifts} ({at_12} vs {at_10})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cell delay must be positive")]
+    fn zero_cell_delay_rejected() {
+        let q = Quantizer::new(8, RefClock::paper_14ns(), ns(1.0));
+        let _ = q.sample(Seconds::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "high_time < period")]
+    fn bad_ref_clock_rejected() {
+        let _ = RefClock::new(ns(10.0), ns(10.0));
+    }
+}

@@ -1,0 +1,555 @@
+//! The variation sensor: the paper's novel contribution.
+//!
+//! Sec. II-A: "The novel variation sensor captures the variation in
+//! operating conditions based on time to digital conversion. Therefore,
+//! it can be used as a signature for a change in process and
+//! temperature variations."
+//!
+//! At design time the sensor is calibrated at the *design* environment
+//! (the corner the chip was signed off at): for every 6-bit voltage
+//! word it records the quantizer code the delay replica should produce
+//! at that word's voltage, plus the codes of the neighbouring words.
+//! At run time the replica runs on the *actual* die; the measured code
+//! is matched against the neighbour table, and the best-matching
+//! neighbour offset is the variation signature in DC-DC LSBs
+//! (18.75 mV units).
+
+use std::fmt;
+
+use subvt_device::constants::DCDC_LSB;
+use subvt_device::delay::GateMismatch;
+use subvt_device::mosfet::Environment;
+use subvt_device::technology::Technology;
+use subvt_device::units::{Seconds, Volts};
+use subvt_digital::encoder::EncodeError;
+use subvt_digital::lut::VoltageWord;
+
+use crate::delay_line::{CellKind, DelayLine};
+use crate::quantizer::{Quantizer, RefClock};
+
+/// Sensor geometry and calibration parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorConfig {
+    /// Delay-line length (the paper's quantizer has 64 stages).
+    pub stages: u8,
+    /// Anchor position in cell delays: the sampling instant is placed
+    /// so the edge sits at this stage when the die matches the design
+    /// environment.
+    pub anchor_stages: f64,
+    /// Ref_clk period in cell delays for each band ("varying the
+    /// Ref_clk to a much lower frequency", Sec. II-A).
+    pub period_stages: f64,
+    /// Neighbour range of the signature table (± this many LSBs).
+    pub neighbor_range: i16,
+}
+
+impl Default for SensorConfig {
+    fn default() -> SensorConfig {
+        SensorConfig {
+            // Half-stage anchor: the edge sits mid-cell, away from the
+            // metastability window of the boundary flip-flop.
+            stages: 64,
+            anchor_stages: 31.5,
+            period_stages: 256.0,
+            neighbor_range: 3,
+        }
+    }
+}
+
+/// Why a measurement could not be turned into a deviation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SenseError {
+    /// The requested band's voltage is below the technology floor, so
+    /// no calibration exists for it.
+    BandUnusable {
+        /// The offending voltage word.
+        word: VoltageWord,
+    },
+    /// The quantizer word was not decodable (and not classifiable as a
+    /// simple saturation): the double-latch failure mode.
+    Unreliable(EncodeError),
+}
+
+impl fmt::Display for SenseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SenseError::BandUnusable { word } => {
+                write!(f, "voltage word {word} is below the sensor's usable range")
+            }
+            SenseError::Unreliable(e) => write!(f, "unreliable quantizer output: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SenseError {}
+
+/// One calibrated measurement band (one voltage word).
+#[derive(Debug, Clone, PartialEq)]
+struct BandTable {
+    quantizer: Quantizer,
+    /// `(offset_lsb, expected_code)` at the design environment, for
+    /// offsets where the code is cleanly decodable.
+    neighbors: Vec<(i16, u32)>,
+}
+
+/// The calibrated TDC variation sensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariationSensor {
+    config: SensorConfig,
+    design_env: Environment,
+    line: DelayLine,
+    bands: Vec<Option<BandTable>>,
+}
+
+/// Voltage of a 6-bit DC-DC word: `word × 18.75 mV`.
+pub fn word_voltage(word: VoltageWord) -> Volts {
+    DCDC_LSB * f64::from(word)
+}
+
+/// Closest 6-bit word to a voltage.
+pub fn voltage_word(v: Volts) -> VoltageWord {
+    (v.volts() / DCDC_LSB.volts())
+        .round()
+        .clamp(0.0, 63.0) as VoltageWord
+}
+
+impl VariationSensor {
+    /// Calibrates a sensor against `tech` at the design environment.
+    ///
+    /// Bands whose voltage (or whose lowest in-range neighbour) falls
+    /// below the technology's functional floor are marked unusable.
+    pub fn new(tech: &Technology, design_env: Environment, config: SensorConfig) -> VariationSensor {
+        let line = DelayLine::new(config.stages, CellKind::InvNor);
+        let mut bands = Vec::with_capacity(64);
+        for word in 0u8..64 {
+            bands.push(Self::calibrate_band(tech, design_env, &line, config, word));
+        }
+        VariationSensor {
+            config,
+            design_env,
+            line,
+            bands,
+        }
+    }
+
+    fn calibrate_band(
+        tech: &Technology,
+        design_env: Environment,
+        line: &DelayLine,
+        config: SensorConfig,
+        word: VoltageWord,
+    ) -> Option<BandTable> {
+        let v = word_voltage(word);
+        let cell = line.cell_delay(tech, v, design_env).ok()?;
+        let period = Seconds(cell.value() * config.period_stages);
+        let anchor = Seconds(cell.value() * config.anchor_stages);
+        let quantizer = Quantizer::new(config.stages, RefClock::square(period), anchor);
+        let mut neighbors = Vec::new();
+        for k in -config.neighbor_range..=config.neighbor_range {
+            let w = i16::from(word) + k;
+            if !(0..64).contains(&w) {
+                continue;
+            }
+            let vn = word_voltage(w as VoltageWord);
+            let Ok(cell_n) = line.cell_delay(tech, vn, design_env) else {
+                continue;
+            };
+            if let Ok(code) = quantizer.sample(cell_n).encode() {
+                neighbors.push((k, code));
+            }
+        }
+        // A usable band must at least know its own code.
+        if neighbors.iter().any(|&(k, _)| k == 0) {
+            Some(BandTable {
+                quantizer,
+                neighbors,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The sensor configuration.
+    pub fn config(&self) -> SensorConfig {
+        self.config
+    }
+
+    /// The environment the sensor was calibrated at.
+    pub fn design_env(&self) -> Environment {
+        self.design_env
+    }
+
+    /// The expected (calibration) code of a band, if usable.
+    pub fn expected_code(&self, word: VoltageWord) -> Option<u32> {
+        self.bands
+            .get(usize::from(word))?
+            .as_ref()?
+            .neighbors
+            .iter()
+            .find(|&&(k, _)| k == 0)
+            .map(|&(_, c)| c)
+    }
+
+    /// Measures the quantizer code for band `word` with the replica at
+    /// `actual_vdd` in the actual `env`, with die mismatch `mismatch`.
+    ///
+    /// # Errors
+    ///
+    /// [`SenseError::BandUnusable`] for uncalibrated bands;
+    /// [`SenseError::Unreliable`] when the code cannot be decoded.
+    pub fn measure(
+        &self,
+        tech: &Technology,
+        word: VoltageWord,
+        actual_vdd: Volts,
+        env: Environment,
+        mismatch: GateMismatch,
+    ) -> Result<u32, SenseError> {
+        let band = self.band(word)?;
+        let line = self.line.clone().with_mismatch(mismatch);
+        // A supply below the functional floor means the replica never
+        // toggles: the flip-flops capture an empty word ("infinitely
+        // slow"), not a configuration error.
+        let cell = line
+            .cell_delay(tech, actual_vdd, env)
+            .map_err(|_| SenseError::Unreliable(EncodeError::Empty))?;
+        band.quantizer
+            .sample(cell)
+            .encode_bubble_tolerant()
+            .map_err(|e| match e {
+                EncodeError::Empty => SenseError::Unreliable(EncodeError::Empty),
+                other => SenseError::Unreliable(other),
+            })
+    }
+
+    /// Converts a measured code into a variation signature: the
+    /// neighbour offset `k` (in 18.75 mV LSBs) whose design-time code
+    /// best matches the measurement. A slow die reads negative (it
+    /// behaves like the design corner at a lower voltage); the
+    /// compensation loop applies the opposite shift.
+    ///
+    /// # Errors
+    ///
+    /// [`SenseError::BandUnusable`] for uncalibrated bands.
+    pub fn deviation_lsb(&self, word: VoltageWord, code: u32) -> Result<i16, SenseError> {
+        let band = self.band(word)?;
+        let best = band
+            .neighbors
+            .iter()
+            .min_by_key(|&&(k, c)| (c.abs_diff(code), k.unsigned_abs()))
+            .expect("usable band has neighbors");
+        Ok(best.0)
+    }
+
+    /// Fractional variant of [`VariationSensor::deviation_lsb`]:
+    /// linearly interpolates the measured code on the (monotone)
+    /// neighbour table, resolving variation *below* one 18.75 mV LSB.
+    /// This is what enables sub-LSB compensation by supply dithering.
+    ///
+    /// # Errors
+    ///
+    /// [`SenseError::BandUnusable`] for uncalibrated bands.
+    pub fn deviation_fractional(&self, word: VoltageWord, code: u32) -> Result<f64, SenseError> {
+        let band = self.band(word)?;
+        // Neighbours are stored in ascending k; codes ascend with k
+        // (higher voltage → faster → larger code).
+        let n = &band.neighbors;
+        let c = f64::from(code);
+        // Below/above the table: clamp to the edges.
+        if c <= f64::from(n.first().expect("non-empty").1) {
+            return Ok(f64::from(n.first().expect("non-empty").0));
+        }
+        if c >= f64::from(n.last().expect("non-empty").1) {
+            return Ok(f64::from(n.last().expect("non-empty").0));
+        }
+        for pair in n.windows(2) {
+            let (k0, c0) = pair[0];
+            let (k1, c1) = pair[1];
+            let (c0, c1) = (f64::from(c0), f64::from(c1));
+            if (c0..=c1).contains(&c) && c1 > c0 {
+                let t = (c - c0) / (c1 - c0);
+                return Ok(f64::from(k0) + t * f64::from(k1 - k0));
+            }
+        }
+        // Fallback (duplicate codes): integer answer.
+        self.deviation_lsb(word, code).map(f64::from)
+    }
+
+    /// Measures and converts in one step, mapping out-of-range line
+    /// states to extreme deviations: a fully-saturated line means
+    /// "much faster than any neighbour", an empty line "much slower",
+    /// and multiple bursts mean the line window outgrew the Ref_clk
+    /// period — which in this per-band slow-clock architecture only
+    /// happens when the die is far slower than calibrated.
+    ///
+    /// # Errors
+    ///
+    /// [`SenseError::BandUnusable`] for uncalibrated bands.
+    pub fn sense(
+        &self,
+        tech: &Technology,
+        word: VoltageWord,
+        actual_vdd: Volts,
+        env: Environment,
+        mismatch: GateMismatch,
+    ) -> Result<i16, SenseError> {
+        match self.measure(tech, word, actual_vdd, env, mismatch) {
+            Ok(code) => self.deviation_lsb(word, code),
+            Err(SenseError::Unreliable(EncodeError::Saturated)) => Ok(self.config.neighbor_range),
+            Err(SenseError::Unreliable(EncodeError::Empty))
+            | Err(SenseError::Unreliable(EncodeError::MultipleBursts { .. })) => {
+                Ok(-self.config.neighbor_range)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Fractional-deviation variant of [`VariationSensor::sense`].
+    ///
+    /// # Errors
+    ///
+    /// As [`VariationSensor::sense`].
+    pub fn sense_fractional(
+        &self,
+        tech: &Technology,
+        word: VoltageWord,
+        actual_vdd: Volts,
+        env: Environment,
+        mismatch: GateMismatch,
+    ) -> Result<f64, SenseError> {
+        match self.measure(tech, word, actual_vdd, env, mismatch) {
+            Ok(code) => self.deviation_fractional(word, code),
+            Err(SenseError::Unreliable(EncodeError::Saturated)) => {
+                Ok(f64::from(self.config.neighbor_range))
+            }
+            Err(SenseError::Unreliable(EncodeError::Empty))
+            | Err(SenseError::Unreliable(EncodeError::MultipleBursts { .. })) => {
+                Ok(-f64::from(self.config.neighbor_range))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn band(&self, word: VoltageWord) -> Result<&BandTable, SenseError> {
+        self.bands
+            .get(usize::from(word))
+            .and_then(|b| b.as_ref())
+            .ok_or(SenseError::BandUnusable { word })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subvt_device::corner::ProcessCorner;
+
+    fn sensor_fixture() -> (Technology, VariationSensor) {
+        let tech = Technology::st_130nm();
+        let sensor = VariationSensor::new(&tech, Environment::nominal(), SensorConfig::default());
+        (tech, sensor)
+    }
+
+    #[test]
+    fn word_voltage_round_trip() {
+        assert!((word_voltage(19).millivolts() - 356.25).abs() < 1e-9);
+        assert!((word_voltage(12).millivolts() - 225.0).abs() < 1e-9);
+        assert_eq!(voltage_word(Volts(0.35625)), 19);
+        assert_eq!(voltage_word(Volts(1.2)), 63);
+        assert_eq!(voltage_word(Volts(0.0)), 0);
+    }
+
+    #[test]
+    fn low_words_are_unusable_high_words_are_calibrated() {
+        let (_, sensor) = sensor_fixture();
+        assert!(sensor.expected_code(3).is_none());
+        assert!(sensor.expected_code(19).is_some());
+        assert!(sensor.expected_code(47).is_some());
+    }
+
+    #[test]
+    fn expected_code_sits_at_the_anchor() {
+        let (_, sensor) = sensor_fixture();
+        let code = sensor.expected_code(19).unwrap();
+        assert_eq!(code, 32, "edge should sit at the anchor stage");
+    }
+
+    #[test]
+    fn nominal_die_reads_zero_deviation() {
+        let (tech, sensor) = sensor_fixture();
+        for word in [11u8, 19, 32, 47] {
+            let dev = sensor
+                .sense(
+                    &tech,
+                    word,
+                    word_voltage(word),
+                    Environment::nominal(),
+                    GateMismatch::NOMINAL,
+                )
+                .unwrap();
+            assert_eq!(dev, 0, "word {word}");
+        }
+    }
+
+    #[test]
+    fn slow_corner_reads_negative_deviation() {
+        // The paper's worked example: a TT-calibrated controller on a
+        // slower die sees a ~1-bit signature at word 19 (~356 mV).
+        let (tech, sensor) = sensor_fixture();
+        let dev = sensor
+            .sense(
+                &tech,
+                19,
+                word_voltage(19),
+                Environment::at_corner(ProcessCorner::Ss),
+                GateMismatch::NOMINAL,
+            )
+            .unwrap();
+        assert!(dev < 0, "slow die must read slow, got {dev}");
+        assert!(dev >= -2, "15 mV shift should be ~1 LSB, got {dev}");
+    }
+
+    #[test]
+    fn fast_corner_reads_positive_deviation() {
+        let (tech, sensor) = sensor_fixture();
+        let dev = sensor
+            .sense(
+                &tech,
+                19,
+                word_voltage(19),
+                Environment::at_corner(ProcessCorner::Ff),
+                GateMismatch::NOMINAL,
+            )
+            .unwrap();
+        assert!(dev > 0, "fast die must read fast, got {dev}");
+    }
+
+    #[test]
+    fn hot_die_reads_fast_in_subthreshold() {
+        let (tech, sensor) = sensor_fixture();
+        let dev = sensor
+            .sense(
+                &tech,
+                12,
+                word_voltage(12),
+                Environment::at_celsius(85.0),
+                GateMismatch::NOMINAL,
+            )
+            .unwrap();
+        assert!(dev > 0, "hot subthreshold logic is faster, got {dev}");
+    }
+
+    #[test]
+    fn voltage_error_is_sensed_like_variation() {
+        // Supplying a lower voltage than the band expects reads slow:
+        // the same mechanism regulates the DC-DC output.
+        let (tech, sensor) = sensor_fixture();
+        let dev = sensor
+            .sense(
+                &tech,
+                19,
+                word_voltage(17),
+                Environment::nominal(),
+                GateMismatch::NOMINAL,
+            )
+            .unwrap();
+        assert!((-3..=-1).contains(&dev), "two LSBs low should read ≈ -2, got {dev}");
+    }
+
+    #[test]
+    fn unusable_band_reports_error() {
+        let (tech, sensor) = sensor_fixture();
+        let err = sensor
+            .sense(
+                &tech,
+                2,
+                word_voltage(2),
+                Environment::nominal(),
+                GateMismatch::NOMINAL,
+            )
+            .unwrap_err();
+        assert!(matches!(err, SenseError::BandUnusable { word: 2 }));
+        assert!(err.to_string().contains("below the sensor"));
+    }
+
+    #[test]
+    fn extreme_fast_die_clamps_to_range() {
+        let (tech, sensor) = sensor_fixture();
+        // 200 mV above the band voltage: the line saturates.
+        let dev = sensor
+            .sense(
+                &tech,
+                19,
+                Volts(word_voltage(19).volts() + 0.2),
+                Environment::nominal(),
+                GateMismatch::NOMINAL,
+            )
+            .unwrap();
+        assert_eq!(dev, sensor.config().neighbor_range);
+    }
+
+    #[test]
+    fn fractional_deviation_resolves_half_lsb_shifts() {
+        // A die shifted by half an LSB of effective Vth reads ≈ ±0.5
+        // fractionally, where the integer path rounds to 0 or ±1.
+        let (tech, sensor) = sensor_fixture();
+        let half = GateMismatch {
+            nmos_dvth: Volts(0.009_4),
+            pmos_dvth: Volts(0.009_4),
+        };
+        let frac = sensor
+            .sense_fractional(&tech, 12, word_voltage(12), Environment::nominal(), half)
+            .unwrap();
+        assert!(
+            (-0.85..=-0.25).contains(&frac),
+            "half-LSB slow die reads {frac}"
+        );
+        // Nominal die reads near zero fractionally too.
+        let zero = sensor
+            .sense_fractional(
+                &tech,
+                12,
+                word_voltage(12),
+                Environment::nominal(),
+                GateMismatch::NOMINAL,
+            )
+            .unwrap();
+        assert!(zero.abs() < 0.2, "nominal reads {zero}");
+    }
+
+    #[test]
+    fn fractional_deviation_is_monotone_in_die_shift() {
+        let (tech, sensor) = sensor_fixture();
+        let mut last = f64::MAX;
+        for mv in [-20.0, -10.0, 0.0, 10.0, 20.0] {
+            let die = GateMismatch {
+                nmos_dvth: Volts::from_millivolts(mv),
+                pmos_dvth: Volts::from_millivolts(mv),
+            };
+            let frac = sensor
+                .sense_fractional(&tech, 12, word_voltage(12), Environment::nominal(), die)
+                .unwrap();
+            assert!(frac <= last + 1e-9, "not monotone at {mv} mV: {frac} > {last}");
+            last = frac;
+        }
+    }
+
+    #[test]
+    fn fractional_clamps_at_the_table_edges() {
+        let (tech, sensor) = sensor_fixture();
+        let wild = GateMismatch {
+            nmos_dvth: Volts(0.2),
+            pmos_dvth: Volts(0.2),
+        };
+        let frac = sensor
+            .sense_fractional(&tech, 12, word_voltage(12), Environment::nominal(), wild)
+            .unwrap();
+        assert_eq!(frac, -3.0, "clamped at the neighbour range");
+    }
+
+    #[test]
+    fn deviation_lookup_prefers_small_offsets_on_ties() {
+        let (_, sensor) = sensor_fixture();
+        let code = sensor.expected_code(19).unwrap();
+        assert_eq!(sensor.deviation_lsb(19, code).unwrap(), 0);
+    }
+}

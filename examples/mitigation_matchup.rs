@@ -1,0 +1,90 @@
+//! Mitigation-technique matchup: the paper's adaptive voltage scaling
+//! (AVS) vs the alternatives it cites — adaptive body biasing (ABB,
+//! ref. [8]), device upsizing (refs. [5][7]) and race-to-idle with a
+//! fixed supply (the strategy ref. [10] argues against).
+//!
+//! ```bash
+//! cargo run --release --example mitigation_matchup
+//! ```
+
+use subvt::prelude::*;
+use subvt_core::idle_policy::compare_idle_policies;
+use subvt_device::units::Hertz;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::st_130nm();
+    let env = Environment::nominal();
+    let ring = RingOscillator::paper_circuit();
+
+    println!("The die: 18.75 mV slow (one DC-DC LSB of effective Vth shift)\n");
+    let slow_die = GateMismatch {
+        nmos_dvth: Volts(0.018_75),
+        pmos_dvth: Volts(0.018_75),
+    };
+    let sensor = VariationSensor::new(&tech, env, SensorConfig::default());
+
+    // --- 1. AVS (the paper): shift the supply one LSB up.
+    let avs_residual = sensor.sense(&tech, 12, word_voltage(13), env, slow_die)?;
+    println!(
+        "AVS   : supply 225.00 mV (word 12+1) → sensor residual {avs_residual} LSB"
+    );
+
+    // --- 2. ABB: park the supply at the design word, forward-bias the wells.
+    let mut abb = AbbCompensator::new(BodyEffect::bulk_130nm());
+    let (bias, abb_residual) = abb.converge(&tech, &sensor, 12, env, slow_die, 8)?;
+    println!(
+        "ABB   : supply 225.00 mV (word 12), wells at {:+.0} mV forward → residual {abb_residual} LSB ({} iterations)",
+        bias.nmos_vbs.millivolts(),
+        abb.iterations()
+    );
+    println!(
+        "        actuation window: the bulk junction allows ≈{:.0} mV of Vth trim — corner-scale\n        shifts fit, full temperature swings do not",
+        (BodyEffect::bulk_130nm().vth_shift(Volts(0.5))
+            - BodyEffect::bulk_130nm().vth_shift(Volts(-1.2)))
+        .millivolts()
+        .abs()
+    );
+
+    // --- 3. Sizing: pay area and MEP energy for mismatch immunity.
+    println!("\nDesign-time sizing (no runtime knob at all):");
+    for p in sizing_sweep(
+        &tech,
+        &CircuitProfile::ring_oscillator(),
+        env,
+        Volts(0.012),
+        &[1.0, 4.0, 16.0],
+    ) {
+        println!(
+            "  upsize {:>2.0}×: MEP {:.2} fJ (σ ×{:.2}), 3σ guard-band energy {:.2} fJ",
+            p.upsize,
+            p.mep_energy.femtos(),
+            p.relative_sigma,
+            p.guardband_energy.femtos()
+        );
+    }
+
+    // --- 4. Race-to-idle at a fixed fast supply vs rate-matched DVS.
+    println!("\nRun-slow vs race-to-idle (50 kHz workload, 5% sleep retention):");
+    let cmp = compare_idle_policies(&tech, &ring, env, Hertz(50e3), Volts(0.6), 0.05)?;
+    println!(
+        "  DVS  at {:.0} mV: {:.2} pJ/s ({:.0}% busy)",
+        cmp.dvs.vdd.millivolts(),
+        cmp.dvs.energy_per_second.value() * 1e12,
+        cmp.dvs.busy_fraction * 100.0
+    );
+    println!(
+        "  race at {:.0} mV: {:.2} pJ/s ({:.1}% busy) → {:.1}× more energy",
+        cmp.race.vdd.millivolts(),
+        cmp.race.energy_per_second.value() * 1e12,
+        cmp.race.busy_fraction * 100.0,
+        cmp.race_to_dvs_ratio()
+    );
+
+    println!(
+        "\nConclusion: AVS and ABB both land the iso-delay point for corner-scale\n\
+         shifts; AVS has the larger actuation range, ABB spares the converter a\n\
+         retarget. Sizing buys immunity at a permanent energy premium, and\n\
+         race-to-idle loses by the V² gap — the paper's premise, reproduced."
+    );
+    Ok(())
+}

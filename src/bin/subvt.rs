@@ -1,0 +1,30 @@
+//! The `subvt` command-line tool: quick access to the model (MEP
+//! lookup, delays, sensing, sweeps) and the paper's experiments.
+
+use std::process::ExitCode;
+
+use subvt::cli::Command;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match Command::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", subvt::cli::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match command.run() {
+        Ok(output) => {
+            print!("{output}");
+            if !output.ends_with('\n') {
+                println!();
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,523 @@
+//! Argument parsing and command dispatch for the `subvt` CLI.
+//!
+//! Hand-rolled (the workspace's dependency budget is `rand`/`proptest`/
+//! `criterion` only) but fully testable: [`Command::parse`] is pure.
+
+use std::fmt;
+use std::str::FromStr;
+
+use subvt_core::experiment::{savings_experiment, Scenario};
+use subvt_core::transient::{fig6_schedule, run_transient};
+use subvt_dcdc::converter::ConverterParams;
+use subvt_dcdc::filter::NoLoad;
+use subvt_device::corner::ProcessCorner;
+use subvt_device::delay::{GateMismatch, GateTiming};
+use subvt_device::energy::CircuitProfile;
+use subvt_device::mep::{energy_sweep, find_mep};
+use subvt_device::mosfet::Environment;
+use subvt_device::technology::{GateKind, Technology};
+use subvt_device::units::Volts;
+use subvt_tdc::sensor::{word_voltage, SensorConfig, VariationSensor};
+use subvt_tdc::table1::{reproduce_table1, PAPER_SIGNATURES};
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Locate the minimum-energy point.
+    Mep(Operating),
+    /// Print a gate delay.
+    Delay {
+        /// Operating point.
+        op: Operating,
+        /// Supply voltage.
+        vdd: Volts,
+        /// Gate flavour.
+        gate: GateKind,
+    },
+    /// Run the TDC sensor once.
+    Sense {
+        /// Operating point of the actual die.
+        op: Operating,
+        /// Calibrated band (voltage word).
+        word: u8,
+        /// Actual supply in millivolts (defaults to the word voltage).
+        vdd_mv: Option<f64>,
+    },
+    /// CSV energy sweep.
+    Sweep {
+        /// Operating point.
+        op: Operating,
+        /// Sweep start (mV).
+        from_mv: f64,
+        /// Sweep end (mV).
+        to_mv: f64,
+        /// Number of steps.
+        steps: usize,
+    },
+    /// Fig. 6 transient summary.
+    Fig6,
+    /// Table I signatures.
+    Table1,
+    /// The paper's savings experiment.
+    Savings,
+    /// Print usage.
+    Help,
+}
+
+/// Technology choice plus environment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Operating {
+    /// Which preset technology.
+    pub node: Node,
+    /// Process corner.
+    pub corner: ProcessCorner,
+    /// Temperature in °C.
+    pub celsius: f64,
+    /// Switching factor for energy queries.
+    pub activity: f64,
+}
+
+impl Default for Operating {
+    fn default() -> Operating {
+        Operating {
+            node: Node::N130,
+            corner: ProcessCorner::Tt,
+            celsius: 25.0,
+            activity: 0.1,
+        }
+    }
+}
+
+impl Operating {
+    /// Builds the technology.
+    pub fn technology(&self) -> Technology {
+        match self.node {
+            Node::N130 => Technology::st_130nm(),
+            Node::N65 => Technology::generic_65nm(),
+        }
+    }
+
+    /// Builds the environment.
+    pub fn environment(&self) -> Environment {
+        Environment::at_corner(self.corner).with_celsius(self.celsius)
+    }
+}
+
+/// Technology node selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Node {
+    /// The paper's 0.13 µm process.
+    N130,
+    /// The representative 65 nm process.
+    N65,
+}
+
+/// A CLI parse failure, with a message for the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCliError(String);
+
+impl fmt::Display for ParseCliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseCliError {}
+
+fn err(msg: impl Into<String>) -> ParseCliError {
+    ParseCliError(msg.into())
+}
+
+fn parse_value<T: FromStr>(flag: &str, value: Option<&String>) -> Result<T, ParseCliError> {
+    let raw = value.ok_or_else(|| err(format!("{flag} needs a value")))?;
+    raw.parse()
+        .map_err(|_| err(format!("invalid value `{raw}` for {flag}")))
+}
+
+impl Command {
+    /// Parses an argument vector (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseCliError`] describing the first problem found.
+    pub fn parse(args: &[String]) -> Result<Command, ParseCliError> {
+        let mut it = args.iter();
+        let sub = match it.next() {
+            Some(s) => s.as_str(),
+            None => return Ok(Command::Help),
+        };
+
+        // Collect flags into (name, value) pairs.
+        let rest: Vec<&String> = it.collect();
+        let mut op = Operating::default();
+        let mut vdd_mv: Option<f64> = None;
+        let mut word: Option<u8> = None;
+        let mut gate = GateKind::Inverter;
+        let mut from_mv = 120.0;
+        let mut to_mv = 600.0;
+        let mut steps = 24usize;
+
+        let mut i = 0;
+        while i < rest.len() {
+            let flag = rest[i].as_str();
+            let value = rest.get(i + 1).copied();
+            match flag {
+                "--tech" => {
+                    let v: String = parse_value(flag, value)?;
+                    op.node = match v.as_str() {
+                        "130" | "130nm" => Node::N130,
+                        "65" | "65nm" => Node::N65,
+                        other => return Err(err(format!("unknown tech `{other}` (130|65)"))),
+                    };
+                    i += 2;
+                }
+                "--corner" => {
+                    let v: String = parse_value(flag, value)?;
+                    op.corner = v
+                        .parse()
+                        .map_err(|e| err(format!("{e}")))?;
+                    i += 2;
+                }
+                "--temp" => {
+                    op.celsius = parse_value(flag, value)?;
+                    i += 2;
+                }
+                "--activity" => {
+                    op.activity = parse_value(flag, value)?;
+                    if !(0.0..=1.0).contains(&op.activity) || op.activity == 0.0 {
+                        return Err(err("--activity must be in (0, 1]"));
+                    }
+                    i += 2;
+                }
+                "--vdd-mv" => {
+                    vdd_mv = Some(parse_value(flag, value)?);
+                    i += 2;
+                }
+                "--word" => {
+                    let w: u8 = parse_value(flag, value)?;
+                    if w > 63 {
+                        return Err(err("--word must be 0..=63"));
+                    }
+                    word = Some(w);
+                    i += 2;
+                }
+                "--gate" => {
+                    let v: String = parse_value(flag, value)?;
+                    gate = match v.as_str() {
+                        "inv" | "inverter" => GateKind::Inverter,
+                        "nand" | "nand2" => GateKind::Nand2,
+                        "nor" | "nor2" => GateKind::Nor2,
+                        other => return Err(err(format!("unknown gate `{other}`"))),
+                    };
+                    i += 2;
+                }
+                "--from-mv" => {
+                    from_mv = parse_value(flag, value)?;
+                    i += 2;
+                }
+                "--to-mv" => {
+                    to_mv = parse_value(flag, value)?;
+                    i += 2;
+                }
+                "--steps" => {
+                    steps = parse_value(flag, value)?;
+                    i += 2;
+                }
+                other => return Err(err(format!("unknown flag `{other}`"))),
+            }
+        }
+
+        match sub {
+            "mep" => Ok(Command::Mep(op)),
+            "delay" => {
+                let mv = vdd_mv.ok_or_else(|| err("delay needs --vdd-mv"))?;
+                Ok(Command::Delay {
+                    op,
+                    vdd: Volts::from_millivolts(mv),
+                    gate,
+                })
+            }
+            "sense" => {
+                let word = word.ok_or_else(|| err("sense needs --word"))?;
+                Ok(Command::Sense { op, word, vdd_mv })
+            }
+            "sweep" => {
+                if from_mv >= to_mv {
+                    return Err(err("--from-mv must be below --to-mv"));
+                }
+                if steps == 0 {
+                    return Err(err("--steps must be positive"));
+                }
+                Ok(Command::Sweep {
+                    op,
+                    from_mv,
+                    to_mv,
+                    steps,
+                })
+            }
+            "fig6" => Ok(Command::Fig6),
+            "table1" => Ok(Command::Table1),
+            "savings" => Ok(Command::Savings),
+            "help" | "--help" | "-h" => Ok(Command::Help),
+            other => Err(err(format!("unknown command `{other}` (try `help`)"))),
+        }
+    }
+
+    /// Executes the command, writing human output to the returned
+    /// string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the underlying computation fails (e.g. a
+    /// supply below the technology floor).
+    pub fn run(&self) -> Result<String, String> {
+        match self {
+            Command::Help => Ok(USAGE.to_owned()),
+            Command::Mep(op) => {
+                let tech = op.technology();
+                let profile = CircuitProfile::ring_oscillator().with_activity(op.activity);
+                let mep = find_mep(
+                    &tech,
+                    &profile,
+                    op.environment(),
+                    tech.min_vdd + Volts(0.02),
+                    Volts(0.9),
+                )
+                .map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "MEP on {} at {} / {:.0} °C / α={}: {:.1} mV, {:.3} fJ per op",
+                    tech.name,
+                    op.corner,
+                    op.celsius,
+                    op.activity,
+                    mep.vopt.millivolts(),
+                    mep.energy.femtos()
+                ))
+            }
+            Command::Delay { op, vdd, gate } => {
+                let tech = op.technology();
+                let d = GateTiming::new(&tech)
+                    .gate_delay(*gate, *vdd, op.environment())
+                    .map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "{gate:?} delay on {} at {:.1} mV, {} / {:.0} °C: {:.3} ns",
+                    tech.name,
+                    vdd.millivolts(),
+                    op.corner,
+                    op.celsius,
+                    d.nanos()
+                ))
+            }
+            Command::Sense { op, word, vdd_mv } => {
+                let tech = op.technology();
+                let sensor =
+                    VariationSensor::new(&tech, Environment::nominal(), SensorConfig::default());
+                let vdd = vdd_mv
+                    .map(Volts::from_millivolts)
+                    .unwrap_or_else(|| word_voltage(*word));
+                let dev = sensor
+                    .sense(&tech, *word, vdd, op.environment(), GateMismatch::NOMINAL)
+                    .map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "sensor at word {word} ({:.2} mV applied), die {} / {:.0} °C: deviation {dev:+} LSB",
+                    vdd.millivolts(),
+                    op.corner,
+                    op.celsius
+                ))
+            }
+            Command::Sweep {
+                op,
+                from_mv,
+                to_mv,
+                steps,
+            } => {
+                let tech = op.technology();
+                let profile = CircuitProfile::ring_oscillator().with_activity(op.activity);
+                let series = energy_sweep(
+                    &tech,
+                    &profile,
+                    op.environment(),
+                    Volts::from_millivolts(*from_mv),
+                    Volts::from_millivolts(*to_mv),
+                    *steps,
+                );
+                let mut out = String::from("vdd_mv,total_fj,dynamic_fj,leakage_fj\n");
+                for e in series {
+                    out.push_str(&format!(
+                        "{:.2},{:.5},{:.5},{:.5}\n",
+                        e.vdd.millivolts(),
+                        e.total().femtos(),
+                        e.dynamic.femtos(),
+                        e.leakage.femtos()
+                    ));
+                }
+                Ok(out)
+            }
+            Command::Fig6 => {
+                let result = run_transient(
+                    ConverterParams::default(),
+                    Box::new(NoLoad),
+                    &fig6_schedule(),
+                );
+                let mut out = String::new();
+                for seg in &result.segments {
+                    out.push_str(&format!(
+                        "word {:2} → settled {:.2} mV (target {:.2}, ripple {:.2} mV)\n",
+                        seg.word,
+                        seg.settled.millivolts(),
+                        seg.target.millivolts(),
+                        seg.ripple.millivolts()
+                    ));
+                }
+                Ok(out)
+            }
+            Command::Table1 => {
+                let rows = reproduce_table1(&Technology::st_130nm(), Environment::nominal())
+                    .map_err(|e| e.to_string())?;
+                let mut out = String::new();
+                for (row, &(label, paper)) in rows.iter().zip(PAPER_SIGNATURES.iter()) {
+                    out.push_str(&format!(
+                        "{label}: {}   (paper {paper})\n",
+                        row.hex()
+                    ));
+                }
+                Ok(out)
+            }
+            Command::Savings => {
+                let report = savings_experiment(&Scenario::paper_worked_example())
+                    .map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "worked example (TT design on SS die): LUT {:+} LSB, \
+                     {:.1}% vs fixed supply, {:.1}% vs uncompensated",
+                    report.compensated.compensation,
+                    report.savings_vs_fixed() * 100.0,
+                    report.savings_vs_uncompensated() * 100.0
+                ))
+            }
+        }
+    }
+}
+
+/// CLI usage text.
+pub const USAGE: &str = "subvt — variation resilient adaptive controller toolkit
+
+USAGE:
+    subvt <command> [flags]
+
+COMMANDS:
+    mep       locate the minimum-energy point
+    delay     print a gate delay         (needs --vdd-mv)
+    sense     run the TDC sensor once    (needs --word)
+    sweep     CSV energy sweep
+    fig6      converter transient summary
+    table1    quantizer signatures vs the paper
+    savings   the paper's worked example
+    help      this text
+
+FLAGS:
+    --tech 130|65        technology preset       (default 130)
+    --corner SS|TT|FF|FS|SF                      (default TT)
+    --temp <celsius>                             (default 25)
+    --activity <0..1>    switching factor        (default 0.1)
+    --vdd-mv <mv>        supply for delay/sense
+    --word <0..63>       voltage word for sense
+    --gate inv|nand|nor  gate for delay          (default inv)
+    --from-mv/--to-mv/--steps   sweep range      (default 120..600, 24)
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Command, ParseCliError> {
+        let args: Vec<String> = words.iter().map(|s| (*s).to_owned()).collect();
+        Command::parse(&args)
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&["help"]).unwrap(), Command::Help);
+        assert_eq!(parse(&["--help"]).unwrap(), Command::Help);
+        assert!(Command::Help.run().unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn mep_with_flags() {
+        let c = parse(&["mep", "--corner", "SS", "--temp", "85", "--activity", "0.2"]).unwrap();
+        match c {
+            Command::Mep(op) => {
+                assert_eq!(op.corner, ProcessCorner::Ss);
+                assert_eq!(op.celsius, 85.0);
+                assert_eq!(op.activity, 0.2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mep_runs_and_reports() {
+        let out = parse(&["mep"]).unwrap().run().unwrap();
+        assert!(out.contains("200"), "{out}");
+        assert!(out.contains("2.65"), "{out}");
+    }
+
+    #[test]
+    fn mep_on_the_65nm_node() {
+        let out = parse(&["mep", "--tech", "65"]).unwrap().run().unwrap();
+        assert!(out.contains("generic-65nm"), "{out}");
+    }
+
+    #[test]
+    fn delay_requires_vdd() {
+        assert!(parse(&["delay"]).is_err());
+        let out = parse(&["delay", "--vdd-mv", "600"]).unwrap().run().unwrap();
+        assert!(out.contains("0.442"), "{out}");
+    }
+
+    #[test]
+    fn sense_detects_corner() {
+        let out = parse(&["sense", "--word", "19", "--corner", "SS"])
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(out.contains("deviation -"), "{out}");
+    }
+
+    #[test]
+    fn sweep_emits_csv() {
+        let out = parse(&["sweep", "--steps", "4"]).unwrap().run().unwrap();
+        assert!(out.starts_with("vdd_mv,total_fj"));
+        assert_eq!(out.lines().count(), 6);
+    }
+
+    #[test]
+    fn sweep_validates_range() {
+        assert!(parse(&["sweep", "--from-mv", "700", "--to-mv", "600"]).is_err());
+        assert!(parse(&["sweep", "--steps", "0"]).is_err());
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected_with_messages() {
+        let e = parse(&["frobnicate"]).unwrap_err();
+        assert!(e.to_string().contains("unknown command"));
+        let e = parse(&["mep", "--corner", "XX"]).unwrap_err();
+        assert!(e.to_string().contains("XX"));
+        let e = parse(&["mep", "--tech", "45"]).unwrap_err();
+        assert!(e.to_string().contains("unknown tech"));
+        let e = parse(&["sense", "--word", "99"]).unwrap_err();
+        assert!(e.to_string().contains("0..=63"));
+        let e = parse(&["mep", "--temp"]).unwrap_err();
+        assert!(e.to_string().contains("needs a value"));
+        let e = parse(&["mep", "--bogus", "1"]).unwrap_err();
+        assert!(e.to_string().contains("unknown flag"));
+    }
+
+    #[test]
+    fn table1_and_savings_run() {
+        let t = parse(&["table1"]).unwrap().run().unwrap();
+        assert!(t.contains("1.2V"), "{t}");
+        let s = parse(&["savings"]).unwrap().run().unwrap();
+        assert!(s.contains("+1 LSB"), "{s}");
+    }
+}

@@ -1,0 +1,194 @@
+//! Failure injection: stuck bits, metastable sensors, load transients,
+//! flaky measurements and overload bursts — the system must degrade
+//! gracefully, never diverge.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use subvt::prelude::*;
+use subvt_dcdc::ConstantLoad;
+use subvt_device::units::Amps;
+use subvt_digital::encoder::QuantizerWord;
+use subvt_digital::voter::MedianVoter;
+use subvt_tdc::MetastabilityModel;
+
+#[test]
+fn single_stuck_low_stage_is_repaired_by_bubble_tolerance() {
+    // A manufacturing defect: one quantizer flip-flop stuck at 0 in the
+    // middle of the burst. The bubble-tolerant encoder must still
+    // decode within one LSB of the true edge.
+    for stuck in 3..30u32 {
+        let true_run = 32u32;
+        let bits = ((1u64 << true_run) - 1) & !(1 << stuck);
+        let w = QuantizerWord::new(64, bits);
+        let code = w
+            .encode_bubble_tolerant()
+            .expect("single stuck bit must not kill the measurement");
+        assert_eq!(code, true_run, "stuck stage {stuck}");
+    }
+}
+
+#[test]
+fn stuck_high_stage_beyond_the_burst_is_detected_not_misread() {
+    // A stage stuck at 1 beyond the edge creates a second burst: the
+    // encoder must flag it rather than silently return a wrong code.
+    let bits = ((1u64 << 20) - 1) | (1 << 45);
+    let w = QuantizerWord::new(64, bits);
+    assert!(w.encode().is_err());
+    assert!(w.encode_bubble_tolerant().is_err());
+}
+
+#[test]
+fn metastable_sensor_with_voting_converges_to_the_clean_code() {
+    // Repeated noisy measurements through the median voter recover the
+    // ideal code with high probability even with a wide aperture.
+    let cell = Seconds::from_nanos(2.0);
+    let clk = subvt_tdc::RefClock::square(Seconds(cell.value() * 256.0));
+    let q = subvt_tdc::Quantizer::new(64, clk, Seconds(cell.value() * 31.5));
+    let ideal = q.sample(cell).encode().expect("clean");
+    let noisy = MetastabilityModel {
+        aperture: Seconds::from_picos(300.0),
+        tau: Seconds::from_picos(600.0),
+    };
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut voter = MedianVoter::new(5);
+    let mut voted = Vec::new();
+    for _ in 0..100 {
+        let w = noisy.sample_word(&q, cell, &mut rng);
+        if let Ok(code) = w.encode_bubble_tolerant() {
+            if let Some(v) = voter.feed(code) {
+                voted.push(v);
+            }
+        }
+    }
+    assert!(!voted.is_empty(), "voter produced nothing");
+    let good = voted.iter().filter(|&&v| v.abs_diff(ideal) <= 1).count();
+    assert!(
+        good * 10 >= voted.len() * 9,
+        "only {good}/{} votes within 1 LSB of {ideal}",
+        voted.len()
+    );
+}
+
+#[test]
+fn flaky_deviation_stream_cannot_run_the_compensation_away() {
+    // Pure measurement noise (random ±1) must produce almost no net
+    // LUT movement thanks to the 2-cycle confirmation.
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut loop_ = subvt_core::CompensationLoop::new(CompensationPolicy::default());
+    for _ in 0..2_000 {
+        let noise = *[-1i16, 0, 1].get(rng.gen_range(0..3)).unwrap();
+        let _ = loop_.observe(noise);
+    }
+    assert!(
+        loop_.applied_total().abs() <= 2,
+        "noise walked the LUT to {}",
+        loop_.applied_total()
+    );
+}
+
+#[test]
+fn converter_survives_a_100x_load_step() {
+    let mut c = DcDcConverter::new(
+        ConverterParams::default(),
+        Box::new(ConstantLoad(Amps(20e-6))),
+    );
+    c.set_word(32);
+    c.run_system_cycles(120);
+    let before = c.vout().millivolts();
+    assert!((before - 600.0).abs() < 5.0, "pre-step {before} mV");
+
+    // Slam the load from 20 µA to 2 mA.
+    c.set_load(Box::new(ConstantLoad(Amps(2e-3))));
+    c.run_system_cycles(2);
+    let during = c.vout().millivolts();
+    assert!(during > 400.0, "transient collapse to {during} mV");
+    c.run_system_cycles(60);
+    let after = c.vout().millivolts();
+    // Settles to the target minus the (real) IR drop of ~2 mA · 7 Ω.
+    assert!(
+        (after - (600.0 - 14.0)).abs() < 10.0,
+        "post-step {after} mV"
+    );
+}
+
+#[test]
+fn controller_recovers_from_an_overload_burst() {
+    use rand::rngs::StdRng;
+    let tech = Technology::st_130nm();
+    let design = Environment::nominal();
+    let rate = design_rate_controller(&tech, design).expect("designable");
+    let mut c = AdaptiveController::new(
+        tech,
+        RingOscillator::paper_circuit(),
+        rate,
+        design,
+        design,
+        GateMismatch::NOMINAL,
+        SupplyPolicy::AdaptiveCompensated,
+        SupplyKind::Ideal,
+        ControllerConfig::default(),
+    );
+    let mut rng = StdRng::seed_from_u64(3);
+
+    // Calm traffic, then a 30-cycle flood far beyond capacity, then calm.
+    let mut wl = WorkloadSource::new(WorkloadPattern::Schedule(
+        std::iter::repeat_n(0, 100)
+            .chain(std::iter::repeat_n(50, 30))
+            .chain(std::iter::repeat_n(0, 300))
+            .collect(),
+    ));
+    let summary = c.run(&mut wl, 430, &mut rng);
+
+    // Losses happen during the flood (bounded by it), never after.
+    assert!(summary.dropped > 0, "the flood must overflow");
+    assert!(summary.dropped < 30 * 50, "losses bounded by the burst");
+    assert_eq!(summary.backlog, 0, "queue fully drained after the burst");
+    // The controller came back down to the MEP word afterwards.
+    let last = c.history().last().unwrap();
+    assert_eq!(last.word, 11, "did not return to idle word: {}", last.word);
+    // And the flood did not poison the compensation.
+    assert_eq!(summary.compensation, 0);
+}
+
+#[test]
+fn sensor_on_a_dead_supply_reads_slow_not_garbage() {
+    let tech = Technology::st_130nm();
+    let sensor = VariationSensor::new(&tech, Environment::nominal(), SensorConfig::default());
+    // The rail collapsed to 30 mV: below the functional floor.
+    let dev = sensor
+        .sense(
+            &tech,
+            19,
+            Volts(0.03),
+            Environment::nominal(),
+            GateMismatch::NOMINAL,
+        )
+        .expect("a dead rail is a valid (extreme) measurement");
+    assert_eq!(dev, -3, "dead rail must read extreme-slow");
+}
+
+#[test]
+fn boot_retries_then_fails_rather_than_handing_over_a_bad_chip() {
+    use subvt::prelude::{BootSequence, BootState};
+    let tech = Technology::st_130nm();
+    let sensor = VariationSensor::new(&tech, Environment::nominal(), SensorConfig::default());
+    let mut converter = DcDcConverter::new(ConverterParams::default(), Box::new(subvt_dcdc::NoLoad));
+    let mut boot = BootSequence::new(12, 8);
+    // A catastrophically slow die (way beyond any corner).
+    let broken = GateMismatch {
+        nmos_dvth: Volts(0.12),
+        pmos_dvth: Volts(0.12),
+    };
+    let state = boot
+        .run(
+            &mut converter,
+            &sensor,
+            &tech,
+            Environment::nominal(),
+            broken,
+            500,
+        )
+        .expect("sensor path stays usable");
+    assert_eq!(state, BootState::Failed);
+    assert!(!boot.is_ready());
+}
