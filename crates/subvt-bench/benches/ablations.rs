@@ -1,10 +1,10 @@
-//! Criterion bench for the ablation studies.
+//! Bench for the ablation studies.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use subvt_testkit::bench::Timer;
 
 use subvt_bench::ablation::{ablation_bits, ablation_refclk, ablation_shrink};
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Timer) {
     let mut g = c.benchmark_group("ablations");
     g.sample_size(10);
     g.bench_function("bits_sweep", |b| b.iter(ablation_bits));
@@ -13,5 +13,4 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+subvt_testkit::bench_main!(bench);

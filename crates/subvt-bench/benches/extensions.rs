@@ -1,9 +1,9 @@
-//! Criterion bench for the extension studies: controller overhead,
+//! Bench for the extension studies: controller overhead,
 //! drift tracking, dithering, body-bias convergence, and the
 //! alternative TDC methods.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use subvt_testkit::bench::Timer;
 
 use subvt_core::abb::AbbCompensator;
 use subvt_core::dithering::compare_dither;
@@ -18,7 +18,7 @@ use subvt_tdc::counter_method::CounterSensor;
 use subvt_tdc::sensor::{SensorConfig, VariationSensor};
 use subvt_tdc::vernier::VernierTdc;
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Timer) {
     let tech = Technology::st_130nm();
     let env = Environment::nominal();
 
@@ -72,7 +72,6 @@ fn bench(c: &mut Criterion) {
         })
     });
     g.bench_function("yield_study_100_dies", |b| {
-        use rand::SeedableRng;
         use subvt_core::yield_study::{yield_study, YieldSpec};
         use subvt_device::units::{Hertz, Joules};
         use subvt_device::variation::VariationModel;
@@ -84,12 +83,11 @@ fn bench(c: &mut Criterion) {
             max_energy_per_op: Joules::from_femtos(2.9),
         };
         b.iter(|| {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            let mut rng = subvt_rng::StdRng::seed_from_u64(1);
             yield_study(&tech, &ring, env, &model, spec, 11, 11, 100, &mut rng)
         })
     });
     g.bench_function("drift_run_200_cycles", |b| {
-        use rand::SeedableRng;
         use subvt_core::controller::{
             AdaptiveController, ControllerConfig, SupplyKind, SupplyPolicy,
         };
@@ -112,12 +110,11 @@ fn bench(c: &mut Criterion) {
             );
             let schedule = DriftSchedule::heat_ramp(40);
             let mut wl = WorkloadSource::new(WorkloadPattern::Constant { per_cycle: 0 });
-            let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+            let mut rng = subvt_rng::StdRng::seed_from_u64(0);
             run_with_drift(&mut c, &schedule, &mut wl, 200, &mut rng)
         })
     });
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+subvt_testkit::bench_main!(bench);

@@ -1,8 +1,8 @@
-//! Criterion bench for the Fig. 1 reproduction: the energy sweep and
+//! Bench for the Fig. 1 reproduction: the energy sweep and
 //! MEP search per process corner.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use subvt_testkit::bench::Timer;
 
 use subvt_bench::figures::fig1_mep_corners;
 use subvt_device::energy::{energy_per_cycle, CircuitProfile};
@@ -11,7 +11,7 @@ use subvt_device::mosfet::Environment;
 use subvt_device::technology::Technology;
 use subvt_device::units::Volts;
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Timer) {
     let tech = Technology::st_130nm();
     let ring = CircuitProfile::ring_oscillator();
     let env = Environment::nominal();
@@ -27,5 +27,4 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+subvt_testkit::bench_main!(bench);

@@ -1,7 +1,7 @@
-//! Criterion bench for the Fig. 2 reproduction: MEP vs temperature.
+//! Bench for the Fig. 2 reproduction: MEP vs temperature.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use subvt_testkit::bench::Timer;
 
 use subvt_bench::figures::fig2_mep_temperature;
 use subvt_device::energy::{energy_per_cycle, CircuitProfile};
@@ -9,7 +9,7 @@ use subvt_device::mosfet::Environment;
 use subvt_device::technology::Technology;
 use subvt_device::units::Volts;
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Timer) {
     let tech = Technology::st_130nm();
     let ring = CircuitProfile::ring_oscillator();
 
@@ -28,5 +28,4 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+subvt_testkit::bench_main!(bench);

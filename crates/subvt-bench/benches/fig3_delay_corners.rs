@@ -1,8 +1,8 @@
-//! Criterion bench for the Fig. 3 reproduction: the calibrated delay
+//! Bench for the Fig. 3 reproduction: the calibrated delay
 //! model across five decades.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use subvt_testkit::bench::Timer;
 
 use subvt_bench::figures::fig3_delay_corners;
 use subvt_device::delay::GateTiming;
@@ -10,7 +10,7 @@ use subvt_device::mosfet::Environment;
 use subvt_device::technology::{GateKind, Technology};
 use subvt_device::units::Volts;
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Timer) {
     let tech = Technology::st_130nm();
     let timing = GateTiming::new(&tech);
     let env = Environment::nominal();
@@ -23,5 +23,4 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+subvt_testkit::bench_main!(bench);

@@ -1,13 +1,13 @@
-//! Criterion bench for the Fig. 6 reproduction: the switched-converter
+//! Bench for the Fig. 6 reproduction: the switched-converter
 //! transient (this is the expensive mixed-mode co-simulation).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use subvt_testkit::bench::Timer;
 
 use subvt_bench::savings::fig6_transient;
 use subvt_dcdc::converter::{ConverterParams, DcDcConverter};
 use subvt_dcdc::filter::NoLoad;
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Timer) {
     let mut g = c.benchmark_group("fig6");
     g.sample_size(20);
     g.bench_function("converter_system_cycle", |b| {
@@ -19,5 +19,4 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+subvt_testkit::bench_main!(bench);

@@ -1,11 +1,11 @@
-//! Criterion bench for the Sec. IV savings study: full controller runs.
+//! Bench for the Sec. IV savings study: full controller runs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use subvt_testkit::bench::Timer;
 
 use subvt_core::experiment::{run_scenario, savings_experiment, Scenario};
 use subvt_core::SupplyPolicy;
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Timer) {
     let mut g = c.benchmark_group("savings");
     g.sample_size(10);
     let mut short = Scenario::paper_worked_example();
@@ -19,5 +19,4 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+subvt_testkit::bench_main!(bench);

@@ -1,15 +1,15 @@
-//! Criterion bench for the Table I reproduction: quantizer sampling and
+//! Bench for the Table I reproduction: quantizer sampling and
 //! encoding.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use subvt_testkit::bench::Timer;
 
 use subvt_bench::figures::table1_rows;
 use subvt_device::units::Seconds;
 use subvt_digital::encoder::QuantizerWord;
 use subvt_tdc::quantizer::{Quantizer, RefClock};
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Timer) {
     let q = Quantizer::new(64, RefClock::paper_14ns(), Seconds(6.07e-9));
     let word = q.sample(Seconds::from_picos(139.0));
 
@@ -17,9 +17,7 @@ fn bench(c: &mut Criterion) {
     g.bench_function("quantizer_sample", |b| {
         b.iter(|| q.sample(black_box(Seconds::from_picos(139.0))))
     });
-    g.bench_function("encode", |b| {
-        b.iter(|| black_box(word).encode())
-    });
+    g.bench_function("encode", |b| b.iter(|| black_box(word).encode()));
     g.bench_function("bubble_tolerant_encode", |b| {
         let bubbly = QuantizerWord::new(64, word.bits() & !(1 << 5));
         b.iter(|| black_box(bubbly).encode_bubble_tolerant())
@@ -28,5 +26,4 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+subvt_testkit::bench_main!(bench);

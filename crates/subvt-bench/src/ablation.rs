@@ -186,8 +186,8 @@ pub fn ablation_fifo() -> Vec<FifoRow> {
     let mut rows = Vec::new();
     for depth in [4usize, 8, 16, 32, 64] {
         for rate in [1u32, 2, 4] {
-            let mut scenario = Scenario::paper_worked_example()
-                .with_workload(WorkloadPattern::Poisson {
+            let mut scenario =
+                Scenario::paper_worked_example().with_workload(WorkloadPattern::Poisson {
                     mean: f64::from(rate),
                 });
             scenario.cycles = 800;
@@ -195,8 +195,8 @@ pub fn ablation_fifo() -> Vec<FifoRow> {
                 fifo_capacity: depth,
                 ..ControllerConfig::default()
             };
-            let summary = run_scenario(&scenario, SupplyPolicy::AdaptiveCompensated)
-                .expect("designable");
+            let summary =
+                run_scenario(&scenario, SupplyPolicy::AdaptiveCompensated).expect("designable");
             rows.push(FifoRow {
                 depth,
                 arrivals_per_cycle: f64::from(rate),
@@ -258,8 +258,18 @@ mod tests {
     #[test]
     fn bigger_beta_converts_faster() {
         let rows = ablation_shrink();
-        let c12 = rows.iter().find(|r| r.beta == 1.2).unwrap().cycles_for_7ns.unwrap();
-        let c15 = rows.iter().find(|r| r.beta == 1.5).unwrap().cycles_for_7ns.unwrap();
+        let c12 = rows
+            .iter()
+            .find(|r| r.beta == 1.2)
+            .unwrap()
+            .cycles_for_7ns
+            .unwrap();
+        let c15 = rows
+            .iter()
+            .find(|r| r.beta == 1.5)
+            .unwrap()
+            .cycles_for_7ns
+            .unwrap();
         assert!(c15 < c12);
     }
 

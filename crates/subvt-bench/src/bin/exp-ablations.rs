@@ -57,7 +57,13 @@ fn main() {
 
     let mut sizing = Table::new(
         "Device sizing (design-time mitigation, paper refs [5][7]): MEP cost vs mismatch immunity",
-        &["upsize", "MEP (fJ)", "Vopt (mV)", "relative σ", "3σ guard-band energy (fJ)"],
+        &[
+            "upsize",
+            "MEP (fJ)",
+            "Vopt (mV)",
+            "relative σ",
+            "3σ guard-band energy (fJ)",
+        ],
     );
     {
         use subvt_device::energy::CircuitProfile;
@@ -86,7 +92,13 @@ fn main() {
 
     let mut dither = Table::new(
         "UDVS dithering (paper ref [12]): recovering the round-up quantization penalty",
-        &["target (mV)", "round-up (fJ)", "dithered (fJ)", "exact (fJ)", "recovery"],
+        &[
+            "target (mV)",
+            "round-up (fJ)",
+            "dithered (fJ)",
+            "exact (fJ)",
+            "recovery",
+        ],
     );
     {
         use subvt_core::dithering::compare_dither;
@@ -97,8 +109,13 @@ fn main() {
         let tech = Technology::st_130nm();
         let ring = CircuitProfile::ring_oscillator();
         for mv in [215.6, 234.4, 253.1, 290.6, 328.1] {
-            let c = compare_dither(&tech, &ring, Environment::nominal(), Volts::from_millivolts(mv))
-                .expect("in range");
+            let c = compare_dither(
+                &tech,
+                &ring,
+                Environment::nominal(),
+                Volts::from_millivolts(mv),
+            )
+            .expect("in range");
             dither.row(&[
                 f(mv, 1),
                 f(c.rounded.femtos(), 4),
@@ -112,7 +129,13 @@ fn main() {
 
     let mut tdcs = Table::new(
         "Sensor alternatives: direct quantizer vs counter-feedback vs Vernier",
-        &["method", "configuration", "resolution @220 mV", "conversion span", "range"],
+        &[
+            "method",
+            "configuration",
+            "resolution @220 mV",
+            "conversion span",
+            "range",
+        ],
     );
     {
         use subvt_device::mosfet::Environment;

@@ -1,8 +1,6 @@
 //! Dynamic variation: the environment drifts while the controller runs,
 //! and compensation has to track it through the TDC signature alone.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use subvt_bench::report::{f, Table};
 use subvt_core::controller::{AdaptiveController, ControllerConfig, SupplyKind, SupplyPolicy};
 use subvt_core::drift::{run_with_drift, DriftSchedule};
@@ -13,6 +11,7 @@ use subvt_device::mosfet::Environment;
 use subvt_device::technology::Technology;
 use subvt_loads::ring_oscillator::RingOscillator;
 use subvt_loads::workload::{WorkloadPattern, WorkloadSource};
+use subvt_rng::StdRng;
 
 fn run(schedule: &DriftSchedule, cycles: u64, title: &str) {
     let tech = Technology::st_130nm();
@@ -33,7 +32,14 @@ fn run(schedule: &DriftSchedule, cycles: u64, title: &str) {
     let mut rng = StdRng::seed_from_u64(3);
     let r = run_with_drift(&mut c, schedule, &mut wl, cycles, &mut rng);
 
-    let mut t = Table::new(title, &["segment start (µs)", "environment", "compensation at segment end (LSB)"]);
+    let mut t = Table::new(
+        title,
+        &[
+            "segment start (µs)",
+            "environment",
+            "compensation at segment end (LSB)",
+        ],
+    );
     for (i, &(start, comp)) in r.segment_compensation.iter().enumerate() {
         let env = schedule.segments()[i].1;
         t.row(&[

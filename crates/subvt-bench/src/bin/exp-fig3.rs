@@ -8,10 +8,7 @@ fn main() {
     println!("Fig. 3 — Delay with process variation (inverter, SS/TT/FS)\n");
 
     let series = fig3_delay_corners();
-    let mut t = Table::new(
-        "Inverter delay (ns)",
-        &["Vdd (mV)", "SS", "TT", "FS"],
-    );
+    let mut t = Table::new("Inverter delay (ns)", &["Vdd (mV)", "SS", "TT", "FS"]);
     for (i, &(v, _)) in series[0].delays.iter().enumerate() {
         t.row(&[
             f(v.millivolts(), 0),

@@ -26,8 +26,7 @@ fn main() {
             f(seg.settled.millivolts(), 2),
             f(seg.settled.millivolts() - seg.target.millivolts(), 2),
             f(seg.ripple.millivolts(), 2),
-            seg.settling_cycles
-                .map_or("-".into(), |c| c.to_string()),
+            seg.settling_cycles.map_or("-".into(), |c| c.to_string()),
         ]);
     }
     println!("{}", t.render());

@@ -9,8 +9,6 @@
 //! controller's marginal cost is the TDC measurement plus the control
 //! logic, duty-cycled at the sensing interval.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use subvt_bench::report::{f, pct, Table};
 use subvt_core::controller::{AdaptiveController, ControllerConfig, SupplyKind, SupplyPolicy};
 use subvt_core::experiment::design_rate_controller;
@@ -18,17 +16,18 @@ use subvt_core::overhead::{overhead_per_cycle, ControllerInventory, NetSavings};
 use subvt_core::RateController;
 use subvt_device::corner::ProcessCorner;
 use subvt_device::delay::GateMismatch;
-use subvt_device::mosfet::Environment;
-use subvt_device::technology::Technology;
-use subvt_device::units::{Hertz, Joules, Seconds, Volts};
 use subvt_device::delay::{GateTiming, SupplyRangeError};
 use subvt_device::energy::CircuitProfile;
+use subvt_device::mosfet::Environment;
 use subvt_device::technology::GateKind;
+use subvt_device::technology::Technology;
 use subvt_device::units::Seconds as DevSeconds;
+use subvt_device::units::{Hertz, Joules, Seconds, Volts};
 use subvt_loads::fir::FirFilter;
 use subvt_loads::load::CircuitLoad;
 use subvt_loads::ring_oscillator::RingOscillator;
 use subvt_loads::workload::{WorkloadPattern, WorkloadSource};
+use subvt_rng::StdRng;
 
 /// A synthetic multi-kilogate DSP subsystem: twenty FIR-sized blocks.
 #[derive(Debug, Clone)]
@@ -102,9 +101,21 @@ fn main() {
         "Controller energy per 1 µs system cycle (TDC line at 206 mV, logic at 1.2 V)",
         &["block", "energy (fJ)", "reused infrastructure?"],
     );
-    t.row(&["TDC + quantizer".into(), f(b.tdc.femtos(), 1), "no — marginal cost".into()]);
-    t.row(&["PWM @64 MHz".into(), f(b.pwm.femtos(), 1), "yes — the DC-DC exists anyway (paper Sec. IV)".into()]);
-    t.row(&["control/FIFO/LUT".into(), f(b.control.femtos(), 1), "no — marginal cost".into()]);
+    t.row(&[
+        "TDC + quantizer".into(),
+        f(b.tdc.femtos(), 1),
+        "no — marginal cost".into(),
+    ]);
+    t.row(&[
+        "PWM @64 MHz".into(),
+        f(b.pwm.femtos(), 1),
+        "yes — the DC-DC exists anyway (paper Sec. IV)".into(),
+    ]);
+    t.row(&[
+        "control/FIFO/LUT".into(),
+        f(b.control.femtos(), 1),
+        "no — marginal cost".into(),
+    ]);
     println!("{}", t.render());
 
     // Marginal cost per sensing event.
@@ -128,33 +139,53 @@ fn main() {
 
     let mut nt = Table::new(
         "Net savings vs fixed supply after charging TDC+control (slow die, 1 item/cycle, 2 ms)",
-        &["load", "sense every", "gross savings", "overhead/load E", "net savings", "worthwhile"],
+        &[
+            "load",
+            "sense every",
+            "gross savings",
+            "overhead/load E",
+            "net savings",
+            "worthwhile",
+        ],
     );
     let loads: Vec<(&str, Joules, Joules)> = vec![
         (
             "64-gate ring probe",
-            run_load(&ring, ring_rate.clone(), SupplyPolicy::AdaptiveCompensated, cycles),
+            run_load(
+                &ring,
+                ring_rate.clone(),
+                SupplyPolicy::AdaptiveCompensated,
+                cycles,
+            ),
             run_load(&ring, ring_rate, SupplyPolicy::FixedWord(22), cycles),
         ),
         (
             "9-tap FIR (2.4 kgate)",
-            run_load(&fir, fir_rate.clone(), SupplyPolicy::AdaptiveCompensated, cycles),
+            run_load(
+                &fir,
+                fir_rate.clone(),
+                SupplyPolicy::AdaptiveCompensated,
+                cycles,
+            ),
             run_load(&fir, fir_rate.clone(), SupplyPolicy::FixedWord(24), cycles),
         ),
         {
             let dsp = DspSubsystem::new();
             (
                 "DSP subsystem (48 kgate)",
-                run_load(&dsp, fir_rate.clone(), SupplyPolicy::AdaptiveCompensated, cycles),
+                run_load(
+                    &dsp,
+                    fir_rate.clone(),
+                    SupplyPolicy::AdaptiveCompensated,
+                    cycles,
+                ),
                 run_load(&dsp, fir_rate, SupplyPolicy::FixedWord(24), cycles),
             )
         },
     ];
     for (name, controlled, baseline) in loads {
         for interval in [1u64, 10, 100] {
-            let overhead = Joules(
-                per_measurement.value() * (cycles as f64) / interval as f64,
-            );
+            let overhead = Joules(per_measurement.value() * (cycles as f64) / interval as f64);
             let net = NetSavings {
                 controlled,
                 baseline,
@@ -166,7 +197,11 @@ fn main() {
                 pct(net.gross()),
                 pct(overhead.value() / controlled.value()),
                 pct(net.net()),
-                if net.worthwhile() { "yes".into() } else { "NO".into() },
+                if net.worthwhile() {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ]);
         }
     }

@@ -35,7 +35,12 @@ fn main() {
 
     let mut mc = Table::new(
         "Monte-Carlo dies (global + correlated N/P Vth variation)",
-        &["die", "severity (corner units)", "LUT shift", "savings vs fixed"],
+        &[
+            "die",
+            "severity (corner units)",
+            "LUT shift",
+            "savings vs fixed",
+        ],
     );
     let rows = savings_monte_carlo(12, 2026);
     for row in &rows {

@@ -1,8 +1,6 @@
 //! Parametric yield: fraction of Monte-Carlo dies meeting a
 //! (throughput, energy) spec with and without the adaptive controller.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use subvt_bench::report::{f, pct, Table};
 use subvt_core::yield_study::{yield_study, YieldSpec};
 use subvt_device::mosfet::Environment;
@@ -10,6 +8,7 @@ use subvt_device::technology::Technology;
 use subvt_device::units::{Hertz, Joules};
 use subvt_device::variation::VariationModel;
 use subvt_loads::ring_oscillator::RingOscillator;
+use subvt_rng::StdRng;
 
 fn main() {
     println!("Parametric yield under Monte-Carlo variation (500 dies per row)\n");

@@ -1,7 +1,6 @@
 //! Data generators for Fig. 6 and the Sec. IV savings study.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use subvt_rng::{Rng, StdRng};
 
 use subvt_core::experiment::{savings_experiment, SavingsReport, Scenario};
 use subvt_core::transient::{fig6_schedule, run_transient, TransientResult};
@@ -81,9 +80,10 @@ pub fn savings_monte_carlo(dies: usize, seed: u64) -> Vec<MonteCarloRow> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..dies)
         .map(|die| {
-            let variation = model.sample_die(&mut rng);
-            let mut scenario = Scenario::paper_worked_example()
-                .with_actual_env(Environment::nominal());
+            let mut die_rng = rng.fork(&format!("mc-die-{die}"));
+            let variation = model.sample_die(&mut die_rng);
+            let mut scenario =
+                Scenario::paper_worked_example().with_actual_env(Environment::nominal());
             scenario.name = format!("mc-die-{die}");
             scenario.die = variation.mean_gate();
             scenario.seed = seed.wrapping_add(die as u64);
@@ -139,10 +139,20 @@ mod tests {
         assert_eq!(rows.len(), 8);
         for row in &rows {
             if row.corner_units > 0.8 {
-                assert!(row.compensation >= 1, "slow die {} comp {}", row.die, row.compensation);
+                assert!(
+                    row.compensation >= 1,
+                    "slow die {} comp {}",
+                    row.die,
+                    row.compensation
+                );
             }
             if row.corner_units < -0.8 {
-                assert!(row.compensation <= -1, "fast die {} comp {}", row.die, row.compensation);
+                assert!(
+                    row.compensation <= -1,
+                    "fast die {} comp {}",
+                    row.die,
+                    row.compensation
+                );
             }
             assert!(row.savings_vs_fixed > 0.2);
         }

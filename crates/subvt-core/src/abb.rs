@@ -237,13 +237,7 @@ mod tests {
         };
         // AVS route: supply one LSB up, no bias.
         let avs_dev = sensor
-            .sense(
-                &tech,
-                12,
-                word_voltage(13),
-                Environment::nominal(),
-                process,
-            )
+            .sense(&tech, 12, word_voltage(13), Environment::nominal(), process)
             .unwrap();
         // ABB route: converge the bias at the design word.
         let (_, abb_dev) = abb

@@ -129,8 +129,7 @@ impl BootSequence {
             }
             BootState::CalibrationCheck => {
                 converter.run_system_cycles(1);
-                let deviation =
-                    sensor.sense(tech, self.target, converter.vout(), env, mismatch)?;
+                let deviation = sensor.sense(tech, self.target, converter.vout(), env, mismatch)?;
                 // A fresh, nominal-corner chip should read within the
                 // sensor quantization; larger readings mean the supply
                 // has not settled or the die is far off — retry.
@@ -179,7 +178,12 @@ impl BootSequence {
 
 impl fmt::Display for BootSequence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "boot → {:?} (peak |i_L| {:.1} mA)", self.state, self.peak_inductor_current * 1e3)
+        write!(
+            f,
+            "boot → {:?} (peak |i_L| {:.1} mA)",
+            self.state,
+            self.peak_inductor_current * 1e3
+        )
     }
 }
 
@@ -211,8 +215,10 @@ mod tests {
                 200,
             )
             .expect("sensor usable");
-        assert!(matches!(state, BootState::Ready { initial_deviation } if initial_deviation.abs() <= 1),
-            "{state:?}");
+        assert!(
+            matches!(state, BootState::Ready { initial_deviation } if initial_deviation.abs() <= 1),
+            "{state:?}"
+        );
         assert!(boot.is_ready());
         // The output really is at the target.
         assert!((converter.vout().millivolts() - 356.25).abs() < 10.0);
@@ -273,8 +279,10 @@ mod tests {
             )
             .unwrap();
         }
-        assert!(seen_soft && seen_settle && seen_check,
-            "soft {seen_soft} settle {seen_settle} check {seen_check}");
+        assert!(
+            seen_soft && seen_settle && seen_check,
+            "soft {seen_soft} settle {seen_settle} check {seen_check}"
+        );
     }
 
     #[test]
@@ -310,7 +318,11 @@ mod tests {
                 400,
             )
             .unwrap();
-        assert_eq!(state, BootState::Failed, "an 80 mV die must fail calibration");
+        assert_eq!(
+            state,
+            BootState::Failed,
+            "an 80 mV die must fail calibration"
+        );
     }
 
     #[test]

@@ -13,15 +13,15 @@
 
 use std::fmt;
 
-use rand::Rng;
+use subvt_rng::Rng;
 
+use subvt_dcdc::converter::{ConverterParams, DcDcConverter};
+use subvt_dcdc::filter::ConstantLoad;
+use subvt_dcdc::ideal::IdealConverter;
 use subvt_device::delay::GateMismatch;
 use subvt_device::mosfet::Environment;
 use subvt_device::technology::Technology;
 use subvt_device::units::{Joules, Seconds, Volts};
-use subvt_dcdc::converter::{ConverterParams, DcDcConverter};
-use subvt_dcdc::filter::ConstantLoad;
-use subvt_dcdc::ideal::IdealConverter;
 use subvt_digital::fifo::Fifo;
 use subvt_digital::lut::VoltageWord;
 use subvt_loads::load::CircuitLoad;
@@ -367,10 +367,13 @@ impl<L: CircuitLoad> AdaptiveController<L> {
         let mut shift = 0;
         if self.policy == SupplyPolicy::AdaptiveDithered {
             let base = self.rate.desired_word(queue);
-            if let Ok(frac) =
-                self.sensor
-                    .sense_fractional(&self.tech, base, vout, self.actual_env, self.die_mismatch)
-            {
+            if let Ok(frac) = self.sensor.sense_fractional(
+                &self.tech,
+                base,
+                vout,
+                self.actual_env,
+                self.die_mismatch,
+            ) {
                 deviation = Some(frac.round() as i16);
                 // Slow integrator: the EMA of −deviation is the shift
                 // that holds the *average* replica delay on target.
@@ -453,8 +456,14 @@ impl<L: CircuitLoad> AdaptiveController<L> {
             // Below the functional floor the load cannot compute, but
             // its (gated) leakage still flows.
             let profile = self.load.profile();
-            let i_off_n = self.tech.nmos.off_current(vout, self.actual_env, Volts::ZERO);
-            let i_off_p = self.tech.pmos.off_current(vout, self.actual_env, Volts::ZERO);
+            let i_off_n = self
+                .tech
+                .nmos
+                .off_current(vout, self.actual_env, Volts::ZERO);
+            let i_off_p = self
+                .tech
+                .pmos
+                .off_current(vout, self.actual_env, Volts::ZERO);
             let scales = profile.corner_cal.scales(self.actual_env.corner);
             let leak = 0.5
                 * (i_off_n.value() + i_off_p.value())
@@ -548,12 +557,11 @@ impl<L: CircuitLoad> AdaptiveController<L> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use subvt_device::corner::ProcessCorner;
     use subvt_device::units::Hertz;
     use subvt_loads::ring_oscillator::RingOscillator;
     use subvt_loads::workload::WorkloadPattern;
+    use subvt_rng::StdRng;
 
     fn rate_controller(tech: &Technology, env: Environment) -> RateController {
         RateController::design(
@@ -615,7 +623,12 @@ mod tests {
             c.step(0);
         }
         let idle = *c.history().last().unwrap();
-        assert!(busy.word > idle.word, "busy {} vs idle {}", busy.word, idle.word);
+        assert!(
+            busy.word > idle.word,
+            "busy {} vs idle {}",
+            busy.word,
+            idle.word
+        );
         assert!(busy.vout.volts() > idle.vout.volts());
     }
 
@@ -802,8 +815,7 @@ mod tests {
         }
         // Average supply over the settled tail.
         let tail = &c.history()[300..];
-        let mean_mv =
-            tail.iter().map(|r| r.vout.millivolts()).sum::<f64>() / tail.len() as f64;
+        let mean_mv = tail.iter().map(|r| r.vout.millivolts()).sum::<f64>() / tail.len() as f64;
         // Iso-delay target ≈ 206.25 + ~9.4 mV; strictly between words.
         assert!(
             (208.0..225.0).contains(&mean_mv),
@@ -815,8 +827,7 @@ mod tests {
             "mean sits on a word: {mean_mv} mV"
         );
         // Both adjacent words are actually used.
-        let words: std::collections::HashSet<u8> =
-            tail.iter().map(|r| r.word).collect();
+        let words: std::collections::HashSet<u8> = tail.iter().map(|r| r.word).collect();
         assert!(words.len() >= 2, "no dithering happened: {words:?}");
     }
 
@@ -831,8 +842,7 @@ mod tests {
             c.step(0);
         }
         let tail = &c.history()[150..];
-        let mean_mv =
-            tail.iter().map(|r| r.vout.millivolts()).sum::<f64>() / tail.len() as f64;
+        let mean_mv = tail.iter().map(|r| r.vout.millivolts()).sum::<f64>() / tail.len() as f64;
         assert!(
             (mean_mv - 206.25).abs() < 6.0,
             "nominal dithered mean {mean_mv} mV"

@@ -210,9 +210,8 @@ mod tests {
         // (the first such target floors to word 11 = 206.25 mV).
         let (tech, profile, env) = fixture();
         for mv in (208..=400).step_by(7) {
-            let cmp =
-                compare_dither(&tech, &profile, env, Volts::from_millivolts(f64::from(mv)))
-                    .unwrap();
+            let cmp = compare_dither(&tech, &profile, env, Volts::from_millivolts(f64::from(mv)))
+                .unwrap();
             assert!(
                 cmp.dithered.value() <= cmp.rounded.value() * (1.0 + 1e-9),
                 "{mv} mV: dither {} vs round-up {}",

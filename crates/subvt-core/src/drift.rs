@@ -7,7 +7,7 @@
 //! environment changes *while the controller runs*, and the only way
 //! it can know is through its own TDC signature.
 
-use rand::Rng;
+use subvt_rng::Rng;
 
 use subvt_device::mosfet::Environment;
 use subvt_loads::load::CircuitLoad;
@@ -93,8 +93,7 @@ pub fn run_with_drift<L: CircuitLoad, R: Rng + ?Sized>(
     for cycle in 0..cycles {
         let env = schedule.environment_at(cycle);
         if env != current {
-            segment_compensation
-                .push((segment_start, controller.rate_controller().compensation()));
+            segment_compensation.push((segment_start, controller.rate_controller().compensation()));
             current = env;
             segment_start = cycle;
             controller.set_actual_env(env);
@@ -115,13 +114,12 @@ mod tests {
     use super::*;
     use crate::controller::{ControllerConfig, SupplyKind, SupplyPolicy};
     use crate::experiment::design_rate_controller;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use subvt_device::corner::ProcessCorner;
     use subvt_device::delay::GateMismatch;
     use subvt_device::technology::Technology;
     use subvt_loads::ring_oscillator::RingOscillator;
     use subvt_loads::workload::WorkloadPattern;
+    use subvt_rng::StdRng;
 
     fn controller() -> AdaptiveController<RingOscillator> {
         let tech = Technology::st_130nm();
@@ -215,6 +213,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let r = run_with_drift(&mut c, &schedule, &mut wl, 60, &mut rng);
         assert_eq!(r.history.len(), 60);
-        assert!(r.history.iter().enumerate().all(|(i, rec)| rec.cycle == i as u64));
+        assert!(r
+            .history
+            .iter()
+            .enumerate()
+            .all(|(i, rec)| rec.cycle == i as u64));
     }
 }

@@ -5,8 +5,7 @@
 //! load lands back on its true minimum-energy point — "energy gains up
 //! to 55 % can be achieved" relative to running without the controller.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use subvt_rng::StdRng;
 
 use subvt_device::delay::GateMismatch;
 use subvt_device::mosfet::Environment;
@@ -84,11 +83,7 @@ impl Scenario {
 /// here the load is the ring oscillator whose "operation" is one
 /// oscillation period; light bands only need tens of kHz).
 fn standard_band_rates() -> Vec<(usize, Hertz)> {
-    vec![
-        (8, Hertz(100e3)),
-        (16, Hertz(1e6)),
-        (32, Hertz(10e6)),
-    ]
+    vec![(8, Hertz(100e3)), (16, Hertz(1e6)), (32, Hertz(10e6))]
 }
 
 /// Designs the scenario's rate controller at an environment.
@@ -175,11 +170,7 @@ impl SavingsReport {
     }
 }
 
-fn run_policy(
-    scenario: &Scenario,
-    rate: RateController,
-    policy: SupplyPolicy,
-) -> RunSummary {
+fn run_policy(scenario: &Scenario, rate: RateController, policy: SupplyPolicy) -> RunSummary {
     let tech = Technology::st_130nm();
     let mut controller = AdaptiveController::new(
         tech,
@@ -222,12 +213,12 @@ pub fn savings_experiment(scenario: &Scenario) -> Result<SavingsReport, DesignEr
 
     Ok(SavingsReport {
         scenario: scenario.name.clone(),
-        compensated: run_policy(scenario, designed.clone(), SupplyPolicy::AdaptiveCompensated),
-        uncompensated: run_policy(
+        compensated: run_policy(
             scenario,
-            designed,
-            SupplyPolicy::AdaptiveUncompensated,
+            designed.clone(),
+            SupplyPolicy::AdaptiveCompensated,
         ),
+        uncompensated: run_policy(scenario, designed, SupplyPolicy::AdaptiveUncompensated),
         fixed: run_policy(
             scenario,
             oracle_rate.clone(), // LUT unused under FixedWord
@@ -276,10 +267,7 @@ mod tests {
     fn controller_tracks_the_oracle() {
         let report = savings_experiment(&Scenario::paper_worked_example()).unwrap();
         let eff = report.oracle_efficiency();
-        assert!(
-            (0.8..=1.02).contains(&eff),
-            "oracle efficiency {eff}"
-        );
+        assert!((0.8..=1.02).contains(&eff), "oracle efficiency {eff}");
     }
 
     #[test]
@@ -289,8 +277,8 @@ mod tests {
         // down — while the true MEP moves *up* with temperature. The
         // compensation budget is what keeps this divergence bounded;
         // EXPERIMENTS.md discusses the finding.
-        let scenario = Scenario::paper_worked_example()
-            .with_actual_env(Environment::at_celsius(85.0));
+        let scenario =
+            Scenario::paper_worked_example().with_actual_env(Environment::at_celsius(85.0));
         let report = savings_experiment(&scenario).unwrap();
         assert_eq!(report.compensated.compensation, -3, "saturates the budget");
         assert!(report.savings_vs_fixed() > 0.1);
@@ -312,12 +300,8 @@ mod tests {
     #[test]
     fn fixed_word_covers_worst_case() {
         let tech = Technology::st_130nm();
-        let word = fixed_baseline_word(
-            &tech,
-            &WorkloadPattern::Constant { per_cycle: 1 },
-            2,
-        )
-        .unwrap();
+        let word =
+            fixed_baseline_word(&tech, &WorkloadPattern::Constant { per_cycle: 1 }, 2).unwrap();
         assert!(word > 11, "guard-banded word must exceed the MEP word");
         assert!(word < 64);
     }

@@ -91,7 +91,13 @@ pub fn compare_idle_policies(
     race_vdd: Volts,
     idle_retention: f64,
 ) -> Result<IdlePolicyComparison, SupplyRangeError> {
-    let mep = find_mep(tech, load.profile(), env, tech.min_vdd + Volts(0.02), Volts(0.9))?;
+    let mep = find_mep(
+        tech,
+        load.profile(),
+        env,
+        tech.min_vdd + Volts(0.02),
+        Volts(0.9),
+    )?;
 
     // Lowest sustaining voltage by scan at LSB granularity.
     let mut dvs_vdd = None;
@@ -115,8 +121,8 @@ pub fn compare_idle_policies(
 
     let dvs = policy_energy(tech, load, env, dvs_vdd, rate, idle_retention)?
         .expect("dvs voltage sustains the rate by construction");
-    let race = policy_energy(tech, load, env, race_vdd, rate, idle_retention)?
-        .ok_or_else(|| {
+    let race =
+        policy_energy(tech, load, env, race_vdd, rate, idle_retention)?.ok_or_else(|| {
             load.critical_path(tech, Volts(0.0), env, GateMismatch::NOMINAL)
                 .unwrap_err()
         })?;
@@ -179,15 +185,7 @@ mod tests {
         // The Gutnik result the paper builds on: with buffering, the
         // matched low supply beats run-fast-then-sleep.
         let (tech, ring, env) = fixture();
-        let cmp = compare_idle_policies(
-            &tech,
-            &ring,
-            env,
-            Hertz(50e3),
-            Volts(0.6),
-            0.05,
-        )
-        .unwrap();
+        let cmp = compare_idle_policies(&tech, &ring, env, Hertz(50e3), Volts(0.6), 0.05).unwrap();
         assert!(
             cmp.race_to_dvs_ratio() > 2.0,
             "ratio {}",
@@ -200,8 +198,7 @@ mod tests {
     #[test]
     fn dvs_supply_never_sinks_below_the_mep() {
         let (tech, ring, env) = fixture();
-        let cmp =
-            compare_idle_policies(&tech, &ring, env, Hertz(1e3), Volts(0.6), 0.05).unwrap();
+        let cmp = compare_idle_policies(&tech, &ring, env, Hertz(1e3), Volts(0.6), 0.05).unwrap();
         // 1 kHz needs almost nothing, but the supply floors at the MEP.
         assert!(
             (cmp.dvs.vdd.millivolts() - 200.0).abs() < 20.0,
@@ -238,10 +235,9 @@ mod tests {
     #[test]
     fn busy_fraction_scales_with_rate() {
         let (tech, ring, env) = fixture();
-        let slow = compare_idle_policies(&tech, &ring, env, Hertz(10e3), Volts(0.6), 0.05)
-            .unwrap();
-        let fast = compare_idle_policies(&tech, &ring, env, Hertz(100e3), Volts(0.6), 0.05)
-            .unwrap();
+        let slow = compare_idle_policies(&tech, &ring, env, Hertz(10e3), Volts(0.6), 0.05).unwrap();
+        let fast =
+            compare_idle_policies(&tech, &ring, env, Hertz(100e3), Volts(0.6), 0.05).unwrap();
         assert!(fast.race.busy_fraction > 5.0 * slow.race.busy_fraction);
     }
 
@@ -257,8 +253,7 @@ mod tests {
     #[test]
     fn unreachable_rate_errors() {
         let (tech, ring, env) = fixture();
-        let result =
-            compare_idle_policies(&tech, &ring, env, Hertz(1e12), Volts(0.6), 0.05);
+        let result = compare_idle_policies(&tech, &ring, env, Hertz(1e12), Volts(0.6), 0.05);
         assert!(result.is_err());
     }
 }

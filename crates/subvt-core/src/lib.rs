@@ -58,11 +58,11 @@ pub mod yield_study;
 pub use abb::{AbbCompensator, AbbStep};
 pub use boot::{BootSequence, BootState};
 pub use compensation::{CompensationLoop, CompensationPolicy};
-pub use dithering::{compare_dither, DitherComparison, DitherPlan};
-pub use drift::{run_with_drift, DriftResult, DriftSchedule};
 pub use controller::{
     AdaptiveController, ControllerConfig, CycleRecord, RunSummary, SupplyKind, SupplyPolicy,
 };
+pub use dithering::{compare_dither, DitherComparison, DitherPlan};
+pub use drift::{run_with_drift, DriftResult, DriftSchedule};
 pub use energy_account::EnergyAccount;
 pub use experiment::{
     design_rate_controller, fixed_baseline_word, run_scenario, savings_experiment, SavingsReport,

@@ -98,12 +98,13 @@ pub fn overhead_per_cycle(
     // PWM: counter bits toggle at 64 MHz with binary weighting
     // (~2 effective toggles per tick across a 6-bit counter).
     let ticks = clock.value() * system_cycle.value();
-    let pwm = Joules(2.0 * ticks * cv2(NOMINAL_VDD) + 0.15 * f64::from(inventory.pwm_gates) * cv2(NOMINAL_VDD));
+    let pwm = Joules(
+        2.0 * ticks * cv2(NOMINAL_VDD) + 0.15 * f64::from(inventory.pwm_gates) * cv2(NOMINAL_VDD),
+    );
 
     // Control: one evaluation per system cycle.
-    let control = Joules(
-        0.15 * f64::from(inventory.control_gates + inventory.fifo_gates) * cv2(NOMINAL_VDD),
-    );
+    let control =
+        Joules(0.15 * f64::from(inventory.control_gates + inventory.fifo_gates) * cv2(NOMINAL_VDD));
 
     OverheadBreakdown { tdc, pwm, control }
 }

@@ -189,11 +189,7 @@ mod tests {
             &tech,
             &ring,
             Environment::nominal(),
-            &[
-                (8, Hertz(50e3)),
-                (16, Hertz(500e3)),
-                (32, Hertz(5e6)),
-            ],
+            &[(8, Hertz(50e3)), (16, Hertz(500e3)), (32, Hertz(5e6))],
         )
         .expect("designable");
         (tech, rc)
@@ -250,9 +246,8 @@ mod tests {
     fn unreachable_rate_is_an_error() {
         let tech = Technology::st_130nm();
         let ring = RingOscillator::paper_circuit();
-        let err =
-            RateController::word_for_rate(&tech, &ring, Environment::nominal(), Hertz(1e12))
-                .unwrap_err();
+        let err = RateController::word_for_rate(&tech, &ring, Environment::nominal(), Hertz(1e12))
+            .unwrap_err();
         assert!(matches!(err, DesignError::RateUnreachable { .. }));
         assert!(err.to_string().contains("no supply word"));
     }
@@ -285,10 +280,7 @@ mod tests {
 
     #[test]
     fn auto_design_carries_the_offered_load_without_loss() {
-        use crate::controller::{
-            AdaptiveController, ControllerConfig, SupplyKind, SupplyPolicy,
-        };
-        use rand::SeedableRng;
+        use crate::controller::{AdaptiveController, ControllerConfig, SupplyKind, SupplyPolicy};
         use subvt_loads::workload::{WorkloadPattern, WorkloadSource};
         let tech = Technology::st_130nm();
         let ring = RingOscillator::paper_circuit();
@@ -319,7 +311,7 @@ mod tests {
             config,
         );
         let mut wl = WorkloadSource::new(pattern);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let mut rng = subvt_rng::StdRng::seed_from_u64(17);
         let s = c.run(&mut wl, 2_000, &mut rng);
         assert!(
             s.loss_rate() < 0.01,
@@ -331,7 +323,10 @@ mod tests {
     #[test]
     fn compensation_shifts_every_band() {
         let (_, mut rc) = designed();
-        let before: Vec<VoltageWord> = [0, 10, 20, 40].iter().map(|&q| rc.desired_word(q)).collect();
+        let before: Vec<VoltageWord> = [0, 10, 20, 40]
+            .iter()
+            .map(|&q| rc.desired_word(q))
+            .collect();
         rc.apply_compensation(1);
         assert_eq!(rc.compensation(), 1);
         for (&q, &w) in [0usize, 10, 20, 40].iter().zip(&before) {

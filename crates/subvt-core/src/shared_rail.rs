@@ -187,7 +187,10 @@ mod tests {
             "ring's own penalty {}",
             cmp.client_penalty(0)
         );
-        assert!(cmp.client_penalty(1).abs() < 1e-9, "the pace-setter pays nothing");
+        assert!(
+            cmp.client_penalty(1).abs() < 1e-9,
+            "the pace-setter pays nothing"
+        );
     }
 
     #[test]
@@ -246,15 +249,21 @@ mod tests {
         let fir = FirFilter::lowpass_9tap();
         let adder = RippleCarryAdder::new(16);
         let clients = [
-            RailClient { load: &ring, rate: Hertz(50e3) },
-            RailClient { load: &fir, rate: Hertz(500e3) },
-            RailClient { load: &adder, rate: Hertz(3e6) },
+            RailClient {
+                load: &ring,
+                rate: Hertz(50e3),
+            },
+            RailClient {
+                load: &fir,
+                rate: Hertz(500e3),
+            },
+            RailClient {
+                load: &adder,
+                rate: Hertz(3e6),
+            },
         ];
         let cmp = compare_shared_rail(&tech, env, &clients, 0.05).unwrap();
-        assert_eq!(
-            cmp.shared_word,
-            *cmp.island_words.iter().max().unwrap()
-        );
+        assert_eq!(cmp.shared_word, *cmp.island_words.iter().max().unwrap());
         assert_eq!(cmp.island_words.len(), 3);
         assert!(cmp.shared_power.value() >= cmp.island_power.value());
     }

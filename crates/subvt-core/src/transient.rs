@@ -26,9 +26,18 @@ pub struct TransientStep {
 /// (word 12 ≈ 225 mV), "V_dd from 220 mV to 880 mV" (word 47 ≈ 881 mV).
 pub fn fig6_schedule() -> Vec<TransientStep> {
     vec![
-        TransientStep { word: 19, cycles: 60 },
-        TransientStep { word: 12, cycles: 60 },
-        TransientStep { word: 47, cycles: 60 },
+        TransientStep {
+            word: 19,
+            cycles: 60,
+        },
+        TransientStep {
+            word: 12,
+            cycles: 60,
+        },
+        TransientStep {
+            word: 47,
+            cycles: 60,
+        },
     ]
 }
 

@@ -8,7 +8,7 @@
 //! Monte-Carlo-samples a die population and scores both designs against
 //! the same spec.
 
-use rand::Rng;
+use subvt_rng::Rng;
 
 use subvt_device::delay::GateMismatch;
 use subvt_device::mosfet::Environment;
@@ -179,8 +179,12 @@ pub fn yield_study<R: Rng + ?Sized>(
     let passes = |word: VoltageWord, die: GateMismatch| passes_v(word_voltage(word), die);
 
     let outcomes = (0..dies)
-        .map(|_| {
-            let die = variation.sample_die(rng);
+        .map(|i| {
+            // One forked stream per die: outcomes stay reproducible
+            // per-label even if the per-die sampling ever starts
+            // consuming a variable number of draws.
+            let mut die_rng = rng.fork(&format!("die-{i}"));
+            let die = variation.sample_die(&mut die_rng);
             let mismatch = die.mean_gate();
             let (fixed_passes, _) = passes(fixed_word, mismatch);
             let adaptive_word = settled_word(tech, &sensor, design_word, env, mismatch);
@@ -207,9 +211,8 @@ pub fn yield_study<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use subvt_loads::ring_oscillator::RingOscillator;
+    use subvt_rng::StdRng;
 
     fn study(spec: YieldSpec, fixed_word: VoltageWord) -> YieldReport {
         let tech = Technology::st_130nm();
@@ -283,10 +286,18 @@ mod tests {
         // Slow dies settle above the design word, fast dies at/below.
         for die in &report.dies {
             if die.corner_units > 1.5 {
-                assert!(die.adaptive_word > 11, "very slow die at word {}", die.adaptive_word);
+                assert!(
+                    die.adaptive_word > 11,
+                    "very slow die at word {}",
+                    die.adaptive_word
+                );
             }
             if die.corner_units < -1.5 {
-                assert!(die.adaptive_word < 11, "very fast die at word {}", die.adaptive_word);
+                assert!(
+                    die.adaptive_word < 11,
+                    "very fast die at word {}",
+                    die.adaptive_word
+                );
             }
         }
     }

@@ -364,12 +364,19 @@ mod tests {
             high.vout()
         );
         let off = settled(0, Box::new(NoLoad));
-        assert!(off.vout().millivolts() < 5.0, "shutdown leaks {}", off.vout());
+        assert!(
+            off.vout().millivolts() < 5.0,
+            "shutdown leaks {}",
+            off.vout()
+        );
     }
 
     #[test]
     fn ripple_is_below_one_lsb() {
-        let mut c = DcDcConverter::new(ConverterParams::default(), Box::new(ConstantLoad(Amps(5e-6))));
+        let mut c = DcDcConverter::new(
+            ConverterParams::default(),
+            Box::new(ConstantLoad(Amps(5e-6))),
+        );
         c.set_word(19);
         c.run_system_cycles(100);
         c.enable_trace("vout");
@@ -421,7 +428,10 @@ mod tests {
 
     #[test]
     fn losses_accumulate() {
-        let mut c = DcDcConverter::new(ConverterParams::default(), Box::new(ConstantLoad(Amps(1e-3))));
+        let mut c = DcDcConverter::new(
+            ConverterParams::default(),
+            Box::new(ConstantLoad(Amps(1e-3))),
+        );
         c.set_word(32);
         c.run_system_cycles(50);
         assert!(c.conduction_energy().value() > 0.0);
@@ -468,10 +478,7 @@ mod tests {
             let e0 = c.conduction_energy().value();
             let s0 = c.switch_events();
             c.run_system_cycles(200);
-            (
-                c.conduction_energy().value() - e0,
-                c.switch_events() - s0,
-            )
+            (c.conduction_energy().value() - e0, c.switch_events() - s0)
         };
         let (ccm_loss, ccm_events) = run(ModulationMode::ForcedCcm);
         let (pfm_loss, pfm_events) = run(ModulationMode::PulseSkipping);

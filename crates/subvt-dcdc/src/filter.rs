@@ -85,8 +85,7 @@ impl Default for FilterParams {
 impl FilterParams {
     /// Natural (undamped) resonance frequency of the filter in hertz.
     pub fn natural_frequency(&self) -> f64 {
-        1.0 / (std::f64::consts::TAU
-            * (self.inductance.value() * self.capacitance.value()).sqrt())
+        1.0 / (std::f64::consts::TAU * (self.inductance.value() * self.capacitance.value()).sqrt())
     }
 }
 

@@ -95,8 +95,10 @@ impl PowerTransistorArray {
     /// An `Unknown` PWM level leaves both banks off (safe state).
     pub fn high_side(&self, pwm: Logic) -> Ohms {
         if pwm.is_high() {
-            Ohms(self.params.pmos_full_on.value() * f64::from(self.params.groups)
-                / f64::from(self.selected))
+            Ohms(
+                self.params.pmos_full_on.value() * f64::from(self.params.groups)
+                    / f64::from(self.selected),
+            )
         } else {
             self.params.off_resistance
         }
@@ -105,8 +107,10 @@ impl PowerTransistorArray {
     /// Low-side (NMOS, to ground) resistance for a PWM level.
     pub fn low_side(&self, pwm: Logic) -> Ohms {
         if pwm.is_low() {
-            Ohms(self.params.nmos_full_on.value() * f64::from(self.params.groups)
-                / f64::from(self.selected))
+            Ohms(
+                self.params.nmos_full_on.value() * f64::from(self.params.groups)
+                    / f64::from(self.selected),
+            )
         } else {
             self.params.off_resistance
         }
@@ -125,11 +129,7 @@ impl PowerTransistorArray {
 
 impl fmt::Display for PowerTransistorArray {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "array {}/{} groups",
-            self.selected, self.params.groups
-        )
+        write!(f, "array {}/{} groups", self.selected, self.params.groups)
     }
 }
 

@@ -14,9 +14,18 @@ fn main() {
     );
 
     let anchors_65 = [
-        DelayPoint { vdd: Volts(1.2), delay: Seconds::from_picos(40.0) },
-        DelayPoint { vdd: Volts(0.6), delay: Seconds::from_picos(200.0) },
-        DelayPoint { vdd: Volts(0.25), delay: Seconds::from_picos(25_000.0) },
+        DelayPoint {
+            vdd: Volts(1.2),
+            delay: Seconds::from_picos(40.0),
+        },
+        DelayPoint {
+            vdd: Volts(0.6),
+            delay: Seconds::from_picos(200.0),
+        },
+        DelayPoint {
+            vdd: Volts(0.25),
+            delay: Seconds::from_picos(25_000.0),
+        },
     ];
     let fit65 = fit_delay_model(&Technology::generic_65nm(), &anchors_65);
     println!(

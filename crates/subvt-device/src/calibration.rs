@@ -74,9 +74,8 @@ fn apply_delay_params(tech: &mut Technology, slope: f64, dibl: f64, nmos_spec: f
     tech.nmos.dibl = dibl;
     tech.pmos.dibl = dibl;
     tech.nmos.spec_current = crate::units::Amps(nmos_spec);
-    tech.pmos.spec_current = crate::units::Amps(
-        nmos_spec * ratio * tech.nmos.width_ratio / tech.pmos.width_ratio,
-    );
+    tech.pmos.spec_current =
+        crate::units::Amps(nmos_spec * ratio * tech.nmos.width_ratio / tech.pmos.width_ratio);
 }
 
 /// Fits the delay model of `base` to the given delay points by
@@ -98,15 +97,15 @@ pub fn fit_delay_model(base: &Technology, points: &[DelayPoint]) -> DelayFit {
         let timing = GateTiming::new(&tech);
         points
             .iter()
-            .map(|p| {
-                match timing.gate_delay(GateKind::Inverter, p.vdd, env) {
+            .map(
+                |p| match timing.gate_delay(GateKind::Inverter, p.vdd, env) {
                     Ok(d) => {
                         let r = (d.value() / p.delay.value()).ln();
                         r * r
                     }
                     Err(_) => f64::INFINITY,
-                }
-            })
+                },
+            )
             .sum()
     };
     let start = [
@@ -213,17 +212,14 @@ pub fn fit_energy_profile(
         cap_scale: fitted.cap_scale,
         leak_scale: fitted.leak_scale,
         vopt_error: (mep.vopt.volts() - target.vopt.volts()).abs() / target.vopt.volts(),
-        energy_error: (mep.energy.value() - target.energy.value()).abs()
-            / target.energy.value(),
+        energy_error: (mep.energy.value() - target.energy.value()).abs() / target.energy.value(),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::technology::{
-        CALIBRATED_DIBL, CALIBRATED_NMOS_SPEC, CALIBRATED_SLOPE_FACTOR,
-    };
+    use crate::technology::{CALIBRATED_DIBL, CALIBRATED_NMOS_SPEC, CALIBRATED_SLOPE_FACTOR};
 
     #[test]
     fn delay_fit_reaches_published_points() {

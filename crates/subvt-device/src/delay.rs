@@ -130,8 +130,18 @@ impl<'a> GateTiming<'a> {
         }
         let cap = self.tech.gate_cap.value() * kind.cap_factor() * fanout.max(0.0);
         let (n_stack, p_stack) = kind.stack_factors();
-        let i_n = self.tech.nmos.on_current(vdd, env, mismatch.nmos_dvth).value() * n_stack;
-        let i_p = self.tech.pmos.on_current(vdd, env, mismatch.pmos_dvth).value() * p_stack;
+        let i_n = self
+            .tech
+            .nmos
+            .on_current(vdd, env, mismatch.nmos_dvth)
+            .value()
+            * n_stack;
+        let i_p = self
+            .tech
+            .pmos
+            .on_current(vdd, env, mismatch.pmos_dvth)
+            .value()
+            * p_stack;
         let charge = self.tech.delay_fit * cap * vdd.volts();
         let t_fall = charge / i_n;
         let t_rise = charge / i_p;
@@ -205,7 +215,11 @@ mod tests {
         let mut last = f64::INFINITY;
         for mv in (100..=1200).step_by(20) {
             let d = timing
-                .gate_delay(GateKind::Inverter, Volts::from_millivolts(f64::from(mv)), env)
+                .gate_delay(
+                    GateKind::Inverter,
+                    Volts::from_millivolts(f64::from(mv)),
+                    env,
+                )
                 .expect("within range")
                 .value();
             assert!(d < last, "delay rose at {mv} mV");
@@ -222,10 +236,18 @@ mod tests {
             .gate_delay(GateKind::Inverter, v, Environment::nominal())
             .unwrap();
         let d_ss = timing
-            .gate_delay(GateKind::Inverter, v, Environment::at_corner(ProcessCorner::Ss))
+            .gate_delay(
+                GateKind::Inverter,
+                v,
+                Environment::at_corner(ProcessCorner::Ss),
+            )
             .unwrap();
         let d_ff = timing
-            .gate_delay(GateKind::Inverter, v, Environment::at_corner(ProcessCorner::Ff))
+            .gate_delay(
+                GateKind::Inverter,
+                v,
+                Environment::at_corner(ProcessCorner::Ff),
+            )
             .unwrap();
         assert!(d_ss.value() > d_tt.value());
         assert!(d_ff.value() < d_tt.value());

@@ -38,7 +38,10 @@ pub struct CornerScales {
 
 impl Default for CornerScales {
     fn default() -> CornerScales {
-        CornerScales { cap: 1.0, leak: 1.0 }
+        CornerScales {
+            cap: 1.0,
+            leak: 1.0,
+        }
     }
 }
 
@@ -136,7 +139,10 @@ impl CircuitProfile {
         p.cap_scale = 2.372_001;
         p.leak_scale = 1.099_502;
         p.corner_cal = CornerCalibration {
-            tt: CornerScales { cap: 1.0, leak: 1.0 },
+            tt: CornerScales {
+                cap: 1.0,
+                leak: 1.0,
+            },
             ss: CornerScales {
                 cap: 0.554_904,
                 leak: 0.887_552,
@@ -284,8 +290,16 @@ mod tests {
         let env = Environment::nominal();
         let deep = energy_per_cycle(&tech, &profile, Volts(0.13), env).unwrap();
         let high = energy_per_cycle(&tech, &profile, Volts(1.0), env).unwrap();
-        assert!(deep.leakage_fraction() > 0.5, "deep {}", deep.leakage_fraction());
-        assert!(high.leakage_fraction() < 0.1, "high {}", high.leakage_fraction());
+        assert!(
+            deep.leakage_fraction() > 0.5,
+            "deep {}",
+            deep.leakage_fraction()
+        );
+        assert!(
+            high.leakage_fraction() < 0.1,
+            "high {}",
+            high.leakage_fraction()
+        );
     }
 
     #[test]
@@ -294,9 +308,15 @@ mod tests {
         // exceed the energy somewhere in between.
         let (tech, profile) = fixture();
         let env = Environment::nominal();
-        let low = energy_per_cycle(&tech, &profile, Volts(0.12), env).unwrap().total();
-        let mid = energy_per_cycle(&tech, &profile, Volts(0.25), env).unwrap().total();
-        let high = energy_per_cycle(&tech, &profile, Volts(1.0), env).unwrap().total();
+        let low = energy_per_cycle(&tech, &profile, Volts(0.12), env)
+            .unwrap()
+            .total();
+        let mid = energy_per_cycle(&tech, &profile, Volts(0.25), env)
+            .unwrap()
+            .total();
+        let high = energy_per_cycle(&tech, &profile, Volts(1.0), env)
+            .unwrap()
+            .total();
         assert!(mid.value() < low.value(), "mid {} low {}", mid, low);
         assert!(mid.value() < high.value());
     }
@@ -305,8 +325,8 @@ mod tests {
     fn higher_activity_raises_dynamic_share() {
         let (tech, profile) = fixture();
         let env = Environment::nominal();
-        let lazy = energy_per_cycle(&tech, &profile.clone().with_activity(0.05), Volts(0.3), env)
-            .unwrap();
+        let lazy =
+            energy_per_cycle(&tech, &profile.clone().with_activity(0.05), Volts(0.3), env).unwrap();
         let busy = energy_per_cycle(&tech, &profile.with_activity(0.5), Volts(0.3), env).unwrap();
         assert!(busy.dynamic.value() > 9.0 * lazy.dynamic.value());
         assert!((busy.leakage.value() - lazy.leakage.value()).abs() < 1e-18);
@@ -315,10 +335,10 @@ mod tests {
     #[test]
     fn hot_die_leaks_more() {
         let (tech, profile) = fixture();
-        let cold = energy_per_cycle(&tech, &profile, Volts(0.25), Environment::at_celsius(25.0))
-            .unwrap();
-        let hot = energy_per_cycle(&tech, &profile, Volts(0.25), Environment::at_celsius(85.0))
-            .unwrap();
+        let cold =
+            energy_per_cycle(&tech, &profile, Volts(0.25), Environment::at_celsius(25.0)).unwrap();
+        let hot =
+            energy_per_cycle(&tech, &profile, Volts(0.25), Environment::at_celsius(85.0)).unwrap();
         assert!(hot.leakage.value() > 1.5 * cold.leakage.value());
     }
 

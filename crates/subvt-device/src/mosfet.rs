@@ -152,9 +152,7 @@ impl MosfetParams {
     /// DIBL and any per-instance local mismatch.
     pub fn vth_effective(&self, env: Environment, vds: Volts, local_delta: Volts) -> Volts {
         let dt = env.temperature.value() - nominal_temperature().value();
-        self.vth0
-            + self.device.corner_vth_shift(env.corner)
-            + Volts(self.vth_tempco * dt)
+        self.vth0 + self.device.corner_vth_shift(env.corner) + Volts(self.vth_tempco * dt)
             - Volts(self.dibl * vds.volts().abs())
             + local_delta
     }
@@ -197,11 +195,7 @@ impl MosfetParams {
         let vth = self.vth_effective(env, vds, local_delta).volts();
         let x = (vgs.volts() - vth) / (2.0 * self.slope_factor * ut);
         // ln(1 + e^x), computed without overflow for large |x|.
-        let soft = if x > 30.0 {
-            x
-        } else {
-            x.exp().ln_1p()
-        };
+        let soft = if x > 30.0 { x } else { x.exp().ln_1p() };
         let saturation = 1.0 - (-vds.volts().abs() / ut).exp();
         Amps(self.spec_current_at(env.temperature).value() * soft * soft * saturation)
     }
@@ -249,7 +243,12 @@ mod tests {
         let mut last = 0.0;
         for mv in (0..=1200).step_by(25) {
             let i = n
-                .drain_current(Volts::from_millivolts(f64::from(mv)), Volts(1.2), env, Volts::ZERO)
+                .drain_current(
+                    Volts::from_millivolts(f64::from(mv)),
+                    Volts(1.2),
+                    env,
+                    Volts::ZERO,
+                )
                 .value();
             assert!(i >= last, "current decreased at {mv} mV");
             last = i;
@@ -276,8 +275,12 @@ mod tests {
         let tt = Environment::nominal();
         let fs = Environment::at_corner(ProcessCorner::Fs);
         let v = Volts(0.3);
-        assert!(n.on_current(v, fs, Volts::ZERO).value() > n.on_current(v, tt, Volts::ZERO).value());
-        assert!(p.on_current(v, fs, Volts::ZERO).value() < p.on_current(v, tt, Volts::ZERO).value());
+        assert!(
+            n.on_current(v, fs, Volts::ZERO).value() > n.on_current(v, tt, Volts::ZERO).value()
+        );
+        assert!(
+            p.on_current(v, fs, Volts::ZERO).value() < p.on_current(v, tt, Volts::ZERO).value()
+        );
     }
 
     #[test]
@@ -297,7 +300,10 @@ mod tests {
         let (n, env) = nominal();
         let low = n.off_current(Volts(0.3), env, Volts::ZERO).value();
         let high = n.off_current(Volts(1.2), env, Volts::ZERO).value();
-        assert!(high > 2.0 * low, "DIBL should raise leakage: {low} -> {high}");
+        assert!(
+            high > 2.0 * low,
+            "DIBL should raise leakage: {low} -> {high}"
+        );
     }
 
     #[test]

@@ -70,7 +70,11 @@ pub fn static_noise_margin(
     let headroom = vm.volts().min(vdd.volts() - vm.volts());
     // Mismatch between the two inverters of the pair shifts the two
     // thresholds apart; worst case eats directly into the margin.
-    let mismatch_v = mismatch.nmos_dvth.volts().abs().max(mismatch.pmos_dvth.volts().abs());
+    let mismatch_v = mismatch
+        .nmos_dvth
+        .volts()
+        .abs()
+        .max(mismatch.pmos_dvth.volts().abs());
     Volts((headroom - mismatch_v).max(0.0))
 }
 
@@ -127,10 +131,7 @@ mod tests {
         for vdd in [0.2, 0.4, 0.8, 1.2] {
             let vm = switching_threshold(&tech, Volts(vdd), env, GateMismatch::NOMINAL);
             let frac = vm.volts() / vdd;
-            assert!(
-                (0.3..0.7).contains(&frac),
-                "{vdd} V: Vm/Vdd = {frac}"
-            );
+            assert!((0.3..0.7).contains(&frac), "{vdd} V: Vm/Vdd = {frac}");
         }
     }
 
@@ -185,8 +186,7 @@ mod tests {
         // The hand-set Technology::min_vdd (100 mV) should be
         // consistent with a 3σ SNM requirement of ~20 % of Vdd.
         let (tech, env) = fixture();
-        let vmin = minimum_operational_vdd(&tech, env, Volts(0.012), 3.0, 0.2)
-            .expect("achievable");
+        let vmin = minimum_operational_vdd(&tech, env, Volts(0.012), 3.0, 0.2).expect("achievable");
         assert!(
             (0.06..0.20).contains(&vmin.volts()),
             "derived Vmin {} vs constant {}",

@@ -6,18 +6,17 @@
 //! (Pelgrom-style σ ∝ 1/√(W·L)) so the controller can be exercised
 //! across a population of virtual chips, not just the named corners.
 
-use rand::distributions::Distribution;
-use rand::Rng;
+use subvt_rng::Distribution;
+use subvt_rng::Rng;
 
 use crate::delay::GateMismatch;
 use crate::units::Volts;
 
-/// Gaussian sampler built on `rand`'s uniform source via Box-Muller
-/// (keeps the dependency surface to `rand` core only).
+/// Gaussian sampler — a thin veneer over [`subvt_rng::Normal`], kept
+/// as this crate's public name for threshold-shift draws.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Gaussian {
-    mean: f64,
-    sigma: f64,
+    norm: subvt_rng::Normal,
 }
 
 impl Gaussian {
@@ -27,21 +26,15 @@ impl Gaussian {
     ///
     /// Panics if `sigma` is negative or not finite.
     pub fn new(mean: f64, sigma: f64) -> Gaussian {
-        assert!(sigma >= 0.0 && sigma.is_finite(), "invalid sigma {sigma}");
-        Gaussian { mean, sigma }
+        Gaussian {
+            norm: subvt_rng::Normal::new(mean, sigma),
+        }
     }
 }
 
 impl Distribution<f64> for Gaussian {
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        // Box-Muller transform; reject u1 == 0 to avoid ln(0).
-        let mut u1: f64 = rng.gen();
-        while u1 <= f64::MIN_POSITIVE {
-            u1 = rng.gen();
-        }
-        let u2: f64 = rng.gen();
-        let mag = (-2.0 * u1.ln()).sqrt();
-        self.mean + self.sigma * mag * (std::f64::consts::TAU * u2).cos()
+        self.norm.sample(rng)
     }
 }
 
@@ -139,8 +132,7 @@ impl DieVariation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use subvt_rng::StdRng;
 
     #[test]
     fn gaussian_moments() {
@@ -175,14 +167,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let n = 20_000;
         let inside = (0..n)
-            .filter(|_| {
-                model
-                    .sample_die(&mut rng)
-                    .nmos_dvth
-                    .volts()
-                    .abs()
-                    < 0.0287
-            })
+            .filter(|_| model.sample_die(&mut rng).nmos_dvth.volts().abs() < 0.0287)
             .count();
         let frac = inside as f64 / n as f64;
         assert!(frac > 0.99, "fraction inside 10% bound: {frac}");

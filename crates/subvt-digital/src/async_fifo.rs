@@ -209,8 +209,8 @@ mod tests {
     fn no_data_is_ever_lost_or_duplicated() {
         // Randomized interleaving of domain clocks; conservation must
         // hold exactly.
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use subvt_rng::Rng;
+        use subvt_rng::StdRng;
         let mut rng = StdRng::seed_from_u64(7);
         let mut f: AsyncFifo<u64> = AsyncFifo::new(8);
         let mut next = 0u64;

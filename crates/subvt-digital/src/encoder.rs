@@ -53,7 +53,11 @@ impl QuantizerWord {
     /// Panics if `width` is 0 or greater than 64.
     pub fn new(width: u8, bits: u64) -> QuantizerWord {
         assert!((1..=64).contains(&width), "width {width} out of range");
-        let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1 << width) - 1
+        };
         QuantizerWord {
             bits: bits & mask,
             width,
@@ -126,6 +130,35 @@ impl QuantizerWord {
         // Fill isolated zeros that have ones on both sides.
         let filled = self.bits | ((self.bits << 1) & (self.bits >> 1));
         QuantizerWord::new(self.width, filled).encode()
+    }
+
+    /// Parses a word from the paper's Table I format (the inverse of
+    /// [`QuantizerWord::to_table_hex`]): hex digits with stage 0 as the
+    /// most significant displayed bit, whitespace ignored.
+    ///
+    /// Returns `None` if the string is not exactly the hex digits a
+    /// `width`-stage word formats to, or sets a bit beyond `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    pub fn from_table_hex(width: u8, s: &str) -> Option<QuantizerWord> {
+        assert!((1..=64).contains(&width), "width {width} out of range");
+        let digits: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        if digits.len() != usize::from(width).div_ceil(4) {
+            return None;
+        }
+        let display = u64::from_str_radix(&digits, 16).ok()?;
+        if width < 64 && display >> width != 0 {
+            return None;
+        }
+        let mut bits: u64 = 0;
+        for i in 0..width {
+            if (display >> (width - 1 - i)) & 1 == 1 {
+                bits |= 1 << i;
+            }
+        }
+        Some(QuantizerWord::new(width, bits))
     }
 
     /// Formats the word as the paper's Table I does: hex, MSB-first
@@ -244,6 +277,31 @@ mod tests {
     fn narrow_word_hex() {
         let w = QuantizerWord::new(8, 0b0000_0111);
         assert_eq!(w.to_table_hex(), "E0");
+    }
+
+    #[test]
+    fn table_hex_round_trips() {
+        for bits in [0u64, 0x7F, ((1u64 << 33) - 1) << 7, u64::MAX] {
+            let w = QuantizerWord::new(64, bits);
+            let parsed = QuantizerWord::from_table_hex(64, &w.to_table_hex());
+            assert_eq!(parsed, Some(w));
+        }
+        let narrow = QuantizerWord::new(8, 0b0000_0111);
+        assert_eq!(
+            QuantizerWord::from_table_hex(8, &narrow.to_table_hex()),
+            Some(narrow)
+        );
+    }
+
+    #[test]
+    fn bad_table_hex_is_rejected() {
+        // Wrong digit count for the width.
+        assert_eq!(QuantizerWord::from_table_hex(64, "FE00"), None);
+        // Non-hex characters.
+        assert_eq!(QuantizerWord::from_table_hex(16, "GG00"), None);
+        // A bit beyond the width (width 7 formats to 2 digits ≤ 0x7F
+        // in display space).
+        assert_eq!(QuantizerWord::from_table_hex(7, "FF"), None);
     }
 
     #[test]

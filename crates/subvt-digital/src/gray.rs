@@ -68,7 +68,13 @@ impl GrayCounter {
 
 impl fmt::Display for GrayCounter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "gray {:0w$b} (bin {})", self.gray(), self.binary, w = usize::from(self.width))
+        write!(
+            f,
+            "gray {:0w$b} (bin {})",
+            self.gray(),
+            self.binary,
+            w = usize::from(self.width)
+        )
     }
 }
 

@@ -46,8 +46,8 @@ pub mod comparator;
 pub mod counter;
 pub mod encoder;
 pub mod fifo;
-pub mod gray;
 pub mod flipflop;
+pub mod gray;
 pub mod lut;
 pub mod pwm;
 pub mod register;
@@ -58,8 +58,8 @@ pub use comparator::{Comparison, MagnitudeComparator};
 pub use counter::{ClockDivider, CountDirection, OverflowMode, UpDownCounter};
 pub use encoder::{EncodeError, QuantizerWord};
 pub use fifo::Fifo;
-pub use gray::{from_gray, to_gray, GrayCounter};
 pub use flipflop::{DFlipFlop, ToggleFlipFlop};
+pub use gray::{from_gray, to_gray, GrayCounter};
 pub use lut::{LutError, VoltageLut, VoltageWord, WORD_LEVELS};
 pub use pwm::PwmGenerator;
 pub use register::Register;

@@ -210,8 +210,7 @@ mod tests {
                 nl.drive(b[i], Logic::from_bool((b_val >> i) & 1 == 1), SimTime::ZERO);
             }
             // Settle: well past the carry chain.
-            let settle = SimTime::ZERO
-                + SimDuration::from_seconds(t_gate.value() * 40.0);
+            let settle = SimTime::ZERO + SimDuration::from_seconds(t_gate.value() * 40.0);
             nl.run_until(settle, 1_000_000);
             let mut got = 0u64;
             for (i, &s) in sum.iter().enumerate() {
@@ -222,7 +221,11 @@ mod tests {
             let expect = (a_val + b_val) & 0xF;
             let expect_carry = a_val + b_val > 0xF;
             assert_eq!(got, expect, "{a_val}+{b_val}");
-            assert_eq!(nl.signal(cout).is_high(), expect_carry, "{a_val}+{b_val} carry");
+            assert_eq!(
+                nl.signal(cout).is_high(),
+                expect_carry,
+                "{a_val}+{b_val} carry"
+            );
         }
     }
 

@@ -131,10 +131,7 @@ mod tests {
     fn dc_gain_is_near_unity() {
         let f = FirFilter::lowpass_9tap();
         let gain = f.dc_gain_q15();
-        assert!(
-            (gain - Q15).abs() < Q15 / 50,
-            "DC gain {gain} vs {Q15}"
-        );
+        assert!((gain - Q15).abs() < Q15 / 50, "DC gain {gain} vs {Q15}");
     }
 
     #[test]
@@ -164,7 +161,9 @@ mod tests {
     fn lowpass_attenuates_nyquist() {
         // Alternating ±full-scale (Nyquist tone) must come out tiny.
         let mut f = FirFilter::lowpass_9tap();
-        let input: Vec<i32> = (0..64).map(|i| if i % 2 == 0 { Q15 } else { -Q15 }).collect();
+        let input: Vec<i32> = (0..64)
+            .map(|i| if i % 2 == 0 { Q15 } else { -Q15 })
+            .collect();
         let out = f.filter(&input);
         let tail_peak = out[16..].iter().map(|v| v.abs()).max().unwrap();
         assert!(tail_peak < Q15 / 20, "Nyquist leakage {tail_peak}");
@@ -201,7 +200,9 @@ mod tests {
         let fir = FirFilter::lowpass_9tap();
         let ring = crate::ring_oscillator::RingOscillator::with_stages(9, 0.1);
         let v = Volts(0.3);
-        let cp_fir = fir.critical_path(&tech, v, env, GateMismatch::NOMINAL).unwrap();
+        let cp_fir = fir
+            .critical_path(&tech, v, env, GateMismatch::NOMINAL)
+            .unwrap();
         let cp_ring = ring
             .critical_path(&tech, v, env, GateMismatch::NOMINAL)
             .unwrap();

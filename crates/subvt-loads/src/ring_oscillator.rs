@@ -39,7 +39,10 @@ impl RingOscillator {
     /// Panics unless `stages` is odd and ≥ 3 (an even ring latches) and
     /// `0 < activity <= 1`.
     pub fn with_stages(stages: usize, activity: f64) -> RingOscillator {
-        assert!(stages >= 3 && stages % 2 == 1, "ring needs an odd stage count ≥ 3");
+        assert!(
+            stages >= 3 && stages % 2 == 1,
+            "ring needs an odd stage count ≥ 3"
+        );
         assert!(
             activity > 0.0 && activity <= 1.0,
             "switching factor must be in (0, 1]"

@@ -5,7 +5,7 @@
 //! the controller's only window onto the workload, so the arrival
 //! pattern shapes everything downstream.
 
-use rand::Rng;
+use subvt_rng::Rng;
 
 /// An arrival process: how many data items arrive in each system cycle.
 #[derive(Debug, Clone, PartialEq)]
@@ -125,7 +125,10 @@ impl WorkloadSource {
 /// Knuth's Poisson sampler (fine for the small per-cycle means used
 /// here).
 fn sample_poisson<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> u32 {
-    assert!(mean >= 0.0 && mean.is_finite(), "invalid Poisson mean {mean}");
+    assert!(
+        mean >= 0.0 && mean.is_finite(),
+        "invalid Poisson mean {mean}"
+    );
     if mean == 0.0 {
         return 0;
     }
@@ -147,8 +150,7 @@ fn sample_poisson<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use subvt_rng::StdRng;
 
     #[test]
     fn constant_pattern() {

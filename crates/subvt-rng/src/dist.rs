@@ -1,0 +1,173 @@
+//! The distributions the variation and workload models draw from.
+
+use crate::{Distribution, Rng, SampleUniform};
+
+/// A normal (Gaussian) distribution.
+///
+/// Sampled by the Box–Muller transform using exactly two uniform draws
+/// per sample, with no cached spare — statelessness keeps samples
+/// independent of call history, which matters for reproducibility when
+/// the same distribution value is shared across streams.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// A normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or not finite.
+    pub fn new(mean: f64, sigma: f64) -> Normal {
+        assert!(sigma >= 0.0 && sigma.is_finite(), "invalid sigma {sigma}");
+        Normal { mean, sigma }
+    }
+
+    /// The mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; reject u1 == 0 to avoid ln(0).
+        let mut u1 = rng.next_f64();
+        while u1 <= f64::MIN_POSITIVE {
+            u1 = rng.next_f64();
+        }
+        let u2 = rng.next_f64();
+        let mag = (-2.0 * u1.ln()).sqrt();
+        self.mean + self.sigma * mag * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// A log-normal distribution: `exp(N(mu, sigma))`.
+///
+/// `mu`/`sigma` are the mean and standard deviation of the *underlying
+/// normal* (the conventional parameterization), not of the log-normal
+/// itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// A log-normal whose logarithm is `N(mu, sigma)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or not finite.
+    pub fn new(mu: f64, sigma: f64) -> LogNormal {
+        LogNormal {
+            norm: Normal::new(mu, sigma),
+        }
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// A uniform distribution over a half-open range `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform<T> {
+    lo: T,
+    hi: T,
+}
+
+impl<T: SampleUniform + Copy> Uniform<T> {
+    /// A uniform distribution over `[lo, hi)`.
+    ///
+    /// Bounds are validated at sample time (the same checks as
+    /// [`Rng::gen_range`]).
+    pub fn new(lo: T, hi: T) -> Uniform<T> {
+        Uniform { lo, hi }
+    }
+}
+
+impl<T: SampleUniform + Copy> Distribution<T> for Uniform<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_in(rng, self.lo, self.hi)
+    }
+}
+
+/// A Bernoulli (coin flip) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn new(p: f64) -> Bernoulli {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of [0, 1]");
+        Bernoulli { p }
+    }
+}
+
+impl Distribution<bool> for Bernoulli {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_f64() < self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StdRng;
+
+    #[test]
+    #[should_panic(expected = "invalid sigma")]
+    fn normal_rejects_negative_sigma() {
+        let _ = Normal::new(0.0, -1.0);
+    }
+
+    #[test]
+    fn zero_sigma_is_constant() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = Normal::new(3.5, 0.0);
+        assert!((0..100).all(|_| n.sample(&mut rng) == 3.5));
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = LogNormal::new(0.0, 1.5);
+        assert!((0..10_000).all(|_| d.sample(&mut rng) > 0.0));
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let never = Bernoulli::new(0.0);
+        let always = Bernoulli::new(1.0);
+        assert!((0..100).all(|_| !never.sample(&mut rng)));
+        assert!((0..100).all(|_| always.sample(&mut rng)));
+    }
+
+    #[test]
+    fn uniform_matches_gen_range() {
+        use crate::Rng as _;
+        let d = Uniform::new(10u32, 20);
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut a), b.gen_range(10u32..20));
+        }
+    }
+}

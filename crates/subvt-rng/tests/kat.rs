@@ -1,0 +1,96 @@
+//! Known-answer tests pinning the generators to the published
+//! reference implementations.
+//!
+//! The expected words were produced by compiling the reference C code
+//! (Vigna's `splitmix64.c` and `xoshiro256plusplus.c`) and printing
+//! the first outputs; `splitmix64(0)`'s leading value
+//! `0xE220A8397B1DCDAF` is the widely published cross-check.
+
+use subvt_rng::{splitmix64, Rng, SplitMix64, Xoshiro256pp};
+
+#[test]
+fn splitmix64_seed_zero_reference_vector() {
+    let mut state = 0u64;
+    let got: Vec<u64> = (0..5).map(|_| splitmix64(&mut state)).collect();
+    assert_eq!(
+        got,
+        [
+            0xE220_A839_7B1D_CDAF,
+            0x6E78_9E6A_A1B9_65F4,
+            0x06C4_5D18_8009_454F,
+            0xF88B_B8A8_724C_81EC,
+            0x1B39_896A_51A8_749B,
+        ]
+    );
+}
+
+#[test]
+fn splitmix64_nonzero_seed_reference_vector() {
+    let mut state = 0x1234_5678_9ABC_DEF0u64;
+    let got: Vec<u64> = (0..3).map(|_| splitmix64(&mut state)).collect();
+    assert_eq!(
+        got,
+        [
+            0x1619_22C6_45CE_50E8,
+            0xAD76_0CAF_A169_7B60,
+            0x3501_FF44_902C_A50D,
+        ]
+    );
+}
+
+#[test]
+fn splitmix64_generator_matches_free_function() {
+    let mut state = 42u64;
+    let mut gen = SplitMix64::seed_from_u64(42);
+    for _ in 0..100 {
+        assert_eq!(gen.next_u64(), splitmix64(&mut state));
+    }
+}
+
+#[test]
+fn xoshiro256pp_reference_vector_from_raw_state() {
+    let mut rng = Xoshiro256pp::from_state([1, 2, 3, 4]);
+    let got: Vec<u64> = (0..5).map(|_| rng.next_u64()).collect();
+    assert_eq!(
+        got,
+        [
+            0x0000_0000_0280_0001,
+            0x0000_0000_0380_0067,
+            0x000C_C000_0380_0067,
+            0x000C_C201_9944_00B2,
+            0x8012_A201_9AC4_33CD,
+        ]
+    );
+}
+
+#[test]
+fn xoshiro256pp_seeded_reference_vector() {
+    // State expanded from seed 42 by four splitmix64 steps, then run
+    // through the reference next() — pins the whole seeding chain.
+    let mut rng = Xoshiro256pp::seed_from_u64(42);
+    let got: Vec<u64> = (0..5).map(|_| rng.next_u64()).collect();
+    assert_eq!(
+        got,
+        [
+            0xD076_4D4F_4476_689F,
+            0x519E_4174_576F_3791,
+            0xFBE0_7CFB_0C24_ED8C,
+            0xB37D_9F60_0CD8_35B8,
+            0xCB23_1C38_7484_6A73,
+        ]
+    );
+}
+
+#[test]
+fn seeding_equals_manual_splitmix_expansion() {
+    let mut sm = 7u64;
+    let state = [
+        splitmix64(&mut sm),
+        splitmix64(&mut sm),
+        splitmix64(&mut sm),
+        splitmix64(&mut sm),
+    ];
+    let mut a = Xoshiro256pp::seed_from_u64(7);
+    let mut b = Xoshiro256pp::from_state(state);
+    assert!((0..50).all(|_| a.next_u64() == b.next_u64()));
+}

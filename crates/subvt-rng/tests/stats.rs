@@ -1,0 +1,115 @@
+//! Statistical sanity checks over 10⁵ draws per distribution.
+//!
+//! Tolerances are set at roughly 5 standard errors so the (seeded,
+//! deterministic) tests sit far from their thresholds while still
+//! catching real distribution bugs: a wrong variance, a clipped tail,
+//! a biased bit.
+
+use subvt_rng::{Bernoulli, Distribution, LogNormal, Normal, Rng, StdRng, Uniform};
+
+const N: usize = 100_000;
+
+fn moments(samples: &[f64]) -> (f64, f64) {
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, var)
+}
+
+#[test]
+fn normal_moments() {
+    let mut rng = StdRng::seed_from_u64(101);
+    let d = Normal::new(2.0, 3.0);
+    let samples: Vec<f64> = (0..N).map(|_| d.sample(&mut rng)).collect();
+    let (mean, var) = moments(&samples);
+    // SE(mean) = σ/√N ≈ 0.0095; SE(σ) ≈ σ/√(2N) ≈ 0.0067.
+    assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    assert!((var.sqrt() - 3.0).abs() < 0.04, "sigma {}", var.sqrt());
+}
+
+#[test]
+fn normal_tail_fractions() {
+    let mut rng = StdRng::seed_from_u64(102);
+    let d = Normal::new(0.0, 1.0);
+    let beyond_2sigma = (0..N).filter(|_| d.sample(&mut rng).abs() > 2.0).count();
+    let frac = beyond_2sigma as f64 / N as f64;
+    // P(|Z| > 2) ≈ 0.0455; SE ≈ 0.00066.
+    assert!((frac - 0.0455).abs() < 0.004, "2σ tail fraction {frac}");
+}
+
+#[test]
+fn uniform_unit_moments() {
+    let mut rng = StdRng::seed_from_u64(103);
+    let samples: Vec<f64> = (0..N).map(|_| rng.next_f64()).collect();
+    let (mean, var) = moments(&samples);
+    // Uniform[0,1): mean 1/2 (SE ≈ 0.0009), variance 1/12.
+    assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    assert!((var - 1.0 / 12.0).abs() < 0.002, "variance {var}");
+}
+
+#[test]
+fn uniform_range_moments() {
+    let mut rng = StdRng::seed_from_u64(104);
+    let d = Uniform::new(-3.0f64, 5.0);
+    let samples: Vec<f64> = (0..N).map(|_| d.sample(&mut rng)).collect();
+    let (mean, var) = moments(&samples);
+    assert!(samples.iter().all(|&x| (-3.0..5.0).contains(&x)));
+    // Uniform[-3,5): mean 1, variance 8²/12 ≈ 5.333.
+    assert!((mean - 1.0).abs() < 0.04, "mean {mean}");
+    assert!((var - 64.0 / 12.0).abs() < 0.1, "variance {var}");
+}
+
+#[test]
+fn uniform_integer_is_unbiased_across_buckets() {
+    let mut rng = StdRng::seed_from_u64(105);
+    let mut counts = [0usize; 7];
+    for _ in 0..N {
+        counts[rng.gen_range(0usize..7)] += 1;
+    }
+    let expect = N as f64 / 7.0;
+    for (i, &c) in counts.iter().enumerate() {
+        // 5σ of a binomial bucket ≈ 555.
+        assert!(
+            (c as f64 - expect).abs() < 600.0,
+            "bucket {i}: {c} vs {expect}"
+        );
+    }
+}
+
+#[test]
+fn lognormal_median() {
+    let mut rng = StdRng::seed_from_u64(106);
+    let d = LogNormal::new(0.7, 0.5);
+    // The median of exp(N(mu, s)) is exp(mu): count the fraction below.
+    let below = (0..N).filter(|_| d.sample(&mut rng) < 0.7f64.exp()).count();
+    let frac = below as f64 / N as f64;
+    assert!((frac - 0.5).abs() < 0.01, "median fraction {frac}");
+}
+
+#[test]
+fn bernoulli_rate() {
+    let mut rng = StdRng::seed_from_u64(107);
+    let d = Bernoulli::new(0.3);
+    let hits = (0..N).filter(|_| d.sample(&mut rng)).count();
+    let frac = hits as f64 / N as f64;
+    // SE ≈ 0.00145.
+    assert!((frac - 0.3).abs() < 0.008, "rate {frac}");
+}
+
+#[test]
+fn raw_bits_are_balanced() {
+    // Each of the 64 output bit positions should be set half the time.
+    let mut rng = StdRng::seed_from_u64(108);
+    let mut ones = [0u32; 64];
+    let draws = 20_000;
+    for _ in 0..draws {
+        let w = rng.next_u64();
+        for (bit, count) in ones.iter_mut().enumerate() {
+            *count += ((w >> bit) & 1) as u32;
+        }
+    }
+    for (bit, &c) in ones.iter().enumerate() {
+        let frac = f64::from(c) / f64::from(draws);
+        assert!((frac - 0.5).abs() < 0.02, "bit {bit} set fraction {frac}");
+    }
+}

@@ -158,7 +158,10 @@ mod tests {
         let e_euler = run(IntegrationMethod::Euler);
         let e_mid = run(IntegrationMethod::Midpoint);
         let e_rk4 = run(IntegrationMethod::Rk4);
-        assert!(e_rk4 < e_mid && e_mid < e_euler, "{e_rk4} {e_mid} {e_euler}");
+        assert!(
+            e_rk4 < e_mid && e_mid < e_euler,
+            "{e_rk4} {e_mid} {e_euler}"
+        );
     }
 
     #[test]
@@ -167,7 +170,14 @@ mod tests {
         let mut y = [1.0, 0.0];
         // Ten full periods.
         let period = std::f64::consts::TAU / 2.0;
-        integrate_span(&osc, IntegrationMethod::Rk4, 0.0, &mut y, 10.0 * period, 4000);
+        integrate_span(
+            &osc,
+            IntegrationMethod::Rk4,
+            0.0,
+            &mut y,
+            10.0 * period,
+            4000,
+        );
         let energy = 0.5 * y[1] * y[1] + 0.5 * 4.0 * y[0] * y[0];
         assert!((energy - 2.0).abs() < 1e-6, "energy {energy}");
     }

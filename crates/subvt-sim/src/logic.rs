@@ -174,7 +174,11 @@ impl Bus {
     /// Panics if `index >= width`.
     #[inline]
     pub fn bit(self, index: u8) -> Logic {
-        assert!(index < self.width, "bit {index} out of {}-bit bus", self.width);
+        assert!(
+            index < self.width,
+            "bit {index} out of {}-bit bus",
+            self.width
+        );
         Logic::from_bool((self.bits >> index) & 1 == 1)
     }
 
@@ -185,13 +189,20 @@ impl Bus {
     /// Panics if `index >= width`.
     #[inline]
     pub fn with_bit(self, index: u8, value: bool) -> Bus {
-        assert!(index < self.width, "bit {index} out of {}-bit bus", self.width);
+        assert!(
+            index < self.width,
+            "bit {index} out of {}-bit bus",
+            self.width
+        );
         let bits = if value {
             self.bits | (1 << index)
         } else {
             self.bits & !(1 << index)
         };
-        Bus { bits, width: self.width }
+        Bus {
+            bits,
+            width: self.width,
+        }
     }
 
     /// Number of set bits.
@@ -273,7 +284,10 @@ mod tests {
         assert!(Logic::Unknown.to_bool_or(true));
         assert!(!Logic::Unknown.to_bool_or(false));
         assert!(Logic::Unknown == Logic::default());
-        assert_eq!(format!("{}{}{}", Logic::Low, Logic::High, Logic::Unknown), "01X");
+        assert_eq!(
+            format!("{}{}{}", Logic::Low, Logic::High, Logic::Unknown),
+            "01X"
+        );
     }
 
     #[test]

@@ -174,7 +174,11 @@ impl Netlist {
     ///
     /// Panics if `at` is before the current simulation time.
     pub fn drive(&mut self, signal: SignalId, value: Logic, at: SimTime) {
-        assert!(at >= self.now, "cannot drive in the past ({at} < {})", self.now);
+        assert!(
+            at >= self.now,
+            "cannot drive in the past ({at} < {})",
+            self.now
+        );
         self.queue.schedule(
             at,
             Update {

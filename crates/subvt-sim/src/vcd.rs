@@ -75,7 +75,12 @@ impl VcdWriter {
         writeln!(w, "$timescale 1 fs $end")?;
         writeln!(w, "$scope module {} $end", self.module)?;
         for (i, t) in self.digital.iter().enumerate() {
-            writeln!(w, "$var wire 1 {} {} $end", Self::id_code(i), sanitize(t.name()))?;
+            writeln!(
+                w,
+                "$var wire 1 {} {} $end",
+                Self::id_code(i),
+                sanitize(t.name())
+            )?;
         }
         for (i, t) in self.analog.iter().enumerate() {
             writeln!(

@@ -42,7 +42,10 @@ impl CounterSensor {
             "ring needs an odd stage count ≥ 3"
         );
         assert!(window.value() > 0.0, "window must be positive");
-        assert!((1..=32).contains(&counter_bits), "counter width out of range");
+        assert!(
+            (1..=32).contains(&counter_bits),
+            "counter width out of range"
+        );
         CounterSensor {
             ring_stages,
             window,
@@ -160,7 +163,12 @@ mod tests {
         let (tech, sensor) = fixture();
         let env = Environment::nominal();
         for mv in [150.0, 300.0, 600.0, 900.0, 1200.0] {
-            let c = sensor.measure(&tech, Volts::from_millivolts(mv), env, GateMismatch::NOMINAL);
+            let c = sensor.measure(
+                &tech,
+                Volts::from_millivolts(mv),
+                env,
+                GateMismatch::NOMINAL,
+            );
             assert!(c > 0, "{mv} mV reads zero");
             assert!(c < sensor.max_count(), "{mv} mV saturates");
         }
@@ -184,7 +192,12 @@ mod tests {
     fn below_floor_reads_zero() {
         let (tech, sensor) = fixture();
         assert_eq!(
-            sensor.measure(&tech, Volts(0.05), Environment::nominal(), GateMismatch::NOMINAL),
+            sensor.measure(
+                &tech,
+                Volts(0.05),
+                Environment::nominal(),
+                GateMismatch::NOMINAL
+            ),
             0
         );
     }
@@ -219,7 +232,12 @@ mod tests {
     fn counter_saturates_gracefully() {
         let tech = Technology::st_130nm();
         let tiny = CounterSensor::new(3, Seconds::from_micros(1000.0), 8);
-        let c = tiny.measure(&tech, Volts(1.2), Environment::nominal(), GateMismatch::NOMINAL);
+        let c = tiny.measure(
+            &tech,
+            Volts(1.2),
+            Environment::nominal(),
+            GateMismatch::NOMINAL,
+        );
         assert_eq!(c, tiny.max_count());
     }
 

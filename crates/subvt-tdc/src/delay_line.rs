@@ -211,8 +211,9 @@ mod tests {
         let (tech, env) = fixture();
         let line = DelayLine::new(64, CellKind::InvNor);
         let cell = line.cell_delay(&tech, Volts(0.6), env).unwrap();
-        let pos =
-            line.edge_position(&tech, Volts(0.6), env, cell * 10.5).unwrap();
+        let pos = line
+            .edge_position(&tech, Volts(0.6), env, cell * 10.5)
+            .unwrap();
         assert_eq!(pos, 10);
         let far = line
             .edge_position(&tech, Volts(0.6), env, cell * 1000.0)
@@ -229,9 +230,7 @@ mod tests {
         let (tech, _) = fixture();
         let line = DelayLine::new(64, CellKind::InvNor);
         let v = Volts(0.25);
-        let tt = line
-            .cell_delay(&tech, v, Environment::nominal())
-            .unwrap();
+        let tt = line.cell_delay(&tech, v, Environment::nominal()).unwrap();
         let ss = line
             .cell_delay(&tech, v, Environment::at_corner(ProcessCorner::Ss))
             .unwrap();

@@ -52,8 +52,8 @@ pub mod metastability;
 pub mod pulse;
 pub mod quantizer;
 pub mod sensor;
-pub mod vernier;
 pub mod table1;
+pub mod vernier;
 
 pub use counter_method::CounterSensor;
 pub use delay_line::{CellKind, DelayLine};
@@ -61,5 +61,5 @@ pub use metastability::MetastabilityModel;
 pub use pulse::{PulseShrinkRing, PulseShrinkStage, ShrinkResult};
 pub use quantizer::{Quantizer, RefClock};
 pub use sensor::{voltage_word, word_voltage, SenseError, SensorConfig, VariationSensor};
-pub use vernier::{VernierReading, VernierTdc};
 pub use table1::{reproduce_table1, Table1Row, PAPER_SIGNATURES, SAMPLE_ANCHOR};
+pub use vernier::{VernierReading, VernierTdc};

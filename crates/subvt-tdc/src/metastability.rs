@@ -7,7 +7,7 @@
 //! gives a failure probability `exp(−slack/τ)` for slack beyond the
 //! aperture.
 
-use rand::Rng;
+use subvt_rng::Rng;
 
 use subvt_device::units::Seconds;
 use subvt_digital::encoder::QuantizerWord;
@@ -96,8 +96,7 @@ impl MetastabilityModel {
 mod tests {
     use super::*;
     use crate::quantizer::RefClock;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use subvt_rng::StdRng;
 
     #[test]
     fn within_aperture_is_certain_upset() {

@@ -60,7 +60,10 @@ impl PulseShrinkStage {
     /// Panics if β, kp or kn is not positive.
     pub fn width_change(&self) -> Seconds {
         assert!(self.beta > 0.0, "beta must be positive");
-        assert!(self.kp > 0.0 && self.kn > 0.0, "transconductances must be positive");
+        assert!(
+            self.kp > 0.0 && self.kn > 0.0,
+            "transconductances must be positive"
+        );
         let geometry = self.beta - 1.0 / self.beta;
         let drive = 1.0 / self.kp - 1.0 / self.kn;
         Seconds(geometry * self.load_cap.value() * drive * self.delta)
@@ -112,7 +115,10 @@ impl PulseShrinkRing {
     ///
     /// Panics if `vanish_width` is negative.
     pub fn new(stage: PulseShrinkStage, vanish_width: Seconds) -> PulseShrinkRing {
-        assert!(vanish_width.value() >= 0.0, "vanish width must be non-negative");
+        assert!(
+            vanish_width.value() >= 0.0,
+            "vanish width must be non-negative"
+        );
         PulseShrinkRing {
             stage,
             vanish_width,
@@ -150,9 +156,7 @@ impl PulseShrinkRing {
     /// Converts a vanish count back to a measured pulse width (the
     /// time-to-digital conversion of the shrinking method).
     pub fn width_from_cycles(&self, cycles: u32) -> Seconds {
-        Seconds(
-            self.vanish_width.value() + self.stage.width_change().value() * f64::from(cycles),
-        )
+        Seconds(self.vanish_width.value() + self.stage.width_change().value() * f64::from(cycles))
     }
 }
 
@@ -198,10 +202,8 @@ mod tests {
 
     #[test]
     fn circulation_counts_width() {
-        let ring = PulseShrinkRing::new(
-            PulseShrinkStage::nominal_130nm(),
-            Seconds::from_picos(10.0),
-        );
+        let ring =
+            PulseShrinkRing::new(PulseShrinkStage::nominal_130nm(), Seconds::from_picos(10.0));
         let dw = ring.stage().width_change();
         let w0 = Seconds(dw.value() * 100.0 + 11e-12);
         let r = ring.circulate(w0, 10_000).expect("shrinks");
@@ -237,10 +239,8 @@ mod tests {
         // DC-DC conversion" — the residual is bounded by one ΔW, which
         // is far below the time equivalent of one 18.75 mV step at the
         // paper's operating points (tens of ns of delay change).
-        let ring = PulseShrinkRing::new(
-            PulseShrinkStage::nominal_130nm(),
-            Seconds::from_picos(10.0),
-        );
+        let ring =
+            PulseShrinkRing::new(PulseShrinkStage::nominal_130nm(), Seconds::from_picos(10.0));
         let dw = ring.stage().width_change();
         assert!(dw.picos() < 100.0, "ΔW = {} ps", dw.picos());
     }

@@ -108,9 +108,7 @@ pub fn word_voltage(word: VoltageWord) -> Volts {
 
 /// Closest 6-bit word to a voltage.
 pub fn voltage_word(v: Volts) -> VoltageWord {
-    (v.volts() / DCDC_LSB.volts())
-        .round()
-        .clamp(0.0, 63.0) as VoltageWord
+    (v.volts() / DCDC_LSB.volts()).round().clamp(0.0, 63.0) as VoltageWord
 }
 
 impl VariationSensor {
@@ -118,7 +116,11 @@ impl VariationSensor {
     ///
     /// Bands whose voltage (or whose lowest in-range neighbour) falls
     /// below the technology's functional floor are marked unusable.
-    pub fn new(tech: &Technology, design_env: Environment, config: SensorConfig) -> VariationSensor {
+    pub fn new(
+        tech: &Technology,
+        design_env: Environment,
+        config: SensorConfig,
+    ) -> VariationSensor {
         let line = DelayLine::new(config.stages, CellKind::InvNor);
         let mut bands = Vec::with_capacity(64);
         for word in 0u8..64 {
@@ -452,7 +454,10 @@ mod tests {
                 GateMismatch::NOMINAL,
             )
             .unwrap();
-        assert!((-3..=-1).contains(&dev), "two LSBs low should read ≈ -2, got {dev}");
+        assert!(
+            (-3..=-1).contains(&dev),
+            "two LSBs low should read ≈ -2, got {dev}"
+        );
     }
 
     #[test]
@@ -528,7 +533,10 @@ mod tests {
             let frac = sensor
                 .sense_fractional(&tech, 12, word_voltage(12), Environment::nominal(), die)
                 .unwrap();
-            assert!(frac <= last + 1e-9, "not monotone at {mv} mV: {frac} > {last}");
+            assert!(
+                frac <= last + 1e-9,
+                "not monotone at {mv} mV: {frac} > {last}"
+            );
             last = frac;
         }
     }

@@ -148,9 +148,7 @@ impl VernierTdc {
             VernierReading::OutOfRange => Ok(None),
             VernierReading::Caught { stage } => {
                 let step = self.resolution(tech, vdd, env)?;
-                Ok(Some(Seconds(
-                    step.value() * (f64::from(stage) - 0.5),
-                )))
+                Ok(Some(Seconds(step.value() * (f64::from(stage) - 0.5))))
             }
         }
     }
@@ -241,10 +239,7 @@ mod tests {
             )
             .unwrap();
         assert_eq!(reading, VernierReading::OutOfRange);
-        assert_eq!(
-            tdc.interval_from(&tech, vdd, env, reading).unwrap(),
-            None
-        );
+        assert_eq!(tdc.interval_from(&tech, vdd, env, reading).unwrap(), None);
     }
 
     #[test]

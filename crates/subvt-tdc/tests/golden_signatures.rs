@@ -1,0 +1,94 @@
+//! Golden-signature test for the paper's Table I: the published hex
+//! words must round-trip through the quantizer-word codec losslessly,
+//! and their decoded structure must agree with what the calibrated
+//! model reproduces at the same corners.
+
+use subvt_device::mosfet::Environment;
+use subvt_device::technology::Technology;
+use subvt_digital::encoder::{EncodeError, QuantizerWord};
+use subvt_tdc::table1::{reproduce_table1, PAPER_SIGNATURES, TABLE1_VOLTAGES};
+
+/// The published signatures parsed back into 64-stage quantizer words.
+fn paper_words() -> Vec<(&'static str, QuantizerWord)> {
+    PAPER_SIGNATURES
+        .iter()
+        .map(|&(corner, hex)| {
+            let word = QuantizerWord::from_table_hex(64, hex)
+                .unwrap_or_else(|| panic!("{corner} signature {hex:?} must parse"));
+            (corner, word)
+        })
+        .collect()
+}
+
+#[test]
+fn signatures_round_trip_byte_identically() {
+    for (&(corner, hex), (_, word)) in PAPER_SIGNATURES.iter().zip(paper_words()) {
+        assert_eq!(
+            word.to_table_hex(),
+            hex,
+            "{corner} signature must survive parse → format"
+        );
+    }
+}
+
+#[test]
+fn signatures_decode_to_the_papers_edge_positions() {
+    let words = paper_words();
+    // 1.2 V: a clean 7-stage burst from stage 0.
+    assert_eq!(words[0].1.encode(), Ok(7), "1.2 V");
+    // 1.0 V: 23 stages — the 16-shift sensitivity anchor vs 1.2 V.
+    assert_eq!(words[1].1.encode(), Ok(23), "1.0 V");
+    assert_eq!(
+        words[0].1.encode().unwrap() + 16,
+        words[1].1.encode().unwrap()
+    );
+    // 0.8 V: the burst is offset (the edge from the *previous* Ref_clk
+    // cycle); the trailing edge sits at stage 40.
+    assert_eq!(words[2].1.encode(), Ok(40), "0.8 V");
+    // 0.6 V: latched twice — exactly the failure the paper reports.
+    assert_eq!(
+        words[3].1.encode(),
+        Err(EncodeError::MultipleBursts { bursts: 2 }),
+        "0.6 V"
+    );
+}
+
+#[test]
+fn reproduced_rows_match_signature_structure_at_every_corner() {
+    let rows = reproduce_table1(&Technology::st_130nm(), Environment::nominal())
+        .expect("published voltages are in range");
+    let words = paper_words();
+    assert_eq!(rows.len(), words.len());
+    // A word is "phase-wrapped" when the measurement window exceeded
+    // one Ref_clk period: the burst no longer starts at stage 0 (the
+    // previous cycle's edge is what got latched) or more than one burst
+    // is present. The absolute bit patterns depend on an unpublished
+    // sampling phase, but whether each corner wraps is pure physics
+    // (window = 64 · cell_delay vs the 14 ns period), so the model
+    // must agree with the paper on it corner by corner.
+    let wrapped = |w: QuantizerWord| w.bits() & 1 == 0 || w.burst_count() > 1;
+    for (row, (corner, paper)) in rows.iter().zip(&words) {
+        // Same corner ordering as the published table.
+        let vdd = TABLE1_VOLTAGES[words.iter().position(|(c, _)| c == corner).unwrap()];
+        assert_eq!(row.vdd, vdd);
+        assert_eq!(
+            wrapped(row.word),
+            wrapped(*paper),
+            "{corner}: model {} vs paper {}",
+            row.hex(),
+            paper.to_table_hex()
+        );
+    }
+    // Above the wrap point the decode must be clean in both; at 0.6 V
+    // both must be double-latched and flagged unreliable.
+    assert!(
+        rows[0].code.is_some() && words[0].1.encode().is_ok(),
+        "1.2 V"
+    );
+    assert!(
+        rows[1].code.is_some() && words[1].1.encode().is_ok(),
+        "1.0 V"
+    );
+    assert!(rows[3].bursts > 1 && words[3].1.burst_count() > 1, "0.6 V");
+    assert_eq!(rows[3].code, None, "0.6 V must be unreliable");
+}

@@ -1,0 +1,431 @@
+//! A small, dependency-free bench timer: the `criterion` replacement.
+//!
+//! Each benchmark gets a warmup phase (to populate caches and pick an
+//! iteration count), then `sample_size` timed samples of many
+//! iterations each; the reported statistic is the **median** ns/iter,
+//! which is robust against scheduler noise in a way the mean is not.
+//! Per group, results land in `BENCH_<group>.json` under the bench
+//! report directory and are echoed to stdout as `BENCH group/name ...`
+//! lines.
+//!
+//! Environment knobs:
+//!
+//! * `SUBVT_BENCH_OUT` — report directory (default: the nearest
+//!   ancestor `target/` directory, under `bench-reports/`);
+//! * `SUBVT_BENCH_SAMPLE_MS` — time budget per sample (default 10 ms);
+//! * `SUBVT_BENCH_QUICK=1` or a `--test` argument (as `cargo test`
+//!   passes to `harness = false` targets) — single-iteration smoke
+//!   mode, so benches double as tests without burning minutes.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// The top-level timer handed to every bench function by
+/// [`bench_main!`](crate::bench_main).
+#[derive(Debug)]
+pub struct Timer {
+    out_dir: std::path::PathBuf,
+    quick: bool,
+    sample_budget: Duration,
+    groups_written: Vec<String>,
+}
+
+impl Timer {
+    /// Configures a timer from the environment (see module docs).
+    pub fn from_env() -> Timer {
+        let quick = std::env::var("SUBVT_BENCH_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+            || std::env::args().any(|a| a == "--test");
+        let sample_ms = std::env::var("SUBVT_BENCH_SAMPLE_MS")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(10);
+        Timer {
+            out_dir: report_dir(),
+            quick,
+            sample_budget: Duration::from_millis(sample_ms),
+            groups_written: Vec::new(),
+        }
+    }
+
+    /// Opens a named benchmark group; results are written when the
+    /// group is finished (or dropped).
+    pub fn benchmark_group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            timer: self,
+            name: name.to_owned(),
+            sample_size: 10,
+            records: Vec::new(),
+            written: false,
+        }
+    }
+
+    /// The groups whose reports were written, in order.
+    pub fn groups_written(&self) -> &[String] {
+        &self.groups_written
+    }
+}
+
+/// A named group of benchmarks sharing a report file.
+#[derive(Debug)]
+pub struct Group<'a> {
+    timer: &'a mut Timer,
+    name: String,
+    sample_size: usize,
+    records: Vec<Record>,
+    written: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Record {
+    name: String,
+    samples: usize,
+    iters_per_sample: u64,
+    median_ns: f64,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+impl Group<'_> {
+    /// Sets the number of timed samples per benchmark (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] with the routine under test.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            quick: self.timer.quick,
+            sample_size: if self.timer.quick {
+                1
+            } else {
+                self.sample_size
+            },
+            sample_budget: self.timer.sample_budget,
+            result: None,
+        };
+        f(&mut b);
+        let (samples, iters, stats) = b
+            .result
+            .unwrap_or_else(|| panic!("bench {name:?} never called Bencher::iter"));
+        let record = Record {
+            name: name.to_owned(),
+            samples,
+            iters_per_sample: iters,
+            median_ns: stats.median,
+            mean_ns: stats.mean,
+            min_ns: stats.min,
+            max_ns: stats.max,
+        };
+        println!(
+            "BENCH {}/{} median {} (mean {}, {} samples x {} iters)",
+            self.name,
+            name,
+            fmt_ns(record.median_ns),
+            fmt_ns(record.mean_ns),
+            record.samples,
+            record.iters_per_sample,
+        );
+        self.records.push(record);
+        self
+    }
+
+    /// Writes the group's `BENCH_<group>.json` report.
+    pub fn finish(&mut self) {
+        if self.written {
+            return;
+        }
+        self.written = true;
+        let path = self
+            .timer
+            .out_dir
+            .join(format!("BENCH_{}.json", sanitize(&self.name)));
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(&path, self.to_json()) {
+            Ok(()) => self.timer.groups_written.push(self.name.clone()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": \"subvt-bench-v1\",");
+        let _ = writeln!(out, "  \"group\": \"{}\",", escape_json(&self.name));
+        let _ = writeln!(out, "  \"quick\": {},", self.timer.quick);
+        let _ = writeln!(out, "  \"benchmarks\": [");
+        for (i, r) in self.records.iter().enumerate() {
+            let comma = if i + 1 < self.records.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{}\", \"samples\": {}, \"iters_per_sample\": {}, \
+                 \"median_ns\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}{comma}",
+                escape_json(&r.name),
+                r.samples,
+                r.iters_per_sample,
+                json_f64(r.median_ns),
+                json_f64(r.mean_ns),
+                json_f64(r.min_ns),
+                json_f64(r.max_ns),
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+impl Drop for Group<'_> {
+    fn drop(&mut self) {
+        // `finish()` is idempotent; dropping an unfinished group still
+        // writes its report, so forgetting the call costs nothing.
+        self.finish();
+    }
+}
+
+/// Runs and times one routine. Handed to the closure of
+/// [`Group::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    quick: bool,
+    sample_size: usize,
+    sample_budget: Duration,
+    result: Option<(usize, u64, Stats)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Stats {
+    median: f64,
+    mean: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Bencher {
+    /// Times `f`, keeping its return value alive through
+    /// [`black_box`] so the work is not optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.quick {
+            // Smoke mode: a single run proves the routine executes.
+            let start = Instant::now();
+            black_box(f());
+            let ns = start.elapsed().as_nanos() as f64;
+            self.result = Some((
+                1,
+                1,
+                Stats {
+                    median: ns,
+                    mean: ns,
+                    min: ns,
+                    max: ns,
+                },
+            ));
+            return;
+        }
+
+        // Warmup: run for ~3 sample budgets to stabilize caches and
+        // measure a rough per-iteration cost.
+        let warmup_budget = self.sample_budget * 3;
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < warmup_budget || warmup_iters < 3 {
+            black_box(f());
+            warmup_iters += 1;
+        }
+        let per_iter_ns = (warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64).max(0.1);
+        let iters_per_sample = ((self.sample_budget.as_nanos() as f64 / per_iter_ns) as u64).max(1);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let n = samples_ns.len();
+        let median = if n % 2 == 1 {
+            samples_ns[n / 2]
+        } else {
+            0.5 * (samples_ns[n / 2 - 1] + samples_ns[n / 2])
+        };
+        let mean = samples_ns.iter().sum::<f64>() / n as f64;
+        self.result = Some((
+            n,
+            iters_per_sample,
+            Stats {
+                median,
+                mean,
+                min: samples_ns[0],
+                max: samples_ns[n - 1],
+            },
+        ));
+    }
+}
+
+/// Declares the `main` of a `harness = false` bench target: runs each
+/// listed function with a shared [`Timer`].
+#[macro_export]
+macro_rules! bench_main {
+    ($($func:path),+ $(,)?) => {
+        fn main() {
+            let mut timer = $crate::bench::Timer::from_env();
+            $( $func(&mut timer); )+
+        }
+    };
+}
+
+/// The directory reports are written to.
+fn report_dir() -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("SUBVT_BENCH_OUT") {
+        return std::path::PathBuf::from(dir);
+    }
+    // Prefer the workspace `target/` so reports live with other build
+    // artifacts; benches run with the package root as cwd, so walk up.
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    loop {
+        let candidate = dir.join("target");
+        if candidate.is_dir() {
+            return candidate.join("bench-reports");
+        }
+        if !dir.pop() {
+            return std::path::PathBuf::from("target/bench-reports");
+        }
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// JSON has no NaN/Inf; timings are finite by construction but guard
+/// anyway.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_timer(dir: &std::path::Path) -> Timer {
+        Timer {
+            out_dir: dir.to_owned(),
+            quick: true,
+            sample_budget: Duration::from_millis(1),
+            groups_written: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn report_file_is_written_with_expected_shape() {
+        let dir = std::env::temp_dir().join("subvt-testkit-bench-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut timer = quick_timer(&dir);
+        {
+            let mut g = timer.benchmark_group("unit");
+            g.sample_size(3);
+            g.bench_function("noop", |b| b.iter(|| 1 + 1));
+            g.bench_function("spin", |b| b.iter(|| (0..100).sum::<u64>()));
+            g.finish();
+        }
+        assert_eq!(timer.groups_written(), ["unit".to_owned()]);
+        let json = std::fs::read_to_string(dir.join("BENCH_unit.json")).unwrap();
+        assert!(json.contains("\"schema\": \"subvt-bench-v1\""), "{json}");
+        assert!(json.contains("\"group\": \"unit\""), "{json}");
+        assert!(json.contains("\"name\": \"noop\""), "{json}");
+        assert!(json.contains("\"median_ns\""), "{json}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dropping_an_unfinished_group_still_writes() {
+        let dir = std::env::temp_dir().join("subvt-testkit-bench-drop-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut timer = quick_timer(&dir);
+        {
+            let mut g = timer.benchmark_group("dropped");
+            g.bench_function("noop", |b| b.iter(|| 2 + 2));
+            // no finish()
+        }
+        assert!(dir.join("BENCH_dropped.json").is_file());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn timed_mode_produces_ordered_stats() {
+        let dir = std::env::temp_dir().join("subvt-testkit-bench-stats-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut timer = quick_timer(&dir);
+        timer.quick = false;
+        timer.sample_budget = Duration::from_micros(200);
+        let mut g = timer.benchmark_group("stats");
+        g.sample_size(5);
+        g.bench_function("sum", |b| b.iter(|| (0..500).sum::<u64>()));
+        let r = &g.records[0];
+        assert_eq!(r.samples, 5);
+        assert!(r.iters_per_sample >= 1);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        assert!(r.min_ns > 0.0);
+        drop(g);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "never called Bencher::iter")]
+    fn forgetting_iter_is_an_error() {
+        let dir = std::env::temp_dir().join("subvt-testkit-bench-noiter-test");
+        let mut timer = quick_timer(&dir);
+        let mut g = timer.benchmark_group("broken");
+        g.bench_function("empty", |_b| {});
+    }
+}

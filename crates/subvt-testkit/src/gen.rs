@@ -1,0 +1,232 @@
+//! Value generators with shrinking.
+//!
+//! A [`Gen`] both *generates* random values and proposes *shrink
+//! candidates* for a failing value — strictly simpler variants tried in
+//! order, so a failure report shows the smallest input the harness
+//! could find, not the random monster that first tripped the property.
+
+use subvt_rng::{Rng, StdRng};
+
+/// A generator of test values.
+///
+/// Implemented for primitive `Range`s (`0.12f64..1.3`, `0usize..5`),
+/// tuples of generators (one per property argument), and the [`vec`]
+/// combinator — the same surface the workspace's former `proptest`
+/// strategies covered.
+pub trait Gen {
+    /// The generated type.
+    type Value: Clone + std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Proposes simpler variants of a failing value, simplest first.
+    /// Returning an empty vector ends shrinking.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value>;
+}
+
+macro_rules! impl_gen_int_range {
+    ($($t:ty),*) => {$(
+        impl Gen for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let lo = self.start;
+                let v = *value;
+                if v == lo {
+                    return Vec::new();
+                }
+                // Towards the range start: the start itself, the
+                // midpoint, one step down.
+                let mut out = vec![lo];
+                let mid = lo + (v - lo) / 2;
+                if mid != lo && mid != v {
+                    out.push(mid);
+                }
+                out.push(v - 1);
+                out.dedup();
+                out
+            }
+        }
+    )*};
+}
+
+impl_gen_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_gen_float_range {
+    ($($t:ty),*) => {$(
+        impl Gen for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let lo = self.start;
+                let v = *value;
+                // Floats shrink by halving the distance to the range
+                // start; stop once the step is negligible (or the
+                // value is at/below the start, including NaN).
+                if v <= lo || v.is_nan() || (v - lo) < (self.end - lo) * 1e-6 {
+                    return Vec::new();
+                }
+                vec![lo, lo + (v - lo) / 2.0]
+            }
+        }
+    )*};
+}
+
+impl_gen_float_range!(f32, f64);
+
+/// A vector generator: `len_range.start ..< len_range.end` elements,
+/// each drawn from `element`.
+///
+/// The drop-in replacement for `proptest::collection::vec`.
+pub fn vec<G: Gen>(element: G, len_range: std::ops::Range<usize>) -> VecGen<G> {
+    assert!(
+        len_range.start < len_range.end,
+        "empty length range {len_range:?}"
+    );
+    VecGen { element, len_range }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecGen<G> {
+    element: G,
+    len_range: std::ops::Range<usize>,
+}
+
+impl<G: Gen> Gen for VecGen<G> {
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<G::Value> {
+        let len = rng.gen_range(self.len_range.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<G::Value>) -> Vec<Vec<G::Value>> {
+        let mut out = Vec::new();
+        let min = self.len_range.start;
+        // Structural shrinks first: halve, drop one element.
+        if value.len() > min {
+            out.push(value[..min.max(value.len() / 2)].to_vec());
+            let mut minus_one = value.clone();
+            minus_one.pop();
+            out.push(minus_one);
+        }
+        // Then element-wise shrinks, first candidate per position.
+        for (i, v) in value.iter().enumerate() {
+            if let Some(simpler) = self.element.shrink(v).into_iter().next() {
+                let mut copy = value.clone();
+                copy[i] = simpler;
+                out.push(copy);
+            }
+        }
+        out.dedup_by(|a, b| format!("{a:?}") == format!("{b:?}"));
+        out
+    }
+}
+
+macro_rules! impl_gen_tuple {
+    ($( ($($g:ident / $idx:tt),+) ),+ $(,)?) => {$(
+        impl<$($g: Gen),+> Gen for ($($g,)+) {
+            type Value = ($($g::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($( self.$idx.generate(rng), )+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                // One component at a time, holding the others fixed.
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut copy = value.clone();
+                        copy.$idx = candidate;
+                        out.push(copy);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+impl_gen_tuple!(
+    (A / 0),
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3),
+    (A / 0, B / 1, C / 2, D / 3, E / 4),
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_range_generates_in_bounds() {
+        let g = 3u32..17;
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!((0..1000).all(|_| (3..17).contains(&g.generate(&mut rng))));
+    }
+
+    #[test]
+    fn int_shrink_moves_towards_start() {
+        let g = 3u32..100;
+        assert!(g.shrink(&3).is_empty());
+        let candidates = g.shrink(&90);
+        assert_eq!(candidates[0], 3);
+        assert!(candidates.iter().all(|&c| c < 90));
+    }
+
+    #[test]
+    fn float_shrink_terminates() {
+        let g = 0.5f64..2.0;
+        let mut v = 1.9;
+        let mut steps = 0;
+        while let Some(&next) = g.shrink(&v).first() {
+            // Always take the aggressive candidate; must hit bottom.
+            v = next;
+            steps += 1;
+            assert!(steps < 10, "shrink must converge fast when greedy");
+        }
+        assert_eq!(v, 0.5);
+    }
+
+    #[test]
+    fn vec_generates_length_in_range() {
+        let g = vec(0u8..3, 1..200);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = g.generate(&mut rng);
+            assert!((1..200).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 3));
+        }
+    }
+
+    #[test]
+    fn vec_shrink_offers_shorter_candidates() {
+        let g = vec(0u8..10, 1..50);
+        let value = std::vec![9, 8, 7, 6];
+        let candidates = g.shrink(&value);
+        assert!(candidates.iter().any(|c| c.len() < value.len()));
+        assert!(candidates.iter().any(|c| c.len() == value.len()));
+    }
+
+    #[test]
+    fn tuple_shrink_changes_one_component() {
+        let g = (0u32..10, 0u32..10);
+        for candidate in g.shrink(&(5, 7)) {
+            let changed = usize::from(candidate.0 != 5) + usize::from(candidate.1 != 7);
+            assert_eq!(changed, 1, "{candidate:?}");
+        }
+    }
+}

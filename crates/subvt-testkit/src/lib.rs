@@ -1,0 +1,487 @@
+//! Hermetic test infrastructure for the subvt workspace.
+//!
+//! Two in-tree subsystems replace the external dev-dependencies the
+//! offline build cannot fetch:
+//!
+//! * a **property-test harness** ([`Checker`], the [`properties!`]
+//!   macro, the [`Gen`] trait) with shrinking and a regression-seed
+//!   replay file — the `proptest` replacement;
+//! * a **bench timer** ([`bench`]) with warmup, median-of-N sampling
+//!   and `BENCH_<group>.json` reports — the `criterion` replacement.
+//!
+//! Everything is seeded deterministically: a property's case sequence
+//! is a pure function of the property's name (override with
+//! `SUBVT_PROP_SEED`), so two consecutive `cargo test` runs execute
+//! byte-identical draws.
+//!
+//! # Writing properties
+//!
+//! ```
+//! use subvt_testkit::prelude::*;
+//!
+//! properties! {
+//!     cases = 64;
+//!
+//!     /// Addition never loses items.
+//!     fn sum_is_monotone(a in 0u32..1000, b in 1u32..1000) {
+//!         prop_assert!(a + b > a, "{a} + {b} must exceed {a}");
+//!     }
+//! }
+//! # fn main() {}
+//! ```
+//!
+//! On failure the harness shrinks the input towards the range starts,
+//! prints the minimal counterexample with its case seed, and appends a
+//! `cc <name> <seed>` line to `tests/testkit-regressions.txt` so the
+//! case replays first on every subsequent run.
+
+pub mod bench;
+pub mod gen;
+
+pub use gen::{vec, Gen, VecGen};
+
+use subvt_rng::{splitmix64, StdRng};
+
+/// Items a property body needs in scope.
+pub mod prelude {
+    pub use crate::gen::{vec, Gen};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, properties, Checker, PropError};
+}
+
+/// Why a property case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PropError {
+    /// The property is false for this input.
+    Fail(String),
+    /// The input does not satisfy the property's assumptions
+    /// ([`prop_assume!`]); the case is discarded, not failed.
+    Reject,
+}
+
+impl PropError {
+    /// A failure with a message.
+    pub fn fail(msg: impl Into<String>) -> PropError {
+        PropError::Fail(msg.into())
+    }
+}
+
+/// The result of one property-case execution.
+pub type PropResult = Result<(), PropError>;
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::PropError::fail(::std::format!(
+                "assertion failed: {}",
+                ::core::stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::PropError::fail(::std::format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::core::result::Result::Err($crate::PropError::fail(::std::format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                ::core::stringify!($left),
+                ::core::stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Discards the current case when its input violates an assumption.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::PropError::Reject);
+        }
+    };
+}
+
+/// Declares a block of property tests.
+///
+/// Each `fn name(arg in generator, ...) { body }` becomes a `#[test]`
+/// running `cases` random cases (default 64). Bodies use
+/// [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`].
+#[macro_export]
+macro_rules! properties {
+    (cases = $cases:expr; $($(#[$meta:meta])* fn $name:ident( $($arg:ident in $gen:expr),+ $(,)? ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                $crate::Checker::new(::core::stringify!($name))
+                    .cases($cases)
+                    .run(($($gen,)+), |($($arg,)+)| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    });
+            }
+        )*
+    };
+    ($($(#[$meta:meta])* fn $name:ident( $($arg:ident in $gen:expr),+ $(,)? ) $body:block)*) => {
+        $crate::properties!(cases = 64; $($(#[$meta])* fn $name($($arg in $gen),+) $body)*);
+    };
+}
+
+/// Runs one property over many generated cases, shrinking failures.
+#[derive(Debug, Clone)]
+pub struct Checker {
+    name: String,
+    cases: u32,
+    seed: u64,
+    regressions: Option<std::path::PathBuf>,
+}
+
+/// Default location of the regression-seed replay file, relative to the
+/// directory `cargo test` runs the suite from (the package root).
+pub const REGRESSIONS_FILE: &str = "tests/testkit-regressions.txt";
+
+impl Checker {
+    /// A checker for the named property.
+    ///
+    /// The base seed is derived from the name (so each property owns a
+    /// stable, independent stream) unless `SUBVT_PROP_SEED` overrides
+    /// it.
+    pub fn new(name: &str) -> Checker {
+        let seed = match std::env::var("SUBVT_PROP_SEED") {
+            Ok(s) => s
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("SUBVT_PROP_SEED must be a u64, got {s:?}")),
+            Err(_) => fnv1a64(name.as_bytes()),
+        };
+        Checker {
+            name: name.to_owned(),
+            cases: 64,
+            seed,
+            regressions: Some(std::path::PathBuf::from(REGRESSIONS_FILE)),
+        }
+    }
+
+    /// Sets the number of cases (default 64; `SUBVT_PROP_CASES`
+    /// overrides globally).
+    pub fn cases(mut self, cases: u32) -> Checker {
+        self.cases = cases;
+        self
+    }
+
+    /// Uses a non-default regression replay file (or `None` to disable
+    /// replay/recording).
+    pub fn regressions_file(mut self, path: Option<std::path::PathBuf>) -> Checker {
+        self.regressions = path;
+        self
+    }
+
+    /// Runs the property.
+    ///
+    /// Replays any recorded regression seeds for this property first,
+    /// then `cases` fresh cases. Panics (failing the test) with the
+    /// shrunk counterexample on the first falsified case.
+    pub fn run<G, F>(self, gen: G, mut prop: F)
+    where
+        G: Gen,
+        F: FnMut(G::Value) -> PropResult,
+    {
+        for seed in self.recorded_seeds() {
+            self.run_case(&gen, &mut prop, seed, true);
+        }
+
+        let cases = match std::env::var("SUBVT_PROP_CASES") {
+            Ok(s) => s
+                .parse::<u32>()
+                .unwrap_or_else(|_| panic!("SUBVT_PROP_CASES must be a u32, got {s:?}")),
+            Err(_) => self.cases,
+        };
+
+        let mut state = self.seed;
+        let mut executed = 0u32;
+        let mut discarded = 0u32;
+        while executed < cases {
+            let case_seed = splitmix64(&mut state);
+            match self.try_case(&gen, &mut prop, case_seed) {
+                Ok(()) => executed += 1,
+                Err(PropError::Reject) => {
+                    discarded += 1;
+                    assert!(
+                        discarded < cases.saturating_mul(10) + 100,
+                        "property {}: too many rejected cases ({discarded}) — \
+                         weaken the prop_assume! or narrow the generators",
+                        self.name
+                    );
+                }
+                Err(PropError::Fail(msg)) => {
+                    self.report_failure(&gen, &mut prop, case_seed, &msg, false);
+                }
+            }
+        }
+    }
+
+    /// Generates and runs the single case addressed by `seed`,
+    /// panicking on failure.
+    fn run_case<G, F>(&self, gen: &G, prop: &mut F, seed: u64, replay: bool)
+    where
+        G: Gen,
+        F: FnMut(G::Value) -> PropResult,
+    {
+        if let Err(PropError::Fail(msg)) = self.try_case(gen, prop, seed) {
+            self.report_failure(gen, prop, seed, &msg, replay);
+        }
+    }
+
+    fn try_case<G, F>(&self, gen: &G, prop: &mut F, seed: u64) -> PropResult
+    where
+        G: Gen,
+        F: FnMut(G::Value) -> PropResult,
+    {
+        let mut rng = StdRng::seed_from_u64(seed);
+        prop(gen.generate(&mut rng))
+    }
+
+    /// Shrinks the failing case, records its seed, and panics with the
+    /// minimal counterexample.
+    fn report_failure<G, F>(&self, gen: &G, prop: &mut F, seed: u64, msg: &str, replay: bool) -> !
+    where
+        G: Gen,
+        F: FnMut(G::Value) -> PropResult,
+    {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut value = gen.generate(&mut rng);
+        let mut message = msg.to_owned();
+        let mut shrinks = 0u32;
+        'outer: while shrinks < 1000 {
+            for candidate in gen.shrink(&value) {
+                if let Err(PropError::Fail(m)) = prop(candidate.clone()) {
+                    value = candidate;
+                    message = m;
+                    shrinks += 1;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        if !replay {
+            self.record_seed(seed);
+        }
+        let origin = if replay { " (replayed regression)" } else { "" };
+        panic!(
+            "property {} falsified{origin} after {shrinks} shrinks\n\
+             minimal input: {value:?}\n\
+             case seed: {seed}\n\
+             {message}\n\
+             (recorded in {}; the case replays first on the next run)",
+            self.name,
+            self.regressions
+                .as_deref()
+                .unwrap_or(std::path::Path::new("<disabled>"))
+                .display(),
+        );
+    }
+
+    /// Seeds recorded for this property in the regressions file.
+    fn recorded_seeds(&self) -> Vec<u64> {
+        let Some(path) = &self.regressions else {
+            return Vec::new();
+        };
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|line| {
+                let mut parts = line.split_whitespace();
+                match (parts.next(), parts.next(), parts.next()) {
+                    (Some("cc"), Some(name), Some(seed)) if name == self.name => seed.parse().ok(),
+                    _ => None,
+                }
+            })
+            .collect()
+    }
+
+    /// Best-effort append of a failing seed to the regressions file.
+    fn record_seed(&self, seed: u64) {
+        use std::io::Write as _;
+        let Some(path) = &self.regressions else {
+            return;
+        };
+        if self.recorded_seeds().contains(&seed) {
+            return;
+        }
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(f, "cc {} {}", self.name, seed);
+        }
+    }
+}
+
+/// FNV-1a 64-bit: stable name → seed derivation.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_checker(name: &str) -> Checker {
+        Checker::new(name).regressions_file(None)
+    }
+
+    #[test]
+    fn passing_property_passes() {
+        quiet_checker("always_true").cases(50).run(0u32..10, |v| {
+            prop_assert!(v < 10);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimum() {
+        let result = std::panic::catch_unwind(|| {
+            quiet_checker("fails_above_4")
+                .cases(200)
+                .run(0u32..100, |v| {
+                    prop_assert!(v <= 4, "{v} exceeds 4");
+                    Ok(())
+                });
+        });
+        let msg = *result
+            .expect_err("must falsify")
+            .downcast::<String>()
+            .unwrap();
+        // The minimal counterexample is 5 — shrinking must find it
+        // exactly, not merely something small.
+        assert!(msg.contains("minimal input: 5"), "{msg}");
+    }
+
+    #[test]
+    fn tuple_failure_shrinks_to_the_boundary() {
+        // The last failing input the property sees is the shrunk
+        // minimum; per-component shrinking must drive the sum down to
+        // exactly the failure boundary.
+        let minimal = std::cell::RefCell::new(None);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            quiet_checker("sum_bound")
+                .cases(300)
+                .run((0u32..50, 0u32..50), |(a, b)| {
+                    if a + b >= 30 {
+                        *minimal.borrow_mut() = Some((a, b));
+                    }
+                    prop_assert!(a + b < 30, "{a}+{b}");
+                    Ok(())
+                });
+        }));
+        assert!(result.is_err(), "property must falsify");
+        let (a, b) = minimal.into_inner().expect("saw a failing input");
+        assert_eq!(a + b, 30, "stopped above the boundary: ({a}, {b})");
+    }
+
+    #[test]
+    fn rejection_resamples_instead_of_failing() {
+        let mut ran = 0u32;
+        quiet_checker("assume_even").cases(20).run(0u32..100, |v| {
+            prop_assume!(v % 2 == 0);
+            ran += 1;
+            prop_assert!(v % 2 == 0);
+            Ok(())
+        });
+        assert_eq!(ran, 20, "all counted cases must satisfy the assumption");
+    }
+
+    #[test]
+    #[should_panic(expected = "too many rejected cases")]
+    fn impossible_assumption_gives_up() {
+        quiet_checker("assume_never").cases(10).run(0u32..100, |_| {
+            prop_assume!(false);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn case_sequence_is_deterministic() {
+        let collect = || {
+            let mut values = Vec::new();
+            quiet_checker("stable_stream")
+                .cases(30)
+                .run(0u64..1_000_000, |v| {
+                    values.push(v);
+                    Ok(())
+                });
+            values
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn different_properties_draw_different_streams() {
+        let collect = |name: &str| {
+            let mut values = Vec::new();
+            quiet_checker(name).cases(10).run(0u64..1_000_000, |v| {
+                values.push(v);
+                Ok(())
+            });
+            values
+        };
+        assert_ne!(collect("stream_a"), collect("stream_b"));
+    }
+
+    #[test]
+    fn regression_file_round_trip() {
+        let dir = std::env::temp_dir().join("subvt-testkit-regress-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("regressions.txt");
+        let checker = || {
+            Checker::new("recorded_prop")
+                .cases(100)
+                .regressions_file(Some(path.clone()))
+        };
+        let failing = std::panic::catch_unwind(|| {
+            checker().run(0u32..100, |v| {
+                prop_assert!(v < 90, "{v}");
+                Ok(())
+            });
+        });
+        assert!(failing.is_err());
+        let recorded = std::fs::read_to_string(&path).expect("seed recorded");
+        assert!(recorded.starts_with("cc recorded_prop "), "{recorded}");
+
+        // The recorded seed replays (and still fails) before fresh cases.
+        let replayed = std::panic::catch_unwind(|| {
+            checker().run(0u32..100, |v| {
+                prop_assert!(v < 90, "{v}");
+                Ok(())
+            });
+        });
+        let msg = *replayed
+            .expect_err("must refail")
+            .downcast::<String>()
+            .unwrap();
+        assert!(msg.contains("replayed regression"), "{msg}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

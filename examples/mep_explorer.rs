@@ -47,12 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("By process corner (α = 0.1, 25 °C) — the paper's Fig. 1:");
         let ring = CircuitProfile::ring_oscillator();
         for corner in ProcessCorner::ALL {
-            sweep_and_report(
-                &tech,
-                &ring,
-                Environment::at_corner(corner),
-                corner.name(),
-            )?;
+            sweep_and_report(&tech, &ring, Environment::at_corner(corner), corner.name())?;
         }
         println!();
     }
@@ -72,7 +67,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     if which == "activity" || which == "all" {
-        println!("By switching factor (TT, 25 °C) — why different computations need different Vdd:");
+        println!(
+            "By switching factor (TT, 25 °C) — why different computations need different Vdd:"
+        );
         for activity in [0.02, 0.05, 0.1, 0.3, 0.6] {
             let profile = CircuitProfile::ring_oscillator().with_activity(activity);
             sweep_and_report(

@@ -25,9 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- 1. AVS (the paper): shift the supply one LSB up.
     let avs_residual = sensor.sense(&tech, 12, word_voltage(13), env, slow_die)?;
-    println!(
-        "AVS   : supply 225.00 mV (word 12+1) → sensor residual {avs_residual} LSB"
-    );
+    println!("AVS   : supply 225.00 mV (word 12+1) → sensor residual {avs_residual} LSB");
 
     // --- 2. ABB: park the supply at the design word, forward-bias the wells.
     let mut abb = AbbCompensator::new(BodyEffect::bulk_130nm());

@@ -11,7 +11,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Subthreshold logic has a minimum-energy point (MEP) below Vth.
     let ring = CircuitProfile::ring_oscillator();
-    let mep = find_mep(&tech, &ring, Environment::nominal(), Volts(0.12), Volts(0.6))?;
+    let mep = find_mep(
+        &tech,
+        &ring,
+        Environment::nominal(),
+        Volts(0.12),
+        Volts(0.6),
+    )?;
     println!(
         "1. Ring-oscillator MEP at the typical corner: {:.0} mV, {:.2} fJ/op (paper: 200 mV, 2.65 fJ)",
         mep.vopt.millivolts(),

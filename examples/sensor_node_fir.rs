@@ -11,10 +11,10 @@
 //! cargo run --example sensor_node_fir
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use subvt::prelude::*;
 use subvt_device::units::Hertz;
+use subvt_rng::Rng;
+use subvt_rng::StdRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tech = Technology::st_130nm();
@@ -28,8 +28,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|i| {
             let t = f64::from(i);
             let tone = (t * 0.05 * std::f64::consts::TAU).sin() * 0.4;
-            let noise = (t * 0.45 * std::f64::consts::TAU).sin() * 0.3
-                + (rng.gen::<f64>() - 0.5) * 0.1;
+            let noise =
+                (t * 0.45 * std::f64::consts::TAU).sin() * 0.3 + (rng.gen::<f64>() - 0.5) * 0.1;
             ((tone + noise) * q15) as i32
         })
         .collect();

@@ -9,10 +9,9 @@
 //!
 //! The human-readable summary goes to stderr; the VCD to stdout.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use subvt::prelude::*;
 use subvt_core::drift::{run_with_drift, DriftSchedule};
+use subvt_rng::StdRng;
 use subvt_sim::vcd::VcdWriter;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -9,10 +9,9 @@
 //! cargo run --release --example variation_monte_carlo
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::collections::BTreeMap;
 use subvt::prelude::*;
+use subvt_rng::{Rng, StdRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     const DIES: usize = 40;
@@ -24,9 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut uncorrected_excess = Vec::with_capacity(DIES);
 
     for die in 0..DIES {
-        let variation = model.sample_die(&mut rng);
-        let mut scenario =
-            Scenario::paper_worked_example().with_actual_env(Environment::nominal());
+        // Each die owns a label-addressed stream forked off the root
+        // seed, so rerunning a single die reproduces it exactly.
+        let mut die_rng = rng.fork(&format!("die-{die}"));
+        let variation = model.sample_die(&mut die_rng);
+        let mut scenario = Scenario::paper_worked_example().with_actual_env(Environment::nominal());
         scenario.name = format!("die-{die}");
         scenario.die = variation.mean_gate();
         scenario.seed = 5_000 + die as u64;

@@ -1,7 +1,7 @@
 //! Argument parsing and command dispatch for the `subvt` CLI.
 //!
-//! Hand-rolled (the workspace's dependency budget is `rand`/`proptest`/
-//! `criterion` only) but fully testable: [`Command::parse`] is pure.
+//! Hand-rolled (the workspace has a zero-external-dependency policy;
+//! see DESIGN.md) but fully testable: [`Command::parse`] is pure.
 
 use std::fmt;
 use std::str::FromStr;
@@ -173,9 +173,7 @@ impl Command {
                 }
                 "--corner" => {
                     let v: String = parse_value(flag, value)?;
-                    op.corner = v
-                        .parse()
-                        .map_err(|e| err(format!("{e}")))?;
+                    op.corner = v.parse().map_err(|e| err(format!("{e}")))?;
                     i += 2;
                 }
                 "--temp" => {
@@ -376,10 +374,7 @@ impl Command {
                     .map_err(|e| e.to_string())?;
                 let mut out = String::new();
                 for (row, &(label, paper)) in rows.iter().zip(PAPER_SIGNATURES.iter()) {
-                    out.push_str(&format!(
-                        "{label}: {}   (paper {paper})\n",
-                        row.hex()
-                    ));
+                    out.push_str(&format!("{label}: {}   (paper {paper})\n", row.hex()));
                 }
                 Ok(out)
             }

@@ -55,13 +55,15 @@ pub use subvt_tdc;
 /// The most commonly used items across the stack, for glob import.
 pub mod prelude {
     pub use subvt_core::{
-        compare_dither, design_rate_controller, fig6_schedule, compare_idle_policies, overhead_per_cycle,
-        run_transient, run_with_drift, savings_experiment, AbbCompensator, AdaptiveController, BootSequence, BootState,
-        CompensationPolicy, ControllerConfig, ControllerInventory, DitherPlan, DriftSchedule,
-        NetSavings, RateController, RunSummary, SavingsReport, Scenario, SupplyKind,
-        SupplyPolicy,
+        compare_dither, compare_idle_policies, design_rate_controller, fig6_schedule,
+        overhead_per_cycle, run_transient, run_with_drift, savings_experiment, AbbCompensator,
+        AdaptiveController, BootSequence, BootState, CompensationPolicy, ControllerConfig,
+        ControllerInventory, DitherPlan, DriftSchedule, NetSavings, RateController, RunSummary,
+        SavingsReport, Scenario, SupplyKind, SupplyPolicy,
     };
-    pub use subvt_dcdc::{ConverterParams, DcDcConverter, IdealConverter, ModulationMode, NoLoad, ResistiveLoad};
+    pub use subvt_dcdc::{
+        ConverterParams, DcDcConverter, IdealConverter, ModulationMode, NoLoad, ResistiveLoad,
+    };
     pub use subvt_device::{
         energy_per_cycle, energy_sweep, find_mep, sizing_sweep, BodyBias, BodyEffect,
         CircuitProfile, DieVariation, Environment, GateKind, GateMismatch, GateTiming, Joules,
@@ -69,8 +71,7 @@ pub mod prelude {
     };
     pub use subvt_digital::{Comparison, Fifo, MagnitudeComparator, PwmGenerator, VoltageLut};
     pub use subvt_loads::{
-        CircuitLoad, FirFilter, RingOscillator, RippleCarryAdder, WorkloadPattern,
-        WorkloadSource,
+        CircuitLoad, FirFilter, RingOscillator, RippleCarryAdder, WorkloadPattern, WorkloadSource,
     };
     pub use subvt_tdc::{
         reproduce_table1, voltage_word, word_voltage, CounterSensor, DelayLine, Quantizer,

@@ -113,7 +113,14 @@ fn sensor_deviation_matches_mep_shift_direction_for_corners() {
     let tech = Technology::st_130nm();
     let ring = CircuitProfile::ring_oscillator();
     let sensor = VariationSensor::new(&tech, Environment::nominal(), SensorConfig::default());
-    let tt_mep = find_mep(&tech, &ring, Environment::nominal(), Volts(0.12), Volts(0.6)).unwrap();
+    let tt_mep = find_mep(
+        &tech,
+        &ring,
+        Environment::nominal(),
+        Volts(0.12),
+        Volts(0.6),
+    )
+    .unwrap();
 
     for corner in [ProcessCorner::Ss, ProcessCorner::Ff] {
         let env = Environment::at_corner(corner);
@@ -134,7 +141,6 @@ fn sensor_deviation_matches_mep_shift_direction_for_corners() {
 
 #[test]
 fn controller_on_ideal_and_switched_supplies_agree_on_steady_state() {
-    use rand::SeedableRng;
     let tech = Technology::st_130nm();
     let design = Environment::nominal();
     let rate = design_rate_controller(&tech, design).expect("designable");
@@ -152,7 +158,7 @@ fn controller_on_ideal_and_switched_supplies_agree_on_steady_state() {
             ControllerConfig::default(),
         );
         let mut wl = WorkloadSource::new(WorkloadPattern::Constant { per_cycle: 0 });
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = subvt_rng::StdRng::seed_from_u64(0);
         c.run(&mut wl, 150, &mut rng);
         c.vout()
     };
@@ -217,9 +223,8 @@ fn structural_quantizer_matches_analytic_snapshot() {
     nl.drive_clock(input, SimTime::ZERO, period_fs, high_fs, 6);
     // Sample inside period 4 (steady state), at the anchor offset past
     // that period's rising edge.
-    let sample_at = SimTime::ZERO
-        + period_fs * 4
-        + SimDuration::from_seconds(cell.value() * anchor_cells);
+    let sample_at =
+        SimTime::ZERO + period_fs * 4 + SimDuration::from_seconds(cell.value() * anchor_cells);
     nl.run_until(sample_at, 10_000_000);
     nl.drive(dff_clk, Logic::High, sample_at);
     nl.run_until(sample_at + SimDuration::from_nanos(1), 10_000_000);
@@ -236,8 +241,7 @@ fn structural_quantizer_matches_analytic_snapshot() {
     // structural line has two half-cell gates per stage, so edge
     // positions may differ by one stage at the boundary. Compare the
     // decoded edge positions with that tolerance.
-    let structural_word =
-        subvt_digital::encoder::QuantizerWord::new(stages, structural_bits);
+    let structural_word = subvt_digital::encoder::QuantizerWord::new(stages, structural_bits);
     let analytic_code = analytic.encode().expect("clean burst");
     let structural_code = structural_word
         .encode_bubble_tolerant()

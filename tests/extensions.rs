@@ -2,7 +2,6 @@
 //! sequencing, drift tracking, overhead accounting, dithering, idle
 //! policies and the alternative TDC methods — wired across crates.
 
-use rand::SeedableRng;
 use subvt::prelude::*;
 use subvt_core::drift::{run_with_drift, DriftSchedule};
 use subvt_core::idle_policy::compare_idle_policies;
@@ -41,7 +40,14 @@ fn boot_then_adapt_end_to_end() {
     let mut converter = DcDcConverter::new(ConverterParams::default(), Box::new(NoLoad));
     let mut boot = BootSequence::new(12, 30);
     let state = boot
-        .run(&mut converter, &sensor, &tech, env, GateMismatch::NOMINAL, 300)
+        .run(
+            &mut converter,
+            &sensor,
+            &tech,
+            env,
+            GateMismatch::NOMINAL,
+            300,
+        )
         .expect("sensor usable");
     // One LSB of corner shift passes the |dev| ≤ 1 gate.
     assert!(matches!(state, BootState::Ready { .. }), "{state:?}");
@@ -60,7 +66,7 @@ fn boot_then_adapt_end_to_end() {
         ControllerConfig::default(),
     );
     let mut wl = WorkloadSource::new(WorkloadPattern::Constant { per_cycle: 0 });
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng = subvt_rng::StdRng::seed_from_u64(1);
     let summary = controller.run(&mut wl, 30, &mut rng);
     assert!((1..=2).contains(&summary.compensation));
 }
@@ -69,7 +75,7 @@ fn boot_then_adapt_end_to_end() {
 fn drift_and_monte_carlo_compose() {
     // A sampled slow-ish die *and* a temperature step, tracked live.
     let model = VariationModel::st_130nm();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(40);
+    let mut rng = subvt_rng::StdRng::seed_from_u64(40);
     // Draw dies until a clearly slow one appears (deterministic seed).
     let die = loop {
         let d = model.sample_die(&mut rng);
@@ -183,8 +189,7 @@ fn idle_policy_and_controller_agree_on_the_operating_point() {
     let tech = Technology::st_130nm();
     let env = Environment::nominal();
     let ring = RingOscillator::paper_circuit();
-    let cmp =
-        compare_idle_policies(&tech, &ring, env, Hertz(100e3), Volts(0.6), 0.05).unwrap();
+    let cmp = compare_idle_policies(&tech, &ring, env, Hertz(100e3), Volts(0.6), 0.05).unwrap();
 
     let rate = design_rate_controller(&tech, env).unwrap();
     let mut controller = AdaptiveController::new(
@@ -204,7 +209,7 @@ fn idle_policy_and_controller_agree_on_the_operating_point() {
         busy_cycles: 10,
         idle_cycles: 90,
     });
-    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let mut rng = subvt_rng::StdRng::seed_from_u64(9);
     let summary = controller.run(&mut wl, 1_000, &mut rng);
     let diff = (summary.mean_vout - cmp.dvs.vdd).millivolts().abs();
     assert!(
@@ -219,7 +224,6 @@ fn idle_policy_and_controller_agree_on_the_operating_point() {
 fn the_whole_stack_works_on_the_65nm_node() {
     // Re-run the paper's worked example on the second technology
     // preset: design at TT, fabricate slow, let the sensor correct.
-    use rand::SeedableRng;
     use subvt_core::RateController;
     use subvt_device::units::Hertz;
 
@@ -260,7 +264,7 @@ fn the_whole_stack_works_on_the_65nm_node() {
         ControllerConfig::default(),
     );
     let mut wl = WorkloadSource::new(WorkloadPattern::Constant { per_cycle: 0 });
-    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let mut rng = subvt_rng::StdRng::seed_from_u64(21);
     let summary = controller.run(&mut wl, 40, &mut rng);
     assert!(
         (1..=2).contains(&summary.compensation),

@@ -2,13 +2,13 @@
 //! flaky measurements and overload bursts — the system must degrade
 //! gracefully, never diverge.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use subvt::prelude::*;
 use subvt_dcdc::ConstantLoad;
 use subvt_device::units::Amps;
 use subvt_digital::encoder::QuantizerWord;
 use subvt_digital::voter::MedianVoter;
+use subvt_rng::Rng;
+use subvt_rng::StdRng;
 use subvt_tdc::MetastabilityModel;
 
 #[test]
@@ -113,7 +113,7 @@ fn converter_survives_a_100x_load_step() {
 
 #[test]
 fn controller_recovers_from_an_overload_burst() {
-    use rand::rngs::StdRng;
+    use subvt_rng::StdRng;
     let tech = Technology::st_130nm();
     let design = Environment::nominal();
     let rate = design_rate_controller(&tech, design).expect("designable");
@@ -172,7 +172,8 @@ fn boot_retries_then_fails_rather_than_handing_over_a_bad_chip() {
     use subvt::prelude::{BootSequence, BootState};
     let tech = Technology::st_130nm();
     let sensor = VariationSensor::new(&tech, Environment::nominal(), SensorConfig::default());
-    let mut converter = DcDcConverter::new(ConverterParams::default(), Box::new(subvt_dcdc::NoLoad));
+    let mut converter =
+        DcDcConverter::new(ConverterParams::default(), Box::new(subvt_dcdc::NoLoad));
     let mut boot = BootSequence::new(12, 8);
     // A catastrophically slow die (way beyond any corner).
     let broken = GateMismatch {

@@ -47,12 +47,8 @@ fn sec2_nmos_vth_by_corner() {
     let t = tech();
     let base = t.nmos.vth0;
     assert!((base.millivolts() - 287.0).abs() < 1e-9);
-    assert!(
-        ((base + ProcessCorner::Ss.nmos_vth_shift()).millivolts() - 302.0).abs() < 1e-9
-    );
-    assert!(
-        ((base + ProcessCorner::Ff.nmos_vth_shift()).millivolts() - 272.0).abs() < 1e-9
-    );
+    assert!(((base + ProcessCorner::Ss.nmos_vth_shift()).millivolts() - 302.0).abs() < 1e-9);
+    assert!(((base + ProcessCorner::Ff.nmos_vth_shift()).millivolts() - 272.0).abs() < 1e-9);
 }
 
 #[test]
@@ -98,7 +94,14 @@ fn sec2_vopt_and_energy_spread() {
     let meps: Vec<_> = ProcessCorner::FIGURE_CORNERS
         .iter()
         .map(|&c| {
-            find_mep(&t, &ring, Environment::at_corner(c), Volts(0.12), Volts(0.6)).unwrap()
+            find_mep(
+                &t,
+                &ring,
+                Environment::at_corner(c),
+                Volts(0.12),
+                Volts(0.6),
+            )
+            .unwrap()
         })
         .collect();
     let vs: Vec<f64> = meps.iter().map(|m| m.vopt.volts()).collect();
@@ -108,8 +111,16 @@ fn sec2_vopt_and_energy_spread() {
         let hi = v.iter().copied().fold(f64::MIN, f64::max);
         (hi - lo) / lo
     };
-    assert!((spread(&vs) - 0.25).abs() < 0.03, "Vopt spread {}", spread(&vs));
-    assert!((spread(&es) - 0.55).abs() < 0.05, "E spread {}", spread(&es));
+    assert!(
+        (spread(&vs) - 0.25).abs() < 0.03,
+        "Vopt spread {}",
+        spread(&vs)
+    );
+    assert!(
+        (spread(&es) - 0.55).abs() < 0.05,
+        "E spread {}",
+        spread(&es)
+    );
 }
 
 #[test]
@@ -119,8 +130,22 @@ fn sec2_fig2_temperature_moves_the_mep_up() {
     // see EXPERIMENTS.md).
     let t = tech();
     let ring = CircuitProfile::ring_oscillator();
-    let cold = find_mep(&t, &ring, Environment::at_celsius(25.0), Volts(0.12), Volts(0.9)).unwrap();
-    let hot = find_mep(&t, &ring, Environment::at_celsius(85.0), Volts(0.12), Volts(0.9)).unwrap();
+    let cold = find_mep(
+        &t,
+        &ring,
+        Environment::at_celsius(25.0),
+        Volts(0.12),
+        Volts(0.9),
+    )
+    .unwrap();
+    let hot = find_mep(
+        &t,
+        &ring,
+        Environment::at_celsius(85.0),
+        Volts(0.12),
+        Volts(0.9),
+    )
+    .unwrap();
     assert!((cold.vopt.millivolts() - 200.0).abs() < 5.0);
     assert!((hot.vopt.millivolts() - 250.0).abs() < 10.0);
     assert!(hot.energy.value() > 1.2 * cold.energy.value());
@@ -241,14 +266,16 @@ fn sec4_controller_works_with_the_fir_load() {
     // "We have also examined the capability when the load is a 9-tap
     // FIR filter. It is observed that the proposed controller behaving
     // as expected."
-    use rand::SeedableRng;
     let t = tech();
     let fir = FirFilter::lowpass_9tap();
     let rate = RateController::design(
         &t,
         &fir,
         Environment::nominal(),
-        &[(8, subvt_device::units::Hertz(200e3)), (32, subvt_device::units::Hertz(2e6))],
+        &[
+            (8, subvt_device::units::Hertz(200e3)),
+            (32, subvt_device::units::Hertz(2e6)),
+        ],
     )
     .expect("designable");
     let mut controller = AdaptiveController::new(
@@ -263,7 +290,7 @@ fn sec4_controller_works_with_the_fir_load() {
         ControllerConfig::default(),
     );
     let mut wl = WorkloadSource::new(WorkloadPattern::Constant { per_cycle: 1 });
-    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut rng = subvt_rng::StdRng::seed_from_u64(5);
     let summary = controller.run(&mut wl, 500, &mut rng);
     assert_eq!(summary.dropped, 0);
     assert!(summary.compensation >= 1, "slow die sensed on the FIR too");

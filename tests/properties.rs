@@ -1,15 +1,14 @@
 //! Property-based tests over cross-crate invariants.
 
-use proptest::prelude::*;
 use subvt::prelude::*;
 use subvt_digital::encoder::QuantizerWord;
+use subvt_testkit::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+properties! {
+    cases = 64;
 
     /// Delay decreases monotonically with supply voltage at any corner
     /// and temperature in range.
-    #[test]
     fn delay_monotone_in_vdd(
         v1 in 0.12f64..1.3,
         dv in 0.01f64..0.2,
@@ -27,7 +26,6 @@ proptest! {
 
     /// Total per-op energy is the sum of its parts and all parts are
     /// non-negative everywhere in the operating envelope.
-    #[test]
     fn energy_decomposition_is_consistent(
         v in 0.11f64..1.2,
         activity in 0.01f64..1.0,
@@ -47,7 +45,6 @@ proptest! {
 
     /// The located MEP never beats any sweep sample (it is a true
     /// minimum) for any activity.
-    #[test]
     fn mep_is_global_minimum(activity in 0.02f64..0.8) {
         let tech = Technology::st_130nm();
         let profile = CircuitProfile::ring_oscillator().with_activity(activity);
@@ -62,7 +59,6 @@ proptest! {
 
     /// Quantizer codes are monotone in cell delay: slower cells never
     /// produce a larger edge position.
-    #[test]
     fn quantizer_code_monotone_in_cell_delay(
         base_ps in 200.0f64..2_000.0,
         factor in 1.01f64..1.8,
@@ -83,7 +79,6 @@ proptest! {
     }
 
     /// Thermometer encoding round-trips for any clean leading run.
-    #[test]
     fn thermometer_encode_round_trip(run in 1u32..63) {
         let bits = (1u64 << run) - 1;
         let w = QuantizerWord::new(64, bits);
@@ -92,8 +87,7 @@ proptest! {
     }
 
     /// A FIFO never loses accepted items: pushes - pops = occupancy.
-    #[test]
-    fn fifo_conservation(ops in proptest::collection::vec(0u8..3, 1..200)) {
+    fn fifo_conservation(ops in vec(0u8..3, 1..200)) {
         let mut fifo: Fifo<u32> = Fifo::new(16);
         let mut pushed_ok = 0u64;
         let mut popped = 0u64;
@@ -117,7 +111,6 @@ proptest! {
 
     /// The rate controller's designed LUT is monotone: more queue
     /// pressure never lowers the voltage word.
-    #[test]
     fn designed_lut_is_monotone(q1 in 0usize..64, q2 in 0usize..64) {
         let tech = Technology::st_130nm();
         let rate = design_rate_controller(&tech, Environment::nominal()).unwrap();
@@ -127,7 +120,6 @@ proptest! {
 
     /// Sensor deviations respond with the correct sign to die-level
     /// threshold shifts.
-    #[test]
     fn sensor_sign_tracks_die_shift(shift_mv in -25.0f64..25.0) {
         // One deviation LSB corresponds to ≈18.75 mV of effective Vth
         // shift, so anything below ~half an LSB legitimately reads 0.
@@ -150,7 +142,6 @@ proptest! {
 
     /// The switched converter's settled mean tracks the word voltage
     /// within one LSB for any word in the usable band.
-    #[test]
     fn converter_accuracy_within_one_lsb(word in 6u8..62) {
         let mut c = DcDcConverter::new(ConverterParams::default(), Box::new(NoLoad));
         c.set_word(word);
@@ -162,7 +153,6 @@ proptest! {
 
     /// Pulse-shrinking conversion is linear: doubling the pulse width
     /// roughly doubles the vanish count.
-    #[test]
     fn pulse_shrink_linearity(width_ns in 1.0f64..50.0) {
         use subvt_tdc::{PulseShrinkRing, PulseShrinkStage};
         let ring = PulseShrinkRing::new(
@@ -177,11 +167,10 @@ proptest! {
     }
 }
 
-/// Deterministic (non-proptest) cross-crate property: controller energy
+/// Deterministic (non-harness) cross-crate property: controller energy
 /// accounting is additive across runs of the same seed.
 #[test]
 fn controller_runs_are_deterministic() {
-    use rand::SeedableRng;
     let run = || {
         let tech = Technology::st_130nm();
         let rate = design_rate_controller(&tech, Environment::nominal()).unwrap();
@@ -197,7 +186,7 @@ fn controller_runs_are_deterministic() {
             ControllerConfig::default(),
         );
         let mut wl = WorkloadSource::new(WorkloadPattern::Poisson { mean: 0.4 });
-        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let mut rng = subvt_rng::StdRng::seed_from_u64(77);
         c.run(&mut wl, 400, &mut rng)
     };
     let a = run();
@@ -207,20 +196,18 @@ fn controller_runs_are_deterministic() {
     assert!((a.account.total().value() - b.account.total().value()).abs() < 1e-30);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+properties! {
+    cases = 24;
 
     /// System-level convergence: for any corner, moderate temperature
     /// and bounded die shift, the idle controller settles with a
     /// residual sensed deviation of at most one LSB within 60 cycles.
-    #[test]
     fn controller_converges_for_any_reasonable_die(
         corner_idx in 0usize..5,
         celsius in 10.0f64..50.0,
         shift_mv in -20.0f64..20.0,
         seed in 0u64..1000,
     ) {
-        use rand::SeedableRng;
         let tech = Technology::st_130nm();
         let design = Environment::nominal();
         let rate = design_rate_controller(&tech, design).unwrap();
@@ -242,7 +229,7 @@ proptest! {
             ControllerConfig::default(),
         );
         let mut wl = WorkloadSource::new(WorkloadPattern::Constant { per_cycle: 0 });
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = subvt_rng::StdRng::seed_from_u64(seed);
         c.run(&mut wl, 60, &mut rng);
         // Settled: the last 10 cycles' sensed deviations are all ≤ 1
         // LSB in magnitude (or sensing was budget-clamped, which pins
