@@ -72,9 +72,10 @@ fn bench(c: &mut Timer) {
         })
     });
     g.bench_function("yield_study_100_dies", |b| {
-        use subvt_core::yield_study::{yield_study, YieldSpec};
+        use subvt_core::yield_study::{yield_study_jobs, YieldSpec};
         use subvt_device::units::{Hertz, Joules};
         use subvt_device::variation::VariationModel;
+        use subvt_exec::ExecConfig;
         use subvt_loads::ring_oscillator::RingOscillator;
         let ring = RingOscillator::paper_circuit();
         let model = VariationModel::st_130nm();
@@ -82,9 +83,10 @@ fn bench(c: &mut Timer) {
             min_rate: Hertz(110e3),
             max_energy_per_op: Joules::from_femtos(2.9),
         };
+        let cfg = ExecConfig::from_env();
         b.iter(|| {
             let mut rng = subvt_rng::StdRng::seed_from_u64(1);
-            yield_study(&tech, &ring, env, &model, spec, 11, 11, 100, &mut rng)
+            yield_study_jobs(&cfg, &tech, &ring, env, &model, spec, 11, 11, 100, &mut rng)
         })
     });
     g.bench_function("drift_run_200_cycles", |b| {

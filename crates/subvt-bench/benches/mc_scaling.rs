@@ -1,0 +1,44 @@
+//! Scaling of the savings Monte-Carlo across `subvt-exec` worker
+//! counts.
+//!
+//! Every leg computes the exact same rows (the determinism contract),
+//! so the report isolates pure scheduling cost/benefit:
+//!
+//! * `savings_mc_serial` — the committed fork-per-die reference loop;
+//! * `savings_mc_jobsN` — the work-stealing scheduler at N workers.
+//!
+//! A `machine_cores_N` marker record (N =
+//! `std::thread::available_parallelism()`) is included so a report
+//! from a single-core container — where jobs > 1 cannot beat serial —
+//! is distinguishable from a genuine scaling regression.
+
+use subvt_bench::savings::{savings_monte_carlo_jobs, savings_monte_carlo_serial};
+use subvt_exec::ExecConfig;
+use subvt_testkit::bench::Timer;
+
+const DIES: usize = 8;
+const SEED: u64 = 2026;
+
+fn bench(c: &mut Timer) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut g = c.benchmark_group("mc_scaling");
+    g.sample_size(10);
+    g.bench_function("savings_mc_serial", |b| {
+        b.iter(|| savings_monte_carlo_serial(DIES, SEED))
+    });
+    for jobs in [1usize, 2, 4] {
+        let cfg = ExecConfig::with_jobs(jobs);
+        g.bench_function(&format!("savings_mc_jobs{jobs}"), |b| {
+            b.iter(|| savings_monte_carlo_jobs(&cfg, DIES, SEED))
+        });
+    }
+    g.bench_function(&format!("machine_cores_{cores}"), |b| {
+        b.iter(|| std::hint::black_box(cores))
+    });
+    g.finish();
+
+    println!("mc_scaling ran on a machine with {cores} core(s)");
+}
+
+subvt_testkit::bench_main!(bench);

@@ -2,8 +2,10 @@
 
 use subvt_testkit::bench::Timer;
 
+use subvt_bench::savings::savings_monte_carlo_jobs;
 use subvt_core::experiment::{run_scenario, savings_experiment, Scenario};
 use subvt_core::SupplyPolicy;
+use subvt_exec::ExecConfig;
 
 fn bench(c: &mut Timer) {
     let mut g = c.benchmark_group("savings");
@@ -15,6 +17,10 @@ fn bench(c: &mut Timer) {
     });
     g.bench_function("four_way_comparison", |b| {
         b.iter(|| savings_experiment(&short))
+    });
+    let cfg = ExecConfig::from_env();
+    g.bench_function("monte_carlo_8_dies", |b| {
+        b.iter(|| savings_monte_carlo_jobs(&cfg, 8, 2026))
     });
     g.finish();
 }

@@ -2,10 +2,20 @@
 //! adaptive controller vs running without it, across corners,
 //! temperatures and Monte-Carlo dies.
 
+use subvt_bench::jobs::{harness_config, JOBS_HELP};
 use subvt_bench::report::{f, pct, Table};
-use subvt_bench::savings::{savings_matrix, savings_monte_carlo};
+use subvt_bench::savings::{savings_matrix, savings_monte_carlo_jobs};
+
+fn usage() -> String {
+    format!(
+        "exp-savings — Sec. IV energy-savings tables\n\n\
+         USAGE: exp-savings [--jobs N]\n\n{JOBS_HELP}"
+    )
+}
 
 fn main() {
+    let cfg = harness_config(&usage());
+
     println!("Sec. IV — Energy savings of the adaptive controller\n");
 
     let mut t = Table::new(
@@ -42,7 +52,7 @@ fn main() {
             "savings vs fixed",
         ],
     );
-    let rows = savings_monte_carlo(12, 2026);
+    let rows = savings_monte_carlo_jobs(&cfg, 12, 2026);
     for row in &rows {
         mc.row(&[
             row.die.to_string(),

@@ -1,8 +1,9 @@
 //! Parametric yield: fraction of Monte-Carlo dies meeting a
 //! (throughput, energy) spec with and without the adaptive controller.
 
+use subvt_bench::jobs::{harness_config, JOBS_HELP};
 use subvt_bench::report::{f, pct, Table};
-use subvt_core::yield_study::{yield_study, YieldSpec};
+use subvt_core::yield_study::{yield_study_jobs, yield_study_summary, YieldSpec};
 use subvt_device::mosfet::Environment;
 use subvt_device::technology::Technology;
 use subvt_device::units::{Hertz, Joules};
@@ -10,7 +11,16 @@ use subvt_device::variation::VariationModel;
 use subvt_loads::ring_oscillator::RingOscillator;
 use subvt_rng::StdRng;
 
+fn usage() -> String {
+    format!(
+        "exp-yield — parametric yield under Monte-Carlo variation\n\n\
+         USAGE: exp-yield [--jobs N]\n\n{JOBS_HELP}"
+    )
+}
+
 fn main() {
+    let cfg = harness_config(&usage());
+
     println!("Parametric yield under Monte-Carlo variation (500 dies per row)\n");
 
     let tech = Technology::st_130nm();
@@ -36,7 +46,8 @@ fn main() {
         };
         let run = |fixed_word: u8, seed: u64| {
             let mut rng = StdRng::seed_from_u64(seed);
-            yield_study(
+            yield_study_jobs(
+                &cfg,
                 &tech,
                 &ring,
                 Environment::nominal(),
@@ -67,6 +78,48 @@ fn main() {
         "The fixed design is squeezed: at the MEP word it fails slow dies on rate;\n\
          guard-banded up it fails the energy bound. The adaptive design settles\n\
          each die at its own word and escapes the squeeze (residual misses are\n\
-         18.75 mV quantization — the dithering extension's territory)."
+         18.75 mV quantization — the dithering extension's territory).\n"
     );
+
+    // Large-population confirmation: the summary-only path never
+    // materialises per-die outcomes, so the population can be scaled
+    // far beyond what the row tables above would tolerate.
+    let dies = 20_000;
+    let spec = YieldSpec {
+        min_rate: Hertz(110e3),
+        max_energy_per_op: Joules::from_femtos(2.9),
+    };
+    let mut rng = StdRng::seed_from_u64(1);
+    let summary = yield_study_summary(
+        &cfg,
+        &tech,
+        &ring,
+        Environment::nominal(),
+        &model,
+        spec,
+        11,
+        11,
+        dies,
+        &mut rng,
+    );
+    let mut big = Table::new(
+        format!("Large-population check ({dies} dies, summary-only streaming path)"),
+        &[
+            "dies",
+            "fixed",
+            "adaptive",
+            "dithered",
+            "mean adaptive E (fJ)",
+        ],
+    );
+    big.row(&[
+        summary.dies.to_string(),
+        pct(summary.fixed_yield()),
+        pct(summary.adaptive_yield()),
+        pct(summary.dithered_yield()),
+        summary
+            .mean_adaptive_energy()
+            .map_or("-".into(), |e| f(e.femtos(), 3)),
+    ]);
+    println!("{}", big.render());
 }

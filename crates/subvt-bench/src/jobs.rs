@@ -1,0 +1,113 @@
+//! Shared `--jobs` handling for the `exp-*` harness binaries.
+//!
+//! Every experiment binary accepts the same knob:
+//!
+//! * `--jobs N` — use exactly N worker threads;
+//! * `SUBVT_JOBS=N` — environment fallback when the flag is absent;
+//! * neither — all available cores.
+//!
+//! Thread count never changes results (the `subvt-exec` determinism
+//! contract), only wall-clock time, so the flag is safe to tune per
+//! machine.
+
+use subvt_exec::ExecConfig;
+
+/// The `--jobs`/`SUBVT_JOBS` help paragraph shared by the harness
+/// binaries' `--help` output.
+pub const JOBS_HELP: &str = "\
+    --jobs N    worker threads for Monte-Carlo/sweep fan-out
+                (default: SUBVT_JOBS env var, else all cores;
+                 results are bit-identical for any N)";
+
+/// Parses `args` (without the program name) for the standard harness
+/// flags.
+///
+/// # Errors
+///
+/// Returns a user-facing message on an unknown flag or a malformed
+/// `--jobs` value. `Ok(None)` means `--help` was requested: print
+/// `usage` and exit successfully.
+pub fn parse_harness_args(args: &[String], usage: &str) -> Result<Option<ExecConfig>, String> {
+    let mut jobs: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                let _ = usage; // caller prints it
+                return Ok(None);
+            }
+            "--jobs" => {
+                let raw = args
+                    .get(i + 1)
+                    .ok_or_else(|| "--jobs needs a value".to_owned())?;
+                let n: usize = raw
+                    .parse()
+                    .map_err(|_| format!("invalid value `{raw}` for --jobs"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_owned());
+                }
+                jobs = Some(n);
+                i += 2;
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(Some(ExecConfig::from_option(jobs)))
+}
+
+/// [`parse_harness_args`] over the process arguments, exiting on
+/// `--help` (after printing `usage`) or on a parse error.
+pub fn harness_config(usage: &str) -> ExecConfig {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_harness_args(&args, usage) {
+        Ok(Some(cfg)) => cfg,
+        Ok(None) => {
+            println!("{usage}");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{usage}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn no_flags_resolves_from_env() {
+        let cfg = parse_harness_args(&[], "usage").unwrap().unwrap();
+        assert!(cfg.jobs() >= 1);
+    }
+
+    #[test]
+    fn explicit_jobs_wins() {
+        let cfg = parse_harness_args(&argv(&["--jobs", "3"]), "usage")
+            .unwrap()
+            .unwrap();
+        assert_eq!(cfg.jobs(), 3);
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert_eq!(
+            parse_harness_args(&argv(&["--help"]), "usage").unwrap(),
+            None
+        );
+        assert_eq!(parse_harness_args(&argv(&["-h"]), "usage").unwrap(), None);
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        assert!(parse_harness_args(&argv(&["--jobs"]), "u").is_err());
+        assert!(parse_harness_args(&argv(&["--jobs", "x"]), "u").is_err());
+        assert!(parse_harness_args(&argv(&["--jobs", "0"]), "u").is_err());
+        assert!(parse_harness_args(&argv(&["--frob"]), "u").is_err());
+    }
+}

@@ -23,5 +23,6 @@
 
 pub mod ablation;
 pub mod figures;
+pub mod jobs;
 pub mod report;
 pub mod savings;

@@ -1,5 +1,6 @@
 //! Data generators for Fig. 6 and the Sec. IV savings study.
 
+use subvt_exec::{par_map_indexed, ExecConfig};
 use subvt_rng::{Rng, StdRng};
 
 use subvt_core::experiment::{savings_experiment, SavingsReport, Scenario};
@@ -62,7 +63,7 @@ pub fn savings_matrix() -> Vec<SavingsReport> {
 }
 
 /// One Monte-Carlo die's savings result.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MonteCarloRow {
     /// Die index.
     pub die: usize,
@@ -74,27 +75,54 @@ pub struct MonteCarloRow {
     pub savings_vs_fixed: f64,
 }
 
+/// One die's full savings experiment — a pure function of the die
+/// index, its forked stream, and the study's root seed, so it runs on
+/// any worker thread.
+fn mc_die(model: &VariationModel, die: usize, mut die_rng: StdRng, seed: u64) -> MonteCarloRow {
+    let variation = model.sample_die(&mut die_rng);
+    let mut scenario = Scenario::paper_worked_example().with_actual_env(Environment::nominal());
+    scenario.name = format!("mc-die-{die}");
+    scenario.die = variation.mean_gate();
+    scenario.seed = seed.wrapping_add(die as u64);
+    let report = savings_experiment(&scenario).expect("designable");
+    MonteCarloRow {
+        die,
+        corner_units: variation.corner_units(),
+        compensation: report.compensated.compensation,
+        savings_vs_fixed: report.savings_vs_fixed(),
+    }
+}
+
 /// Monte-Carlo savings across `dies` sampled dies.
+///
+/// Worker count from the environment (`SUBVT_JOBS`, else all cores);
+/// rows are bit-identical to [`savings_monte_carlo_serial`] for any
+/// count.
 pub fn savings_monte_carlo(dies: usize, seed: u64) -> Vec<MonteCarloRow> {
+    savings_monte_carlo_jobs(&ExecConfig::from_env(), dies, seed)
+}
+
+/// [`savings_monte_carlo`] with an explicit worker count.
+pub fn savings_monte_carlo_jobs(cfg: &ExecConfig, dies: usize, seed: u64) -> Vec<MonteCarloRow> {
+    let model = VariationModel::st_130nm();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Serial, order-fixed seed draws; the expensive per-die experiment
+    // then fans out.
+    let seeds: Vec<u64> = (0..dies)
+        .map(|die| rng.fork_seed(&format!("mc-die-{die}")))
+        .collect();
+    par_map_indexed(cfg, dies, |die| {
+        mc_die(&model, die, StdRng::seed_from_u64(seeds[die]), seed)
+    })
+}
+
+/// The reference serial implementation the parallel path is tested
+/// against (`tests/determinism.rs`): a plain fork-per-die loop.
+pub fn savings_monte_carlo_serial(dies: usize, seed: u64) -> Vec<MonteCarloRow> {
     let model = VariationModel::st_130nm();
     let mut rng = StdRng::seed_from_u64(seed);
     (0..dies)
-        .map(|die| {
-            let mut die_rng = rng.fork(&format!("mc-die-{die}"));
-            let variation = model.sample_die(&mut die_rng);
-            let mut scenario =
-                Scenario::paper_worked_example().with_actual_env(Environment::nominal());
-            scenario.name = format!("mc-die-{die}");
-            scenario.die = variation.mean_gate();
-            scenario.seed = seed.wrapping_add(die as u64);
-            let report = savings_experiment(&scenario).expect("designable");
-            MonteCarloRow {
-                die,
-                corner_units: variation.corner_units(),
-                compensation: report.compensated.compensation,
-                savings_vs_fixed: report.savings_vs_fixed(),
-            }
-        })
+        .map(|die| mc_die(&model, die, rng.fork(&format!("mc-die-{die}")), seed))
         .collect()
 }
 

@@ -73,4 +73,7 @@ pub use overhead::{overhead_per_cycle, ControllerInventory, NetSavings, Overhead
 pub use rate_controller::{DesignError, RateController};
 pub use shared_rail::{compare_shared_rail, RailClient, RailComparison};
 pub use transient::{fig6_schedule, run_transient, SegmentSummary, TransientResult, TransientStep};
-pub use yield_study::{yield_study, DieOutcome, YieldReport, YieldSpec};
+pub use yield_study::{
+    yield_study, yield_study_jobs, yield_study_serial, yield_study_summary, DieOutcome,
+    YieldReport, YieldSpec, YieldSummary,
+};

@@ -8,7 +8,8 @@
 //! Monte-Carlo-samples a die population and scores both designs against
 //! the same spec.
 
-use subvt_rng::Rng;
+use subvt_exec::{par_fold_chunked, par_map_indexed, ExecConfig, Welford};
+use subvt_rng::{Rng, StdRng};
 
 use subvt_device::delay::GateMismatch;
 use subvt_device::mosfet::Environment;
@@ -91,6 +92,121 @@ impl YieldReport {
             Some(Joules(passing.iter().sum::<f64>() / passing.len() as f64))
         }
     }
+
+    /// Collapses the per-die vector into a [`YieldSummary`].
+    ///
+    /// Uses the same chunk-ordered fold as
+    /// [`yield_study_summary`], so the result is bit-identical to a
+    /// summary-only run of the same population at any job count.
+    pub fn summarize(&self) -> YieldSummary {
+        let mut summary = par_fold_chunked(
+            &ExecConfig::serial(),
+            self.dies.len(),
+            YieldSummary::empty,
+            |acc, i| acc.absorb(&self.dies[i]),
+            YieldSummary::merge,
+        );
+        summary.fixed_word = self.fixed_word;
+        summary
+    }
+}
+
+/// Constant-size aggregate of a yield study: counts and streaming
+/// moments, no per-die `Vec`.
+///
+/// This is what the summary-only execution path
+/// ([`yield_study_summary`]) returns, so million-die populations cost
+/// `O(chunks)` memory instead of `O(dies)`. All statistics are
+/// bit-identical for any worker count (see `subvt-exec`'s determinism
+/// contract).
+#[derive(Debug, Clone, PartialEq)]
+pub struct YieldSummary {
+    /// Dies scored.
+    pub dies: u64,
+    /// Dies the fixed design shipped successfully.
+    pub fixed_pass: u64,
+    /// Dies the adaptive design shipped successfully.
+    pub adaptive_pass: u64,
+    /// Dies the sub-LSB dithered design shipped successfully.
+    pub dithered_pass: u64,
+    /// Adaptive energy per op over *passing* dies (joules).
+    pub adaptive_energy: Welford,
+    /// Die severity distribution (corner units).
+    pub corner_units: Welford,
+    /// How many dies settled at each of the 64 voltage words.
+    pub adaptive_words: [u64; 64],
+    /// The fixed design's supply word.
+    pub fixed_word: VoltageWord,
+}
+
+impl YieldSummary {
+    fn empty() -> YieldSummary {
+        YieldSummary {
+            dies: 0,
+            fixed_pass: 0,
+            adaptive_pass: 0,
+            dithered_pass: 0,
+            adaptive_energy: Welford::new(),
+            corner_units: Welford::new(),
+            adaptive_words: [0; 64],
+            fixed_word: 0,
+        }
+    }
+
+    /// Streams one die outcome into the aggregate.
+    fn absorb(&mut self, die: &DieOutcome) {
+        self.dies += 1;
+        self.fixed_pass += u64::from(die.fixed_passes);
+        self.adaptive_pass += u64::from(die.adaptive_passes);
+        self.dithered_pass += u64::from(die.dithered_passes);
+        if die.adaptive_passes {
+            self.adaptive_energy.push(die.adaptive_energy.value());
+        }
+        self.corner_units.push(die.corner_units);
+        self.adaptive_words[usize::from(die.adaptive_word) % 64] += 1;
+    }
+
+    /// Combines two chunk aggregates (called in chunk-index order by
+    /// the engine).
+    fn merge(&mut self, other: YieldSummary) {
+        self.dies += other.dies;
+        self.fixed_pass += other.fixed_pass;
+        self.adaptive_pass += other.adaptive_pass;
+        self.dithered_pass += other.dithered_pass;
+        self.adaptive_energy.merge(other.adaptive_energy);
+        self.corner_units.merge(other.corner_units);
+        for (a, b) in self.adaptive_words.iter_mut().zip(other.adaptive_words) {
+            *a += b;
+        }
+    }
+
+    /// Fixed-design yield (0..=1).
+    pub fn fixed_yield(&self) -> f64 {
+        self.fraction(self.fixed_pass)
+    }
+
+    /// Adaptive-design yield (0..=1).
+    pub fn adaptive_yield(&self) -> f64 {
+        self.fraction(self.adaptive_pass)
+    }
+
+    /// Dithered-design yield (0..=1).
+    pub fn dithered_yield(&self) -> f64 {
+        self.fraction(self.dithered_pass)
+    }
+
+    fn fraction(&self, passes: u64) -> f64 {
+        if self.dies == 0 {
+            0.0
+        } else {
+            passes as f64 / self.dies as f64
+        }
+    }
+
+    /// Mean adaptive energy per op across passing dies.
+    pub fn mean_adaptive_energy(&self) -> Option<Joules> {
+        self.adaptive_energy.mean().map(Joules)
+    }
 }
 
 /// Emulates the dithered controller's settled *continuous* supply on a
@@ -143,12 +259,113 @@ fn settled_word(
     word
 }
 
+/// The immutable per-study context shared (read-only) by every worker
+/// scoring dies.
+struct StudyContext<'a> {
+    tech: &'a Technology,
+    load: &'a dyn CircuitLoad,
+    env: Environment,
+    variation: &'a VariationModel,
+    spec: YieldSpec,
+    fixed_word: VoltageWord,
+    design_word: VoltageWord,
+    sensor: VariationSensor,
+}
+
+impl StudyContext<'_> {
+    fn passes_v(&self, v: Volts, die: GateMismatch) -> (bool, Joules) {
+        let rate_ok = self
+            .load
+            .max_rate(self.tech, v, self.env, die)
+            .map(|r| r.value() >= self.spec.min_rate.value())
+            .unwrap_or(false);
+        let energy = self
+            .load
+            .energy_per_op(self.tech, v, self.env)
+            .map(|e| e.total())
+            .unwrap_or(Joules(f64::INFINITY));
+        (
+            rate_ok && energy.value() <= self.spec.max_energy_per_op.value(),
+            energy,
+        )
+    }
+
+    fn passes(&self, word: VoltageWord, die: GateMismatch) -> (bool, Joules) {
+        self.passes_v(word_voltage(word), die)
+    }
+
+    /// Scores one die from its pre-forked stream — a pure function of
+    /// the stream and the context, so it runs on any thread.
+    fn score_die(&self, mut die_rng: StdRng) -> DieOutcome {
+        let die = self.variation.sample_die(&mut die_rng);
+        let mismatch = die.mean_gate();
+        let (fixed_passes, _) = self.passes(self.fixed_word, mismatch);
+        let adaptive_word = settled_word(
+            self.tech,
+            &self.sensor,
+            self.design_word,
+            self.env,
+            mismatch,
+        );
+        let (adaptive_passes, adaptive_energy) = self.passes(adaptive_word, mismatch);
+        let dithered_v = settled_voltage_dithered(
+            self.tech,
+            &self.sensor,
+            self.design_word,
+            self.env,
+            mismatch,
+        );
+        let (dithered_passes, _) = self.passes_v(dithered_v, mismatch);
+        DieOutcome {
+            corner_units: die.corner_units(),
+            fixed_passes,
+            adaptive_passes,
+            dithered_passes,
+            adaptive_word,
+            adaptive_energy,
+        }
+    }
+}
+
+/// Draws the per-die fork seeds serially from the caller's stream.
+///
+/// One 8-byte seed per die, in die order — exactly the draws
+/// `rng.fork("die-{i}")` would make inline, so expanding `seeds[i]`
+/// on a worker thread reproduces the serial loop bit-for-bit.
+fn die_seeds<R: Rng + ?Sized>(rng: &mut R, dies: usize) -> Vec<u64> {
+    (0..dies)
+        .map(|i| rng.fork_seed(&format!("die-{i}")))
+        .collect()
+}
+
+macro_rules! study_context {
+    ($tech:ident, $load:ident, $env:ident, $variation:ident, $spec:ident,
+     $fixed_word:ident, $design_word:ident) => {
+        StudyContext {
+            tech: $tech,
+            load: $load,
+            env: $env,
+            variation: $variation,
+            spec: $spec,
+            fixed_word: $fixed_word,
+            design_word: $design_word,
+            sensor: VariationSensor::new($tech, $env, SensorConfig::default()),
+        }
+    };
+}
+
 /// Runs the yield study over `dies` sampled dies.
 ///
 /// * the **fixed design** ships at `fixed_word` for every die;
 /// * the **adaptive design** ships at the word its sensor settles on.
 ///
 /// Both are scored against `spec` with the true per-die physics.
+///
+/// Worker count comes from the environment (`SUBVT_JOBS`, else all
+/// cores); results are bit-identical to [`yield_study_serial`] for any
+/// count. Use [`yield_study_jobs`] for an explicit `--jobs` value and
+/// [`yield_study_summary`] when the population is too large to
+/// materialize per-die outcomes.
 #[allow(clippy::too_many_arguments)] // an experiment configuration, not an API surface
 pub fn yield_study<R: Rng + ?Sized>(
     tech: &Technology,
@@ -161,51 +378,106 @@ pub fn yield_study<R: Rng + ?Sized>(
     dies: usize,
     rng: &mut R,
 ) -> YieldReport {
-    let sensor = VariationSensor::new(tech, env, SensorConfig::default());
-    let passes_v = |v: Volts, die: GateMismatch| -> (bool, Joules) {
-        let rate_ok = load
-            .max_rate(tech, v, env, die)
-            .map(|r| r.value() >= spec.min_rate.value())
-            .unwrap_or(false);
-        let energy = load
-            .energy_per_op(tech, v, env)
-            .map(|e| e.total())
-            .unwrap_or(Joules(f64::INFINITY));
-        (
-            rate_ok && energy.value() <= spec.max_energy_per_op.value(),
-            energy,
-        )
-    };
-    let passes = |word: VoltageWord, die: GateMismatch| passes_v(word_voltage(word), die);
+    yield_study_jobs(
+        &ExecConfig::from_env(),
+        tech,
+        load,
+        env,
+        variation,
+        spec,
+        fixed_word,
+        design_word,
+        dies,
+        rng,
+    )
+}
 
-    let outcomes = (0..dies)
-        .map(|i| {
-            // One forked stream per die: outcomes stay reproducible
-            // per-label even if the per-die sampling ever starts
-            // consuming a variable number of draws.
-            let mut die_rng = rng.fork(&format!("die-{i}"));
-            let die = variation.sample_die(&mut die_rng);
-            let mismatch = die.mean_gate();
-            let (fixed_passes, _) = passes(fixed_word, mismatch);
-            let adaptive_word = settled_word(tech, &sensor, design_word, env, mismatch);
-            let (adaptive_passes, adaptive_energy) = passes(adaptive_word, mismatch);
-            let dithered_v = settled_voltage_dithered(tech, &sensor, design_word, env, mismatch);
-            let (dithered_passes, _) = passes_v(dithered_v, mismatch);
-            DieOutcome {
-                corner_units: die.corner_units(),
-                fixed_passes,
-                adaptive_passes,
-                dithered_passes,
-                adaptive_word,
-                adaptive_energy,
-            }
-        })
-        .collect();
-
+/// [`yield_study`] with an explicit worker count.
+#[allow(clippy::too_many_arguments)]
+pub fn yield_study_jobs<R: Rng + ?Sized>(
+    cfg: &ExecConfig,
+    tech: &Technology,
+    load: &dyn CircuitLoad,
+    env: Environment,
+    variation: &VariationModel,
+    spec: YieldSpec,
+    fixed_word: VoltageWord,
+    design_word: VoltageWord,
+    dies: usize,
+    rng: &mut R,
+) -> YieldReport {
+    let ctx = study_context!(tech, load, env, variation, spec, fixed_word, design_word);
+    let seeds = die_seeds(rng, dies);
+    let outcomes = par_map_indexed(cfg, dies, |i| {
+        ctx.score_die(StdRng::seed_from_u64(seeds[i]))
+    });
     YieldReport {
         dies: outcomes,
         fixed_word,
     }
+}
+
+/// The reference serial implementation: a plain fork-per-die loop.
+///
+/// This is the specification the parallel paths are tested against
+/// (`tests/determinism.rs`): [`yield_study_jobs`] must reproduce it
+/// bit-for-bit at every worker count.
+#[allow(clippy::too_many_arguments)]
+pub fn yield_study_serial<R: Rng + ?Sized>(
+    tech: &Technology,
+    load: &dyn CircuitLoad,
+    env: Environment,
+    variation: &VariationModel,
+    spec: YieldSpec,
+    fixed_word: VoltageWord,
+    design_word: VoltageWord,
+    dies: usize,
+    rng: &mut R,
+) -> YieldReport {
+    let ctx = study_context!(tech, load, env, variation, spec, fixed_word, design_word);
+    let outcomes = (0..dies)
+        // One forked stream per die: outcomes stay reproducible
+        // per-label even if the per-die sampling ever starts consuming
+        // a variable number of draws.
+        .map(|i| ctx.score_die(rng.fork(&format!("die-{i}"))))
+        .collect();
+    YieldReport {
+        dies: outcomes,
+        fixed_word,
+    }
+}
+
+/// Summary-only yield study: scores `dies` sampled dies without ever
+/// materializing a `Vec<DieOutcome>`.
+///
+/// Memory is `O(chunks × summary)` regardless of population size, so
+/// million-die studies are cheap. The result is bit-identical to
+/// `yield_study_jobs(..).summarize()` for the same seed, at any worker
+/// count.
+#[allow(clippy::too_many_arguments)]
+pub fn yield_study_summary<R: Rng + ?Sized>(
+    cfg: &ExecConfig,
+    tech: &Technology,
+    load: &dyn CircuitLoad,
+    env: Environment,
+    variation: &VariationModel,
+    spec: YieldSpec,
+    fixed_word: VoltageWord,
+    design_word: VoltageWord,
+    dies: usize,
+    rng: &mut R,
+) -> YieldSummary {
+    let ctx = study_context!(tech, load, env, variation, spec, fixed_word, design_word);
+    let seeds = die_seeds(rng, dies);
+    let mut summary = par_fold_chunked(
+        cfg,
+        dies,
+        YieldSummary::empty,
+        |acc, i| acc.absorb(&ctx.score_die(StdRng::seed_from_u64(seeds[i]))),
+        YieldSummary::merge,
+    );
+    summary.fixed_word = fixed_word;
+    summary
 }
 
 #[cfg(test)]
@@ -326,6 +598,55 @@ mod tests {
             "dithered {dithered:.3} < adaptive {adaptive:.3}"
         );
         assert!(dithered > 0.95, "dithered yield {dithered}");
+    }
+
+    #[test]
+    fn summary_only_path_matches_full_report_summary() {
+        // The summary-only fold and the full per-die path must agree
+        // bit-for-bit (same seed, same chunk-ordered reduction), at
+        // several worker counts.
+        let report = study(tight_spec(), 11);
+        let reference = report.summarize();
+        for jobs in [1usize, 2, 7] {
+            let tech = Technology::st_130nm();
+            let ring = RingOscillator::paper_circuit();
+            let mut rng = StdRng::seed_from_u64(77);
+            let summary = yield_study_summary(
+                &subvt_exec::ExecConfig::with_jobs(jobs),
+                &tech,
+                &ring,
+                Environment::nominal(),
+                &VariationModel::st_130nm(),
+                tight_spec(),
+                11,
+                11,
+                200,
+                &mut rng,
+            );
+            assert_eq!(summary, reference, "jobs={jobs}");
+        }
+        assert_eq!(reference.dies, 200);
+        assert!((reference.adaptive_yield() - report.adaptive_yield()).abs() < 1e-15);
+        assert!((reference.fixed_yield() - report.fixed_yield()).abs() < 1e-15);
+        assert_eq!(reference.adaptive_words.iter().sum::<u64>(), reference.dies);
+        // The Welford mean and the Vec-based mean agree to tolerance
+        // (different summation orders, same statistic).
+        let mean_full = report.mean_adaptive_energy().unwrap().value();
+        let mean_summary = reference.mean_adaptive_energy().unwrap().value();
+        assert!((mean_full - mean_summary).abs() < 1e-24, "joules-scale gap");
+    }
+
+    #[test]
+    fn empty_summary_is_well_behaved() {
+        let report = YieldReport {
+            dies: Vec::new(),
+            fixed_word: 11,
+        };
+        let summary = report.summarize();
+        assert_eq!(summary.dies, 0);
+        assert_eq!(summary.fixed_yield(), 0.0);
+        assert_eq!(summary.mean_adaptive_energy(), None);
+        assert_eq!(summary.corner_units.count(), 0);
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Cooperative cancellation and coarse progress reporting.
+//!
+//! Cancellation is *chunk-granular*: workers check the token between
+//! chunks, never mid-item, so a cancelled run stops quickly (chunks are
+//! small) without poisoning any partially computed result. Progress is
+//! equally coarse — one callback per finished chunk — because a
+//! million-die sweep reporting per die would spend more time in the
+//! callback than in the physics.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shareable flag that requests a run stop early.
+///
+/// Clone it (cheap — an `Arc` handle) into whatever owns the
+/// cancellation decision (a signal handler, a timeout watchdog, a UI),
+/// and pass a reference to the run via
+/// [`ExecHooks`](crate::ExecHooks). All clones observe the same flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// The error a cancelled run returns in place of its result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "execution cancelled by token")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+/// A progress snapshot handed to the progress callback after each
+/// finished chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Progress {
+    /// Items finished so far (monotone, but callbacks from different
+    /// worker threads may arrive out of order).
+    pub done: usize,
+    /// Total items in the run.
+    pub total: usize,
+}
+
+impl Progress {
+    /// Completed fraction in `[0, 1]` (1.0 for an empty run).
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.done as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_round_trip() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        let clone = t.clone();
+        clone.cancel();
+        assert!(t.is_cancelled(), "clones share the flag");
+        t.cancel(); // idempotent
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn progress_fraction() {
+        let p = Progress {
+            done: 25,
+            total: 100,
+        };
+        assert!((p.fraction() - 0.25).abs() < 1e-12);
+        let empty = Progress { done: 0, total: 0 };
+        assert_eq!(empty.fraction(), 1.0);
+    }
+
+    #[test]
+    fn cancelled_displays() {
+        assert_eq!(Cancelled.to_string(), "execution cancelled by token");
+    }
+}

@@ -1,0 +1,103 @@
+//! Worker-count resolution: explicit `--jobs` beats `SUBVT_JOBS` beats
+//! the machine's available parallelism.
+
+/// How many worker threads a run may use.
+///
+/// The count never affects results (see the crate docs for the
+/// determinism contract) — only wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    jobs: usize,
+}
+
+/// The environment variable consulted by [`ExecConfig::from_env`].
+pub const JOBS_ENV: &str = "SUBVT_JOBS";
+
+impl ExecConfig {
+    /// Exactly `jobs` workers (clamped to at least 1).
+    pub fn with_jobs(jobs: usize) -> ExecConfig {
+        ExecConfig { jobs: jobs.max(1) }
+    }
+
+    /// Serial execution (one worker, no threads spawned).
+    pub fn serial() -> ExecConfig {
+        ExecConfig::with_jobs(1)
+    }
+
+    /// Resolves the worker count from the environment: a valid
+    /// positive `SUBVT_JOBS` wins, otherwise the machine's available
+    /// parallelism (1 if that cannot be determined).
+    pub fn from_env() -> ExecConfig {
+        resolve(std::env::var(JOBS_ENV).ok().as_deref())
+    }
+
+    /// An explicit request (e.g. a parsed `--jobs` flag) with
+    /// [`from_env`](ExecConfig::from_env) as the fallback.
+    pub fn from_option(jobs: Option<usize>) -> ExecConfig {
+        match jobs {
+            Some(j) => ExecConfig::with_jobs(j),
+            None => ExecConfig::from_env(),
+        }
+    }
+
+    /// The resolved worker count (≥ 1).
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+}
+
+impl Default for ExecConfig {
+    /// [`ExecConfig::from_env`] — the shipped default everywhere.
+    fn default() -> ExecConfig {
+        ExecConfig::from_env()
+    }
+}
+
+/// Pure core of [`ExecConfig::from_env`], split out for testing: the
+/// raw env value (if set) to a config. Invalid or non-positive values
+/// fall back to available parallelism rather than erroring — an
+/// experiment should not abort over a typo'd tuning knob.
+fn resolve(env_value: Option<&str>) -> ExecConfig {
+    if let Some(raw) = env_value {
+        if let Ok(jobs) = raw.trim().parse::<usize>() {
+            if jobs >= 1 {
+                return ExecConfig::with_jobs(jobs);
+            }
+        }
+    }
+    ExecConfig::with_jobs(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_jobs_clamp_to_one() {
+        assert_eq!(ExecConfig::with_jobs(0).jobs(), 1);
+        assert_eq!(ExecConfig::with_jobs(7).jobs(), 7);
+        assert_eq!(ExecConfig::serial().jobs(), 1);
+    }
+
+    #[test]
+    fn env_value_parses_and_falls_back() {
+        assert_eq!(resolve(Some("3")).jobs(), 3);
+        assert_eq!(resolve(Some(" 12 ")).jobs(), 12);
+        let fallback = resolve(None).jobs();
+        assert!(fallback >= 1);
+        // Garbage and zero fall back to the machine default.
+        assert_eq!(resolve(Some("banana")).jobs(), fallback);
+        assert_eq!(resolve(Some("0")).jobs(), fallback);
+        assert_eq!(resolve(Some("-4")).jobs(), fallback);
+    }
+
+    #[test]
+    fn option_beats_environment() {
+        assert_eq!(ExecConfig::from_option(Some(5)).jobs(), 5);
+        assert!(ExecConfig::from_option(None).jobs() >= 1);
+    }
+}

@@ -1,0 +1,343 @@
+//! The chunked work-stealing scheduler.
+//!
+//! Work is split into fixed chunks of consecutive indices; idle workers
+//! steal the next unclaimed chunk from a shared atomic cursor. Two
+//! invariants make every run bit-reproducible regardless of thread
+//! count:
+//!
+//! 1. **Chunk geometry depends only on `n`** (see [`chunk_len`]), never
+//!    on the number of workers — so the same population always splits
+//!    at the same boundaries.
+//! 2. **Results are committed by index**: [`par_map_indexed`] writes
+//!    item `i`'s result to slot `i`, and [`par_fold_chunked`] merges
+//!    per-chunk accumulators in ascending chunk order on the calling
+//!    thread — so the scheduling race never reaches the output.
+//!
+//! Item closures must be pure functions of the index (feed them
+//! pre-forked RNG seeds, not a shared stream) — the engine guarantees
+//! *where* results land and *in what order* they merge, the closure
+//! must guarantee *what* they are.
+
+use crate::cancel::{Cancelled, Progress};
+use crate::config::ExecConfig;
+use crate::ExecHooks;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The chunk length used for a population of `n` items.
+///
+/// A pure function of `n` only — **never** of the worker count — so
+/// chunk boundaries (and therefore merge order and accumulator
+/// groupings) are identical for any `jobs`. The shape aims for ~64
+/// chunks (plenty of stealing granularity for any realistic core
+/// count) while capping chunk size so huge populations still report
+/// progress and observe cancellation promptly.
+pub fn chunk_len(n: usize) -> usize {
+    n.div_ceil(64).clamp(1, 2048)
+}
+
+/// Number of chunks a population of `n` items splits into.
+pub fn chunk_count(n: usize) -> usize {
+    n.div_ceil(chunk_len(n))
+}
+
+/// Maps `f` over `0..n` in parallel, returning results in index order.
+///
+/// Equivalent to `(0..n).map(f).collect()` for any thread count,
+/// including 1 — the scheduler only changes *when* each index runs,
+/// never which slot its result lands in.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the run finishes or aborts its other
+/// chunks first).
+pub fn par_map_indexed<T, F>(cfg: &ExecConfig, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    try_par_map_indexed(cfg, n, &ExecHooks::default(), f)
+        .expect("uncancellable run cannot be cancelled")
+}
+
+/// [`par_map_indexed`] with cancellation and progress hooks.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] if the hook's token fires before every chunk
+/// completes; already-finished chunks are discarded.
+pub fn try_par_map_indexed<T, F>(
+    cfg: &ExecConfig,
+    n: usize,
+    hooks: &ExecHooks<'_>,
+    f: F,
+) -> Result<Vec<T>, Cancelled>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let chunks = run_chunks(cfg, n, hooks, |range| range.map(&f).collect::<Vec<T>>())?;
+    let mut out = Vec::with_capacity(n);
+    for chunk in chunks {
+        out.extend(chunk);
+    }
+    Ok(out)
+}
+
+/// Folds `0..n` through per-chunk accumulators, merging them in
+/// ascending chunk order.
+///
+/// Each chunk folds its indices (in order) into a fresh accumulator
+/// from `init`; the caller's thread then reduces the per-chunk
+/// accumulators with `merge`, always in chunk order. Because chunk
+/// geometry is fixed by [`chunk_len`], the exact sequence of `fold` and
+/// `merge` applications — and therefore every floating-point rounding —
+/// is identical for any worker count. This is the summary-only path:
+/// memory is `O(chunks × accumulator)`, never `O(n)`.
+pub fn par_fold_chunked<A, I, F, M>(cfg: &ExecConfig, n: usize, init: I, fold: F, merge: M) -> A
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, usize) + Sync,
+    M: Fn(&mut A, A),
+{
+    try_par_fold_chunked(cfg, n, &ExecHooks::default(), init, fold, merge)
+        .expect("uncancellable run cannot be cancelled")
+}
+
+/// [`par_fold_chunked`] with cancellation and progress hooks.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] if the hook's token fires before every chunk
+/// completes.
+pub fn try_par_fold_chunked<A, I, F, M>(
+    cfg: &ExecConfig,
+    n: usize,
+    hooks: &ExecHooks<'_>,
+    init: I,
+    fold: F,
+    merge: M,
+) -> Result<A, Cancelled>
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, usize) + Sync,
+    M: Fn(&mut A, A),
+{
+    let accs = run_chunks(cfg, n, hooks, |range| {
+        let mut acc = init();
+        for i in range {
+            fold(&mut acc, i);
+        }
+        acc
+    })?;
+    let mut out = init();
+    for acc in accs {
+        merge(&mut out, acc);
+    }
+    Ok(out)
+}
+
+/// The shared chunk loop: runs `work` over every chunk range and
+/// returns the per-chunk outputs in ascending chunk order.
+fn run_chunks<T, W>(
+    cfg: &ExecConfig,
+    n: usize,
+    hooks: &ExecHooks<'_>,
+    work: W,
+) -> Result<Vec<T>, Cancelled>
+where
+    T: Send,
+    W: Fn(std::ops::Range<usize>) -> T + Sync,
+{
+    let chunk = chunk_len(n);
+    let n_chunks = chunk_count(n);
+    let jobs = cfg.jobs().min(n_chunks.max(1));
+    let range_of = |c: usize| c * chunk..((c + 1) * chunk).min(n);
+
+    let cancelled = || hooks.cancel.is_some_and(|t| t.is_cancelled());
+
+    if jobs <= 1 {
+        // Serial path: same chunk geometry, same cancellation points,
+        // no threads spawned.
+        let mut out = Vec::with_capacity(n_chunks);
+        let mut done = 0usize;
+        for c in 0..n_chunks {
+            if cancelled() {
+                return Err(Cancelled);
+            }
+            let range = range_of(c);
+            done += range.len();
+            out.push(work(range));
+            if let Some(progress) = hooks.progress {
+                progress(Progress { done, total: n });
+            }
+        }
+        return Ok(out);
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n_chunks).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                if cancelled() {
+                    return;
+                }
+                let c = cursor.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    return;
+                }
+                let range = range_of(c);
+                let len = range.len();
+                let result = work(range);
+                slots.lock().expect("no worker panicked holding the lock")[c] = Some(result);
+                let so_far = done.fetch_add(len, Ordering::Relaxed) + len;
+                if let Some(progress) = hooks.progress {
+                    progress(Progress {
+                        done: so_far,
+                        total: n,
+                    });
+                }
+            });
+        }
+    });
+
+    if cancelled() {
+        return Err(Cancelled);
+    }
+    let slots = slots.into_inner().expect("workers joined");
+    Ok(slots
+        .into_iter()
+        .map(|s| s.expect("every chunk claimed and finished"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cancel::CancelToken;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn chunk_geometry_is_a_pure_function_of_n() {
+        assert_eq!(chunk_len(0), 1);
+        assert_eq!(chunk_len(1), 1);
+        assert_eq!(chunk_len(64), 1);
+        assert_eq!(chunk_len(65), 2);
+        assert_eq!(chunk_len(1_000_000), 2048);
+        for n in [0usize, 1, 7, 63, 64, 65, 500, 4096, 1_000_000] {
+            assert!(chunk_count(n) * chunk_len(n) >= n);
+            if n > 0 {
+                assert!((chunk_count(n) - 1) * chunk_len(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn map_matches_serial_for_every_job_count() {
+        let expect: Vec<u64> = (0..500).map(|i| (i as u64).wrapping_mul(0x9E37)).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            let cfg = ExecConfig::with_jobs(jobs);
+            let got = par_map_indexed(&cfg, 500, |i| (i as u64).wrapping_mul(0x9E37));
+            assert_eq!(got, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_tiny_inputs() {
+        let cfg = ExecConfig::with_jobs(8);
+        assert_eq!(par_map_indexed(&cfg, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indexed(&cfg, 1, |i| i * 3), vec![0]);
+        assert_eq!(par_map_indexed(&cfg, 3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn fold_is_bit_identical_across_job_counts() {
+        // Float summation is order-sensitive; identical results across
+        // job counts prove the chunk-ordered merge contract.
+        let sum_with = |jobs: usize| {
+            par_fold_chunked(
+                &ExecConfig::with_jobs(jobs),
+                10_000,
+                || 0.0f64,
+                |acc, i| *acc += 1.0 / (1.0 + i as f64),
+                |acc, other| *acc += other,
+            )
+        };
+        let reference = sum_with(1);
+        for jobs in [2, 3, 7, 16] {
+            assert_eq!(sum_with(jobs).to_bits(), reference.to_bits(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn fold_of_empty_population_is_init() {
+        let v = par_fold_chunked(
+            &ExecConfig::with_jobs(4),
+            0,
+            || 42u64,
+            |_, _| unreachable!("no items"),
+            |_, _| unreachable!("single init accumulator"),
+        );
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn pre_cancelled_run_reports_cancelled() {
+        let token = CancelToken::new();
+        token.cancel();
+        let hooks = ExecHooks {
+            cancel: Some(&token),
+            progress: None,
+        };
+        for jobs in [1, 4] {
+            let r = try_par_map_indexed(&ExecConfig::with_jobs(jobs), 100, &hooks, |i| i);
+            assert_eq!(r, Err(Cancelled), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn cancellation_mid_run_stops_early() {
+        let token = CancelToken::new();
+        let hooks = ExecHooks {
+            cancel: Some(&token),
+            progress: None,
+        };
+        let ran = AtomicUsize::new(0);
+        let r = try_par_map_indexed(&ExecConfig::with_jobs(2), 100_000, &hooks, |i| {
+            if ran.fetch_add(1, Ordering::Relaxed) == 50 {
+                token.cancel();
+            }
+            i
+        });
+        assert_eq!(r, Err(Cancelled));
+        assert!(
+            ran.load(Ordering::Relaxed) < 100_000,
+            "cancellation must stop the sweep before completion"
+        );
+    }
+
+    #[test]
+    fn progress_reaches_total_and_stays_in_bounds() {
+        let max_seen = AtomicUsize::new(0);
+        let callback = |p: Progress| {
+            assert!(p.done <= p.total);
+            max_seen.fetch_max(p.done, Ordering::Relaxed);
+        };
+        let hooks = ExecHooks {
+            cancel: None,
+            progress: Some(&callback),
+        };
+        for jobs in [1, 4] {
+            max_seen.store(0, Ordering::Relaxed);
+            let r = try_par_map_indexed(&ExecConfig::with_jobs(jobs), 777, &hooks, |i| i).unwrap();
+            assert_eq!(r.len(), 777);
+            assert_eq!(max_seen.load(Ordering::Relaxed), 777, "jobs={jobs}");
+        }
+    }
+}

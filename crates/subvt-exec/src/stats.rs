@@ -1,0 +1,398 @@
+//! Mergeable streaming statistics for summary-only execution.
+//!
+//! Both accumulators are built for the
+//! [`par_fold_chunked`](crate::par_fold_chunked) shape: constant-size
+//! state, a `push` for streaming one value, and a `merge` for combining
+//! per-chunk partials. The [`QuantileSketch`] merge is exact (integer
+//! bin counts — associative and commutative to the bit). The
+//! [`Welford`] merge is the Chan et al. pairwise-combination formula:
+//! mathematically associative, floating-point-deterministic for a fixed
+//! merge order — which the engine's chunk-index-ordered reduction
+//! provides.
+
+/// Welford/Chan streaming moments: count, mean, variance, extremes.
+///
+/// Numerically stable one-pass accumulation (no catastrophic
+/// cancellation from naive sum-of-squares), mergeable across chunks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Welford {
+    fn default() -> Welford {
+        Welford::new()
+    }
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Welford {
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Streams one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN — a NaN observation would silently poison every
+    /// downstream statistic, so it fails loudly at the source.
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN observation pushed into Welford");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Absorbs another accumulator (Chan et al. parallel combination).
+    ///
+    /// For a fixed merge order the result is bit-deterministic; the
+    /// engine always merges chunks in index order, making statistics
+    /// invariant to worker count.
+    pub fn merge(&mut self, other: Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64 / total as f64);
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Observations seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean, if any observation was seen.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Population variance (`M2 / n`), if any observation was seen.
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.m2 / self.count as f64)
+    }
+
+    /// Sample variance (`M2 / (n − 1)`); needs ≥ 2 observations.
+    pub fn sample_variance(&self) -> Option<f64> {
+        (self.count > 1).then(|| self.m2 / (self.count - 1) as f64)
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+/// A fixed-size, exactly-mergeable quantile sketch: an equal-width
+/// histogram over a configured range plus exact extremes.
+///
+/// Quantiles are answered by linear interpolation inside the owning
+/// bin, so the error is bounded by one bin width — choose the range
+/// from domain knowledge (e.g. energies in `[0, 50]` fJ) and the
+/// resolution follows. Out-of-range observations are counted in
+/// saturating edge buckets and still contribute exactly to `min`/`max`
+/// and ranks, so a mis-guessed range degrades resolution, never
+/// correctness of counts.
+///
+/// Merging adds integer bin counts: exactly associative and
+/// commutative, so any merge tree gives bit-identical sketches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    below: u64,
+    above: u64,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl QuantileSketch {
+    /// A sketch over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty/non-finite or `bins` is zero.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> QuantileSketch {
+        assert!(
+            lo < hi && (hi - lo).is_finite(),
+            "invalid sketch range {lo}..{hi}"
+        );
+        assert!(bins > 0, "sketch needs at least one bin");
+        QuantileSketch {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            below: 0,
+            above: 0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Streams one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN (same rationale as [`Welford::push`]).
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN observation pushed into QuantileSketch");
+        if x < self.lo {
+            self.below += 1;
+        } else if x >= self.hi {
+            self.above += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = (((x - self.lo) / width) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+        self.count += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Absorbs another sketch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sketches were configured with different
+    /// ranges or bin counts — merging those would silently misbin.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len(),
+            "merging incompatible sketches: [{}, {}) x{} vs [{}, {}) x{}",
+            self.lo,
+            self.hi,
+            self.bins.len(),
+            other.lo,
+            other.hi,
+            other.bins.len()
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.below += other.below;
+        self.above += other.above;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Observations seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact smallest observation.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact largest observation.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// The approximate `q`-quantile (`q` in `[0, 1]`), within one bin
+    /// width of the true value for in-range data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        // Nearest-rank on the cumulative histogram; the edge buckets
+        // answer with the exact extremes (the only honest point value
+        // an unbounded bucket has).
+        let rank = ((q * (self.count - 1) as f64).round() as u64).min(self.count - 1);
+        if rank < self.below {
+            return Some(self.min);
+        }
+        let mut cum = self.below;
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            if rank < cum + c {
+                let within = (rank - cum) as f64 + 0.5;
+                let v = self.lo + width * (i as f64 + within / c as f64);
+                // Interpolation cannot honestly leave the observed
+                // envelope.
+                return Some(v.clamp(self.min, self.max));
+            }
+            cum += c;
+        }
+        Some(self.max)
+    }
+
+    /// Median shorthand.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_closed_forms() {
+        let mut w = Welford::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean().unwrap() - 5.0).abs() < 1e-12);
+        assert!((w.variance().unwrap() - 4.0).abs() < 1e-12);
+        assert!((w.std_dev().unwrap() - 2.0).abs() < 1e-12);
+        assert!((w.sample_variance().unwrap() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(w.min(), Some(2.0));
+        assert_eq!(w.max(), Some(9.0));
+    }
+
+    #[test]
+    fn welford_empty_is_all_none() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), None);
+        assert_eq!(w.variance(), None);
+        assert_eq!(w.min(), None);
+        assert_eq!(w.max(), None);
+    }
+
+    #[test]
+    fn welford_merge_agrees_with_streaming() {
+        let data: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.25).collect();
+        let mut streamed = Welford::new();
+        for &x in &data {
+            streamed.push(x);
+        }
+        let mut merged = Welford::new();
+        for part in data.chunks(17) {
+            let mut w = Welford::new();
+            for &x in part {
+                w.push(x);
+            }
+            merged.merge(w);
+        }
+        assert_eq!(merged.count(), streamed.count());
+        assert!((merged.mean().unwrap() - streamed.mean().unwrap()).abs() < 1e-9);
+        assert!((merged.variance().unwrap() - streamed.variance().unwrap()).abs() < 1e-9);
+        assert_eq!(merged.min(), streamed.min());
+        assert_eq!(merged.max(), streamed.max());
+    }
+
+    #[test]
+    fn welford_merge_with_empty_is_identity_both_ways() {
+        let mut w = Welford::new();
+        w.push(1.5);
+        w.push(-3.0);
+        let snapshot = w;
+        w.merge(Welford::new());
+        assert_eq!(w, snapshot);
+        let mut empty = Welford::new();
+        empty.merge(snapshot);
+        assert_eq!(empty, snapshot);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn welford_rejects_nan() {
+        Welford::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn sketch_quantiles_on_uniform_ramp() {
+        let mut s = QuantileSketch::new(0.0, 100.0, 200);
+        for i in 0..10_000 {
+            s.push(i as f64 * 0.01); // 0.00 .. 99.99
+        }
+        assert_eq!(s.count(), 10_000);
+        for (q, expect) in [(0.0, 0.0), (0.25, 25.0), (0.5, 50.0), (0.9, 90.0)] {
+            let got = s.quantile(q).unwrap();
+            assert!((got - expect).abs() < 1.0, "q={q}: {got} vs {expect}");
+        }
+        assert_eq!(s.quantile(1.0), s.max());
+        assert_eq!(s.min(), Some(0.0));
+    }
+
+    #[test]
+    fn sketch_out_of_range_saturates_but_counts() {
+        let mut s = QuantileSketch::new(0.0, 1.0, 4);
+        for x in [-5.0, -1.0, 0.5, 2.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.min(), Some(-5.0));
+        assert_eq!(s.max(), Some(2.0));
+        assert_eq!(s.quantile(0.0), Some(-5.0));
+        assert_eq!(s.quantile(1.0), Some(2.0));
+    }
+
+    #[test]
+    fn sketch_merge_is_exact() {
+        let fill = |xs: &[f64]| {
+            let mut s = QuantileSketch::new(0.0, 10.0, 32);
+            for &x in xs {
+                s.push(x);
+            }
+            s
+        };
+        let all = fill(&[1.0, 2.0, 3.0, 7.5, 9.9, -1.0, 12.0]);
+        let mut merged = fill(&[1.0, 2.0]);
+        merged.merge(&fill(&[3.0, 7.5, 9.9]));
+        merged.merge(&fill(&[-1.0, 12.0]));
+        assert_eq!(merged, all, "bin-count merge must be exact");
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn sketch_rejects_mismatched_merge() {
+        let mut a = QuantileSketch::new(0.0, 1.0, 8);
+        let b = QuantileSketch::new(0.0, 2.0, 8);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn sketch_empty_quantile_is_none() {
+        let s = QuantileSketch::new(0.0, 1.0, 8);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.median(), None);
+    }
+}

@@ -1,0 +1,186 @@
+//! Properties of the execution engine's determinism contract:
+//!
+//! * the scheduler is a drop-in for serial iteration at any job count;
+//! * `Welford` merge is associative (to numerical tolerance — it is a
+//!   floating-point reduction) and **order-fixed**: a fixed merge tree
+//!   gives bit-identical results run after run and job count after job
+//!   count;
+//! * `QuantileSketch` merge is *exactly* associative and commutative
+//!   (integer bin counts), so any merge tree is bit-identical.
+
+use subvt_exec::{par_fold_chunked, par_map_indexed, ExecConfig, QuantileSketch, Welford};
+use subvt_testkit::prelude::*;
+
+fn welford_of(xs: &[f64]) -> Welford {
+    let mut w = Welford::new();
+    for &x in xs {
+        w.push(x);
+    }
+    w
+}
+
+fn sketch_of(xs: &[f64]) -> QuantileSketch {
+    let mut s = QuantileSketch::new(-100.0, 100.0, 64);
+    for &x in xs {
+        s.push(x);
+    }
+    s
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+}
+
+properties! {
+    cases = 48;
+
+    /// ((a ⊕ b) ⊕ c) ≈ (a ⊕ (b ⊕ c)): the Chan merge is associative
+    /// up to floating-point rounding, which is what licenses merging
+    /// per-chunk partials in any grouping the chunk geometry implies.
+    fn welford_merge_is_associative(
+        a in vec(-50.0f64..50.0, 1..40),
+        b in vec(-50.0f64..50.0, 1..40),
+        c in vec(-50.0f64..50.0, 1..40),
+    ) {
+        let mut left = welford_of(&a);
+        left.merge(welford_of(&b));
+        left.merge(welford_of(&c));
+
+        let mut right_tail = welford_of(&b);
+        right_tail.merge(welford_of(&c));
+        let mut right = welford_of(&a);
+        right.merge(right_tail);
+
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert!(
+            close(left.mean().unwrap(), right.mean().unwrap()),
+            "means diverge: {:?} vs {:?}", left.mean(), right.mean()
+        );
+        prop_assert!(
+            close(left.variance().unwrap(), right.variance().unwrap()),
+            "variances diverge: {:?} vs {:?}", left.variance(), right.variance()
+        );
+        prop_assert_eq!(left.min(), right.min());
+        prop_assert_eq!(left.max(), right.max());
+    }
+
+    /// Merging chunked partials agrees with streaming the whole
+    /// sequence (to tolerance), regardless of the chunk size.
+    fn welford_chunked_merge_matches_streaming(
+        xs in vec(-50.0f64..50.0, 1..120),
+        chunk in 1usize..17,
+    ) {
+        let streamed = welford_of(&xs);
+        let mut merged = Welford::new();
+        for part in xs.chunks(chunk) {
+            merged.merge(welford_of(part));
+        }
+        prop_assert_eq!(merged.count(), streamed.count());
+        prop_assert!(close(merged.mean().unwrap(), streamed.mean().unwrap()));
+        prop_assert!(close(
+            merged.variance().unwrap(),
+            streamed.variance().unwrap()
+        ));
+        prop_assert_eq!(merged.min(), streamed.min());
+        prop_assert_eq!(merged.max(), streamed.max());
+    }
+
+    /// Order-fixedness: the *same* merge order gives bit-identical
+    /// accumulators, which is the property the index-ordered chunk
+    /// reduction relies on for thread-count invariance.
+    fn welford_fixed_merge_order_is_bit_stable(
+        xs in vec(-50.0f64..50.0, 2..120),
+        chunk in 1usize..17,
+    ) {
+        let run = || {
+            let mut acc = Welford::new();
+            for part in xs.chunks(chunk) {
+                acc.merge(welford_of(part));
+            }
+            acc
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(
+            a.mean().unwrap().to_bits(),
+            b.mean().unwrap().to_bits()
+        );
+        prop_assert_eq!(
+            a.variance().unwrap().to_bits(),
+            b.variance().unwrap().to_bits()
+        );
+        prop_assert_eq!(a, b);
+    }
+
+    /// Sketch merge is exactly associative AND commutative: integer
+    /// bin counts make every merge tree bit-identical.
+    fn sketch_merge_is_exactly_associative_and_commutative(
+        a in vec(-120.0f64..120.0, 1..40),
+        b in vec(-120.0f64..120.0, 1..40),
+        c in vec(-120.0f64..120.0, 1..40),
+    ) {
+        let mut left = sketch_of(&a);
+        left.merge(&sketch_of(&b));
+        left.merge(&sketch_of(&c));
+
+        let mut right_tail = sketch_of(&b);
+        right_tail.merge(&sketch_of(&c));
+        let mut right = sketch_of(&a);
+        right.merge(&right_tail);
+
+        prop_assert_eq!(&left, &right);
+
+        let mut reversed = sketch_of(&c);
+        reversed.merge(&sketch_of(&b));
+        reversed.merge(&sketch_of(&a));
+        prop_assert_eq!(&left, &reversed);
+    }
+
+    /// A sketch assembled from chunked partials is bit-identical to
+    /// one streamed whole.
+    fn sketch_chunked_equals_streamed(
+        xs in vec(-120.0f64..120.0, 1..120),
+        chunk in 1usize..17,
+    ) {
+        let whole = sketch_of(&xs);
+        let mut merged = sketch_of(&[]);
+        for part in xs.chunks(chunk) {
+            merged.merge(&sketch_of(part));
+        }
+        prop_assert_eq!(merged, whole);
+    }
+
+    /// The scheduler is indistinguishable from serial iteration for
+    /// any job count and population size.
+    fn par_map_equals_serial_map(n in 0usize..600, jobs in 1usize..9) {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9).rotate_left(7);
+        let expect: Vec<u64> = (0..n).map(f).collect();
+        let got = par_map_indexed(&ExecConfig::with_jobs(jobs), n, f);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// The chunked fold gives bit-identical Welford statistics for any
+    /// job count — the end-to-end statement of the contract.
+    fn par_fold_welford_is_thread_count_invariant(
+        n in 1usize..900,
+        jobs in 2usize..9,
+    ) {
+        let sample = |i: usize| ((i * 2654435761) % 1000) as f64 * 0.173 - 86.5;
+        let fold_with = |jobs: usize| {
+            par_fold_chunked(
+                &ExecConfig::with_jobs(jobs),
+                n,
+                Welford::new,
+                |w, i| w.push(sample(i)),
+                |w, part| w.merge(part),
+            )
+        };
+        let serial = fold_with(1);
+        let parallel = fold_with(jobs);
+        prop_assert_eq!(serial.count(), n as u64);
+        prop_assert_eq!(
+            serial.mean().unwrap().to_bits(),
+            parallel.mean().unwrap().to_bits()
+        );
+        prop_assert_eq!(serial, parallel);
+    }
+}

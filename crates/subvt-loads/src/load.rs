@@ -9,7 +9,12 @@ use subvt_device::units::{Amps, Hertz, Seconds, Volts};
 /// A digital circuit that can serve as the controller's load: it has a
 /// critical path (hence a maximum operating rate at a given supply) and
 /// a per-operation energy.
-pub trait CircuitLoad: std::fmt::Debug {
+///
+/// `Send + Sync` is a supertrait so `&dyn CircuitLoad` can be shared
+/// across `subvt-exec` worker threads: every implementor is an
+/// immutable description of a circuit, and Monte-Carlo sweeps score
+/// the same load on many dies concurrently.
+pub trait CircuitLoad: std::fmt::Debug + Send + Sync {
     /// Human-readable load name.
     fn name(&self) -> &str;
 

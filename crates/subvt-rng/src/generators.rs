@@ -138,6 +138,19 @@ mod tests {
     }
 
     #[test]
+    fn fork_seed_reconstructs_the_forked_child() {
+        // The parallel fan-out contract: shipping the 8-byte fork seed
+        // to a worker and expanding it there is bit-identical to
+        // forking inline, and advances the parent identically.
+        let mut forking = StdRng::seed_from_u64(77);
+        let mut seeding = StdRng::seed_from_u64(77);
+        let mut child = forking.fork("die-3");
+        let mut rebuilt = StdRng::seed_from_u64(seeding.fork_seed("die-3"));
+        assert_eq!(forking.state(), seeding.state());
+        assert!((0..16).all(|_| child.next_u64() == rebuilt.next_u64()));
+    }
+
+    #[test]
     fn fork_advances_parent_exactly_one_draw() {
         let mut forked = StdRng::seed_from_u64(5);
         let _ = forked.fork("x");

@@ -92,7 +92,20 @@ pub trait Rng {
     /// The whole tree is reproducible from the root seed plus the fork
     /// labels.
     fn fork(&mut self, label: &str) -> generators::StdRng {
-        generators::StdRng::seed_from_u64(self.next_u64() ^ fnv1a64(label.as_bytes()))
+        generators::StdRng::seed_from_u64(self.fork_seed(label))
+    }
+
+    /// The seed [`Rng::fork`] would expand for `label`, advancing
+    /// `self` by exactly one draw — `StdRng::seed_from_u64(seed)` then
+    /// reproduces the forked child bit-for-bit.
+    ///
+    /// This is the raw material for *parallel* fan-out: a coordinator
+    /// draws one 8-byte seed per die serially (cheap, order-fixed),
+    /// ships the seeds to worker threads, and each worker expands its
+    /// own independent stream — identical to forking inline in a
+    /// serial loop.
+    fn fork_seed(&mut self, label: &str) -> u64 {
+        self.next_u64() ^ fnv1a64(label.as_bytes())
     }
 }
 

@@ -8,6 +8,7 @@ use std::str::FromStr;
 
 use subvt_core::experiment::{savings_experiment, Scenario};
 use subvt_core::transient::{fig6_schedule, run_transient};
+use subvt_core::yield_study::{yield_study_summary, YieldSpec};
 use subvt_dcdc::converter::ConverterParams;
 use subvt_dcdc::filter::NoLoad;
 use subvt_device::corner::ProcessCorner;
@@ -16,7 +17,11 @@ use subvt_device::energy::CircuitProfile;
 use subvt_device::mep::{energy_sweep, find_mep};
 use subvt_device::mosfet::Environment;
 use subvt_device::technology::{GateKind, Technology};
-use subvt_device::units::Volts;
+use subvt_device::units::{Hertz, Joules, Volts};
+use subvt_device::variation::VariationModel;
+use subvt_exec::ExecConfig;
+use subvt_loads::ring_oscillator::RingOscillator;
+use subvt_rng::StdRng;
 use subvt_tdc::sensor::{word_voltage, SensorConfig, VariationSensor};
 use subvt_tdc::table1::{reproduce_table1, PAPER_SIGNATURES};
 
@@ -53,6 +58,17 @@ pub enum Command {
         to_mv: f64,
         /// Number of steps.
         steps: usize,
+    },
+    /// Monte-Carlo parametric yield (summary-only streaming path).
+    Yield {
+        /// Operating point of the die population.
+        op: Operating,
+        /// Population size.
+        dies: usize,
+        /// Worker threads (`None` = `SUBVT_JOBS` env, else all cores).
+        jobs: Option<usize>,
+        /// Root seed of the die population.
+        seed: u64,
     },
     /// Fig. 6 transient summary.
     Fig6,
@@ -156,6 +172,9 @@ impl Command {
         let mut from_mv = 120.0;
         let mut to_mv = 600.0;
         let mut steps = 24usize;
+        let mut dies = 500usize;
+        let mut jobs: Option<usize> = None;
+        let mut seed = 1u64;
 
         let mut i = 0;
         while i < rest.len() {
@@ -221,6 +240,25 @@ impl Command {
                     steps = parse_value(flag, value)?;
                     i += 2;
                 }
+                "--dies" => {
+                    dies = parse_value(flag, value)?;
+                    if dies == 0 {
+                        return Err(err("--dies must be positive"));
+                    }
+                    i += 2;
+                }
+                "--jobs" => {
+                    let n: usize = parse_value(flag, value)?;
+                    if n == 0 {
+                        return Err(err("--jobs must be at least 1"));
+                    }
+                    jobs = Some(n);
+                    i += 2;
+                }
+                "--seed" => {
+                    seed = parse_value(flag, value)?;
+                    i += 2;
+                }
                 other => return Err(err(format!("unknown flag `{other}`"))),
             }
         }
@@ -253,6 +291,12 @@ impl Command {
                     steps,
                 })
             }
+            "yield" => Ok(Command::Yield {
+                op,
+                dies,
+                jobs,
+                seed,
+            }),
             "fig6" => Ok(Command::Fig6),
             "table1" => Ok(Command::Table1),
             "savings" => Ok(Command::Savings),
@@ -351,6 +395,46 @@ impl Command {
                 }
                 Ok(out)
             }
+            Command::Yield {
+                op,
+                dies,
+                jobs,
+                seed,
+            } => {
+                let tech = op.technology();
+                let ring = RingOscillator::paper_circuit();
+                let model = VariationModel::st_130nm();
+                let spec = YieldSpec {
+                    min_rate: Hertz(110e3),
+                    max_energy_per_op: Joules::from_femtos(2.9),
+                };
+                let cfg = ExecConfig::from_option(*jobs);
+                let mut rng = StdRng::seed_from_u64(*seed);
+                let summary = yield_study_summary(
+                    &cfg,
+                    &tech,
+                    &ring,
+                    op.environment(),
+                    &model,
+                    spec,
+                    11,
+                    11,
+                    *dies,
+                    &mut rng,
+                );
+                Ok(format!(
+                    "yield over {} dies (spec 110 kHz @ ≤2.9 fJ, word 11, {} jobs):\n\
+                     fixed {:.1}%  adaptive {:.1}%  dithered {:.1}%  mean adaptive E {}\n",
+                    summary.dies,
+                    cfg.jobs(),
+                    summary.fixed_yield() * 100.0,
+                    summary.adaptive_yield() * 100.0,
+                    summary.dithered_yield() * 100.0,
+                    summary
+                        .mean_adaptive_energy()
+                        .map_or("-".into(), |e| format!("{:.3} fJ", e.femtos()))
+                ))
+            }
             Command::Fig6 => {
                 let result = run_transient(
                     ConverterParams::default(),
@@ -404,6 +488,7 @@ COMMANDS:
     delay     print a gate delay         (needs --vdd-mv)
     sense     run the TDC sensor once    (needs --word)
     sweep     CSV energy sweep
+    yield     Monte-Carlo parametric yield (streaming, parallel)
     fig6      converter transient summary
     table1    quantizer signatures vs the paper
     savings   the paper's worked example
@@ -418,6 +503,11 @@ FLAGS:
     --word <0..63>       voltage word for sense
     --gate inv|nand|nor  gate for delay          (default inv)
     --from-mv/--to-mv/--steps   sweep range      (default 120..600, 24)
+    --dies <n>           yield population size   (default 500)
+    --jobs <n>           worker threads          (default: SUBVT_JOBS
+                         env var, else all cores; any value gives
+                         bit-identical results)
+    --seed <n>           yield root seed         (default 1)
 ";
 
 #[cfg(test)]
@@ -506,6 +596,37 @@ mod tests {
         assert!(e.to_string().contains("needs a value"));
         let e = parse(&["mep", "--bogus", "1"]).unwrap_err();
         assert!(e.to_string().contains("unknown flag"));
+    }
+
+    #[test]
+    fn yield_parses_flags_and_runs() {
+        let c = parse(&["yield", "--dies", "64", "--jobs", "2", "--seed", "9"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Yield {
+                op: Operating::default(),
+                dies: 64,
+                jobs: Some(2),
+                seed: 9,
+            }
+        );
+        let out = c.run().unwrap();
+        assert!(out.contains("yield over 64 dies"), "{out}");
+        assert!(out.contains("2 jobs"), "{out}");
+
+        // Thread count must not change the numbers.
+        let serial = parse(&["yield", "--dies", "64", "--jobs", "1", "--seed", "9"])
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(out.replace("2 jobs", "1 jobs"), serial);
+    }
+
+    #[test]
+    fn yield_validates_flags() {
+        assert!(parse(&["yield", "--dies", "0"]).is_err());
+        assert!(parse(&["yield", "--jobs", "0"]).is_err());
+        assert!(parse(&["yield", "--jobs"]).is_err());
     }
 
     #[test]

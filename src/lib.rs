@@ -18,6 +18,7 @@
 //! | [`subvt_tdc`] | the novel TDC variation sensor (delay line, quantizer, signatures) |
 //! | [`subvt_dcdc`] | the all-digital buck converter (power array, LC filter, PWM loop) |
 //! | [`subvt_loads`] | ring-oscillator and 9-tap FIR loads, workload generators |
+//! | [`subvt_exec`] | deterministic parallel execution engine + streaming statistics |
 //! | [`subvt_core`] | the adaptive controller itself + experiments and baselines |
 //!
 //! ## Quickstart
@@ -48,7 +49,9 @@ pub use subvt_core;
 pub use subvt_dcdc;
 pub use subvt_device;
 pub use subvt_digital;
+pub use subvt_exec;
 pub use subvt_loads;
+pub use subvt_rng;
 pub use subvt_sim;
 pub use subvt_tdc;
 
@@ -56,10 +59,11 @@ pub use subvt_tdc;
 pub mod prelude {
     pub use subvt_core::{
         compare_dither, compare_idle_policies, design_rate_controller, fig6_schedule,
-        overhead_per_cycle, run_transient, run_with_drift, savings_experiment, AbbCompensator,
-        AdaptiveController, BootSequence, BootState, CompensationPolicy, ControllerConfig,
-        ControllerInventory, DitherPlan, DriftSchedule, NetSavings, RateController, RunSummary,
-        SavingsReport, Scenario, SupplyKind, SupplyPolicy,
+        overhead_per_cycle, run_transient, run_with_drift, savings_experiment, yield_study,
+        yield_study_summary, AbbCompensator, AdaptiveController, BootSequence, BootState,
+        CompensationPolicy, ControllerConfig, ControllerInventory, DitherPlan, DriftSchedule,
+        NetSavings, RateController, RunSummary, SavingsReport, Scenario, SupplyKind, SupplyPolicy,
+        YieldReport, YieldSpec, YieldSummary,
     };
     pub use subvt_dcdc::{
         ConverterParams, DcDcConverter, IdealConverter, ModulationMode, NoLoad, ResistiveLoad,
@@ -70,6 +74,9 @@ pub mod prelude {
         ProcessCorner, Seconds, Technology, VariationModel, Volts,
     };
     pub use subvt_digital::{Comparison, Fifo, MagnitudeComparator, PwmGenerator, VoltageLut};
+    pub use subvt_exec::{
+        par_fold_chunked, par_map_indexed, CancelToken, ExecConfig, QuantileSketch, Welford,
+    };
     pub use subvt_loads::{
         CircuitLoad, FirFilter, RingOscillator, RippleCarryAdder, WorkloadPattern, WorkloadSource,
     };

@@ -4,7 +4,10 @@
 //! figure in EXPERIMENTS.md is re-derivable from its seed.
 
 use subvt::prelude::*;
-use subvt_core::yield_study::{yield_study, YieldReport, YieldSpec};
+use subvt_bench::savings::{savings_monte_carlo_jobs, savings_monte_carlo_serial};
+use subvt_core::yield_study::{
+    yield_study, yield_study_jobs, yield_study_serial, yield_study_summary, YieldReport, YieldSpec,
+};
 use subvt_rng::{Rng, StdRng};
 use subvt_sim::analog::{IntegrationMethod, OdeSystem};
 use subvt_sim::kernel::{run_cosim, CoSimConfig, TickOutcome};
@@ -144,6 +147,101 @@ fn monte_carlo_energy_statistics_are_byte_identical_across_runs() {
         mc_stats_text(&a).into_bytes(),
         mc_stats_text(&b).into_bytes()
     );
+}
+
+fn mc_yield_jobs(jobs: usize, seed: u64, dies: usize) -> YieldReport {
+    let tech = Technology::st_130nm();
+    let ring = RingOscillator::paper_circuit();
+    let mut rng = StdRng::seed_from_u64(seed);
+    yield_study_jobs(
+        &ExecConfig::with_jobs(jobs),
+        &tech,
+        &ring,
+        Environment::nominal(),
+        &VariationModel::st_130nm(),
+        YieldSpec {
+            min_rate: subvt_device::Hertz(110e3),
+            max_energy_per_op: Joules::from_femtos(2.9),
+        },
+        11,
+        11,
+        dies,
+        &mut rng,
+    )
+}
+
+#[test]
+fn parallel_yield_study_is_bit_identical_to_the_serial_reference() {
+    let tech = Technology::st_130nm();
+    let ring = RingOscillator::paper_circuit();
+    let mut rng = StdRng::seed_from_u64(77);
+    let reference = yield_study_serial(
+        &tech,
+        &ring,
+        Environment::nominal(),
+        &VariationModel::st_130nm(),
+        YieldSpec {
+            min_rate: subvt_device::Hertz(110e3),
+            max_energy_per_op: Joules::from_femtos(2.9),
+        },
+        11,
+        11,
+        120,
+        &mut rng,
+    );
+    for jobs in [1, 2, 7] {
+        let parallel = mc_yield_jobs(jobs, 77, 120);
+        assert_eq!(
+            reference, parallel,
+            "yield study diverged from the serial reference at {jobs} jobs"
+        );
+        assert_eq!(
+            mc_stats_text(&reference).into_bytes(),
+            mc_stats_text(&parallel).into_bytes()
+        );
+    }
+}
+
+#[test]
+fn summary_only_yield_study_is_thread_count_invariant() {
+    let report = mc_yield_jobs(1, 77, 120);
+    let expected = report.summarize();
+    for jobs in [1, 2, 7] {
+        let tech = Technology::st_130nm();
+        let ring = RingOscillator::paper_circuit();
+        let mut rng = StdRng::seed_from_u64(77);
+        let summary = yield_study_summary(
+            &ExecConfig::with_jobs(jobs),
+            &tech,
+            &ring,
+            Environment::nominal(),
+            &VariationModel::st_130nm(),
+            YieldSpec {
+                min_rate: subvt_device::Hertz(110e3),
+                max_energy_per_op: Joules::from_femtos(2.9),
+            },
+            11,
+            11,
+            120,
+            &mut rng,
+        );
+        assert_eq!(
+            expected, summary,
+            "summary-only path diverged from summarize() at {jobs} jobs"
+        );
+    }
+}
+
+#[test]
+fn parallel_savings_monte_carlo_matches_the_serial_reference() {
+    let reference = savings_monte_carlo_serial(24, 2026);
+    for jobs in [1, 2, 7] {
+        let rows = savings_monte_carlo_jobs(&ExecConfig::with_jobs(jobs), 24, 2026);
+        assert_eq!(
+            reference, rows,
+            "savings MC diverged from the serial reference at {jobs} jobs"
+        );
+    }
 }
 
 #[test]
