@@ -1,0 +1,283 @@
+//! Analytic-vs-tabulated device-model throughput and accuracy.
+//!
+//! Three kinds of records land in `BENCH_device_eval.json`:
+//!
+//! * raw query throughput — `{analytic,tabulated}_{gate_delay,energy}`
+//!   time the same fixed sweep of (gate, Vdd, corner, temperature,
+//!   mismatch) points through both evaluators, and
+//!   `{analytic,tabulated}_tdc_cell` time the TDC replica cell's fused
+//!   inverter+NOR₂ pair query — the yield study's dominant device-model
+//!   call, where the tabulated path answers both gates from a single
+//!   interpolation. Each pair's ratio is the per-query speedup of the
+//!   interpolated surfaces;
+//! * end-to-end — `yield_serial_{analytic,tabulated}` run a small
+//!   serial yield study through *prebuilt* evaluators (query cost
+//!   only), and `table_build` prices the one-off surface construction
+//!   the tabulated mode amortises;
+//! * markers — zero-cost records whose **names** carry measured
+//!   scalars: `max_delay_err_ppm_N` / `max_energy_err_ppm_N` (realised
+//!   worst-case relative interpolation error over the sweep, parts per
+//!   million), `budget_ppm_N` (the documented accuracy budget), and
+//!   `yield_analytic_evals_{analytic,tabulated}_N` (device-model
+//!   counter deltas for one 32-die yield study in each mode — the
+//!   "≥5× fewer analytic evals" acceptance number; the tabulated study
+//!   answers every query by interpolation, so its count is 0).
+
+use subvt_core::yield_study::{yield_study_serial_eval, YieldSpec};
+use subvt_device::corner::ProcessCorner;
+use subvt_device::delay::GateMismatch;
+use subvt_device::energy::CircuitProfile;
+use subvt_device::mosfet::Environment;
+use subvt_device::tabulate::{
+    AnalyticEval, DeviceEval, EvalMode, SharedEval, TabulatedEval, ACCURACY_BUDGET,
+};
+use subvt_device::technology::{GateKind, Technology};
+use subvt_device::units::{Hertz, Joules, Volts};
+use subvt_device::variation::VariationModel;
+use subvt_device::MetricsSnapshot;
+use subvt_loads::ring_oscillator::RingOscillator;
+use subvt_rng::StdRng;
+use subvt_tdc::delay_line::{CellKind, DelayLine};
+use subvt_testkit::bench::{black_box, Timer};
+
+/// One delay-query point of the fixed sweep.
+type DelayPoint = (GateKind, Volts, Environment, GateMismatch);
+
+/// A deterministic sweep spanning the grid interior: off-node supplies
+/// across the full subthreshold bracket, three corners, three
+/// temperatures, and asymmetric local mismatch.
+fn delay_points() -> Vec<DelayPoint> {
+    let mut points = Vec::new();
+    let gates = [GateKind::Inverter, GateKind::Nand2, GateKind::Nor2];
+    let corners = [ProcessCorner::Tt, ProcessCorner::Ss, ProcessCorner::Ff];
+    let temps = [0.0, 25.0, 85.0];
+    let mismatches = [
+        GateMismatch::NOMINAL,
+        GateMismatch {
+            nmos_dvth: Volts(0.011),
+            pmos_dvth: Volts(-0.007),
+        },
+    ];
+    // 203/19 mV steps are incommensurate with the ~7.9 mV grid pitch,
+    // so every query exercises the interpolant, not a stored node.
+    let mut mv = 203.0;
+    while mv < 620.0 {
+        for gate in gates {
+            for corner in corners {
+                for celsius in temps {
+                    for mismatch in mismatches {
+                        points.push((
+                            gate,
+                            Volts::from_millivolts(mv),
+                            Environment::at_corner(corner).with_celsius(celsius),
+                            mismatch,
+                        ));
+                    }
+                }
+            }
+        }
+        mv += 19.0;
+    }
+    points
+}
+
+/// The energy sweep: the ring-oscillator profile over the same
+/// supplies/corners/temperatures.
+fn energy_points() -> Vec<(Volts, Environment)> {
+    let corners = [ProcessCorner::Tt, ProcessCorner::Ss, ProcessCorner::Ff];
+    let mut points = Vec::new();
+    let mut mv = 203.0;
+    while mv < 620.0 {
+        for corner in corners {
+            for celsius in [0.0, 25.0, 85.0] {
+                points.push((
+                    Volts::from_millivolts(mv),
+                    Environment::at_corner(corner).with_celsius(celsius),
+                ));
+            }
+        }
+        mv += 19.0;
+    }
+    points
+}
+
+fn sweep_delay(eval: &dyn DeviceEval, points: &[DelayPoint]) -> f64 {
+    let mut acc = 0.0;
+    for &(gate, vdd, env, mismatch) in points {
+        acc += eval
+            .gate_delay(gate, vdd, env, mismatch, 1.0)
+            .expect("in-range sweep")
+            .value();
+    }
+    acc
+}
+
+/// The sense hot path: the inverter+NOR₂ replica cell at every
+/// (Vdd, env, mismatch) point of the sweep, issued exactly as the
+/// variation sensor does it — a per-die mismatched line answering
+/// through [`DelayLine::cell_delay_with`]'s fused pair query.
+fn sweep_tdc_cell(eval: &dyn DeviceEval, line: &DelayLine, points: &[DelayPoint]) -> f64 {
+    let mut acc = 0.0;
+    for &(_, vdd, env, mismatch) in points {
+        let line = line.clone().with_mismatch(mismatch);
+        acc += line
+            .cell_delay_with(eval, vdd, env)
+            .expect("in-range sweep")
+            .value();
+    }
+    acc
+}
+
+fn sweep_energy(
+    eval: &dyn DeviceEval,
+    profile: &CircuitProfile,
+    points: &[(Volts, Environment)],
+) -> f64 {
+    let mut acc = 0.0;
+    for &(vdd, env) in points {
+        acc += eval
+            .energy(profile, vdd, env)
+            .expect("in-range sweep")
+            .total()
+            .value();
+    }
+    acc
+}
+
+/// Worst-case relative error of the tabulated surfaces against the
+/// analytic model over the sweep, in parts per million.
+fn measured_errors(
+    analytic: &AnalyticEval,
+    tabulated: &TabulatedEval,
+    profile: &CircuitProfile,
+) -> (u64, u64) {
+    let mut delay_err: f64 = 0.0;
+    for (gate, vdd, env, mismatch) in delay_points() {
+        let a = analytic.gate_delay(gate, vdd, env, mismatch, 1.0).unwrap();
+        let t = tabulated.gate_delay(gate, vdd, env, mismatch, 1.0).unwrap();
+        delay_err = delay_err.max((t.value() - a.value()).abs() / a.value());
+    }
+    let mut energy_err: f64 = 0.0;
+    for (vdd, env) in energy_points() {
+        let a = analytic.energy(profile, vdd, env).unwrap().total();
+        let t = tabulated.energy(profile, vdd, env).unwrap().total();
+        energy_err = energy_err.max((t.value() - a.value()).abs() / a.value());
+    }
+    (
+        (delay_err * 1e6).ceil() as u64,
+        (energy_err * 1e6).ceil() as u64,
+    )
+}
+
+/// One small serial yield study through a prebuilt evaluator.
+fn yield_run(eval: &SharedEval) -> f64 {
+    let ring = RingOscillator::paper_circuit();
+    let model = VariationModel::st_130nm();
+    let spec = YieldSpec {
+        min_rate: Hertz(110e3),
+        max_energy_per_op: Joules::from_femtos(2.9),
+    };
+    let mut rng = StdRng::seed_from_u64(5);
+    let report = yield_study_serial_eval(
+        eval.clone(),
+        &ring,
+        Environment::nominal(),
+        &model,
+        spec,
+        11,
+        11,
+        32,
+        &mut rng,
+    );
+    report.adaptive_yield()
+}
+
+fn bench(c: &mut Timer) {
+    let tech = Technology::st_130nm();
+    let analytic = AnalyticEval::new(&tech);
+    let tabulated = TabulatedEval::new(&tech);
+    let analytic_shared: SharedEval = EvalMode::Analytic.build(&tech);
+    let tabulated_shared: SharedEval = EvalMode::Tabulated.build(&tech);
+    let profile = CircuitProfile::ring_oscillator();
+    let line = DelayLine::new(31, CellKind::InvNor);
+    let dpoints = delay_points();
+    let epoints = energy_points();
+    let (delay_ppm, energy_ppm) = measured_errors(&analytic, &tabulated, &profile);
+
+    // Device-model counter deltas of one identical study per mode,
+    // measured outside the timed legs so table builds and counter
+    // snapshots never pollute the timings.
+    let before = MetricsSnapshot::snapshot();
+    yield_run(&analytic_shared);
+    let analytic_counts = MetricsSnapshot::snapshot().since(&before);
+    let before = MetricsSnapshot::snapshot();
+    yield_run(&tabulated_shared);
+    let tabulated_counts = MetricsSnapshot::snapshot().since(&before);
+
+    let mut g = c.benchmark_group("device_eval");
+    g.sample_size(10);
+
+    g.bench_function("analytic_gate_delay", |b| {
+        b.iter(|| sweep_delay(&analytic, &dpoints))
+    });
+    g.bench_function("tabulated_gate_delay", |b| {
+        b.iter(|| sweep_delay(&tabulated, &dpoints))
+    });
+    g.bench_function("analytic_tdc_cell", |b| {
+        b.iter(|| sweep_tdc_cell(&analytic, &line, &dpoints))
+    });
+    g.bench_function("tabulated_tdc_cell", |b| {
+        b.iter(|| sweep_tdc_cell(&tabulated, &line, &dpoints))
+    });
+    g.bench_function("analytic_energy", |b| {
+        b.iter(|| sweep_energy(&analytic, &profile, &epoints))
+    });
+    g.bench_function("tabulated_energy", |b| {
+        b.iter(|| sweep_energy(&tabulated, &profile, &epoints))
+    });
+    g.bench_function("table_build", |b| b.iter(|| TabulatedEval::new(&tech)));
+    g.bench_function("yield_serial_analytic", |b| {
+        b.iter(|| yield_run(&analytic_shared))
+    });
+    g.bench_function("yield_serial_tabulated", |b| {
+        b.iter(|| yield_run(&tabulated_shared))
+    });
+
+    // Metadata markers: measured scalars encoded in the record name.
+    for marker in [
+        format!("sweep_queries_{}", dpoints.len() + epoints.len()),
+        format!("max_delay_err_ppm_{delay_ppm}"),
+        format!("max_energy_err_ppm_{energy_ppm}"),
+        format!("budget_ppm_{}", (ACCURACY_BUDGET * 1e6) as u64),
+        format!(
+            "yield_analytic_evals_analytic_{}",
+            analytic_counts.analytic_evals()
+        ),
+        format!(
+            "yield_analytic_evals_tabulated_{}",
+            tabulated_counts.analytic_evals()
+        ),
+        format!(
+            "yield_interp_hits_tabulated_{}",
+            tabulated_counts.interp_hits()
+        ),
+    ] {
+        g.bench_function(&marker, |b| b.iter(|| black_box(0u8)));
+    }
+    g.finish();
+
+    assert!(
+        delay_ppm as f64 <= ACCURACY_BUDGET * 1e6 && energy_ppm as f64 <= ACCURACY_BUDGET * 1e6,
+        "interpolation error exceeds the documented budget: \
+         delay {delay_ppm} ppm, energy {energy_ppm} ppm"
+    );
+    println!(
+        "device_eval: max interp error delay {delay_ppm} ppm, energy {energy_ppm} ppm \
+         (budget {} ppm); yield-study analytic evals {} → {}",
+        (ACCURACY_BUDGET * 1e6) as u64,
+        analytic_counts.analytic_evals(),
+        tabulated_counts.analytic_evals(),
+    );
+}
+
+subvt_testkit::bench_main!(bench);

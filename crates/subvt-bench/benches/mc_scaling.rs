@@ -5,14 +5,19 @@
 //! so the report isolates pure scheduling cost/benefit:
 //!
 //! * `savings_mc_serial` — the committed fork-per-die reference loop;
-//! * `savings_mc_jobsN` — the work-stealing scheduler at N workers.
+//! * `savings_mc_jobsN` — the work-stealing scheduler at N workers;
+//! * `savings_mc_tab_jobsN` — the same fan-out on the tabulated device
+//!   surfaces, isolating how much model cost the scheduler hides.
 //!
-//! A `machine_cores_N` marker record (N =
-//! `std::thread::available_parallelism()`) is included so a report
-//! from a single-core container — where jobs > 1 cannot beat serial —
-//! is distinguishable from a genuine scaling regression.
+//! Two marker records carry machine metadata in their names:
+//! `machine_cores_N` (N = `std::thread::available_parallelism()`)
+//! distinguishes a single-core container — where jobs > 1 cannot beat
+//! serial — from a genuine scaling regression, and `eval_mode_M`
+//! records the device-evaluation mode of the unsuffixed legs so a
+//! report stays self-describing if the default ever changes.
 
-use subvt_bench::savings::{savings_monte_carlo_jobs, savings_monte_carlo_serial};
+use subvt_bench::savings::{savings_monte_carlo_jobs_eval, savings_monte_carlo_serial};
+use subvt_device::tabulate::EvalMode;
 use subvt_exec::ExecConfig;
 use subvt_testkit::bench::Timer;
 
@@ -30,10 +35,16 @@ fn bench(c: &mut Timer) {
     for jobs in [1usize, 2, 4] {
         let cfg = ExecConfig::with_jobs(jobs);
         g.bench_function(&format!("savings_mc_jobs{jobs}"), |b| {
-            b.iter(|| savings_monte_carlo_jobs(&cfg, DIES, SEED))
+            b.iter(|| savings_monte_carlo_jobs_eval(&cfg, EvalMode::Analytic, DIES, SEED))
+        });
+        g.bench_function(&format!("savings_mc_tab_jobs{jobs}"), |b| {
+            b.iter(|| savings_monte_carlo_jobs_eval(&cfg, EvalMode::Tabulated, DIES, SEED))
         });
     }
     g.bench_function(&format!("machine_cores_{cores}"), |b| {
+        b.iter(|| std::hint::black_box(cores))
+    });
+    g.bench_function(&format!("eval_mode_{}", EvalMode::Analytic.label()), |b| {
         b.iter(|| std::hint::black_box(cores))
     });
     g.finish();

@@ -1,31 +1,38 @@
 //! Parametric yield: fraction of Monte-Carlo dies meeting a
 //! (throughput, energy) spec with and without the adaptive controller.
 
-use subvt_bench::jobs::{harness_config, JOBS_HELP};
+use subvt_bench::jobs::{harness_options, EVAL_HELP, JOBS_HELP};
 use subvt_bench::report::{f, pct, Table};
-use subvt_core::yield_study::{yield_study_jobs, yield_study_summary, YieldSpec};
+use subvt_core::yield_study::{yield_study_jobs_eval, yield_study_summary_eval, YieldSpec};
 use subvt_device::mosfet::Environment;
 use subvt_device::technology::Technology;
 use subvt_device::units::{Hertz, Joules};
 use subvt_device::variation::VariationModel;
+use subvt_device::MetricsSnapshot;
 use subvt_loads::ring_oscillator::RingOscillator;
 use subvt_rng::StdRng;
 
 fn usage() -> String {
     format!(
         "exp-yield — parametric yield under Monte-Carlo variation\n\n\
-         USAGE: exp-yield [--jobs N]\n\n{JOBS_HELP}"
+         USAGE: exp-yield [--jobs N] [--eval M]\n\n{JOBS_HELP}\n{EVAL_HELP}"
     )
 }
 
 fn main() {
-    let cfg = harness_config(&usage());
+    let opts = harness_options(&usage());
+    let cfg = &opts.cfg;
 
-    println!("Parametric yield under Monte-Carlo variation (500 dies per row)\n");
+    println!(
+        "Parametric yield under Monte-Carlo variation (500 dies per row, {} device model)\n",
+        opts.eval.label()
+    );
 
     let tech = Technology::st_130nm();
     let ring = RingOscillator::paper_circuit();
     let model = VariationModel::st_130nm();
+    let before = MetricsSnapshot::snapshot();
+    let eval = opts.eval.build(&tech);
 
     let mut t = Table::new(
         "Spec: sustain the rate at ≤ the energy bound (design word 11 = TT MEP)",
@@ -46,9 +53,9 @@ fn main() {
         };
         let run = |fixed_word: u8, seed: u64| {
             let mut rng = StdRng::seed_from_u64(seed);
-            yield_study_jobs(
-                &cfg,
-                &tech,
+            yield_study_jobs_eval(
+                cfg,
+                eval.clone(),
                 &ring,
                 Environment::nominal(),
                 &model,
@@ -90,9 +97,9 @@ fn main() {
         max_energy_per_op: Joules::from_femtos(2.9),
     };
     let mut rng = StdRng::seed_from_u64(1);
-    let summary = yield_study_summary(
-        &cfg,
-        &tech,
+    let summary = yield_study_summary_eval(
+        cfg,
+        eval.clone(),
         &ring,
         Environment::nominal(),
         &model,
@@ -122,4 +129,25 @@ fn main() {
             .map_or("-".into(), |e| f(e.femtos(), 3)),
     ]);
     println!("{}", big.render());
+
+    let delta = MetricsSnapshot::snapshot().since(&before);
+    println!("device-model counters ({} mode):", opts.eval.label());
+    // Zero the build wall time before printing: harness output is held
+    // to byte-identical reruns, and build nanos are the one counter
+    // that is timing, not accounting (the device_eval bench measures
+    // build cost properly).
+    let delta = MetricsSnapshot {
+        table_build_nanos: 0,
+        ..delta
+    };
+    println!("  {delta}");
+    if delta.interp_hits() > 0 {
+        let total = delta.analytic_evals() + delta.interp_hits();
+        println!(
+            "  analytic share {:.2}% of {total} model queries \
+             ({:.1}× fewer analytic evals than an all-analytic run)",
+            delta.analytic_evals() as f64 / total as f64 * 100.0,
+            total as f64 / delta.analytic_evals().max(1) as f64,
+        );
+    }
 }

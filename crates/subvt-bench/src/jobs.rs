@@ -10,6 +10,7 @@
 //! contract), only wall-clock time, so the flag is safe to tune per
 //! machine.
 
+use subvt_device::tabulate::EvalMode;
 use subvt_exec::ExecConfig;
 
 /// The `--jobs`/`SUBVT_JOBS` help paragraph shared by the harness
@@ -18,6 +19,22 @@ pub const JOBS_HELP: &str = "\
     --jobs N    worker threads for Monte-Carlo/sweep fan-out
                 (default: SUBVT_JOBS env var, else all cores;
                  results are bit-identical for any N)";
+
+/// The `--eval` help paragraph for harness binaries that support the
+/// tabulated device surfaces.
+pub const EVAL_HELP: &str = "\
+    --eval M    device evaluation mode: `analytic` (exact model, the
+                default) or `tabulated` (precomputed monotone-cubic
+                surfaces; ≤1% accuracy budget, much faster MC)";
+
+/// The standard harness flags plus the device-evaluation mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessOptions {
+    /// Worker-thread configuration (`--jobs`/`SUBVT_JOBS`).
+    pub cfg: ExecConfig,
+    /// Device evaluation mode (`--eval`, default analytic).
+    pub eval: EvalMode,
+}
 
 /// Parses `args` (without the program name) for the standard harness
 /// flags.
@@ -28,7 +45,22 @@ pub const JOBS_HELP: &str = "\
 /// `--jobs` value. `Ok(None)` means `--help` was requested: print
 /// `usage` and exit successfully.
 pub fn parse_harness_args(args: &[String], usage: &str) -> Result<Option<ExecConfig>, String> {
+    Ok(parse_harness_options(args, usage)?.map(|o| o.cfg))
+}
+
+/// Parses `args` (without the program name) for the standard harness
+/// flags plus `--eval`.
+///
+/// # Errors
+///
+/// As [`parse_harness_args`], plus a message on a malformed `--eval`
+/// mode.
+pub fn parse_harness_options(
+    args: &[String],
+    usage: &str,
+) -> Result<Option<HarnessOptions>, String> {
     let mut jobs: Option<usize> = None;
+    let mut eval = EvalMode::Analytic;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -49,18 +81,34 @@ pub fn parse_harness_args(args: &[String], usage: &str) -> Result<Option<ExecCon
                 jobs = Some(n);
                 i += 2;
             }
+            "--eval" => {
+                let raw = args
+                    .get(i + 1)
+                    .ok_or_else(|| "--eval needs a value".to_owned())?;
+                eval = raw.parse().map_err(|e| format!("{e}"))?;
+                i += 2;
+            }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
         }
     }
-    Ok(Some(ExecConfig::from_option(jobs)))
+    Ok(Some(HarnessOptions {
+        cfg: ExecConfig::from_option(jobs),
+        eval,
+    }))
 }
 
 /// [`parse_harness_args`] over the process arguments, exiting on
 /// `--help` (after printing `usage`) or on a parse error.
 pub fn harness_config(usage: &str) -> ExecConfig {
+    harness_options(usage).cfg
+}
+
+/// [`parse_harness_options`] over the process arguments, exiting on
+/// `--help` (after printing `usage`) or on a parse error.
+pub fn harness_options(usage: &str) -> HarnessOptions {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match parse_harness_args(&args, usage) {
-        Ok(Some(cfg)) => cfg,
+    match parse_harness_options(&args, usage) {
+        Ok(Some(opts)) => opts,
         Ok(None) => {
             println!("{usage}");
             std::process::exit(0);
@@ -109,5 +157,22 @@ mod tests {
         assert!(parse_harness_args(&argv(&["--jobs", "x"]), "u").is_err());
         assert!(parse_harness_args(&argv(&["--jobs", "0"]), "u").is_err());
         assert!(parse_harness_args(&argv(&["--frob"]), "u").is_err());
+        assert!(parse_harness_options(&argv(&["--eval"]), "u").is_err());
+        assert!(parse_harness_options(&argv(&["--eval", "magic"]), "u").is_err());
+    }
+
+    #[test]
+    fn eval_mode_parses_with_analytic_default() {
+        let opts = parse_harness_options(&[], "u").unwrap().unwrap();
+        assert_eq!(opts.eval, EvalMode::Analytic);
+        let opts = parse_harness_options(&argv(&["--eval", "tabulated", "--jobs", "2"]), "u")
+            .unwrap()
+            .unwrap();
+        assert_eq!(opts.eval, EvalMode::Tabulated);
+        assert_eq!(opts.cfg.jobs(), 2);
+        let opts = parse_harness_options(&argv(&["--eval", "tab"]), "u")
+            .unwrap()
+            .unwrap();
+        assert_eq!(opts.eval, EvalMode::Tabulated);
     }
 }

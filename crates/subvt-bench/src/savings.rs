@@ -3,12 +3,16 @@
 use subvt_exec::{par_map_indexed, ExecConfig};
 use subvt_rng::{Rng, StdRng};
 
-use subvt_core::experiment::{savings_experiment, SavingsReport, Scenario};
+use subvt_core::experiment::{
+    savings_experiment, savings_experiment_eval, SavingsReport, Scenario,
+};
 use subvt_core::transient::{fig6_schedule, run_transient, TransientResult};
 use subvt_dcdc::converter::ConverterParams;
 use subvt_dcdc::filter::ConstantLoad;
 use subvt_device::corner::ProcessCorner;
 use subvt_device::mosfet::Environment;
+use subvt_device::tabulate::{EvalMode, SharedEval};
+use subvt_device::technology::Technology;
 use subvt_device::units::Amps;
 use subvt_device::variation::VariationModel;
 
@@ -77,14 +81,21 @@ pub struct MonteCarloRow {
 
 /// One die's full savings experiment — a pure function of the die
 /// index, its forked stream, and the study's root seed, so it runs on
-/// any worker thread.
-fn mc_die(model: &VariationModel, die: usize, mut die_rng: StdRng, seed: u64) -> MonteCarloRow {
+/// any worker thread. `eval` carries the device surfaces (analytic or
+/// tabulated).
+fn mc_die(
+    model: &VariationModel,
+    die: usize,
+    mut die_rng: StdRng,
+    seed: u64,
+    eval: &SharedEval,
+) -> MonteCarloRow {
     let variation = model.sample_die(&mut die_rng);
     let mut scenario = Scenario::paper_worked_example().with_actual_env(Environment::nominal());
     scenario.name = format!("mc-die-{die}");
     scenario.die = variation.mean_gate();
     scenario.seed = seed.wrapping_add(die as u64);
-    let report = savings_experiment(&scenario).expect("designable");
+    let report = savings_experiment_eval(&scenario, eval).expect("designable");
     MonteCarloRow {
         die,
         corner_units: variation.corner_units(),
@@ -104,6 +115,20 @@ pub fn savings_monte_carlo(dies: usize, seed: u64) -> Vec<MonteCarloRow> {
 
 /// [`savings_monte_carlo`] with an explicit worker count.
 pub fn savings_monte_carlo_jobs(cfg: &ExecConfig, dies: usize, seed: u64) -> Vec<MonteCarloRow> {
+    savings_monte_carlo_jobs_eval(cfg, EvalMode::Analytic, dies, seed)
+}
+
+/// [`savings_monte_carlo_jobs`] with an explicit device-evaluation
+/// mode. The surfaces are built once (before the fan-out) and shared
+/// read-only by every worker; [`EvalMode::Analytic`] is bit-identical
+/// to the historical direct path.
+pub fn savings_monte_carlo_jobs_eval(
+    cfg: &ExecConfig,
+    mode: EvalMode,
+    dies: usize,
+    seed: u64,
+) -> Vec<MonteCarloRow> {
+    let eval = mode.build(&Technology::st_130nm());
     let model = VariationModel::st_130nm();
     let mut rng = StdRng::seed_from_u64(seed);
     // Serial, order-fixed seed draws; the expensive per-die experiment
@@ -112,17 +137,27 @@ pub fn savings_monte_carlo_jobs(cfg: &ExecConfig, dies: usize, seed: u64) -> Vec
         .map(|die| rng.fork_seed(&format!("mc-die-{die}")))
         .collect();
     par_map_indexed(cfg, dies, |die| {
-        mc_die(&model, die, StdRng::seed_from_u64(seeds[die]), seed)
+        mc_die(&model, die, StdRng::seed_from_u64(seeds[die]), seed, &eval)
     })
 }
 
 /// The reference serial implementation the parallel path is tested
 /// against (`tests/determinism.rs`): a plain fork-per-die loop.
 pub fn savings_monte_carlo_serial(dies: usize, seed: u64) -> Vec<MonteCarloRow> {
+    savings_monte_carlo_serial_eval(EvalMode::Analytic, dies, seed)
+}
+
+/// [`savings_monte_carlo_serial`] with an explicit evaluation mode.
+pub fn savings_monte_carlo_serial_eval(
+    mode: EvalMode,
+    dies: usize,
+    seed: u64,
+) -> Vec<MonteCarloRow> {
+    let eval = mode.build(&Technology::st_130nm());
     let model = VariationModel::st_130nm();
     let mut rng = StdRng::seed_from_u64(seed);
     (0..dies)
-        .map(|die| mc_die(&model, die, rng.fork(&format!("mc-die-{die}")), seed))
+        .map(|die| mc_die(&model, die, rng.fork(&format!("mc-die-{die}")), seed, &eval))
         .collect()
 }
 
@@ -157,6 +192,29 @@ mod tests {
                 "{}: only {:.1}% savings",
                 report.scenario,
                 s * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn tabulated_mode_tracks_the_analytic_rows() {
+        let cfg = ExecConfig::with_jobs(2);
+        let analytic = savings_monte_carlo_jobs_eval(&cfg, EvalMode::Analytic, 4, 7);
+        let tabulated = savings_monte_carlo_jobs_eval(&cfg, EvalMode::Tabulated, 4, 7);
+        assert_eq!(analytic.len(), tabulated.len());
+        for (a, t) in analytic.iter().zip(&tabulated) {
+            assert_eq!(a.die, t.die);
+            assert_eq!(
+                a.corner_units, t.corner_units,
+                "die sampling must not change"
+            );
+            assert_eq!(a.compensation, t.compensation, "die {}", a.die);
+            assert!(
+                (a.savings_vs_fixed - t.savings_vs_fixed).abs() < 0.03,
+                "die {}: {} vs {}",
+                a.die,
+                a.savings_vs_fixed,
+                t.savings_vs_fixed
             );
         }
     }

@@ -20,13 +20,14 @@ use subvt_dcdc::filter::ConstantLoad;
 use subvt_dcdc::ideal::IdealConverter;
 use subvt_device::delay::GateMismatch;
 use subvt_device::mosfet::Environment;
+use subvt_device::tabulate::SharedEval;
 use subvt_device::technology::Technology;
 use subvt_device::units::{Joules, Seconds, Volts};
 use subvt_digital::fifo::Fifo;
 use subvt_digital::lut::VoltageWord;
 use subvt_loads::load::CircuitLoad;
 use subvt_loads::workload::WorkloadSource;
-use subvt_tdc::sensor::{SensorConfig, VariationSensor};
+use subvt_tdc::sensor::{SenseError, SensorConfig, VariationSensor};
 
 use crate::compensation::{CompensationLoop, CompensationPolicy};
 use crate::energy_account::EnergyAccount;
@@ -165,6 +166,10 @@ impl RunSummary {
 #[derive(Debug)]
 pub struct AdaptiveController<L: CircuitLoad> {
     tech: Technology,
+    /// Optional device-surface evaluator: when set, the sensor, the
+    /// load's rate and the energy account all run on it (tabulated
+    /// surfaces take the analytic model off the per-cycle path).
+    eval: Option<SharedEval>,
     design_env: Environment,
     actual_env: Environment,
     die_mismatch: GateMismatch,
@@ -224,6 +229,7 @@ impl<L: CircuitLoad> AdaptiveController<L> {
             compensation: CompensationLoop::new(config.compensation),
             fifo: Fifo::new(config.fifo_capacity),
             tech,
+            eval: None,
             design_env,
             actual_env,
             die_mismatch,
@@ -242,6 +248,20 @@ impl<L: CircuitLoad> AdaptiveController<L> {
             frac_shift: 0.0,
             sigma_delta_acc: 0.0,
         }
+    }
+
+    /// Routes the controller's device physics — sensor calibration,
+    /// runtime sensing, the load's processing rate and the energy
+    /// account — through `eval`. With an
+    /// [`AnalyticEval`](subvt_device::tabulate::AnalyticEval) the run
+    /// is bit-identical to the default; with a
+    /// [`TabulatedEval`](subvt_device::tabulate::TabulatedEval) the
+    /// per-cycle loop stays off the analytic model.
+    pub fn with_eval(mut self, eval: SharedEval) -> AdaptiveController<L> {
+        self.sensor =
+            VariationSensor::with_eval(eval.as_ref(), self.design_env, self.config.sensor);
+        self.eval = Some(eval);
+        self
     }
 
     /// The load.
@@ -367,13 +387,7 @@ impl<L: CircuitLoad> AdaptiveController<L> {
         let mut shift = 0;
         if self.policy == SupplyPolicy::AdaptiveDithered {
             let base = self.rate.desired_word(queue);
-            if let Ok(frac) = self.sensor.sense_fractional(
-                &self.tech,
-                base,
-                vout,
-                self.actual_env,
-                self.die_mismatch,
-            ) {
+            if let Ok(frac) = self.sense_fractional(base, vout) {
                 deviation = Some(frac.round() as i16);
                 // Slow integrator: the EMA of −deviation is the shift
                 // that holds the *average* replica delay on target.
@@ -384,10 +398,7 @@ impl<L: CircuitLoad> AdaptiveController<L> {
             // The sensing band is the *uncompensated* word: the target
             // stays "design-corner delay at the designed voltage".
             let base = self.base_word(queue);
-            if let Ok(dev) =
-                self.sensor
-                    .sense(&self.tech, base, vout, self.actual_env, self.die_mismatch)
-            {
+            if let Ok(dev) = self.sense(base, vout) {
                 deviation = Some(dev);
                 match &self.supply {
                     Supply::Ideal(_) => {
@@ -433,11 +444,51 @@ impl<L: CircuitLoad> AdaptiveController<L> {
         (shifted - self.rate.compensation()).clamp(0, 63) as VoltageWord
     }
 
+    fn sense(&self, word: VoltageWord, vout: Volts) -> Result<i16, SenseError> {
+        match &self.eval {
+            Some(eval) => self.sensor.sense_with(
+                eval.as_ref(),
+                word,
+                vout,
+                self.actual_env,
+                self.die_mismatch,
+            ),
+            None => self
+                .sensor
+                .sense(&self.tech, word, vout, self.actual_env, self.die_mismatch),
+        }
+    }
+
+    fn sense_fractional(&self, word: VoltageWord, vout: Volts) -> Result<f64, SenseError> {
+        match &self.eval {
+            Some(eval) => self.sensor.sense_fractional_with(
+                eval.as_ref(),
+                word,
+                vout,
+                self.actual_env,
+                self.die_mismatch,
+            ),
+            None => self.sensor.sense_fractional(
+                &self.tech,
+                word,
+                vout,
+                self.actual_env,
+                self.die_mismatch,
+            ),
+        }
+    }
+
     fn process(&mut self, vout: Volts) -> u32 {
-        let Ok(rate) = self
-            .load
-            .max_rate(&self.tech, vout, self.actual_env, self.die_mismatch)
-        else {
+        let rate = match &self.eval {
+            Some(eval) => {
+                self.load
+                    .max_rate_with(eval.as_ref(), vout, self.actual_env, self.die_mismatch)
+            }
+            None => self
+                .load
+                .max_rate(&self.tech, vout, self.actual_env, self.die_mismatch),
+        };
+        let Ok(rate) = rate else {
             return 0; // supply below functional floor: the load stalls
         };
         let capacity = rate.value() * self.config.system_cycle.value() * self.config.utilization
@@ -452,7 +503,13 @@ impl<L: CircuitLoad> AdaptiveController<L> {
     }
 
     fn account_energy(&mut self, vout: Volts, ops: u32) {
-        let Ok(e) = self.load.energy_per_op(&self.tech, vout, self.actual_env) else {
+        let e = match &self.eval {
+            Some(eval) => self
+                .load
+                .energy_per_op_with(eval.as_ref(), vout, self.actual_env),
+            None => self.load.energy_per_op(&self.tech, vout, self.actual_env),
+        };
+        let Ok(e) = e else {
             // Below the functional floor the load cannot compute, but
             // its (gated) leakage still flows.
             let profile = self.load.profile();
@@ -847,6 +904,60 @@ mod tests {
             (mean_mv - 206.25).abs() < 6.0,
             "nominal dithered mean {mean_mv} mV"
         );
+    }
+
+    #[test]
+    fn eval_runs_match_the_direct_controller() {
+        use std::sync::Arc;
+        use subvt_device::tabulate::{AnalyticEval, TabulatedEval};
+        let tech = Technology::st_130nm();
+        let run = |c: &mut AdaptiveController<RingOscillator>| {
+            let mut wl = WorkloadSource::new(WorkloadPattern::Constant { per_cycle: 1 });
+            let mut rng = StdRng::seed_from_u64(9);
+            c.run(&mut wl, 200, &mut rng)
+        };
+        let mut direct = controller(
+            Environment::at_corner(ProcessCorner::Ss),
+            SupplyPolicy::AdaptiveCompensated,
+            SupplyKind::Ideal,
+        );
+        let baseline = run(&mut direct);
+
+        // Analytic eval: bit-identical run.
+        let mut via_analytic = controller(
+            Environment::at_corner(ProcessCorner::Ss),
+            SupplyPolicy::AdaptiveCompensated,
+            SupplyKind::Ideal,
+        )
+        .with_eval(Arc::new(AnalyticEval::new(&tech)));
+        assert_eq!(run(&mut via_analytic), baseline);
+        assert_eq!(via_analytic.history(), direct.history());
+
+        // Tabulated eval: same control decisions (the 18.75 mV word
+        // grid dwarfs the ≤1% interpolation budget), energy within it.
+        let mut via_table = controller(
+            Environment::at_corner(ProcessCorner::Ss),
+            SupplyPolicy::AdaptiveCompensated,
+            SupplyKind::Ideal,
+        )
+        .with_eval(Arc::new(TabulatedEval::new(&tech)));
+        let tabulated = run(&mut via_table);
+        assert_eq!(tabulated.compensation, baseline.compensation);
+        // The ≤1% rate interpolation error can move one floor() in the
+        // work accumulator over a long run, never more than that.
+        let op_gap = tabulated.operations.abs_diff(baseline.operations);
+        assert!(
+            (op_gap as f64) <= 1.0 + 0.01 * baseline.operations as f64,
+            "ops diverged: {} vs {}",
+            tabulated.operations,
+            baseline.operations
+        );
+        assert_eq!(tabulated.dropped, baseline.dropped);
+        let (t, b) = (
+            tabulated.account.total().value(),
+            baseline.account.total().value(),
+        );
+        assert!((t - b).abs() / b < 0.02, "energy diverged: {t:e} vs {b:e}");
     }
 
     #[test]

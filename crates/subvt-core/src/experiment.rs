@@ -9,6 +9,7 @@ use subvt_rng::StdRng;
 
 use subvt_device::delay::GateMismatch;
 use subvt_device::mosfet::Environment;
+use subvt_device::tabulate::SharedEval;
 use subvt_device::technology::Technology;
 use subvt_device::units::Hertz;
 use subvt_digital::lut::VoltageWord;
@@ -116,17 +117,38 @@ pub fn fixed_baseline_word(
     guard_lsb: u8,
 ) -> Result<VoltageWord, DesignError> {
     let ring = RingOscillator::paper_circuit();
-    // Peak arrivals per cycle over the pattern.
+    let worst = Environment::at_corner(subvt_device::corner::ProcessCorner::Ss);
+    let word = RateController::word_for_rate(tech, &ring, worst, peak_rate(workload))?;
+    Ok((word + guard_lsb).min(63))
+}
+
+/// [`fixed_baseline_word`] through a
+/// [`DeviceEval`](subvt_device::tabulate::DeviceEval).
+///
+/// # Errors
+///
+/// Propagates [`DesignError`] when no word sustains the worst case.
+pub fn fixed_baseline_word_eval(
+    eval: &SharedEval,
+    workload: &WorkloadPattern,
+    guard_lsb: u8,
+) -> Result<VoltageWord, DesignError> {
+    let ring = RingOscillator::paper_circuit();
+    let worst = Environment::at_corner(subvt_device::corner::ProcessCorner::Ss);
+    let word =
+        RateController::word_for_rate_eval(eval.as_ref(), &ring, worst, peak_rate(workload))?;
+    Ok((word + guard_lsb).min(63))
+}
+
+/// Supply rate that absorbs the pattern's peak arrivals per 1 µs cycle.
+fn peak_rate(workload: &WorkloadPattern) -> Hertz {
     let peak_per_cycle = match workload {
         WorkloadPattern::Constant { per_cycle } => f64::from(*per_cycle),
         WorkloadPattern::Burst { busy_rate, .. } => f64::from(*busy_rate),
         WorkloadPattern::Poisson { mean } => mean * 3.0,
         WorkloadPattern::Schedule(s) => f64::from(s.iter().copied().max().unwrap_or(0)),
     };
-    let rate = Hertz(peak_per_cycle.max(1.0) / 1e-6);
-    let worst = Environment::at_corner(subvt_device::corner::ProcessCorner::Ss);
-    let word = RateController::word_for_rate(tech, &ring, worst, rate)?;
-    Ok((word + guard_lsb).min(63))
+    Hertz(peak_per_cycle.max(1.0) / 1e-6)
 }
 
 /// Results of all policies over one scenario.
@@ -171,6 +193,15 @@ impl SavingsReport {
 }
 
 fn run_policy(scenario: &Scenario, rate: RateController, policy: SupplyPolicy) -> RunSummary {
+    run_policy_impl(scenario, rate, policy, None)
+}
+
+fn run_policy_impl(
+    scenario: &Scenario,
+    rate: RateController,
+    policy: SupplyPolicy,
+    eval: Option<SharedEval>,
+) -> RunSummary {
     let tech = Technology::st_130nm();
     let mut controller = AdaptiveController::new(
         tech,
@@ -183,6 +214,9 @@ fn run_policy(scenario: &Scenario, rate: RateController, policy: SupplyPolicy) -
         SupplyKind::Ideal,
         scenario.config,
     );
+    if let Some(eval) = eval {
+        controller = controller.with_eval(eval);
+    }
     let mut workload = WorkloadSource::new(scenario.workload.clone());
     let mut rng = StdRng::seed_from_u64(scenario.seed);
     controller.run(&mut workload, scenario.cycles, &mut rng)
@@ -226,6 +260,62 @@ pub fn savings_experiment(scenario: &Scenario) -> Result<SavingsReport, DesignEr
         ),
         fixed_word,
         oracle: run_policy(scenario, oracle_rate, SupplyPolicy::AdaptiveUncompensated),
+    })
+}
+
+/// [`savings_experiment`] with every controller (design, sensing,
+/// per-cycle physics) running on `eval` — the Monte-Carlo hot path of
+/// `savings_monte_carlo` uses this with a tabulated evaluator.
+///
+/// # Errors
+///
+/// Propagates [`DesignError`].
+pub fn savings_experiment_eval(
+    scenario: &Scenario,
+    eval: &SharedEval,
+) -> Result<SavingsReport, DesignError> {
+    let ring = RingOscillator::paper_circuit();
+    let designed = RateController::design_eval(
+        eval.as_ref(),
+        &ring,
+        scenario.design_env,
+        &standard_band_rates(),
+    )?;
+    let oracle_rate = RateController::design_eval(
+        eval.as_ref(),
+        &ring,
+        scenario.actual_env,
+        &standard_band_rates(),
+    )?;
+    let fixed_word = fixed_baseline_word_eval(eval, &scenario.workload, 2)?;
+
+    Ok(SavingsReport {
+        scenario: scenario.name.clone(),
+        compensated: run_policy_impl(
+            scenario,
+            designed.clone(),
+            SupplyPolicy::AdaptiveCompensated,
+            Some(eval.clone()),
+        ),
+        uncompensated: run_policy_impl(
+            scenario,
+            designed,
+            SupplyPolicy::AdaptiveUncompensated,
+            Some(eval.clone()),
+        ),
+        fixed: run_policy_impl(
+            scenario,
+            oracle_rate.clone(), // LUT unused under FixedWord
+            SupplyPolicy::FixedWord(fixed_word),
+            Some(eval.clone()),
+        ),
+        fixed_word,
+        oracle: run_policy_impl(
+            scenario,
+            oracle_rate,
+            SupplyPolicy::AdaptiveUncompensated,
+            Some(eval.clone()),
+        ),
     })
 }
 
@@ -304,6 +394,35 @@ mod tests {
             fixed_baseline_word(&tech, &WorkloadPattern::Constant { per_cycle: 1 }, 2).unwrap();
         assert!(word > 11, "guard-banded word must exceed the MEP word");
         assert!(word < 64);
+    }
+
+    #[test]
+    fn eval_experiment_reproduces_the_headline_numbers() {
+        use std::sync::Arc;
+        use subvt_device::tabulate::{AnalyticEval, TabulatedEval};
+        let scenario = Scenario::paper_worked_example();
+        let reference = savings_experiment(&scenario).unwrap();
+        let tech = Technology::st_130nm();
+
+        // Analytic evaluator: bit-identical report.
+        let analytic: SharedEval = Arc::new(AnalyticEval::new(&tech));
+        let via_analytic = savings_experiment_eval(&scenario, &analytic).unwrap();
+        assert_eq!(via_analytic, reference);
+
+        // Tabulated evaluator: same decisions, headline within a few %.
+        let tabulated: SharedEval = Arc::new(TabulatedEval::new(&tech));
+        let via_table = savings_experiment_eval(&scenario, &tabulated).unwrap();
+        assert_eq!(via_table.fixed_word, reference.fixed_word);
+        assert_eq!(
+            via_table.compensated.compensation,
+            reference.compensated.compensation
+        );
+        assert_eq!(via_table.compensated.dropped, 0);
+        let (s_t, s_a) = (via_table.savings_vs_fixed(), reference.savings_vs_fixed());
+        assert!(
+            (s_t - s_a).abs() < 0.03,
+            "headline savings diverged: {s_t} vs {s_a}"
+        );
     }
 
     #[test]

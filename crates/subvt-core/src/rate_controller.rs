@@ -8,8 +8,9 @@
 use std::fmt;
 
 use subvt_device::delay::GateMismatch;
-use subvt_device::mep::find_mep;
+use subvt_device::mep::{find_mep, find_mep_eval};
 use subvt_device::mosfet::Environment;
+use subvt_device::tabulate::DeviceEval;
 use subvt_device::technology::Technology;
 use subvt_device::units::{Hertz, Volts};
 use subvt_digital::lut::{VoltageLut, VoltageWord};
@@ -98,6 +99,42 @@ impl RateController {
         Ok(RateController { lut })
     }
 
+    /// [`RateController::design`] through a [`DeviceEval`]: the MEP
+    /// search and the per-band rate sweep run on the evaluator's
+    /// surfaces (tabulated surfaces make repeated designs cheap in
+    /// Monte-Carlo studies).
+    ///
+    /// # Errors
+    ///
+    /// As [`RateController::design`].
+    pub fn design_eval(
+        eval: &dyn DeviceEval,
+        load: &dyn CircuitLoad,
+        design_env: Environment,
+        band_rates: &[(usize, Hertz)],
+    ) -> Result<RateController, DesignError> {
+        let tech = eval.technology();
+        let mep = find_mep_eval(
+            eval,
+            load.profile(),
+            design_env,
+            tech.min_vdd + Volts(0.02),
+            Volts(0.9),
+        )
+        .map_err(|_| DesignError::MepSearchFailed)?;
+        let mep_word = voltage_word(mep.vopt);
+
+        let mut bounds = Vec::with_capacity(band_rates.len());
+        let mut words = vec![mep_word.max(1)];
+        for &(bound, rate) in band_rates {
+            bounds.push(bound);
+            let word = Self::word_for_rate_eval(eval, load, design_env, rate)?;
+            words.push(word.max(mep_word));
+        }
+        let lut = VoltageLut::new(bounds, words).expect("designed LUT is well-formed");
+        Ok(RateController { lut })
+    }
+
     /// Designs the LUT automatically from workload statistics: band
     /// bounds are placed at fractions of the FIFO depth (so every band
     /// is reachable — the design rule the FIFO-depth ablation exposes)
@@ -146,6 +183,28 @@ impl RateController {
         for word in 1u8..64 {
             let v = word_voltage(word);
             if let Ok(max) = load.max_rate(tech, v, env, GateMismatch::NOMINAL) {
+                if max.value() >= rate.value() {
+                    return Ok(word);
+                }
+            }
+        }
+        Err(DesignError::RateUnreachable { rate })
+    }
+
+    /// [`RateController::word_for_rate`] through a [`DeviceEval`].
+    ///
+    /// # Errors
+    ///
+    /// [`DesignError::RateUnreachable`] when even word 63 is too slow.
+    pub fn word_for_rate_eval(
+        eval: &dyn DeviceEval,
+        load: &dyn CircuitLoad,
+        env: Environment,
+        rate: Hertz,
+    ) -> Result<VoltageWord, DesignError> {
+        for word in 1u8..64 {
+            let v = word_voltage(word);
+            if let Ok(max) = load.max_rate_with(eval, v, env, GateMismatch::NOMINAL) {
                 if max.value() >= rate.value() {
                     return Ok(word);
                 }
@@ -318,6 +377,27 @@ mod tests {
             "auto-designed LUT lost {:.2}% of items",
             s.loss_rate() * 100.0
         );
+    }
+
+    #[test]
+    fn eval_design_reproduces_the_analytic_lut() {
+        use subvt_device::tabulate::{AnalyticEval, TabulatedEval};
+        let tech = Technology::st_130nm();
+        let ring = RingOscillator::paper_circuit();
+        let env = Environment::nominal();
+        let bands = [(8, Hertz(50e3)), (16, Hertz(500e3)), (32, Hertz(5e6))];
+        let direct = RateController::design(&tech, &ring, env, &bands).unwrap();
+        let analytic = AnalyticEval::new(&tech);
+        let via_analytic = RateController::design_eval(&analytic, &ring, env, &bands).unwrap();
+        assert_eq!(
+            direct, via_analytic,
+            "analytic eval must design identically"
+        );
+        // LUT words quantize to 18.75 mV LSBs, far coarser than the
+        // interpolation budget: the tabulated design picks the same LUT.
+        let tabulated = TabulatedEval::new(&tech);
+        let via_table = RateController::design_eval(&tabulated, &ring, env, &bands).unwrap();
+        assert_eq!(direct, via_table, "tabulated design diverged");
     }
 
     #[test]

@@ -8,11 +8,14 @@
 //! Monte-Carlo-samples a die population and scores both designs against
 //! the same spec.
 
+use std::sync::Arc;
+
 use subvt_exec::{par_fold_chunked, par_map_indexed, ExecConfig, Welford};
 use subvt_rng::{Rng, StdRng};
 
 use subvt_device::delay::GateMismatch;
 use subvt_device::mosfet::Environment;
+use subvt_device::tabulate::{AnalyticEval, CachedEval, DeviceEval, SharedEval};
 use subvt_device::technology::Technology;
 use subvt_device::units::{Hertz, Joules, Volts};
 use subvt_device::variation::VariationModel;
@@ -212,7 +215,7 @@ impl YieldSummary {
 /// Emulates the dithered controller's settled *continuous* supply on a
 /// die: the fractional-sensing integrator walked to convergence.
 fn settled_voltage_dithered(
-    tech: &Technology,
+    eval: &dyn DeviceEval,
     sensor: &VariationSensor,
     design_word: VoltageWord,
     env: Environment,
@@ -220,7 +223,7 @@ fn settled_voltage_dithered(
 ) -> Volts {
     let mut v = word_voltage(design_word);
     for _ in 0..40 {
-        let Ok(frac) = sensor.sense_fractional(tech, design_word, v, env, die) else {
+        let Ok(frac) = sensor.sense_fractional_with(eval, design_word, v, env, die) else {
             break;
         };
         if frac.abs() < 0.02 {
@@ -236,7 +239,7 @@ fn settled_voltage_dithered(
 /// (bounded iterations — mirrors the LUT compensation loop without the
 /// cycle-by-cycle machinery).
 fn settled_word(
-    tech: &Technology,
+    eval: &dyn DeviceEval,
     sensor: &VariationSensor,
     design_word: VoltageWord,
     env: Environment,
@@ -244,7 +247,7 @@ fn settled_word(
 ) -> VoltageWord {
     let mut word = design_word;
     for _ in 0..8 {
-        let Ok(dev) = sensor.sense(tech, design_word, word_voltage(word), env, die) else {
+        let Ok(dev) = sensor.sense_with(eval, design_word, word_voltage(word), env, die) else {
             break;
         };
         if dev == 0 {
@@ -262,7 +265,7 @@ fn settled_word(
 /// The immutable per-study context shared (read-only) by every worker
 /// scoring dies.
 struct StudyContext<'a> {
-    tech: &'a Technology,
+    eval: SharedEval,
     load: &'a dyn CircuitLoad,
     env: Environment,
     variation: &'a VariationModel,
@@ -273,15 +276,15 @@ struct StudyContext<'a> {
 }
 
 impl StudyContext<'_> {
-    fn passes_v(&self, v: Volts, die: GateMismatch) -> (bool, Joules) {
+    fn passes_v(&self, eval: &dyn DeviceEval, v: Volts, die: GateMismatch) -> (bool, Joules) {
         let rate_ok = self
             .load
-            .max_rate(self.tech, v, self.env, die)
+            .max_rate_with(eval, v, self.env, die)
             .map(|r| r.value() >= self.spec.min_rate.value())
             .unwrap_or(false);
         let energy = self
             .load
-            .energy_per_op(self.tech, v, self.env)
+            .energy_per_op_with(eval, v, self.env)
             .map(|e| e.total())
             .unwrap_or(Joules(f64::INFINITY));
         (
@@ -290,32 +293,30 @@ impl StudyContext<'_> {
         )
     }
 
-    fn passes(&self, word: VoltageWord, die: GateMismatch) -> (bool, Joules) {
-        self.passes_v(word_voltage(word), die)
+    fn passes(
+        &self,
+        eval: &dyn DeviceEval,
+        word: VoltageWord,
+        die: GateMismatch,
+    ) -> (bool, Joules) {
+        self.passes_v(eval, word_voltage(word), die)
     }
 
     /// Scores one die from its pre-forked stream — a pure function of
-    /// the stream and the context, so it runs on any thread.
+    /// the stream and the context, so it runs on any thread. A per-die
+    /// memo ([`CachedEval`]) deduplicates the settling loops' repeated
+    /// operating points; memoization cannot change results.
     fn score_die(&self, mut die_rng: StdRng) -> DieOutcome {
         let die = self.variation.sample_die(&mut die_rng);
         let mismatch = die.mean_gate();
-        let (fixed_passes, _) = self.passes(self.fixed_word, mismatch);
-        let adaptive_word = settled_word(
-            self.tech,
-            &self.sensor,
-            self.design_word,
-            self.env,
-            mismatch,
-        );
-        let (adaptive_passes, adaptive_energy) = self.passes(adaptive_word, mismatch);
-        let dithered_v = settled_voltage_dithered(
-            self.tech,
-            &self.sensor,
-            self.design_word,
-            self.env,
-            mismatch,
-        );
-        let (dithered_passes, _) = self.passes_v(dithered_v, mismatch);
+        let cached = CachedEval::new(self.eval.as_ref());
+        let (fixed_passes, _) = self.passes(&cached, self.fixed_word, mismatch);
+        let adaptive_word =
+            settled_word(&cached, &self.sensor, self.design_word, self.env, mismatch);
+        let (adaptive_passes, adaptive_energy) = self.passes(&cached, adaptive_word, mismatch);
+        let dithered_v =
+            settled_voltage_dithered(&cached, &self.sensor, self.design_word, self.env, mismatch);
+        let (dithered_passes, _) = self.passes_v(&cached, dithered_v, mismatch);
         DieOutcome {
             corner_units: die.corner_units(),
             fixed_passes,
@@ -339,19 +340,25 @@ fn die_seeds<R: Rng + ?Sized>(rng: &mut R, dies: usize) -> Vec<u64> {
 }
 
 macro_rules! study_context {
-    ($tech:ident, $load:ident, $env:ident, $variation:ident, $spec:ident,
+    ($eval:ident, $load:ident, $env:ident, $variation:ident, $spec:ident,
      $fixed_word:ident, $design_word:ident) => {
         StudyContext {
-            tech: $tech,
+            sensor: VariationSensor::with_eval($eval.as_ref(), $env, SensorConfig::default()),
+            eval: $eval,
             load: $load,
             env: $env,
             variation: $variation,
             spec: $spec,
             fixed_word: $fixed_word,
             design_word: $design_word,
-            sensor: VariationSensor::new($tech, $env, SensorConfig::default()),
         }
     };
+}
+
+/// Wraps a technology in the analytic evaluator (the default study
+/// path, bit-identical to the pre-evaluator implementation).
+fn analytic(tech: &Technology) -> SharedEval {
+    Arc::new(AnalyticEval::new(tech))
 }
 
 /// Runs the yield study over `dies` sampled dies.
@@ -406,7 +413,39 @@ pub fn yield_study_jobs<R: Rng + ?Sized>(
     dies: usize,
     rng: &mut R,
 ) -> YieldReport {
-    let ctx = study_context!(tech, load, env, variation, spec, fixed_word, design_word);
+    yield_study_jobs_eval(
+        cfg,
+        analytic(tech),
+        load,
+        env,
+        variation,
+        spec,
+        fixed_word,
+        design_word,
+        dies,
+        rng,
+    )
+}
+
+/// [`yield_study_jobs`] scoring every die through an explicit
+/// [`SharedEval`] — pass a tabulated evaluator to take the analytic
+/// model off the Monte-Carlo hot path. The determinism contract is
+/// unchanged: the per-die physics is a pure function of the evaluator,
+/// so results are bit-identical at any worker count.
+#[allow(clippy::too_many_arguments)]
+pub fn yield_study_jobs_eval<R: Rng + ?Sized>(
+    cfg: &ExecConfig,
+    eval: SharedEval,
+    load: &dyn CircuitLoad,
+    env: Environment,
+    variation: &VariationModel,
+    spec: YieldSpec,
+    fixed_word: VoltageWord,
+    design_word: VoltageWord,
+    dies: usize,
+    rng: &mut R,
+) -> YieldReport {
+    let ctx = study_context!(eval, load, env, variation, spec, fixed_word, design_word);
     let seeds = die_seeds(rng, dies);
     let outcomes = par_map_indexed(cfg, dies, |i| {
         ctx.score_die(StdRng::seed_from_u64(seeds[i]))
@@ -434,7 +473,33 @@ pub fn yield_study_serial<R: Rng + ?Sized>(
     dies: usize,
     rng: &mut R,
 ) -> YieldReport {
-    let ctx = study_context!(tech, load, env, variation, spec, fixed_word, design_word);
+    yield_study_serial_eval(
+        analytic(tech),
+        load,
+        env,
+        variation,
+        spec,
+        fixed_word,
+        design_word,
+        dies,
+        rng,
+    )
+}
+
+/// [`yield_study_serial`] through an explicit [`SharedEval`].
+#[allow(clippy::too_many_arguments)]
+pub fn yield_study_serial_eval<R: Rng + ?Sized>(
+    eval: SharedEval,
+    load: &dyn CircuitLoad,
+    env: Environment,
+    variation: &VariationModel,
+    spec: YieldSpec,
+    fixed_word: VoltageWord,
+    design_word: VoltageWord,
+    dies: usize,
+    rng: &mut R,
+) -> YieldReport {
+    let ctx = study_context!(eval, load, env, variation, spec, fixed_word, design_word);
     let outcomes = (0..dies)
         // One forked stream per die: outcomes stay reproducible
         // per-label even if the per-die sampling ever starts consuming
@@ -467,7 +532,35 @@ pub fn yield_study_summary<R: Rng + ?Sized>(
     dies: usize,
     rng: &mut R,
 ) -> YieldSummary {
-    let ctx = study_context!(tech, load, env, variation, spec, fixed_word, design_word);
+    yield_study_summary_eval(
+        cfg,
+        analytic(tech),
+        load,
+        env,
+        variation,
+        spec,
+        fixed_word,
+        design_word,
+        dies,
+        rng,
+    )
+}
+
+/// [`yield_study_summary`] through an explicit [`SharedEval`].
+#[allow(clippy::too_many_arguments)]
+pub fn yield_study_summary_eval<R: Rng + ?Sized>(
+    cfg: &ExecConfig,
+    eval: SharedEval,
+    load: &dyn CircuitLoad,
+    env: Environment,
+    variation: &VariationModel,
+    spec: YieldSpec,
+    fixed_word: VoltageWord,
+    design_word: VoltageWord,
+    dies: usize,
+    rng: &mut R,
+) -> YieldSummary {
+    let ctx = study_context!(eval, load, env, variation, spec, fixed_word, design_word);
     let seeds = die_seeds(rng, dies);
     let mut summary = par_fold_chunked(
         cfg,
@@ -634,6 +727,101 @@ mod tests {
         let mean_full = report.mean_adaptive_energy().unwrap().value();
         let mean_summary = reference.mean_adaptive_energy().unwrap().value();
         assert!((mean_full - mean_summary).abs() < 1e-24, "joules-scale gap");
+    }
+
+    #[test]
+    fn tabulated_study_tracks_the_analytic_yield() {
+        use subvt_device::tabulate::TabulatedEval;
+        let tech = Technology::st_130nm();
+        let ring = RingOscillator::paper_circuit();
+        let variation = VariationModel::st_130nm();
+        let cfg = ExecConfig::with_jobs(2);
+        let mut rng = StdRng::seed_from_u64(77);
+        let reference = yield_study_summary(
+            &cfg,
+            &tech,
+            &ring,
+            Environment::nominal(),
+            &variation,
+            tight_spec(),
+            11,
+            11,
+            200,
+            &mut rng,
+        );
+        let tab: SharedEval = Arc::new(TabulatedEval::new(&tech));
+        let mut rng = StdRng::seed_from_u64(77);
+        let tabulated = yield_study_summary_eval(
+            &cfg,
+            tab,
+            &ring,
+            Environment::nominal(),
+            &variation,
+            tight_spec(),
+            11,
+            11,
+            200,
+            &mut rng,
+        );
+        assert_eq!(tabulated.dies, reference.dies);
+        // Interpolation error is ≤1%; pass/fail decisions near the spec
+        // boundary may flip on a handful of dies, never more.
+        for (t, a, what) in [
+            (tabulated.fixed_yield(), reference.fixed_yield(), "fixed"),
+            (
+                tabulated.adaptive_yield(),
+                reference.adaptive_yield(),
+                "adaptive",
+            ),
+            (
+                tabulated.dithered_yield(),
+                reference.dithered_yield(),
+                "dithered",
+            ),
+        ] {
+            assert!(
+                (t - a).abs() <= 0.05,
+                "{what}: tabulated {t} vs analytic {a}"
+            );
+        }
+        let mean_t = tabulated.mean_adaptive_energy().unwrap().value();
+        let mean_a = reference.mean_adaptive_energy().unwrap().value();
+        assert!(
+            (mean_t - mean_a).abs() / mean_a < 0.02,
+            "mean energy diverged: {mean_t:e} vs {mean_a:e}"
+        );
+    }
+
+    #[test]
+    fn analytic_eval_variant_is_bit_identical_to_default() {
+        let tech = Technology::st_130nm();
+        let ring = RingOscillator::paper_circuit();
+        let variation = VariationModel::st_130nm();
+        let mut rng = StdRng::seed_from_u64(5);
+        let default = yield_study_serial(
+            &tech,
+            &ring,
+            Environment::nominal(),
+            &variation,
+            tight_spec(),
+            11,
+            11,
+            50,
+            &mut rng,
+        );
+        let mut rng = StdRng::seed_from_u64(5);
+        let explicit = yield_study_serial_eval(
+            analytic(&tech),
+            &ring,
+            Environment::nominal(),
+            &variation,
+            tight_spec(),
+            11,
+            11,
+            50,
+            &mut rng,
+        );
+        assert_eq!(default, explicit);
     }
 
     #[test]

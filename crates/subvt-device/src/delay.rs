@@ -20,6 +20,13 @@ pub struct SupplyRangeError {
 }
 
 impl SupplyRangeError {
+    /// Constructs the error (crate-internal; evaluators in
+    /// [`crate::tabulate`] raise it without going through
+    /// [`GateTiming`]).
+    pub(crate) fn new(vdd: Volts, min_vdd: Volts) -> SupplyRangeError {
+        SupplyRangeError { vdd, min_vdd }
+    }
+
     /// The offending supply voltage.
     pub fn vdd(&self) -> Volts {
         self.vdd
@@ -128,6 +135,7 @@ impl<'a> GateTiming<'a> {
                 min_vdd: self.tech.min_vdd,
             });
         }
+        crate::metrics::record_analytic_delay();
         let cap = self.tech.gate_cap.value() * kind.cap_factor() * fanout.max(0.0);
         let (n_stack, p_stack) = kind.stack_factors();
         let i_n = self

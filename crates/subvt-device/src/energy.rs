@@ -232,6 +232,7 @@ pub fn energy_per_cycle(
 ) -> Result<EnergyBreakdown, SupplyRangeError> {
     let timing = GateTiming::new(tech);
     let gate_delay = timing.gate_delay(profile.gate, vdd, env)?;
+    crate::metrics::record_analytic_energy();
     let cycle_time = gate_delay * profile.depth;
     let scales = profile.corner_cal.scales(env.corner);
 

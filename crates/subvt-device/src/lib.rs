@@ -17,6 +17,9 @@
 //! * [`calibration`] — fitting routines that pin the analytic models to
 //!   the paper's published silicon numbers;
 //! * [`variation`] — Monte-Carlo global + local threshold variation;
+//! * [`tabulate`] / [`metrics`] — precomputed monotone-cubic device
+//!   surfaces behind the [`tabulate::DeviceEval`] trait (the
+//!   Monte-Carlo hot path), plus the counters that measure them;
 //! * [`units`] / [`constants`] / [`corner`] / [`technology`] /
 //!   [`optimize`] — supporting vocabulary.
 //!
@@ -52,10 +55,12 @@ pub mod corner;
 pub mod delay;
 pub mod energy;
 pub mod mep;
+pub mod metrics;
 pub mod mosfet;
 pub mod noise_margin;
 pub mod optimize;
 pub mod sizing;
+pub mod tabulate;
 pub mod technology;
 pub mod units;
 pub mod variation;
@@ -64,10 +69,15 @@ pub use body_bias::{BodyBias, BodyEffect};
 pub use corner::ProcessCorner;
 pub use delay::{GateMismatch, GateTiming, SupplyRangeError};
 pub use energy::{energy_per_cycle, CircuitProfile, EnergyBreakdown};
-pub use mep::{energy_sweep, find_mep, MepPoint};
+pub use mep::{energy_sweep, energy_sweep_eval, find_mep, find_mep_eval, MepPoint};
+pub use metrics::MetricsSnapshot;
 pub use mosfet::{DeviceType, Environment, MosfetParams};
 pub use noise_margin::{minimum_operational_vdd, static_noise_margin, switching_threshold};
 pub use sizing::{sizing_sweep, SizingPoint};
+pub use tabulate::{
+    AnalyticEval, AxisSpec, CachedEval, DeviceEval, EvalMode, GridSpec, SharedEval, TabulatedEval,
+    ACCURACY_BUDGET,
+};
 pub use technology::{GateKind, Technology};
 pub use units::{Amps, Farads, Hertz, Joules, Kelvin, Ohms, Seconds, Volts, Watts};
 pub use variation::{DieVariation, VariationModel};

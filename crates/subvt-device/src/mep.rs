@@ -8,6 +8,7 @@ use crate::delay::SupplyRangeError;
 use crate::energy::{energy_per_cycle, CircuitProfile, EnergyBreakdown};
 use crate::mosfet::Environment;
 use crate::optimize::golden_section;
+use crate::tabulate::DeviceEval;
 use crate::technology::Technology;
 use crate::units::{Joules, Volts};
 
@@ -55,20 +56,60 @@ pub fn find_mep(
     v_lo: Volts,
     v_hi: Volts,
 ) -> Result<MepPoint, SupplyRangeError> {
+    find_mep_impl(|v| energy_per_cycle(tech, profile, v, env), v_lo, v_hi)
+}
+
+/// [`find_mep`] through an explicit [`DeviceEval`] — the tabulated
+/// evaluators answer the ~90 energy samples of the golden-section
+/// search from their interpolation surfaces.
+///
+/// # Errors
+///
+/// Returns [`SupplyRangeError`] when `v_lo` is below the technology's
+/// functional floor.
+///
+/// # Panics
+///
+/// Panics if `v_lo >= v_hi`.
+pub fn find_mep_eval(
+    eval: &dyn DeviceEval,
+    profile: &CircuitProfile,
+    env: Environment,
+    v_lo: Volts,
+    v_hi: Volts,
+) -> Result<MepPoint, SupplyRangeError> {
+    find_mep_impl(|v| eval.energy(profile, v, env), v_lo, v_hi)
+}
+
+fn find_mep_impl<E>(energy: E, v_lo: Volts, v_hi: Volts) -> Result<MepPoint, SupplyRangeError>
+where
+    E: Fn(Volts) -> Result<EnergyBreakdown, SupplyRangeError>,
+{
     assert!(v_lo < v_hi, "invalid voltage bracket");
     // Validate the lower edge once so the closure below can't fail.
-    energy_per_cycle(tech, profile, v_lo, env)?;
+    energy(v_lo)?;
+    // Stash the breakdown of the best sample as the search evaluates
+    // it, mirroring `golden_section`'s strict-< tie rule so the stashed
+    // sample is exactly the one the minimizer returns — no re-eval at
+    // the optimum.
+    let mut best: Option<EnergyBreakdown> = None;
     let m = golden_section(
-        |v| {
-            energy_per_cycle(tech, profile, Volts(v), env)
-                .map(|e| e.total().value())
-                .unwrap_or(f64::INFINITY)
+        |v| match energy(Volts(v)) {
+            Ok(e) => {
+                let total = e.total().value();
+                if best.is_none_or(|b| total < b.total().value()) {
+                    best = Some(e);
+                }
+                total
+            }
+            Err(_) => f64::INFINITY,
         },
         v_lo.volts(),
         v_hi.volts(),
         1e-6,
     );
-    let breakdown = energy_per_cycle(tech, profile, Volts(m.x), env)?;
+    let breakdown = best.expect("the validated lower edge was sampled");
+    debug_assert_eq!(breakdown.vdd.volts(), m.x);
     Ok(MepPoint {
         vopt: Volts(m.x),
         energy: breakdown.total(),
@@ -98,6 +139,29 @@ pub fn energy_sweep(
         .filter_map(|i| {
             let v = v_lo.volts() + (v_hi.volts() - v_lo.volts()) * (i as f64) / (steps as f64);
             energy_per_cycle(tech, profile, Volts(v), env).ok()
+        })
+        .collect()
+}
+
+/// [`energy_sweep`] through an explicit [`DeviceEval`].
+///
+/// # Panics
+///
+/// Panics if `v_lo >= v_hi` or `steps == 0`.
+pub fn energy_sweep_eval(
+    eval: &dyn DeviceEval,
+    profile: &CircuitProfile,
+    env: Environment,
+    v_lo: Volts,
+    v_hi: Volts,
+    steps: usize,
+) -> Vec<EnergyBreakdown> {
+    assert!(v_lo < v_hi, "invalid voltage bracket");
+    assert!(steps > 0, "need at least one step");
+    (0..=steps)
+        .filter_map(|i| {
+            let v = v_lo.volts() + (v_hi.volts() - v_lo.volts()) * (i as f64) / (steps as f64);
+            eval.energy(profile, Volts(v), env).ok()
         })
         .collect()
 }
@@ -287,6 +351,40 @@ mod tests {
         let e_spread = (emax - emin) / emin;
         assert!((0.20..0.32).contains(&v_spread), "vopt spread {v_spread}");
         assert!((0.45..0.65).contains(&e_spread), "energy spread {e_spread}");
+    }
+
+    #[test]
+    fn eval_variants_track_the_analytic_mep() {
+        use crate::tabulate::{AnalyticEval, TabulatedEval, ACCURACY_BUDGET};
+        let tech = Technology::st_130nm();
+        let ring = CircuitProfile::ring_oscillator();
+        let env = Environment::nominal();
+        let direct = find_mep(&tech, &ring, env, Volts(0.12), Volts(0.6)).unwrap();
+
+        // The analytic evaluator is the same math — bit-identical.
+        let analytic = AnalyticEval::new(&tech);
+        let via_eval = find_mep_eval(&analytic, &ring, env, Volts(0.12), Volts(0.6)).unwrap();
+        assert_eq!(via_eval.vopt, direct.vopt);
+        assert_eq!(via_eval.energy, direct.energy);
+
+        // The tabulated evaluator lands within the accuracy budget.
+        let tab = TabulatedEval::new(&tech);
+        let t = find_mep_eval(&tab, &ring, env, Volts(0.12), Volts(0.6)).unwrap();
+        let e_err = (t.energy.value() - direct.energy.value()).abs() / direct.energy.value();
+        assert!(e_err < ACCURACY_BUDGET, "energy err {e_err}");
+        assert!(
+            (t.vopt.volts() - direct.vopt.volts()).abs() < 0.005,
+            "vopt moved"
+        );
+
+        // Sweep variant agrees point-by-point within budget.
+        let sa = energy_sweep(&tech, &ring, env, Volts(0.12), Volts(0.6), 24);
+        let st = energy_sweep_eval(&tab, &ring, env, Volts(0.12), Volts(0.6), 24);
+        assert_eq!(sa.len(), st.len());
+        for (a, t) in sa.iter().zip(&st) {
+            let err = (t.total().value() - a.total().value()).abs() / a.total().value();
+            assert!(err < ACCURACY_BUDGET, "at {}: err {err}", a.vdd);
+        }
     }
 
     #[test]

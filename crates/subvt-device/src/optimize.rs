@@ -21,6 +21,12 @@ pub struct ScalarMinimum {
 /// The search is robust to mildly non-unimodal functions because it is
 /// seeded by a coarse grid scan that brackets the best grid point first.
 ///
+/// The returned [`ScalarMinimum`] is the best *evaluated* sample — `f`
+/// is never called again after the bracket converges, so callers that
+/// need the objective at the optimum (e.g. the MEP search threading an
+/// energy breakdown through) can capture it from their closure without
+/// a redundant re-evaluation.
+///
 /// # Panics
 ///
 /// Panics if `lo >= hi` or `tol <= 0`.
@@ -35,13 +41,26 @@ pub fn golden_section<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, tol: f64
     assert!(lo < hi, "invalid bracket: lo {lo} >= hi {hi}");
     assert!(tol > 0.0, "tolerance must be positive");
 
+    // Best-ever sample; strict `<` so the earliest of equal values wins
+    // (keeps results independent of evaluation count).
+    let mut best = ScalarMinimum {
+        x: f64::NAN,
+        value: f64::INFINITY,
+    };
+    let mut track = |x: f64, v: f64| {
+        if v < best.value {
+            best = ScalarMinimum { x, value: v };
+        }
+        v
+    };
+
     // Coarse scan to bracket the global grid minimum.
     const GRID: usize = 64;
     let mut best_i = 0;
     let mut best_v = f64::INFINITY;
     for i in 0..=GRID {
         let x = lo + (hi - lo) * (i as f64) / (GRID as f64);
-        let v = f(x);
+        let v = track(x, f(x));
         if v < best_v {
             best_v = v;
             best_i = i;
@@ -54,26 +73,24 @@ pub fn golden_section<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, tol: f64
     const INV_PHI: f64 = 0.618_033_988_749_894_8;
     let mut c = b - (b - a) * INV_PHI;
     let mut d = a + (b - a) * INV_PHI;
-    let mut fc = f(c);
-    let mut fd = f(d);
+    let mut fc = track(c, f(c));
+    let mut fd = track(d, f(d));
     while (b - a).abs() > tol {
         if fc < fd {
             b = d;
             d = c;
             fd = fc;
             c = b - (b - a) * INV_PHI;
-            fc = f(c);
+            fc = track(c, f(c));
         } else {
             a = c;
             c = d;
             fc = fd;
             d = a + (b - a) * INV_PHI;
-            fd = f(d);
+            fd = track(d, f(d));
         }
     }
-    let x = 0.5 * (a + b);
-    let value = f(x);
-    ScalarMinimum { x, value }
+    best
 }
 
 /// Options controlling the Nelder-Mead simplex search.
@@ -261,6 +278,41 @@ mod tests {
     #[should_panic(expected = "invalid bracket")]
     fn golden_section_rejects_bad_bracket() {
         let _ = golden_section(|x| x, 2.0, 1.0, 1e-9);
+    }
+
+    #[test]
+    fn golden_section_eval_budget_and_best_sample() {
+        // 65 grid evals + 2 bracket seeds + one per golden iteration
+        // (the bracket is (hi-lo)/32 wide and shrinks by φ⁻¹ ≈ 0.618
+        // per step: ~22 iterations to 1e-6) — and, crucially, no final
+        // re-evaluation at the midpoint.
+        let mut samples: Vec<(f64, f64)> = Vec::new();
+        let m = golden_section(
+            |x| {
+                let v = (x - 0.37) * (x - 0.37);
+                samples.push((x, v));
+                v
+            },
+            0.0,
+            1.0,
+            1e-6,
+        );
+        assert!(
+            samples.len() <= 95,
+            "eval count regressed: {}",
+            samples.len()
+        );
+        // The result is one of the evaluated samples, and the best one.
+        assert!(
+            samples.iter().any(|&(x, v)| x == m.x && v == m.value),
+            "result was not an evaluated sample"
+        );
+        let best = samples
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(m.value, best);
+        assert!((m.x - 0.37).abs() < 1e-6);
     }
 
     #[test]

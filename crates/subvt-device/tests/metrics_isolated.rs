@@ -1,0 +1,105 @@
+//! Device-model counter accounting, in a process of its own.
+//!
+//! The metrics counters are global atomics, so unit tests can only
+//! assert on before/after deltas that other threads may race. This
+//! integration binary runs exactly one test and therefore sees the
+//! counters from zero: it can pin the *absolute* bookkeeping of a
+//! tabulated session — most importantly that a table build plus
+//! in-grid queries performs **zero** analytic model evaluations.
+
+use subvt_device::corner::ProcessCorner;
+use subvt_device::delay::GateMismatch;
+use subvt_device::energy::CircuitProfile;
+use subvt_device::mosfet::Environment;
+use subvt_device::tabulate::{CachedEval, DeviceEval, TabulatedEval};
+use subvt_device::technology::{GateKind, Technology};
+use subvt_device::units::Volts;
+use subvt_device::MetricsSnapshot;
+
+#[test]
+fn tabulated_session_performs_zero_analytic_evals() {
+    let tech = Technology::st_130nm();
+    assert_eq!(
+        MetricsSnapshot::snapshot(),
+        MetricsSnapshot::default(),
+        "no device-model work may precede this test (single-test binary)"
+    );
+
+    // Building the surfaces samples raw device currents, which is not
+    // an analytic delay/energy *evaluation* and must not count as one.
+    let tab = TabulatedEval::new(&tech);
+    let after_build = MetricsSnapshot::snapshot();
+    assert_eq!(after_build.analytic_evals(), 0);
+    assert_eq!(after_build.table_builds, 1);
+    assert!(after_build.table_build_nanos > 0);
+
+    // A spread of strictly in-grid queries: delays (single and fused
+    // pair) and energies across corners and temperatures.
+    let profile = CircuitProfile::ring_oscillator();
+    let mm = GateMismatch {
+        nmos_dvth: Volts(0.012),
+        pmos_dvth: Volts(-0.009),
+    };
+    let mut expected_delay_hits = 0;
+    let mut expected_energy_hits = 0;
+    for corner in ProcessCorner::ALL {
+        let env = Environment::at_corner(corner).with_celsius(37.0);
+        for mv in [180.0, 266.25, 410.0] {
+            let vdd = Volts::from_millivolts(mv);
+            tab.gate_delay(GateKind::Nand2, vdd, env, mm, 1.0).unwrap();
+            expected_delay_hits += 1;
+            // The fused pair answers two queries from one interpolation
+            // and accounts for both.
+            tab.gate_delay_pair((GateKind::Inverter, GateKind::Nor2), vdd, env, mm, 1.0)
+                .unwrap();
+            expected_delay_hits += 2;
+            tab.energy(&profile, vdd, env).unwrap();
+            expected_energy_hits += 1;
+        }
+    }
+    let after_queries = MetricsSnapshot::snapshot();
+    assert_eq!(
+        after_queries.analytic_evals(),
+        0,
+        "in-grid tabulated queries must never touch the analytic model"
+    );
+    assert_eq!(after_queries.exact_fallbacks, 0);
+    assert_eq!(after_queries.interp_delay_hits, expected_delay_hits);
+    assert_eq!(after_queries.interp_energy_hits, expected_energy_hits);
+
+    // A memoizing wrapper on top: repeats are cache hits, not new
+    // interpolations.
+    let cached = CachedEval::new(&tab);
+    let env = Environment::nominal();
+    let v = Volts::from_millivolts(322.5);
+    for _ in 0..3 {
+        cached
+            .gate_delay(GateKind::Inverter, v, env, mm, 1.0)
+            .unwrap();
+        cached
+            .gate_delay_pair((GateKind::Inverter, GateKind::Nor2), v, env, mm, 1.0)
+            .unwrap();
+    }
+    let after_cache = MetricsSnapshot::snapshot();
+    assert_eq!(after_cache.analytic_evals(), 0);
+    // First round: one single interp + one fused pair (two hits); the
+    // pair's inverter leg reuses the single's cached entry only on
+    // later rounds, so round one records 1 + 2 = 3 interp hits…
+    assert_eq!(
+        after_cache.interp_delay_hits,
+        expected_delay_hits + 3,
+        "repeat queries must be served by the cache"
+    );
+    // …and the two repeat rounds record two cache hits each (single +
+    // pair counts both legs): 1 + 2 per round.
+    assert_eq!(after_cache.cache_hits, 6);
+
+    // One step off the grid: the exact fallback answers (correctly)
+    // and the analytic counter finally moves — proving the counter was
+    // live all along, not silently disconnected.
+    let hot = Environment::at_corner(ProcessCorner::Tt).with_celsius(150.0);
+    tab.gate_delay(GateKind::Inverter, v, hot, mm, 1.0).unwrap();
+    let after_fallback = MetricsSnapshot::snapshot();
+    assert_eq!(after_fallback.exact_fallbacks, 1);
+    assert_eq!(after_fallback.analytic_delay_evals, 1);
+}

@@ -3,6 +3,7 @@
 use subvt_device::delay::{GateMismatch, SupplyRangeError};
 use subvt_device::energy::{energy_per_cycle, CircuitProfile, EnergyBreakdown};
 use subvt_device::mosfet::Environment;
+use subvt_device::tabulate::DeviceEval;
 use subvt_device::technology::Technology;
 use subvt_device::units::{Amps, Hertz, Seconds, Volts};
 
@@ -62,6 +63,56 @@ pub trait CircuitLoad: std::fmt::Debug + Send + Sync {
         env: Environment,
     ) -> Result<EnergyBreakdown, SupplyRangeError> {
         energy_per_cycle(tech, self.profile(), vdd, env)
+    }
+
+    /// Critical-path delay through a [`DeviceEval`] (analytic or
+    /// tabulated surfaces). The default falls back to the direct
+    /// analytic path via the evaluator's technology; implementors with
+    /// a gate-level critical path should override it to route the gate
+    /// delays through `eval`.
+    ///
+    /// # Errors
+    ///
+    /// As [`CircuitLoad::critical_path`].
+    fn critical_path_with(
+        &self,
+        eval: &dyn DeviceEval,
+        vdd: Volts,
+        env: Environment,
+        mismatch: GateMismatch,
+    ) -> Result<Seconds, SupplyRangeError> {
+        self.critical_path(eval.technology(), vdd, env, mismatch)
+    }
+
+    /// Maximum operation rate through a [`DeviceEval`].
+    ///
+    /// # Errors
+    ///
+    /// As [`CircuitLoad::critical_path`].
+    fn max_rate_with(
+        &self,
+        eval: &dyn DeviceEval,
+        vdd: Volts,
+        env: Environment,
+        mismatch: GateMismatch,
+    ) -> Result<Hertz, SupplyRangeError> {
+        Ok(self
+            .critical_path_with(eval, vdd, env, mismatch)?
+            .to_frequency())
+    }
+
+    /// Energy breakdown of one operation through a [`DeviceEval`].
+    ///
+    /// # Errors
+    ///
+    /// As [`CircuitLoad::critical_path`].
+    fn energy_per_op_with(
+        &self,
+        eval: &dyn DeviceEval,
+        vdd: Volts,
+        env: Environment,
+    ) -> Result<EnergyBreakdown, SupplyRangeError> {
+        eval.energy(self.profile(), vdd, env)
     }
 
     /// Average supply current while operating continuously at `vdd`:

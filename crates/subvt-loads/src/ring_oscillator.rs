@@ -144,6 +144,17 @@ impl CircuitLoad for RingOscillator {
         let t = GateTiming::new(tech).gate_delay_with(GateKind::Nand2, vdd, env, mismatch, 1.0)?;
         Ok(t * self.profile.depth)
     }
+
+    fn critical_path_with(
+        &self,
+        eval: &dyn subvt_device::tabulate::DeviceEval,
+        vdd: Volts,
+        env: Environment,
+        mismatch: GateMismatch,
+    ) -> Result<Seconds, SupplyRangeError> {
+        let t = eval.gate_delay(GateKind::Nand2, vdd, env, mismatch, 1.0)?;
+        Ok(t * self.profile.depth)
+    }
 }
 
 #[cfg(test)]
@@ -259,6 +270,35 @@ mod tests {
         let e_busy = busy.energy_per_op(&tech, v, env).unwrap();
         assert!((e_busy.dynamic.value() / e_lazy.dynamic.value() - 10.0).abs() < 1e-6);
         assert!((e_busy.leakage.value() - e_lazy.leakage.value()).abs() < 1e-20);
+    }
+
+    #[test]
+    fn eval_critical_path_matches_direct_path() {
+        use subvt_device::tabulate::{AnalyticEval, TabulatedEval, ACCURACY_BUDGET};
+        let (tech, ring) = fixture();
+        let env = Environment::nominal();
+        let mm = GateMismatch {
+            nmos_dvth: Volts(0.011),
+            pmos_dvth: Volts(-0.007),
+        };
+        let analytic = AnalyticEval::new(&tech);
+        let tabulated = TabulatedEval::new(&tech);
+        for v in [Volts(0.231), Volts(0.35), Volts(0.62)] {
+            let direct = ring.critical_path(&tech, v, env, mm).unwrap();
+            let via_analytic = ring.critical_path_with(&analytic, v, env, mm).unwrap();
+            assert_eq!(direct.value(), via_analytic.value());
+            let via_table = ring.critical_path_with(&tabulated, v, env, mm).unwrap();
+            let rel = (via_table.value() - direct.value()).abs() / direct.value();
+            assert!(rel < ACCURACY_BUDGET, "{v:?}: rel err {rel:.2e}");
+            // Rates and energies route through the same surfaces.
+            let rate = ring.max_rate_with(&tabulated, v, env, mm).unwrap();
+            assert!((rate.value() * via_table.value() - 1.0).abs() < 1e-12);
+            let e_direct = ring.energy_per_op(&tech, v, env).unwrap();
+            let e_table = ring.energy_per_op_with(&tabulated, v, env).unwrap();
+            let e_rel = (e_table.total().value() - e_direct.total().value()).abs()
+                / e_direct.total().value();
+            assert!(e_rel < ACCURACY_BUDGET, "{v:?}: energy rel err {e_rel:.2e}");
+        }
     }
 
     #[test]

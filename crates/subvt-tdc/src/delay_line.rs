@@ -8,6 +8,7 @@
 
 use subvt_device::delay::{GateMismatch, GateTiming, SupplyRangeError};
 use subvt_device::mosfet::Environment;
+use subvt_device::tabulate::DeviceEval;
 use subvt_device::technology::{GateKind, Technology};
 use subvt_device::units::{Seconds, Volts};
 use subvt_sim::logic::Logic;
@@ -90,6 +91,41 @@ impl DelayLine {
             CellKind::Inverter => {
                 timing.gate_delay_with(GateKind::Inverter, vdd, env, self.mismatch, 1.0)
             }
+        }
+    }
+
+    /// Per-stage propagation delay through a [`DeviceEval`] (analytic
+    /// or tabulated surfaces). [`DelayLine::cell_delay`] keeps the
+    /// direct analytic path.
+    ///
+    /// The inverter+NOR₂ cell goes through the evaluator's fused
+    /// [`DeviceEval::gate_delay_pair`]: both stages sit at the same
+    /// (Vdd, environment, mismatch) point, so a table-backed evaluator
+    /// answers them from one current interpolation. The default pair
+    /// implementation is two plain `gate_delay` calls, which keeps the
+    /// analytic path bit-identical to [`DelayLine::cell_delay`].
+    ///
+    /// # Errors
+    ///
+    /// As [`DelayLine::cell_delay`].
+    pub fn cell_delay_with(
+        &self,
+        eval: &dyn DeviceEval,
+        vdd: Volts,
+        env: Environment,
+    ) -> Result<Seconds, SupplyRangeError> {
+        match self.cell {
+            CellKind::InvNor => {
+                let (inv, nor) = eval.gate_delay_pair(
+                    (GateKind::Inverter, GateKind::Nor2),
+                    vdd,
+                    env,
+                    self.mismatch,
+                    1.0,
+                )?;
+                Ok(inv + nor)
+            }
+            CellKind::Inverter => eval.gate_delay(GateKind::Inverter, vdd, env, self.mismatch, 1.0),
         }
     }
 
@@ -277,6 +313,27 @@ mod tests {
         let after = launch + SimDuration::from_seconds(cell.value() * 8.5);
         nl.run_until(after, 100_000);
         assert_eq!(nl.signal(*taps.last().unwrap()), Logic::High);
+    }
+
+    #[test]
+    fn eval_variant_matches_direct_path() {
+        use subvt_device::tabulate::{AnalyticEval, TabulatedEval, ACCURACY_BUDGET};
+        let (tech, env) = fixture();
+        let line = DelayLine::new(64, CellKind::InvNor).with_mismatch(GateMismatch {
+            nmos_dvth: Volts(0.008),
+            pmos_dvth: Volts(-0.005),
+        });
+        let analytic = AnalyticEval::new(&tech);
+        let tabulated = TabulatedEval::new(&tech);
+        for mv in [233.0, 356.25, 601.0] {
+            let v = Volts::from_millivolts(mv);
+            let direct = line.cell_delay(&tech, v, env).unwrap();
+            let via_analytic = line.cell_delay_with(&analytic, v, env).unwrap();
+            assert_eq!(direct.value(), via_analytic.value(), "{mv} mV");
+            let via_table = line.cell_delay_with(&tabulated, v, env).unwrap();
+            let rel = (via_table.value() - direct.value()).abs() / direct.value();
+            assert!(rel < ACCURACY_BUDGET, "{mv} mV: rel err {rel:.2e}");
+        }
     }
 
     #[test]

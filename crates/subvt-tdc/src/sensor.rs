@@ -19,6 +19,7 @@ use std::fmt;
 use subvt_device::constants::DCDC_LSB;
 use subvt_device::delay::GateMismatch;
 use subvt_device::mosfet::Environment;
+use subvt_device::tabulate::{AnalyticEval, DeviceEval};
 use subvt_device::technology::Technology;
 use subvt_device::units::{Seconds, Volts};
 use subvt_digital::encoder::EncodeError;
@@ -121,10 +122,21 @@ impl VariationSensor {
         design_env: Environment,
         config: SensorConfig,
     ) -> VariationSensor {
+        Self::with_eval(&AnalyticEval::new(tech), design_env, config)
+    }
+
+    /// Calibrates a sensor through a [`DeviceEval`] — the tabulated
+    /// variant of [`VariationSensor::new`]. With an
+    /// [`AnalyticEval`] the result is bit-identical to `new`.
+    pub fn with_eval(
+        eval: &dyn DeviceEval,
+        design_env: Environment,
+        config: SensorConfig,
+    ) -> VariationSensor {
         let line = DelayLine::new(config.stages, CellKind::InvNor);
         let mut bands = Vec::with_capacity(64);
         for word in 0u8..64 {
-            bands.push(Self::calibrate_band(tech, design_env, &line, config, word));
+            bands.push(Self::calibrate_band(eval, design_env, &line, config, word));
         }
         VariationSensor {
             config,
@@ -135,14 +147,14 @@ impl VariationSensor {
     }
 
     fn calibrate_band(
-        tech: &Technology,
+        eval: &dyn DeviceEval,
         design_env: Environment,
         line: &DelayLine,
         config: SensorConfig,
         word: VoltageWord,
     ) -> Option<BandTable> {
         let v = word_voltage(word);
-        let cell = line.cell_delay(tech, v, design_env).ok()?;
+        let cell = line.cell_delay_with(eval, v, design_env).ok()?;
         let period = Seconds(cell.value() * config.period_stages);
         let anchor = Seconds(cell.value() * config.anchor_stages);
         let quantizer = Quantizer::new(config.stages, RefClock::square(period), anchor);
@@ -153,7 +165,7 @@ impl VariationSensor {
                 continue;
             }
             let vn = word_voltage(w as VoltageWord);
-            let Ok(cell_n) = line.cell_delay(tech, vn, design_env) else {
+            let Ok(cell_n) = line.cell_delay_with(eval, vn, design_env) else {
                 continue;
             };
             if let Ok(code) = quantizer.sample(cell_n).encode() {
@@ -215,6 +227,33 @@ impl VariationSensor {
         let cell = line
             .cell_delay(tech, actual_vdd, env)
             .map_err(|_| SenseError::Unreliable(EncodeError::Empty))?;
+        Self::encode_cell(band, cell)
+    }
+
+    /// [`VariationSensor::measure`] through a [`DeviceEval`]: the
+    /// replica delay comes from the evaluator instead of the direct
+    /// analytic model.
+    ///
+    /// # Errors
+    ///
+    /// As [`VariationSensor::measure`].
+    pub fn measure_with(
+        &self,
+        eval: &dyn DeviceEval,
+        word: VoltageWord,
+        actual_vdd: Volts,
+        env: Environment,
+        mismatch: GateMismatch,
+    ) -> Result<u32, SenseError> {
+        let band = self.band(word)?;
+        let line = self.line.clone().with_mismatch(mismatch);
+        let cell = line
+            .cell_delay_with(eval, actual_vdd, env)
+            .map_err(|_| SenseError::Unreliable(EncodeError::Empty))?;
+        Self::encode_cell(band, cell)
+    }
+
+    fn encode_cell(band: &BandTable, cell: Seconds) -> Result<u32, SenseError> {
         band.quantizer
             .sample(cell)
             .encode_bubble_tolerant()
@@ -295,15 +334,26 @@ impl VariationSensor {
         env: Environment,
         mismatch: GateMismatch,
     ) -> Result<i16, SenseError> {
-        match self.measure(tech, word, actual_vdd, env, mismatch) {
-            Ok(code) => self.deviation_lsb(word, code),
-            Err(SenseError::Unreliable(EncodeError::Saturated)) => Ok(self.config.neighbor_range),
-            Err(SenseError::Unreliable(EncodeError::Empty))
-            | Err(SenseError::Unreliable(EncodeError::MultipleBursts { .. })) => {
-                Ok(-self.config.neighbor_range)
-            }
-            Err(e) => Err(e),
-        }
+        self.classify(word, self.measure(tech, word, actual_vdd, env, mismatch))
+    }
+
+    /// [`VariationSensor::sense`] through a [`DeviceEval`].
+    ///
+    /// # Errors
+    ///
+    /// As [`VariationSensor::sense`].
+    pub fn sense_with(
+        &self,
+        eval: &dyn DeviceEval,
+        word: VoltageWord,
+        actual_vdd: Volts,
+        env: Environment,
+        mismatch: GateMismatch,
+    ) -> Result<i16, SenseError> {
+        self.classify(
+            word,
+            self.measure_with(eval, word, actual_vdd, env, mismatch),
+        )
     }
 
     /// Fractional-deviation variant of [`VariationSensor::sense`].
@@ -319,7 +369,52 @@ impl VariationSensor {
         env: Environment,
         mismatch: GateMismatch,
     ) -> Result<f64, SenseError> {
-        match self.measure(tech, word, actual_vdd, env, mismatch) {
+        self.classify_fractional(word, self.measure(tech, word, actual_vdd, env, mismatch))
+    }
+
+    /// [`VariationSensor::sense_fractional`] through a [`DeviceEval`].
+    ///
+    /// # Errors
+    ///
+    /// As [`VariationSensor::sense`].
+    pub fn sense_fractional_with(
+        &self,
+        eval: &dyn DeviceEval,
+        word: VoltageWord,
+        actual_vdd: Volts,
+        env: Environment,
+        mismatch: GateMismatch,
+    ) -> Result<f64, SenseError> {
+        self.classify_fractional(
+            word,
+            self.measure_with(eval, word, actual_vdd, env, mismatch),
+        )
+    }
+
+    /// Maps a measurement to the integer signature, classifying the
+    /// out-of-range line states as extreme deviations.
+    fn classify(
+        &self,
+        word: VoltageWord,
+        measured: Result<u32, SenseError>,
+    ) -> Result<i16, SenseError> {
+        match measured {
+            Ok(code) => self.deviation_lsb(word, code),
+            Err(SenseError::Unreliable(EncodeError::Saturated)) => Ok(self.config.neighbor_range),
+            Err(SenseError::Unreliable(EncodeError::Empty))
+            | Err(SenseError::Unreliable(EncodeError::MultipleBursts { .. })) => {
+                Ok(-self.config.neighbor_range)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn classify_fractional(
+        &self,
+        word: VoltageWord,
+        measured: Result<u32, SenseError>,
+    ) -> Result<f64, SenseError> {
+        match measured {
             Ok(code) => self.deviation_fractional(word, code),
             Err(SenseError::Unreliable(EncodeError::Saturated)) => {
                 Ok(f64::from(self.config.neighbor_range))
@@ -552,6 +647,39 @@ mod tests {
             .sense_fractional(&tech, 12, word_voltage(12), Environment::nominal(), wild)
             .unwrap();
         assert_eq!(frac, -3.0, "clamped at the neighbour range");
+    }
+
+    #[test]
+    fn eval_calibration_and_sensing_match_direct_path() {
+        use subvt_device::tabulate::{AnalyticEval, TabulatedEval};
+        let tech = Technology::st_130nm();
+        let env = Environment::nominal();
+        let direct = VariationSensor::new(&tech, env, SensorConfig::default());
+        let analytic = AnalyticEval::new(&tech);
+        let via_analytic = VariationSensor::with_eval(&analytic, env, SensorConfig::default());
+        assert_eq!(
+            direct, via_analytic,
+            "analytic eval must calibrate identically"
+        );
+
+        // Tabulated calibration + sensing reproduces the worked example:
+        // a TT-calibrated sensor reads a slow corner as slow.
+        let tabulated = TabulatedEval::new(&tech);
+        let sensor = VariationSensor::with_eval(&tabulated, env, SensorConfig::default());
+        let dev = sensor
+            .sense_with(
+                &tabulated,
+                19,
+                word_voltage(19),
+                Environment::at_corner(ProcessCorner::Ss),
+                GateMismatch::NOMINAL,
+            )
+            .unwrap();
+        assert!((-2..0).contains(&dev), "slow die reads {dev}");
+        let zero = sensor
+            .sense_fractional_with(&tabulated, 19, word_voltage(19), env, GateMismatch::NOMINAL)
+            .unwrap();
+        assert!(zero.abs() < 0.2, "nominal die reads {zero}");
     }
 
     #[test]

@@ -8,7 +8,7 @@ use std::str::FromStr;
 
 use subvt_core::experiment::{savings_experiment, Scenario};
 use subvt_core::transient::{fig6_schedule, run_transient};
-use subvt_core::yield_study::{yield_study_summary, YieldSpec};
+use subvt_core::yield_study::{yield_study_summary_eval, YieldSpec};
 use subvt_dcdc::converter::ConverterParams;
 use subvt_dcdc::filter::NoLoad;
 use subvt_device::corner::ProcessCorner;
@@ -16,6 +16,7 @@ use subvt_device::delay::{GateMismatch, GateTiming};
 use subvt_device::energy::CircuitProfile;
 use subvt_device::mep::{energy_sweep, find_mep};
 use subvt_device::mosfet::Environment;
+use subvt_device::tabulate::EvalMode;
 use subvt_device::technology::{GateKind, Technology};
 use subvt_device::units::{Hertz, Joules, Volts};
 use subvt_device::variation::VariationModel;
@@ -69,6 +70,9 @@ pub enum Command {
         jobs: Option<usize>,
         /// Root seed of the die population.
         seed: u64,
+        /// Device evaluation mode (analytic exact model or tabulated
+        /// surfaces).
+        eval: EvalMode,
     },
     /// Fig. 6 transient summary.
     Fig6,
@@ -175,6 +179,7 @@ impl Command {
         let mut dies = 500usize;
         let mut jobs: Option<usize> = None;
         let mut seed = 1u64;
+        let mut eval = EvalMode::Analytic;
 
         let mut i = 0;
         while i < rest.len() {
@@ -259,6 +264,11 @@ impl Command {
                     seed = parse_value(flag, value)?;
                     i += 2;
                 }
+                "--eval" => {
+                    let v: String = parse_value(flag, value)?;
+                    eval = v.parse().map_err(|e| err(format!("{e}")))?;
+                    i += 2;
+                }
                 other => return Err(err(format!("unknown flag `{other}`"))),
             }
         }
@@ -296,6 +306,7 @@ impl Command {
                 dies,
                 jobs,
                 seed,
+                eval,
             }),
             "fig6" => Ok(Command::Fig6),
             "table1" => Ok(Command::Table1),
@@ -400,6 +411,7 @@ impl Command {
                 dies,
                 jobs,
                 seed,
+                eval,
             } => {
                 let tech = op.technology();
                 let ring = RingOscillator::paper_circuit();
@@ -410,9 +422,9 @@ impl Command {
                 };
                 let cfg = ExecConfig::from_option(*jobs);
                 let mut rng = StdRng::seed_from_u64(*seed);
-                let summary = yield_study_summary(
+                let summary = yield_study_summary_eval(
                     &cfg,
-                    &tech,
+                    eval.build(&tech),
                     &ring,
                     op.environment(),
                     &model,
@@ -423,9 +435,10 @@ impl Command {
                     &mut rng,
                 );
                 Ok(format!(
-                    "yield over {} dies (spec 110 kHz @ ≤2.9 fJ, word 11, {} jobs):\n\
+                    "yield over {} dies (spec 110 kHz @ ≤2.9 fJ, word 11, {} model, {} jobs):\n\
                      fixed {:.1}%  adaptive {:.1}%  dithered {:.1}%  mean adaptive E {}\n",
                     summary.dies,
+                    eval.label(),
                     cfg.jobs(),
                     summary.fixed_yield() * 100.0,
                     summary.adaptive_yield() * 100.0,
@@ -508,6 +521,10 @@ FLAGS:
                          env var, else all cores; any value gives
                          bit-identical results)
     --seed <n>           yield root seed         (default 1)
+    --eval analytic|tabulated   device model for yield: the exact
+                         analytic model (default) or precomputed
+                         monotone-cubic surfaces (≤1% accuracy
+                         budget, much faster Monte-Carlo)
 ";
 
 #[cfg(test)]
@@ -608,6 +625,7 @@ mod tests {
                 dies: 64,
                 jobs: Some(2),
                 seed: 9,
+                eval: EvalMode::Analytic,
             }
         );
         let out = c.run().unwrap();
@@ -627,6 +645,48 @@ mod tests {
         assert!(parse(&["yield", "--dies", "0"]).is_err());
         assert!(parse(&["yield", "--jobs", "0"]).is_err());
         assert!(parse(&["yield", "--jobs"]).is_err());
+        assert!(parse(&["yield", "--eval", "magic"]).is_err());
+        assert!(parse(&["yield", "--eval"]).is_err());
+    }
+
+    #[test]
+    fn yield_accepts_the_tabulated_model() {
+        let c = parse(&[
+            "yield",
+            "--dies",
+            "48",
+            "--eval",
+            "tabulated",
+            "--seed",
+            "9",
+        ])
+        .unwrap();
+        match &c {
+            Command::Yield { eval, .. } => assert_eq!(*eval, EvalMode::Tabulated),
+            other => panic!("{other:?}"),
+        }
+        let out = c.run().unwrap();
+        assert!(out.contains("tabulated model"), "{out}");
+
+        // The ≤1% interpolation budget keeps every die on the same
+        // settled word, but dies sitting right on the spec boundary can
+        // flip pass/fail, so the yields agree within a few dies rather
+        // than exactly.
+        let analytic = parse(&["yield", "--dies", "48", "--seed", "9"])
+            .unwrap()
+            .run()
+            .unwrap();
+        let yields = |s: &str| -> Vec<f64> {
+            s.split('%')
+                .filter_map(|chunk| chunk.rsplit(' ').next()?.parse().ok())
+                .collect()
+        };
+        let (t, a) = (yields(&out), yields(&analytic));
+        assert_eq!(t.len(), 3, "{out}");
+        assert_eq!(a.len(), 3, "{analytic}");
+        for (t, a) in t.iter().zip(&a) {
+            assert!((t - a).abs() <= 10.0, "{out}\nvs\n{analytic}");
+        }
     }
 
     #[test]

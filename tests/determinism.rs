@@ -6,8 +6,10 @@
 use subvt::prelude::*;
 use subvt_bench::savings::{savings_monte_carlo_jobs, savings_monte_carlo_serial};
 use subvt_core::yield_study::{
-    yield_study, yield_study_jobs, yield_study_serial, yield_study_summary, YieldReport, YieldSpec,
+    yield_study, yield_study_jobs, yield_study_jobs_eval, yield_study_serial,
+    yield_study_serial_eval, yield_study_summary, YieldReport, YieldSpec,
 };
+use subvt_device::tabulate::{EvalMode, ACCURACY_BUDGET};
 use subvt_rng::{Rng, StdRng};
 use subvt_sim::analog::{IntegrationMethod, OdeSystem};
 use subvt_sim::kernel::{run_cosim, CoSimConfig, TickOutcome};
@@ -230,6 +232,107 @@ fn summary_only_yield_study_is_thread_count_invariant() {
             "summary-only path diverged from summarize() at {jobs} jobs"
         );
     }
+}
+
+fn mc_yield_eval(mode: EvalMode, jobs: usize, seed: u64, dies: usize) -> YieldReport {
+    let tech = Technology::st_130nm();
+    let ring = RingOscillator::paper_circuit();
+    let mut rng = StdRng::seed_from_u64(seed);
+    yield_study_jobs_eval(
+        &ExecConfig::with_jobs(jobs),
+        mode.build(&tech),
+        &ring,
+        Environment::nominal(),
+        &VariationModel::st_130nm(),
+        YieldSpec {
+            min_rate: subvt_device::Hertz(110e3),
+            max_energy_per_op: Joules::from_femtos(2.9),
+        },
+        11,
+        11,
+        dies,
+        &mut rng,
+    )
+}
+
+#[test]
+fn tabulated_yield_study_is_bit_identical_across_job_counts() {
+    // The tabulated surfaces are a pure function of the technology and
+    // grid, and interpolation is a pure function of the table — so the
+    // PR 2 determinism contract must hold unchanged with tabulation on.
+    let tech = Technology::st_130nm();
+    let ring = RingOscillator::paper_circuit();
+    let mut rng = StdRng::seed_from_u64(77);
+    let reference = yield_study_serial_eval(
+        EvalMode::Tabulated.build(&tech),
+        &ring,
+        Environment::nominal(),
+        &VariationModel::st_130nm(),
+        YieldSpec {
+            min_rate: subvt_device::Hertz(110e3),
+            max_energy_per_op: Joules::from_femtos(2.9),
+        },
+        11,
+        11,
+        120,
+        &mut rng,
+    );
+    for jobs in [1, 2, 7] {
+        let parallel = mc_yield_eval(EvalMode::Tabulated, jobs, 77, 120);
+        assert_eq!(
+            reference, parallel,
+            "tabulated yield study diverged from the serial reference at {jobs} jobs"
+        );
+        assert_eq!(
+            mc_stats_text(&reference).into_bytes(),
+            mc_stats_text(&parallel).into_bytes()
+        );
+    }
+}
+
+#[test]
+fn tabulated_yield_study_divergence_from_analytic_is_bounded() {
+    // Interpolation error is ≤1% on delay/energy; through the
+    // LSB-quantized settle loop that leaves almost every die's settled
+    // word identical (18.75 mV steps dwarf sub-1% model error) and
+    // keeps per-die adaptive energy within a small multiple of the
+    // budget. Only dies whose rate/energy sits exactly on the spec
+    // boundary may flip pass/fail.
+    let analytic = mc_yield_eval(EvalMode::Analytic, 4, 77, 120);
+    let tabulated = mc_yield_eval(EvalMode::Tabulated, 4, 77, 120);
+    assert_eq!(analytic.dies.len(), tabulated.dies.len());
+    let mut word_diffs = 0usize;
+    let mut flips = 0usize;
+    for (a, t) in analytic.dies.iter().zip(&tabulated.dies) {
+        assert_eq!(
+            a.corner_units.to_bits(),
+            t.corner_units.to_bits(),
+            "die sampling must not depend on the eval mode"
+        );
+        if a.adaptive_word != t.adaptive_word {
+            word_diffs += 1;
+            assert!(
+                a.adaptive_word.abs_diff(t.adaptive_word) <= 1,
+                "settled words diverged by more than one LSB: {} vs {}",
+                a.adaptive_word,
+                t.adaptive_word
+            );
+        } else {
+            let rel = (t.adaptive_energy.value() - a.adaptive_energy.value()).abs()
+                / a.adaptive_energy.value();
+            assert!(
+                rel < 3.0 * ACCURACY_BUDGET,
+                "adaptive energy diverged by {rel:.2e} at equal words"
+            );
+        }
+        if a.adaptive_passes != t.adaptive_passes {
+            flips += 1;
+        }
+    }
+    assert!(word_diffs <= 6, "{word_diffs} of 120 settled words moved");
+    assert!(flips <= 6, "{flips} of 120 dies flipped pass/fail");
+    let dy = (analytic.adaptive_yield() - tabulated.adaptive_yield()).abs();
+    assert!(dy <= 0.05, "adaptive yield moved by {dy:.3}");
 }
 
 #[test]

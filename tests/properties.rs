@@ -167,6 +167,113 @@ properties! {
     }
 }
 
+/// The tabulated surfaces shared by the accuracy properties below —
+/// built once (a build prices ~4 ms of analytic node evaluations, far
+/// too much to repeat per generated case).
+fn shared_tabulated() -> &'static subvt_device::tabulate::TabulatedEval {
+    use std::sync::OnceLock;
+    static TAB: OnceLock<subvt_device::tabulate::TabulatedEval> = OnceLock::new();
+    TAB.get_or_init(|| subvt_device::tabulate::TabulatedEval::new(&Technology::st_130nm()))
+}
+
+properties! {
+    cases = 64;
+
+    /// Accuracy contract of the tabulated device model: anywhere inside
+    /// the grid — every corner, the full temperature span, the full Vdd
+    /// bracket, and beyond-3σ local mismatch — the interpolated gate
+    /// delay stays within the documented budget of the analytic model.
+    fn tabulated_delay_within_budget(
+        v in 0.14f64..1.24,
+        corner_idx in 0usize..5,
+        celsius in -35.0f64..120.0,
+        mm_n in -0.05f64..0.05,
+        mm_p in -0.05f64..0.05,
+        kind_idx in 0usize..3,
+    ) {
+        use subvt_device::tabulate::{DeviceEval, ACCURACY_BUDGET};
+        let tech = Technology::st_130nm();
+        let kind = GateKind::ALL[kind_idx];
+        let env = Environment::at_corner(ProcessCorner::ALL[corner_idx]).with_celsius(celsius);
+        let mm = GateMismatch {
+            nmos_dvth: Volts(mm_n),
+            pmos_dvth: Volts(mm_p),
+        };
+        let t = shared_tabulated().gate_delay(kind, Volts(v), env, mm, 1.0).unwrap();
+        let a = GateTiming::new(&tech).gate_delay_with(kind, Volts(v), env, mm, 1.0).unwrap();
+        let rel = (t.value() - a.value()).abs() / a.value();
+        prop_assert!(rel < ACCURACY_BUDGET, "rel err {rel:.2e}");
+    }
+
+    /// Same contract on total energy per cycle (and its closed-form
+    /// dynamic part is exact, not merely within budget).
+    fn tabulated_energy_within_budget(
+        v in 0.14f64..1.24,
+        corner_idx in 0usize..5,
+        celsius in -35.0f64..120.0,
+        activity in 0.02f64..1.0,
+    ) {
+        use subvt_device::tabulate::{DeviceEval, ACCURACY_BUDGET};
+        let tech = Technology::st_130nm();
+        let profile = CircuitProfile::ring_oscillator().with_activity(activity);
+        let env = Environment::at_corner(ProcessCorner::ALL[corner_idx]).with_celsius(celsius);
+        let t = shared_tabulated().energy(&profile, Volts(v), env).unwrap();
+        let a = energy_per_cycle(&tech, &profile, Volts(v), env).unwrap();
+        let rel = (t.total().value() - a.total().value()).abs() / a.total().value();
+        prop_assert!(rel < ACCURACY_BUDGET, "rel err {rel:.2e}");
+        prop_assert_eq!(t.dynamic.value().to_bits(), a.dynamic.value().to_bits());
+    }
+
+    /// Monotone interpolation is load-bearing: delay on the tabulated
+    /// surface decreases with Vdd everywhere, exactly like the analytic
+    /// model it shadows (Fritsch–Carlson slopes forbid the overshoot a
+    /// natural cubic spline would introduce between nodes).
+    fn tabulated_delay_monotone_in_vdd(
+        v1 in 0.14f64..1.1,
+        dv in 0.005f64..0.12,
+        corner_idx in 0usize..5,
+        celsius in -35.0f64..120.0,
+    ) {
+        use subvt_device::tabulate::DeviceEval;
+        let env = Environment::at_corner(ProcessCorner::ALL[corner_idx]).with_celsius(celsius);
+        let tab = shared_tabulated();
+        let d_low = tab
+            .gate_delay(GateKind::Inverter, Volts(v1), env, GateMismatch::NOMINAL, 1.0)
+            .unwrap();
+        let d_high = tab
+            .gate_delay(GateKind::Inverter, Volts(v1 + dv), env, GateMismatch::NOMINAL, 1.0)
+            .unwrap();
+        prop_assert!(d_high.value() < d_low.value());
+    }
+
+    /// The fused pair query is pure restructuring: for both evaluator
+    /// flavours it returns exactly the two delays the single-kind
+    /// queries produce, bit for bit.
+    fn pair_query_matches_single_queries(
+        v in 0.14f64..1.24,
+        corner_idx in 0usize..5,
+        celsius in -35.0f64..120.0,
+        mm_n in -0.05f64..0.05,
+    ) {
+        use subvt_device::tabulate::{AnalyticEval, DeviceEval};
+        let tech = Technology::st_130nm();
+        let env = Environment::at_corner(ProcessCorner::ALL[corner_idx]).with_celsius(celsius);
+        let mm = GateMismatch {
+            nmos_dvth: Volts(mm_n),
+            pmos_dvth: Volts(-mm_n),
+        };
+        let kinds = (GateKind::Inverter, GateKind::Nor2);
+        let analytic = AnalyticEval::new(&tech);
+        for eval in [&analytic as &dyn DeviceEval, shared_tabulated()] {
+            let (pa, pb) = eval.gate_delay_pair(kinds, Volts(v), env, mm, 1.0).unwrap();
+            let sa = eval.gate_delay(kinds.0, Volts(v), env, mm, 1.0).unwrap();
+            let sb = eval.gate_delay(kinds.1, Volts(v), env, mm, 1.0).unwrap();
+            prop_assert_eq!(pa.value().to_bits(), sa.value().to_bits());
+            prop_assert_eq!(pb.value().to_bits(), sb.value().to_bits());
+        }
+    }
+}
+
 /// Deterministic (non-harness) cross-crate property: controller energy
 /// accounting is additive across runs of the same seed.
 #[test]
