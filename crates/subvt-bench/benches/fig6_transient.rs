@@ -1,15 +1,24 @@
 //! Bench for the Fig. 6 reproduction: the switched-converter
-//! transient (this is the expensive mixed-mode co-simulation).
+//! transient (this is the expensive mixed-mode co-simulation), plus
+//! the closed-form vs RK4 solver face-off.
+//!
+//! The `transient` group enforces the solver accuracy contract on
+//! every run (quick mode included) and, in timed mode, asserts the
+//! closed-form segment stepper's ≥10× speedup over the RK4 reference —
+//! a failing budget or a lost speedup fails the bench, not just a
+//! report diff.
 
 use subvt_testkit::bench::Timer;
 
 use subvt_bench::savings::fig6_transient;
+use subvt_core::transient::{fig6_schedule, run_transient};
 use subvt_dcdc::converter::{ConverterParams, DcDcConverter};
-use subvt_dcdc::filter::NoLoad;
+use subvt_dcdc::filter::{ConstantLoad, NoLoad};
+use subvt_dcdc::solver::SolverMode;
+use subvt_device::units::Amps;
 
-fn bench(c: &mut Timer) {
+fn fig6(c: &mut Timer) {
     let mut g = c.benchmark_group("fig6");
-    g.sample_size(20);
     g.bench_function("converter_system_cycle", |b| {
         let mut dc = DcDcConverter::new(ConverterParams::default(), Box::new(NoLoad));
         dc.set_word(19);
@@ -19,4 +28,75 @@ fn bench(c: &mut Timer) {
     g.finish();
 }
 
-subvt_testkit::bench_main!(bench);
+fn params(solver: SolverMode) -> ConverterParams {
+    ConverterParams::default().with_solver(solver)
+}
+
+/// An untraced 180-cycle settle at word 19 — the shape every
+/// Monte-Carlo switched-supply evaluation takes. Closed-form runs this
+/// segment-stepped; RK4 ticks through all 11 520 PWM ticks.
+fn settle(solver: SolverMode) -> f64 {
+    let mut dc = DcDcConverter::new(params(solver), Box::new(ConstantLoad(Amps(2e-6))));
+    dc.set_word(19);
+    dc.run_system_cycles(180);
+    dc.vout().volts()
+}
+
+fn solvers(c: &mut Timer) {
+    let quick = c.quick();
+
+    // The accuracy contract first, enforced on every run: the
+    // closed-form Fig. 6 table must sit within the documented budget of
+    // the RK4 reference (≤0.1 mV settled, ≤5% ripple, ±2 settling
+    // cycles — DESIGN.md "Converter solver & accuracy contract").
+    let load = || Box::new(ConstantLoad(Amps(5e-6)));
+    let cf = run_transient(params(SolverMode::ClosedForm), load(), &fig6_schedule());
+    let rk4 = run_transient(params(SolverMode::Rk4), load(), &fig6_schedule());
+    for (a, b) in cf.segments.iter().zip(&rk4.segments) {
+        let dv = (a.settled.millivolts() - b.settled.millivolts()).abs();
+        assert!(dv < 0.1, "word {}: settled diverged {dv:.4} mV", a.word);
+        let dr = (a.ripple.millivolts() - b.ripple.millivolts()).abs();
+        assert!(
+            dr < 0.05 * b.ripple.millivolts(),
+            "word {}: ripple diverged {dr:.4} mV",
+            a.word
+        );
+        match (a.settling_cycles, b.settling_cycles) {
+            (Some(ca), Some(cb)) => assert!(
+                ca.abs_diff(cb) <= 2,
+                "word {}: settling {ca} vs {cb} cycles",
+                a.word
+            ),
+            (a_c, b_c) => panic!("word {}: settling {a_c:?} vs {b_c:?}", a.word),
+        }
+    }
+
+    let mut g = c.benchmark_group("transient");
+    g.bench_function("settle_180_cycles_rk4", |b| {
+        b.iter(|| settle(SolverMode::Rk4))
+    });
+    g.bench_function("settle_180_cycles_closed_form", |b| {
+        b.iter(|| settle(SolverMode::ClosedForm))
+    });
+    g.bench_function("full_transient_rk4", |b| {
+        b.iter(|| run_transient(params(SolverMode::Rk4), load(), &fig6_schedule()))
+    });
+    g.bench_function("full_transient_closed_form", |b| {
+        b.iter(|| run_transient(params(SolverMode::ClosedForm), load(), &fig6_schedule()))
+    });
+
+    let rk4_ns = g.median_ns("settle_180_cycles_rk4").unwrap();
+    let cf_ns = g.median_ns("settle_180_cycles_closed_form").unwrap();
+    let speedup = rk4_ns / cf_ns;
+    println!("transient settle speedup (closed-form vs rk4): {speedup:.1}x");
+    if !quick {
+        // One quick iteration is not a timing; only gate timed runs.
+        assert!(
+            speedup >= 10.0,
+            "closed-form settle speedup regressed to {speedup:.1}x (< 10x)"
+        );
+    }
+    g.finish();
+}
+
+subvt_testkit::bench_main!(fig6, solvers);

@@ -9,12 +9,12 @@
 //! * `savings_mc_tab_jobsN` — the same fan-out on the tabulated device
 //!   surfaces, isolating how much model cost the scheduler hides.
 //!
-//! Two marker records carry machine metadata in their names:
-//! `machine_cores_N` (N = `std::thread::available_parallelism()`)
-//! distinguishes a single-core container — where jobs > 1 cannot beat
-//! serial — from a genuine scaling regression, and `eval_mode_M`
-//! records the device-evaluation mode of the unsuffixed legs so a
-//! report stays self-describing if the default ever changes.
+//! The host core count lands in the report's top-level `machine` block
+//! (schema v2), distinguishing a single-core container — where
+//! jobs > 1 cannot beat serial — from a genuine scaling regression. An
+//! `eval_mode_M` marker record still names the device-evaluation mode
+//! of the unsuffixed legs so a report stays self-describing if the
+//! default ever changes.
 
 use subvt_bench::savings::{savings_monte_carlo_jobs_eval, savings_monte_carlo_serial};
 use subvt_device::tabulate::EvalMode;
@@ -41,9 +41,6 @@ fn bench(c: &mut Timer) {
             b.iter(|| savings_monte_carlo_jobs_eval(&cfg, EvalMode::Tabulated, DIES, SEED))
         });
     }
-    g.bench_function(&format!("machine_cores_{cores}"), |b| {
-        b.iter(|| std::hint::black_box(cores))
-    });
     g.bench_function(&format!("eval_mode_{}", EvalMode::Analytic.label()), |b| {
         b.iter(|| std::hint::black_box(cores))
     });

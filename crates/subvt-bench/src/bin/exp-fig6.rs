@@ -35,4 +35,8 @@ fn main() {
         result.trace.len(),
         result.segments.last().map(|s| s.end).unwrap_or_default()
     );
+    println!(
+        "Solver: closed-form piecewise-LTI (RK4 reference agrees within \
+         0.1 mV settled / 5% ripple; see DESIGN.md)"
+    );
 }

@@ -1,9 +1,13 @@
 //! Parametric yield: fraction of Monte-Carlo dies meeting a
 //! (throughput, energy) spec with and without the adaptive controller.
 
-use subvt_bench::jobs::{harness_options, EVAL_HELP, JOBS_HELP};
+use subvt_bench::jobs::{harness_options, EVAL_HELP, JOBS_HELP, SUPPLY_HELP};
 use subvt_bench::report::{f, pct, Table};
-use subvt_core::yield_study::{yield_study_jobs_eval, yield_study_summary_eval, YieldSpec};
+use subvt_core::controller::SupplyKind;
+use subvt_core::yield_study::{
+    yield_study_jobs_supply_eval, yield_study_summary_supply_eval, SupplySim, YieldSpec,
+};
+use subvt_dcdc::converter::ConverterParams;
 use subvt_device::mosfet::Environment;
 use subvt_device::technology::Technology;
 use subvt_device::units::{Hertz, Joules};
@@ -15,7 +19,8 @@ use subvt_rng::StdRng;
 fn usage() -> String {
     format!(
         "exp-yield — parametric yield under Monte-Carlo variation\n\n\
-         USAGE: exp-yield [--jobs N] [--eval M]\n\n{JOBS_HELP}\n{EVAL_HELP}"
+         USAGE: exp-yield [--jobs N] [--eval M] [--supply S]\n\n\
+         {JOBS_HELP}\n{EVAL_HELP}\n{SUPPLY_HELP}"
     )
 }
 
@@ -23,9 +28,21 @@ fn main() {
     let opts = harness_options(&usage());
     let cfg = &opts.cfg;
 
+    // Built once, serially, before any Monte-Carlo fan-out: the
+    // converter's droop/ripple table is die-independent, so switched
+    // runs stay bit-identical at any --jobs.
+    let (supply, supply_note) = match opts.supply {
+        SupplyKind::Ideal => (SupplySim::Ideal, "ideal supply"),
+        SupplyKind::Switched => (
+            SupplySim::switched(ConverterParams::default()),
+            "switched supply [closed-form solver]",
+        ),
+    };
+
     println!(
-        "Parametric yield under Monte-Carlo variation (500 dies per row, {} device model)\n",
-        opts.eval.label()
+        "Parametric yield under Monte-Carlo variation (500 dies per row, {} device model, {})\n",
+        opts.eval.label(),
+        supply_note
     );
 
     let tech = Technology::st_130nm();
@@ -53,7 +70,7 @@ fn main() {
         };
         let run = |fixed_word: u8, seed: u64| {
             let mut rng = StdRng::seed_from_u64(seed);
-            yield_study_jobs_eval(
+            yield_study_jobs_supply_eval(
                 cfg,
                 eval.clone(),
                 &ring,
@@ -62,6 +79,7 @@ fn main() {
                 spec,
                 fixed_word,
                 11,
+                &supply,
                 500,
                 &mut rng,
             )
@@ -97,7 +115,7 @@ fn main() {
         max_energy_per_op: Joules::from_femtos(2.9),
     };
     let mut rng = StdRng::seed_from_u64(1);
-    let summary = yield_study_summary_eval(
+    let summary = yield_study_summary_supply_eval(
         cfg,
         eval.clone(),
         &ring,
@@ -106,6 +124,7 @@ fn main() {
         spec,
         11,
         11,
+        &supply,
         dies,
         &mut rng,
     );

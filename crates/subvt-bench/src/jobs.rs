@@ -10,6 +10,7 @@
 //! contract), only wall-clock time, so the flag is safe to tune per
 //! machine.
 
+use subvt_core::controller::SupplyKind;
 use subvt_device::tabulate::EvalMode;
 use subvt_exec::ExecConfig;
 
@@ -27,6 +28,14 @@ pub const EVAL_HELP: &str = "\
                 default) or `tabulated` (precomputed monotone-cubic
                 surfaces; ≤1% accuracy budget, much faster MC)";
 
+/// The `--supply` help paragraph for harness binaries that can score
+/// against the switched converter's real operating points.
+pub const SUPPLY_HELP: &str = "\
+    --supply S  supply model: `ideal` (exact word voltages, the
+                default) or `switched` (the converter's per-word droop
+                and ripple; rate checked at the ripple trough, energy
+                at the cycle mean)";
+
 /// The standard harness flags plus the device-evaluation mode.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HarnessOptions {
@@ -34,6 +43,8 @@ pub struct HarnessOptions {
     pub cfg: ExecConfig,
     /// Device evaluation mode (`--eval`, default analytic).
     pub eval: EvalMode,
+    /// Supply model (`--supply`, default ideal).
+    pub supply: SupplyKind,
 }
 
 /// Parses `args` (without the program name) for the standard harness
@@ -61,6 +72,7 @@ pub fn parse_harness_options(
 ) -> Result<Option<HarnessOptions>, String> {
     let mut jobs: Option<usize> = None;
     let mut eval = EvalMode::Analytic;
+    let mut supply = SupplyKind::Ideal;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -88,12 +100,24 @@ pub fn parse_harness_options(
                 eval = raw.parse().map_err(|e| format!("{e}"))?;
                 i += 2;
             }
+            "--supply" => {
+                let raw = args
+                    .get(i + 1)
+                    .ok_or_else(|| "--supply needs a value".to_owned())?;
+                supply = match raw.as_str() {
+                    "ideal" => SupplyKind::Ideal,
+                    "switched" => SupplyKind::Switched,
+                    other => return Err(format!("unknown supply `{other}` (ideal|switched)")),
+                };
+                i += 2;
+            }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
         }
     }
     Ok(Some(HarnessOptions {
         cfg: ExecConfig::from_option(jobs),
         eval,
+        supply,
     }))
 }
 
@@ -159,6 +183,18 @@ mod tests {
         assert!(parse_harness_args(&argv(&["--frob"]), "u").is_err());
         assert!(parse_harness_options(&argv(&["--eval"]), "u").is_err());
         assert!(parse_harness_options(&argv(&["--eval", "magic"]), "u").is_err());
+        assert!(parse_harness_options(&argv(&["--supply"]), "u").is_err());
+        assert!(parse_harness_options(&argv(&["--supply", "battery"]), "u").is_err());
+    }
+
+    #[test]
+    fn supply_parses_with_ideal_default() {
+        let opts = parse_harness_options(&[], "u").unwrap().unwrap();
+        assert_eq!(opts.supply, SupplyKind::Ideal);
+        let opts = parse_harness_options(&argv(&["--supply", "switched"]), "u")
+            .unwrap()
+            .unwrap();
+        assert_eq!(opts.supply, SupplyKind::Switched);
     }
 
     #[test]

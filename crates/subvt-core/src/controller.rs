@@ -79,6 +79,10 @@ pub struct ControllerConfig {
     /// converter. Must exceed the LC settling time or the trim
     /// integrator pumps the filter resonance.
     pub trim_interval: u64,
+    /// Converter configuration for [`SupplyKind::Switched`] runs
+    /// (solver mode, passives, power stage); ignored by the ideal
+    /// supply.
+    pub converter: ConverterParams,
 }
 
 impl Default for ControllerConfig {
@@ -91,6 +95,7 @@ impl Default for ControllerConfig {
             utilization: 1.0,
             idle_retention: 0.05,
             trim_interval: 20,
+            converter: ConverterParams::default(),
         }
     }
 }
@@ -219,7 +224,7 @@ impl<L: CircuitLoad> AdaptiveController<L> {
                 // digital load at a representative operating point; it
                 // is refreshed implicitly through the voltage ODE.
                 let dc = DcDcConverter::new(
-                    ConverterParams::default(),
+                    config.converter,
                     Box::new(ConstantLoad(subvt_device::units::Amps(2e-6))),
                 );
                 Supply::Switched(Box::new(dc))

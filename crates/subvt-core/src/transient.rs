@@ -182,6 +182,69 @@ mod tests {
     }
 
     #[test]
+    fn never_settling_segment_reports_none() {
+        // A gutted output capacitor leaves the ripple far above the
+        // half-LSB settling band, so the output never "enters and
+        // stays": the never-settles path must report `None`, not 0.
+        use subvt_device::units::Farads;
+        let params = ConverterParams {
+            filter: subvt_dcdc::filter::FilterParams {
+                capacitance: Farads(10e-9),
+                ..subvt_dcdc::filter::FilterParams::default()
+            },
+            ..ConverterParams::default()
+        };
+        let r = run_transient(
+            params,
+            Box::new(ConstantLoad(Amps(5e-6))),
+            &[TransientStep {
+                word: 19,
+                cycles: 60,
+            }],
+        );
+        let seg = &r.segments[0];
+        assert!(
+            seg.ripple.millivolts() > 18.75,
+            "test needs ripple above the band, got {}",
+            seg.ripple.millivolts()
+        );
+        assert_eq!(seg.settling_cycles, None);
+    }
+
+    #[test]
+    fn closed_form_fig6_stays_within_budget_of_the_committed_rk4_table() {
+        // The committed docs/results/fig6.txt table as produced by the
+        // RK4 reference solver (see DESIGN.md "Converter solver &
+        // accuracy contract"): settled mV, ripple mV, settling cycles.
+        const RK4_TABLE: [(VoltageWord, f64, f64, u64); 3] = [
+            (19, 356.14, 3.50, 26),
+            (12, 224.94, 2.39, 16),
+            (47, 881.08, 3.38, 27),
+        ];
+        let r = fig6(); // ConverterParams::default() = ClosedForm
+        for (seg, (word, settled_mv, ripple_mv, cycles)) in r.segments.iter().zip(RK4_TABLE) {
+            assert_eq!(seg.word, word);
+            // ≤ 0.1 mV on settled voltage (+0.005 mV print rounding).
+            assert!(
+                (seg.settled.millivolts() - settled_mv).abs() < 0.105,
+                "word {word}: settled {} vs committed {settled_mv} mV",
+                seg.settled.millivolts()
+            );
+            // ≤ 5 % on ripple (+0.005 mV print rounding).
+            assert!(
+                (seg.ripple.millivolts() - ripple_mv).abs() < 0.05 * ripple_mv + 0.005,
+                "word {word}: ripple {} vs committed {ripple_mv} mV",
+                seg.ripple.millivolts()
+            );
+            let seg_cycles = seg.settling_cycles.expect("settles");
+            assert!(
+                seg_cycles.abs_diff(cycles) <= 2,
+                "word {word}: settling {seg_cycles} vs committed {cycles} cycles"
+            );
+        }
+    }
+
+    #[test]
     fn trace_covers_the_whole_run() {
         let r = fig6();
         assert!(!r.trace.is_empty());

@@ -13,11 +13,14 @@ use std::sync::Arc;
 use subvt_exec::{par_fold_chunked, par_map_indexed, ExecConfig, Welford};
 use subvt_rng::{Rng, StdRng};
 
+use subvt_dcdc::converter::{ConverterParams, DcDcConverter};
+use subvt_dcdc::filter::ConstantLoad;
+use subvt_device::constants::DCDC_LSB;
 use subvt_device::delay::GateMismatch;
 use subvt_device::mosfet::Environment;
 use subvt_device::tabulate::{AnalyticEval, CachedEval, DeviceEval, SharedEval};
 use subvt_device::technology::Technology;
-use subvt_device::units::{Hertz, Joules, Volts};
+use subvt_device::units::{Amps, Hertz, Joules, Volts};
 use subvt_device::variation::VariationModel;
 use subvt_digital::lut::VoltageWord;
 use subvt_loads::load::CircuitLoad;
@@ -262,6 +265,126 @@ fn settled_word(
     word
 }
 
+/// The settled operating point the switched converter delivers for one
+/// commanded word: the cycle-mean output plus the ripple extremes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WordOperatingPoint {
+    /// Cycle-mean settled output.
+    pub v_mean: Volts,
+    /// Ripple trough — the worst instantaneous supply the logic sees.
+    pub v_min: Volts,
+    /// Ripple crest.
+    pub v_max: Volts,
+}
+
+impl WordOperatingPoint {
+    const ZERO: WordOperatingPoint = WordOperatingPoint {
+        v_mean: Volts(0.0),
+        v_min: Volts(0.0),
+        v_max: Volts(0.0),
+    };
+
+    /// Peak-to-peak ripple.
+    pub fn ripple(&self) -> Volts {
+        Volts(self.v_max.volts() - self.v_min.volts())
+    }
+}
+
+/// Die-independent table of switched-converter operating points, one
+/// per voltage word.
+///
+/// The controller presents the converter with a fixed electrical image
+/// (a 2 µA constant drain — see `controller.rs`), so droop and ripple
+/// do not depend on which die is being scored. That makes the table a
+/// pure function of the converter parameters: it is built **once,
+/// serially**, before the Monte-Carlo fan-out, and workers only read
+/// it — switched-supply yields stay bit-identical at any `--jobs`.
+///
+/// Each word's entry reflects the controller's duty-trim loop: the duty
+/// within ±6 LSB of the word whose settled mean lands closest to the
+/// ideal `word × 18.75 mV` target (first — most negative — trim wins
+/// ties, deterministically).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchedSupplyModel {
+    /// Indexed by word; word 0 (shutdown) is all-zero.
+    points: Vec<WordOperatingPoint>,
+}
+
+impl SwitchedSupplyModel {
+    /// Trim range the controller's duty-trim loop explores (±6 LSB).
+    const TRIM: i16 = 6;
+
+    /// Builds the per-word table by settling the converter at each
+    /// candidate duty. Costs 63 short transients (memoized across the
+    /// overlapping trim windows), all with the closed-form segment
+    /// solver unless `params` asks for RK4.
+    pub fn build(params: ConverterParams) -> SwitchedSupplyModel {
+        let mut by_duty: Vec<Option<WordOperatingPoint>> = vec![None; 64];
+        let mut points = vec![WordOperatingPoint::ZERO; 64];
+        for word in 1..=63u8 {
+            let target = word_voltage(word);
+            let mut best: Option<(f64, WordOperatingPoint)> = None;
+            for trim in -Self::TRIM..=Self::TRIM {
+                let duty = (i16::from(word) + trim).clamp(1, 63) as usize;
+                let op = *by_duty[duty].get_or_insert_with(|| settle_at_duty(params, duty as u64));
+                let err = (op.v_mean.volts() - target.volts()).abs();
+                if best.is_none_or(|(e, _)| err < e) {
+                    best = Some((err, op));
+                }
+            }
+            points[usize::from(word)] = best.expect("trim window is non-empty").1;
+        }
+        SwitchedSupplyModel { points }
+    }
+
+    /// The operating point delivered for `word`.
+    pub fn point(&self, word: VoltageWord) -> WordOperatingPoint {
+        self.points[usize::from(word) % 64]
+    }
+}
+
+/// Settles the converter at a fixed `duty` under the controller's load
+/// image and measures the last eight system cycles.
+fn settle_at_duty(params: ConverterParams, duty: u64) -> WordOperatingPoint {
+    // The same electrical image the controller's switched supply uses.
+    let mut converter = DcDcConverter::new(params, Box::new(ConstantLoad(Amps(2e-6))));
+    converter.set_duty(duty);
+    // Settling takes < 60 cycles at every word (Fig. 6); 120 leaves
+    // margin. Untraced, so the closed-form solver segment-steps this.
+    converter.run_system_cycles(120);
+    let start = converter.now();
+    converter.enable_trace("v_out");
+    converter.run_system_cycles(8);
+    let end = converter.now();
+    let trace = converter.take_trace().expect("tracing was enabled");
+    let (lo, hi) = trace.extent(start, end).expect("trace has samples");
+    let mean = trace.mean(start, end).expect("trace has samples");
+    WordOperatingPoint {
+        v_mean: Volts(mean),
+        v_min: Volts(lo),
+        v_max: Volts(hi),
+    }
+}
+
+/// Which supply the study's designs run from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SupplySim {
+    /// Ideal rail: each word is exactly `word × 18.75 mV`, ripple-free.
+    Ideal,
+    /// The switched DC-DC converter: per-word droop and ripple from the
+    /// transient model. Rate is checked at the ripple trough (the MEP
+    /// margin must survive the worst instantaneous supply) and energy
+    /// at the cycle mean.
+    Switched(SwitchedSupplyModel),
+}
+
+impl SupplySim {
+    /// Builds the switched-supply variant from converter parameters.
+    pub fn switched(params: ConverterParams) -> SupplySim {
+        SupplySim::Switched(SwitchedSupplyModel::build(params))
+    }
+}
+
 /// The immutable per-study context shared (read-only) by every worker
 /// scoring dies.
 struct StudyContext<'a> {
@@ -273,18 +396,29 @@ struct StudyContext<'a> {
     fixed_word: VoltageWord,
     design_word: VoltageWord,
     sensor: VariationSensor,
+    supply: &'a SupplySim,
 }
 
 impl StudyContext<'_> {
-    fn passes_v(&self, eval: &dyn DeviceEval, v: Volts, die: GateMismatch) -> (bool, Joules) {
+    /// Spec check with the rate and energy legs evaluated at separate
+    /// voltages: on a rippling supply the rate must hold at the trough
+    /// while energy is set by the mean. On an ideal rail both are the
+    /// same voltage.
+    fn passes_at(
+        &self,
+        eval: &dyn DeviceEval,
+        v_rate: Volts,
+        v_energy: Volts,
+        die: GateMismatch,
+    ) -> (bool, Joules) {
         let rate_ok = self
             .load
-            .max_rate_with(eval, v, self.env, die)
+            .max_rate_with(eval, v_rate, self.env, die)
             .map(|r| r.value() >= self.spec.min_rate.value())
             .unwrap_or(false);
         let energy = self
             .load
-            .energy_per_op_with(eval, v, self.env)
+            .energy_per_op_with(eval, v_energy, self.env)
             .map(|e| e.total())
             .unwrap_or(Joules(f64::INFINITY));
         (
@@ -293,13 +427,46 @@ impl StudyContext<'_> {
         )
     }
 
+    fn passes_v(&self, eval: &dyn DeviceEval, v: Volts, die: GateMismatch) -> (bool, Joules) {
+        self.passes_at(eval, v, v, die)
+    }
+
     fn passes(
         &self,
         eval: &dyn DeviceEval,
         word: VoltageWord,
         die: GateMismatch,
     ) -> (bool, Joules) {
-        self.passes_v(eval, word_voltage(word), die)
+        match self.supply {
+            SupplySim::Ideal => self.passes_v(eval, word_voltage(word), die),
+            SupplySim::Switched(model) => {
+                let op = model.point(word);
+                self.passes_at(eval, op.v_min, op.v_mean, die)
+            }
+        }
+    }
+
+    /// Scores the dithered design's continuous settled voltage. On the
+    /// switched supply the dither rides on the nearest word's PWM
+    /// waveform, so it inherits that word's droop and ripple trough.
+    fn passes_dithered(
+        &self,
+        eval: &dyn DeviceEval,
+        v: Volts,
+        die: GateMismatch,
+    ) -> (bool, Joules) {
+        match self.supply {
+            SupplySim::Ideal => self.passes_v(eval, v, die),
+            SupplySim::Switched(model) => {
+                let lsb = DCDC_LSB.volts();
+                let nearest = ((v.volts() / lsb).round() as i64).clamp(1, 63) as VoltageWord;
+                let op = model.point(nearest);
+                let droop = op.v_mean.volts() - word_voltage(nearest).volts();
+                let trough = op.v_mean.volts() - op.v_min.volts();
+                let v_mean = Volts(v.volts() + droop);
+                self.passes_at(eval, Volts(v_mean.volts() - trough), v_mean, die)
+            }
+        }
     }
 
     /// Scores one die from its pre-forked stream — a pure function of
@@ -316,7 +483,7 @@ impl StudyContext<'_> {
         let (adaptive_passes, adaptive_energy) = self.passes(&cached, adaptive_word, mismatch);
         let dithered_v =
             settled_voltage_dithered(&cached, &self.sensor, self.design_word, self.env, mismatch);
-        let (dithered_passes, _) = self.passes_v(&cached, dithered_v, mismatch);
+        let (dithered_passes, _) = self.passes_dithered(&cached, dithered_v, mismatch);
         DieOutcome {
             corner_units: die.corner_units(),
             fixed_passes,
@@ -341,7 +508,7 @@ fn die_seeds<R: Rng + ?Sized>(rng: &mut R, dies: usize) -> Vec<u64> {
 
 macro_rules! study_context {
     ($eval:ident, $load:ident, $env:ident, $variation:ident, $spec:ident,
-     $fixed_word:ident, $design_word:ident) => {
+     $fixed_word:ident, $design_word:ident, $supply:expr) => {
         StudyContext {
             sensor: VariationSensor::with_eval($eval.as_ref(), $env, SensorConfig::default()),
             eval: $eval,
@@ -351,6 +518,7 @@ macro_rules! study_context {
             spec: $spec,
             fixed_word: $fixed_word,
             design_word: $design_word,
+            supply: $supply,
         }
     };
 }
@@ -445,7 +613,52 @@ pub fn yield_study_jobs_eval<R: Rng + ?Sized>(
     dies: usize,
     rng: &mut R,
 ) -> YieldReport {
-    let ctx = study_context!(eval, load, env, variation, spec, fixed_word, design_word);
+    yield_study_jobs_supply_eval(
+        cfg,
+        eval,
+        load,
+        env,
+        variation,
+        spec,
+        fixed_word,
+        design_word,
+        &SupplySim::Ideal,
+        dies,
+        rng,
+    )
+}
+
+/// [`yield_study_jobs_eval`] with an explicit supply model — pass
+/// [`SupplySim::switched`] to score every design against the converter's
+/// real per-word droop and ripple instead of an ideal rail.
+///
+/// The supply model is built (or passed in) before any die is scored,
+/// so the determinism contract is unchanged: bit-identical to
+/// [`yield_study_serial_supply_eval`] at any worker count.
+#[allow(clippy::too_many_arguments)]
+pub fn yield_study_jobs_supply_eval<R: Rng + ?Sized>(
+    cfg: &ExecConfig,
+    eval: SharedEval,
+    load: &dyn CircuitLoad,
+    env: Environment,
+    variation: &VariationModel,
+    spec: YieldSpec,
+    fixed_word: VoltageWord,
+    design_word: VoltageWord,
+    supply: &SupplySim,
+    dies: usize,
+    rng: &mut R,
+) -> YieldReport {
+    let ctx = study_context!(
+        eval,
+        load,
+        env,
+        variation,
+        spec,
+        fixed_word,
+        design_word,
+        supply
+    );
     let seeds = die_seeds(rng, dies);
     let outcomes = par_map_indexed(cfg, dies, |i| {
         ctx.score_die(StdRng::seed_from_u64(seeds[i]))
@@ -499,7 +712,46 @@ pub fn yield_study_serial_eval<R: Rng + ?Sized>(
     dies: usize,
     rng: &mut R,
 ) -> YieldReport {
-    let ctx = study_context!(eval, load, env, variation, spec, fixed_word, design_word);
+    yield_study_serial_supply_eval(
+        eval,
+        load,
+        env,
+        variation,
+        spec,
+        fixed_word,
+        design_word,
+        &SupplySim::Ideal,
+        dies,
+        rng,
+    )
+}
+
+/// [`yield_study_serial_eval`] with an explicit supply model: the
+/// serial reference the parallel switched-supply path is tested
+/// against.
+#[allow(clippy::too_many_arguments)]
+pub fn yield_study_serial_supply_eval<R: Rng + ?Sized>(
+    eval: SharedEval,
+    load: &dyn CircuitLoad,
+    env: Environment,
+    variation: &VariationModel,
+    spec: YieldSpec,
+    fixed_word: VoltageWord,
+    design_word: VoltageWord,
+    supply: &SupplySim,
+    dies: usize,
+    rng: &mut R,
+) -> YieldReport {
+    let ctx = study_context!(
+        eval,
+        load,
+        env,
+        variation,
+        spec,
+        fixed_word,
+        design_word,
+        supply
+    );
     let outcomes = (0..dies)
         // One forked stream per die: outcomes stay reproducible
         // per-label even if the per-die sampling ever starts consuming
@@ -560,7 +812,46 @@ pub fn yield_study_summary_eval<R: Rng + ?Sized>(
     dies: usize,
     rng: &mut R,
 ) -> YieldSummary {
-    let ctx = study_context!(eval, load, env, variation, spec, fixed_word, design_word);
+    yield_study_summary_supply_eval(
+        cfg,
+        eval,
+        load,
+        env,
+        variation,
+        spec,
+        fixed_word,
+        design_word,
+        &SupplySim::Ideal,
+        dies,
+        rng,
+    )
+}
+
+/// [`yield_study_summary_eval`] with an explicit supply model.
+#[allow(clippy::too_many_arguments)]
+pub fn yield_study_summary_supply_eval<R: Rng + ?Sized>(
+    cfg: &ExecConfig,
+    eval: SharedEval,
+    load: &dyn CircuitLoad,
+    env: Environment,
+    variation: &VariationModel,
+    spec: YieldSpec,
+    fixed_word: VoltageWord,
+    design_word: VoltageWord,
+    supply: &SupplySim,
+    dies: usize,
+    rng: &mut R,
+) -> YieldSummary {
+    let ctx = study_context!(
+        eval,
+        load,
+        env,
+        variation,
+        spec,
+        fixed_word,
+        design_word,
+        supply
+    );
     let seeds = die_seeds(rng, dies);
     let mut summary = par_fold_chunked(
         cfg,
@@ -818,6 +1109,104 @@ mod tests {
             tight_spec(),
             11,
             11,
+            50,
+            &mut rng,
+        );
+        assert_eq!(default, explicit);
+    }
+
+    #[test]
+    fn switched_supply_model_tracks_the_ideal_targets() {
+        let model = SwitchedSupplyModel::build(ConverterParams::default());
+        for word in [5u8, 11, 19, 32, 47, 63] {
+            let op = model.point(word);
+            let target = word_voltage(word);
+            assert!(
+                (op.v_mean.volts() - target.volts()).abs() < DCDC_LSB.volts(),
+                "word {word}: mean {} vs target {} V",
+                op.v_mean.volts(),
+                target.volts()
+            );
+            assert!(op.v_min.volts() < op.v_mean.volts());
+            assert!(op.v_mean.volts() < op.v_max.volts());
+            assert!(
+                op.ripple().volts() < DCDC_LSB.volts(),
+                "word {word}: ripple {} mV",
+                op.ripple().millivolts()
+            );
+        }
+        assert_eq!(model.point(0), WordOperatingPoint::ZERO);
+    }
+
+    #[test]
+    fn switched_supply_yield_is_ripple_aware() {
+        let tech = Technology::st_130nm();
+        let ring = RingOscillator::paper_circuit();
+        let variation = VariationModel::st_130nm();
+        let supply = SupplySim::switched(ConverterParams::default());
+        let mut rng = StdRng::seed_from_u64(77);
+        let switched = yield_study_jobs_supply_eval(
+            &ExecConfig::from_env(),
+            analytic(&tech),
+            &ring,
+            Environment::nominal(),
+            &variation,
+            tight_spec(),
+            11,
+            11,
+            &supply,
+            200,
+            &mut rng,
+        );
+        let ideal = study(tight_spec(), 11);
+        // The ripple trough only subtracts MEP margin: the switched
+        // supply can never ship a die the ideal rail rejects, and under
+        // the tight spec it must strand at least a few near the rate
+        // boundary.
+        assert!(
+            switched.adaptive_yield() <= ideal.adaptive_yield() + 1e-12,
+            "switched {} vs ideal {}",
+            switched.adaptive_yield(),
+            ideal.adaptive_yield()
+        );
+        // The controller story survives the real converter: adaptive
+        // still clearly beats fixed on the same rippling supply.
+        assert!(
+            switched.adaptive_yield() > switched.fixed_yield() + 0.1,
+            "adaptive {} vs fixed {}",
+            switched.adaptive_yield(),
+            switched.fixed_yield()
+        );
+        assert!(switched.adaptive_yield() > 0.5);
+    }
+
+    #[test]
+    fn ideal_supply_entry_point_matches_the_default_path() {
+        let tech = Technology::st_130nm();
+        let ring = RingOscillator::paper_circuit();
+        let variation = VariationModel::st_130nm();
+        let mut rng = StdRng::seed_from_u64(9);
+        let default = yield_study_serial(
+            &tech,
+            &ring,
+            Environment::nominal(),
+            &variation,
+            tight_spec(),
+            11,
+            11,
+            50,
+            &mut rng,
+        );
+        let mut rng = StdRng::seed_from_u64(9);
+        let explicit = yield_study_serial_supply_eval(
+            analytic(&tech),
+            &ring,
+            Environment::nominal(),
+            &variation,
+            tight_spec(),
+            11,
+            11,
+            &SupplySim::Ideal,
             50,
             &mut rng,
         );

@@ -14,11 +14,13 @@ use subvt_device::units::{Hertz, Joules, Seconds, Volts};
 use subvt_digital::lut::VoltageWord;
 use subvt_digital::pwm::PwmGenerator;
 use subvt_sim::analog::{integrate_span, IntegrationMethod};
+use subvt_sim::logic::Logic;
 use subvt_sim::time::{SimDuration, SimTime};
 use subvt_sim::trace::AnalogTrace;
 
 use crate::filter::{BuckFilter, FilterParams, LoadCurrent};
 use crate::power_stage::{PowerStageParams, PowerTransistorArray};
+use crate::solver::{SegmentSolver, SolverMode};
 
 /// Converter-level configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,8 +31,11 @@ pub struct ConverterParams {
     pub clock: Hertz,
     /// PWM counter width in bits (the paper's 6 → 1 MHz PWM period).
     pub pwm_bits: u8,
-    /// Analog integration sub-steps per clock tick.
+    /// Analog integration sub-steps per clock tick (RK4 mode only).
     pub substeps: u32,
+    /// Filter integration strategy; `ClosedForm` (the default) takes
+    /// one exact affine step per PWM segment, `Rk4` is the reference.
+    pub solver: SolverMode,
     /// Power-stage array configuration.
     pub stage: PowerStageParams,
     /// Output filter passives.
@@ -44,9 +49,17 @@ impl Default for ConverterParams {
             clock: Hertz::from_megahertz(64.0),
             pwm_bits: 6,
             substeps: 2,
+            solver: SolverMode::default(),
             stage: PowerStageParams::default(),
             filter: FilterParams::default(),
         }
+    }
+}
+
+impl ConverterParams {
+    /// The same configuration with a different solver mode.
+    pub fn with_solver(self, solver: SolverMode) -> ConverterParams {
+        ConverterParams { solver, ..self }
     }
 }
 
@@ -71,6 +84,7 @@ pub struct DcDcConverter {
     pwm: PwmGenerator,
     array: PowerTransistorArray,
     filter: BuckFilter,
+    solver: SegmentSolver,
     state: [f64; 2],
     now: SimTime,
     tick_period: SimDuration,
@@ -90,12 +104,14 @@ impl DcDcConverter {
         let pwm = PwmGenerator::new(params.pwm_bits);
         let array = PowerTransistorArray::new(params.stage);
         let filter = BuckFilter::new(params.filter, load);
+        let solver = SegmentSolver::new(params.filter, params.clock);
         let tick_period = SimDuration::from_seconds(1.0 / params.clock.value());
         let mut c = DcDcConverter {
             params,
             pwm,
             array,
             filter,
+            solver,
             state: [0.0, 0.0],
             now: SimTime::ZERO,
             tick_period,
@@ -262,18 +278,32 @@ impl DcDcConverter {
         self.filter.source_resistance = r_src;
 
         let dt = self.tick_period.as_seconds();
-        // Trapezoid on the conduction loss over the tick.
-        let loss_before = self.filter.conduction_loss(&self.state);
-        integrate_span(
-            &self.filter,
-            IntegrationMethod::Rk4,
-            self.now.as_seconds(),
-            &mut self.state,
-            dt,
-            self.params.substeps as usize,
-        );
-        let loss_after = self.filter.conduction_loss(&self.state);
-        self.conduction_energy += 0.5 * (loss_before + loss_after) * dt;
+        match self.params.solver {
+            SolverMode::Rk4 => {
+                // Trapezoid on the conduction loss over the tick.
+                let loss_before = self.filter.conduction_loss(&self.state);
+                integrate_span(
+                    &self.filter,
+                    IntegrationMethod::Rk4,
+                    self.now.as_seconds(),
+                    &mut self.state,
+                    dt,
+                    self.params.substeps as usize,
+                );
+                let loss_after = self.filter.conduction_loss(&self.state);
+                self.conduction_energy += 0.5 * (loss_before + loss_after) * dt;
+            }
+            SolverMode::ClosedForm => {
+                let q = self.solver.advance(
+                    &mut self.state,
+                    v_src.volts(),
+                    r_src.value(),
+                    self.filter.load(),
+                    1,
+                );
+                self.conduction_energy += q * (r_src.value() + self.params.filter.dcr.value());
+            }
+        }
 
         self.now += self.tick_period;
         if let Some(trace) = &mut self.trace {
@@ -290,13 +320,97 @@ impl DcDcConverter {
     }
 
     /// Runs until `n` PWM terminal counts (system cycles) have elapsed.
+    ///
+    /// In `ClosedForm` mode with tracing off and the PWM at a period
+    /// boundary this is event-driven: each PWM period advances in one
+    /// on-segment and one off-segment affine update instead of 64
+    /// per-tick integrations. Otherwise it falls back to the tick loop
+    /// (which per-tick stepping keeps exact in `ClosedForm` mode too).
     pub fn run_system_cycles(&mut self, n: u64) {
+        if self.params.solver == SolverMode::ClosedForm
+            && self.trace.is_none()
+            && self.pwm.phase() == 0
+        {
+            for _ in 0..n {
+                self.run_period_segments();
+            }
+            return;
+        }
         let mut remaining = n;
         while remaining > 0 {
             if self.tick() {
                 remaining -= 1;
             }
         }
+    }
+
+    /// Advances exactly one PWM period by closed-form segment updates.
+    ///
+    /// Requires the PWM counter to sit at phase 0. Replicates the tick
+    /// loop's observable bookkeeping: the pulse-skip decision at the
+    /// period boundary, switch-event counting at each source change,
+    /// and conduction-energy accumulation.
+    fn run_period_segments(&mut self) {
+        debug_assert_eq!(
+            self.pwm.phase(),
+            0,
+            "segment stepping needs a period boundary"
+        );
+        let levels = self.pwm.levels();
+        let duty = self.pwm.duty();
+        let target = Self::ideal_vout(duty.min(63) as u8).volts();
+        let skipping = self.mode == ModulationMode::PulseSkipping
+            && self.state[BuckFilter::STATE_VOUT] >= target
+            && duty > 0;
+        if skipping {
+            self.skipped_periods += 1;
+            self.state[BuckFilter::STATE_CURRENT] = 0.0;
+            self.state[BuckFilter::STATE_VOUT] = self.solver.discharge(
+                self.state[BuckFilter::STATE_VOUT],
+                self.filter.load(),
+                levels as u32,
+            );
+        } else {
+            let dcr = self.params.filter.dcr.value();
+            if duty > 0 {
+                let (v_on, r_on) = self
+                    .array
+                    .thevenin(Logic::from_bool(true), self.params.vbat);
+                if self.filter.source_voltage != v_on {
+                    self.switch_events += 1;
+                }
+                self.filter.source_voltage = v_on;
+                self.filter.source_resistance = r_on;
+                let q = self.solver.advance(
+                    &mut self.state,
+                    v_on.volts(),
+                    r_on.value(),
+                    self.filter.load(),
+                    duty as u32,
+                );
+                self.conduction_energy += q * (r_on.value() + dcr);
+            }
+            if duty < levels {
+                let (v_off, r_off) = self
+                    .array
+                    .thevenin(Logic::from_bool(false), self.params.vbat);
+                if self.filter.source_voltage != v_off {
+                    self.switch_events += 1;
+                }
+                self.filter.source_voltage = v_off;
+                self.filter.source_resistance = r_off;
+                let q = self.solver.advance(
+                    &mut self.state,
+                    v_off.volts(),
+                    r_off.value(),
+                    self.filter.load(),
+                    (levels - duty) as u32,
+                );
+                self.conduction_energy += q * (r_off.value() + dcr);
+            }
+        }
+        self.now += self.tick_period * levels;
+        self.at_period_start = true;
     }
 
     /// Duration of one system cycle (one full PWM period).
@@ -520,6 +634,122 @@ mod tests {
         c.run_system_cycles(300);
         assert_eq!(c.skipped_periods(), 0);
         assert_eq!(c.mode(), ModulationMode::ForcedCcm);
+    }
+
+    /// Runs one converter to a settled word and reports
+    /// `(settled vout, ripple, conduction energy, skipped periods)`.
+    fn settled_stats(
+        params: ConverterParams,
+        mode: ModulationMode,
+        word: VoltageWord,
+    ) -> (f64, f64, f64, u64) {
+        let mut c = DcDcConverter::new(params, Box::new(ConstantLoad(Amps(20e-6))));
+        c.set_mode(mode);
+        c.set_word(word);
+        c.run_system_cycles(150);
+        c.enable_trace("vout");
+        c.run_system_cycles(50);
+        let (lo, hi) = c
+            .trace()
+            .expect("tracing on")
+            .extent(SimTime::ZERO, SimTime::MAX)
+            .expect("samples recorded");
+        (
+            c.vout().volts(),
+            hi - lo,
+            c.conduction_energy().value(),
+            c.skipped_periods(),
+        )
+    }
+
+    /// The documented solver accuracy budget: closed form within
+    /// 0.1 mV on settled voltage and 5 % on ripple of the RK4
+    /// reference at `substeps = 16`.
+    fn assert_within_budget(mode: ModulationMode, word: VoltageWord) {
+        let reference = ConverterParams {
+            substeps: 16,
+            solver: SolverMode::Rk4,
+            ..ConverterParams::default()
+        };
+        let (v_ref, ripple_ref, energy_ref, _) = settled_stats(reference, mode, word);
+        let closed = ConverterParams::default().with_solver(SolverMode::ClosedForm);
+        let (v, ripple, energy, _) = settled_stats(closed, mode, word);
+        assert!(
+            (v - v_ref).abs() < 0.1e-3,
+            "{mode:?} word {word}: settled {v} vs {v_ref}"
+        );
+        assert!(
+            (ripple - ripple_ref).abs() < 0.05 * ripple_ref,
+            "{mode:?} word {word}: ripple {ripple} vs {ripple_ref}"
+        );
+        assert!(
+            (energy - energy_ref).abs() < 0.05 * energy_ref,
+            "{mode:?} word {word}: energy {energy} vs {energy_ref}"
+        );
+    }
+
+    #[test]
+    fn closed_form_matches_rk4_within_budget_in_ccm() {
+        for word in [12, 19, 47] {
+            assert_within_budget(ModulationMode::ForcedCcm, word);
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_rk4_within_budget_under_pulse_skipping() {
+        // PFM parity is the harder case: the skip decision quantises
+        // the trajectory, so the budget also guards against the two
+        // solvers choosing different periods to skip.
+        for word in [19, 32] {
+            assert_within_budget(ModulationMode::PulseSkipping, word);
+        }
+    }
+
+    #[test]
+    fn pulse_skipping_skips_the_same_periods_in_both_solver_modes() {
+        let reference = ConverterParams {
+            substeps: 16,
+            solver: SolverMode::Rk4,
+            ..ConverterParams::default()
+        };
+        let (_, _, _, skipped_ref) = settled_stats(reference, ModulationMode::PulseSkipping, 19);
+        let closed = ConverterParams::default();
+        let (_, _, _, skipped) = settled_stats(closed, ModulationMode::PulseSkipping, 19);
+        let diff = skipped.abs_diff(skipped_ref);
+        assert!(
+            diff <= 2,
+            "skip counts diverged: {skipped} vs {skipped_ref}"
+        );
+    }
+
+    #[test]
+    fn segment_stepping_matches_the_tick_loop() {
+        // The trace-off fast path (2 affine updates per period) must
+        // agree with per-tick closed-form stepping to float precision:
+        // same operators, same segment boundaries.
+        let mk = || {
+            let mut c = DcDcConverter::new(
+                ConverterParams::default(),
+                Box::new(ConstantLoad(Amps(5e-6))),
+            );
+            c.set_word(19);
+            c
+        };
+        let mut fast = mk();
+        fast.run_system_cycles(120); // phase 0, no trace: segment path
+        let mut slow = mk();
+        slow.run_ticks(120 * 64); // always the tick loop
+        assert!((fast.vout().volts() - slow.vout().volts()).abs() < 1e-12);
+        assert!((fast.inductor_current() - slow.inductor_current()).abs() < 1e-12);
+        assert_eq!(fast.switch_events(), slow.switch_events());
+        assert_eq!(fast.now(), slow.now());
+        // Loss integrals differ only in Simpson panel boundaries.
+        let e_fast = fast.conduction_energy().value();
+        let e_slow = slow.conduction_energy().value();
+        assert!(
+            (e_fast - e_slow).abs() < 0.02 * e_slow,
+            "loss {e_fast} vs {e_slow}"
+        );
     }
 
     #[test]

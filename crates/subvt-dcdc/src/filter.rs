@@ -19,9 +19,24 @@ use subvt_device::units::{Amps, Farads, Henries, Ohms, Volts};
 use subvt_sim::analog::OdeSystem;
 
 /// A load seen by the converter output.
-pub trait LoadCurrent: fmt::Debug {
+///
+/// `Send + Sync` so a converter (and anything holding one, like a
+/// switched-supply controller) can be built and run on `subvt-exec`
+/// worker threads.
+pub trait LoadCurrent: fmt::Debug + Send + Sync {
     /// Current drawn at output voltage `v`.
     fn current(&self, v: Volts) -> Amps;
+
+    /// If the load is affine over the converter's operating range
+    /// (`v ≥ 0`), the coefficients `(g, i0)` of `i(v) = g·v + i0`;
+    /// `None` for genuinely nonlinear loads.
+    ///
+    /// Affine loads get exact cached closed-form segment updates from
+    /// [`crate::solver::SegmentSolver`]; nonlinear loads fall back to
+    /// per-segment linearisation with a step-halving error bound.
+    fn affine(&self) -> Option<(f64, f64)> {
+        None
+    }
 }
 
 /// An open-circuit output.
@@ -32,6 +47,10 @@ impl LoadCurrent for NoLoad {
     fn current(&self, _v: Volts) -> Amps {
         Amps::ZERO
     }
+
+    fn affine(&self) -> Option<(f64, f64)> {
+        Some((0.0, 0.0))
+    }
 }
 
 /// A resistive load.
@@ -41,6 +60,10 @@ pub struct ResistiveLoad(pub Ohms);
 impl LoadCurrent for ResistiveLoad {
     fn current(&self, v: Volts) -> Amps {
         Amps(v.volts() / self.0.value())
+    }
+
+    fn affine(&self) -> Option<(f64, f64)> {
+        Some((1.0 / self.0.value(), 0.0))
     }
 }
 
@@ -55,6 +78,13 @@ impl LoadCurrent for ConstantLoad {
         } else {
             Amps::ZERO
         }
+    }
+
+    fn affine(&self) -> Option<(f64, f64)> {
+        // The sub-zero clamp only matters for a few nanovolts around
+        // start-up; treating the sink as affine stays far inside the
+        // solver's accuracy budget.
+        Some((0.0, self.0.value()))
     }
 }
 

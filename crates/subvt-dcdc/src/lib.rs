@@ -9,8 +9,11 @@
 //! * [`filter`] — the off-chip LC output filter as an ODE, plus load
 //!   models;
 //! * [`converter`] — the switched converter: 64 MHz PWM ticks
-//!   co-simulated with the filter (RK4), with loss accounting and
-//!   waveform tracing;
+//!   co-simulated with the filter, with loss accounting and waveform
+//!   tracing;
+//! * [`solver`] — the closed-form piecewise-LTI segment solver (one
+//!   exact affine update per PWM edge; the default), with the RK4 tick
+//!   integrator kept as the accuracy reference;
 //! * [`ideal`] — an instantaneous lossless reference converter.
 //!
 //! ## Example
@@ -36,9 +39,11 @@ pub mod efficiency;
 pub mod filter;
 pub mod ideal;
 pub mod power_stage;
+pub mod solver;
 
 pub use converter::{ConverterParams, DcDcConverter, ModulationMode};
 pub use efficiency::{best_group_count, measure_efficiency, EfficiencyPoint, SwitchingLossModel};
 pub use filter::{BuckFilter, ConstantLoad, FilterParams, LoadCurrent, NoLoad, ResistiveLoad};
 pub use ideal::IdealConverter;
 pub use power_stage::{PowerStageParams, PowerTransistorArray};
+pub use solver::{SegmentSolver, SolverMode};

@@ -1,0 +1,553 @@
+//! Closed-form piecewise-LTI segment solver for the buck filter.
+//!
+//! Between consecutive PWM edges the switch-node Thevenin source is
+//! constant, so for any affine load `i(v) = g·v + i0` the filter is a
+//! 2-state *linear time-invariant* system
+//!
+//! ```text
+//! dy/dt = A·y + b,    y = [i_L, v_out]
+//! A = [ −R/L   −1/L ]      b = [ v_sw/L ]
+//!     [  1/C   −g/C ]          [ −i0/C  ]
+//! ```
+//!
+//! with `R = r_src + DCR`. Its exact solution over a segment of length
+//! `h` is one affine update
+//!
+//! ```text
+//! y(t+h) = y_ss + Φ(h)·(y(t) − y_ss),    Φ(h) = exp(A·h)
+//! ```
+//!
+//! (the `Φ/Γ` form with `Γ(h)·u = (I − Φ(h))·y_ss`). The steady state
+//! always exists because `det A = (R·g + 1)/(L·C) > 0` for the passive
+//! loads the converter drives.
+//!
+//! `Φ` is evaluated from the spectral decomposition of `A`: with
+//! `α = tr(A)/2`, `M = A − αI` and discriminant `d = α² − det A`
+//! (the squared half-distance between the eigenvalues), the three
+//! damping regimes are
+//!
+//! ```text
+//! d > 0 (overdamped):        Φ = e^{αh}·(cosh(βh)·I + h·sinch(βh)·M),  β = √d
+//! d < 0 (underdamped):       Φ = e^{αh}·(cos(ωh)·I  + h·sinc(ωh)·M),   ω = √−d
+//! d = 0 (critically damped): Φ = e^{αh}·(I + h·M)
+//! ```
+//!
+//! An explicit eigenvector matrix would be ill-conditioned near
+//! critical damping; the shifted-matrix form above is the same
+//! diagonalization folded back together and is exact in all three
+//! branches (`sinch`/`sinc` are series-stabilised near zero, so the
+//! over/underdamped branches degrade gracefully into the critical one).
+//!
+//! A 6-bit duty register can only produce a small set of distinct
+//! segment lengths — ≤ 63 on-durations, ≤ 63 off-durations, and the
+//! sample-boundary remainders when the converter is stepped one tick at
+//! a time — so [`SegmentSolver`] caches `Φ` per `(R, g)` operating
+//! point at **half-tick granularity** (lengths `1..=128` half-ticks).
+//! Half ticks, because the conduction-loss integral
+//! `E = R·∫ i_L(t)² dt` is evaluated per segment by Simpson's rule,
+//! which needs the state at the segment midpoint.
+//!
+//! Loads whose `i(v)` is *not* affine ([`LoadCurrent::affine`] returns
+//! `None`) are handled by per-segment linearisation around the entry
+//! voltage with a step-halving error bound: the segment is accepted
+//! only if re-linearising at the midpoint moves the result by less than
+//! [`SegmentSolver::NONLINEAR_TOL`], otherwise both halves are refined
+//! recursively (bounded depth).
+//!
+//! The RK4 path survives in [`crate::converter`] as the accuracy
+//! reference; the budget (≤ 0.1 mV on settled voltage, ≤ 5 % on ripple
+//! vs RK4 at `substeps = 16`) is enforced by tests here and by the
+//! `transient` bench group.
+
+use subvt_device::units::Hertz;
+
+use crate::filter::{FilterParams, LoadCurrent};
+
+/// Integration strategy for the converter's LC filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverMode {
+    /// Fixed-step RK4 on every clock tick (`substeps` stages per tick).
+    /// The original path, kept as the accuracy reference.
+    Rk4,
+    /// Exact piecewise-LTI updates: one affine step per PWM segment (or
+    /// per tick when tracing), with per-segment linearisation for
+    /// non-affine loads. ≥10× faster than RK4 at the documented
+    /// accuracy budget.
+    #[default]
+    ClosedForm,
+}
+
+/// A 2×2 state-transition operator `Φ(h)`.
+type Phi = [[f64; 2]; 2];
+
+/// Cached `Φ` operators for one `(R, g)` operating point, indexed by
+/// segment length in half-ticks (`1..=MAX_HALF_TICKS`).
+#[derive(Debug)]
+struct OpSet {
+    r_bits: u64,
+    g_bits: u64,
+    ops: Vec<Option<Phi>>,
+}
+
+/// Closed-form segment stepper for one [`FilterParams`] at one clock.
+///
+/// Create once per converter; [`SegmentSolver::advance`] replaces
+/// `ticks × substeps` RK4 stages with a single affine update (two, for
+/// the Simpson midpoint).
+#[derive(Debug)]
+pub struct SegmentSolver {
+    /// Inductance (H).
+    l: f64,
+    /// Capacitance (F).
+    c: f64,
+    /// Inductor series resistance (Ω), folded into `R`.
+    dcr: f64,
+    /// Half of one clock tick, in seconds (the cache granularity).
+    half_tick: f64,
+    cache: Vec<OpSet>,
+}
+
+impl SegmentSolver {
+    /// Longest cached segment in half-ticks: one full 64-tick PWM
+    /// period.
+    const MAX_HALF_TICKS: usize = 128;
+
+    /// Operating points cached before the cache is reset (distinct
+    /// `(R, g)` pairs; in practice ≤ 3 per group selection).
+    const MAX_CACHED_POINTS: usize = 64;
+
+    /// Per-segment acceptance tolerance (V and A) for the step-halving
+    /// error bound on linearised non-affine loads.
+    pub const NONLINEAR_TOL: f64 = 1e-7;
+
+    /// Maximum recursive halving depth for non-affine loads.
+    const MAX_DEPTH: u32 = 10;
+
+    /// Voltage perturbation for the numerical `di/dv` linearisation.
+    const LINEARIZE_DV: f64 = 1e-3;
+
+    /// Creates a solver for `filter` stepped at `clock`.
+    pub fn new(filter: FilterParams, clock: Hertz) -> SegmentSolver {
+        SegmentSolver {
+            l: filter.inductance.value(),
+            c: filter.capacitance.value(),
+            dcr: filter.dcr.value(),
+            half_tick: 0.5 / clock.value(),
+            cache: Vec::new(),
+        }
+    }
+
+    /// Advances `state` through `ticks` clock ticks of one PWM segment
+    /// with a constant Thevenin source `(v_sw, r_src)` into `load`.
+    ///
+    /// Returns `∫ i_L(t)² dt` over the segment (Simpson's rule on the
+    /// exact trajectory); multiply by `r_src + DCR` for the conduction
+    /// energy.
+    pub fn advance(
+        &mut self,
+        state: &mut [f64; 2],
+        v_sw: f64,
+        r_src: f64,
+        load: &dyn LoadCurrent,
+        ticks: u32,
+    ) -> f64 {
+        debug_assert!(ticks >= 1);
+        let r = r_src + self.dcr;
+        if let Some((g, i0)) = load.affine() {
+            let half_ticks = 2 * ticks as usize;
+            let (y, q) = if half_ticks <= Self::MAX_HALF_TICKS {
+                let (phi_full, phi_half) = self.cached_ops(r, g, half_ticks);
+                affine_step(*state, steady_state(v_sw, r, g, i0), phi_full, phi_half)
+            } else {
+                // Longer than one PWM period (only reachable through
+                // direct solver use, not the converter): no cache.
+                let h = half_ticks as f64 * self.half_tick;
+                self.raw_step(*state, v_sw, r, g, i0, h)
+            };
+            *state = y;
+            q * (ticks as f64 * 2.0 * self.half_tick) / 6.0
+        } else {
+            let h = 2.0 * ticks as f64 * self.half_tick;
+            let (y, q) = self.advance_linearized(*state, v_sw, r, load, h, 0);
+            *state = y;
+            q
+        }
+    }
+
+    /// Exact analytic discharge of the output capacitor with both
+    /// switches off and the inductor current collapsed to zero (the
+    /// pulse-skipping high-Z state): `C·dv/dt = −i_load(v)`.
+    ///
+    /// Affine loads get the exact exponential/linear solution; others
+    /// fall back to per-tick explicit Euler (matching the RK4-mode
+    /// reference path). The voltage is clamped at 0 V either way.
+    pub fn discharge(&self, vout: f64, load: &dyn LoadCurrent, ticks: u32) -> f64 {
+        let h = 2.0 * ticks as f64 * self.half_tick;
+        if let Some((g, i0)) = load.affine() {
+            let v = if g > 0.0 {
+                let v_inf = -i0 / g;
+                v_inf + (vout - v_inf) * (-g * h / self.c).exp()
+            } else {
+                vout - i0 * h / self.c
+            };
+            v.max(0.0)
+        } else {
+            let dt = 2.0 * self.half_tick;
+            let mut v = vout;
+            for _ in 0..ticks {
+                let i = load.current(subvt_device::units::Volts(v)).value();
+                v = (v - i * dt / self.c).max(0.0);
+            }
+            v
+        }
+    }
+
+    /// The state matrix entries for an operating point.
+    fn state_matrix(&self, r: f64, g: f64) -> [[f64; 2]; 2] {
+        [[-r / self.l, -1.0 / self.l], [1.0 / self.c, -g / self.c]]
+    }
+
+    /// `Φ(h) = exp(A·h)` via the three damping branches.
+    fn phi(&self, r: f64, g: f64, h: f64) -> Phi {
+        let a = self.state_matrix(r, g);
+        let alpha = 0.5 * (a[0][0] + a[1][1]);
+        let m = [[a[0][0] - alpha, a[0][1]], [a[1][0], a[1][1] - alpha]];
+        // Discriminant d = α² − det A = −det M (squared eigenvalue
+        // half-separation). M is trace-free, so M² = d·I and the
+        // exponential series collapses to the two scalars below.
+        let d = -(m[0][0] * m[1][1] - m[0][1] * m[1][0]);
+        let (cosine, slope) = if d > 0.0 {
+            let x = d.sqrt() * h;
+            (x.cosh(), h * sinch(x))
+        } else if d < 0.0 {
+            let x = (-d).sqrt() * h;
+            (x.cos(), h * sinc(x))
+        } else {
+            (1.0, h)
+        };
+        let e = (alpha * h).exp();
+        [
+            [e * (cosine + slope * m[0][0]), e * slope * m[0][1]],
+            [e * slope * m[1][0], e * (cosine + slope * m[1][1])],
+        ]
+    }
+
+    /// Looks up (or fills) the cached `(Φ(h), Φ(h/2))` pair for a
+    /// segment of `half_ticks` half-ticks at operating point `(r, g)`.
+    fn cached_ops(&mut self, r: f64, g: f64, half_ticks: usize) -> (Phi, Phi) {
+        debug_assert!(half_ticks.is_multiple_of(2) && half_ticks <= Self::MAX_HALF_TICKS);
+        let r_bits = r.to_bits();
+        let g_bits = g.to_bits();
+        let idx = match self
+            .cache
+            .iter()
+            .position(|s| s.r_bits == r_bits && s.g_bits == g_bits)
+        {
+            Some(idx) => idx,
+            None => {
+                // Group re-selection changes R; a pathological caller
+                // could sweep operating points, so bound the cache.
+                if self.cache.len() >= Self::MAX_CACHED_POINTS {
+                    self.cache.clear();
+                }
+                self.cache.push(OpSet {
+                    r_bits,
+                    g_bits,
+                    ops: vec![None; Self::MAX_HALF_TICKS + 1],
+                });
+                self.cache.len() - 1
+            }
+        };
+        let full = match self.cache[idx].ops[half_ticks] {
+            Some(phi) => phi,
+            None => {
+                let phi = self.phi(r, g, half_ticks as f64 * self.half_tick);
+                self.cache[idx].ops[half_ticks] = Some(phi);
+                phi
+            }
+        };
+        let half = match self.cache[idx].ops[half_ticks / 2] {
+            Some(phi) => phi,
+            None => {
+                let phi = self.phi(r, g, half_ticks as f64 * 0.5 * self.half_tick);
+                self.cache[idx].ops[half_ticks / 2] = Some(phi);
+                phi
+            }
+        };
+        (full, half)
+    }
+
+    /// One uncached affine step of arbitrary length `h`; returns the
+    /// new state and the Simpson i² sum (unscaled, see [`affine_step`]).
+    fn raw_step(&self, y: [f64; 2], v_sw: f64, r: f64, g: f64, i0: f64, h: f64) -> ([f64; 2], f64) {
+        let phi_full = self.phi(r, g, h);
+        let phi_half = self.phi(r, g, 0.5 * h);
+        affine_step(y, steady_state(v_sw, r, g, i0), phi_full, phi_half)
+    }
+
+    /// Linearises a non-affine load at the segment entry voltage.
+    fn linearize(&self, load: &dyn LoadCurrent, v: f64) -> (f64, f64) {
+        use subvt_device::units::Volts;
+        let dv = Self::LINEARIZE_DV;
+        let i_hi = load.current(Volts(v + dv)).value();
+        let i_lo = load.current(Volts(v - dv)).value();
+        let g = ((i_hi - i_lo) / (2.0 * dv)).max(0.0);
+        let i0 = load.current(Volts(v)).value() - g * v;
+        (g, i0)
+    }
+
+    /// Step-halving advance for non-affine loads. Returns the new state
+    /// and the *scaled* loss integral `∫ i² dt` over `h`.
+    fn advance_linearized(
+        &self,
+        y: [f64; 2],
+        v_sw: f64,
+        r: f64,
+        load: &dyn LoadCurrent,
+        h: f64,
+        depth: u32,
+    ) -> ([f64; 2], f64) {
+        let (g, i0) = self.linearize(load, y[1]);
+        let (y_full, q_full) = self.raw_step(y, v_sw, r, g, i0, h);
+        if depth >= Self::MAX_DEPTH {
+            return (y_full, q_full * h / 6.0);
+        }
+        // Two half steps, re-linearising at the midpoint.
+        let (y_mid, q_a) = self.raw_step(y, v_sw, r, g, i0, 0.5 * h);
+        let (g2, i02) = self.linearize(load, y_mid[1]);
+        let (y_halved, q_b) = self.raw_step(y_mid, v_sw, r, g2, i02, 0.5 * h);
+        let err = (y_full[0] - y_halved[0])
+            .abs()
+            .max((y_full[1] - y_halved[1]).abs());
+        if err <= Self::NONLINEAR_TOL {
+            (y_halved, (q_a + q_b) * 0.5 * h / 6.0)
+        } else {
+            let (y_mid, q_a) = self.advance_linearized(y, v_sw, r, load, 0.5 * h, depth + 1);
+            let (y_end, q_b) = self.advance_linearized(y_mid, v_sw, r, load, 0.5 * h, depth + 1);
+            (y_end, q_a + q_b)
+        }
+    }
+}
+
+/// The LTI steady state `y_ss = −A⁻¹·b` for source `v_sw` through total
+/// resistance `r` into load `i(v) = g·v + i0`.
+fn steady_state(v_sw: f64, r: f64, g: f64, i0: f64) -> [f64; 2] {
+    let v_ss = (v_sw - r * i0) / (1.0 + r * g);
+    [g * v_ss + i0, v_ss]
+}
+
+/// `y(h) = y_ss + Φ(h)·(y − y_ss)` plus the Simpson sum
+/// `i(0)² + 4·i(h/2)² + i(h)²` (caller scales by `h/6`).
+fn affine_step(y: [f64; 2], y_ss: [f64; 2], phi_full: Phi, phi_half: Phi) -> ([f64; 2], f64) {
+    let dy = [y[0] - y_ss[0], y[1] - y_ss[1]];
+    let apply = |phi: &Phi| {
+        [
+            y_ss[0] + phi[0][0] * dy[0] + phi[0][1] * dy[1],
+            y_ss[1] + phi[1][0] * dy[0] + phi[1][1] * dy[1],
+        ]
+    };
+    let y_mid = apply(&phi_half);
+    let y_end = apply(&phi_full);
+    let q = y[0] * y[0] + 4.0 * y_mid[0] * y_mid[0] + y_end[0] * y_end[0];
+    (y_end, q)
+}
+
+/// `sinh(x)/x`, series-stabilised for small `x`.
+fn sinch(x: f64) -> f64 {
+    if x.abs() < 1e-4 {
+        let x2 = x * x;
+        1.0 + x2 / 6.0 + x2 * x2 / 120.0
+    } else {
+        x.sinh() / x
+    }
+}
+
+/// `sin(x)/x`, series-stabilised for small `x`.
+fn sinc(x: f64) -> f64 {
+    if x.abs() < 1e-4 {
+        let x2 = x * x;
+        1.0 - x2 / 6.0 + x2 * x2 / 120.0
+    } else {
+        x.sin() / x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{BuckFilter, ConstantLoad, NoLoad, ResistiveLoad};
+    use subvt_device::units::{Amps, Ohms, Volts};
+    use subvt_sim::analog::{integrate_span, IntegrationMethod};
+
+    fn clock() -> Hertz {
+        Hertz::from_megahertz(64.0)
+    }
+
+    /// RK4 reference at high substep count over the same segment.
+    fn rk4_reference(
+        v_sw: f64,
+        r_src: f64,
+        load: Box<dyn LoadCurrent>,
+        y0: [f64; 2],
+        ticks: u32,
+    ) -> [f64; 2] {
+        let mut f = BuckFilter::new(FilterParams::default(), load);
+        f.source_voltage = Volts(v_sw);
+        f.source_resistance = Ohms(r_src);
+        let mut y = y0;
+        let dt = 1.0 / clock().value();
+        for _ in 0..ticks {
+            integrate_span(&f, IntegrationMethod::Rk4, 0.0, &mut y, dt, 16);
+        }
+        y
+    }
+
+    #[test]
+    fn matches_rk4_on_an_affine_segment() {
+        let mut s = SegmentSolver::new(FilterParams::default(), clock());
+        for &(v_sw, r_src, ticks) in &[(1.1, 5.5, 19u32), (0.02, 4.4, 45), (0.6, 7.0, 1)] {
+            let y0 = [3e-4, 0.35];
+            let mut y = y0;
+            s.advance(&mut y, v_sw, r_src, &ResistiveLoad(Ohms(1e4)), ticks);
+            let y_ref = rk4_reference(v_sw, r_src, Box::new(ResistiveLoad(Ohms(1e4))), y0, ticks);
+            assert!(
+                (y[0] - y_ref[0]).abs() < 1e-9 && (y[1] - y_ref[1]).abs() < 1e-9,
+                "segment ({v_sw}, {r_src}, {ticks}): {y:?} vs {y_ref:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_damping_branches_match_a_dense_reference() {
+        // Sweep R to cross from underdamped through (numerically)
+        // critical to overdamped: d = (R/2L − g/2C)² − ... changes sign
+        // around R ≈ 2√(L/C) ≈ 13.7 Ω for light loads.
+        let p = FilterParams::default();
+        let critical_r = 2.0 * (p.inductance.value() / p.capacitance.value()).sqrt();
+        for &r_src in &[1.0, critical_r - 2.0, critical_r, critical_r + 2.0, 400.0] {
+            let mut s = SegmentSolver::new(p, clock());
+            let y0 = [1e-3, 0.2];
+            let mut y = y0;
+            s.advance(&mut y, 0.9, r_src - p.dcr.value(), &NoLoad, 64);
+            let y_ref = rk4_reference(0.9, r_src - p.dcr.value(), Box::new(NoLoad), y0, 64);
+            assert!(
+                (y[0] - y_ref[0]).abs() < 1e-8 && (y[1] - y_ref[1]).abs() < 1e-8,
+                "R = {r_src}: {y:?} vs {y_ref:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn steady_state_is_a_fixed_point() {
+        let mut s = SegmentSolver::new(FilterParams::default(), clock());
+        let (g, i0) = (1e-4, 2e-6);
+        let y_ss = steady_state(0.8, 7.0, g, i0);
+        let mut y = y_ss;
+        s.advance(&mut y, 0.8, 7.0 - 2.0, &ResistiveAndConstant, 64);
+        assert!((y[0] - y_ss[0]).abs() < 1e-15 && (y[1] - y_ss[1]).abs() < 1e-12);
+
+        #[derive(Debug)]
+        struct ResistiveAndConstant;
+        impl LoadCurrent for ResistiveAndConstant {
+            fn current(&self, v: Volts) -> Amps {
+                Amps(1e-4 * v.volts() + 2e-6)
+            }
+            fn affine(&self) -> Option<(f64, f64)> {
+                Some((1e-4, 2e-6))
+            }
+        }
+    }
+
+    #[test]
+    fn loss_integral_matches_trapezoid_reference() {
+        // Compare the Simpson loss integral against a dense trapezoid
+        // on the RK4 trajectory.
+        let mut s = SegmentSolver::new(FilterParams::default(), clock());
+        let y0 = [2e-3, 0.3];
+        let mut y = y0;
+        let q = s.advance(&mut y, 1.0, 5.0, &NoLoad, 32);
+
+        let mut f = BuckFilter::new(FilterParams::default(), Box::new(NoLoad));
+        f.source_voltage = Volts(1.0);
+        f.source_resistance = Ohms(5.0);
+        let mut yr = y0;
+        let dt = 1.0 / clock().value();
+        let mut q_ref = 0.0;
+        for _ in 0..32 {
+            let i_before = yr[0];
+            integrate_span(&f, IntegrationMethod::Rk4, 0.0, &mut yr, dt, 16);
+            q_ref += 0.5 * (i_before * i_before + yr[0] * yr[0]) * dt;
+        }
+        assert!(
+            (q - q_ref).abs() < 0.01 * q_ref.abs(),
+            "Simpson {q} vs trapezoid {q_ref}"
+        );
+    }
+
+    #[test]
+    fn nonlinear_load_stays_within_halving_tolerance() {
+        // A quadratic (clearly non-affine) load, solved by linearised
+        // halving vs a dense RK4 reference.
+        #[derive(Debug)]
+        struct QuadraticLoad;
+        impl LoadCurrent for QuadraticLoad {
+            fn current(&self, v: Volts) -> Amps {
+                let v = v.volts().max(0.0);
+                Amps(2e-3 * v * v)
+            }
+        }
+        assert!(QuadraticLoad.affine().is_none());
+
+        let mut s = SegmentSolver::new(FilterParams::default(), clock());
+        let y0 = [1e-3, 0.4];
+        let mut y = y0;
+        s.advance(&mut y, 0.9, 5.0, &QuadraticLoad, 64);
+        let y_ref = rk4_reference(0.9, 5.0, Box::new(QuadraticLoad), y0, 64);
+        assert!(
+            (y[1] - y_ref[1]).abs() < 1e-6,
+            "nonlinear vout {} vs {}",
+            y[1],
+            y_ref[1]
+        );
+        assert!((y[0] - y_ref[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn discharge_matches_euler_and_exponential() {
+        let s = SegmentSolver::new(FilterParams::default(), clock());
+        // Constant load: linear discharge.
+        let v = s.discharge(0.5, &ConstantLoad(Amps(2e-6)), 64);
+        let dt = 64.0 / clock().value();
+        let expected = 0.5 - 2e-6 * dt / 470e-9;
+        assert!((v - expected).abs() < 1e-9, "{v} vs {expected}");
+        // Resistive load: exponential toward 0.
+        let v = s.discharge(0.5, &ResistiveLoad(Ohms(1e4)), 64);
+        let tau = 1e4 * 470e-9;
+        let expected = 0.5 * (-dt / tau).exp();
+        assert!((v - expected).abs() < 1e-6, "{v} vs {expected}");
+        // Never below zero.
+        assert_eq!(s.discharge(1e-9, &ConstantLoad(Amps(1.0)), 64), 0.0);
+    }
+
+    #[test]
+    fn operator_cache_is_hit_on_repeat_segments() {
+        let mut s = SegmentSolver::new(FilterParams::default(), clock());
+        let mut y = [0.0, 0.0];
+        s.advance(&mut y, 1.0, 5.0, &NoLoad, 19);
+        s.advance(&mut y, 0.0, 4.0, &NoLoad, 45);
+        assert_eq!(s.cache.len(), 2, "two operating points");
+        let filled: usize = s.cache[0].ops.iter().flatten().count();
+        s.advance(&mut y, 1.0, 5.0, &NoLoad, 19);
+        assert_eq!(s.cache.len(), 2, "repeat segment adds no entry");
+        assert_eq!(
+            s.cache[0].ops.iter().flatten().count(),
+            filled,
+            "repeat segment computes no new operator"
+        );
+    }
+
+    #[test]
+    fn default_solver_mode_is_closed_form() {
+        assert_eq!(SolverMode::default(), SolverMode::ClosedForm);
+    }
+}

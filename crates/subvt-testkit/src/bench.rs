@@ -65,6 +65,19 @@ impl Timer {
     pub fn groups_written(&self) -> &[String] {
         &self.groups_written
     }
+
+    /// Whether the timer runs in single-iteration smoke mode
+    /// (`SUBVT_BENCH_QUICK=1` or a `--test` argument). Benches use this
+    /// to skip timing-based assertions that are meaningless at one
+    /// iteration.
+    pub fn quick(&self) -> bool {
+        self.quick
+    }
+}
+
+/// The host core count recorded in every report's `machine` block.
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// A named group of benchmarks sharing a report file.
@@ -157,13 +170,24 @@ impl Group<'_> {
         }
     }
 
+    /// Median ns/iter of an already-run benchmark in this group, for
+    /// in-bench assertions (e.g. "the fast path is ≥ N× the
+    /// reference"). `None` until `bench_function(name, ..)` has run.
+    pub fn median_ns(&self, name: &str) -> Option<f64> {
+        self.records
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.median_ns)
+    }
+
     fn to_json(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(out, "{{");
-        let _ = writeln!(out, "  \"schema\": \"subvt-bench-v1\",");
+        let _ = writeln!(out, "  \"schema\": \"subvt-bench-v2\",");
         let _ = writeln!(out, "  \"group\": \"{}\",", escape_json(&self.name));
         let _ = writeln!(out, "  \"quick\": {},", self.timer.quick);
+        let _ = writeln!(out, "  \"machine\": {{\"cores\": {}}},", host_cores());
         let _ = writeln!(out, "  \"benchmarks\": [");
         for (i, r) in self.records.iter().enumerate() {
             let comma = if i + 1 < self.records.len() { "," } else { "" };
@@ -380,10 +404,27 @@ mod tests {
         }
         assert_eq!(timer.groups_written(), ["unit".to_owned()]);
         let json = std::fs::read_to_string(dir.join("BENCH_unit.json")).unwrap();
-        assert!(json.contains("\"schema\": \"subvt-bench-v1\""), "{json}");
+        assert!(json.contains("\"schema\": \"subvt-bench-v2\""), "{json}");
         assert!(json.contains("\"group\": \"unit\""), "{json}");
+        assert!(
+            json.contains(&format!("\"machine\": {{\"cores\": {}}}", host_cores())),
+            "{json}"
+        );
         assert!(json.contains("\"name\": \"noop\""), "{json}");
         assert!(json.contains("\"median_ns\""), "{json}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn median_is_queryable_by_name() {
+        let dir = std::env::temp_dir().join("subvt-testkit-bench-median-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut timer = quick_timer(&dir);
+        let mut g = timer.benchmark_group("query");
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert!(g.median_ns("noop").unwrap() > 0.0);
+        assert_eq!(g.median_ns("missing"), None);
+        drop(g);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -6,11 +6,13 @@
 use std::fmt;
 use std::str::FromStr;
 
+use subvt_core::controller::SupplyKind;
 use subvt_core::experiment::{savings_experiment, Scenario};
 use subvt_core::transient::{fig6_schedule, run_transient};
-use subvt_core::yield_study::{yield_study_summary_eval, YieldSpec};
+use subvt_core::yield_study::{yield_study_summary_supply_eval, SupplySim, YieldSpec};
 use subvt_dcdc::converter::ConverterParams;
 use subvt_dcdc::filter::NoLoad;
+use subvt_dcdc::solver::SolverMode;
 use subvt_device::corner::ProcessCorner;
 use subvt_device::delay::{GateMismatch, GateTiming};
 use subvt_device::energy::CircuitProfile;
@@ -73,13 +75,26 @@ pub enum Command {
         /// Device evaluation mode (analytic exact model or tabulated
         /// surfaces).
         eval: EvalMode,
+        /// Supply model: ideal rail or the switched converter's
+        /// per-word droop/ripple operating points.
+        supply: SupplyKind,
+        /// Converter solver for the switched supply model.
+        solver: SolverMode,
     },
     /// Fig. 6 transient summary.
-    Fig6,
+    Fig6 {
+        /// Converter solver for the transient.
+        solver: SolverMode,
+    },
     /// Table I signatures.
     Table1,
     /// The paper's savings experiment.
-    Savings,
+    Savings {
+        /// Supply model the controller runs from.
+        supply: SupplyKind,
+        /// Converter solver for switched-supply runs.
+        solver: SolverMode,
+    },
     /// Print usage.
     Help,
 }
@@ -180,6 +195,8 @@ impl Command {
         let mut jobs: Option<usize> = None;
         let mut seed = 1u64;
         let mut eval = EvalMode::Analytic;
+        let mut supply = SupplyKind::Ideal;
+        let mut solver = SolverMode::default();
 
         let mut i = 0;
         while i < rest.len() {
@@ -269,6 +286,28 @@ impl Command {
                     eval = v.parse().map_err(|e| err(format!("{e}")))?;
                     i += 2;
                 }
+                "--supply" => {
+                    let v: String = parse_value(flag, value)?;
+                    supply = match v.as_str() {
+                        "ideal" => SupplyKind::Ideal,
+                        "switched" => SupplyKind::Switched,
+                        other => {
+                            return Err(err(format!("unknown supply `{other}` (ideal|switched)")))
+                        }
+                    };
+                    i += 2;
+                }
+                "--solver" => {
+                    let v: String = parse_value(flag, value)?;
+                    solver = match v.as_str() {
+                        "closed-form" | "closed_form" => SolverMode::ClosedForm,
+                        "rk4" => SolverMode::Rk4,
+                        other => {
+                            return Err(err(format!("unknown solver `{other}` (closed-form|rk4)")))
+                        }
+                    };
+                    i += 2;
+                }
                 other => return Err(err(format!("unknown flag `{other}`"))),
             }
         }
@@ -307,10 +346,12 @@ impl Command {
                 jobs,
                 seed,
                 eval,
+                supply,
+                solver,
             }),
-            "fig6" => Ok(Command::Fig6),
+            "fig6" => Ok(Command::Fig6 { solver }),
             "table1" => Ok(Command::Table1),
-            "savings" => Ok(Command::Savings),
+            "savings" => Ok(Command::Savings { supply, solver }),
             "help" | "--help" | "-h" => Ok(Command::Help),
             other => Err(err(format!("unknown command `{other}` (try `help`)"))),
         }
@@ -412,6 +453,8 @@ impl Command {
                 jobs,
                 seed,
                 eval,
+                supply,
+                solver,
             } => {
                 let tech = op.technology();
                 let ring = RingOscillator::paper_circuit();
@@ -422,7 +465,13 @@ impl Command {
                 };
                 let cfg = ExecConfig::from_option(*jobs);
                 let mut rng = StdRng::seed_from_u64(*seed);
-                let summary = yield_study_summary_eval(
+                let supply_sim = match supply {
+                    SupplyKind::Ideal => SupplySim::Ideal,
+                    SupplyKind::Switched => {
+                        SupplySim::switched(ConverterParams::default().with_solver(*solver))
+                    }
+                };
+                let summary = yield_study_summary_supply_eval(
                     &cfg,
                     eval.build(&tech),
                     &ring,
@@ -431,14 +480,16 @@ impl Command {
                     spec,
                     11,
                     11,
+                    &supply_sim,
                     *dies,
                     &mut rng,
                 );
                 Ok(format!(
-                    "yield over {} dies (spec 110 kHz @ ≤2.9 fJ, word 11, {} model, {} jobs):\n\
+                    "yield over {} dies (spec 110 kHz @ ≤2.9 fJ, word 11, {} model, {} supply, {} jobs):\n\
                      fixed {:.1}%  adaptive {:.1}%  dithered {:.1}%  mean adaptive E {}\n",
                     summary.dies,
                     eval.label(),
+                    supply_label(*supply, *solver),
                     cfg.jobs(),
                     summary.fixed_yield() * 100.0,
                     summary.adaptive_yield() * 100.0,
@@ -448,9 +499,9 @@ impl Command {
                         .map_or("-".into(), |e| format!("{:.3} fJ", e.femtos()))
                 ))
             }
-            Command::Fig6 => {
+            Command::Fig6 { solver } => {
                 let result = run_transient(
-                    ConverterParams::default(),
+                    ConverterParams::default().with_solver(*solver),
                     Box::new(NoLoad),
                     &fig6_schedule(),
                 );
@@ -464,6 +515,7 @@ impl Command {
                         seg.ripple.millivolts()
                     ));
                 }
+                out.push_str(&format!("solver: {}\n", solver_label(*solver)));
                 Ok(out)
             }
             Command::Table1 => {
@@ -475,18 +527,43 @@ impl Command {
                 }
                 Ok(out)
             }
-            Command::Savings => {
-                let report = savings_experiment(&Scenario::paper_worked_example())
-                    .map_err(|e| e.to_string())?;
-                Ok(format!(
+            Command::Savings { supply, solver } => {
+                let mut scenario = Scenario::paper_worked_example().with_supply(*supply);
+                scenario.config.converter = scenario.config.converter.with_solver(*solver);
+                let report = savings_experiment(&scenario).map_err(|e| e.to_string())?;
+                let mut out = format!(
                     "worked example (TT design on SS die): LUT {:+} LSB, \
                      {:.1}% vs fixed supply, {:.1}% vs uncompensated",
                     report.compensated.compensation,
                     report.savings_vs_fixed() * 100.0,
                     report.savings_vs_uncompensated() * 100.0
-                ))
+                );
+                if *supply == SupplyKind::Switched {
+                    out.push_str(&format!(
+                        "\nswitched supply ({} solver): converter loss {:.3} fJ",
+                        solver_label(*solver),
+                        report.compensated.account.converter().femtos()
+                    ));
+                }
+                Ok(out)
             }
         }
+    }
+}
+
+/// Human label for a solver mode (used in provenance lines).
+fn solver_label(solver: SolverMode) -> &'static str {
+    match solver {
+        SolverMode::ClosedForm => "closed-form",
+        SolverMode::Rk4 => "rk4",
+    }
+}
+
+/// Human label for a supply choice (used in provenance lines).
+fn supply_label(supply: SupplyKind, solver: SolverMode) -> String {
+    match supply {
+        SupplyKind::Ideal => "ideal".to_owned(),
+        SupplyKind::Switched => format!("switched[{}]", solver_label(solver)),
     }
 }
 
@@ -525,6 +602,14 @@ FLAGS:
                          analytic model (default) or precomputed
                          monotone-cubic surfaces (≤1% accuracy
                          budget, much faster Monte-Carlo)
+    --supply ideal|switched     supply model for yield/savings: an
+                         ideal rail (default) or the switched
+                         converter's per-word droop and ripple (rate
+                         checked at the ripple trough, energy at the
+                         cycle mean)
+    --solver closed-form|rk4    converter solver for fig6 and
+                         switched-supply runs (default closed-form;
+                         rk4 is the reference integrator)
 ";
 
 #[cfg(test)]
@@ -626,6 +711,8 @@ mod tests {
                 jobs: Some(2),
                 seed: 9,
                 eval: EvalMode::Analytic,
+                supply: SupplyKind::Ideal,
+                solver: SolverMode::ClosedForm,
             }
         );
         let out = c.run().unwrap();
@@ -695,5 +782,60 @@ mod tests {
         assert!(t.contains("1.2V"), "{t}");
         let s = parse(&["savings"]).unwrap().run().unwrap();
         assert!(s.contains("+1 LSB"), "{s}");
+        assert!(!s.contains("converter loss"), "{s}");
+    }
+
+    #[test]
+    fn savings_on_the_switched_supply_books_converter_loss() {
+        let s = parse(&["savings", "--supply", "switched"])
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(s.contains("switched supply (closed-form solver)"), "{s}");
+        assert!(s.contains("converter loss"), "{s}");
+    }
+
+    #[test]
+    fn yield_accepts_the_switched_supply() {
+        let c = parse(&[
+            "yield", "--dies", "24", "--supply", "switched", "--jobs", "2", "--seed", "9",
+        ])
+        .unwrap();
+        match &c {
+            Command::Yield { supply, .. } => assert_eq!(*supply, SupplyKind::Switched),
+            other => panic!("{other:?}"),
+        }
+        let out = c.run().unwrap();
+        assert!(out.contains("switched[closed-form] supply"), "{out}");
+
+        // Worker count must not change the switched numbers either.
+        let serial = parse(&[
+            "yield", "--dies", "24", "--supply", "switched", "--jobs", "1", "--seed", "9",
+        ])
+        .unwrap()
+        .run()
+        .unwrap();
+        assert_eq!(out.replace("2 jobs", "1 jobs"), serial);
+    }
+
+    #[test]
+    fn fig6_reports_its_solver() {
+        let c = parse(&["fig6", "--solver", "rk4"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Fig6 {
+                solver: SolverMode::Rk4
+            }
+        );
+        let out = c.run().unwrap();
+        assert!(out.contains("solver: rk4"), "{out}");
+    }
+
+    #[test]
+    fn supply_and_solver_flags_are_validated() {
+        assert!(parse(&["yield", "--supply", "battery"]).is_err());
+        assert!(parse(&["yield", "--supply"]).is_err());
+        assert!(parse(&["fig6", "--solver", "euler"]).is_err());
+        assert!(parse(&["fig6", "--solver"]).is_err());
     }
 }

@@ -6,8 +6,9 @@
 use subvt::prelude::*;
 use subvt_bench::savings::{savings_monte_carlo_jobs, savings_monte_carlo_serial};
 use subvt_core::yield_study::{
-    yield_study, yield_study_jobs, yield_study_jobs_eval, yield_study_serial,
-    yield_study_serial_eval, yield_study_summary, YieldReport, YieldSpec,
+    yield_study, yield_study_jobs, yield_study_jobs_eval, yield_study_jobs_supply_eval,
+    yield_study_serial, yield_study_serial_eval, yield_study_serial_supply_eval,
+    yield_study_summary, SupplySim, YieldReport, YieldSpec,
 };
 use subvt_device::tabulate::{EvalMode, ACCURACY_BUDGET};
 use subvt_rng::{Rng, StdRng};
@@ -333,6 +334,61 @@ fn tabulated_yield_study_divergence_from_analytic_is_bounded() {
     assert!(flips <= 6, "{flips} of 120 dies flipped pass/fail");
     let dy = (analytic.adaptive_yield() - tabulated.adaptive_yield()).abs();
     assert!(dy <= 0.05, "adaptive yield moved by {dy:.3}");
+}
+
+#[test]
+fn switched_supply_yield_study_is_bit_identical_across_job_counts() {
+    // The switched-supply table (per-word droop/ripple) is built
+    // serially before the fan-out and only read by workers, so the
+    // `subvt yield --supply switched --jobs N` contract is the same as
+    // the ideal rail's: bit-identical to the serial reference at any N.
+    let tech = Technology::st_130nm();
+    let ring = RingOscillator::paper_circuit();
+    let spec = YieldSpec {
+        min_rate: subvt_device::Hertz(110e3),
+        max_energy_per_op: Joules::from_femtos(2.9),
+    };
+    let supply = SupplySim::switched(subvt_dcdc::converter::ConverterParams::default());
+    let mut rng = StdRng::seed_from_u64(77);
+    let reference = yield_study_serial_supply_eval(
+        EvalMode::Analytic.build(&tech),
+        &ring,
+        Environment::nominal(),
+        &VariationModel::st_130nm(),
+        spec,
+        11,
+        11,
+        &supply,
+        120,
+        &mut rng,
+    );
+    for jobs in [1, 2, 7] {
+        // A freshly built supply model must also reproduce exactly:
+        // the table itself is deterministic, not just its use.
+        let supply = SupplySim::switched(subvt_dcdc::converter::ConverterParams::default());
+        let mut rng = StdRng::seed_from_u64(77);
+        let parallel = yield_study_jobs_supply_eval(
+            &ExecConfig::with_jobs(jobs),
+            EvalMode::Analytic.build(&tech),
+            &ring,
+            Environment::nominal(),
+            &VariationModel::st_130nm(),
+            spec,
+            11,
+            11,
+            &supply,
+            120,
+            &mut rng,
+        );
+        assert_eq!(
+            reference, parallel,
+            "switched-supply yield diverged from the serial reference at {jobs} jobs"
+        );
+        assert_eq!(
+            mc_stats_text(&reference).into_bytes(),
+            mc_stats_text(&parallel).into_bytes()
+        );
+    }
 }
 
 #[test]
