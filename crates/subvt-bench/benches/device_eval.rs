@@ -23,7 +23,7 @@
 //!   "≥5× fewer analytic evals" acceptance number; the tabulated study
 //!   answers every query by interpolation, so its count is 0).
 
-use subvt_core::yield_study::{yield_study_serial_eval, YieldSpec};
+use subvt_core::study::StudyConfig;
 use subvt_device::corner::ProcessCorner;
 use subvt_device::delay::GateMismatch;
 use subvt_device::energy::CircuitProfile;
@@ -32,11 +32,9 @@ use subvt_device::tabulate::{
     AnalyticEval, DeviceEval, EvalMode, SharedEval, TabulatedEval, ACCURACY_BUDGET,
 };
 use subvt_device::technology::{GateKind, Technology};
-use subvt_device::units::{Hertz, Joules, Volts};
-use subvt_device::variation::VariationModel;
+use subvt_device::units::Volts;
 use subvt_device::MetricsSnapshot;
-use subvt_loads::ring_oscillator::RingOscillator;
-use subvt_rng::StdRng;
+use subvt_exec::ExecConfig;
 use subvt_tdc::delay_line::{CellKind, DelayLine};
 use subvt_testkit::bench::{black_box, Timer};
 
@@ -171,25 +169,11 @@ fn measured_errors(
 
 /// One small serial yield study through a prebuilt evaluator.
 fn yield_run(eval: &SharedEval) -> f64 {
-    let ring = RingOscillator::paper_circuit();
-    let model = VariationModel::st_130nm();
-    let spec = YieldSpec {
-        min_rate: Hertz(110e3),
-        max_energy_per_op: Joules::from_femtos(2.9),
-    };
-    let mut rng = StdRng::seed_from_u64(5);
-    let report = yield_study_serial_eval(
-        eval.clone(),
-        &ring,
-        Environment::nominal(),
-        &model,
-        spec,
-        11,
-        11,
-        32,
-        &mut rng,
-    );
-    report.adaptive_yield()
+    StudyConfig::new(32, 5)
+        .eval(eval.clone())
+        .exec(ExecConfig::serial())
+        .run()
+        .adaptive_yield()
 }
 
 fn bench(c: &mut Timer) {

@@ -72,22 +72,20 @@ fn bench(c: &mut Timer) {
         })
     });
     g.bench_function("yield_study_100_dies", |b| {
-        use subvt_core::yield_study::{yield_study_jobs, YieldSpec};
+        use subvt_core::study::StudyConfig;
+        use subvt_core::yield_study::YieldSpec;
         use subvt_device::units::{Hertz, Joules};
-        use subvt_device::variation::VariationModel;
         use subvt_exec::ExecConfig;
-        use subvt_loads::ring_oscillator::RingOscillator;
-        let ring = RingOscillator::paper_circuit();
-        let model = VariationModel::st_130nm();
         let spec = YieldSpec {
             min_rate: Hertz(110e3),
             max_energy_per_op: Joules::from_femtos(2.9),
         };
-        let cfg = ExecConfig::from_env();
-        b.iter(|| {
-            let mut rng = subvt_rng::StdRng::seed_from_u64(1);
-            yield_study_jobs(&cfg, &tech, &ring, env, &model, spec, 11, 11, 100, &mut rng)
-        })
+        let study = StudyConfig::new(100, 1)
+            .tech(tech.clone())
+            .env(env)
+            .spec(spec)
+            .exec(ExecConfig::from_env());
+        b.iter(|| study.run())
     });
     g.bench_function("drift_run_200_cycles", |b| {
         use subvt_core::controller::{

@@ -16,7 +16,8 @@
 //! of the unsuffixed legs so a report stays self-describing if the
 //! default ever changes.
 
-use subvt_bench::savings::{savings_monte_carlo_jobs_eval, savings_monte_carlo_serial};
+use subvt_bench::savings::savings_rows;
+use subvt_core::study::StudyConfig;
 use subvt_device::tabulate::EvalMode;
 use subvt_exec::ExecConfig;
 use subvt_testkit::bench::Timer;
@@ -29,16 +30,17 @@ fn bench(c: &mut Timer) {
 
     let mut g = c.benchmark_group("mc_scaling");
     g.sample_size(10);
+    let serial = StudyConfig::new(DIES, SEED).exec(ExecConfig::serial());
     g.bench_function("savings_mc_serial", |b| {
-        b.iter(|| savings_monte_carlo_serial(DIES, SEED))
+        b.iter(|| savings_rows(&serial, EvalMode::Analytic))
     });
     for jobs in [1usize, 2, 4] {
-        let cfg = ExecConfig::with_jobs(jobs);
+        let study = StudyConfig::new(DIES, SEED).exec(ExecConfig::with_jobs(jobs));
         g.bench_function(&format!("savings_mc_jobs{jobs}"), |b| {
-            b.iter(|| savings_monte_carlo_jobs_eval(&cfg, EvalMode::Analytic, DIES, SEED))
+            b.iter(|| savings_rows(&study, EvalMode::Analytic))
         });
         g.bench_function(&format!("savings_mc_tab_jobs{jobs}"), |b| {
-            b.iter(|| savings_monte_carlo_jobs_eval(&cfg, EvalMode::Tabulated, DIES, SEED))
+            b.iter(|| savings_rows(&study, EvalMode::Tabulated))
         });
     }
     g.bench_function(&format!("eval_mode_{}", EvalMode::Analytic.label()), |b| {

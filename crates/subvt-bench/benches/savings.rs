@@ -2,9 +2,11 @@
 
 use subvt_testkit::bench::Timer;
 
-use subvt_bench::savings::savings_monte_carlo_jobs;
+use subvt_bench::savings::savings_rows;
 use subvt_core::experiment::{run_scenario, savings_experiment, Scenario};
+use subvt_core::study::StudyConfig;
 use subvt_core::SupplyPolicy;
+use subvt_device::tabulate::EvalMode;
 use subvt_exec::ExecConfig;
 
 fn bench(c: &mut Timer) {
@@ -18,9 +20,9 @@ fn bench(c: &mut Timer) {
     g.bench_function("four_way_comparison", |b| {
         b.iter(|| savings_experiment(&short))
     });
-    let cfg = ExecConfig::from_env();
+    let study = StudyConfig::new(8, 2026).exec(ExecConfig::from_env());
     g.bench_function("monte_carlo_8_dies", |b| {
-        b.iter(|| savings_monte_carlo_jobs(&cfg, 8, 2026))
+        b.iter(|| savings_rows(&study, EvalMode::Analytic))
     });
     g.finish();
 }

@@ -4,9 +4,11 @@
 
 use subvt_bench::jobs::{harness_options, JOBS_HELP, SUPPLY_HELP};
 use subvt_bench::report::{f, pct, Table};
-use subvt_bench::savings::{savings_matrix, savings_monte_carlo_jobs};
+use subvt_bench::savings::{savings_matrix, savings_rows};
 use subvt_core::controller::SupplyKind;
 use subvt_core::experiment::{savings_experiment, Scenario};
+use subvt_core::study::StudyConfig;
+use subvt_device::tabulate::EvalMode;
 
 fn usage() -> String {
     format!(
@@ -55,7 +57,7 @@ fn main() {
             "savings vs fixed",
         ],
     );
-    let rows = savings_monte_carlo_jobs(&cfg, 12, 2026);
+    let rows = savings_rows(&StudyConfig::new(12, 2026).exec(cfg), EvalMode::Analytic);
     for row in &rows {
         mc.row(&[
             row.die.to_string(),

@@ -4,17 +4,12 @@
 use subvt_bench::jobs::{harness_options, EVAL_HELP, JOBS_HELP, SUPPLY_HELP};
 use subvt_bench::report::{f, pct, Table};
 use subvt_core::controller::SupplyKind;
-use subvt_core::yield_study::{
-    yield_study_jobs_supply_eval, yield_study_summary_supply_eval, SupplySim, YieldSpec,
-};
+use subvt_core::study::StudyConfig;
+use subvt_core::yield_study::{SupplySim, YieldSpec};
 use subvt_dcdc::converter::ConverterParams;
-use subvt_device::mosfet::Environment;
 use subvt_device::technology::Technology;
 use subvt_device::units::{Hertz, Joules};
-use subvt_device::variation::VariationModel;
 use subvt_device::MetricsSnapshot;
-use subvt_loads::ring_oscillator::RingOscillator;
-use subvt_rng::StdRng;
 
 fn usage() -> String {
     format!(
@@ -46,8 +41,6 @@ fn main() {
     );
 
     let tech = Technology::st_130nm();
-    let ring = RingOscillator::paper_circuit();
-    let model = VariationModel::st_130nm();
     let before = MetricsSnapshot::snapshot();
     let eval = opts.eval.build(&tech);
 
@@ -69,20 +62,13 @@ fn main() {
             max_energy_per_op: Joules::from_femtos(e_fj),
         };
         let run = |fixed_word: u8, seed: u64| {
-            let mut rng = StdRng::seed_from_u64(seed);
-            yield_study_jobs_supply_eval(
-                cfg,
-                eval.clone(),
-                &ring,
-                Environment::nominal(),
-                &model,
-                spec,
-                fixed_word,
-                11,
-                &supply,
-                500,
-                &mut rng,
-            )
+            StudyConfig::new(500, seed)
+                .eval(eval.clone())
+                .spec(spec)
+                .words(fixed_word, 11)
+                .supply(supply.clone())
+                .exec(*cfg)
+                .run()
         };
         let at_mep = run(11, 1);
         let guarded = run(13, 1);
@@ -114,20 +100,13 @@ fn main() {
         min_rate: Hertz(110e3),
         max_energy_per_op: Joules::from_femtos(2.9),
     };
-    let mut rng = StdRng::seed_from_u64(1);
-    let summary = yield_study_summary_supply_eval(
-        cfg,
-        eval.clone(),
-        &ring,
-        Environment::nominal(),
-        &model,
-        spec,
-        11,
-        11,
-        &supply,
-        dies,
-        &mut rng,
-    );
+    let summary = StudyConfig::new(dies, 1)
+        .eval(eval.clone())
+        .spec(spec)
+        .words(11, 11)
+        .supply(supply.clone())
+        .exec(*cfg)
+        .run_summary();
     let mut big = Table::new(
         format!("Large-population check ({dies} dies, summary-only streaming path)"),
         &[

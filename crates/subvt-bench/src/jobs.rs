@@ -11,6 +11,7 @@
 //! machine.
 
 use subvt_core::controller::SupplyKind;
+use subvt_core::study::StudyArgs;
 use subvt_device::tabulate::EvalMode;
 use subvt_exec::ExecConfig;
 
@@ -45,6 +46,11 @@ pub struct HarnessOptions {
     pub eval: EvalMode,
     /// Supply model (`--supply`, default ideal).
     pub supply: SupplyKind,
+    /// The full shared study-flag set (`--dies`, `--seed`, `--solver`,
+    /// `--faults`, `--mitigation`, plus the three above) — the same
+    /// parser the `subvt` CLI uses, so every harness binary accepts
+    /// the same knobs with the same error messages.
+    pub study: StudyArgs,
 }
 
 /// Parses `args` (without the program name) for the standard harness
@@ -70,9 +76,7 @@ pub fn parse_harness_options(
     args: &[String],
     usage: &str,
 ) -> Result<Option<HarnessOptions>, String> {
-    let mut jobs: Option<usize> = None;
-    let mut eval = EvalMode::Analytic;
-    let mut supply = SupplyKind::Ideal;
+    let mut study = StudyArgs::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -80,44 +84,17 @@ pub fn parse_harness_options(
                 let _ = usage; // caller prints it
                 return Ok(None);
             }
-            "--jobs" => {
-                let raw = args
-                    .get(i + 1)
-                    .ok_or_else(|| "--jobs needs a value".to_owned())?;
-                let n: usize = raw
-                    .parse()
-                    .map_err(|_| format!("invalid value `{raw}` for --jobs"))?;
-                if n == 0 {
-                    return Err("--jobs must be at least 1".to_owned());
-                }
-                jobs = Some(n);
-                i += 2;
-            }
-            "--eval" => {
-                let raw = args
-                    .get(i + 1)
-                    .ok_or_else(|| "--eval needs a value".to_owned())?;
-                eval = raw.parse().map_err(|e| format!("{e}"))?;
-                i += 2;
-            }
-            "--supply" => {
-                let raw = args
-                    .get(i + 1)
-                    .ok_or_else(|| "--supply needs a value".to_owned())?;
-                supply = match raw.as_str() {
-                    "ideal" => SupplyKind::Ideal,
-                    "switched" => SupplyKind::Switched,
-                    other => return Err(format!("unknown supply `{other}` (ideal|switched)")),
-                };
-                i += 2;
-            }
-            other => return Err(format!("unknown flag `{other}` (try --help)")),
+            other => match study.accept(args, i)? {
+                Some(consumed) => i += consumed,
+                None => return Err(format!("unknown flag `{other}` (try --help)")),
+            },
         }
     }
     Ok(Some(HarnessOptions {
-        cfg: ExecConfig::from_option(jobs),
-        eval,
-        supply,
+        cfg: study.exec(),
+        eval: study.eval,
+        supply: study.supply,
+        study,
     }))
 }
 
@@ -195,6 +172,38 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(opts.supply, SupplyKind::Switched);
+    }
+
+    #[test]
+    fn shared_study_flags_parse_through_the_harness() {
+        // One parser for the CLI and every harness binary: the full
+        // StudyArgs flag set is accepted, new flags included.
+        let opts = parse_harness_options(
+            &argv(&[
+                "--dies",
+                "100",
+                "--seed",
+                "9",
+                "--faults",
+                "0.02",
+                "--mitigation",
+                "off",
+                "--solver",
+                "rk4",
+            ]),
+            "u",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(opts.study.dies, 100);
+        assert_eq!(opts.study.seed, 9);
+        assert_eq!(opts.study.faults, Some(0.02));
+        assert!(!opts.study.mitigation);
+        let plan = opts.study.fault_plan().unwrap();
+        assert_eq!(plan.tdc_rate, 0.02);
+        assert!(!plan.mitigation);
+        assert!(parse_harness_options(&argv(&["--faults", "1.5"]), "u").is_err());
+        assert!(parse_harness_options(&argv(&["--mitigation", "maybe"]), "u").is_err());
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! Data generators for Fig. 6 and the Sec. IV savings study.
 
-use subvt_exec::{par_map_indexed, ExecConfig};
-use subvt_rng::{Rng, StdRng};
+use subvt_exec::ExecConfig;
+use subvt_rng::StdRng;
 
 use subvt_core::experiment::{
     savings_experiment, savings_experiment_eval, SavingsReport, Scenario,
 };
+use subvt_core::study::StudyConfig;
 use subvt_core::transient::{fig6_schedule, run_transient, TransientResult};
 use subvt_dcdc::converter::ConverterParams;
 use subvt_dcdc::filter::ConstantLoad;
@@ -104,61 +105,72 @@ fn mc_die(
     }
 }
 
+/// Monte-Carlo savings rows for a configured study — the builder-first
+/// path. Die count, seed and worker count come from `study`; the
+/// device surfaces are built once (before the fan-out) and shared
+/// read-only by every worker. Rows are bit-identical for any worker
+/// count, and to the historical `savings_monte_carlo_*` entry points.
+pub fn savings_rows(study: &StudyConfig<'_>, mode: EvalMode) -> Vec<MonteCarloRow> {
+    let eval = mode.build(&Technology::st_130nm());
+    let model = VariationModel::st_130nm();
+    let seed = study.seed();
+    study.run_dies("mc-die", |die, die_rng| {
+        mc_die(&model, die, die_rng, seed, &eval)
+    })
+}
+
 /// Monte-Carlo savings across `dies` sampled dies.
 ///
 /// Worker count from the environment (`SUBVT_JOBS`, else all cores);
 /// rows are bit-identical to [`savings_monte_carlo_serial`] for any
 /// count.
+#[deprecated(note = "use StudyConfig with savings_rows")]
 pub fn savings_monte_carlo(dies: usize, seed: u64) -> Vec<MonteCarloRow> {
-    savings_monte_carlo_jobs(&ExecConfig::from_env(), dies, seed)
+    savings_rows(
+        &StudyConfig::new(dies, seed).exec(ExecConfig::from_env()),
+        EvalMode::Analytic,
+    )
 }
 
 /// [`savings_monte_carlo`] with an explicit worker count.
+#[deprecated(note = "use StudyConfig with savings_rows")]
 pub fn savings_monte_carlo_jobs(cfg: &ExecConfig, dies: usize, seed: u64) -> Vec<MonteCarloRow> {
-    savings_monte_carlo_jobs_eval(cfg, EvalMode::Analytic, dies, seed)
+    savings_rows(&StudyConfig::new(dies, seed).exec(*cfg), EvalMode::Analytic)
 }
 
 /// [`savings_monte_carlo_jobs`] with an explicit device-evaluation
-/// mode. The surfaces are built once (before the fan-out) and shared
-/// read-only by every worker; [`EvalMode::Analytic`] is bit-identical
-/// to the historical direct path.
+/// mode.
+#[deprecated(note = "use StudyConfig with savings_rows")]
 pub fn savings_monte_carlo_jobs_eval(
     cfg: &ExecConfig,
     mode: EvalMode,
     dies: usize,
     seed: u64,
 ) -> Vec<MonteCarloRow> {
-    let eval = mode.build(&Technology::st_130nm());
-    let model = VariationModel::st_130nm();
-    let mut rng = StdRng::seed_from_u64(seed);
-    // Serial, order-fixed seed draws; the expensive per-die experiment
-    // then fans out.
-    let seeds: Vec<u64> = (0..dies)
-        .map(|die| rng.fork_seed(&format!("mc-die-{die}")))
-        .collect();
-    par_map_indexed(cfg, dies, |die| {
-        mc_die(&model, die, StdRng::seed_from_u64(seeds[die]), seed, &eval)
-    })
+    savings_rows(&StudyConfig::new(dies, seed).exec(*cfg), mode)
 }
 
 /// The reference serial implementation the parallel path is tested
 /// against (`tests/determinism.rs`): a plain fork-per-die loop.
+#[deprecated(note = "use StudyConfig with savings_rows")]
 pub fn savings_monte_carlo_serial(dies: usize, seed: u64) -> Vec<MonteCarloRow> {
-    savings_monte_carlo_serial_eval(EvalMode::Analytic, dies, seed)
+    savings_rows(
+        &StudyConfig::new(dies, seed).exec(ExecConfig::serial()),
+        EvalMode::Analytic,
+    )
 }
 
 /// [`savings_monte_carlo_serial`] with an explicit evaluation mode.
+#[deprecated(note = "use StudyConfig with savings_rows")]
 pub fn savings_monte_carlo_serial_eval(
     mode: EvalMode,
     dies: usize,
     seed: u64,
 ) -> Vec<MonteCarloRow> {
-    let eval = mode.build(&Technology::st_130nm());
-    let model = VariationModel::st_130nm();
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..dies)
-        .map(|die| mc_die(&model, die, rng.fork(&format!("mc-die-{die}")), seed, &eval))
-        .collect()
+    savings_rows(
+        &StudyConfig::new(dies, seed).exec(ExecConfig::serial()),
+        mode,
+    )
 }
 
 #[cfg(test)]
@@ -198,9 +210,9 @@ mod tests {
 
     #[test]
     fn tabulated_mode_tracks_the_analytic_rows() {
-        let cfg = ExecConfig::with_jobs(2);
-        let analytic = savings_monte_carlo_jobs_eval(&cfg, EvalMode::Analytic, 4, 7);
-        let tabulated = savings_monte_carlo_jobs_eval(&cfg, EvalMode::Tabulated, 4, 7);
+        let study = StudyConfig::new(4, 7).exec(ExecConfig::with_jobs(2));
+        let analytic = savings_rows(&study, EvalMode::Analytic);
+        let tabulated = savings_rows(&study, EvalMode::Tabulated);
         assert_eq!(analytic.len(), tabulated.len());
         for (a, t) in analytic.iter().zip(&tabulated) {
             assert_eq!(a.die, t.die);
@@ -221,7 +233,7 @@ mod tests {
 
     #[test]
     fn slow_dies_compensate_up_fast_dies_down() {
-        let rows = savings_monte_carlo(8, 7);
+        let rows = savings_rows(&StudyConfig::new(8, 7), EvalMode::Analytic);
         assert_eq!(rows.len(), 8);
         for row in &rows {
             if row.corner_units > 0.8 {

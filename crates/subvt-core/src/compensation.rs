@@ -123,6 +123,70 @@ impl CompensationLoop {
     }
 }
 
+/// N-of-M confirmation gate in front of the compensation loop.
+///
+/// A faulted TDC can mint a one-cycle phantom signature shift; feeding
+/// it straight into [`CompensationLoop::observe`] starts a streak the
+/// next (equally faulted) cycle can confirm. The debounce quarantines
+/// *suspect* readings — the caller flags suspicion from redundant-sample
+/// disagreement or a sudden jump — and only releases a deviation to the
+/// loop once the same value has been seen `confirm` times in a row.
+/// Trusted readings pass through untouched, so a fault-free loop
+/// behaves identically with or without the gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignatureDebounce {
+    confirm: u32,
+    pending: Option<i16>,
+    seen: u32,
+}
+
+impl SignatureDebounce {
+    /// Creates a gate requiring `confirm` consecutive matching suspect
+    /// readings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confirm` is zero.
+    pub fn new(confirm: u32) -> SignatureDebounce {
+        assert!(confirm > 0, "need at least one confirmation");
+        SignatureDebounce {
+            confirm,
+            pending: None,
+            seen: 0,
+        }
+    }
+
+    /// Feeds one reading. Non-suspect readings pass immediately (and
+    /// clear any quarantine); suspect readings are held until the same
+    /// deviation repeats `confirm` times consecutively.
+    pub fn feed(&mut self, deviation: i16, suspect: bool) -> Option<i16> {
+        if !suspect {
+            self.pending = None;
+            self.seen = 0;
+            return Some(deviation);
+        }
+        if self.pending == Some(deviation) {
+            self.seen += 1;
+        } else {
+            self.pending = Some(deviation);
+            self.seen = 1;
+        }
+        if self.seen >= self.confirm {
+            self.pending = None;
+            self.seen = 0;
+            Some(deviation)
+        } else {
+            None
+        }
+    }
+
+    /// Drops any quarantined reading (e.g. after a watchdog fallback).
+    pub fn reset(&mut self) {
+        self.pending = None;
+        self.seen = 0;
+    }
+}
+
 impl fmt::Display for CompensationLoop {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -221,5 +285,57 @@ mod tests {
             confirm_cycles: 0,
             ..CompensationPolicy::default()
         });
+    }
+
+    #[test]
+    fn trusted_readings_pass_the_debounce_untouched() {
+        let mut d = SignatureDebounce::new(2);
+        for dev in [-1, 0, 2, -3] {
+            assert_eq!(d.feed(dev, false), Some(dev));
+        }
+    }
+
+    #[test]
+    fn suspect_reading_is_held_until_confirmed() {
+        let mut d = SignatureDebounce::new(2);
+        assert_eq!(d.feed(3, true), None, "first suspect sighting held");
+        assert_eq!(
+            d.feed(3, true),
+            Some(3),
+            "second matching sighting released"
+        );
+        // Quarantine is cleared after release.
+        assert_eq!(d.feed(3, true), None);
+    }
+
+    #[test]
+    fn changing_suspect_value_restarts_the_count() {
+        let mut d = SignatureDebounce::new(2);
+        assert_eq!(d.feed(3, true), None);
+        assert_eq!(d.feed(-2, true), None, "different value restarts");
+        assert_eq!(d.feed(-2, true), Some(-2));
+    }
+
+    #[test]
+    fn trusted_reading_clears_the_quarantine() {
+        let mut d = SignatureDebounce::new(2);
+        assert_eq!(d.feed(3, true), None);
+        assert_eq!(d.feed(0, false), Some(0));
+        assert_eq!(d.feed(3, true), None, "must re-confirm from scratch");
+    }
+
+    #[test]
+    fn reset_drops_the_pending_reading() {
+        let mut d = SignatureDebounce::new(2);
+        d.feed(3, true);
+        d.reset();
+        assert_eq!(d.feed(3, true), None);
+        assert_eq!(d.feed(3, true), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "confirmation")]
+    fn zero_debounce_confirm_rejected() {
+        let _ = SignatureDebounce::new(0);
     }
 }

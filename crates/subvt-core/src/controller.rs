@@ -31,7 +31,9 @@ use subvt_tdc::sensor::{SenseError, SensorConfig, VariationSensor};
 
 use crate::compensation::{CompensationLoop, CompensationPolicy};
 use crate::energy_account::EnergyAccount;
-use crate::rate_controller::RateController;
+use crate::fault_study::{scrub_cost, trip_cost};
+use crate::rate_controller::{LutCheckpoint, RateController};
+use crate::watchdog::{RailWatchdog, WatchdogPolicy};
 
 /// How the supply voltage is decided each cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -196,6 +198,11 @@ pub struct AdaptiveController<L: CircuitLoad> {
     frac_shift: f64,
     /// First-order sigma-delta accumulator for word emission.
     sigma_delta_acc: f64,
+    /// Optional rail watchdog: last-known-good fallback when the
+    /// sensed deviation refuses to settle.
+    watchdog: Option<RailWatchdog>,
+    /// Golden LUT copy for the end-of-cycle scrub (SEU hardening).
+    golden: Option<LutCheckpoint>,
 }
 
 impl<L: CircuitLoad> AdaptiveController<L> {
@@ -252,6 +259,8 @@ impl<L: CircuitLoad> AdaptiveController<L> {
             duty_trim: 0,
             frac_shift: 0.0,
             sigma_delta_acc: 0.0,
+            watchdog: None,
+            golden: None,
         }
     }
 
@@ -267,6 +276,36 @@ impl<L: CircuitLoad> AdaptiveController<L> {
             VariationSensor::with_eval(eval.as_ref(), self.design_env, self.config.sensor);
         self.eval = Some(eval);
         self
+    }
+
+    /// Arms the rail watchdog: once the loop has settled (a zero
+    /// deviation), a deviation that stays large for several cycles
+    /// falls back to the last-known-good word by shifting the LUT, and
+    /// retries with exponential backoff. Quiet on a healthy die — the
+    /// run is bit-identical to an unarmed controller.
+    pub fn with_watchdog(mut self, policy: WatchdogPolicy) -> AdaptiveController<L> {
+        self.watchdog = Some(RailWatchdog::new(policy));
+        self
+    }
+
+    /// Enables the end-of-cycle LUT scrub: the current designed words
+    /// become the golden shadow copy, and every cycle ends by
+    /// repairing any register that drifted from it (an SEU), booking
+    /// the rewrite energy as recovery. The live compensation shift is
+    /// not part of the checkpoint and survives scrubbing.
+    pub fn enable_lut_scrub(&mut self) {
+        self.golden = Some(self.rate.checkpoint());
+    }
+
+    /// Fault hook: flips one bit of the LUT word register for `band`,
+    /// as a particle strike would.
+    pub fn inject_lut_upset(&mut self, band: usize, bit: u8) {
+        self.rate.upset_word(band, bit);
+    }
+
+    /// The rail watchdog, when armed.
+    pub fn watchdog(&self) -> Option<&RailWatchdog> {
+        self.watchdog.as_ref()
     }
 
     /// The load.
@@ -407,7 +446,20 @@ impl<L: CircuitLoad> AdaptiveController<L> {
                 deviation = Some(dev);
                 match &self.supply {
                     Supply::Ideal(_) => {
-                        if let Some(step) = self.compensation.observe(dev) {
+                        let trip = self
+                            .watchdog
+                            .as_mut()
+                            .and_then(|dog| dog.observe(word, dev));
+                        if let Some(good) = trip {
+                            // Fall back to last-known-good: shift the
+                            // LUT so this queue maps onto the word the
+                            // rail last settled at.
+                            let delta = i16::from(good) - i16::from(word);
+                            self.rate.apply_compensation(delta);
+                            self.compensation.reset_streak();
+                            self.account.add_recovery(trip_cost());
+                            shift = delta;
+                        } else if let Some(step) = self.compensation.observe(dev) {
                             self.rate.apply_compensation(step);
                             shift = step;
                         }
@@ -428,6 +480,13 @@ impl<L: CircuitLoad> AdaptiveController<L> {
 
         // 6. Energy accounting.
         self.account_energy(vout, ops);
+
+        // 7. End-of-cycle LUT scrub against the golden shadow copy.
+        if let Some(golden) = &self.golden {
+            if self.rate.scrub(golden) {
+                self.account.add_recovery(scrub_cost());
+            }
+        }
 
         let record = CycleRecord {
             cycle: self.cycle,
@@ -986,5 +1045,51 @@ mod tests {
         assert_eq!(b.dropped, 0);
         let savings = a.account.savings_vs(&b.account);
         assert!(savings > 0.3, "savings {savings}");
+    }
+
+    #[test]
+    fn hardening_is_silent_on_a_healthy_die() {
+        // The degradation machinery must not perturb a fault-free run:
+        // same history, same energy, zero watchdog trips, no recovery.
+        let mut plain = controller(
+            Environment::at_corner(ProcessCorner::Ss),
+            SupplyPolicy::AdaptiveCompensated,
+            SupplyKind::Ideal,
+        );
+        let mut hard = controller(
+            Environment::at_corner(ProcessCorner::Ss),
+            SupplyPolicy::AdaptiveCompensated,
+            SupplyKind::Ideal,
+        )
+        .with_watchdog(WatchdogPolicy::default());
+        hard.enable_lut_scrub();
+        for _ in 0..30 {
+            plain.step(0);
+            hard.step(0);
+        }
+        assert_eq!(plain.history(), hard.history());
+        assert_eq!(plain.summary(), hard.summary());
+        assert_eq!(hard.watchdog().unwrap().trips(), 0);
+        assert_eq!(hard.account().recovery(), Joules::ZERO);
+    }
+
+    #[test]
+    fn lut_scrub_repairs_an_upset_within_one_cycle() {
+        let mut c = controller(
+            Environment::nominal(),
+            SupplyPolicy::AdaptiveCompensated,
+            SupplyKind::Ideal,
+        );
+        c.enable_lut_scrub();
+        for _ in 0..5 {
+            c.step(0);
+        }
+        let settled = c.history().last().unwrap().word;
+        c.inject_lut_upset(0, 5);
+        let hit = c.step(0);
+        assert_ne!(hit.word, settled, "the upset register drives one cycle");
+        let next = c.step(0);
+        assert_eq!(next.word, settled, "the scrub restored the golden word");
+        assert!(c.account().recovery().value() > 0.0, "rewrite was booked");
     }
 }

@@ -10,6 +10,7 @@ pub struct EnergyAccount {
     dynamic: Joules,
     leakage: Joules,
     converter: Joules,
+    recovery: Joules,
     operations: u64,
     active_time: Seconds,
 }
@@ -37,6 +38,13 @@ impl EnergyAccount {
         self.converter += energy;
     }
 
+    /// Adds fault-recovery cost: register scrubs, watchdog fallbacks
+    /// and the retry cycles they trigger. Kept as its own line item so
+    /// degradation studies can report what resilience costs.
+    pub fn add_recovery(&mut self, energy: Joules) {
+        self.recovery += energy;
+    }
+
     /// Total switching energy.
     pub fn dynamic(&self) -> Joules {
         self.dynamic
@@ -52,9 +60,14 @@ impl EnergyAccount {
         self.converter
     }
 
+    /// Total fault-recovery cost.
+    pub fn recovery(&self) -> Joules {
+        self.recovery
+    }
+
     /// Total of all mechanisms.
     pub fn total(&self) -> Joules {
-        self.dynamic + self.leakage + self.converter
+        self.dynamic + self.leakage + self.converter + self.recovery
     }
 
     /// Operations performed.
@@ -93,11 +106,12 @@ impl fmt::Display for EnergyAccount {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:.3} fJ total ({:.3} dyn + {:.3} leak + {:.3} conv) over {} ops",
+            "{:.3} fJ total ({:.3} dyn + {:.3} leak + {:.3} conv + {:.3} rcvy) over {} ops",
             self.total().femtos(),
             self.dynamic.femtos(),
             self.leakage.femtos(),
             self.converter.femtos(),
+            self.recovery.femtos(),
             self.operations
         )
     }
@@ -113,7 +127,9 @@ mod tests {
         a.add_dynamic(Joules::from_femtos(10.0), 4);
         a.add_leakage(Joules::from_femtos(6.0), Seconds::from_micros(2.0));
         a.add_converter(Joules::from_femtos(1.0));
-        assert!((a.total().femtos() - 17.0).abs() < 1e-9);
+        a.add_recovery(Joules::from_femtos(0.5));
+        assert!((a.total().femtos() - 17.5).abs() < 1e-9);
+        assert!((a.recovery().femtos() - 0.5).abs() < 1e-12);
         assert_eq!(a.operations(), 4);
         assert!((a.energy_per_op().unwrap().femtos() - 4.0).abs() < 1e-9);
         assert!((a.active_time().value() - 2e-6).abs() < 1e-18);

@@ -1,0 +1,474 @@
+//! Fault-injection Monte-Carlo: yield, MEP-tracking error and recovery
+//! cost under loop-hardware faults, with and without mitigation.
+//!
+//! [`score_faulted_die`] replays the compensation walk of
+//! `StudyContext::score_die` cycle-by-cycle so per-cycle faults from a
+//! [`FaultSchedule`] can land on it:
+//!
+//! * **TDC faults** corrupt the sampled quantizer word before decode;
+//! * **DC-DC faults** droop the rail (comparator glitch, missed PWM
+//!   edge) or flip a reference-register bit (persistent until
+//!   rewritten);
+//! * **controller faults** corrupt the LUT word register (persistent
+//!   until scrubbed) or misread the FIFO occupancy for one cycle.
+//!
+//! With `plan.mitigation` on, the graceful-degradation machinery is
+//! armed: triple-sample majority vote over the TDC capture (one-shot
+//! faults lose the vote; stuck stages don't), the
+//! [`SignatureDebounce`] N-of-M gate in front of the walk, an
+//! end-of-cycle LUT scrub against the shadow copy, and the
+//! [`RailWatchdog`] last-known-good fallback which also rewrites the
+//! converter reference register. Every recovery action books energy in
+//! the die's recovery line item.
+//!
+//! Determinism: the fault stream is forked from the die stream *after*
+//! die sampling, so a clean die consumes exactly the draws the plain
+//! path does — a zero-rate plan is byte-identical to no plan at all,
+//! in both mitigation arms, at any worker count.
+
+use subvt_dcdc::converter::ConverterParams;
+use subvt_dcdc::disturbance::{comparator_glitch_droop, missed_edge_droop};
+use subvt_device::tabulate::CachedEval;
+use subvt_device::units::{Amps, Joules, Volts};
+use subvt_digital::encoder::QuantizerWord;
+use subvt_digital::lut::VoltageWord;
+use subvt_exec::Welford;
+use subvt_faults::{CtrlFault, DcdcFault, FaultPlan, FaultSchedule};
+use subvt_rng::{Rng, StdRng};
+use subvt_tdc::sensor::{word_voltage, SenseError};
+
+use crate::compensation::SignatureDebounce;
+use crate::watchdog::{RailWatchdog, WatchdogPolicy};
+use crate::yield_study::{
+    settled_voltage_dithered, settled_word, DieOutcome, StudyContext, YieldSummary,
+};
+
+/// System cycles the faulted compensation loop is run for. The clean
+/// walk needs at most 8 steps; 24 cycles leave room for debounce holds
+/// and watchdog backoff while keeping every fault episode inside the
+/// scored window.
+const FAULT_CYCLES: u32 = 24;
+
+/// Walk steps the loop may take — the same bound as the plain settling
+/// loop, so a clean die ends on the identical word.
+const WALK_BUDGET: u32 = 8;
+
+/// Load the controller presents to the converter (see `controller.rs`).
+const LOAD_IMAGE: Amps = Amps(2e-6);
+
+/// Energy booked per LUT scrub repair (a 6-bit register rewrite).
+pub(crate) fn scrub_cost() -> Joules {
+    Joules::from_femtos(0.02)
+}
+
+/// Energy booked per watchdog fallback (reference + LUT rewrite plus
+/// the re-settle transient).
+pub(crate) fn trip_cost() -> Joules {
+    Joules::from_femtos(0.5)
+}
+
+/// One die's scoring under fault injection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultDieOutcome {
+    /// The ordinary yield-study outcome, scored at the word the
+    /// faulted loop ended on.
+    pub base: DieOutcome,
+    /// Distance (LSBs) between the faulted loop's final effective word
+    /// and the word the clean loop settles on.
+    pub tracking_error_lsb: f64,
+    /// Energy spent on recovery actions (scrubs, watchdog fallbacks).
+    pub recovery: Joules,
+    /// Watchdog fallbacks taken.
+    pub watchdog_trips: u32,
+    /// Faults the schedule injected over the run.
+    pub faults_injected: u64,
+}
+
+/// Constant-size aggregate of a fault study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultStudySummary {
+    /// The ordinary yield aggregate of the faulted population.
+    pub base: YieldSummary,
+    /// MEP-tracking error distribution (LSBs).
+    pub tracking_error: Welford,
+    /// Per-die recovery energy distribution (joules).
+    pub recovery_energy: Welford,
+    /// Watchdog fallbacks across the population.
+    pub watchdog_trips: u64,
+    /// Faults injected across the population.
+    pub faults_injected: u64,
+}
+
+impl FaultStudySummary {
+    pub(crate) fn empty() -> FaultStudySummary {
+        FaultStudySummary {
+            base: YieldSummary::empty(),
+            tracking_error: Welford::new(),
+            recovery_energy: Welford::new(),
+            watchdog_trips: 0,
+            faults_injected: 0,
+        }
+    }
+
+    pub(crate) fn absorb(&mut self, die: &FaultDieOutcome) {
+        self.base.absorb(&die.base);
+        self.tracking_error.push(die.tracking_error_lsb);
+        self.recovery_energy.push(die.recovery.value());
+        self.watchdog_trips += u64::from(die.watchdog_trips);
+        self.faults_injected += die.faults_injected;
+    }
+
+    pub(crate) fn merge(&mut self, other: FaultStudySummary) {
+        self.base.merge(other.base);
+        self.tracking_error.merge(other.tracking_error);
+        self.recovery_energy.merge(other.recovery_energy);
+        self.watchdog_trips += other.watchdog_trips;
+        self.faults_injected += other.faults_injected;
+    }
+
+    /// Dies scored.
+    pub fn dies(&self) -> u64 {
+        self.base.dies
+    }
+
+    /// Adaptive-design yield under injection (0..=1).
+    pub fn adaptive_yield(&self) -> f64 {
+        self.base.adaptive_yield()
+    }
+
+    /// Fixed-design yield under injection (0..=1).
+    pub fn fixed_yield(&self) -> f64 {
+        self.base.fixed_yield()
+    }
+
+    /// Mean MEP-tracking error (LSBs).
+    pub fn mean_tracking_error(&self) -> f64 {
+        self.tracking_error.mean().unwrap_or(0.0)
+    }
+
+    /// Mean per-die recovery energy.
+    pub fn mean_recovery_energy(&self) -> Joules {
+        Joules(self.recovery_energy.mean().unwrap_or(0.0))
+    }
+}
+
+/// Decodes a (possibly corrupted) capture against the design band; the
+/// band was already validated by the sample, so decode cannot fail —
+/// undecodable captures classify as far-slow, like the plain path.
+fn decode_dev(ctx: &StudyContext<'_>, sample: QuantizerWord, neighbor: i16) -> i16 {
+    ctx.sensor
+        .decode(ctx.design_word, sample)
+        .unwrap_or(-neighbor)
+}
+
+/// Majority vote over the three redundant captures; ties keep the
+/// first (the hardware's primary sample).
+fn majority(votes: [i16; 3]) -> i16 {
+    if votes[1] == votes[2] {
+        votes[1]
+    } else {
+        votes[0]
+    }
+}
+
+/// One bounded compensation-walk step, mirroring the plain settling
+/// loop (`word -= sign(dev)`, clamped to the usable word range).
+fn walk_step(word: &mut VoltageWord, dev: i16, budget: &mut u32) {
+    if dev == 0 || *budget == 0 {
+        return;
+    }
+    let next = (i16::from(*word) - dev.signum()).clamp(1, 63) as VoltageWord;
+    if next != *word {
+        *word = next;
+        *budget -= 1;
+    }
+}
+
+/// Scores one die with fault injection: the clean reference pieces
+/// (fixed, dithered, clean settled word) plus a cycle-by-cycle faulted
+/// compensation walk. Pure function of the context, plan and stream.
+pub(crate) fn score_faulted_die(
+    ctx: &StudyContext<'_>,
+    plan: FaultPlan,
+    mut die_rng: StdRng,
+) -> FaultDieOutcome {
+    let die = ctx.variation.sample_die(&mut die_rng);
+    let mismatch = die.mean_gate();
+    // Fork the fault stream only after the die sample: a clean die
+    // consumes exactly the draws the plain path does.
+    let mut schedule = FaultSchedule::new(plan, die_rng.fork("faults"));
+    let cached = CachedEval::new(ctx.eval.as_ref());
+
+    // Clean reference pieces, identical to the plain score_die.
+    let (fixed_passes, _) = ctx.passes(&cached, ctx.fixed_word, mismatch);
+    let clean_word = settled_word(&cached, &ctx.sensor, ctx.design_word, ctx.env, mismatch);
+    let dithered_v =
+        settled_voltage_dithered(&cached, &ctx.sensor, ctx.design_word, ctx.env, mismatch);
+    let (dithered_passes, _) = ctx.passes_dithered(&cached, dithered_v, mismatch);
+
+    let neighbor = ctx.sensor.config().neighbor_range;
+    let params = ConverterParams::default();
+
+    let mut word = ctx.design_word; // the LUT word register
+    let mut ref_seu: VoltageWord = 0; // persistent reference-register upset
+    let mut budget = WALK_BUDGET;
+    let mut blind = false; // design band unusable: loop holds (plain-path break)
+    let mut recovery = Joules(0.0);
+    let mut trips = 0u32;
+    let mut injected = 0u64;
+    let mut debounce = SignatureDebounce::new(2);
+    let mut dog = RailWatchdog::new(WatchdogPolicy::default());
+    let mut last_dev: i16 = 0;
+
+    for _ in 0..FAULT_CYCLES {
+        let faults = schedule.draw();
+        injected += u64::from(faults.count());
+
+        // Controller-domain fault shapes this cycle's commanded word.
+        let mut cycle_word = word;
+        match faults.ctrl {
+            Some(CtrlFault::LutSeu { bit }) => {
+                if plan.mitigation {
+                    // End-of-cycle scrub repairs the register from the
+                    // shadow copy: the corruption lasts one cycle.
+                    cycle_word = word ^ (1 << (bit % 6));
+                    recovery += scrub_cost();
+                } else {
+                    word ^= 1 << (bit % 6);
+                    cycle_word = word;
+                }
+            }
+            Some(CtrlFault::FifoMisread) => {
+                // A misread occupancy commands the word of a much
+                // fuller queue for one cycle.
+                cycle_word = (i16::from(word) + 4).clamp(1, 63) as VoltageWord;
+            }
+            None => {}
+        }
+
+        // A reference-word SEU persists until the register is
+        // rewritten (only the watchdog fallback does).
+        if let Some(DcdcFault::ReferenceSeu { bit }) = faults.dcdc {
+            ref_seu ^= 1 << (bit % 6);
+        }
+        let w_eff = cycle_word ^ ref_seu;
+
+        // The rail this cycle: the effective word's voltage minus any
+        // transient converter droop.
+        let droop = match faults.dcdc {
+            Some(DcdcFault::ComparatorGlitch) => comparator_glitch_droop(&params),
+            Some(DcdcFault::MissedPwmEdge) => missed_edge_droop(&params, LOAD_IMAGE),
+            _ => Volts(0.0),
+        };
+        let v_rail = Volts((word_voltage(w_eff).volts() - droop.volts()).max(0.0));
+
+        if blind {
+            continue;
+        }
+
+        // Sense the rail against the design band.
+        let sensed: Option<(i16, bool)> = if w_eff == 0 {
+            // Rail collapsed to shutdown: the capture is empty and
+            // reads as far-slow.
+            Some((-neighbor, false))
+        } else {
+            match ctx
+                .sensor
+                .sample_with(&cached, ctx.design_word, v_rail, ctx.env, mismatch)
+            {
+                Err(SenseError::BandUnusable { .. }) => {
+                    blind = true;
+                    None
+                }
+                // An empty capture classifies as far-slow (the plain
+                // path's behaviour); there is no word for a TDC fault
+                // to corrupt.
+                Err(SenseError::Unreliable(_)) => Some((-neighbor, false)),
+                Ok(raw) => {
+                    if plan.mitigation {
+                        // Triple-sample majority vote: a one-shot TDC
+                        // fault corrupts only the first capture, a
+                        // stuck stage corrupts all three.
+                        let mut votes = [0i16; 3];
+                        for (k, v) in votes.iter_mut().enumerate() {
+                            let sample = match faults.tdc {
+                                Some(f) if k == 0 || f.is_persistent() => f.apply(raw),
+                                _ => raw,
+                            };
+                            *v = decode_dev(ctx, sample, neighbor);
+                        }
+                        let dev = majority(votes);
+                        let disagree = !(votes[0] == votes[1] && votes[1] == votes[2]);
+                        // A sudden jump from a quiet signature is
+                        // suspect until it repeats.
+                        let jump = (dev - last_dev).abs() >= 2 && last_dev.abs() <= 1;
+                        Some((dev, disagree || jump))
+                    } else {
+                        let sample = faults.tdc.map_or(raw, |f| f.apply(raw));
+                        Some((decode_dev(ctx, sample, neighbor), false))
+                    }
+                }
+            }
+        };
+
+        if let Some((dev, suspect)) = sensed {
+            if plan.mitigation {
+                // Watchdog sees every raw deviation with the true
+                // register word; a trip falls back to last-known-good
+                // and rewrites the upset-prone registers.
+                if let Some(good) = dog.observe(word, dev) {
+                    word = good;
+                    ref_seu = 0;
+                    debounce.reset();
+                    recovery += trip_cost();
+                    trips += 1;
+                    last_dev = dev;
+                    continue;
+                }
+                if let Some(confirmed) = debounce.feed(dev, suspect) {
+                    walk_step(&mut word, confirmed, &mut budget);
+                }
+            } else {
+                walk_step(&mut word, dev, &mut budget);
+            }
+            last_dev = dev;
+        }
+    }
+
+    // Score at the final effective operating point (a collapsed rail
+    // scores as the floor word, which cannot meet any rate spec).
+    let final_eff = word ^ ref_seu;
+    let score_word = final_eff.max(1);
+    let (adaptive_passes, adaptive_energy) = ctx.passes(&cached, score_word, mismatch);
+    let tracking_error_lsb = f64::from((i16::from(final_eff) - i16::from(clean_word)).abs());
+
+    FaultDieOutcome {
+        base: DieOutcome {
+            corner_units: die.corner_units(),
+            fixed_passes,
+            adaptive_passes,
+            dithered_passes,
+            adaptive_word: final_eff,
+            adaptive_energy,
+        },
+        tracking_error_lsb,
+        recovery,
+        watchdog_trips: trips,
+        faults_injected: injected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::StudyConfig;
+    use subvt_exec::ExecConfig;
+
+    #[test]
+    fn zero_rate_plan_is_byte_identical_to_no_plan() {
+        // The satellite property: arming a zero-rate plan must not
+        // perturb a single bit of the study, in either mitigation arm.
+        let plain = StudyConfig::new(60, 7).run();
+        for mitigation in [true, false] {
+            let faulted = StudyConfig::new(60, 7)
+                .faults(FaultPlan::uniform(0.0).with_mitigation(mitigation))
+                .run();
+            assert_eq!(faulted, plain, "mitigation={mitigation}");
+        }
+    }
+
+    #[test]
+    fn fault_study_is_bit_identical_at_any_job_count() {
+        let reference = StudyConfig::new(80, 11)
+            .faults(FaultPlan::uniform(0.05))
+            .exec(ExecConfig::with_jobs(1))
+            .run_faults();
+        assert_eq!(reference.dies(), 80);
+        for jobs in [2usize, 7] {
+            let parallel = StudyConfig::new(80, 11)
+                .faults(FaultPlan::uniform(0.05))
+                .exec(ExecConfig::with_jobs(jobs))
+                .run_faults();
+            assert_eq!(parallel, reference, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn mitigation_recovers_yield_and_tracking() {
+        let run = |mitigation: bool| {
+            StudyConfig::new(150, 23)
+                .faults(FaultPlan::uniform(0.02).with_mitigation(mitigation))
+                .run_faults()
+        };
+        let clean = StudyConfig::new(150, 23).run_summary();
+        let on = run(true);
+        let off = run(false);
+        let loss_off = clean.adaptive_yield() - off.adaptive_yield();
+        let loss_on = clean.adaptive_yield() - on.adaptive_yield();
+        assert!(
+            loss_off > 0.0,
+            "unmitigated injection must cost yield (loss {loss_off:.3})"
+        );
+        assert!(
+            loss_on <= loss_off / 2.0,
+            "mitigation must recover at least half the loss: \
+             {loss_on:.3} vs {loss_off:.3}"
+        );
+        assert!(
+            on.mean_tracking_error() <= off.mean_tracking_error(),
+            "tracking error: {} vs {}",
+            on.mean_tracking_error(),
+            off.mean_tracking_error()
+        );
+    }
+
+    #[test]
+    fn recovery_energy_is_booked_only_by_mitigation() {
+        let on = StudyConfig::new(60, 3)
+            .faults(FaultPlan::uniform(0.08))
+            .run_faults();
+        let off = StudyConfig::new(60, 3)
+            .faults(FaultPlan::uniform(0.08).with_mitigation(false))
+            .run_faults();
+        assert!(on.mean_recovery_energy().value() > 0.0);
+        assert_eq!(off.mean_recovery_energy(), Joules(0.0));
+        assert!(on.faults_injected > 0);
+        assert_eq!(on.faults_injected, off.faults_injected, "same schedule");
+    }
+
+    #[test]
+    fn injection_scales_with_the_rate() {
+        let at = |rate: f64| {
+            StudyConfig::new(40, 9)
+                .faults(FaultPlan::uniform(rate))
+                .run_faults()
+                .faults_injected
+        };
+        let low = at(0.005);
+        let high = at(0.2);
+        assert!(low < high, "{low} !< {high}");
+        assert_eq!(at(0.0), 0);
+    }
+
+    #[test]
+    fn majority_vote_prefers_the_agreeing_pair() {
+        assert_eq!(majority([3, 0, 0]), 0);
+        assert_eq!(majority([0, 0, 0]), 0);
+        assert_eq!(majority([1, 2, 3]), 1, "three-way tie keeps the primary");
+        assert_eq!(majority([2, -1, -1]), -1);
+    }
+
+    #[test]
+    fn walk_step_respects_clamp_and_budget() {
+        let mut word: VoltageWord = 2;
+        let mut budget = 2;
+        walk_step(&mut word, 3, &mut budget);
+        assert_eq!((word, budget), (1, 1));
+        walk_step(&mut word, 3, &mut budget); // clamped: no budget spent
+        assert_eq!((word, budget), (1, 1));
+        walk_step(&mut word, -1, &mut budget);
+        assert_eq!((word, budget), (2, 0));
+        walk_step(&mut word, -1, &mut budget); // budget exhausted
+        assert_eq!((word, budget), (2, 0));
+    }
+}

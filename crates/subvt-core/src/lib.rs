@@ -48,16 +48,19 @@ pub mod dithering;
 pub mod drift;
 pub mod energy_account;
 pub mod experiment;
+pub mod fault_study;
 pub mod idle_policy;
 pub mod overhead;
 pub mod rate_controller;
 pub mod shared_rail;
+pub mod study;
 pub mod transient;
+pub mod watchdog;
 pub mod yield_study;
 
 pub use abb::{AbbCompensator, AbbStep};
 pub use boot::{BootSequence, BootState};
-pub use compensation::{CompensationLoop, CompensationPolicy};
+pub use compensation::{CompensationLoop, CompensationPolicy, SignatureDebounce};
 pub use controller::{
     AdaptiveController, ControllerConfig, CycleRecord, RunSummary, SupplyKind, SupplyPolicy,
 };
@@ -68,11 +71,15 @@ pub use experiment::{
     design_rate_controller, fixed_baseline_word, run_scenario, savings_experiment, SavingsReport,
     Scenario,
 };
+pub use fault_study::{FaultDieOutcome, FaultStudySummary};
 pub use idle_policy::{breakeven_retention, compare_idle_policies, IdlePolicyComparison};
 pub use overhead::{overhead_per_cycle, ControllerInventory, NetSavings, OverheadBreakdown};
-pub use rate_controller::{DesignError, RateController};
+pub use rate_controller::{DesignError, LutCheckpoint, RateController};
 pub use shared_rail::{compare_shared_rail, RailClient, RailComparison};
+pub use study::{FaultPlan, StudyArgs, StudyConfig, STUDY_HELP};
 pub use transient::{fig6_schedule, run_transient, SegmentSummary, TransientResult, TransientStep};
+pub use watchdog::{RailWatchdog, WatchdogPolicy};
+#[allow(deprecated)] // the legacy entry points stay re-exported for one release
 pub use yield_study::{
     yield_study, yield_study_jobs, yield_study_serial, yield_study_summary, DieOutcome,
     YieldReport, YieldSpec, YieldSummary,

@@ -234,6 +234,48 @@ impl RateController {
     pub fn lut(&self) -> &VoltageLut {
         &self.lut
     }
+
+    /// Snapshots the designed LUT as the golden copy for later
+    /// [`RateController::scrub`] passes — the shadow register a
+    /// rad-tolerant implementation would keep.
+    pub fn checkpoint(&self) -> LutCheckpoint {
+        LutCheckpoint {
+            lut: self.lut.clone(),
+        }
+    }
+
+    /// Compares the live *designed band words* against a checkpoint and
+    /// restores any that diverged (an SEU scrub cycle). The
+    /// compensation shift is live loop state, not a design-time
+    /// constant, so it is left untouched — scrubbing never undoes a
+    /// legitimate correction. Returns `true` when an upset was found
+    /// and repaired.
+    pub fn scrub(&mut self, golden: &LutCheckpoint) -> bool {
+        let mut repaired = false;
+        for band in 0..golden.lut.bands() {
+            let want = golden.lut.raw_word(band);
+            if self.lut.raw_word(band) != want {
+                self.lut.set_word(band, want);
+                repaired = true;
+            }
+        }
+        repaired
+    }
+
+    /// Flips bit `bit` of band `band`'s stored word — the fault
+    /// injector's hook for a LUT-entry single-event upset. The result
+    /// is masked to the 6-bit word range.
+    pub fn upset_word(&mut self, band: usize, bit: u8) {
+        let word = self.lut.raw_word(band) ^ (1 << (bit % 6));
+        self.lut.set_word(band, word & 0x3f);
+    }
+}
+
+/// Golden copy of a designed LUT, held outside the upset-prone
+/// register file. Created by [`RateController::checkpoint`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LutCheckpoint {
+    lut: VoltageLut,
 }
 
 #[cfg(test)]
@@ -398,6 +440,50 @@ mod tests {
         let tabulated = TabulatedEval::new(&tech);
         let via_table = RateController::design_eval(&tabulated, &ring, env, &bands).unwrap();
         assert_eq!(direct, via_table, "tabulated design diverged");
+    }
+
+    #[test]
+    fn scrub_repairs_an_injected_lut_upset() {
+        let (_, mut rc) = designed();
+        let golden = rc.checkpoint();
+        assert!(!rc.scrub(&golden), "pristine LUT needs no repair");
+        let before = rc.desired_word(0);
+        rc.upset_word(0, 4);
+        assert_ne!(rc.desired_word(0), before, "upset must be visible");
+        assert!(rc.scrub(&golden), "scrub detects the upset");
+        assert_eq!(rc.desired_word(0), before, "scrub restores the word");
+        assert!(!rc.scrub(&golden));
+    }
+
+    #[test]
+    fn scrub_never_undoes_a_legitimate_correction() {
+        let (_, mut rc) = designed();
+        let golden = rc.checkpoint();
+        // Compensation landed after the checkpoint: it is live loop
+        // state, and a scrub pass must leave it alone.
+        rc.apply_compensation(2);
+        assert!(!rc.scrub(&golden), "shift alone is not an upset");
+        assert_eq!(rc.compensation(), 2);
+        rc.upset_word(1, 5);
+        assert!(rc.scrub(&golden));
+        assert_eq!(rc.compensation(), 2, "shift survives the scrub");
+    }
+
+    #[test]
+    fn upset_word_stays_in_the_word_range() {
+        let (_, mut rc) = designed();
+        for band in 0..rc.lut().bands() {
+            for bit in 0..6 {
+                rc.upset_word(band, bit);
+                assert!(rc.lut().raw_word(band) < 64);
+                rc.upset_word(band, bit); // flip back
+            }
+        }
+        // Bit indices wrap into the register width.
+        let golden = rc.checkpoint();
+        rc.upset_word(0, 6);
+        rc.upset_word(0, 0);
+        assert!(!rc.scrub(&golden), "bit 6 aliases bit 0");
     }
 
     #[test]

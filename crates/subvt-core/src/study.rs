@@ -1,0 +1,664 @@
+//! The unified Monte-Carlo study configuration.
+//!
+//! Historically every (execution × evaluator × supply) combination of
+//! the yield study grew its own entry point, and the savings
+//! Monte-Carlo repeated the pattern — fifteen public functions whose
+//! names encoded their argument lists. [`StudyConfig`] replaces all of
+//! them: one builder carrying the die count, seed and every model
+//! choice, with `run`/`run_summary` terminals (plus [`StudyConfig::run_faults`]
+//! for the fault-injection study). The legacy functions remain for one
+//! release as `#[deprecated]` delegates and are bit-identical to the
+//! builder path.
+//!
+//! ```
+//! use subvt_core::study::StudyConfig;
+//!
+//! let summary = StudyConfig::new(200, 77).run_summary();
+//! assert!(summary.adaptive_yield() > summary.fixed_yield());
+//! ```
+//!
+//! Determinism contract: `seed` fully determines the result at any
+//! worker count ([`StudyConfig::exec`]); a zero-rate
+//! [`FaultPlan`] is byte-identical to no plan at all.
+
+use subvt_dcdc::converter::ConverterParams;
+use subvt_dcdc::SolverMode;
+use subvt_device::mosfet::Environment;
+use subvt_device::tabulate::{EvalMode, SharedEval};
+use subvt_device::technology::Technology;
+use subvt_device::units::{Hertz, Joules};
+use subvt_device::variation::VariationModel;
+use subvt_digital::lut::VoltageWord;
+use subvt_exec::{par_fold_chunked, par_map_indexed, ExecConfig};
+use subvt_loads::load::CircuitLoad;
+use subvt_loads::ring_oscillator::RingOscillator;
+use subvt_rng::{Rng, StdRng};
+
+pub use subvt_faults::FaultPlan;
+
+use crate::controller::SupplyKind;
+use crate::fault_study::{score_faulted_die, FaultStudySummary};
+use crate::yield_study::{
+    analytic, die_seeds, StudyContext, SupplySim, YieldReport, YieldSpec, YieldSummary,
+};
+
+/// The circuit a study exercises: the paper's ring oscillator unless
+/// the caller borrows its own load.
+enum StudyLoad<'a> {
+    Paper(RingOscillator),
+    Borrowed(&'a dyn CircuitLoad),
+}
+
+impl StudyLoad<'_> {
+    fn as_dyn(&self) -> &dyn CircuitLoad {
+        match self {
+            StudyLoad::Paper(ring) => ring,
+            StudyLoad::Borrowed(load) => *load,
+        }
+    }
+}
+
+/// Which supply model scores the dies.
+enum StudySupply {
+    Ideal,
+    Switched,
+    Model(SupplySim),
+}
+
+/// One configuration for a Monte-Carlo study over a die population.
+///
+/// Construct with [`StudyConfig::new`], override what the defaults
+/// don't cover, then call a terminal:
+///
+/// * [`StudyConfig::run`] — per-die [`YieldReport`];
+/// * [`StudyConfig::run_summary`] — constant-memory [`YieldSummary`];
+/// * [`StudyConfig::run_faults`] — fault-injection study
+///   ([`FaultStudySummary`]).
+///
+/// Defaults reproduce the paper configuration: ST 130 nm, nominal
+/// environment, the paper's ring-oscillator load, the 110 kHz / 2.9 fJ
+/// spec with fixed and design words at the TT MEP (word 11), an ideal
+/// rail, no faults, and workers from the environment.
+pub struct StudyConfig<'a> {
+    dies: usize,
+    seed: u64,
+    tech: Technology,
+    eval: Option<SharedEval>,
+    env: Environment,
+    variation: VariationModel,
+    spec: YieldSpec,
+    fixed_word: VoltageWord,
+    design_word: VoltageWord,
+    load: StudyLoad<'a>,
+    supply: StudySupply,
+    solver: SolverMode,
+    faults: Option<FaultPlan>,
+    exec: ExecConfig,
+}
+
+impl std::fmt::Debug for StudyConfig<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StudyConfig")
+            .field("dies", &self.dies)
+            .field("seed", &self.seed)
+            .field("faults", &self.faults)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> StudyConfig<'a> {
+    /// A study over `dies` sampled dies, fully determined by `seed`.
+    pub fn new(dies: usize, seed: u64) -> StudyConfig<'a> {
+        StudyConfig {
+            dies,
+            seed,
+            tech: Technology::st_130nm(),
+            eval: None,
+            env: Environment::nominal(),
+            variation: VariationModel::st_130nm(),
+            spec: YieldSpec {
+                min_rate: Hertz(110e3),
+                max_energy_per_op: Joules::from_femtos(2.9),
+            },
+            fixed_word: 11,
+            design_word: 11,
+            load: StudyLoad::Paper(RingOscillator::paper_circuit()),
+            supply: StudySupply::Ideal,
+            solver: SolverMode::default(),
+            faults: None,
+            exec: ExecConfig::from_env(),
+        }
+    }
+
+    /// Technology for the default (analytic) evaluator. Ignored when an
+    /// explicit [`StudyConfig::eval`] is set.
+    pub fn tech(mut self, tech: Technology) -> StudyConfig<'a> {
+        self.tech = tech;
+        self
+    }
+
+    /// Explicit shared evaluator (e.g. tabulated surfaces).
+    pub fn eval(mut self, eval: SharedEval) -> StudyConfig<'a> {
+        self.eval = Some(eval);
+        self
+    }
+
+    /// Evaluator by mode, built from the configured technology — set
+    /// [`StudyConfig::tech`] first if it isn't the default.
+    pub fn eval_mode(self, mode: EvalMode) -> StudyConfig<'a> {
+        let eval = mode.build(&self.tech);
+        self.eval(eval)
+    }
+
+    /// Operating environment (default nominal).
+    pub fn env(mut self, env: Environment) -> StudyConfig<'a> {
+        self.env = env;
+        self
+    }
+
+    /// Process-variation model (default ST 130 nm).
+    pub fn variation(mut self, variation: VariationModel) -> StudyConfig<'a> {
+        self.variation = variation;
+        self
+    }
+
+    /// The shipped-product spec both designs are scored against.
+    pub fn spec(mut self, spec: YieldSpec) -> StudyConfig<'a> {
+        self.spec = spec;
+        self
+    }
+
+    /// Fixed design's supply word and the adaptive design's design
+    /// word.
+    pub fn words(mut self, fixed: VoltageWord, design: VoltageWord) -> StudyConfig<'a> {
+        self.fixed_word = fixed;
+        self.design_word = design;
+        self
+    }
+
+    /// Borrow a circuit load instead of the paper's ring oscillator.
+    pub fn load(mut self, load: &'a dyn CircuitLoad) -> StudyConfig<'a> {
+        self.load = StudyLoad::Borrowed(load);
+        self
+    }
+
+    /// Explicit supply model (e.g. [`SupplySim::switched`]).
+    pub fn supply(mut self, supply: SupplySim) -> StudyConfig<'a> {
+        self.supply = StudySupply::Model(supply);
+        self
+    }
+
+    /// Supply by kind: `Ideal` is the exact-word rail; `Switched`
+    /// builds the converter model with the configured
+    /// [`StudyConfig::solver`] at run time.
+    pub fn supply_kind(mut self, kind: SupplyKind) -> StudyConfig<'a> {
+        self.supply = match kind {
+            SupplyKind::Ideal => StudySupply::Ideal,
+            SupplyKind::Switched => StudySupply::Switched,
+        };
+        self
+    }
+
+    /// Integration strategy for a `Switched` supply built by kind.
+    pub fn solver(mut self, solver: SolverMode) -> StudyConfig<'a> {
+        self.solver = solver;
+        self
+    }
+
+    /// Arm fault injection with the given plan. A zero-rate plan is
+    /// byte-identical to not calling this at all.
+    pub fn faults(mut self, plan: FaultPlan) -> StudyConfig<'a> {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Worker configuration (default from the environment). Results
+    /// are bit-identical at any worker count.
+    pub fn exec(mut self, exec: ExecConfig) -> StudyConfig<'a> {
+        self.exec = exec;
+        self
+    }
+
+    /// Die count.
+    pub fn dies(&self) -> usize {
+        self.dies
+    }
+
+    /// Root seed of the study's deterministic stream tree.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.faults
+    }
+
+    fn resolved_eval(&self) -> SharedEval {
+        self.eval.clone().unwrap_or_else(|| analytic(&self.tech))
+    }
+
+    fn resolved_supply(&self) -> SupplySim {
+        match &self.supply {
+            StudySupply::Ideal => SupplySim::Ideal,
+            StudySupply::Switched => {
+                SupplySim::switched(ConverterParams::default().with_solver(self.solver))
+            }
+            StudySupply::Model(sim) => sim.clone(),
+        }
+    }
+
+    fn context<'c>(&'c self, eval: &SharedEval, supply: &'c SupplySim) -> StudyContext<'c> {
+        StudyContext::new(
+            eval.clone(),
+            self.load.as_dyn(),
+            self.env,
+            &self.variation,
+            self.spec,
+            self.fixed_word,
+            self.design_word,
+            supply,
+        )
+    }
+
+    /// Runs the study, materializing every die outcome.
+    pub fn run(&self) -> YieldReport {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.run_with_rng(&mut rng)
+    }
+
+    /// [`StudyConfig::run`] drawing die streams from a caller-owned
+    /// generator (the builder's `seed` is ignored).
+    pub fn run_with_rng<R: Rng + ?Sized>(&self, rng: &mut R) -> YieldReport {
+        let eval = self.resolved_eval();
+        let supply = self.resolved_supply();
+        let ctx = self.context(&eval, &supply);
+        let seeds = die_seeds(rng, self.dies);
+        let dies = match self.faults {
+            None => par_map_indexed(&self.exec, self.dies, |i| {
+                ctx.score_die(StdRng::seed_from_u64(seeds[i]))
+            }),
+            Some(plan) => par_map_indexed(&self.exec, self.dies, |i| {
+                score_faulted_die(&ctx, plan, StdRng::seed_from_u64(seeds[i])).base
+            }),
+        };
+        YieldReport {
+            dies,
+            fixed_word: self.fixed_word,
+        }
+    }
+
+    /// Runs the study in constant memory (no per-die `Vec`);
+    /// bit-identical to `run().summarize()`.
+    pub fn run_summary(&self) -> YieldSummary {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.run_summary_with_rng(&mut rng)
+    }
+
+    /// [`StudyConfig::run_summary`] drawing die streams from a
+    /// caller-owned generator.
+    pub fn run_summary_with_rng<R: Rng + ?Sized>(&self, rng: &mut R) -> YieldSummary {
+        let eval = self.resolved_eval();
+        let supply = self.resolved_supply();
+        let ctx = self.context(&eval, &supply);
+        let seeds = die_seeds(rng, self.dies);
+        let mut summary = match self.faults {
+            None => par_fold_chunked(
+                &self.exec,
+                self.dies,
+                YieldSummary::empty,
+                |acc, i| acc.absorb(&ctx.score_die(StdRng::seed_from_u64(seeds[i]))),
+                YieldSummary::merge,
+            ),
+            Some(plan) => par_fold_chunked(
+                &self.exec,
+                self.dies,
+                YieldSummary::empty,
+                |acc, i| {
+                    acc.absorb(&score_faulted_die(&ctx, plan, StdRng::seed_from_u64(seeds[i])).base)
+                },
+                YieldSummary::merge,
+            ),
+        };
+        summary.fixed_word = self.fixed_word;
+        summary
+    }
+
+    /// Runs the fault-injection study: the armed plan (or a zero-rate
+    /// one if none was armed), with per-die degradation metrics folded
+    /// in constant memory.
+    pub fn run_faults(&self) -> FaultStudySummary {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.run_faults_with_rng(&mut rng)
+    }
+
+    /// [`StudyConfig::run_faults`] drawing die streams from a
+    /// caller-owned generator.
+    pub fn run_faults_with_rng<R: Rng + ?Sized>(&self, rng: &mut R) -> FaultStudySummary {
+        let plan = self.faults.unwrap_or_else(|| FaultPlan::uniform(0.0));
+        let eval = self.resolved_eval();
+        let supply = self.resolved_supply();
+        let ctx = self.context(&eval, &supply);
+        let seeds = die_seeds(rng, self.dies);
+        let mut summary = par_fold_chunked(
+            &self.exec,
+            self.dies,
+            FaultStudySummary::empty,
+            |acc, i| {
+                acc.absorb(&score_faulted_die(
+                    &ctx,
+                    plan,
+                    StdRng::seed_from_u64(seeds[i]),
+                ))
+            },
+            FaultStudySummary::merge,
+        );
+        summary.base.fixed_word = self.fixed_word;
+        summary
+    }
+
+    /// Generic per-die fan-out: forks one deterministic stream per die
+    /// (labels `"{label}-{i}"`, matching a serial fork-per-die loop
+    /// bit-for-bit) and maps them through `f` on the configured
+    /// execution engine. This is the terminal the savings Monte-Carlo
+    /// rides; `f` must be a pure function of its arguments.
+    pub fn run_dies<T, F>(&self, label: &str, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, StdRng) -> T + Sync,
+    {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let seeds: Vec<u64> = (0..self.dies)
+            .map(|i| rng.fork_seed(&format!("{label}-{i}")))
+            .collect();
+        par_map_indexed(&self.exec, self.dies, |i| {
+            f(i, StdRng::seed_from_u64(seeds[i]))
+        })
+    }
+}
+
+/// The shared command-line surface of every study runner: one parser
+/// for `--dies/--jobs/--seed/--eval/--supply/--solver/--faults/
+/// --mitigation`, used by both the main CLI and the `exp-*` harness
+/// binaries so the flags cannot drift apart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudyArgs {
+    /// Die population (`--dies`, default 500).
+    pub dies: usize,
+    /// Explicit worker count (`--jobs`); `None` defers to the
+    /// environment.
+    pub jobs: Option<usize>,
+    /// Monte-Carlo seed (`--seed`, default 1).
+    pub seed: u64,
+    /// Device evaluation mode (`--eval`, default analytic).
+    pub eval: EvalMode,
+    /// Supply model (`--supply`, default ideal).
+    pub supply: SupplyKind,
+    /// Converter solver for a switched supply (`--solver`).
+    pub solver: SolverMode,
+    /// Per-cycle fault rate (`--faults`); `None` disables injection.
+    pub faults: Option<f64>,
+    /// Whether mitigation is armed (`--mitigation on|off`, default on).
+    pub mitigation: bool,
+}
+
+/// Help text for the shared study flags.
+pub const STUDY_HELP: &str = "\
+    --dies N          die population (default 500)
+    --jobs N          worker threads (default: SUBVT_JOBS, else all cores)
+    --seed N          Monte-Carlo seed (default 1)
+    --eval M          device evaluation: `analytic` (default) or `tabulated`
+    --supply S        supply model: `ideal` (default) or `switched`
+    --solver S        converter solver: `closed-form` (default) or `rk4`
+    --faults R        per-cycle fault rate in [0,1] (default: no injection)
+    --mitigation M    fault mitigation `on` (default) or `off`";
+
+impl Default for StudyArgs {
+    fn default() -> StudyArgs {
+        StudyArgs {
+            dies: 500,
+            jobs: None,
+            seed: 1,
+            eval: EvalMode::default(),
+            supply: SupplyKind::default(),
+            solver: SolverMode::default(),
+            faults: None,
+            mitigation: true,
+        }
+    }
+}
+
+impl StudyArgs {
+    /// Defaults: 500 dies, seed 1, analytic eval, ideal supply, no
+    /// faults, mitigation on, workers from the environment.
+    pub fn new() -> StudyArgs {
+        StudyArgs::default()
+    }
+
+    /// Tries to consume a study flag at `args[i]`.
+    ///
+    /// Returns `Ok(Some(n))` when `n` arguments were consumed,
+    /// `Ok(None)` when `args[i]` is not a study flag (the caller's
+    /// parser proceeds), and `Err` on a malformed value.
+    pub fn accept(&mut self, args: &[String], i: usize) -> Result<Option<usize>, String> {
+        let flag = args[i].as_str();
+        let value = || -> Result<&str, String> {
+            args.get(i + 1)
+                .map(|s| s.as_str())
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag {
+            "--dies" => {
+                let raw = value()?;
+                let dies: usize = raw
+                    .parse()
+                    .map_err(|_| format!("invalid value `{raw}` for --dies"))?;
+                if dies == 0 {
+                    return Err("--dies must be positive".to_owned());
+                }
+                self.dies = dies;
+            }
+            "--jobs" => {
+                let raw = value()?;
+                let jobs: usize = raw
+                    .parse()
+                    .map_err(|_| format!("invalid value `{raw}` for --jobs"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".to_owned());
+                }
+                self.jobs = Some(jobs);
+            }
+            "--seed" => {
+                let raw = value()?;
+                self.seed = raw
+                    .parse()
+                    .map_err(|_| format!("invalid value `{raw}` for --seed"))?;
+            }
+            "--eval" => {
+                self.eval = value()?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--supply" => {
+                self.supply = match value()? {
+                    "ideal" => SupplyKind::Ideal,
+                    "switched" => SupplyKind::Switched,
+                    other => return Err(format!("unknown supply `{other}` (ideal|switched)")),
+                };
+            }
+            "--solver" => {
+                self.solver = match value()? {
+                    "closed-form" | "closed_form" => SolverMode::ClosedForm,
+                    "rk4" => SolverMode::Rk4,
+                    other => return Err(format!("unknown solver `{other}` (closed-form|rk4)")),
+                };
+            }
+            "--faults" => {
+                let raw = value()?;
+                let rate: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("invalid value `{raw}` for --faults"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err("--faults must be a probability in [0, 1]".to_owned());
+                }
+                self.faults = Some(rate);
+            }
+            "--mitigation" => {
+                self.mitigation = match value()? {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("unknown mitigation `{other}` (on|off)")),
+                };
+            }
+            _ => return Ok(None),
+        }
+        Ok(Some(2))
+    }
+
+    /// The execution configuration these flags select.
+    pub fn exec(&self) -> ExecConfig {
+        ExecConfig::from_option(self.jobs)
+    }
+
+    /// The fault plan these flags select, if `--faults` was given.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.faults
+            .map(|rate| FaultPlan::uniform(rate).with_mitigation(self.mitigation))
+    }
+
+    /// Builds the study these flags describe (paper defaults for
+    /// everything the flags don't cover).
+    pub fn study(&self) -> StudyConfig<'static> {
+        let mut cfg = StudyConfig::new(self.dies, self.seed)
+            .supply_kind(self.supply)
+            .solver(self.solver)
+            .exec(self.exec());
+        if self.eval != EvalMode::default() {
+            cfg = cfg.eval_mode(self.eval);
+        }
+        if let Some(plan) = self.fault_plan() {
+            cfg = cfg.faults(plan);
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn parse_all(parts: &[&str]) -> Result<StudyArgs, String> {
+        let args = argv(parts);
+        let mut study = StudyArgs::new();
+        let mut i = 0;
+        while i < args.len() {
+            match study.accept(&args, i)? {
+                Some(n) => i += n,
+                None => return Err(format!("unknown flag `{}`", args[i])),
+            }
+        }
+        Ok(study)
+    }
+
+    #[test]
+    fn defaults_are_the_paper_configuration() {
+        let study = StudyArgs::new();
+        assert_eq!(study.dies, 500);
+        assert_eq!(study.seed, 1);
+        assert_eq!(study.jobs, None);
+        assert_eq!(study.eval, EvalMode::Analytic);
+        assert_eq!(study.supply, SupplyKind::Ideal);
+        assert_eq!(study.solver, SolverMode::ClosedForm);
+        assert_eq!(study.faults, None);
+        assert!(study.mitigation);
+        assert_eq!(study.fault_plan(), None);
+    }
+
+    #[test]
+    fn all_flags_parse_in_one_pass() {
+        let study = parse_all(&[
+            "--dies",
+            "40",
+            "--jobs",
+            "3",
+            "--seed",
+            "9",
+            "--eval",
+            "tabulated",
+            "--supply",
+            "switched",
+            "--solver",
+            "rk4",
+            "--faults",
+            "0.02",
+            "--mitigation",
+            "off",
+        ])
+        .unwrap();
+        assert_eq!(study.dies, 40);
+        assert_eq!(study.jobs, Some(3));
+        assert_eq!(study.seed, 9);
+        assert_eq!(study.eval, EvalMode::Tabulated);
+        assert_eq!(study.supply, SupplyKind::Switched);
+        assert_eq!(study.solver, SolverMode::Rk4);
+        assert_eq!(study.exec().jobs(), 3);
+        let plan = study.fault_plan().unwrap();
+        assert_eq!(plan.tdc_rate, 0.02);
+        assert!(!plan.mitigation);
+    }
+
+    #[test]
+    fn malformed_values_are_rejected() {
+        for bad in [
+            &["--dies", "0"][..],
+            &["--dies", "x"],
+            &["--dies"],
+            &["--jobs", "0"],
+            &["--seed", "pi"],
+            &["--eval", "magic"],
+            &["--supply", "battery"],
+            &["--solver", "euler"],
+            &["--faults", "1.5"],
+            &["--faults", "-0.1"],
+            &["--mitigation", "maybe"],
+        ] {
+            assert!(parse_all(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn non_study_flags_are_left_to_the_caller() {
+        let mut study = StudyArgs::new();
+        assert_eq!(study.accept(&argv(&["--word", "11"]), 0), Ok(None));
+        assert_eq!(study, StudyArgs::new());
+    }
+
+    #[test]
+    fn builder_defaults_shape_the_study() {
+        let cfg = StudyConfig::new(12, 3);
+        assert_eq!(cfg.dies(), 12);
+        assert_eq!(cfg.fault_plan(), None);
+        let armed = StudyConfig::new(12, 3).faults(FaultPlan::uniform(0.1));
+        assert_eq!(armed.fault_plan().unwrap().tdc_rate, 0.1);
+    }
+
+    #[test]
+    fn run_dies_matches_a_serial_fork_loop() {
+        // The generic fan-out must reproduce a plain fork-per-die loop
+        // bit-for-bit at any worker count.
+        let expected: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..10)
+                .map(|i| rng.fork(&format!("mc-{i}")).next_u64())
+                .collect()
+        };
+        for jobs in [1usize, 2, 7] {
+            let got = StudyConfig::new(10, 5)
+                .exec(ExecConfig::with_jobs(jobs))
+                .run_dies("mc", |_, mut die_rng| die_rng.next_u64());
+            assert_eq!(got, expected, "jobs={jobs}");
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Rail watchdog: last-known-good fallback with bounded retry.
+//!
+//! The compensation loop assumes the sensed signature reflects the
+//! die; a faulted loop (reference-word SEU, a run of corrupted TDC
+//! samples) can chase a phantom signature and walk the rail away from
+//! the MEP, or oscillate without settling. The watchdog is the
+//! graceful-degradation backstop: once the loop has demonstrably
+//! locked (a zero-deviation cycle), it remembers that word, and a
+//! sustained large deviation afterwards — something parametric
+//! variation cannot produce on a locked loop — trips a fallback to the
+//! last-known-good word.
+//!
+//! Detection latency is [`WatchdogPolicy::trip_cycles`] system cycles;
+//! retries are bounded by [`WatchdogPolicy::max_retries`] with a
+//! doubling backoff of [`WatchdogPolicy::backoff_cycles`] cycles
+//! during which detection is suspended (the rail needs time to
+//! re-settle before deviations mean anything).
+
+use subvt_digital::lut::VoltageWord;
+
+/// Trip/retry policy for the rail watchdog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogPolicy {
+    /// Consecutive cycles the deviation must stay at or beyond
+    /// [`WatchdogPolicy::trip_threshold`] before the watchdog trips
+    /// (the detection latency).
+    pub trip_cycles: u32,
+    /// Deviation magnitude (LSBs) treated as a rail fault rather than
+    /// residual variation. A locked loop sits at 0 with ±1 limit
+    /// cycles, so 2 is the smallest trustworthy threshold.
+    pub trip_threshold: i16,
+    /// Maximum fallbacks per run — after this the watchdog stays
+    /// silent (a permanently faulted loop should fail visibly, not
+    /// thrash).
+    pub max_retries: u32,
+    /// Base backoff after a trip, in cycles; doubles per retry.
+    pub backoff_cycles: u32,
+}
+
+impl Default for WatchdogPolicy {
+    fn default() -> WatchdogPolicy {
+        WatchdogPolicy {
+            trip_cycles: 3,
+            trip_threshold: 2,
+            max_retries: 2,
+            backoff_cycles: 4,
+        }
+    }
+}
+
+/// The watchdog state machine. Feed it every cycle's commanded word
+/// and sensed deviation; it answers with a fallback word when it
+/// trips.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RailWatchdog {
+    policy: WatchdogPolicy,
+    last_good: Option<VoltageWord>,
+    streak: u32,
+    trips: u32,
+    cooldown: u32,
+}
+
+impl RailWatchdog {
+    /// Creates a watchdog with the given policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trip_cycles` is zero or `trip_threshold` is not
+    /// positive.
+    pub fn new(policy: WatchdogPolicy) -> RailWatchdog {
+        assert!(policy.trip_cycles > 0, "need at least one trip cycle");
+        assert!(policy.trip_threshold > 0, "trip threshold must be positive");
+        RailWatchdog {
+            policy,
+            last_good: None,
+            streak: 0,
+            trips: 0,
+            cooldown: 0,
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> WatchdogPolicy {
+        self.policy
+    }
+
+    /// True once a zero-deviation cycle has armed the watchdog.
+    pub fn armed(&self) -> bool {
+        self.last_good.is_some()
+    }
+
+    /// The last-known-good word, once armed.
+    pub fn last_good(&self) -> Option<VoltageWord> {
+        self.last_good
+    }
+
+    /// Fallbacks issued so far.
+    pub fn trips(&self) -> u32 {
+        self.trips
+    }
+
+    /// Feeds one cycle. Returns the last-known-good word when the
+    /// watchdog trips; the caller is expected to command it and to
+    /// book the recovery cost.
+    pub fn observe(&mut self, word: VoltageWord, deviation: i16) -> Option<VoltageWord> {
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return None;
+        }
+        if deviation == 0 {
+            // The loop is on target: (re-)arm on this word.
+            self.last_good = Some(word);
+            self.streak = 0;
+            return None;
+        }
+        if deviation.abs() < self.policy.trip_threshold {
+            // Small deviations are the loop's normal limit cycle.
+            self.streak = 0;
+            return None;
+        }
+        let Some(good) = self.last_good else {
+            // Not armed yet: large deviations during initial settling
+            // are expected, not a fault.
+            return None;
+        };
+        self.streak += 1;
+        if self.streak < self.policy.trip_cycles || self.trips >= self.policy.max_retries {
+            return None;
+        }
+        self.trips += 1;
+        self.streak = 0;
+        self.cooldown = self.policy.backoff_cycles << (self.trips - 1);
+        Some(good)
+    }
+
+    /// Forgets streak state (not the arm point) — e.g. after the
+    /// caller performed its own recovery action.
+    pub fn reset_streak(&mut self) {
+        self.streak = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dog() -> RailWatchdog {
+        RailWatchdog::new(WatchdogPolicy::default())
+    }
+
+    #[test]
+    fn trips_only_after_arming_and_sustained_deviation() {
+        let mut w = dog();
+        // Big deviations while settling: never trips unarmed.
+        for _ in 0..10 {
+            assert_eq!(w.observe(14, 3), None);
+        }
+        assert!(!w.armed());
+        // Lock at word 12.
+        assert_eq!(w.observe(12, 0), None);
+        assert!(w.armed());
+        assert_eq!(w.last_good(), Some(12));
+        // Two bad cycles: below the detection latency.
+        assert_eq!(w.observe(15, 3), None);
+        assert_eq!(w.observe(16, -3), None);
+        // Third consecutive bad cycle trips to the locked word.
+        assert_eq!(w.observe(17, 3), Some(12));
+        assert_eq!(w.trips(), 1);
+    }
+
+    #[test]
+    fn limit_cycle_noise_never_trips() {
+        let mut w = dog();
+        w.observe(12, 0);
+        for _ in 0..50 {
+            assert_eq!(w.observe(12, 1), None);
+            assert_eq!(w.observe(11, -1), None);
+        }
+        assert_eq!(w.trips(), 0);
+    }
+
+    #[test]
+    fn small_deviation_resets_the_streak() {
+        let mut w = dog();
+        w.observe(12, 0);
+        assert_eq!(w.observe(13, 2), None);
+        assert_eq!(w.observe(13, 2), None);
+        assert_eq!(w.observe(12, 1), None, "streak broken");
+        assert_eq!(w.observe(13, 2), None);
+        assert_eq!(w.observe(13, 2), None);
+        assert_eq!(w.observe(13, 2), Some(12));
+    }
+
+    #[test]
+    fn retries_are_bounded_with_doubling_backoff() {
+        let mut w = dog();
+        w.observe(12, 0);
+        let mut trips = 0;
+        let mut fed = 0;
+        // A permanently broken loop: deviation pinned at +3.
+        for _ in 0..100 {
+            fed += 1;
+            if w.observe(20, 3).is_some() {
+                trips += 1;
+            }
+        }
+        assert_eq!(trips, 2, "bounded retries after {fed} cycles");
+        assert_eq!(w.trips(), 2);
+    }
+
+    #[test]
+    fn backoff_suspends_detection() {
+        let mut w = dog();
+        w.observe(12, 0);
+        for _ in 0..2 {
+            assert_eq!(w.observe(20, 3), None);
+        }
+        assert_eq!(w.observe(20, 3), Some(12));
+        // Backoff (4 cycles): even a pinned deviation does not count.
+        for _ in 0..4 {
+            assert_eq!(w.observe(20, 3), None);
+        }
+        // Detection resumes: three more bad cycles re-trip.
+        for _ in 0..2 {
+            assert_eq!(w.observe(20, 3), None);
+        }
+        assert_eq!(w.observe(20, 3), Some(12));
+    }
+
+    #[test]
+    fn rearming_moves_the_fallback_word() {
+        let mut w = dog();
+        w.observe(12, 0);
+        w.observe(13, 0);
+        for _ in 0..2 {
+            w.observe(20, 3);
+        }
+        assert_eq!(w.observe(20, 3), Some(13), "newest lock wins");
+    }
+
+    #[test]
+    #[should_panic(expected = "trip cycle")]
+    fn zero_trip_cycles_rejected() {
+        let _ = RailWatchdog::new(WatchdogPolicy {
+            trip_cycles: 0,
+            ..WatchdogPolicy::default()
+        });
+    }
+}

@@ -10,8 +10,10 @@
 
 use std::sync::Arc;
 
-use subvt_exec::{par_fold_chunked, par_map_indexed, ExecConfig, Welford};
+use subvt_exec::{par_fold_chunked, ExecConfig, Welford};
 use subvt_rng::{Rng, StdRng};
+
+use crate::study::StudyConfig;
 
 use subvt_dcdc::converter::{ConverterParams, DcDcConverter};
 use subvt_dcdc::filter::ConstantLoad;
@@ -146,7 +148,7 @@ pub struct YieldSummary {
 }
 
 impl YieldSummary {
-    fn empty() -> YieldSummary {
+    pub(crate) fn empty() -> YieldSummary {
         YieldSummary {
             dies: 0,
             fixed_pass: 0,
@@ -160,7 +162,7 @@ impl YieldSummary {
     }
 
     /// Streams one die outcome into the aggregate.
-    fn absorb(&mut self, die: &DieOutcome) {
+    pub(crate) fn absorb(&mut self, die: &DieOutcome) {
         self.dies += 1;
         self.fixed_pass += u64::from(die.fixed_passes);
         self.adaptive_pass += u64::from(die.adaptive_passes);
@@ -174,7 +176,7 @@ impl YieldSummary {
 
     /// Combines two chunk aggregates (called in chunk-index order by
     /// the engine).
-    fn merge(&mut self, other: YieldSummary) {
+    pub(crate) fn merge(&mut self, other: YieldSummary) {
         self.dies += other.dies;
         self.fixed_pass += other.fixed_pass;
         self.adaptive_pass += other.adaptive_pass;
@@ -217,7 +219,7 @@ impl YieldSummary {
 
 /// Emulates the dithered controller's settled *continuous* supply on a
 /// die: the fractional-sensing integrator walked to convergence.
-fn settled_voltage_dithered(
+pub(crate) fn settled_voltage_dithered(
     eval: &dyn DeviceEval,
     sensor: &VariationSensor,
     design_word: VoltageWord,
@@ -241,7 +243,7 @@ fn settled_voltage_dithered(
 /// the design word and walk by the sensed deviation until on-target
 /// (bounded iterations — mirrors the LUT compensation loop without the
 /// cycle-by-cycle machinery).
-fn settled_word(
+pub(crate) fn settled_word(
     eval: &dyn DeviceEval,
     sensor: &VariationSensor,
     design_word: VoltageWord,
@@ -387,24 +389,49 @@ impl SupplySim {
 
 /// The immutable per-study context shared (read-only) by every worker
 /// scoring dies.
-struct StudyContext<'a> {
-    eval: SharedEval,
-    load: &'a dyn CircuitLoad,
-    env: Environment,
-    variation: &'a VariationModel,
-    spec: YieldSpec,
-    fixed_word: VoltageWord,
-    design_word: VoltageWord,
-    sensor: VariationSensor,
-    supply: &'a SupplySim,
+pub(crate) struct StudyContext<'a> {
+    pub(crate) eval: SharedEval,
+    pub(crate) load: &'a dyn CircuitLoad,
+    pub(crate) env: Environment,
+    pub(crate) variation: &'a VariationModel,
+    pub(crate) spec: YieldSpec,
+    pub(crate) fixed_word: VoltageWord,
+    pub(crate) design_word: VoltageWord,
+    pub(crate) sensor: VariationSensor,
+    pub(crate) supply: &'a SupplySim,
 }
 
-impl StudyContext<'_> {
+impl<'a> StudyContext<'a> {
+    /// Builds the context, deriving the calibrated sensor from the
+    /// evaluator and environment.
+    #[allow(clippy::too_many_arguments)] // crate-internal plumbing
+    pub(crate) fn new(
+        eval: SharedEval,
+        load: &'a dyn CircuitLoad,
+        env: Environment,
+        variation: &'a VariationModel,
+        spec: YieldSpec,
+        fixed_word: VoltageWord,
+        design_word: VoltageWord,
+        supply: &'a SupplySim,
+    ) -> StudyContext<'a> {
+        StudyContext {
+            sensor: VariationSensor::with_eval(eval.as_ref(), env, SensorConfig::default()),
+            eval,
+            load,
+            env,
+            variation,
+            spec,
+            fixed_word,
+            design_word,
+            supply,
+        }
+    }
     /// Spec check with the rate and energy legs evaluated at separate
     /// voltages: on a rippling supply the rate must hold at the trough
     /// while energy is set by the mean. On an ideal rail both are the
     /// same voltage.
-    fn passes_at(
+    pub(crate) fn passes_at(
         &self,
         eval: &dyn DeviceEval,
         v_rate: Volts,
@@ -427,11 +454,16 @@ impl StudyContext<'_> {
         )
     }
 
-    fn passes_v(&self, eval: &dyn DeviceEval, v: Volts, die: GateMismatch) -> (bool, Joules) {
+    pub(crate) fn passes_v(
+        &self,
+        eval: &dyn DeviceEval,
+        v: Volts,
+        die: GateMismatch,
+    ) -> (bool, Joules) {
         self.passes_at(eval, v, v, die)
     }
 
-    fn passes(
+    pub(crate) fn passes(
         &self,
         eval: &dyn DeviceEval,
         word: VoltageWord,
@@ -449,7 +481,7 @@ impl StudyContext<'_> {
     /// Scores the dithered design's continuous settled voltage. On the
     /// switched supply the dither rides on the nearest word's PWM
     /// waveform, so it inherits that word's droop and ripple trough.
-    fn passes_dithered(
+    pub(crate) fn passes_dithered(
         &self,
         eval: &dyn DeviceEval,
         v: Volts,
@@ -473,7 +505,7 @@ impl StudyContext<'_> {
     /// the stream and the context, so it runs on any thread. A per-die
     /// memo ([`CachedEval`]) deduplicates the settling loops' repeated
     /// operating points; memoization cannot change results.
-    fn score_die(&self, mut die_rng: StdRng) -> DieOutcome {
+    pub(crate) fn score_die(&self, mut die_rng: StdRng) -> DieOutcome {
         let die = self.variation.sample_die(&mut die_rng);
         let mismatch = die.mean_gate();
         let cached = CachedEval::new(self.eval.as_ref());
@@ -500,48 +532,26 @@ impl StudyContext<'_> {
 /// One 8-byte seed per die, in die order — exactly the draws
 /// `rng.fork("die-{i}")` would make inline, so expanding `seeds[i]`
 /// on a worker thread reproduces the serial loop bit-for-bit.
-fn die_seeds<R: Rng + ?Sized>(rng: &mut R, dies: usize) -> Vec<u64> {
+pub(crate) fn die_seeds<R: Rng + ?Sized>(rng: &mut R, dies: usize) -> Vec<u64> {
     (0..dies)
         .map(|i| rng.fork_seed(&format!("die-{i}")))
         .collect()
 }
 
-macro_rules! study_context {
-    ($eval:ident, $load:ident, $env:ident, $variation:ident, $spec:ident,
-     $fixed_word:ident, $design_word:ident, $supply:expr) => {
-        StudyContext {
-            sensor: VariationSensor::with_eval($eval.as_ref(), $env, SensorConfig::default()),
-            eval: $eval,
-            load: $load,
-            env: $env,
-            variation: $variation,
-            spec: $spec,
-            fixed_word: $fixed_word,
-            design_word: $design_word,
-            supply: $supply,
-        }
-    };
-}
-
 /// Wraps a technology in the analytic evaluator (the default study
 /// path, bit-identical to the pre-evaluator implementation).
-fn analytic(tech: &Technology) -> SharedEval {
+pub(crate) fn analytic(tech: &Technology) -> SharedEval {
     Arc::new(AnalyticEval::new(tech))
 }
 
 /// Runs the yield study over `dies` sampled dies.
 ///
-/// * the **fixed design** ships at `fixed_word` for every die;
-/// * the **adaptive design** ships at the word its sensor settles on.
-///
-/// Both are scored against `spec` with the true per-die physics.
-///
-/// Worker count comes from the environment (`SUBVT_JOBS`, else all
-/// cores); results are bit-identical to [`yield_study_serial`] for any
-/// count. Use [`yield_study_jobs`] for an explicit `--jobs` value and
-/// [`yield_study_summary`] when the population is too large to
-/// materialize per-die outcomes.
-#[allow(clippy::too_many_arguments)] // an experiment configuration, not an API surface
+/// Deprecated: this is the first of ten combinatorial entry points
+/// (`_jobs`/`_serial`/`_summary` × `_eval` × `_supply`) that the
+/// [`StudyConfig`] builder replaces. Each wrapper delegates to the
+/// builder and is bit-identical to its historical behaviour.
+#[deprecated(note = "use StudyConfig")]
+#[allow(clippy::too_many_arguments)] // frozen legacy signature
 pub fn yield_study<R: Rng + ?Sized>(
     tech: &Technology,
     load: &dyn CircuitLoad,
@@ -553,22 +563,20 @@ pub fn yield_study<R: Rng + ?Sized>(
     dies: usize,
     rng: &mut R,
 ) -> YieldReport {
-    yield_study_jobs(
-        &ExecConfig::from_env(),
-        tech,
-        load,
-        env,
-        variation,
-        spec,
-        fixed_word,
-        design_word,
-        dies,
-        rng,
-    )
+    StudyConfig::new(dies, 0)
+        .tech(tech.clone())
+        .load(load)
+        .env(env)
+        .variation(*variation)
+        .spec(spec)
+        .words(fixed_word, design_word)
+        .exec(ExecConfig::from_env())
+        .run_with_rng(rng)
 }
 
 /// [`yield_study`] with an explicit worker count.
-#[allow(clippy::too_many_arguments)]
+#[deprecated(note = "use StudyConfig")]
+#[allow(clippy::too_many_arguments)] // frozen legacy signature
 pub fn yield_study_jobs<R: Rng + ?Sized>(
     cfg: &ExecConfig,
     tech: &Technology,
@@ -581,26 +589,20 @@ pub fn yield_study_jobs<R: Rng + ?Sized>(
     dies: usize,
     rng: &mut R,
 ) -> YieldReport {
-    yield_study_jobs_eval(
-        cfg,
-        analytic(tech),
-        load,
-        env,
-        variation,
-        spec,
-        fixed_word,
-        design_word,
-        dies,
-        rng,
-    )
+    StudyConfig::new(dies, 0)
+        .tech(tech.clone())
+        .load(load)
+        .env(env)
+        .variation(*variation)
+        .spec(spec)
+        .words(fixed_word, design_word)
+        .exec(*cfg)
+        .run_with_rng(rng)
 }
 
-/// [`yield_study_jobs`] scoring every die through an explicit
-/// [`SharedEval`] — pass a tabulated evaluator to take the analytic
-/// model off the Monte-Carlo hot path. The determinism contract is
-/// unchanged: the per-die physics is a pure function of the evaluator,
-/// so results are bit-identical at any worker count.
-#[allow(clippy::too_many_arguments)]
+/// [`yield_study_jobs`] through an explicit [`SharedEval`].
+#[deprecated(note = "use StudyConfig")]
+#[allow(clippy::too_many_arguments)] // frozen legacy signature
 pub fn yield_study_jobs_eval<R: Rng + ?Sized>(
     cfg: &ExecConfig,
     eval: SharedEval,
@@ -613,29 +615,20 @@ pub fn yield_study_jobs_eval<R: Rng + ?Sized>(
     dies: usize,
     rng: &mut R,
 ) -> YieldReport {
-    yield_study_jobs_supply_eval(
-        cfg,
-        eval,
-        load,
-        env,
-        variation,
-        spec,
-        fixed_word,
-        design_word,
-        &SupplySim::Ideal,
-        dies,
-        rng,
-    )
+    StudyConfig::new(dies, 0)
+        .eval(eval)
+        .load(load)
+        .env(env)
+        .variation(*variation)
+        .spec(spec)
+        .words(fixed_word, design_word)
+        .exec(*cfg)
+        .run_with_rng(rng)
 }
 
-/// [`yield_study_jobs_eval`] with an explicit supply model — pass
-/// [`SupplySim::switched`] to score every design against the converter's
-/// real per-word droop and ripple instead of an ideal rail.
-///
-/// The supply model is built (or passed in) before any die is scored,
-/// so the determinism contract is unchanged: bit-identical to
-/// [`yield_study_serial_supply_eval`] at any worker count.
-#[allow(clippy::too_many_arguments)]
+/// [`yield_study_jobs_eval`] with an explicit supply model.
+#[deprecated(note = "use StudyConfig")]
+#[allow(clippy::too_many_arguments)] // frozen legacy signature
 pub fn yield_study_jobs_supply_eval<R: Rng + ?Sized>(
     cfg: &ExecConfig,
     eval: SharedEval,
@@ -649,32 +642,21 @@ pub fn yield_study_jobs_supply_eval<R: Rng + ?Sized>(
     dies: usize,
     rng: &mut R,
 ) -> YieldReport {
-    let ctx = study_context!(
-        eval,
-        load,
-        env,
-        variation,
-        spec,
-        fixed_word,
-        design_word,
-        supply
-    );
-    let seeds = die_seeds(rng, dies);
-    let outcomes = par_map_indexed(cfg, dies, |i| {
-        ctx.score_die(StdRng::seed_from_u64(seeds[i]))
-    });
-    YieldReport {
-        dies: outcomes,
-        fixed_word,
-    }
+    StudyConfig::new(dies, 0)
+        .eval(eval)
+        .load(load)
+        .env(env)
+        .variation(*variation)
+        .spec(spec)
+        .words(fixed_word, design_word)
+        .supply(supply.clone())
+        .exec(*cfg)
+        .run_with_rng(rng)
 }
 
 /// The reference serial implementation: a plain fork-per-die loop.
-///
-/// This is the specification the parallel paths are tested against
-/// (`tests/determinism.rs`): [`yield_study_jobs`] must reproduce it
-/// bit-for-bit at every worker count.
-#[allow(clippy::too_many_arguments)]
+#[deprecated(note = "use StudyConfig")]
+#[allow(clippy::too_many_arguments)] // frozen legacy signature
 pub fn yield_study_serial<R: Rng + ?Sized>(
     tech: &Technology,
     load: &dyn CircuitLoad,
@@ -686,21 +668,20 @@ pub fn yield_study_serial<R: Rng + ?Sized>(
     dies: usize,
     rng: &mut R,
 ) -> YieldReport {
-    yield_study_serial_eval(
-        analytic(tech),
-        load,
-        env,
-        variation,
-        spec,
-        fixed_word,
-        design_word,
-        dies,
-        rng,
-    )
+    StudyConfig::new(dies, 0)
+        .tech(tech.clone())
+        .load(load)
+        .env(env)
+        .variation(*variation)
+        .spec(spec)
+        .words(fixed_word, design_word)
+        .exec(ExecConfig::serial())
+        .run_with_rng(rng)
 }
 
 /// [`yield_study_serial`] through an explicit [`SharedEval`].
-#[allow(clippy::too_many_arguments)]
+#[deprecated(note = "use StudyConfig")]
+#[allow(clippy::too_many_arguments)] // frozen legacy signature
 pub fn yield_study_serial_eval<R: Rng + ?Sized>(
     eval: SharedEval,
     load: &dyn CircuitLoad,
@@ -712,24 +693,20 @@ pub fn yield_study_serial_eval<R: Rng + ?Sized>(
     dies: usize,
     rng: &mut R,
 ) -> YieldReport {
-    yield_study_serial_supply_eval(
-        eval,
-        load,
-        env,
-        variation,
-        spec,
-        fixed_word,
-        design_word,
-        &SupplySim::Ideal,
-        dies,
-        rng,
-    )
+    StudyConfig::new(dies, 0)
+        .eval(eval)
+        .load(load)
+        .env(env)
+        .variation(*variation)
+        .spec(spec)
+        .words(fixed_word, design_word)
+        .exec(ExecConfig::serial())
+        .run_with_rng(rng)
 }
 
-/// [`yield_study_serial_eval`] with an explicit supply model: the
-/// serial reference the parallel switched-supply path is tested
-/// against.
-#[allow(clippy::too_many_arguments)]
+/// [`yield_study_serial_eval`] with an explicit supply model.
+#[deprecated(note = "use StudyConfig")]
+#[allow(clippy::too_many_arguments)] // frozen legacy signature
 pub fn yield_study_serial_supply_eval<R: Rng + ?Sized>(
     eval: SharedEval,
     load: &dyn CircuitLoad,
@@ -742,36 +719,22 @@ pub fn yield_study_serial_supply_eval<R: Rng + ?Sized>(
     dies: usize,
     rng: &mut R,
 ) -> YieldReport {
-    let ctx = study_context!(
-        eval,
-        load,
-        env,
-        variation,
-        spec,
-        fixed_word,
-        design_word,
-        supply
-    );
-    let outcomes = (0..dies)
-        // One forked stream per die: outcomes stay reproducible
-        // per-label even if the per-die sampling ever starts consuming
-        // a variable number of draws.
-        .map(|i| ctx.score_die(rng.fork(&format!("die-{i}"))))
-        .collect();
-    YieldReport {
-        dies: outcomes,
-        fixed_word,
-    }
+    StudyConfig::new(dies, 0)
+        .eval(eval)
+        .load(load)
+        .env(env)
+        .variation(*variation)
+        .spec(spec)
+        .words(fixed_word, design_word)
+        .supply(supply.clone())
+        .exec(ExecConfig::serial())
+        .run_with_rng(rng)
 }
 
 /// Summary-only yield study: scores `dies` sampled dies without ever
 /// materializing a `Vec<DieOutcome>`.
-///
-/// Memory is `O(chunks × summary)` regardless of population size, so
-/// million-die studies are cheap. The result is bit-identical to
-/// `yield_study_jobs(..).summarize()` for the same seed, at any worker
-/// count.
-#[allow(clippy::too_many_arguments)]
+#[deprecated(note = "use StudyConfig")]
+#[allow(clippy::too_many_arguments)] // frozen legacy signature
 pub fn yield_study_summary<R: Rng + ?Sized>(
     cfg: &ExecConfig,
     tech: &Technology,
@@ -784,22 +747,20 @@ pub fn yield_study_summary<R: Rng + ?Sized>(
     dies: usize,
     rng: &mut R,
 ) -> YieldSummary {
-    yield_study_summary_eval(
-        cfg,
-        analytic(tech),
-        load,
-        env,
-        variation,
-        spec,
-        fixed_word,
-        design_word,
-        dies,
-        rng,
-    )
+    StudyConfig::new(dies, 0)
+        .tech(tech.clone())
+        .load(load)
+        .env(env)
+        .variation(*variation)
+        .spec(spec)
+        .words(fixed_word, design_word)
+        .exec(*cfg)
+        .run_summary_with_rng(rng)
 }
 
 /// [`yield_study_summary`] through an explicit [`SharedEval`].
-#[allow(clippy::too_many_arguments)]
+#[deprecated(note = "use StudyConfig")]
+#[allow(clippy::too_many_arguments)] // frozen legacy signature
 pub fn yield_study_summary_eval<R: Rng + ?Sized>(
     cfg: &ExecConfig,
     eval: SharedEval,
@@ -812,23 +773,20 @@ pub fn yield_study_summary_eval<R: Rng + ?Sized>(
     dies: usize,
     rng: &mut R,
 ) -> YieldSummary {
-    yield_study_summary_supply_eval(
-        cfg,
-        eval,
-        load,
-        env,
-        variation,
-        spec,
-        fixed_word,
-        design_word,
-        &SupplySim::Ideal,
-        dies,
-        rng,
-    )
+    StudyConfig::new(dies, 0)
+        .eval(eval)
+        .load(load)
+        .env(env)
+        .variation(*variation)
+        .spec(spec)
+        .words(fixed_word, design_word)
+        .exec(*cfg)
+        .run_summary_with_rng(rng)
 }
 
 /// [`yield_study_summary_eval`] with an explicit supply model.
-#[allow(clippy::too_many_arguments)]
+#[deprecated(note = "use StudyConfig")]
+#[allow(clippy::too_many_arguments)] // frozen legacy signature
 pub fn yield_study_summary_supply_eval<R: Rng + ?Sized>(
     cfg: &ExecConfig,
     eval: SharedEval,
@@ -842,26 +800,16 @@ pub fn yield_study_summary_supply_eval<R: Rng + ?Sized>(
     dies: usize,
     rng: &mut R,
 ) -> YieldSummary {
-    let ctx = study_context!(
-        eval,
-        load,
-        env,
-        variation,
-        spec,
-        fixed_word,
-        design_word,
-        supply
-    );
-    let seeds = die_seeds(rng, dies);
-    let mut summary = par_fold_chunked(
-        cfg,
-        dies,
-        YieldSummary::empty,
-        |acc, i| acc.absorb(&ctx.score_die(StdRng::seed_from_u64(seeds[i]))),
-        YieldSummary::merge,
-    );
-    summary.fixed_word = fixed_word;
-    summary
+    StudyConfig::new(dies, 0)
+        .eval(eval)
+        .load(load)
+        .env(env)
+        .variation(*variation)
+        .spec(spec)
+        .words(fixed_word, design_word)
+        .supply(supply.clone())
+        .exec(*cfg)
+        .run_summary_with_rng(rng)
 }
 
 #[cfg(test)]
@@ -871,20 +819,12 @@ mod tests {
     use subvt_rng::StdRng;
 
     fn study(spec: YieldSpec, fixed_word: VoltageWord) -> YieldReport {
-        let tech = Technology::st_130nm();
-        let ring = RingOscillator::paper_circuit();
-        let mut rng = StdRng::seed_from_u64(77);
-        yield_study(
-            &tech,
-            &ring,
-            Environment::nominal(),
-            &VariationModel::st_130nm(),
-            spec,
-            fixed_word,
-            11, // design at the TT MEP word
-            200,
-            &mut rng,
-        )
+        // Defaults cover the paper configuration (ST 130 nm, nominal
+        // environment, design at the TT MEP word 11).
+        StudyConfig::new(200, 77)
+            .spec(spec)
+            .words(fixed_word, 11)
+            .run()
     }
 
     /// A spec a TT die at its MEP just meets: ~120 kHz at ≤ 2.9 fJ.
@@ -992,21 +932,10 @@ mod tests {
         let report = study(tight_spec(), 11);
         let reference = report.summarize();
         for jobs in [1usize, 2, 7] {
-            let tech = Technology::st_130nm();
-            let ring = RingOscillator::paper_circuit();
-            let mut rng = StdRng::seed_from_u64(77);
-            let summary = yield_study_summary(
-                &subvt_exec::ExecConfig::with_jobs(jobs),
-                &tech,
-                &ring,
-                Environment::nominal(),
-                &VariationModel::st_130nm(),
-                tight_spec(),
-                11,
-                11,
-                200,
-                &mut rng,
-            );
+            let summary = StudyConfig::new(200, 77)
+                .spec(tight_spec())
+                .exec(ExecConfig::with_jobs(jobs))
+                .run_summary();
             assert_eq!(summary, reference, "jobs={jobs}");
         }
         assert_eq!(reference.dies, 200);
@@ -1024,36 +953,17 @@ mod tests {
     fn tabulated_study_tracks_the_analytic_yield() {
         use subvt_device::tabulate::TabulatedEval;
         let tech = Technology::st_130nm();
-        let ring = RingOscillator::paper_circuit();
-        let variation = VariationModel::st_130nm();
         let cfg = ExecConfig::with_jobs(2);
-        let mut rng = StdRng::seed_from_u64(77);
-        let reference = yield_study_summary(
-            &cfg,
-            &tech,
-            &ring,
-            Environment::nominal(),
-            &variation,
-            tight_spec(),
-            11,
-            11,
-            200,
-            &mut rng,
-        );
+        let reference = StudyConfig::new(200, 77)
+            .spec(tight_spec())
+            .exec(cfg)
+            .run_summary();
         let tab: SharedEval = Arc::new(TabulatedEval::new(&tech));
-        let mut rng = StdRng::seed_from_u64(77);
-        let tabulated = yield_study_summary_eval(
-            &cfg,
-            tab,
-            &ring,
-            Environment::nominal(),
-            &variation,
-            tight_spec(),
-            11,
-            11,
-            200,
-            &mut rng,
-        );
+        let tabulated = StudyConfig::new(200, 77)
+            .spec(tight_spec())
+            .eval(tab)
+            .exec(cfg)
+            .run_summary();
         assert_eq!(tabulated.dies, reference.dies);
         // Interpolation error is ≤1%; pass/fail decisions near the spec
         // boundary may flip on a handful of dies, never more.
@@ -1084,6 +994,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // pins the legacy wrappers' equivalence
     fn analytic_eval_variant_is_bit_identical_to_default() {
         let tech = Technology::st_130nm();
         let ring = RingOscillator::paper_circuit();
@@ -1140,24 +1051,11 @@ mod tests {
 
     #[test]
     fn switched_supply_yield_is_ripple_aware() {
-        let tech = Technology::st_130nm();
-        let ring = RingOscillator::paper_circuit();
-        let variation = VariationModel::st_130nm();
         let supply = SupplySim::switched(ConverterParams::default());
-        let mut rng = StdRng::seed_from_u64(77);
-        let switched = yield_study_jobs_supply_eval(
-            &ExecConfig::from_env(),
-            analytic(&tech),
-            &ring,
-            Environment::nominal(),
-            &variation,
-            tight_spec(),
-            11,
-            11,
-            &supply,
-            200,
-            &mut rng,
-        );
+        let switched = StudyConfig::new(200, 77)
+            .spec(tight_spec())
+            .supply(supply)
+            .run();
         let ideal = study(tight_spec(), 11);
         // The ripple trough only subtracts MEP margin: the switched
         // supply can never ship a die the ideal rail rejects, and under
@@ -1181,6 +1079,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // pins the legacy wrappers' equivalence
     fn ideal_supply_entry_point_matches_the_default_path() {
         let tech = Technology::st_130nm();
         let ring = RingOscillator::paper_circuit();

@@ -1,0 +1,94 @@
+//! Rail disturbances from converter faults.
+//!
+//! The fault subsystem injects three converter hazards (comparator
+//! glitch, missed PWM edge, reference-word SEU). The first two are
+//! transient electrical events whose rail-visible magnitude depends on
+//! the converter hardware, so the magnitudes are derived here, next to
+//! the component values, instead of being magic numbers in the study
+//! code:
+//!
+//! * a **comparator glitch** makes the duty register step one LSB the
+//!   wrong way for one PWM period: the rail follows by one duty LSB of
+//!   the battery divider, `vbat / 2^pwm_bits`;
+//! * a **missed PWM edge** deletes one conduction window: the LC
+//!   filter rides through most of it (its natural period `2π√(LC)` is
+//!   several PWM periods), so the droop is the capacitive discharge of
+//!   one PWM period scaled by how much of the period the filter leaves
+//!   unsmoothed, plus the load's own discharge;
+//! * a **reference SEU** is purely digital — the effective word is the
+//!   commanded word with one bit flipped ([`reference_upset`]), and
+//!   the rail moves to the upset word's operating point.
+
+use subvt_device::units::{Amps, Volts};
+use subvt_digital::lut::VoltageWord;
+
+use crate::converter::ConverterParams;
+
+/// Rail droop from one comparator glitch: one duty LSB of the battery
+/// divider (`vbat / 2^pwm_bits`; 18.75 mV for the paper's converter).
+pub fn comparator_glitch_droop(params: &ConverterParams) -> Volts {
+    Volts(params.vbat.volts() / f64::from(1u32 << params.pwm_bits))
+}
+
+/// Rail droop from one missed PWM conduction window under `load`.
+///
+/// The inductor deficit appears as a duty-LSB-scale dip attenuated by
+/// the LC filter's smoothing ratio `T_pwm / (2π√(LC))`, and the load
+/// meanwhile discharges the output capacitor by `I·T_pwm / C`.
+pub fn missed_edge_droop(params: &ConverterParams, load: Amps) -> Volts {
+    let t_pwm = f64::from(1u32 << params.pwm_bits) / params.clock.value();
+    let l = params.filter.inductance.value();
+    let c = params.filter.capacitance.value();
+    let natural_period = 2.0 * std::f64::consts::PI * (l * c).sqrt();
+    let smoothing = (t_pwm / natural_period).min(1.0);
+    let inductor_dip = params.vbat.volts() / f64::from(1u32 << params.pwm_bits) * smoothing;
+    let cap_discharge = load.value() * t_pwm / c;
+    Volts(inductor_dip + cap_discharge)
+}
+
+/// The effective reference word after a single-event upset in bit
+/// `bit` of the 6-bit reference register.
+pub fn reference_upset(word: VoltageWord, bit: u8) -> VoltageWord {
+    word ^ (1 << (bit % 6))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subvt_device::constants::DCDC_LSB;
+
+    #[test]
+    fn glitch_droop_is_one_lsb_for_the_paper_converter() {
+        let droop = comparator_glitch_droop(&ConverterParams::default());
+        assert!((droop.volts() - DCDC_LSB.volts()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missed_edge_droop_is_a_fraction_of_an_lsb() {
+        // With the paper's passives (22 µH, 470 nF) the LC natural
+        // period is ~20 µs against a 1 µs PWM period, so the filter
+        // absorbs most of the missing window: the droop must land well
+        // inside one LSB but stay a visible disturbance.
+        let droop = missed_edge_droop(&ConverterParams::default(), Amps(2e-6));
+        let lsb = DCDC_LSB.volts();
+        assert!(droop.volts() > 0.01 * lsb, "droop {} V", droop.volts());
+        assert!(droop.volts() < lsb, "droop {} V", droop.volts());
+    }
+
+    #[test]
+    fn heavier_loads_droop_more() {
+        let params = ConverterParams::default();
+        let light = missed_edge_droop(&params, Amps(1e-6));
+        let heavy = missed_edge_droop(&params, Amps(50e-6));
+        assert!(heavy.volts() > light.volts());
+    }
+
+    #[test]
+    fn reference_upset_flips_exactly_one_bit() {
+        assert_eq!(reference_upset(11, 0), 10);
+        assert_eq!(reference_upset(11, 5), 43);
+        assert_eq!(reference_upset(reference_upset(19, 3), 3), 19);
+        // Bit indices wrap into the 6-bit register.
+        assert_eq!(reference_upset(11, 6), 10);
+    }
+}

@@ -35,6 +35,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod converter;
+pub mod disturbance;
 pub mod efficiency;
 pub mod filter;
 pub mod ideal;
@@ -42,6 +43,7 @@ pub mod power_stage;
 pub mod solver;
 
 pub use converter::{ConverterParams, DcDcConverter, ModulationMode};
+pub use disturbance::{comparator_glitch_droop, missed_edge_droop, reference_upset};
 pub use efficiency::{best_group_count, measure_efficiency, EfficiencyPoint, SwitchingLossModel};
 pub use filter::{BuckFilter, ConstantLoad, FilterParams, LoadCurrent, NoLoad, ResistiveLoad};
 pub use ideal::IdealConverter;

@@ -22,7 +22,7 @@ use subvt_device::mosfet::Environment;
 use subvt_device::tabulate::{AnalyticEval, DeviceEval};
 use subvt_device::technology::Technology;
 use subvt_device::units::{Seconds, Volts};
-use subvt_digital::encoder::EncodeError;
+use subvt_digital::encoder::{EncodeError, QuantizerWord};
 use subvt_digital::lut::VoltageWord;
 
 use crate::delay_line::{CellKind, DelayLine};
@@ -251,6 +251,73 @@ impl VariationSensor {
             .cell_delay_with(eval, actual_vdd, env)
             .map_err(|_| SenseError::Unreliable(EncodeError::Empty))?;
         Self::encode_cell(band, cell)
+    }
+
+    /// Samples the raw thermometer word for band `word` — the
+    /// quantizer output *before* encoding, so callers can corrupt or
+    /// vote on it (fault injection, redundant sampling) and feed the
+    /// result back through [`VariationSensor::decode`].
+    ///
+    /// The sample is a pure function of the operating point: repeated
+    /// calls at the same arguments return the identical word, which is
+    /// what makes within-cycle redundant sampling free of extra state.
+    ///
+    /// # Errors
+    ///
+    /// [`SenseError::BandUnusable`] for uncalibrated bands;
+    /// [`SenseError::Unreliable`]`(`[`EncodeError::Empty`]`)` when the
+    /// replica never toggles (supply below the functional floor).
+    pub fn sample_with(
+        &self,
+        eval: &dyn DeviceEval,
+        word: VoltageWord,
+        actual_vdd: Volts,
+        env: Environment,
+        mismatch: GateMismatch,
+    ) -> Result<QuantizerWord, SenseError> {
+        let band = self.band(word)?;
+        let line = self.line.clone().with_mismatch(mismatch);
+        let cell = line
+            .cell_delay_with(eval, actual_vdd, env)
+            .map_err(|_| SenseError::Unreliable(EncodeError::Empty))?;
+        Ok(band.quantizer.sample(cell))
+    }
+
+    /// Decodes a raw quantizer word (e.g. from
+    /// [`VariationSensor::sample_with`], possibly corrupted in between)
+    /// into the integer variation signature, with the same
+    /// bubble-tolerant encode and out-of-range classification as
+    /// [`VariationSensor::sense_with`]: for any operating point,
+    /// `decode(word, sample_with(..)?)` equals `sense_with(..)`.
+    ///
+    /// # Errors
+    ///
+    /// [`SenseError::BandUnusable`] for uncalibrated bands.
+    pub fn decode(&self, word: VoltageWord, sample: QuantizerWord) -> Result<i16, SenseError> {
+        self.classify(
+            word,
+            sample
+                .encode_bubble_tolerant()
+                .map_err(SenseError::Unreliable),
+        )
+    }
+
+    /// [`VariationSensor::decode`] without bubble repair: isolated
+    /// zero bubbles make the measurement
+    /// [`SenseError::Unreliable`] instead of being filled. This is the
+    /// decode a non-hardened encoder would implement; the delta
+    /// against [`VariationSensor::decode`] is the bubble-correction
+    /// mitigation.
+    ///
+    /// # Errors
+    ///
+    /// [`SenseError::BandUnusable`] for uncalibrated bands.
+    pub fn decode_strict(
+        &self,
+        word: VoltageWord,
+        sample: QuantizerWord,
+    ) -> Result<i16, SenseError> {
+        self.classify(word, sample.encode().map_err(SenseError::Unreliable))
     }
 
     fn encode_cell(band: &BandTable, cell: Seconds) -> Result<u32, SenseError> {
@@ -680,6 +747,59 @@ mod tests {
             .sense_fractional_with(&tabulated, 19, word_voltage(19), env, GateMismatch::NOMINAL)
             .unwrap();
         assert!(zero.abs() < 0.2, "nominal die reads {zero}");
+    }
+
+    #[test]
+    fn sample_then_decode_matches_sense() {
+        use subvt_device::tabulate::AnalyticEval;
+        let (tech, sensor) = sensor_fixture();
+        let eval = AnalyticEval::new(&tech);
+        for (word, env) in [
+            (11u8, Environment::nominal()),
+            (19, Environment::at_corner(ProcessCorner::Ss)),
+            (19, Environment::at_corner(ProcessCorner::Ff)),
+            (12, Environment::at_celsius(85.0)),
+        ] {
+            let sample = sensor
+                .sample_with(&eval, word, word_voltage(word), env, GateMismatch::NOMINAL)
+                .unwrap();
+            let via_decode = sensor.decode(word, sample).unwrap();
+            let direct = sensor
+                .sense_with(&eval, word, word_voltage(word), env, GateMismatch::NOMINAL)
+                .unwrap();
+            assert_eq!(via_decode, direct, "word {word}");
+        }
+    }
+
+    #[test]
+    fn strict_decode_rejects_the_bubble_the_tolerant_path_repairs() {
+        use subvt_device::tabulate::AnalyticEval;
+        let (tech, sensor) = sensor_fixture();
+        let eval = AnalyticEval::new(&tech);
+        let sample = sensor
+            .sample_with(
+                &eval,
+                19,
+                word_voltage(19),
+                Environment::nominal(),
+                GateMismatch::NOMINAL,
+            )
+            .unwrap();
+        // Punch an interior bubble into the thermometer run.
+        let run = sample.leading_run();
+        assert!(run >= 3, "fixture run too short: {run}");
+        let bubbled = QuantizerWord::new(sample.width(), sample.bits() & !(1 << (run / 2)));
+        assert_eq!(
+            sensor.decode(19, bubbled).unwrap(),
+            sensor.decode(19, sample).unwrap(),
+            "tolerant decode repairs the bubble"
+        );
+        let strict = sensor.decode_strict(19, bubbled).unwrap();
+        assert_ne!(
+            strict,
+            sensor.decode_strict(19, sample).unwrap(),
+            "strict decode mis-signatures the bubbled word"
+        );
     }
 
     #[test]

@@ -8,8 +8,8 @@ use std::str::FromStr;
 
 use subvt_core::controller::SupplyKind;
 use subvt_core::experiment::{savings_experiment, Scenario};
+use subvt_core::study::{StudyArgs, StudyConfig};
 use subvt_core::transient::{fig6_schedule, run_transient};
-use subvt_core::yield_study::{yield_study_summary_supply_eval, SupplySim, YieldSpec};
 use subvt_dcdc::converter::ConverterParams;
 use subvt_dcdc::filter::NoLoad;
 use subvt_dcdc::solver::SolverMode;
@@ -20,11 +20,7 @@ use subvt_device::mep::{energy_sweep, find_mep};
 use subvt_device::mosfet::Environment;
 use subvt_device::tabulate::EvalMode;
 use subvt_device::technology::{GateKind, Technology};
-use subvt_device::units::{Hertz, Joules, Volts};
-use subvt_device::variation::VariationModel;
-use subvt_exec::ExecConfig;
-use subvt_loads::ring_oscillator::RingOscillator;
-use subvt_rng::StdRng;
+use subvt_device::units::Volts;
 use subvt_tdc::sensor::{word_voltage, SensorConfig, VariationSensor};
 use subvt_tdc::table1::{reproduce_table1, PAPER_SIGNATURES};
 
@@ -62,24 +58,15 @@ pub enum Command {
         /// Number of steps.
         steps: usize,
     },
-    /// Monte-Carlo parametric yield (summary-only streaming path).
+    /// Monte-Carlo parametric yield (summary-only streaming path),
+    /// optionally under fault injection (`--faults`/`--mitigation`).
     Yield {
         /// Operating point of the die population.
         op: Operating,
-        /// Population size.
-        dies: usize,
-        /// Worker threads (`None` = `SUBVT_JOBS` env, else all cores).
-        jobs: Option<usize>,
-        /// Root seed of the die population.
-        seed: u64,
-        /// Device evaluation mode (analytic exact model or tabulated
-        /// surfaces).
-        eval: EvalMode,
-        /// Supply model: ideal rail or the switched converter's
-        /// per-word droop/ripple operating points.
-        supply: SupplyKind,
-        /// Converter solver for the switched supply model.
-        solver: SolverMode,
+        /// The shared study flags (`--dies`, `--jobs`, `--seed`,
+        /// `--eval`, `--supply`, `--solver`, `--faults`,
+        /// `--mitigation`).
+        study: StudyArgs,
     },
     /// Fig. 6 transient summary.
     Fig6 {
@@ -183,7 +170,7 @@ impl Command {
         };
 
         // Collect flags into (name, value) pairs.
-        let rest: Vec<&String> = it.collect();
+        let rest: Vec<String> = it.cloned().collect();
         let mut op = Operating::default();
         let mut vdd_mv: Option<f64> = None;
         let mut word: Option<u8> = None;
@@ -191,17 +178,12 @@ impl Command {
         let mut from_mv = 120.0;
         let mut to_mv = 600.0;
         let mut steps = 24usize;
-        let mut dies = 500usize;
-        let mut jobs: Option<usize> = None;
-        let mut seed = 1u64;
-        let mut eval = EvalMode::Analytic;
-        let mut supply = SupplyKind::Ideal;
-        let mut solver = SolverMode::default();
+        let mut study = StudyArgs::new();
 
         let mut i = 0;
         while i < rest.len() {
             let flag = rest[i].as_str();
-            let value = rest.get(i + 1).copied();
+            let value = rest.get(i + 1);
             match flag {
                 "--tech" => {
                     let v: String = parse_value(flag, value)?;
@@ -262,53 +244,14 @@ impl Command {
                     steps = parse_value(flag, value)?;
                     i += 2;
                 }
-                "--dies" => {
-                    dies = parse_value(flag, value)?;
-                    if dies == 0 {
-                        return Err(err("--dies must be positive"));
-                    }
-                    i += 2;
-                }
-                "--jobs" => {
-                    let n: usize = parse_value(flag, value)?;
-                    if n == 0 {
-                        return Err(err("--jobs must be at least 1"));
-                    }
-                    jobs = Some(n);
-                    i += 2;
-                }
-                "--seed" => {
-                    seed = parse_value(flag, value)?;
-                    i += 2;
-                }
-                "--eval" => {
-                    let v: String = parse_value(flag, value)?;
-                    eval = v.parse().map_err(|e| err(format!("{e}")))?;
-                    i += 2;
-                }
-                "--supply" => {
-                    let v: String = parse_value(flag, value)?;
-                    supply = match v.as_str() {
-                        "ideal" => SupplyKind::Ideal,
-                        "switched" => SupplyKind::Switched,
-                        other => {
-                            return Err(err(format!("unknown supply `{other}` (ideal|switched)")))
-                        }
-                    };
-                    i += 2;
-                }
-                "--solver" => {
-                    let v: String = parse_value(flag, value)?;
-                    solver = match v.as_str() {
-                        "closed-form" | "closed_form" => SolverMode::ClosedForm,
-                        "rk4" => SolverMode::Rk4,
-                        other => {
-                            return Err(err(format!("unknown solver `{other}` (closed-form|rk4)")))
-                        }
-                    };
-                    i += 2;
-                }
-                other => return Err(err(format!("unknown flag `{other}`"))),
+                // Everything else is a shared study flag (`--dies`,
+                // `--jobs`, `--seed`, `--eval`, `--supply`,
+                // `--solver`, `--faults`, `--mitigation`) — one
+                // parser, shared with the exp-* harness binaries.
+                other => match study.accept(&rest, i).map_err(err)? {
+                    Some(consumed) => i += consumed,
+                    None => return Err(err(format!("unknown flag `{other}`"))),
+                },
             }
         }
 
@@ -340,18 +283,15 @@ impl Command {
                     steps,
                 })
             }
-            "yield" => Ok(Command::Yield {
-                op,
-                dies,
-                jobs,
-                seed,
-                eval,
-                supply,
-                solver,
+            "yield" => Ok(Command::Yield { op, study }),
+            "fig6" => Ok(Command::Fig6 {
+                solver: study.solver,
             }),
-            "fig6" => Ok(Command::Fig6 { solver }),
             "table1" => Ok(Command::Table1),
-            "savings" => Ok(Command::Savings { supply, solver }),
+            "savings" => Ok(Command::Savings {
+                supply: study.supply,
+                solver: study.solver,
+            }),
             "help" | "--help" | "-h" => Ok(Command::Help),
             other => Err(err(format!("unknown command `{other}` (try `help`)"))),
         }
@@ -447,57 +387,65 @@ impl Command {
                 }
                 Ok(out)
             }
-            Command::Yield {
-                op,
-                dies,
-                jobs,
-                seed,
-                eval,
-                supply,
-                solver,
-            } => {
-                let tech = op.technology();
-                let ring = RingOscillator::paper_circuit();
-                let model = VariationModel::st_130nm();
-                let spec = YieldSpec {
-                    min_rate: Hertz(110e3),
-                    max_energy_per_op: Joules::from_femtos(2.9),
-                };
-                let cfg = ExecConfig::from_option(*jobs);
-                let mut rng = StdRng::seed_from_u64(*seed);
-                let supply_sim = match supply {
-                    SupplyKind::Ideal => SupplySim::Ideal,
-                    SupplyKind::Switched => {
-                        SupplySim::switched(ConverterParams::default().with_solver(*solver))
-                    }
-                };
-                let summary = yield_study_summary_supply_eval(
-                    &cfg,
-                    eval.build(&tech),
-                    &ring,
-                    op.environment(),
-                    &model,
-                    spec,
-                    11,
-                    11,
-                    &supply_sim,
-                    *dies,
-                    &mut rng,
-                );
-                Ok(format!(
-                    "yield over {} dies (spec 110 kHz @ ≤2.9 fJ, word 11, {} model, {} supply, {} jobs):\n\
-                     fixed {:.1}%  adaptive {:.1}%  dithered {:.1}%  mean adaptive E {}\n",
-                    summary.dies,
-                    eval.label(),
-                    supply_label(*supply, *solver),
+            Command::Yield { op, study } => {
+                let cfg = study.exec();
+                // The study flags carry everything but the operating
+                // point; the builder gets tech/env from `op` so the
+                // eval surfaces are built for the right node.
+                let mut builder = StudyConfig::new(study.dies, study.seed)
+                    .tech(op.technology())
+                    .env(op.environment())
+                    .supply_kind(study.supply)
+                    .solver(study.solver)
+                    .exec(cfg);
+                if study.eval != EvalMode::Analytic {
+                    builder = builder.eval_mode(study.eval);
+                }
+                let provenance = format!(
+                    "(spec 110 kHz @ ≤2.9 fJ, word 11, {} model, {} supply, {} jobs)",
+                    study.eval.label(),
+                    supply_label(study.supply, study.solver),
                     cfg.jobs(),
-                    summary.fixed_yield() * 100.0,
-                    summary.adaptive_yield() * 100.0,
-                    summary.dithered_yield() * 100.0,
-                    summary
-                        .mean_adaptive_energy()
-                        .map_or("-".into(), |e| format!("{:.3} fJ", e.femtos()))
-                ))
+                );
+                match study.fault_plan() {
+                    None => {
+                        let summary = builder.run_summary();
+                        Ok(format!(
+                            "yield over {} dies {provenance}:\n\
+                             fixed {:.1}%  adaptive {:.1}%  dithered {:.1}%  mean adaptive E {}\n",
+                            summary.dies,
+                            summary.fixed_yield() * 100.0,
+                            summary.adaptive_yield() * 100.0,
+                            summary.dithered_yield() * 100.0,
+                            summary
+                                .mean_adaptive_energy()
+                                .map_or("-".into(), |e| format!("{:.3} fJ", e.femtos()))
+                        ))
+                    }
+                    Some(plan) => {
+                        let s = builder.faults(plan).run_faults();
+                        Ok(format!(
+                            "yield over {} dies {provenance}\n\
+                             under faults (rate {} per domain-cycle, mitigation {}):\n\
+                             fixed {:.1}%  adaptive {:.1}%  dithered {:.1}%  mean adaptive E {}\n\
+                             tracking error {:.2} LSB, recovery {:.3} fJ/die, \
+                             {} watchdog trips, {} faults injected\n",
+                            s.dies(),
+                            plan.tdc_rate,
+                            if plan.mitigation { "on" } else { "off" },
+                            s.fixed_yield() * 100.0,
+                            s.adaptive_yield() * 100.0,
+                            s.base.dithered_yield() * 100.0,
+                            s.base
+                                .mean_adaptive_energy()
+                                .map_or("-".into(), |e| format!("{:.3} fJ", e.femtos())),
+                            s.mean_tracking_error(),
+                            s.mean_recovery_energy().femtos(),
+                            s.watchdog_trips,
+                            s.faults_injected,
+                        ))
+                    }
+                }
             }
             Command::Fig6 { solver } => {
                 let result = run_transient(
@@ -610,6 +558,13 @@ FLAGS:
     --solver closed-form|rk4    converter solver for fig6 and
                          switched-supply runs (default closed-form;
                          rk4 is the reference integrator)
+    --faults <0..1>      per-cycle fault rate for yield: inject
+                         deterministic TDC/converter/controller
+                         faults at this probability per domain-cycle
+                         (default: no injection)
+    --mitigation on|off  graceful-degradation machinery (triple-sample
+                         TDC vote, signature debounce, LUT scrub, rail
+                         watchdog) for faulted yield runs (default on)
 ";
 
 #[cfg(test)]
@@ -707,12 +662,12 @@ mod tests {
             c,
             Command::Yield {
                 op: Operating::default(),
-                dies: 64,
-                jobs: Some(2),
-                seed: 9,
-                eval: EvalMode::Analytic,
-                supply: SupplyKind::Ideal,
-                solver: SolverMode::ClosedForm,
+                study: StudyArgs {
+                    dies: 64,
+                    jobs: Some(2),
+                    seed: 9,
+                    ..StudyArgs::new()
+                },
             }
         );
         let out = c.run().unwrap();
@@ -749,7 +704,7 @@ mod tests {
         ])
         .unwrap();
         match &c {
-            Command::Yield { eval, .. } => assert_eq!(*eval, EvalMode::Tabulated),
+            Command::Yield { study, .. } => assert_eq!(study.eval, EvalMode::Tabulated),
             other => panic!("{other:?}"),
         }
         let out = c.run().unwrap();
@@ -774,6 +729,57 @@ mod tests {
         for (t, a) in t.iter().zip(&a) {
             assert!((t - a).abs() <= 10.0, "{out}\nvs\n{analytic}");
         }
+    }
+
+    #[test]
+    fn yield_accepts_fault_injection() {
+        let c = parse(&[
+            "yield",
+            "--dies",
+            "40",
+            "--seed",
+            "9",
+            "--faults",
+            "0.02",
+            "--mitigation",
+            "off",
+            "--jobs",
+            "2",
+        ])
+        .unwrap();
+        match &c {
+            Command::Yield { study, .. } => {
+                assert_eq!(study.faults, Some(0.02));
+                assert!(!study.mitigation);
+            }
+            other => panic!("{other:?}"),
+        }
+        let out = c.run().unwrap();
+        assert!(out.contains("rate 0.02 per domain-cycle"), "{out}");
+        assert!(out.contains("mitigation off"), "{out}");
+        assert!(out.contains("faults injected"), "{out}");
+
+        // Worker count must not change the faulted numbers either.
+        let serial = parse(&[
+            "yield",
+            "--dies",
+            "40",
+            "--seed",
+            "9",
+            "--faults",
+            "0.02",
+            "--mitigation",
+            "off",
+            "--jobs",
+            "1",
+        ])
+        .unwrap()
+        .run()
+        .unwrap();
+        assert_eq!(out.replace("2 jobs", "1 jobs"), serial);
+
+        assert!(parse(&["yield", "--faults", "1.5"]).is_err());
+        assert!(parse(&["yield", "--mitigation", "maybe"]).is_err());
     }
 
     #[test]
@@ -802,7 +808,7 @@ mod tests {
         ])
         .unwrap();
         match &c {
-            Command::Yield { supply, .. } => assert_eq!(*supply, SupplyKind::Switched),
+            Command::Yield { study, .. } => assert_eq!(study.supply, SupplyKind::Switched),
             other => panic!("{other:?}"),
         }
         let out = c.run().unwrap();

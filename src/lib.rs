@@ -59,10 +59,10 @@ pub use subvt_tdc;
 pub mod prelude {
     pub use subvt_core::{
         compare_dither, compare_idle_policies, design_rate_controller, fig6_schedule,
-        overhead_per_cycle, run_transient, run_with_drift, savings_experiment, yield_study,
-        yield_study_summary, AbbCompensator, AdaptiveController, BootSequence, BootState,
-        CompensationPolicy, ControllerConfig, ControllerInventory, DitherPlan, DriftSchedule,
-        NetSavings, RateController, RunSummary, SavingsReport, Scenario, SupplyKind, SupplyPolicy,
+        overhead_per_cycle, run_transient, run_with_drift, savings_experiment, AbbCompensator,
+        AdaptiveController, BootSequence, BootState, CompensationPolicy, ControllerConfig,
+        ControllerInventory, DitherPlan, DriftSchedule, FaultPlan, NetSavings, RateController,
+        RunSummary, SavingsReport, Scenario, StudyArgs, StudyConfig, SupplyKind, SupplyPolicy,
         YieldReport, YieldSpec, YieldSummary,
     };
     pub use subvt_dcdc::{

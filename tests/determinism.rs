@@ -4,12 +4,19 @@
 //! figure in EXPERIMENTS.md is re-derivable from its seed.
 
 use subvt::prelude::*;
+use subvt_bench::savings::savings_rows;
+// The legacy entry points are exercised deliberately: this file pins
+// the builder-vs-legacy bit-identity contract for the deprecation
+// window, so it is the one place allowed to call them.
+#[allow(deprecated)]
 use subvt_bench::savings::{savings_monte_carlo_jobs, savings_monte_carlo_serial};
+#[allow(deprecated)]
 use subvt_core::yield_study::{
     yield_study, yield_study_jobs, yield_study_jobs_eval, yield_study_jobs_supply_eval,
     yield_study_serial, yield_study_serial_eval, yield_study_serial_supply_eval,
-    yield_study_summary, SupplySim, YieldReport, YieldSpec,
+    yield_study_summary,
 };
+use subvt_core::yield_study::{SupplySim, YieldReport, YieldSpec};
 use subvt_device::tabulate::{EvalMode, ACCURACY_BUDGET};
 use subvt_rng::{Rng, StdRng};
 use subvt_sim::analog::{IntegrationMethod, OdeSystem};
@@ -106,6 +113,7 @@ fn sim_kernel_trajectory_is_bit_identical_across_runs() {
     assert_ne!(ta, tc, "seed change had no effect on the kernel run");
 }
 
+#[allow(deprecated)]
 fn mc_yield(seed: u64, dies: usize) -> YieldReport {
     let tech = Technology::st_130nm();
     let ring = RingOscillator::paper_circuit();
@@ -152,6 +160,7 @@ fn monte_carlo_energy_statistics_are_byte_identical_across_runs() {
     );
 }
 
+#[allow(deprecated)]
 fn mc_yield_jobs(jobs: usize, seed: u64, dies: usize) -> YieldReport {
     let tech = Technology::st_130nm();
     let ring = RingOscillator::paper_circuit();
@@ -174,6 +183,7 @@ fn mc_yield_jobs(jobs: usize, seed: u64, dies: usize) -> YieldReport {
 }
 
 #[test]
+#[allow(deprecated)]
 fn parallel_yield_study_is_bit_identical_to_the_serial_reference() {
     let tech = Technology::st_130nm();
     let ring = RingOscillator::paper_circuit();
@@ -206,6 +216,7 @@ fn parallel_yield_study_is_bit_identical_to_the_serial_reference() {
 }
 
 #[test]
+#[allow(deprecated)]
 fn summary_only_yield_study_is_thread_count_invariant() {
     let report = mc_yield_jobs(1, 77, 120);
     let expected = report.summarize();
@@ -235,6 +246,7 @@ fn summary_only_yield_study_is_thread_count_invariant() {
     }
 }
 
+#[allow(deprecated)]
 fn mc_yield_eval(mode: EvalMode, jobs: usize, seed: u64, dies: usize) -> YieldReport {
     let tech = Technology::st_130nm();
     let ring = RingOscillator::paper_circuit();
@@ -257,6 +269,7 @@ fn mc_yield_eval(mode: EvalMode, jobs: usize, seed: u64, dies: usize) -> YieldRe
 }
 
 #[test]
+#[allow(deprecated)]
 fn tabulated_yield_study_is_bit_identical_across_job_counts() {
     // The tabulated surfaces are a pure function of the technology and
     // grid, and interpolation is a pure function of the table — so the
@@ -337,6 +350,7 @@ fn tabulated_yield_study_divergence_from_analytic_is_bounded() {
 }
 
 #[test]
+#[allow(deprecated)]
 fn switched_supply_yield_study_is_bit_identical_across_job_counts() {
     // The switched-supply table (per-word droop/ripple) is built
     // serially before the fan-out and only read by workers, so the
@@ -392,6 +406,7 @@ fn switched_supply_yield_study_is_bit_identical_across_job_counts() {
 }
 
 #[test]
+#[allow(deprecated)]
 fn parallel_savings_monte_carlo_matches_the_serial_reference() {
     let reference = savings_monte_carlo_serial(24, 2026);
     for jobs in [1, 2, 7] {
@@ -399,6 +414,93 @@ fn parallel_savings_monte_carlo_matches_the_serial_reference() {
         assert_eq!(
             reference, rows,
             "savings MC diverged from the serial reference at {jobs} jobs"
+        );
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn study_builder_is_bit_identical_to_the_legacy_yield_entry_points() {
+    // The deprecation contract: `StudyConfig` must reproduce the
+    // functions it replaces bit-for-bit, at every worker count, on
+    // both the per-die and summary-only terminals.
+    let reference = mc_yield(77, 120);
+    let expected_summary = reference.summarize();
+    for jobs in [1usize, 2, 7] {
+        let report = StudyConfig::new(120, 77)
+            .exec(ExecConfig::with_jobs(jobs))
+            .run();
+        assert_eq!(
+            reference, report,
+            "builder run() diverged from the legacy yield study at {jobs} jobs"
+        );
+        assert_eq!(
+            mc_stats_text(&reference).into_bytes(),
+            mc_stats_text(&report).into_bytes()
+        );
+        let summary = StudyConfig::new(120, 77)
+            .exec(ExecConfig::with_jobs(jobs))
+            .run_summary();
+        assert_eq!(
+            expected_summary, summary,
+            "builder run_summary() diverged from summarize() at {jobs} jobs"
+        );
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn study_builder_is_bit_identical_to_the_legacy_savings_entry_points() {
+    let reference = savings_monte_carlo_serial(24, 2026);
+    for jobs in [1usize, 2, 7] {
+        let study = StudyConfig::new(24, 2026).exec(ExecConfig::with_jobs(jobs));
+        let rows = savings_rows(&study, subvt_device::tabulate::EvalMode::Analytic);
+        assert_eq!(
+            reference, rows,
+            "builder savings rows diverged from the legacy entry point at {jobs} jobs"
+        );
+    }
+}
+
+#[test]
+fn fault_study_is_bit_identical_across_job_counts() {
+    // Fault injection adds a third stream (the per-die fault draws)
+    // forked off each die's own generator, so the jobs-invariance
+    // contract must survive it for both mitigation arms.
+    for mitigation in [false, true] {
+        let plan = FaultPlan::uniform(0.05).with_mitigation(mitigation);
+        let reference = StudyConfig::new(60, 77)
+            .faults(plan)
+            .exec(ExecConfig::with_jobs(1))
+            .run_faults();
+        assert!(reference.faults_injected > 0, "the plan never fired");
+        for jobs in [2usize, 7] {
+            let parallel = StudyConfig::new(60, 77)
+                .faults(plan)
+                .exec(ExecConfig::with_jobs(jobs))
+                .run_faults();
+            assert_eq!(
+                reference, parallel,
+                "fault study (mitigation {mitigation}) diverged at {jobs} jobs"
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_rate_fault_plan_is_byte_identical_to_no_plan() {
+    // Arming a plan that never fires must not perturb a single bit of
+    // the study: the fault stream is forked off the die stream *after*
+    // every variation draw, and the degradation machinery is designed
+    // to be exactly transparent on clean samples.
+    let clean = StudyConfig::new(60, 77).run();
+    for mitigation in [false, true] {
+        let armed = StudyConfig::new(60, 77)
+            .faults(FaultPlan::uniform(0.0).with_mitigation(mitigation))
+            .run();
+        assert_eq!(
+            clean, armed,
+            "a zero-rate plan (mitigation {mitigation}) changed the study"
         );
     }
 }
