@@ -1,0 +1,90 @@
+//! Fleet-scale throughput of the streaming summary engine.
+//!
+//! Three questions, one report:
+//!
+//! * `summary_batchN` — does the structure-of-arrays lane width matter?
+//!   Serial runs at batch 1 (scalar shape), a mid-size lane, and the
+//!   default, all bit-identical by the equivalence suite, so the legs
+//!   isolate pure batching cost/benefit.
+//! * `summary_jobsN` — does the chunk scheduler scale the streaming
+//!   path? Same dies, 1/2/4 workers.
+//! * `summary_<n>_dies` — the headline: one full million-die summary
+//!   study (10⁴ in quick mode), timed once via `bench_once`, with its
+//!   computed yields echoed so the report doubles as a results record.
+//!
+//! On a host with ≥ 4 cores (and outside quick mode) the bench
+//! *asserts* the 4-worker leg beats 1 worker by ≥ 1.5× — CI's
+//! multi-core runners enforce the scaling claim; a 1-core container
+//! only records honest numbers (its `machine.cores` block says so).
+
+use subvt_core::study::{StudyConfig, DEFAULT_BATCH};
+use subvt_exec::ExecConfig;
+use subvt_testkit::bench::Timer;
+
+/// Large enough that per-chunk work dwarfs worker spawn cost
+/// (`chunk_len(1024) = 16` dies per commit), small enough to sample.
+const DIES: usize = 1024;
+const SEED: u64 = 2009;
+
+fn config(dies: usize) -> StudyConfig<'static> {
+    StudyConfig::new(dies, SEED)
+}
+
+fn bench(c: &mut Timer) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let quick = c.quick();
+
+    let mut g = c.benchmark_group("fleet");
+    g.sample_size(10);
+
+    for batch in [1usize, 16, DEFAULT_BATCH] {
+        g.bench_function(&format!("summary_batch{batch}"), |b| {
+            b.iter(|| {
+                config(DIES)
+                    .batch(batch)
+                    .exec(ExecConfig::serial())
+                    .run_summary()
+            })
+        });
+    }
+
+    for jobs in [1usize, 2, 4] {
+        g.bench_function(&format!("summary_jobs{jobs}"), |b| {
+            b.iter(|| config(DIES).exec(ExecConfig::with_jobs(jobs)).run_summary())
+        });
+    }
+
+    if !quick && cores >= 4 {
+        let t1 = g.median_ns("summary_jobs1").expect("jobs1 leg ran");
+        let t4 = g.median_ns("summary_jobs4").expect("jobs4 leg ran");
+        let speedup = t1 / t4;
+        println!("fleet speedup jobs1/jobs4 = {speedup:.2}x on {cores} cores");
+        assert!(
+            speedup > 1.5,
+            "4 workers must beat 1 worker by > 1.5x on a {cores}-core host, got {speedup:.2}x"
+        );
+    }
+
+    // The headline run: a million dies streamed through the batched
+    // summary path at full parallelism, timed once. Quick mode keeps
+    // the smoke run to 10⁴ dies so `cargo test` stays fast.
+    let mega = if quick { 10_000 } else { 1_000_000 };
+    let summary = g.bench_once(&format!("summary_{mega}_dies"), || {
+        config(mega)
+            .exec(ExecConfig::with_jobs(cores))
+            .run_summary()
+    });
+    assert_eq!(summary.dies, mega as u64, "the mega study must complete");
+    println!(
+        "fleet mega study: {} dies, fixed yield {:.4}, adaptive yield {:.4}, dithered yield {:.4}",
+        summary.dies,
+        summary.fixed_yield(),
+        summary.adaptive_yield(),
+        summary.dithered_yield(),
+    );
+    g.finish();
+
+    println!("fleet ran on a machine with {cores} core(s)");
+}
+
+subvt_testkit::bench_main!(bench);

@@ -15,6 +15,11 @@
 //! `eval_mode_M` marker record still names the device-evaluation mode
 //! of the unsuffixed legs so a report stays self-describing if the
 //! default ever changes.
+//!
+//! On a host with ≥ 4 cores (and outside quick mode) the bench
+//! *asserts* that 4 workers beat 1 worker by ≥ 1.5× — CI's multi-core
+//! runners enforce the scaling claim; a 1-core container only records
+//! honest numbers.
 
 use subvt_bench::savings::savings_rows;
 use subvt_core::study::StudyConfig;
@@ -22,11 +27,14 @@ use subvt_device::tabulate::EvalMode;
 use subvt_exec::ExecConfig;
 use subvt_testkit::bench::Timer;
 
-const DIES: usize = 8;
+/// Enough dies that the per-chunk work dwarfs worker spawn cost, so
+/// the jobs-4 leg can honestly clear the 1.5× bar on a 4-core host.
+const DIES: usize = 32;
 const SEED: u64 = 2026;
 
 fn bench(c: &mut Timer) {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let quick = c.quick();
 
     let mut g = c.benchmark_group("mc_scaling");
     g.sample_size(10);
@@ -46,6 +54,17 @@ fn bench(c: &mut Timer) {
     g.bench_function(&format!("eval_mode_{}", EvalMode::Analytic.label()), |b| {
         b.iter(|| std::hint::black_box(cores))
     });
+
+    if !quick && cores >= 4 {
+        let t1 = g.median_ns("savings_mc_jobs1").expect("jobs1 leg ran");
+        let t4 = g.median_ns("savings_mc_jobs4").expect("jobs4 leg ran");
+        let speedup = t1 / t4;
+        println!("mc_scaling speedup jobs1/jobs4 = {speedup:.2}x on {cores} cores");
+        assert!(
+            speedup > 1.5,
+            "4 workers must beat 1 worker by > 1.5x on a {cores}-core host, got {speedup:.2}x"
+        );
+    }
     g.finish();
 
     println!("mc_scaling ran on a machine with {cores} core(s)");

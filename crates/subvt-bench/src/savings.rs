@@ -1,6 +1,6 @@
 //! Data generators for Fig. 6 and the Sec. IV savings study.
 
-use subvt_exec::ExecConfig;
+use subvt_exec::{ExecConfig, Welford};
 use subvt_rng::StdRng;
 
 use subvt_core::experiment::{
@@ -119,6 +119,86 @@ pub fn savings_rows(study: &StudyConfig<'_>, mode: EvalMode) -> Vec<MonteCarloRo
     })
 }
 
+/// Streaming aggregate of the Monte-Carlo savings study: everything
+/// the fleet reports (mean/spread of savings, corner severity, the
+/// compensation range) without ever materializing a per-die row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SavingsSummary {
+    /// Dies aggregated.
+    pub dies: u64,
+    /// Running moments of the per-die saving vs the fixed supply.
+    pub savings_vs_fixed: Welford,
+    /// Running moments of the die severity in corner units.
+    pub corner_units: Welford,
+    /// Sum of the LUT compensations (LSB·dies), for the fleet mean.
+    pub compensation_sum: i64,
+    /// Most negative LUT compensation seen.
+    pub compensation_min: i16,
+    /// Most positive LUT compensation seen.
+    pub compensation_max: i16,
+}
+
+impl SavingsSummary {
+    /// The identity aggregate.
+    pub fn empty() -> SavingsSummary {
+        SavingsSummary {
+            dies: 0,
+            savings_vs_fixed: Welford::new(),
+            corner_units: Welford::new(),
+            compensation_sum: 0,
+            compensation_min: i16::MAX,
+            compensation_max: i16::MIN,
+        }
+    }
+
+    /// Folds one die's row into the aggregate.
+    pub fn absorb(&mut self, row: &MonteCarloRow) {
+        self.dies += 1;
+        self.savings_vs_fixed.push(row.savings_vs_fixed);
+        self.corner_units.push(row.corner_units);
+        self.compensation_sum += i64::from(row.compensation);
+        self.compensation_min = self.compensation_min.min(row.compensation);
+        self.compensation_max = self.compensation_max.max(row.compensation);
+    }
+
+    /// Merges a later aggregate into this one (chunk-order merge).
+    pub fn merge(&mut self, other: SavingsSummary) {
+        self.dies += other.dies;
+        self.savings_vs_fixed.merge(other.savings_vs_fixed);
+        self.corner_units.merge(other.corner_units);
+        self.compensation_sum += other.compensation_sum;
+        self.compensation_min = self.compensation_min.min(other.compensation_min);
+        self.compensation_max = self.compensation_max.max(other.compensation_max);
+    }
+
+    /// Mean saving vs the fixed supply, if any dies were aggregated.
+    pub fn mean_savings(&self) -> Option<f64> {
+        self.savings_vs_fixed.mean()
+    }
+
+    /// Mean LUT compensation in LSB.
+    pub fn mean_compensation(&self) -> Option<f64> {
+        (self.dies > 0).then(|| self.compensation_sum as f64 / self.dies as f64)
+    }
+}
+
+/// Streaming Monte-Carlo savings: [`savings_rows`] folded die-by-die
+/// through [`StudyConfig::fold_dies`], in constant memory. The
+/// fold/merge sequence is a pure function of the die count, so the
+/// result is bit-identical for any worker count — and to folding the
+/// materialized [`savings_rows`] through the same chunk-ordered merge.
+pub fn savings_summary(study: &StudyConfig<'_>, mode: EvalMode) -> SavingsSummary {
+    let eval = mode.build(&Technology::st_130nm());
+    let model = VariationModel::st_130nm();
+    let seed = study.seed();
+    study.fold_dies(
+        "mc-die",
+        SavingsSummary::empty,
+        |acc, die, die_rng| acc.absorb(&mc_die(&model, die, die_rng, seed, &eval)),
+        SavingsSummary::merge,
+    )
+}
+
 /// Monte-Carlo savings across `dies` sampled dies.
 ///
 /// Worker count from the environment (`SUBVT_JOBS`, else all cores);
@@ -176,6 +256,36 @@ pub fn savings_monte_carlo_serial_eval(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use subvt_exec::par_fold_chunked;
+
+    #[test]
+    fn streaming_summary_matches_the_materialized_rows() {
+        let rows = savings_rows(&StudyConfig::new(10, 7), EvalMode::Analytic);
+        // The reference replays the engine's own chunk geometry over
+        // the materialized rows, so every Welford push/merge rounds
+        // identically.
+        let reference = par_fold_chunked(
+            &ExecConfig::serial(),
+            rows.len(),
+            SavingsSummary::empty,
+            |acc, i| acc.absorb(&rows[i]),
+            SavingsSummary::merge,
+        );
+        assert_eq!(reference.dies, 10);
+        assert!(reference.mean_savings().unwrap() > 0.0);
+        assert!(reference.compensation_min <= reference.compensation_max);
+        for jobs in [1, 2, 7] {
+            let study = StudyConfig::new(10, 7).exec(ExecConfig::with_jobs(jobs));
+            let got = savings_summary(&study, EvalMode::Analytic);
+            assert_eq!(got, reference, "jobs={jobs}");
+            // PartialEq on f64 fields is too lenient for the contract
+            // (it would accept -0.0 vs 0.0); pin the moments in bits.
+            assert_eq!(
+                got.savings_vs_fixed.mean().unwrap().to_bits(),
+                reference.savings_vs_fixed.mean().unwrap().to_bits(),
+            );
+        }
+    }
 
     #[test]
     fn matrix_covers_six_scenarios() {

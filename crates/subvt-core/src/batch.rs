@@ -1,0 +1,354 @@
+//! Structure-of-arrays die scoring: the fleet-scale hot path.
+//!
+//! The scalar path ([`StudyContext::score_die`]) walks one die at a
+//! time through the spec checks and settling loops. This module scores
+//! a whole *sub-batch* of dies per pass instead, holding the per-die
+//! quantities in flat arrays (`Vec<GateMismatch>`, `Vec<Seconds>`, …)
+//! so the common-voltage spec checks run as lanes through
+//! [`subvt_loads::load::CircuitLoad::critical_path_lane`] — one grid
+//! resolution per lane
+//! for tabulated surfaces, auto-vectorizable inner loops — and the
+//! die-independent energy evaluations happen once per operating point
+//! instead of once per die.
+//!
+//! Bit-identity contract: for every die the batched path performs the
+//! *same arithmetic on the same inputs* as the scalar path — lanes are
+//! pure-function hoists (pinned in `subvt-device`), the shared
+//! [`CachedEval`] is pure memoization, and outcomes are handed to the
+//! caller in die order — so any sub-batch size, including the ragged
+//! final sub-batch, reproduces the scalar study bit-for-bit. The
+//! property suite in `tests/batch_equivalence.rs` pins this.
+
+use std::borrow::Cow;
+use std::ops::Range;
+
+use subvt_device::delay::GateMismatch;
+use subvt_device::tabulate::CachedEval;
+use subvt_device::units::{Joules, Seconds, Volts};
+use subvt_digital::lut::VoltageWord;
+use subvt_exec::chunk_len;
+use subvt_faults::FaultPlan;
+use subvt_rng::{Rng, StdRng};
+use subvt_tdc::sensor::word_voltage;
+
+use crate::fault_study::{score_faulted_die_with, FaultDieOutcome};
+use crate::yield_study::{
+    settled_voltage_dithered, settled_word, DieOutcome, StudyContext, SupplySim,
+};
+
+/// The per-die seed stream in `O(chunks)` memory.
+///
+/// The scalar path materializes one forked seed per die
+/// (`die_seeds`), which is an `O(dies)` vector — 80 MB for a 10⁷-die
+/// fleet. The parent generator only ever advances one draw per die,
+/// though, so snapshotting its 32-byte state at every chunk boundary
+/// is enough: a worker clones its chunk's snapshot and re-derives the
+/// chunk's seeds locally, bit-identical to the scalar stream. The
+/// `Flat` arm keeps the materialized form for caller-owned generators
+/// (`run_*_with_rng`), whose concrete type cannot be snapshotted.
+pub(crate) enum ChunkSeeds {
+    /// Parent-state snapshot per chunk boundary (seeded studies).
+    Snapshots {
+        /// The parent's state at the start of each chunk.
+        states: Vec<StdRng>,
+        /// The chunk length the snapshots were taken at.
+        chunk: usize,
+    },
+    /// The materialized per-die stream (external-generator studies).
+    Flat(Vec<u64>),
+}
+
+impl ChunkSeeds {
+    /// Snapshots the seed stream of `StdRng::seed_from_u64(seed)` at
+    /// every [`chunk_len`] boundary of a `dies`-sized population.
+    pub(crate) fn from_seed(seed: u64, dies: usize) -> ChunkSeeds {
+        let chunk = chunk_len(dies);
+        let mut parent = StdRng::seed_from_u64(seed);
+        let mut states = Vec::with_capacity(dies.div_ceil(chunk));
+        for i in 0..dies {
+            if i % chunk == 0 {
+                states.push(parent.clone());
+            }
+            // Advance exactly as `fork_seed` would (the label hash
+            // never touches the parent), keeping every snapshot on the
+            // scalar path's stream.
+            let _ = parent.next_u64();
+        }
+        ChunkSeeds::Snapshots { states, chunk }
+    }
+
+    /// The seeds of one chunk-aligned `range` of dies. `Snapshots`
+    /// re-derives them from the boundary state (a small, transient
+    /// per-worker vector); `Flat` borrows.
+    pub(crate) fn for_range(&self, range: Range<usize>) -> Cow<'_, [u64]> {
+        match self {
+            ChunkSeeds::Flat(seeds) => Cow::Borrowed(&seeds[range]),
+            ChunkSeeds::Snapshots { states, chunk } => {
+                debug_assert_eq!(range.start % chunk, 0, "range must be chunk-aligned");
+                let mut rng = states[range.start / chunk].clone();
+                Cow::Owned(range.map(|i| rng.fork_seed(&format!("die-{i}"))).collect())
+            }
+        }
+    }
+}
+
+/// The rate/energy evaluation voltages for a commanded word — the same
+/// split [`StudyContext::passes`] makes (trough for rate, mean for
+/// energy on a switched supply; the exact word voltage on an ideal
+/// rail).
+fn word_voltages(ctx: &StudyContext<'_>, word: VoltageWord) -> (Volts, Volts) {
+    match ctx.supply {
+        SupplySim::Ideal => {
+            let v = word_voltage(word);
+            (v, v)
+        }
+        SupplySim::Switched(model) => {
+            let op = model.point(word);
+            (op.v_min, op.v_mean)
+        }
+    }
+}
+
+/// Spec-checks one lane of dies at a common commanded word: the energy
+/// leg (die-independent) is evaluated once through `energy_eval`, the
+/// rate leg runs as a critical-path lane. Writes the per-die pass flag
+/// and returns the shared energy — the exact quantities
+/// [`StudyContext::passes`] produces per die.
+fn lane_passes(
+    ctx: &StudyContext<'_>,
+    energy_eval: &dyn subvt_device::tabulate::DeviceEval,
+    word: VoltageWord,
+    mismatches: &[GateMismatch],
+    delays: &mut [Seconds],
+    pass: &mut [bool],
+) -> Joules {
+    let (v_rate, v_energy) = word_voltages(ctx, word);
+    let energy = ctx
+        .load
+        .energy_per_op_with(energy_eval, v_energy, ctx.env)
+        .map(|e| e.total())
+        .unwrap_or(Joules(f64::INFINITY));
+    let energy_ok = energy.value() <= ctx.spec.max_energy_per_op.value();
+    match ctx
+        .load
+        .critical_path_lane(ctx.eval.as_ref(), v_rate, ctx.env, mismatches, delays)
+    {
+        Ok(()) => {
+            for (t, p) in delays.iter().zip(pass.iter_mut()) {
+                *p = energy_ok && t.to_frequency().value() >= ctx.spec.min_rate.value();
+            }
+        }
+        // The lane error is die-independent (supply below the floor):
+        // the scalar path's per-die `unwrap_or(false)` on every die.
+        Err(_) => pass.fill(false),
+    }
+    energy
+}
+
+/// Reusable SoA scratch for one sub-batch of dies. All arrays are
+/// bounded by the sub-batch size, so a million-die study's working set
+/// stays `O(jobs × batch)`, never `O(dies)`.
+struct DieBatch {
+    corner_units: Vec<f64>,
+    mismatches: Vec<GateMismatch>,
+    delays: Vec<Seconds>,
+    fixed_pass: Vec<bool>,
+    words: Vec<VoltageWord>,
+    adaptive_pass: Vec<bool>,
+    adaptive_energy: Vec<Joules>,
+    dithered_pass: Vec<bool>,
+    // Gather/scatter scratch for the by-settled-word adaptive lanes.
+    group_idx: Vec<usize>,
+    group_mm: Vec<GateMismatch>,
+    group_t: Vec<Seconds>,
+    group_pass: Vec<bool>,
+}
+
+impl DieBatch {
+    fn with_capacity(batch: usize) -> DieBatch {
+        DieBatch {
+            corner_units: Vec::with_capacity(batch),
+            mismatches: Vec::with_capacity(batch),
+            delays: Vec::with_capacity(batch),
+            fixed_pass: Vec::with_capacity(batch),
+            words: Vec::with_capacity(batch),
+            adaptive_pass: Vec::with_capacity(batch),
+            adaptive_energy: Vec::with_capacity(batch),
+            dithered_pass: Vec::with_capacity(batch),
+            group_idx: Vec::with_capacity(batch),
+            group_mm: Vec::with_capacity(batch),
+            group_t: Vec::with_capacity(batch),
+            group_pass: Vec::with_capacity(batch),
+        }
+    }
+
+    fn reset(&mut self, n: usize) {
+        self.corner_units.clear();
+        self.corner_units.resize(n, 0.0);
+        self.mismatches.clear();
+        self.mismatches.resize(n, GateMismatch::NOMINAL);
+        self.delays.clear();
+        self.delays.resize(n, Seconds(0.0));
+        self.fixed_pass.clear();
+        self.fixed_pass.resize(n, false);
+        self.words.clear();
+        self.words.resize(n, 0);
+        self.adaptive_pass.clear();
+        self.adaptive_pass.resize(n, false);
+        self.adaptive_energy.clear();
+        self.adaptive_energy.resize(n, Joules(0.0));
+        self.dithered_pass.clear();
+        self.dithered_pass.resize(n, false);
+    }
+
+    /// Scores the dies of `seeds` through the phased SoA pipeline,
+    /// sharing `cached` (pure memoization) across the sub-batch.
+    fn score(&mut self, ctx: &StudyContext<'_>, cached: &CachedEval<'_>, seeds: &[u64]) {
+        let n = seeds.len();
+        self.reset(n);
+
+        // Phase A: sample the die population into the SoA lanes. One
+        // pre-forked stream per die, exactly as the scalar path draws.
+        for (k, &seed) in seeds.iter().enumerate() {
+            let mut die_rng = StdRng::seed_from_u64(seed);
+            let die = ctx.variation.sample_die(&mut die_rng);
+            self.corner_units[k] = die.corner_units();
+            self.mismatches[k] = die.mean_gate();
+        }
+
+        // Phase B: the fixed design — every die at one commanded word,
+        // the natural lane.
+        lane_passes(
+            ctx,
+            cached,
+            ctx.fixed_word,
+            &self.mismatches,
+            &mut self.delays,
+            &mut self.fixed_pass,
+        );
+
+        // Phase C: the adaptive compensation walk. Data-dependent per
+        // die, so it stays scalar — through the shared memo, which
+        // dedups the operating points the walks revisit.
+        for k in 0..n {
+            self.words[k] = settled_word(
+                cached,
+                &ctx.sensor,
+                ctx.design_word,
+                ctx.env,
+                self.mismatches[k],
+            );
+        }
+
+        // Phase D: score each settled word's cohort as a lane — one
+        // grid resolution and one energy evaluation per distinct word.
+        let mut remaining = n;
+        let mut word = 0usize;
+        while remaining > 0 && word < 64 {
+            let w = word as VoltageWord;
+            self.group_idx.clear();
+            self.group_idx
+                .extend((0..n).filter(|&k| self.words[k] == w));
+            word += 1;
+            if self.group_idx.is_empty() {
+                continue;
+            }
+            remaining -= self.group_idx.len();
+            self.group_mm.clear();
+            self.group_mm
+                .extend(self.group_idx.iter().map(|&k| self.mismatches[k]));
+            self.group_t.clear();
+            self.group_t.resize(self.group_idx.len(), Seconds(0.0));
+            self.group_pass.clear();
+            self.group_pass.resize(self.group_idx.len(), false);
+            let energy = lane_passes(
+                ctx,
+                cached,
+                w,
+                &self.group_mm,
+                &mut self.group_t,
+                &mut self.group_pass,
+            );
+            for (j, &k) in self.group_idx.iter().enumerate() {
+                self.adaptive_pass[k] = self.group_pass[j];
+                self.adaptive_energy[k] = energy;
+            }
+        }
+
+        // Phase E: the sub-LSB dithered design settles on a continuous
+        // per-die voltage — no common operating point to lane over.
+        for k in 0..n {
+            let v = settled_voltage_dithered(
+                cached,
+                &ctx.sensor,
+                ctx.design_word,
+                ctx.env,
+                self.mismatches[k],
+            );
+            let (pass, _) = ctx.passes_dithered(cached, v, self.mismatches[k]);
+            self.dithered_pass[k] = pass;
+        }
+    }
+
+    fn outcome(&self, k: usize) -> DieOutcome {
+        DieOutcome {
+            corner_units: self.corner_units[k],
+            fixed_passes: self.fixed_pass[k],
+            adaptive_passes: self.adaptive_pass[k],
+            dithered_passes: self.dithered_pass[k],
+            adaptive_word: self.words[k],
+            adaptive_energy: self.adaptive_energy[k],
+        }
+    }
+}
+
+/// Scores one chunk's dies (`seeds`, whose first die has population
+/// index `first_die`) in sub-batches of `batch`, handing each
+/// [`DieOutcome`] to `sink` in die order — the fold kernel of the
+/// batched summary path. Scratch is reused across sub-batches; nothing
+/// scales with the population size.
+pub(crate) fn fold_dies(
+    ctx: &StudyContext<'_>,
+    seeds: &[u64],
+    first_die: usize,
+    batch: usize,
+    mut sink: impl FnMut(usize, &DieOutcome),
+) {
+    let batch = batch.max(1);
+    let mut scratch = DieBatch::with_capacity(batch.min(seeds.len().max(1)));
+    let mut lo = 0;
+    while lo < seeds.len() {
+        let hi = (lo + batch).min(seeds.len());
+        let cached = CachedEval::new(ctx.eval.as_ref());
+        scratch.score(ctx, &cached, &seeds[lo..hi]);
+        for k in 0..(hi - lo) {
+            sink(first_die + lo + k, &scratch.outcome(k));
+        }
+        lo = hi;
+    }
+}
+
+/// The fault-study counterpart of [`fold_dies`]: the faulted
+/// compensation walk is cycle-by-cycle per die, so the batch win is
+/// the shared operating-point memo, not lanes. Outcomes stream to
+/// `sink` in die order.
+pub(crate) fn fold_faulted_dies(
+    ctx: &StudyContext<'_>,
+    plan: FaultPlan,
+    seeds: &[u64],
+    first_die: usize,
+    batch: usize,
+    mut sink: impl FnMut(usize, &FaultDieOutcome),
+) {
+    let batch = batch.max(1);
+    let mut lo = 0;
+    while lo < seeds.len() {
+        let hi = (lo + batch).min(seeds.len());
+        let cached = CachedEval::new(ctx.eval.as_ref());
+        for (k, &seed) in seeds.iter().enumerate().take(hi).skip(lo) {
+            let die = score_faulted_die_with(ctx, plan, StdRng::seed_from_u64(seed), &cached);
+            sink(first_die + k, &die);
+        }
+        lo = hi;
+    }
+}

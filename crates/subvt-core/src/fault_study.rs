@@ -28,10 +28,11 @@
 
 use subvt_dcdc::converter::ConverterParams;
 use subvt_dcdc::disturbance::{comparator_glitch_droop, missed_edge_droop};
-use subvt_device::tabulate::CachedEval;
+use subvt_device::tabulate::{CachedEval, DeviceEval};
 use subvt_device::units::{Amps, Joules, Volts};
 use subvt_digital::encoder::QuantizerWord;
 use subvt_digital::lut::VoltageWord;
+use subvt_exec::checkpoint::{CheckpointError, StateReader, StateWriter};
 use subvt_exec::Welford;
 use subvt_faults::{CtrlFault, DcdcFault, FaultPlan, FaultSchedule};
 use subvt_rng::{Rng, StdRng};
@@ -126,6 +127,42 @@ impl FaultStudySummary {
         self.faults_injected += other.faults_injected;
     }
 
+    /// One self-contained checkpoint state blob — the exact bytes a
+    /// `--checkpoint` record carries. Equal blobs ⇔ bit-identical
+    /// summaries.
+    pub fn encode_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        self.base.encode_into(&mut w);
+        self.tracking_error.encode_state(&mut w);
+        self.recovery_energy.encode_state(&mut w);
+        w.put_u64(self.watchdog_trips);
+        w.put_u64(self.faults_injected);
+        w.into_bytes()
+    }
+
+    /// Parses a blob written by [`FaultStudySummary::encode_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Decode`] when the blob is truncated, has
+    /// trailing bytes, or carries an out-of-range field.
+    pub fn decode_state(buf: &[u8]) -> Result<FaultStudySummary, CheckpointError> {
+        let mut r = StateReader::new(buf);
+        let base = YieldSummary::decode_from(&mut r)?;
+        let tracking_error = Welford::decode_state(&mut r)?;
+        let recovery_energy = Welford::decode_state(&mut r)?;
+        let watchdog_trips = r.get_u64()?;
+        let faults_injected = r.get_u64()?;
+        r.finish()?;
+        Ok(FaultStudySummary {
+            base,
+            tracking_error,
+            recovery_energy,
+            watchdog_trips,
+            faults_injected,
+        })
+    }
+
     /// Dies scored.
     pub fn dies(&self) -> u64 {
         self.base.dies
@@ -190,21 +227,33 @@ fn walk_step(word: &mut VoltageWord, dev: i16, budget: &mut u32) {
 pub(crate) fn score_faulted_die(
     ctx: &StudyContext<'_>,
     plan: FaultPlan,
+    die_rng: StdRng,
+) -> FaultDieOutcome {
+    let cached = CachedEval::new(ctx.eval.as_ref());
+    score_faulted_die_with(ctx, plan, die_rng, &cached)
+}
+
+/// [`score_faulted_die`] through a caller-owned evaluator, so the
+/// batched path can share one operating-point memo across a sub-batch
+/// of dies. Memoization is pure: sharing cannot change a single bit.
+pub(crate) fn score_faulted_die_with(
+    ctx: &StudyContext<'_>,
+    plan: FaultPlan,
     mut die_rng: StdRng,
+    cached: &dyn DeviceEval,
 ) -> FaultDieOutcome {
     let die = ctx.variation.sample_die(&mut die_rng);
     let mismatch = die.mean_gate();
     // Fork the fault stream only after the die sample: a clean die
     // consumes exactly the draws the plain path does.
     let mut schedule = FaultSchedule::new(plan, die_rng.fork("faults"));
-    let cached = CachedEval::new(ctx.eval.as_ref());
 
     // Clean reference pieces, identical to the plain score_die.
-    let (fixed_passes, _) = ctx.passes(&cached, ctx.fixed_word, mismatch);
-    let clean_word = settled_word(&cached, &ctx.sensor, ctx.design_word, ctx.env, mismatch);
+    let (fixed_passes, _) = ctx.passes(cached, ctx.fixed_word, mismatch);
+    let clean_word = settled_word(cached, &ctx.sensor, ctx.design_word, ctx.env, mismatch);
     let dithered_v =
-        settled_voltage_dithered(&cached, &ctx.sensor, ctx.design_word, ctx.env, mismatch);
-    let (dithered_passes, _) = ctx.passes_dithered(&cached, dithered_v, mismatch);
+        settled_voltage_dithered(cached, &ctx.sensor, ctx.design_word, ctx.env, mismatch);
+    let (dithered_passes, _) = ctx.passes_dithered(cached, dithered_v, mismatch);
 
     let neighbor = ctx.sensor.config().neighbor_range;
     let params = ConverterParams::default();
@@ -274,7 +323,7 @@ pub(crate) fn score_faulted_die(
         } else {
             match ctx
                 .sensor
-                .sample_with(&cached, ctx.design_word, v_rail, ctx.env, mismatch)
+                .sample_with(cached, ctx.design_word, v_rail, ctx.env, mismatch)
             {
                 Err(SenseError::BandUnusable { .. }) => {
                     blind = true;
@@ -339,7 +388,7 @@ pub(crate) fn score_faulted_die(
     // scores as the floor word, which cannot meet any rate spec).
     let final_eff = word ^ ref_seu;
     let score_word = final_eff.max(1);
-    let (adaptive_passes, adaptive_energy) = ctx.passes(&cached, score_word, mismatch);
+    let (adaptive_passes, adaptive_energy) = ctx.passes(cached, score_word, mismatch);
     let tracking_error_lsb = f64::from((i16::from(final_eff) - i16::from(clean_word)).abs());
 
     FaultDieOutcome {

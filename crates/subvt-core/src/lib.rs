@@ -41,6 +41,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod abb;
+mod batch;
 pub mod boot;
 pub mod compensation;
 pub mod controller;
@@ -76,7 +77,7 @@ pub use idle_policy::{breakeven_retention, compare_idle_policies, IdlePolicyComp
 pub use overhead::{overhead_per_cycle, ControllerInventory, NetSavings, OverheadBreakdown};
 pub use rate_controller::{DesignError, LutCheckpoint, RateController};
 pub use shared_rail::{compare_shared_rail, RailClient, RailComparison};
-pub use study::{FaultPlan, StudyArgs, StudyConfig, STUDY_HELP};
+pub use study::{FaultPlan, StudyArgs, StudyConfig, StudyError, DEFAULT_BATCH, STUDY_HELP};
 pub use transient::{fig6_schedule, run_transient, SegmentSummary, TransientResult, TransientStep};
 pub use watchdog::{RailWatchdog, WatchdogPolicy};
 #[allow(deprecated)] // the legacy entry points stay re-exported for one release

@@ -21,6 +21,8 @@
 //! worker count ([`StudyConfig::exec`]); a zero-rate
 //! [`FaultPlan`] is byte-identical to no plan at all.
 
+use std::path::PathBuf;
+
 use subvt_dcdc::converter::ConverterParams;
 use subvt_dcdc::SolverMode;
 use subvt_device::mosfet::Environment;
@@ -29,13 +31,18 @@ use subvt_device::technology::Technology;
 use subvt_device::units::{Hertz, Joules};
 use subvt_device::variation::VariationModel;
 use subvt_digital::lut::VoltageWord;
-use subvt_exec::{par_fold_chunked, par_map_indexed, ExecConfig};
+use subvt_exec::checkpoint::{fingerprint_of, open_for_resume, CheckpointError, CheckpointWriter};
+use subvt_exec::{
+    chunk_count, par_fold_chunked, par_map_indexed, try_par_fold_commit, CancelToken, ExecConfig,
+    ExecHooks, FoldError, Progress,
+};
 use subvt_loads::load::CircuitLoad;
 use subvt_loads::ring_oscillator::RingOscillator;
 use subvt_rng::{Rng, StdRng};
 
 pub use subvt_faults::FaultPlan;
 
+use crate::batch::{fold_dies, fold_faulted_dies, ChunkSeeds};
 use crate::controller::SupplyKind;
 use crate::fault_study::{score_faulted_die, FaultStudySummary};
 use crate::yield_study::{
@@ -63,6 +70,56 @@ enum StudySupply {
     Ideal,
     Switched,
     Model(SupplySim),
+}
+
+/// Default sub-batch size for the SoA scoring path: large enough to
+/// amortize the lane setup (grid resolution, shared memo), small
+/// enough that per-worker scratch stays a few kilobytes.
+pub const DEFAULT_BATCH: usize = 32;
+
+/// Why a `try_*` study terminal stopped short of a result.
+#[derive(Debug)]
+pub enum StudyError {
+    /// The armed [`StudyConfig::cancel`] token fired; the checkpoint
+    /// (if any) holds every chunk committed before the stop.
+    Cancelled,
+    /// The checkpoint file could not be created, written, read, or
+    /// trusted. A damaged or mismatched file is an error, never a
+    /// silent restart.
+    Checkpoint(CheckpointError),
+}
+
+impl StudyError {
+    fn from_fold(e: FoldError<CheckpointError>) -> StudyError {
+        match e {
+            FoldError::Cancelled => StudyError::Cancelled,
+            FoldError::Commit(e) => StudyError::Checkpoint(e),
+        }
+    }
+}
+
+impl std::fmt::Display for StudyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StudyError::Cancelled => write!(f, "study cancelled"),
+            StudyError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StudyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StudyError::Cancelled => None,
+            StudyError::Checkpoint(e) => Some(e),
+        }
+    }
+}
+
+impl From<CheckpointError> for StudyError {
+    fn from(e: CheckpointError) -> StudyError {
+        StudyError::Checkpoint(e)
+    }
 }
 
 /// One configuration for a Monte-Carlo study over a die population.
@@ -94,6 +151,10 @@ pub struct StudyConfig<'a> {
     solver: SolverMode,
     faults: Option<FaultPlan>,
     exec: ExecConfig,
+    batch: usize,
+    checkpoint: Option<PathBuf>,
+    cancel: Option<&'a CancelToken>,
+    progress: Option<&'a (dyn Fn(Progress) + Sync)>,
 }
 
 impl std::fmt::Debug for StudyConfig<'_> {
@@ -127,6 +188,10 @@ impl<'a> StudyConfig<'a> {
             solver: SolverMode::default(),
             faults: None,
             exec: ExecConfig::from_env(),
+            batch: DEFAULT_BATCH,
+            checkpoint: None,
+            cancel: None,
+            progress: None,
         }
     }
 
@@ -219,6 +284,40 @@ impl<'a> StudyConfig<'a> {
         self
     }
 
+    /// Sub-batch size for the structure-of-arrays scoring path
+    /// (default [`DEFAULT_BATCH`]). Results are bit-identical at any
+    /// batch size; `0` is treated as `1`.
+    pub fn batch(mut self, batch: usize) -> StudyConfig<'a> {
+        self.batch = batch;
+        self
+    }
+
+    /// Checkpoint file for the `try_run_summary` / `try_run_faults`
+    /// terminals: one record per committed chunk, so a killed run
+    /// resumes bit-identically from the same path — at any worker
+    /// count or batch size (neither enters the file's fingerprint). An
+    /// existing file must match this configuration; a damaged file is
+    /// a typed error, never a silent restart.
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> StudyConfig<'a> {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Cancellation token checked between chunks by the `try_*`
+    /// terminals; a fired token stops the run with
+    /// [`StudyError::Cancelled`] after the in-flight chunk commits.
+    pub fn cancel(mut self, token: &'a CancelToken) -> StudyConfig<'a> {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Progress callback for the `try_*` terminals, invoked after each
+    /// finished chunk (possibly from worker threads).
+    pub fn progress(mut self, progress: &'a (dyn Fn(Progress) + Sync)) -> StudyConfig<'a> {
+        self.progress = Some(progress);
+        self
+    }
+
     /// Die count.
     pub fn dies(&self) -> usize {
         self.dies
@@ -290,71 +389,275 @@ impl<'a> StudyConfig<'a> {
 
     /// Runs the study in constant memory (no per-die `Vec`);
     /// bit-identical to `run().summarize()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an armed [`StudyConfig::checkpoint`] fails or an
+    /// armed [`StudyConfig::cancel`] token fires — use
+    /// [`StudyConfig::try_run_summary`] to handle those as values.
     pub fn run_summary(&self) -> YieldSummary {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        self.run_summary_with_rng(&mut rng)
+        match self.try_run_summary() {
+            Ok(summary) => summary,
+            Err(e) => panic!("summary study failed: {e}"),
+        }
     }
 
     /// [`StudyConfig::run_summary`] drawing die streams from a
-    /// caller-owned generator.
+    /// caller-owned generator (the builder's `seed`, checkpoint and
+    /// hooks are ignored — the external stream has no stable identity
+    /// to resume under).
     pub fn run_summary_with_rng<R: Rng + ?Sized>(&self, rng: &mut R) -> YieldSummary {
-        let eval = self.resolved_eval();
-        let supply = self.resolved_supply();
-        let ctx = self.context(&eval, &supply);
-        let seeds = die_seeds(rng, self.dies);
-        let mut summary = match self.faults {
-            None => par_fold_chunked(
-                &self.exec,
-                self.dies,
-                YieldSummary::empty,
-                |acc, i| acc.absorb(&ctx.score_die(StdRng::seed_from_u64(seeds[i]))),
-                YieldSummary::merge,
-            ),
-            Some(plan) => par_fold_chunked(
-                &self.exec,
-                self.dies,
-                YieldSummary::empty,
-                |acc, i| {
-                    acc.absorb(&score_faulted_die(&ctx, plan, StdRng::seed_from_u64(seeds[i])).base)
-                },
-                YieldSummary::merge,
-            ),
-        };
-        summary.fixed_word = self.fixed_word;
-        summary
+        let seeds = ChunkSeeds::Flat(die_seeds(rng, self.dies));
+        match self.summary_fold(
+            &seeds,
+            0,
+            YieldSummary::empty(),
+            &ExecHooks::default(),
+            &mut None,
+        ) {
+            Ok(summary) => summary,
+            Err(_) => unreachable!("no cancel token or checkpoint attached"),
+        }
+    }
+
+    /// [`StudyConfig::run_summary`] with cancellation, progress and
+    /// checkpointing surfaced as values: scores chunk-by-chunk through
+    /// the batched SoA path, committing one checkpoint record per
+    /// chunk when [`StudyConfig::checkpoint`] is armed. If the file
+    /// already exists, the run *resumes* from its last committed
+    /// record and the final summary is bit-identical to a run that was
+    /// never interrupted — even at a different worker count or batch
+    /// size.
+    ///
+    /// # Errors
+    ///
+    /// [`StudyError::Cancelled`] when the armed token fires;
+    /// [`StudyError::Checkpoint`] when the checkpoint file cannot be
+    /// created/appended, or an existing one is damaged or belongs to a
+    /// different configuration.
+    pub fn try_run_summary(&self) -> Result<YieldSummary, StudyError> {
+        let seeds = ChunkSeeds::from_seed(self.seed, self.dies);
+        let (start_chunk, acc, mut writer) =
+            self.open_checkpoint("summary", YieldSummary::empty(), YieldSummary::decode_state)?;
+        self.summary_fold(&seeds, start_chunk, acc, &self.hooks(), &mut writer)
+            .map_err(StudyError::from_fold)
     }
 
     /// Runs the fault-injection study: the armed plan (or a zero-rate
     /// one if none was armed), with per-die degradation metrics folded
     /// in constant memory.
+    ///
+    /// # Panics
+    ///
+    /// As [`StudyConfig::run_summary`]; use
+    /// [`StudyConfig::try_run_faults`] to handle checkpoint failures
+    /// and cancellation as values.
     pub fn run_faults(&self) -> FaultStudySummary {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        self.run_faults_with_rng(&mut rng)
+        match self.try_run_faults() {
+            Ok(summary) => summary,
+            Err(e) => panic!("fault study failed: {e}"),
+        }
     }
 
     /// [`StudyConfig::run_faults`] drawing die streams from a
-    /// caller-owned generator.
+    /// caller-owned generator (the builder's `seed`, checkpoint and
+    /// hooks are ignored).
     pub fn run_faults_with_rng<R: Rng + ?Sized>(&self, rng: &mut R) -> FaultStudySummary {
+        let seeds = ChunkSeeds::Flat(die_seeds(rng, self.dies));
+        match self.faults_fold(
+            &seeds,
+            0,
+            FaultStudySummary::empty(),
+            &ExecHooks::default(),
+            &mut None,
+        ) {
+            Ok(summary) => summary,
+            Err(_) => unreachable!("no cancel token or checkpoint attached"),
+        }
+    }
+
+    /// [`StudyConfig::run_faults`] with cancellation, progress and
+    /// checkpointing surfaced as values — the fault-study counterpart
+    /// of [`StudyConfig::try_run_summary`], with the same resume
+    /// contract.
+    ///
+    /// # Errors
+    ///
+    /// As [`StudyConfig::try_run_summary`].
+    pub fn try_run_faults(&self) -> Result<FaultStudySummary, StudyError> {
+        let seeds = ChunkSeeds::from_seed(self.seed, self.dies);
+        let (start_chunk, acc, mut writer) = self.open_checkpoint(
+            "faults",
+            FaultStudySummary::empty(),
+            FaultStudySummary::decode_state,
+        )?;
+        self.faults_fold(&seeds, start_chunk, acc, &self.hooks(), &mut writer)
+            .map_err(StudyError::from_fold)
+    }
+
+    fn hooks(&self) -> ExecHooks<'_> {
+        ExecHooks {
+            cancel: self.cancel,
+            progress: self.progress,
+        }
+    }
+
+    /// The chunk-committed summary fold all summary terminals share:
+    /// the batched SoA scorer inside `try_par_fold_commit`, appending
+    /// one checkpoint record per committed chunk when a writer is
+    /// attached.
+    fn summary_fold(
+        &self,
+        seeds: &ChunkSeeds,
+        start_chunk: usize,
+        acc: YieldSummary,
+        hooks: &ExecHooks<'_>,
+        writer: &mut Option<CheckpointWriter>,
+    ) -> Result<YieldSummary, FoldError<CheckpointError>> {
+        let eval = self.resolved_eval();
+        let supply = self.resolved_supply();
+        let ctx = self.context(&eval, &supply);
+        let batch = self.batch.max(1);
+        let mut summary = try_par_fold_commit(
+            &self.exec,
+            self.dies,
+            start_chunk,
+            hooks,
+            YieldSummary::empty,
+            acc,
+            |part, range| {
+                let first_die = range.start;
+                let chunk_seeds = seeds.for_range(range);
+                match self.faults {
+                    None => fold_dies(&ctx, &chunk_seeds, first_die, batch, |_, die| {
+                        part.absorb(die)
+                    }),
+                    Some(plan) => {
+                        fold_faulted_dies(&ctx, plan, &chunk_seeds, first_die, batch, |_, die| {
+                            part.absorb(&die.base)
+                        })
+                    }
+                }
+            },
+            YieldSummary::merge,
+            |chunks_done, acc| match writer {
+                Some(w) => w.append(chunks_done as u64, &acc.encode_state()),
+                None => Ok(()),
+            },
+        )?;
+        summary.fixed_word = self.fixed_word;
+        Ok(summary)
+    }
+
+    /// The fault-study counterpart of [`StudyConfig::summary_fold`].
+    fn faults_fold(
+        &self,
+        seeds: &ChunkSeeds,
+        start_chunk: usize,
+        acc: FaultStudySummary,
+        hooks: &ExecHooks<'_>,
+        writer: &mut Option<CheckpointWriter>,
+    ) -> Result<FaultStudySummary, FoldError<CheckpointError>> {
         let plan = self.faults.unwrap_or_else(|| FaultPlan::uniform(0.0));
         let eval = self.resolved_eval();
         let supply = self.resolved_supply();
         let ctx = self.context(&eval, &supply);
-        let seeds = die_seeds(rng, self.dies);
-        let mut summary = par_fold_chunked(
+        let batch = self.batch.max(1);
+        let mut summary = try_par_fold_commit(
             &self.exec,
             self.dies,
+            start_chunk,
+            hooks,
             FaultStudySummary::empty,
-            |acc, i| {
-                acc.absorb(&score_faulted_die(
-                    &ctx,
-                    plan,
-                    StdRng::seed_from_u64(seeds[i]),
-                ))
+            acc,
+            |part, range| {
+                let first_die = range.start;
+                let chunk_seeds = seeds.for_range(range);
+                fold_faulted_dies(&ctx, plan, &chunk_seeds, first_die, batch, |_, die| {
+                    part.absorb(die)
+                })
             },
             FaultStudySummary::merge,
-        );
+            |chunks_done, acc| match writer {
+                Some(w) => w.append(chunks_done as u64, &acc.encode_state()),
+                None => Ok(()),
+            },
+        )?;
         summary.base.fixed_word = self.fixed_word;
-        summary
+        Ok(summary)
+    }
+
+    /// Opens (or creates) the configured checkpoint file, returning
+    /// the resume point: `(start_chunk, accumulator, writer)`.
+    fn open_checkpoint<A>(
+        &self,
+        kind: &str,
+        empty: A,
+        decode: impl Fn(&[u8]) -> Result<A, CheckpointError>,
+    ) -> Result<(usize, A, Option<CheckpointWriter>), StudyError> {
+        let Some(path) = &self.checkpoint else {
+            return Ok((0, empty, None));
+        };
+        let fingerprint = fingerprint_of(&self.fingerprint_text(kind));
+        let total = self.dies as u64;
+        if !path.exists() {
+            let writer = CheckpointWriter::create(path, fingerprint, total)?;
+            return Ok((0, empty, Some(writer)));
+        }
+        let (checkpoint, writer) = open_for_resume(path)?;
+        checkpoint.verify(fingerprint, total)?;
+        match checkpoint.last {
+            None => Ok((0, empty, Some(writer))),
+            Some(record) => {
+                let start = usize::try_from(record.chunks_done)
+                    .ok()
+                    .filter(|&c| c <= chunk_count(self.dies))
+                    .ok_or(StudyError::Checkpoint(CheckpointError::Decode(
+                        "checkpoint is ahead of the population",
+                    )))?;
+                let acc = decode(&record.state)?;
+                Ok((start, acc, Some(writer)))
+            }
+        }
+    }
+
+    /// The run-identity string hashed into the checkpoint fingerprint:
+    /// everything that shapes the *result* — seed, population, spec,
+    /// models — and nothing that only shapes the *execution* (worker
+    /// count and batch size are deliberately excluded, so a run may
+    /// resume under a different `--jobs`/`--batch` bit-identically).
+    fn fingerprint_text(&self, kind: &str) -> String {
+        let eval_tag = match &self.eval {
+            None => "analytic".to_owned(),
+            Some(eval) => {
+                let dbg = format!("{eval:?}");
+                dbg.split([' ', '(', '{'])
+                    .next()
+                    .unwrap_or("custom")
+                    .to_owned()
+            }
+        };
+        let supply_tag = match &self.supply {
+            StudySupply::Ideal | StudySupply::Model(SupplySim::Ideal) => "ideal",
+            StudySupply::Switched => "switched",
+            StudySupply::Model(SupplySim::Switched(_)) => "switched-model",
+        };
+        format!(
+            "subvt-study-v1 kind={kind} dies={} seed={} words={}/{} \
+             rate={:016x} energy={:016x} eval={eval_tag} supply={supply_tag} \
+             solver={:?} faults={:?} env={:?} load={} variation={:?}",
+            self.dies,
+            self.seed,
+            self.fixed_word,
+            self.design_word,
+            self.spec.min_rate.value().to_bits(),
+            self.spec.max_energy_per_op.value().to_bits(),
+            self.solver,
+            self.faults,
+            self.env,
+            self.load.as_dyn().name(),
+            self.variation,
+        )
     }
 
     /// Generic per-die fan-out: forks one deterministic stream per die
@@ -374,6 +677,32 @@ impl<'a> StudyConfig<'a> {
         par_map_indexed(&self.exec, self.dies, |i| {
             f(i, StdRng::seed_from_u64(seeds[i]))
         })
+    }
+
+    /// Streaming counterpart of [`StudyConfig::run_dies`]: folds every
+    /// die into per-chunk accumulators merged in ascending chunk order,
+    /// so memory stays `O(jobs × accumulator)` instead of `O(dies)`.
+    /// The fold/merge sequence is a pure function of the die count
+    /// (see [`subvt_exec::chunk_len`]), so the result is bit-identical
+    /// for any worker count.
+    pub fn fold_dies<A, I, F, M>(&self, label: &str, init: I, fold: F, merge: M) -> A
+    where
+        A: Send,
+        I: Fn() -> A + Sync,
+        F: Fn(&mut A, usize, StdRng) + Sync,
+        M: Fn(&mut A, A),
+    {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let seeds: Vec<u64> = (0..self.dies)
+            .map(|i| rng.fork_seed(&format!("{label}-{i}")))
+            .collect();
+        par_fold_chunked(
+            &self.exec,
+            self.dies,
+            init,
+            |acc, i| fold(acc, i, StdRng::seed_from_u64(seeds[i])),
+            merge,
+        )
     }
 }
 
@@ -400,6 +729,13 @@ pub struct StudyArgs {
     pub faults: Option<f64>,
     /// Whether mitigation is armed (`--mitigation on|off`, default on).
     pub mitigation: bool,
+    /// SoA sub-batch size (`--batch`); `None` keeps the default.
+    pub batch: Option<usize>,
+    /// Checkpoint file for summary runs (`--checkpoint`).
+    pub checkpoint: Option<String>,
+    /// Fire a cancel token once this many dies finished
+    /// (`--cancel-after-dies`, for exercising checkpoint/resume).
+    pub cancel_after_dies: Option<u64>,
 }
 
 /// Help text for the shared study flags.
@@ -411,7 +747,11 @@ pub const STUDY_HELP: &str = "\
     --supply S        supply model: `ideal` (default) or `switched`
     --solver S        converter solver: `closed-form` (default) or `rk4`
     --faults R        per-cycle fault rate in [0,1] (default: no injection)
-    --mitigation M    fault mitigation `on` (default) or `off`";
+    --mitigation M    fault mitigation `on` (default) or `off`
+    --batch N         SoA sub-batch size (default 32; results identical at any N)
+    --checkpoint F    checkpoint file: resume from F if present, else create it
+    --cancel-after-dies N
+                      stop (checkpointed) once N dies have been scored";
 
 impl Default for StudyArgs {
     fn default() -> StudyArgs {
@@ -424,6 +764,9 @@ impl Default for StudyArgs {
             solver: SolverMode::default(),
             faults: None,
             mitigation: true,
+            batch: None,
+            checkpoint: None,
+            cancel_after_dies: None,
         }
     }
 }
@@ -508,6 +851,29 @@ impl StudyArgs {
                     other => return Err(format!("unknown mitigation `{other}` (on|off)")),
                 };
             }
+            "--batch" => {
+                let raw = value()?;
+                let batch: usize = raw
+                    .parse()
+                    .map_err(|_| format!("invalid value `{raw}` for --batch"))?;
+                if batch == 0 {
+                    return Err("--batch must be at least 1".to_owned());
+                }
+                self.batch = Some(batch);
+            }
+            "--checkpoint" => {
+                self.checkpoint = Some(value()?.to_owned());
+            }
+            "--cancel-after-dies" => {
+                let raw = value()?;
+                let dies: u64 = raw
+                    .parse()
+                    .map_err(|_| format!("invalid value `{raw}` for --cancel-after-dies"))?;
+                if dies == 0 {
+                    return Err("--cancel-after-dies must be positive".to_owned());
+                }
+                self.cancel_after_dies = Some(dies);
+            }
             _ => return Ok(None),
         }
         Ok(Some(2))
@@ -536,6 +902,12 @@ impl StudyArgs {
         }
         if let Some(plan) = self.fault_plan() {
             cfg = cfg.faults(plan);
+        }
+        if let Some(batch) = self.batch {
+            cfg = cfg.batch(batch);
+        }
+        if let Some(path) = &self.checkpoint {
+            cfg = cfg.checkpoint(path);
         }
         cfg
     }

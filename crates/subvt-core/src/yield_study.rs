@@ -10,6 +10,7 @@
 
 use std::sync::Arc;
 
+use subvt_exec::checkpoint::{CheckpointError, StateReader, StateWriter};
 use subvt_exec::{par_fold_chunked, ExecConfig, Welford};
 use subvt_rng::{Rng, StdRng};
 
@@ -188,6 +189,70 @@ impl YieldSummary {
         }
     }
 
+    /// Serialises the running aggregate into `w` for a checkpoint
+    /// record (exact bit patterns; the round trip is lossless).
+    pub(crate) fn encode_into(&self, w: &mut StateWriter) {
+        w.put_u64(self.dies);
+        w.put_u64(self.fixed_pass);
+        w.put_u64(self.adaptive_pass);
+        w.put_u64(self.dithered_pass);
+        self.adaptive_energy.encode_state(w);
+        self.corner_units.encode_state(w);
+        for &count in &self.adaptive_words {
+            w.put_u64(count);
+        }
+        w.put_u64(u64::from(self.fixed_word));
+    }
+
+    /// Restores an aggregate written by [`YieldSummary::encode_into`].
+    pub(crate) fn decode_from(r: &mut StateReader<'_>) -> Result<YieldSummary, CheckpointError> {
+        let dies = r.get_u64()?;
+        let fixed_pass = r.get_u64()?;
+        let adaptive_pass = r.get_u64()?;
+        let dithered_pass = r.get_u64()?;
+        let adaptive_energy = Welford::decode_state(r)?;
+        let corner_units = Welford::decode_state(r)?;
+        let mut adaptive_words = [0u64; 64];
+        for slot in &mut adaptive_words {
+            *slot = r.get_u64()?;
+        }
+        let fixed_word = u8::try_from(r.get_u64()?)
+            .map_err(|_| CheckpointError::Decode("fixed word out of range"))?;
+        Ok(YieldSummary {
+            dies,
+            fixed_pass,
+            adaptive_pass,
+            dithered_pass,
+            adaptive_energy,
+            corner_units,
+            adaptive_words,
+            fixed_word,
+        })
+    }
+
+    /// One self-contained checkpoint state blob — the exact bytes a
+    /// `--checkpoint` record carries. Equal blobs ⇔ bit-identical
+    /// summaries, which makes this the canonical equality witness for
+    /// reproducibility tests.
+    pub fn encode_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Parses a blob written by [`YieldSummary::encode_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Decode`] when the blob is truncated, has
+    /// trailing bytes, or carries an out-of-range field.
+    pub fn decode_state(buf: &[u8]) -> Result<YieldSummary, CheckpointError> {
+        let mut r = StateReader::new(buf);
+        let summary = YieldSummary::decode_from(&mut r)?;
+        r.finish()?;
+        Ok(summary)
+    }
+
     /// Fixed-design yield (0..=1).
     pub fn fixed_yield(&self) -> f64 {
         self.fraction(self.fixed_pass)
@@ -319,8 +384,13 @@ impl SwitchedSupplyModel {
     /// Builds the per-word table by settling the converter at each
     /// candidate duty. Costs 63 short transients (memoized across the
     /// overlapping trim windows), all with the closed-form segment
-    /// solver unless `params` asks for RK4.
+    /// solver unless `params` asks for RK4. One converter is reused
+    /// across every settle (rewound by `reset_transient` between
+    /// duties), so the solver's Φ(h) segment cache is shared by the
+    /// whole word×trim batch — bit-identical to fresh converters, as
+    /// each Φ entry is a pure function of its segment geometry.
     pub fn build(params: ConverterParams) -> SwitchedSupplyModel {
+        let mut converter = DcDcConverter::new(params, Box::new(ConstantLoad(Amps(2e-6))));
         let mut by_duty: Vec<Option<WordOperatingPoint>> = vec![None; 64];
         let mut points = vec![WordOperatingPoint::ZERO; 64];
         for word in 1..=63u8 {
@@ -328,7 +398,8 @@ impl SwitchedSupplyModel {
             let mut best: Option<(f64, WordOperatingPoint)> = None;
             for trim in -Self::TRIM..=Self::TRIM {
                 let duty = (i16::from(word) + trim).clamp(1, 63) as usize;
-                let op = *by_duty[duty].get_or_insert_with(|| settle_at_duty(params, duty as u64));
+                let op = *by_duty[duty]
+                    .get_or_insert_with(|| settle_at_duty(&mut converter, duty as u64));
                 let err = (op.v_mean.volts() - target.volts()).abs();
                 if best.is_none_or(|(e, _)| err < e) {
                     best = Some((err, op));
@@ -346,10 +417,11 @@ impl SwitchedSupplyModel {
 }
 
 /// Settles the converter at a fixed `duty` under the controller's load
-/// image and measures the last eight system cycles.
-fn settle_at_duty(params: ConverterParams, duty: u64) -> WordOperatingPoint {
-    // The same electrical image the controller's switched supply uses.
-    let mut converter = DcDcConverter::new(params, Box::new(ConstantLoad(Amps(2e-6))));
+/// image and measures the last eight system cycles. The caller's
+/// converter is rewound to its as-constructed state first, so each
+/// settle sees exactly what a fresh converter would.
+fn settle_at_duty(converter: &mut DcDcConverter, duty: u64) -> WordOperatingPoint {
+    converter.reset_transient();
     converter.set_duty(duty);
     // Settling takes < 60 cycles at every word (Fig. 6); 120 leaves
     // margin. Untraced, so the closed-form solver segment-steps this.

@@ -169,6 +169,13 @@ impl BuckFilter {
         self.load = load;
     }
 
+    /// Restores the Thevenin source to its as-constructed (high-Z,
+    /// zero-volt) state, keeping the passives and the attached load.
+    pub fn reset_source(&mut self) {
+        self.source_voltage = Volts::ZERO;
+        self.source_resistance = Ohms(1e9);
+    }
+
     /// Instantaneous conduction-loss power for a state vector.
     pub fn conduction_loss(&self, y: &[f64]) -> f64 {
         let i = y[Self::STATE_CURRENT];

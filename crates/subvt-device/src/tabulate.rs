@@ -297,6 +297,45 @@ pub trait DeviceEval: fmt::Debug + Send + Sync {
             self.gate_delay(kinds.1, vdd, env, mismatch, fanout)?,
         ))
     }
+
+    /// Delays of one gate kind at one (vdd, env, fanout) operating
+    /// point across a whole lane of per-die mismatches — the
+    /// batched-study shape, where every die in a `DieBatch` shares the
+    /// supply and only the ΔVth draws differ. The default is the
+    /// scalar loop, bit-identical to calling [`DeviceEval::gate_delay`]
+    /// per die; table-backed implementations override it to resolve
+    /// the (Vdd, T) grid position and Hermite basis once and run only
+    /// the per-die ΔVth interpolation in the inner loop.
+    ///
+    /// A single `Result` covers the lane because the only error —
+    /// `vdd` below the technology floor — does not depend on the die.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != mismatches.len()`.
+    ///
+    /// # Errors
+    ///
+    /// As [`DeviceEval::gate_delay`].
+    fn gate_delay_lane(
+        &self,
+        kind: GateKind,
+        vdd: Volts,
+        env: Environment,
+        mismatches: &[GateMismatch],
+        fanout: f64,
+        out: &mut [Seconds],
+    ) -> Result<(), SupplyRangeError> {
+        assert_eq!(
+            mismatches.len(),
+            out.len(),
+            "lane output length must match the mismatch lane"
+        );
+        for (m, o) in mismatches.iter().zip(out.iter_mut()) {
+            *o = self.gate_delay(kind, vdd, env, *m, fanout)?;
+        }
+        Ok(())
+    }
 }
 
 /// A shareable, thread-safe evaluator handle.
@@ -710,6 +749,53 @@ impl DeviceEval for TabulatedEval {
         }
     }
 
+    fn gate_delay_lane(
+        &self,
+        kind: GateKind,
+        vdd: Volts,
+        env: Environment,
+        mismatches: &[GateMismatch],
+        fanout: f64,
+        out: &mut [Seconds],
+    ) -> Result<(), SupplyRangeError> {
+        assert_eq!(
+            mismatches.len(),
+            out.len(),
+            "lane output length must match the mismatch lane"
+        );
+        if !self.tech.is_operational(vdd) {
+            return Err(SupplyRangeError::new(vdd, self.tech.min_vdd));
+        }
+        // The lane hoist: one (Vdd, T) grid resolution and one Hermite
+        // basis for the whole batch; the inner loop is the per-die
+        // ΔVth locate + surface sample — the same arithmetic as the
+        // scalar path, so every die's delay is bit-identical to a
+        // `gate_delay` call.
+        let Some(grid) = self.grid_at(vdd, env) else {
+            metrics::record_exact_fallback();
+            let timing = GateTiming::new(&self.tech);
+            for (m, o) in mismatches.iter().zip(out.iter_mut()) {
+                *o = timing.gate_delay_with(kind, vdd, env, *m, fanout)?;
+            }
+            return Ok(());
+        };
+        let mut hits = 0u64;
+        for (m, o) in mismatches.iter().zip(out.iter_mut()) {
+            match self.on_currents(&grid, env, *m) {
+                Some((i_n, i_p)) => {
+                    hits += 1;
+                    *o = self.delay_from_currents(kind, vdd, fanout, i_n, i_p);
+                }
+                None => {
+                    metrics::record_exact_fallback();
+                    *o = GateTiming::new(&self.tech).gate_delay_with(kind, vdd, env, *m, fanout)?;
+                }
+            }
+        }
+        metrics::record_interp_delay_hits(hits);
+        Ok(())
+    }
+
     fn energy(
         &self,
         profile: &CircuitProfile,
@@ -960,6 +1046,59 @@ mod tests {
 
     fn rel_err(a: f64, b: f64) -> f64 {
         (a - b).abs() / b.abs()
+    }
+
+    #[test]
+    fn gate_delay_lane_is_bit_identical_to_scalar_calls() {
+        let tech = tech();
+        let evals: [&dyn DeviceEval; 2] = [&AnalyticEval::new(&tech), &TabulatedEval::new(&tech)];
+        // A lane of ΔVth draws including one far outside the grid (to
+        // force the per-die exact fallback inside an on-grid lane).
+        let mismatches: Vec<GateMismatch> = vec![
+            GateMismatch::NOMINAL,
+            GateMismatch {
+                nmos_dvth: Volts(0.013),
+                pmos_dvth: Volts(-0.021),
+            },
+            GateMismatch {
+                nmos_dvth: Volts(-0.008),
+                pmos_dvth: Volts(0.004),
+            },
+            GateMismatch {
+                nmos_dvth: Volts(0.5),
+                pmos_dvth: Volts(0.0),
+            },
+        ];
+        for eval in evals {
+            // On-grid and off-grid (hot temperature) operating points.
+            for env in [Environment::nominal(), Environment::at_celsius(150.0)] {
+                for vdd in [Volts(0.231), Volts(0.35)] {
+                    let mut lane = vec![Seconds(0.0); mismatches.len()];
+                    eval.gate_delay_lane(GateKind::Nand2, vdd, env, &mismatches, 1.0, &mut lane)
+                        .unwrap();
+                    for (m, got) in mismatches.iter().zip(&lane) {
+                        let scalar = eval.gate_delay(GateKind::Nand2, vdd, env, *m, 1.0).unwrap();
+                        assert_eq!(
+                            got.value().to_bits(),
+                            scalar.value().to_bits(),
+                            "{eval:?} vdd={vdd:?}"
+                        );
+                    }
+                }
+            }
+            // The lane error is the same die-independent floor check.
+            let mut lane = vec![Seconds(0.0); mismatches.len()];
+            assert!(eval
+                .gate_delay_lane(
+                    GateKind::Nand2,
+                    Volts(0.01),
+                    Environment::nominal(),
+                    &mismatches,
+                    1.0,
+                    &mut lane
+                )
+                .is_err());
+        }
     }
 
     #[test]

@@ -1,0 +1,597 @@
+//! Chunk-granular checkpoint files for resumable committing folds.
+//!
+//! A checkpoint file records the *running merged accumulator* of a
+//! [`try_par_fold_commit`](crate::try_par_fold_commit) run after each
+//! committed chunk. Because the engine commits strictly in chunk
+//! order, resuming from the last record — seed the fold with the saved
+//! accumulator state and start at the saved chunk index — replays the
+//! exact merge sequence of an uninterrupted run, so the resumed result
+//! is bit-identical (floats are stored as raw IEEE-754 bit patterns,
+//! never formatted).
+//!
+//! ## File format (version 1, little-endian throughout)
+//!
+//! ```text
+//! header:  magic  b"SVCP"       4 bytes
+//!          version u32          = 1
+//!          fingerprint u64      caller-supplied run identity
+//!          total_items u64      population size n
+//!          crc32 u32            over the 24 header bytes above
+//! record:  chunks_done u64      chunks merged into this state
+//!          state_len u32
+//!          state bytes          opaque accumulator state
+//!          crc32 u32            over chunks_done ‖ state_len ‖ state
+//! ```
+//!
+//! Records only ever append; each is written with a single `write`
+//! call and flushed, so a run cancelled at a commit boundary always
+//! leaves a well-formed file. The reader is strict: a bad magic,
+//! unknown version, CRC mismatch, non-monotonic record order, or a
+//! trailing partial record is a hard [`CheckpointError`] — a damaged
+//! checkpoint is **rejected, never silently restarted**, because the
+//! caller cannot tell a torn file from a wrong one.
+//!
+//! The `fingerprint` is the caller's hash of everything that shapes
+//! the run's results (seed, population, model, spec, …) so a
+//! checkpoint cannot be resumed under a different configuration.
+//! Worker count and batch size must *not* be part of it: the engine
+//! guarantees those don't change results, and resuming at a different
+//! `--jobs` is explicitly supported.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+
+const MAGIC: [u8; 4] = *b"SVCP";
+const VERSION: u32 = 1;
+/// magic + version + fingerprint + total_items + crc32.
+const HEADER_LEN: usize = 4 + 4 + 8 + 8 + 4;
+/// chunks_done + state_len + crc32 (excluding the state bytes).
+const RECORD_OVERHEAD: usize = 8 + 4 + 4;
+
+/// Why a checkpoint file could not be written, read, or trusted.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// The file does not start with the `SVCP` magic — not a
+    /// checkpoint file.
+    BadMagic,
+    /// The file uses a format version this build does not understand.
+    BadVersion(u32),
+    /// The file belongs to a different run configuration.
+    FingerprintMismatch {
+        /// Fingerprint of the run asking to resume.
+        expected: u64,
+        /// Fingerprint stored in the file.
+        found: u64,
+    },
+    /// The file was written for a different population size.
+    TotalMismatch {
+        /// Population of the run asking to resume.
+        expected: u64,
+        /// Population stored in the file.
+        found: u64,
+    },
+    /// The file is damaged: truncated, torn, CRC mismatch, or records
+    /// out of order. The message names the first violation.
+    Corrupt(&'static str),
+    /// A stored accumulator state did not decode back into the
+    /// expected shape.
+    Decode(&'static str),
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "checkpoint belongs to a different run \
+                 (fingerprint {found:#018x}, this run is {expected:#018x})"
+            ),
+            CheckpointError::TotalMismatch { expected, found } => write!(
+                f,
+                "checkpoint covers {found} items, this run has {expected}"
+            ),
+            CheckpointError::Corrupt(what) => {
+                write!(f, "corrupt checkpoint file ({what}); refusing to resume")
+            }
+            CheckpointError::Decode(what) => {
+                write!(f, "checkpoint state failed to decode ({what})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected) — the integrity check on the header
+/// and every record. Bitwise implementation; checkpoint traffic is a
+/// few kilobytes per commit, far below where a table would matter.
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Serialises accumulator state for a checkpoint record: fixed-width
+/// little-endian integers, floats as raw IEEE-754 bits (bit-exact
+/// round-trip, which the resume contract requires).
+#[derive(Debug, Default)]
+pub struct StateWriter {
+    buf: Vec<u8>,
+}
+
+impl StateWriter {
+    /// An empty state buffer.
+    pub fn new() -> StateWriter {
+        StateWriter::default()
+    }
+
+    /// Appends a `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its exact bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// The serialised state.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Deserialises accumulator state written by [`StateWriter`].
+#[derive(Debug)]
+pub struct StateReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> StateReader<'a> {
+    /// Reads from a record's state bytes.
+    pub fn new(buf: &'a [u8]) -> StateReader<'a> {
+        StateReader { buf }
+    }
+
+    /// Takes the next `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Decode`] if the state is exhausted.
+    pub fn get_u64(&mut self) -> Result<u64, CheckpointError> {
+        let (head, rest) = self
+            .buf
+            .split_at_checked(8)
+            .ok_or(CheckpointError::Decode("state shorter than expected"))?;
+        self.buf = rest;
+        Ok(u64::from_le_bytes(head.try_into().expect("8-byte split")))
+    }
+
+    /// Takes the next `f64` (exact bit pattern).
+    ///
+    /// # Errors
+    ///
+    /// As [`StateReader::get_u64`].
+    pub fn get_f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Asserts the state was fully consumed — a length mismatch means
+    /// the state does not belong to this accumulator shape.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Decode`] if bytes remain.
+    pub fn finish(self) -> Result<(), CheckpointError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(CheckpointError::Decode("state longer than expected"))
+        }
+    }
+}
+
+/// The latest committed state recovered from a checkpoint file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointRecord {
+    /// Chunks merged into `state` (the resume point's `start_chunk`).
+    pub chunks_done: u64,
+    /// Opaque accumulator state, as handed to
+    /// [`CheckpointWriter::append`].
+    pub state: Vec<u8>,
+}
+
+/// A fully validated checkpoint file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Run identity the file was created with.
+    pub fingerprint: u64,
+    /// Population size the file was created with.
+    pub total_items: u64,
+    /// The last committed record; `None` for a header-only file
+    /// (created, then cancelled before the first commit).
+    pub last: Option<CheckpointRecord>,
+}
+
+impl Checkpoint {
+    /// Checks the file belongs to the run asking to resume.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::FingerprintMismatch`] /
+    /// [`CheckpointError::TotalMismatch`] when it does not.
+    pub fn verify(&self, fingerprint: u64, total_items: u64) -> Result<(), CheckpointError> {
+        if self.fingerprint != fingerprint {
+            return Err(CheckpointError::FingerprintMismatch {
+                expected: fingerprint,
+                found: self.fingerprint,
+            });
+        }
+        if self.total_items != total_items {
+            return Err(CheckpointError::TotalMismatch {
+                expected: total_items,
+                found: self.total_items,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Append-only writer for a checkpoint file.
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    file: File,
+    last_chunks_done: u64,
+}
+
+impl CheckpointWriter {
+    /// Creates (truncating) a checkpoint file and writes its header.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] on filesystem failure.
+    pub fn create(
+        path: &Path,
+        fingerprint: u64,
+        total_items: u64,
+    ) -> Result<CheckpointWriter, CheckpointError> {
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&fingerprint.to_le_bytes());
+        header.extend_from_slice(&total_items.to_le_bytes());
+        let crc = crc32(&header);
+        header.extend_from_slice(&crc.to_le_bytes());
+        let mut file = File::create(path)?;
+        file.write_all(&header)?;
+        file.flush()?;
+        Ok(CheckpointWriter {
+            file,
+            last_chunks_done: 0,
+        })
+    }
+
+    /// Appends one committed-state record (a single `write` + flush,
+    /// so a cancellation between commits never tears the file).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunks_done` does not increase monotonically — the
+    /// commit engine calls in chunk order by construction.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] on filesystem failure.
+    pub fn append(&mut self, chunks_done: u64, state: &[u8]) -> Result<(), CheckpointError> {
+        assert!(
+            chunks_done > self.last_chunks_done,
+            "checkpoint records must advance: {} after {}",
+            chunks_done,
+            self.last_chunks_done
+        );
+        let state_len =
+            u32::try_from(state.len()).map_err(|_| CheckpointError::Decode("state too large"))?;
+        let mut record = Vec::with_capacity(RECORD_OVERHEAD + state.len());
+        record.extend_from_slice(&chunks_done.to_le_bytes());
+        record.extend_from_slice(&state_len.to_le_bytes());
+        record.extend_from_slice(state);
+        let crc = crc32(&record);
+        record.extend_from_slice(&crc.to_le_bytes());
+        self.file.write_all(&record)?;
+        self.file.flush()?;
+        self.last_chunks_done = chunks_done;
+        Ok(())
+    }
+}
+
+/// Reads and fully validates a checkpoint file.
+///
+/// Every record's CRC is checked and record order must strictly
+/// advance; the last record wins (earlier ones are just the commit
+/// history). Any structural damage is a hard error — see the module
+/// docs for why a damaged file is never treated as absent.
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] if the file cannot be read,
+/// [`CheckpointError::BadMagic`] / [`CheckpointError::BadVersion`] /
+/// [`CheckpointError::Corrupt`] on structural damage.
+pub fn read_checkpoint(path: &Path) -> Result<Checkpoint, CheckpointError> {
+    let data = std::fs::read(path)?;
+    parse_checkpoint(&data)
+}
+
+fn parse_checkpoint(data: &[u8]) -> Result<Checkpoint, CheckpointError> {
+    if data.len() < 4 {
+        return Err(
+            if data.starts_with(&MAGIC[..data.len()]) && !data.is_empty() {
+                CheckpointError::Corrupt("truncated header")
+            } else {
+                CheckpointError::BadMagic
+            },
+        );
+    }
+    if data[..4] != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    if data.len() < HEADER_LEN {
+        return Err(CheckpointError::Corrupt("truncated header"));
+    }
+    let field_u32 = |at: usize| u32::from_le_bytes(data[at..at + 4].try_into().expect("4 bytes"));
+    let field_u64 = |at: usize| u64::from_le_bytes(data[at..at + 8].try_into().expect("8 bytes"));
+    let version = field_u32(4);
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    if crc32(&data[..HEADER_LEN - 4]) != field_u32(HEADER_LEN - 4) {
+        return Err(CheckpointError::Corrupt("header CRC mismatch"));
+    }
+    let fingerprint = field_u64(8);
+    let total_items = field_u64(16);
+
+    let mut last: Option<CheckpointRecord> = None;
+    let mut at = HEADER_LEN;
+    while at < data.len() {
+        if data.len() - at < RECORD_OVERHEAD {
+            return Err(CheckpointError::Corrupt("truncated record"));
+        }
+        let chunks_done = field_u64(at);
+        let state_len = field_u32(at + 8) as usize;
+        let body_end = at + 12 + state_len;
+        if data.len() - (at + 12) < state_len + 4 {
+            return Err(CheckpointError::Corrupt("truncated record"));
+        }
+        if crc32(&data[at..body_end]) != field_u32(body_end) {
+            return Err(CheckpointError::Corrupt("record CRC mismatch"));
+        }
+        if last.as_ref().is_some_and(|l| chunks_done <= l.chunks_done) {
+            return Err(CheckpointError::Corrupt("records out of order"));
+        }
+        last = Some(CheckpointRecord {
+            chunks_done,
+            state: data[at + 12..body_end].to_vec(),
+        });
+        at = body_end + 4;
+    }
+    Ok(Checkpoint {
+        fingerprint,
+        total_items,
+        last,
+    })
+}
+
+/// Opens an existing checkpoint for resuming: validates the whole
+/// file, then returns it with a writer positioned to append.
+///
+/// # Errors
+///
+/// As [`read_checkpoint`].
+pub fn open_for_resume(path: &Path) -> Result<(Checkpoint, CheckpointWriter), CheckpointError> {
+    let checkpoint = read_checkpoint(path)?;
+    let file = OpenOptions::new().append(true).open(path)?;
+    let last_chunks_done = checkpoint.last.as_ref().map_or(0, |r| r.chunks_done);
+    Ok((
+        checkpoint,
+        CheckpointWriter {
+            file,
+            last_chunks_done,
+        },
+    ))
+}
+
+/// FNV-1a hash of a run-identity description — the conventional way
+/// to derive a checkpoint fingerprint from a config string.
+pub fn fingerprint_of(description: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in description.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("subvt-checkpoint-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn round_trips_header_and_records() {
+        let path = tmp("roundtrip");
+        let mut w = CheckpointWriter::create(&path, 0xDEAD_BEEF, 1000).unwrap();
+        w.append(3, &[1, 2, 3]).unwrap();
+        w.append(7, &[4, 5]).unwrap();
+        let cp = read_checkpoint(&path).unwrap();
+        assert_eq!(cp.fingerprint, 0xDEAD_BEEF);
+        assert_eq!(cp.total_items, 1000);
+        cp.verify(0xDEAD_BEEF, 1000).unwrap();
+        let last = cp.last.unwrap();
+        assert_eq!(last.chunks_done, 7);
+        assert_eq!(last.state, vec![4, 5]);
+        assert!(matches!(
+            read_checkpoint(&path).unwrap().verify(1, 1000),
+            Err(CheckpointError::FingerprintMismatch { .. })
+        ));
+        assert!(matches!(
+            read_checkpoint(&path).unwrap().verify(0xDEAD_BEEF, 999),
+            Err(CheckpointError::TotalMismatch { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_only_file_has_no_record() {
+        let path = tmp("header-only");
+        CheckpointWriter::create(&path, 7, 10).unwrap();
+        let cp = read_checkpoint(&path).unwrap();
+        assert_eq!(cp.last, None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_writer_appends_after_existing_records() {
+        let path = tmp("resume-append");
+        let mut w = CheckpointWriter::create(&path, 9, 50).unwrap();
+        w.append(2, &[10]).unwrap();
+        drop(w);
+        let (cp, mut w) = open_for_resume(&path).unwrap();
+        assert_eq!(cp.last.as_ref().unwrap().chunks_done, 2);
+        w.append(5, &[20]).unwrap();
+        let cp = read_checkpoint(&path).unwrap();
+        assert_eq!(cp.last.unwrap().chunks_done, 5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "must advance")]
+    fn writer_rejects_non_monotonic_records() {
+        let path = tmp("non-monotonic");
+        let mut w = CheckpointWriter::create(&path, 1, 10).unwrap();
+        w.append(4, &[]).unwrap();
+        let _ = w.append(4, &[]);
+    }
+
+    #[test]
+    fn damage_is_rejected_not_salvaged() {
+        let path = tmp("damage");
+        let mut w = CheckpointWriter::create(&path, 11, 64).unwrap();
+        w.append(1, &[9; 40]).unwrap();
+        w.append(2, &[8; 40]).unwrap();
+        drop(w);
+        let good = std::fs::read(&path).unwrap();
+
+        // Flip one byte inside the last record's state.
+        let mut bad = good.clone();
+        let n = bad.len();
+        bad[n - 10] ^= 0xFF;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(CheckpointError::Corrupt("record CRC mismatch"))
+        ));
+
+        // Truncate mid-record.
+        std::fs::write(&path, &good[..n - 7]).unwrap();
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(CheckpointError::Corrupt("truncated record"))
+        ));
+
+        // Not a checkpoint at all.
+        std::fs::write(&path, b"definitely not a checkpoint").unwrap();
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(CheckpointError::BadMagic)
+        ));
+
+        // Wrong version.
+        let mut versioned = good.clone();
+        versioned[4] = 99;
+        std::fs::write(&path, &versioned).unwrap();
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(CheckpointError::BadVersion(99))
+        ));
+
+        // Header CRC mismatch (restore version, corrupt fingerprint).
+        let mut torn = good;
+        torn[9] ^= 0x01;
+        std::fs::write(&path, &torn).unwrap();
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(CheckpointError::Corrupt("header CRC mismatch"))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn state_codec_round_trips_exact_bits() {
+        let mut w = StateWriter::new();
+        w.put_u64(42);
+        w.put_f64(-0.0);
+        w.put_f64(f64::INFINITY);
+        w.put_f64(1.0 / 3.0);
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        assert_eq!(r.get_u64().unwrap(), 42);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.get_f64().unwrap(), f64::INFINITY);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (1.0f64 / 3.0).to_bits());
+        r.finish().unwrap();
+
+        let bytes = {
+            let mut w = StateWriter::new();
+            w.put_u64(1);
+            w.into_bytes()
+        };
+        let mut r = StateReader::new(&bytes);
+        r.get_u64().unwrap();
+        assert!(matches!(r.get_u64(), Err(CheckpointError::Decode(_))));
+        let r = StateReader::new(&bytes);
+        assert!(matches!(r.finish(), Err(CheckpointError::Decode(_))));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        let a = fingerprint_of("seed=1 dies=100");
+        assert_eq!(a, fingerprint_of("seed=1 dies=100"));
+        assert_ne!(a, fingerprint_of("seed=2 dies=100"));
+    }
+}

@@ -35,6 +35,10 @@
 //!   parallel map over `0..n`;
 //! * [`par_fold_chunked`] / [`try_par_fold_chunked`] — the
 //!   summary-only path: `O(chunks)` memory instead of `O(n)` results;
+//! * [`try_par_fold_commit`] — the chunked fold with an in-order
+//!   commit callback and a resume point, for checkpointed runs;
+//! * [`checkpoint`] — append-only, CRC-guarded checkpoint files that
+//!   make a cancelled fold resume bit-identically;
 //! * [`Welford`] and [`QuantileSketch`] — mergeable streaming
 //!   statistics designed for the chunked fold;
 //! * [`CancelToken`] / [`Progress`] — cooperative, chunk-granular
@@ -61,6 +65,7 @@
 #![warn(missing_docs)]
 
 mod cancel;
+pub mod checkpoint;
 mod config;
 mod scheduler;
 mod stats;
@@ -69,7 +74,7 @@ pub use cancel::{CancelToken, Cancelled, Progress};
 pub use config::{ExecConfig, JOBS_ENV};
 pub use scheduler::{
     chunk_count, chunk_len, par_fold_chunked, par_map_indexed, try_par_fold_chunked,
-    try_par_map_indexed,
+    try_par_fold_commit, try_par_map_indexed, FoldError,
 };
 pub use stats::{QuantileSketch, Welford};
 

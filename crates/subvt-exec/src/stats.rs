@@ -114,6 +114,34 @@ impl Welford {
     pub fn max(&self) -> Option<f64> {
         (self.count > 0).then_some(self.max)
     }
+
+    /// Serialises the accumulator for a checkpoint record (exact bit
+    /// patterns — the round trip is lossless).
+    pub fn encode_state(&self, w: &mut crate::checkpoint::StateWriter) {
+        w.put_u64(self.count);
+        w.put_f64(self.mean);
+        w.put_f64(self.m2);
+        w.put_f64(self.min);
+        w.put_f64(self.max);
+    }
+
+    /// Restores an accumulator written by [`Welford::encode_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`crate::checkpoint::CheckpointError::Decode`] if the state is
+    /// exhausted.
+    pub fn decode_state(
+        r: &mut crate::checkpoint::StateReader<'_>,
+    ) -> Result<Welford, crate::checkpoint::CheckpointError> {
+        Ok(Welford {
+            count: r.get_u64()?,
+            mean: r.get_f64()?,
+            m2: r.get_f64()?,
+            min: r.get_f64()?,
+            max: r.get_f64()?,
+        })
+    }
 }
 
 /// A fixed-size, exactly-mergeable quantile sketch: an equal-width
@@ -264,6 +292,54 @@ impl QuantileSketch {
     /// Median shorthand.
     pub fn median(&self) -> Option<f64> {
         self.quantile(0.5)
+    }
+
+    /// Serialises the sketch for a checkpoint record.
+    pub fn encode_state(&self, w: &mut crate::checkpoint::StateWriter) {
+        w.put_f64(self.lo);
+        w.put_f64(self.hi);
+        w.put_u64(self.bins.len() as u64);
+        for &b in &self.bins {
+            w.put_u64(b);
+        }
+        w.put_u64(self.below);
+        w.put_u64(self.above);
+        w.put_u64(self.count);
+        w.put_f64(self.min);
+        w.put_f64(self.max);
+    }
+
+    /// Restores a sketch written by [`QuantileSketch::encode_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`crate::checkpoint::CheckpointError::Decode`] if the state is
+    /// exhausted or the bin count is implausible.
+    pub fn decode_state(
+        r: &mut crate::checkpoint::StateReader<'_>,
+    ) -> Result<QuantileSketch, crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::CheckpointError;
+        let lo = r.get_f64()?;
+        let hi = r.get_f64()?;
+        let n_bins = usize::try_from(r.get_u64()?)
+            .map_err(|_| CheckpointError::Decode("sketch bin count overflows usize"))?;
+        if n_bins == 0 || n_bins > (1 << 24) {
+            return Err(CheckpointError::Decode("implausible sketch bin count"));
+        }
+        let mut bins = Vec::with_capacity(n_bins);
+        for _ in 0..n_bins {
+            bins.push(r.get_u64()?);
+        }
+        Ok(QuantileSketch {
+            lo,
+            hi,
+            bins,
+            below: r.get_u64()?,
+            above: r.get_u64()?,
+            count: r.get_u64()?,
+            min: r.get_f64()?,
+            max: r.get_f64()?,
+        })
     }
 }
 

@@ -115,6 +115,39 @@ pub trait CircuitLoad: std::fmt::Debug + Send + Sync {
         eval.energy(self.profile(), vdd, env)
     }
 
+    /// Critical-path delays for a whole lane of per-die mismatches at
+    /// one (vdd, env) operating point — the batched-study shape. The
+    /// default loops [`CircuitLoad::critical_path_with`], bit-identical
+    /// to per-die calls; gate-level implementors should forward to
+    /// [`DeviceEval::gate_delay_lane`] so the device model's lane hoist
+    /// (one grid resolution per batch) applies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != mismatches.len()`.
+    ///
+    /// # Errors
+    ///
+    /// As [`CircuitLoad::critical_path`].
+    fn critical_path_lane(
+        &self,
+        eval: &dyn DeviceEval,
+        vdd: Volts,
+        env: Environment,
+        mismatches: &[GateMismatch],
+        out: &mut [Seconds],
+    ) -> Result<(), SupplyRangeError> {
+        assert_eq!(
+            mismatches.len(),
+            out.len(),
+            "lane output length must match the mismatch lane"
+        );
+        for (m, o) in mismatches.iter().zip(out.iter_mut()) {
+            *o = self.critical_path_with(eval, vdd, env, *m)?;
+        }
+        Ok(())
+    }
+
     /// Average supply current while operating continuously at `vdd`:
     /// dynamic charge per cycle over the cycle time, plus leakage.
     ///

@@ -155,6 +155,24 @@ impl CircuitLoad for RingOscillator {
         let t = eval.gate_delay(GateKind::Nand2, vdd, env, mismatch, 1.0)?;
         Ok(t * self.profile.depth)
     }
+
+    fn critical_path_lane(
+        &self,
+        eval: &dyn subvt_device::tabulate::DeviceEval,
+        vdd: Volts,
+        env: Environment,
+        mismatches: &[GateMismatch],
+        out: &mut [Seconds],
+    ) -> Result<(), SupplyRangeError> {
+        // One NAND delay per die through the device lane (the grid
+        // hoist happens there), then the same `t × depth` scaling as
+        // the scalar path — bit-identical per die.
+        eval.gate_delay_lane(GateKind::Nand2, vdd, env, mismatches, 1.0, out)?;
+        for t in out.iter_mut() {
+            *t = *t * self.profile.depth;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -170,6 +170,29 @@ impl Group<'_> {
         }
     }
 
+    /// Times `f` exactly once and records the wall time as a
+    /// single-sample benchmark. For routines too long to warm up and
+    /// sample repeatedly (a 10⁶-die fleet study takes minutes); the
+    /// run's return value is handed back so the bench can assert on
+    /// the computed result, not just its timing.
+    pub fn bench_once<O>(&mut self, name: &str, f: impl FnOnce() -> O) -> O {
+        let start = Instant::now();
+        let out = black_box(f());
+        let ns = start.elapsed().as_nanos() as f64;
+        let record = Record {
+            name: name.to_owned(),
+            samples: 1,
+            iters_per_sample: 1,
+            median_ns: ns,
+            mean_ns: ns,
+            min_ns: ns,
+            max_ns: ns,
+        };
+        println!("BENCH {}/{} once {}", self.name, name, fmt_ns(ns));
+        self.records.push(record);
+        out
+    }
+
     /// Median ns/iter of an already-run benchmark in this group, for
     /// in-bench assertions (e.g. "the fast path is ≥ N× the
     /// reference"). `None` until `bench_function(name, ..)` has run.
@@ -439,6 +462,23 @@ mod tests {
             // no finish()
         }
         assert!(dir.join("BENCH_dropped.json").is_file());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_once_records_a_single_sample_and_returns_the_value() {
+        let dir = std::env::temp_dir().join("subvt-testkit-bench-once-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut timer = quick_timer(&dir);
+        let mut g = timer.benchmark_group("once");
+        let value = g.bench_once("slow", || (0..1000).sum::<u64>());
+        assert_eq!(value, 499_500);
+        let r = &g.records[0];
+        assert_eq!((r.samples, r.iters_per_sample), (1, 1));
+        assert!(g.median_ns("slow").unwrap() > 0.0);
+        drop(g);
+        let json = std::fs::read_to_string(dir.join("BENCH_once.json")).unwrap();
+        assert!(json.contains("\"name\": \"slow\""), "{json}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -8,7 +8,7 @@ use std::str::FromStr;
 
 use subvt_core::controller::SupplyKind;
 use subvt_core::experiment::{savings_experiment, Scenario};
-use subvt_core::study::{StudyArgs, StudyConfig};
+use subvt_core::study::{StudyArgs, StudyConfig, StudyError, DEFAULT_BATCH};
 use subvt_core::transient::{fig6_schedule, run_transient};
 use subvt_dcdc::converter::ConverterParams;
 use subvt_dcdc::filter::NoLoad;
@@ -21,6 +21,7 @@ use subvt_device::mosfet::Environment;
 use subvt_device::tabulate::EvalMode;
 use subvt_device::technology::{GateKind, Technology};
 use subvt_device::units::Volts;
+use subvt_exec::{CancelToken, Progress};
 use subvt_tdc::sensor::{word_voltage, SensorConfig, VariationSensor};
 use subvt_tdc::table1::{reproduce_table1, PAPER_SIGNATURES};
 
@@ -401,15 +402,50 @@ impl Command {
                 if study.eval != EvalMode::Analytic {
                     builder = builder.eval_mode(study.eval);
                 }
+                if let Some(batch) = study.batch {
+                    builder = builder.batch(batch);
+                }
+                if let Some(path) = &study.checkpoint {
+                    builder = builder.checkpoint(path);
+                }
+                // `--cancel-after-dies N` arms a token that fires once
+                // the progress counter crosses N — the in-flight chunk
+                // still commits, so a `--checkpoint` file holds every
+                // die scored so far and a later run resumes it.
+                let token = CancelToken::new();
+                let watch_token = token.clone();
+                let limit = study.cancel_after_dies;
+                let watch = move |p: Progress| {
+                    if limit.is_some_and(|n| p.done as u64 >= n) {
+                        watch_token.cancel();
+                    }
+                };
+                if limit.is_some() {
+                    builder = builder.cancel(&token).progress(&watch);
+                }
+                let cancelled = |what: &str| {
+                    let kept = match &study.checkpoint {
+                        Some(path) => format!("progress saved to {path}"),
+                        None => "no --checkpoint, progress discarded".to_owned(),
+                    };
+                    Ok(format!(
+                        "{what} study stopped by --cancel-after-dies; {kept}\n"
+                    ))
+                };
                 let provenance = format!(
-                    "(spec 110 kHz @ ≤2.9 fJ, word 11, {} model, {} supply, {} jobs)",
+                    "(spec 110 kHz @ ≤2.9 fJ, word 11, {} model, {} supply, {} jobs, batch {})",
                     study.eval.label(),
                     supply_label(study.supply, study.solver),
                     cfg.jobs(),
+                    study.batch.unwrap_or(DEFAULT_BATCH),
                 );
                 match study.fault_plan() {
                     None => {
-                        let summary = builder.run_summary();
+                        let summary = match builder.try_run_summary() {
+                            Ok(summary) => summary,
+                            Err(StudyError::Cancelled) => return cancelled("yield"),
+                            Err(e) => return Err(e.to_string()),
+                        };
                         Ok(format!(
                             "yield over {} dies {provenance}:\n\
                              fixed {:.1}%  adaptive {:.1}%  dithered {:.1}%  mean adaptive E {}\n",
@@ -423,7 +459,11 @@ impl Command {
                         ))
                     }
                     Some(plan) => {
-                        let s = builder.faults(plan).run_faults();
+                        let s = match builder.faults(plan).try_run_faults() {
+                            Ok(s) => s,
+                            Err(StudyError::Cancelled) => return cancelled("fault"),
+                            Err(e) => return Err(e.to_string()),
+                        };
                         Ok(format!(
                             "yield over {} dies {provenance}\n\
                              under faults (rate {} per domain-cycle, mitigation {}):\n\
@@ -546,6 +586,18 @@ FLAGS:
                          env var, else all cores; any value gives
                          bit-identical results)
     --seed <n>           yield root seed         (default 1)
+    --batch <n>          dies scored per SoA sub-batch on the yield
+                         summary path (default 32; any value gives
+                         bit-identical results)
+    --checkpoint <file>  chunk-granular checkpoint for yield: resumes
+                         an interrupted study bit-identically, even at
+                         a different --jobs/--batch; a finished file
+                         replays its result without rescoring, and a
+                         mismatched or damaged file is an error, never
+                         silently restarted
+    --cancel-after-dies <n>     stop the yield study gracefully once
+                         ~n dies are scored (the in-flight chunk still
+                         commits); pair with --checkpoint to resume
     --eval analytic|tabulated   device model for yield: the exact
                          analytic model (default) or precomputed
                          monotone-cubic surfaces (≤1% accuracy

@@ -1,0 +1,146 @@
+//! Batched-vs-scalar bit-identity: the structure-of-arrays fleet path
+//! (`run_summary`/`run_faults`, any `--batch`, any `--jobs`) must
+//! reproduce the scalar per-die reference (`run()` + `summarize()`)
+//! down to the last bit, including the ragged final sub-batch. The
+//! comparison witness is `encode_state()` — the exact bytes a
+//! checkpoint record carries — so equality here is byte equality of
+//! every counter and every Welford moment.
+
+use subvt_core::study::{StudyConfig, DEFAULT_BATCH};
+use subvt_core::FaultPlan;
+use subvt_exec::{chunk_len, ExecConfig};
+
+/// 150 dies → chunks of `chunk_len(150) = 3`: small batches sub-divide
+/// a chunk (ragged tail included) and large ones cover it whole.
+const DIES: usize = 150;
+const SEED: u64 = 2009;
+
+/// Batch sizes below, at, and above the chunk length, plus the whole
+/// population (one sub-batch per chunk).
+const BATCHES: [usize; 4] = [1, 2, 64, DIES];
+const JOBS: [usize; 3] = [1, 2, 7];
+
+fn config(dies: usize) -> StudyConfig<'static> {
+    StudyConfig::new(dies, SEED)
+}
+
+#[test]
+fn the_population_actually_sub_batches_raggedly() {
+    // Guard the fixture: batch 2 over a 3-die chunk must leave a
+    // ragged 1-die sub-batch, or the suite stops testing raggedness.
+    assert_eq!(chunk_len(DIES), 3);
+    assert!(BATCHES.contains(&2));
+}
+
+#[test]
+fn batched_yield_summary_is_bit_identical_to_the_scalar_reference() {
+    // `run()` scores die-by-die through the scalar path and
+    // materializes every outcome; `summarize()` folds them through the
+    // same chunk geometry the streaming path uses.
+    let reference = config(DIES).run().summarize().encode_state();
+    for batch in BATCHES {
+        for jobs in JOBS {
+            let got = config(DIES)
+                .batch(batch)
+                .exec(ExecConfig::with_jobs(jobs))
+                .run_summary();
+            assert_eq!(
+                got.encode_state(),
+                reference,
+                "summary diverged at batch={batch} jobs={jobs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_switched_supply_summary_is_bit_identical() {
+    // The switched supply exercises the converter-derived operating
+    // points (trough + mean per word) through the lane path.
+    let scalar = |dies: usize| {
+        config(dies)
+            .supply_kind(subvt_core::SupplyKind::Switched)
+            .run()
+            .summarize()
+            .encode_state()
+    };
+    let reference = scalar(40);
+    for (batch, jobs) in [(1, 2), (3, 1), (64, 7)] {
+        let got = config(40)
+            .supply_kind(subvt_core::SupplyKind::Switched)
+            .batch(batch)
+            .exec(ExecConfig::with_jobs(jobs))
+            .run_summary();
+        assert_eq!(
+            got.encode_state(),
+            reference,
+            "switched summary diverged at batch={batch} jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn batched_tabulated_summary_is_bit_identical() {
+    // Tabulated surfaces are where the lane API actually hoists work
+    // (one grid resolution per lane); the hoist must not change bits.
+    let reference = config(60)
+        .eval_mode(subvt_device::tabulate::EvalMode::Tabulated)
+        .run()
+        .summarize()
+        .encode_state();
+    for (batch, jobs) in [(1, 1), (5, 2), (60, 7)] {
+        let got = config(60)
+            .eval_mode(subvt_device::tabulate::EvalMode::Tabulated)
+            .batch(batch)
+            .exec(ExecConfig::with_jobs(jobs))
+            .run_summary();
+        assert_eq!(
+            got.encode_state(),
+            reference,
+            "tabulated summary diverged at batch={batch} jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn batched_fault_summary_is_bit_identical_to_the_scalar_reference() {
+    let plan = FaultPlan::uniform(0.02);
+    // Scalar reference for the yield portion: `run()` under the same
+    // plan scores through `score_faulted_die` one die at a time.
+    let base_reference = config(40).faults(plan).run().summarize().encode_state();
+    // Reference for the full fault summary (tracking error, recovery
+    // energy, trip/injection counts): batch=1, jobs=1 — per-die
+    // scoring with a per-die cache, exactly the scalar shape.
+    let reference = config(40)
+        .faults(plan)
+        .batch(1)
+        .exec(ExecConfig::serial())
+        .run_faults();
+    assert_eq!(reference.base.encode_state(), base_reference);
+    for batch in [2, 64, 40] {
+        for jobs in JOBS {
+            let got = config(40)
+                .faults(plan)
+                .batch(batch)
+                .exec(ExecConfig::with_jobs(jobs))
+                .run_faults();
+            assert_eq!(
+                got.encode_state(),
+                reference.encode_state(),
+                "fault summary diverged at batch={batch} jobs={jobs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn default_batch_is_sensible_and_in_effect() {
+    // The default must be a real batch (not 1, not unbounded), and a
+    // defaulted run must equal an explicit `.batch(DEFAULT_BATCH)`.
+    let default = DEFAULT_BATCH;
+    assert!(default > 1, "default batch {default} is not a real batch");
+    assert!(default <= 2048, "default batch {default} exceeds a chunk");
+    let defaulted = config(70).run_summary().encode_state();
+    let explicit = config(70).batch(DEFAULT_BATCH).run_summary().encode_state();
+    assert_eq!(defaulted, explicit);
+}
