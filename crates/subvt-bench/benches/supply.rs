@@ -1,0 +1,53 @@
+//! Supply-backend settle micro-bench.
+//!
+//! Records in `BENCH_supply.json`:
+//!
+//! * `settle_table_{buck,dldo,dlr}` — the cost of building one 64-word
+//!   settle table through each backend. This is the whole per-study
+//!   price of a regulated supply: the table is built once, serially,
+//!   before the Monte-Carlo fan-out, and workers only read the
+//!   snapshot. The buck leg prices 63 closed-form converter settles;
+//!   the dldo/dlr legs price 63 closed-form operating points (no
+//!   integration anywhere, which is the point).
+//! * `snapshot_{buck,dldo,dlr}` — `RegulatorModel::build` end to end,
+//!   i.e. the settle table plus the scalar figures and the contract
+//!   asserts. The delta against the matching `settle_table_*` leg is
+//!   the bookkeeping overhead of the snapshot layer.
+//! * markers — `response_cycles_{buck,dldo,dlr}_N` carry each
+//!   backend's settle latency in the record name, so a latency
+//!   regression shows up in CI's benchmark artifact without parsing
+//!   the shoot-out table.
+
+use subvt_regulators::{
+    BuckBackend, DigitalLdoBackend, DiscreteTimeLinearBackend, RegulatorModel, SupplyBackend,
+};
+use subvt_testkit::bench::{black_box, Timer};
+
+fn bench(c: &mut Timer) {
+    let buck = BuckBackend::paper_default();
+    let dldo = DigitalLdoBackend::paper_default();
+    let dlr = DiscreteTimeLinearBackend::paper_default();
+    let backends: [(&str, &dyn SupplyBackend); 3] =
+        [("buck", &buck), ("dldo", &dldo), ("dlr", &dlr)];
+
+    let mut g = c.benchmark_group("supply");
+    g.sample_size(20);
+
+    for (name, backend) in backends {
+        g.bench_function(&format!("settle_table_{name}"), |b| {
+            b.iter(|| black_box(backend.settle_table()))
+        });
+        g.bench_function(&format!("snapshot_{name}"), |b| {
+            b.iter(|| black_box(RegulatorModel::build(backend)))
+        });
+    }
+
+    // Latency markers: zero-cost records whose names carry the figure.
+    for (name, backend) in backends {
+        let marker = format!("response_cycles_{name}_{}", backend.response_cycles());
+        g.bench_function(&marker, |b| b.iter(|| black_box(0u8)));
+    }
+    g.finish();
+}
+
+subvt_testkit::bench_main!(bench);

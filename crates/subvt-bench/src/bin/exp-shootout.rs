@@ -1,0 +1,131 @@
+//! Supply-backend shoot-out: the all-digital buck converter vs the
+//! time-interleaved digital LDO vs the discrete-time linear regulator,
+//! scored on the same Monte-Carlo population across process corners
+//! and fault rates.
+//!
+//! Results are bit-identical for any `--jobs`/`--batch` (every
+//! backend's droop/ripple table is built serially before the fan-out)
+//! and across kill/resume; the committed reference output lives in
+//! `docs/results/supply_shootout.txt`.
+
+use subvt_bench::jobs::harness_options;
+use subvt_bench::report::{f, pct, Table};
+use subvt_core::study::{StudyArgs, SupplyBackendKind, STUDY_HELP};
+use subvt_core::SupplySim;
+use subvt_device::corner::ProcessCorner;
+use subvt_device::mosfet::Environment;
+
+const BACKENDS: [SupplyBackendKind; 3] = [
+    SupplyBackendKind::Buck,
+    SupplyBackendKind::Dldo,
+    SupplyBackendKind::Dlr,
+];
+
+const CORNERS: [(ProcessCorner, &str); 3] = [
+    (ProcessCorner::Tt, "TT"),
+    (ProcessCorner::Ss, "SS"),
+    (ProcessCorner::Ff, "FF"),
+];
+
+/// Per-cycle fault probabilities swept per (backend, corner) cell:
+/// clean, and the mid rate of the fault study's low/mid/high sweep.
+const FAULT_RATES: [f64; 2] = [0.0, 0.02];
+
+fn usage() -> String {
+    format!(
+        "exp-shootout — three-way supply-backend comparison\n\n\
+         USAGE: exp-shootout [study flags]\n\n\
+         Sweeps buck/dldo/dlr across TT/SS/FF corners and fault rates\n\
+         {{0, 0.02}}; --supply is ignored (all backends always run).\n\n{STUDY_HELP}"
+    )
+}
+
+fn main() {
+    let opts = harness_options(&usage());
+    let args = opts.study;
+
+    println!(
+        "Supply-backend shoot-out ({} dies per cell, seed {})\n",
+        args.dies, args.seed
+    );
+
+    // Static figures first: everything here is a closed-form property
+    // of the backend itself, independent of the die population.
+    let mut fig = Table::new(
+        "Backend figures at the design word (11)",
+        &[
+            "backend",
+            "ripple (mV pp)",
+            "settle (cycles)",
+            "regulation (fJ/cycle)",
+            "glitch droop (mV)",
+            "missed-update droop (mV)",
+        ],
+    );
+    for kind in BACKENDS {
+        if let SupplySim::Regulated(model) = kind.build_sim(args.solver) {
+            fig.row(&[
+                kind.label().to_owned(),
+                f(model.point(11).ripple().millivolts(), 3),
+                model.response_cycles().to_string(),
+                f(model.regulation_energy_per_cycle().femtos(), 1),
+                f(model.comparator_glitch_droop().millivolts(), 2),
+                f(model.missed_update_droop().millivolts(), 2),
+            ]);
+        }
+    }
+    println!("{}", fig.render());
+
+    let mut t = Table::new(
+        "Monte-Carlo yield per backend x corner x per-cycle fault rate",
+        &[
+            "backend",
+            "corner",
+            "fault rate",
+            "fixed",
+            "adaptive",
+            "dithered",
+            "mean adaptive E (fJ)",
+            "tracking err (LSB)",
+        ],
+    );
+    for kind in BACKENDS {
+        for (corner, corner_label) in CORNERS {
+            for rate in FAULT_RATES {
+                let mut cell: StudyArgs = args.clone();
+                cell.supply = kind;
+                cell.faults = (rate > 0.0).then_some(rate);
+                let cfg = cell.study().env(Environment::at_corner(corner));
+                let (summary, tracking) = if rate > 0.0 {
+                    let s = cfg.run_faults();
+                    let err = f(s.mean_tracking_error(), 2);
+                    (s.base, err)
+                } else {
+                    (cfg.run_summary(), "-".to_owned())
+                };
+                t.row(&[
+                    kind.label().to_owned(),
+                    corner_label.to_owned(),
+                    format!("{rate}"),
+                    pct(summary.fixed_yield()),
+                    pct(summary.adaptive_yield()),
+                    pct(summary.dithered_yield()),
+                    summary
+                        .mean_adaptive_energy()
+                        .map_or("-".into(), |e| f(e.femtos(), 3)),
+                    tracking,
+                ]);
+            }
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "Reading the table: the DLDO's one-LSB-of-charge ripple (0.15 mV pp) makes\n\
+         it electrically closest to the ideal rail, so its yields track the ideal\n\
+         study and it pays the least regulation overhead. The DLR sits between:\n\
+         quiet in steady state but slow-sampled (1 MHz), so a corrupted decision\n\
+         costs a full 20 mV excursion. The buck trades the worst ripple and the\n\
+         slowest settle for the simplest hardware story; its trough scoring is\n\
+         what cut adaptive yield below the ideal rail in the PR 4 study.\n"
+    );
+}

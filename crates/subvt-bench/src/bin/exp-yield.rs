@@ -3,10 +3,9 @@
 
 use subvt_bench::jobs::{harness_options, EVAL_HELP, JOBS_HELP, SUPPLY_HELP};
 use subvt_bench::report::{f, pct, Table};
-use subvt_core::controller::SupplyKind;
-use subvt_core::study::StudyConfig;
-use subvt_core::yield_study::{SupplySim, YieldSpec};
-use subvt_dcdc::converter::ConverterParams;
+use subvt_core::study::{StudyConfig, SupplyBackendKind};
+use subvt_core::yield_study::YieldSpec;
+use subvt_dcdc::SolverMode;
 use subvt_device::technology::Technology;
 use subvt_device::units::{Hertz, Joules};
 use subvt_device::MetricsSnapshot;
@@ -23,15 +22,17 @@ fn main() {
     let opts = harness_options(&usage());
     let cfg = &opts.cfg;
 
-    // Built once, serially, before any Monte-Carlo fan-out: the
-    // converter's droop/ripple table is die-independent, so switched
+    // Built once, serially, before any Monte-Carlo fan-out: every
+    // backend's droop/ripple table is die-independent, so regulated
     // runs stay bit-identical at any --jobs.
-    let (supply, supply_note) = match opts.supply {
-        SupplyKind::Ideal => (SupplySim::Ideal, "ideal supply"),
-        SupplyKind::Switched => (
-            SupplySim::switched(ConverterParams::default()),
-            "switched supply [closed-form solver]",
-        ),
+    let supply = opts.supply.build_sim(opts.study.solver);
+    let supply_note = match opts.supply {
+        SupplyBackendKind::Ideal => "ideal supply".to_owned(),
+        SupplyBackendKind::Buck => match opts.study.solver {
+            SolverMode::ClosedForm => "buck supply [closed-form solver]".to_owned(),
+            SolverMode::Rk4 => "buck supply [rk4 solver]".to_owned(),
+        },
+        kind => format!("{} supply", kind.label()),
     };
 
     println!(

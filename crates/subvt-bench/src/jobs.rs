@@ -10,8 +10,7 @@
 //! contract), only wall-clock time, so the flag is safe to tune per
 //! machine.
 
-use subvt_core::controller::SupplyKind;
-use subvt_core::study::StudyArgs;
+use subvt_core::study::{StudyArgs, SupplyBackendKind};
 use subvt_device::tabulate::EvalMode;
 use subvt_exec::ExecConfig;
 
@@ -30,12 +29,13 @@ pub const EVAL_HELP: &str = "\
                 surfaces; ≤1% accuracy budget, much faster MC)";
 
 /// The `--supply` help paragraph for harness binaries that can score
-/// against the switched converter's real operating points.
+/// against a regulated supply's real operating points.
 pub const SUPPLY_HELP: &str = "\
-    --supply S  supply model: `ideal` (exact word voltages, the
-                default) or `switched` (the converter's per-word droop
-                and ripple; rate checked at the ripple trough, energy
-                at the cycle mean)";
+    --supply S  supply backend: `ideal` (exact word voltages, the
+                default), `buck` (switched converter; `switched` is a
+                deprecated alias), `dldo` (time-interleaved digital
+                LDO) or `dlr` (discrete-time linear regulator); rate is
+                checked at the ripple trough, energy at the cycle mean";
 
 /// The standard harness flags plus the device-evaluation mode.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,8 +44,8 @@ pub struct HarnessOptions {
     pub cfg: ExecConfig,
     /// Device evaluation mode (`--eval`, default analytic).
     pub eval: EvalMode,
-    /// Supply model (`--supply`, default ideal).
-    pub supply: SupplyKind,
+    /// Supply backend (`--supply`, default ideal).
+    pub supply: SupplyBackendKind,
     /// The full shared study-flag set (`--dies`, `--seed`, `--solver`,
     /// `--faults`, `--mitigation`, plus the three above) — the same
     /// parser the `subvt` CLI uses, so every harness binary accepts
@@ -167,11 +167,18 @@ mod tests {
     #[test]
     fn supply_parses_with_ideal_default() {
         let opts = parse_harness_options(&[], "u").unwrap().unwrap();
-        assert_eq!(opts.supply, SupplyKind::Ideal);
-        let opts = parse_harness_options(&argv(&["--supply", "switched"]), "u")
-            .unwrap()
-            .unwrap();
-        assert_eq!(opts.supply, SupplyKind::Switched);
+        assert_eq!(opts.supply, SupplyBackendKind::Ideal);
+        for (raw, kind) in [
+            ("buck", SupplyBackendKind::Buck),
+            ("switched", SupplyBackendKind::Buck),
+            ("dldo", SupplyBackendKind::Dldo),
+            ("dlr", SupplyBackendKind::Dlr),
+        ] {
+            let opts = parse_harness_options(&argv(&["--supply", raw]), "u")
+                .unwrap()
+                .unwrap();
+            assert_eq!(opts.supply, kind, "--supply {raw}");
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Data generators for Fig. 6 and the Sec. IV savings study.
 
-use subvt_exec::{ExecConfig, Welford};
+use subvt_exec::Welford;
 use subvt_rng::StdRng;
 
 use subvt_core::experiment::{
@@ -109,7 +109,8 @@ fn mc_die(
 /// path. Die count, seed and worker count come from `study`; the
 /// device surfaces are built once (before the fan-out) and shared
 /// read-only by every worker. Rows are bit-identical for any worker
-/// count, and to the historical `savings_monte_carlo_*` entry points.
+/// count (and bit-identical to what the removed `savings_monte_carlo_*`
+/// entry points computed).
 pub fn savings_rows(study: &StudyConfig<'_>, mode: EvalMode) -> Vec<MonteCarloRow> {
     let eval = mode.build(&Technology::st_130nm());
     let model = VariationModel::st_130nm();
@@ -199,64 +200,10 @@ pub fn savings_summary(study: &StudyConfig<'_>, mode: EvalMode) -> SavingsSummar
     )
 }
 
-/// Monte-Carlo savings across `dies` sampled dies.
-///
-/// Worker count from the environment (`SUBVT_JOBS`, else all cores);
-/// rows are bit-identical to [`savings_monte_carlo_serial`] for any
-/// count.
-#[deprecated(note = "use StudyConfig with savings_rows")]
-pub fn savings_monte_carlo(dies: usize, seed: u64) -> Vec<MonteCarloRow> {
-    savings_rows(
-        &StudyConfig::new(dies, seed).exec(ExecConfig::from_env()),
-        EvalMode::Analytic,
-    )
-}
-
-/// [`savings_monte_carlo`] with an explicit worker count.
-#[deprecated(note = "use StudyConfig with savings_rows")]
-pub fn savings_monte_carlo_jobs(cfg: &ExecConfig, dies: usize, seed: u64) -> Vec<MonteCarloRow> {
-    savings_rows(&StudyConfig::new(dies, seed).exec(*cfg), EvalMode::Analytic)
-}
-
-/// [`savings_monte_carlo_jobs`] with an explicit device-evaluation
-/// mode.
-#[deprecated(note = "use StudyConfig with savings_rows")]
-pub fn savings_monte_carlo_jobs_eval(
-    cfg: &ExecConfig,
-    mode: EvalMode,
-    dies: usize,
-    seed: u64,
-) -> Vec<MonteCarloRow> {
-    savings_rows(&StudyConfig::new(dies, seed).exec(*cfg), mode)
-}
-
-/// The reference serial implementation the parallel path is tested
-/// against (`tests/determinism.rs`): a plain fork-per-die loop.
-#[deprecated(note = "use StudyConfig with savings_rows")]
-pub fn savings_monte_carlo_serial(dies: usize, seed: u64) -> Vec<MonteCarloRow> {
-    savings_rows(
-        &StudyConfig::new(dies, seed).exec(ExecConfig::serial()),
-        EvalMode::Analytic,
-    )
-}
-
-/// [`savings_monte_carlo_serial`] with an explicit evaluation mode.
-#[deprecated(note = "use StudyConfig with savings_rows")]
-pub fn savings_monte_carlo_serial_eval(
-    mode: EvalMode,
-    dies: usize,
-    seed: u64,
-) -> Vec<MonteCarloRow> {
-    savings_rows(
-        &StudyConfig::new(dies, seed).exec(ExecConfig::serial()),
-        mode,
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use subvt_exec::par_fold_chunked;
+    use subvt_exec::{par_fold_chunked, ExecConfig};
 
     #[test]
     fn streaming_summary_matches_the_materialized_rows() {

@@ -102,7 +102,7 @@ fn word_voltages(ctx: &StudyContext<'_>, word: VoltageWord) -> (Volts, Volts) {
             let v = word_voltage(word);
             (v, v)
         }
-        SupplySim::Switched(model) => {
+        SupplySim::Regulated(model) => {
             let op = model.point(word);
             (op.v_min, op.v_mean)
         }

@@ -41,7 +41,7 @@ use subvt_tdc::sensor::{word_voltage, SenseError};
 use crate::compensation::SignatureDebounce;
 use crate::watchdog::{RailWatchdog, WatchdogPolicy};
 use crate::yield_study::{
-    settled_voltage_dithered, settled_word, DieOutcome, StudyContext, YieldSummary,
+    settled_voltage_dithered, settled_word, DieOutcome, StudyContext, SupplySim, YieldSummary,
 };
 
 /// System cycles the faulted compensation loop is run for. The clean
@@ -256,7 +256,22 @@ pub(crate) fn score_faulted_die_with(
     let (dithered_passes, _) = ctx.passes_dithered(cached, dithered_v, mismatch);
 
     let neighbor = ctx.sensor.config().neighbor_range;
-    let params = ConverterParams::default();
+    // Converter-domain droop figures for this run's supply: a regulated
+    // supply answers from its own backend; the ideal rail keeps the
+    // historical paper-default buck disturbances (the injected faults
+    // are converter faults even when the scored rail is exact).
+    let (glitch_droop, missed_droop) = match ctx.supply {
+        SupplySim::Ideal => {
+            let params = ConverterParams::default();
+            (
+                comparator_glitch_droop(&params),
+                missed_edge_droop(&params, LOAD_IMAGE),
+            )
+        }
+        SupplySim::Regulated(model) => {
+            (model.comparator_glitch_droop(), model.missed_update_droop())
+        }
+    };
 
     let mut word = ctx.design_word; // the LUT word register
     let mut ref_seu: VoltageWord = 0; // persistent reference-register upset
@@ -305,8 +320,8 @@ pub(crate) fn score_faulted_die_with(
         // The rail this cycle: the effective word's voltage minus any
         // transient converter droop.
         let droop = match faults.dcdc {
-            Some(DcdcFault::ComparatorGlitch) => comparator_glitch_droop(&params),
-            Some(DcdcFault::MissedPwmEdge) => missed_edge_droop(&params, LOAD_IMAGE),
+            Some(DcdcFault::ComparatorGlitch) => glitch_droop,
+            Some(DcdcFault::MissedPwmEdge) => missed_droop,
             _ => Volts(0.0),
         };
         let v_rail = Volts((word_voltage(w_eff).volts() - droop.volts()).max(0.0));

@@ -77,11 +77,9 @@ pub use idle_policy::{breakeven_retention, compare_idle_policies, IdlePolicyComp
 pub use overhead::{overhead_per_cycle, ControllerInventory, NetSavings, OverheadBreakdown};
 pub use rate_controller::{DesignError, LutCheckpoint, RateController};
 pub use shared_rail::{compare_shared_rail, RailClient, RailComparison};
-pub use study::{FaultPlan, StudyArgs, StudyConfig, StudyError, DEFAULT_BATCH, STUDY_HELP};
+pub use study::{
+    FaultPlan, StudyArgs, StudyConfig, StudyError, SupplyBackendKind, DEFAULT_BATCH, STUDY_HELP,
+};
 pub use transient::{fig6_schedule, run_transient, SegmentSummary, TransientResult, TransientStep};
 pub use watchdog::{RailWatchdog, WatchdogPolicy};
-#[allow(deprecated)] // the legacy entry points stay re-exported for one release
-pub use yield_study::{
-    yield_study, yield_study_jobs, yield_study_serial, yield_study_summary, DieOutcome,
-    YieldReport, YieldSpec, YieldSummary,
-};
+pub use yield_study::{DieOutcome, SupplySim, YieldReport, YieldSpec, YieldSummary};

@@ -6,9 +6,9 @@
 //! names encoded their argument lists. [`StudyConfig`] replaces all of
 //! them: one builder carrying the die count, seed and every model
 //! choice, with `run`/`run_summary` terminals (plus [`StudyConfig::run_faults`]
-//! for the fault-injection study). The legacy functions remain for one
-//! release as `#[deprecated]` delegates and are bit-identical to the
-//! builder path.
+//! for the fault-injection study). The legacy functions shipped one
+//! release as `#[deprecated]` delegates and have since been removed;
+//! the builder path is bit-identical to what they computed.
 //!
 //! ```
 //! use subvt_core::study::StudyConfig;
@@ -38,6 +38,7 @@ use subvt_exec::{
 };
 use subvt_loads::load::CircuitLoad;
 use subvt_loads::ring_oscillator::RingOscillator;
+use subvt_regulators::{DigitalLdoBackend, DiscreteTimeLinearBackend};
 use subvt_rng::{Rng, StdRng};
 
 pub use subvt_faults::FaultPlan;
@@ -67,9 +68,74 @@ impl StudyLoad<'_> {
 
 /// Which supply model scores the dies.
 enum StudySupply {
-    Ideal,
-    Switched,
+    /// A named backend, built at run time (with the configured solver
+    /// for the buck).
+    Backend(SupplyBackendKind),
+    /// An explicit, caller-built model.
     Model(SupplySim),
+}
+
+/// A named supply backend the CLI and builder select without building
+/// a model up front: the per-word table (and, for the buck, the
+/// converter solver) is resolved at run time from the paper-default
+/// parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SupplyBackendKind {
+    /// Exact-word rail: no droop, no ripple, no regulation overhead.
+    #[default]
+    Ideal,
+    /// Switched buck converter (the historical `switched` supply).
+    Buck,
+    /// Digital LDO with a time-interleaved comparator bank.
+    Dldo,
+    /// Discrete-time linear regulator with a z-domain PI law.
+    Dlr,
+}
+
+impl SupplyBackendKind {
+    /// The CLI spelling, which is also the checkpoint-fingerprint tag.
+    pub fn label(self) -> &'static str {
+        match self {
+            SupplyBackendKind::Ideal => "ideal",
+            SupplyBackendKind::Buck => "buck",
+            SupplyBackendKind::Dldo => "dldo",
+            SupplyBackendKind::Dlr => "dlr",
+        }
+    }
+
+    /// Builds the supply model this kind names. `solver` only affects
+    /// the buck; the other backends are closed-form by construction.
+    pub fn build_sim(self, solver: SolverMode) -> SupplySim {
+        match self {
+            SupplyBackendKind::Ideal => SupplySim::Ideal,
+            SupplyBackendKind::Buck => {
+                SupplySim::switched(ConverterParams::default().with_solver(solver))
+            }
+            SupplyBackendKind::Dldo => SupplySim::regulated(&DigitalLdoBackend::paper_default()),
+            SupplyBackendKind::Dlr => {
+                SupplySim::regulated(&DiscreteTimeLinearBackend::paper_default())
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for SupplyBackendKind {
+    type Err = String;
+
+    /// Parses a `--supply` value; `switched` is accepted as a
+    /// deprecated alias for `buck` (same model, same fingerprint tag).
+    fn from_str(s: &str) -> Result<SupplyBackendKind, String> {
+        match s {
+            "ideal" => Ok(SupplyBackendKind::Ideal),
+            "buck" | "switched" => Ok(SupplyBackendKind::Buck),
+            "dldo" => Ok(SupplyBackendKind::Dldo),
+            "dlr" => Ok(SupplyBackendKind::Dlr),
+            other => Err(format!(
+                "unknown supply `{other}` (expected one of: ideal, buck, dldo, dlr; \
+                 `switched` is a deprecated alias for buck)"
+            )),
+        }
+    }
 }
 
 /// Default sub-batch size for the SoA scoring path: large enough to
@@ -184,7 +250,7 @@ impl<'a> StudyConfig<'a> {
             fixed_word: 11,
             design_word: 11,
             load: StudyLoad::Paper(RingOscillator::paper_circuit()),
-            supply: StudySupply::Ideal,
+            supply: StudySupply::Backend(SupplyBackendKind::Ideal),
             solver: SolverMode::default(),
             faults: None,
             exec: ExecConfig::from_env(),
@@ -254,17 +320,25 @@ impl<'a> StudyConfig<'a> {
     }
 
     /// Supply by kind: `Ideal` is the exact-word rail; `Switched`
-    /// builds the converter model with the configured
-    /// [`StudyConfig::solver`] at run time.
-    pub fn supply_kind(mut self, kind: SupplyKind) -> StudyConfig<'a> {
-        self.supply = match kind {
-            SupplyKind::Ideal => StudySupply::Ideal,
-            SupplyKind::Switched => StudySupply::Switched,
-        };
+    /// builds the buck converter model with the configured
+    /// [`StudyConfig::solver`] at run time. (Legacy two-way spelling
+    /// of [`StudyConfig::supply_backend`].)
+    pub fn supply_kind(self, kind: SupplyKind) -> StudyConfig<'a> {
+        self.supply_backend(match kind {
+            SupplyKind::Ideal => SupplyBackendKind::Ideal,
+            SupplyKind::Switched => SupplyBackendKind::Buck,
+        })
+    }
+
+    /// Supply by named backend (what `--supply` selects): the model is
+    /// built at run time, with the configured [`StudyConfig::solver`]
+    /// for the buck.
+    pub fn supply_backend(mut self, kind: SupplyBackendKind) -> StudyConfig<'a> {
+        self.supply = StudySupply::Backend(kind);
         self
     }
 
-    /// Integration strategy for a `Switched` supply built by kind.
+    /// Integration strategy for a buck supply built by kind.
     pub fn solver(mut self, solver: SolverMode) -> StudyConfig<'a> {
         self.solver = solver;
         self
@@ -339,10 +413,7 @@ impl<'a> StudyConfig<'a> {
 
     fn resolved_supply(&self) -> SupplySim {
         match &self.supply {
-            StudySupply::Ideal => SupplySim::Ideal,
-            StudySupply::Switched => {
-                SupplySim::switched(ConverterParams::default().with_solver(self.solver))
-            }
+            StudySupply::Backend(kind) => kind.build_sim(self.solver),
             StudySupply::Model(sim) => sim.clone(),
         }
     }
@@ -638,9 +709,11 @@ impl<'a> StudyConfig<'a> {
             }
         };
         let supply_tag = match &self.supply {
-            StudySupply::Ideal | StudySupply::Model(SupplySim::Ideal) => "ideal",
-            StudySupply::Switched => "switched",
-            StudySupply::Model(SupplySim::Switched(_)) => "switched-model",
+            StudySupply::Backend(kind) => kind.label().to_owned(),
+            StudySupply::Model(SupplySim::Ideal) => "ideal".to_owned(),
+            StudySupply::Model(SupplySim::Regulated(model)) => {
+                format!("{}-model", model.tag())
+            }
         };
         format!(
             "subvt-study-v1 kind={kind} dies={} seed={} words={}/{} \
@@ -721,9 +794,9 @@ pub struct StudyArgs {
     pub seed: u64,
     /// Device evaluation mode (`--eval`, default analytic).
     pub eval: EvalMode,
-    /// Supply model (`--supply`, default ideal).
-    pub supply: SupplyKind,
-    /// Converter solver for a switched supply (`--solver`).
+    /// Supply backend (`--supply`, default ideal).
+    pub supply: SupplyBackendKind,
+    /// Converter solver for a buck supply (`--solver`).
     pub solver: SolverMode,
     /// Per-cycle fault rate (`--faults`); `None` disables injection.
     pub faults: Option<f64>,
@@ -744,8 +817,9 @@ pub const STUDY_HELP: &str = "\
     --jobs N          worker threads (default: SUBVT_JOBS, else all cores)
     --seed N          Monte-Carlo seed (default 1)
     --eval M          device evaluation: `analytic` (default) or `tabulated`
-    --supply S        supply model: `ideal` (default) or `switched`
-    --solver S        converter solver: `closed-form` (default) or `rk4`
+    --supply S        supply backend: `ideal` (default), `buck`, `dldo`
+                      or `dlr` (`switched` is a deprecated alias for buck)
+    --solver S        converter solver for buck: `closed-form` (default) or `rk4`
     --faults R        per-cycle fault rate in [0,1] (default: no injection)
     --mitigation M    fault mitigation `on` (default) or `off`
     --batch N         SoA sub-batch size (default 32; results identical at any N)
@@ -760,7 +834,7 @@ impl Default for StudyArgs {
             jobs: None,
             seed: 1,
             eval: EvalMode::default(),
-            supply: SupplyKind::default(),
+            supply: SupplyBackendKind::default(),
             solver: SolverMode::default(),
             faults: None,
             mitigation: true,
@@ -821,17 +895,17 @@ impl StudyArgs {
                 self.eval = value()?.parse().map_err(|e| format!("{e}"))?;
             }
             "--supply" => {
-                self.supply = match value()? {
-                    "ideal" => SupplyKind::Ideal,
-                    "switched" => SupplyKind::Switched,
-                    other => return Err(format!("unknown supply `{other}` (ideal|switched)")),
-                };
+                self.supply = value()?.parse()?;
             }
             "--solver" => {
                 self.solver = match value()? {
                     "closed-form" | "closed_form" => SolverMode::ClosedForm,
                     "rk4" => SolverMode::Rk4,
-                    other => return Err(format!("unknown solver `{other}` (closed-form|rk4)")),
+                    other => {
+                        return Err(format!(
+                            "unknown solver `{other}` (expected one of: closed-form, rk4)"
+                        ))
+                    }
                 };
             }
             "--faults" => {
@@ -894,7 +968,7 @@ impl StudyArgs {
     /// everything the flags don't cover).
     pub fn study(&self) -> StudyConfig<'static> {
         let mut cfg = StudyConfig::new(self.dies, self.seed)
-            .supply_kind(self.supply)
+            .supply_backend(self.supply)
             .solver(self.solver)
             .exec(self.exec());
         if self.eval != EvalMode::default() {
@@ -941,7 +1015,7 @@ mod tests {
         assert_eq!(study.seed, 1);
         assert_eq!(study.jobs, None);
         assert_eq!(study.eval, EvalMode::Analytic);
-        assert_eq!(study.supply, SupplyKind::Ideal);
+        assert_eq!(study.supply, SupplyBackendKind::Ideal);
         assert_eq!(study.solver, SolverMode::ClosedForm);
         assert_eq!(study.faults, None);
         assert!(study.mitigation);
@@ -973,7 +1047,7 @@ mod tests {
         assert_eq!(study.jobs, Some(3));
         assert_eq!(study.seed, 9);
         assert_eq!(study.eval, EvalMode::Tabulated);
-        assert_eq!(study.supply, SupplyKind::Switched);
+        assert_eq!(study.supply, SupplyBackendKind::Buck);
         assert_eq!(study.solver, SolverMode::Rk4);
         assert_eq!(study.exec().jobs(), 3);
         let plan = study.fault_plan().unwrap();
@@ -998,6 +1072,74 @@ mod tests {
         ] {
             assert!(parse_all(bad).is_err(), "{bad:?} should be rejected");
         }
+    }
+
+    #[test]
+    fn supply_backends_parse_by_name_with_switched_as_alias() {
+        for (raw, kind) in [
+            ("ideal", SupplyBackendKind::Ideal),
+            ("buck", SupplyBackendKind::Buck),
+            ("dldo", SupplyBackendKind::Dldo),
+            ("dlr", SupplyBackendKind::Dlr),
+            ("switched", SupplyBackendKind::Buck),
+        ] {
+            let study = parse_all(&["--supply", raw]).unwrap();
+            assert_eq!(study.supply, kind, "--supply {raw}");
+        }
+    }
+
+    #[test]
+    fn rejection_errors_list_the_valid_options() {
+        let err = parse_all(&["--supply", "battery"]).unwrap_err();
+        for option in ["ideal", "buck", "dldo", "dlr"] {
+            assert!(
+                err.contains(option),
+                "supply error `{err}` omits `{option}`"
+            );
+        }
+        let err = parse_all(&["--solver", "euler"]).unwrap_err();
+        for option in ["closed-form", "rk4"] {
+            assert!(
+                err.contains(option),
+                "solver error `{err}` omits `{option}`"
+            );
+        }
+    }
+
+    #[test]
+    fn backend_kinds_and_the_switched_alias_share_fingerprints() {
+        // `--supply switched` must resume a checkpoint written by
+        // `--supply buck` (one model, one tag), while each real backend
+        // fingerprints distinctly.
+        let tag = |kind: SupplyBackendKind| {
+            StudyConfig::new(10, 1)
+                .supply_backend(kind)
+                .fingerprint_text("summary")
+        };
+        assert_eq!(
+            tag("switched".parse().unwrap()),
+            tag(SupplyBackendKind::Buck)
+        );
+        let tags: Vec<String> = [
+            SupplyBackendKind::Ideal,
+            SupplyBackendKind::Buck,
+            SupplyBackendKind::Dldo,
+            SupplyBackendKind::Dlr,
+        ]
+        .into_iter()
+        .map(tag)
+        .collect();
+        for (i, a) in tags.iter().enumerate() {
+            for b in &tags[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        // An explicit caller-built model fingerprints as `{tag}-model`,
+        // distinct from the kind-built path.
+        let model = StudyConfig::new(10, 1)
+            .supply(SupplyBackendKind::Dldo.build_sim(SolverMode::default()))
+            .fingerprint_text("summary");
+        assert!(model.contains("supply=dldo-model"), "{model}");
     }
 
     #[test]

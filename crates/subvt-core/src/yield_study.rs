@@ -14,20 +14,20 @@ use subvt_exec::checkpoint::{CheckpointError, StateReader, StateWriter};
 use subvt_exec::{par_fold_chunked, ExecConfig, Welford};
 use subvt_rng::{Rng, StdRng};
 
-use crate::study::StudyConfig;
-
-use subvt_dcdc::converter::{ConverterParams, DcDcConverter};
-use subvt_dcdc::filter::ConstantLoad;
+use subvt_dcdc::converter::ConverterParams;
 use subvt_device::constants::DCDC_LSB;
 use subvt_device::delay::GateMismatch;
 use subvt_device::mosfet::Environment;
 use subvt_device::tabulate::{AnalyticEval, CachedEval, DeviceEval, SharedEval};
 use subvt_device::technology::Technology;
-use subvt_device::units::{Amps, Hertz, Joules, Volts};
+use subvt_device::units::{Hertz, Joules, Volts};
 use subvt_device::variation::VariationModel;
 use subvt_digital::lut::VoltageWord;
 use subvt_loads::load::CircuitLoad;
+use subvt_regulators::{BuckBackend, RegulatorModel, SupplyBackend};
 use subvt_tdc::sensor::{word_voltage, SensorConfig, VariationSensor};
+
+pub use subvt_regulators::{SwitchedSupplyModel, WordOperatingPoint};
 
 /// The shipped-product specification.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -105,8 +105,8 @@ impl YieldReport {
     /// Collapses the per-die vector into a [`YieldSummary`].
     ///
     /// Uses the same chunk-ordered fold as
-    /// [`yield_study_summary`], so the result is bit-identical to a
-    /// summary-only run of the same population at any job count.
+    /// [`crate::study::StudyConfig::run_summary`], so the result is bit-identical to
+    /// a summary-only run of the same population at any job count.
     pub fn summarize(&self) -> YieldSummary {
         let mut summary = par_fold_chunked(
             &ExecConfig::serial(),
@@ -124,7 +124,7 @@ impl YieldReport {
 /// moments, no per-die `Vec`.
 ///
 /// This is what the summary-only execution path
-/// ([`yield_study_summary`]) returns, so million-die populations cost
+/// ([`crate::study::StudyConfig::run_summary`]) returns, so million-die populations cost
 /// `O(chunks)` memory instead of `O(dies)`. All statistics are
 /// bit-identical for any worker count (see `subvt-exec`'s determinism
 /// contract).
@@ -332,130 +332,30 @@ pub(crate) fn settled_word(
     word
 }
 
-/// The settled operating point the switched converter delivers for one
-/// commanded word: the cycle-mean output plus the ripple extremes.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct WordOperatingPoint {
-    /// Cycle-mean settled output.
-    pub v_mean: Volts,
-    /// Ripple trough — the worst instantaneous supply the logic sees.
-    pub v_min: Volts,
-    /// Ripple crest.
-    pub v_max: Volts,
-}
-
-impl WordOperatingPoint {
-    const ZERO: WordOperatingPoint = WordOperatingPoint {
-        v_mean: Volts(0.0),
-        v_min: Volts(0.0),
-        v_max: Volts(0.0),
-    };
-
-    /// Peak-to-peak ripple.
-    pub fn ripple(&self) -> Volts {
-        Volts(self.v_max.volts() - self.v_min.volts())
-    }
-}
-
-/// Die-independent table of switched-converter operating points, one
-/// per voltage word.
-///
-/// The controller presents the converter with a fixed electrical image
-/// (a 2 µA constant drain — see `controller.rs`), so droop and ripple
-/// do not depend on which die is being scored. That makes the table a
-/// pure function of the converter parameters: it is built **once,
-/// serially**, before the Monte-Carlo fan-out, and workers only read
-/// it — switched-supply yields stay bit-identical at any `--jobs`.
-///
-/// Each word's entry reflects the controller's duty-trim loop: the duty
-/// within ±6 LSB of the word whose settled mean lands closest to the
-/// ideal `word × 18.75 mV` target (first — most negative — trim wins
-/// ties, deterministically).
-#[derive(Debug, Clone, PartialEq)]
-pub struct SwitchedSupplyModel {
-    /// Indexed by word; word 0 (shutdown) is all-zero.
-    points: Vec<WordOperatingPoint>,
-}
-
-impl SwitchedSupplyModel {
-    /// Trim range the controller's duty-trim loop explores (±6 LSB).
-    const TRIM: i16 = 6;
-
-    /// Builds the per-word table by settling the converter at each
-    /// candidate duty. Costs 63 short transients (memoized across the
-    /// overlapping trim windows), all with the closed-form segment
-    /// solver unless `params` asks for RK4. One converter is reused
-    /// across every settle (rewound by `reset_transient` between
-    /// duties), so the solver's Φ(h) segment cache is shared by the
-    /// whole word×trim batch — bit-identical to fresh converters, as
-    /// each Φ entry is a pure function of its segment geometry.
-    pub fn build(params: ConverterParams) -> SwitchedSupplyModel {
-        let mut converter = DcDcConverter::new(params, Box::new(ConstantLoad(Amps(2e-6))));
-        let mut by_duty: Vec<Option<WordOperatingPoint>> = vec![None; 64];
-        let mut points = vec![WordOperatingPoint::ZERO; 64];
-        for word in 1..=63u8 {
-            let target = word_voltage(word);
-            let mut best: Option<(f64, WordOperatingPoint)> = None;
-            for trim in -Self::TRIM..=Self::TRIM {
-                let duty = (i16::from(word) + trim).clamp(1, 63) as usize;
-                let op = *by_duty[duty]
-                    .get_or_insert_with(|| settle_at_duty(&mut converter, duty as u64));
-                let err = (op.v_mean.volts() - target.volts()).abs();
-                if best.is_none_or(|(e, _)| err < e) {
-                    best = Some((err, op));
-                }
-            }
-            points[usize::from(word)] = best.expect("trim window is non-empty").1;
-        }
-        SwitchedSupplyModel { points }
-    }
-
-    /// The operating point delivered for `word`.
-    pub fn point(&self, word: VoltageWord) -> WordOperatingPoint {
-        self.points[usize::from(word) % 64]
-    }
-}
-
-/// Settles the converter at a fixed `duty` under the controller's load
-/// image and measures the last eight system cycles. The caller's
-/// converter is rewound to its as-constructed state first, so each
-/// settle sees exactly what a fresh converter would.
-fn settle_at_duty(converter: &mut DcDcConverter, duty: u64) -> WordOperatingPoint {
-    converter.reset_transient();
-    converter.set_duty(duty);
-    // Settling takes < 60 cycles at every word (Fig. 6); 120 leaves
-    // margin. Untraced, so the closed-form solver segment-steps this.
-    converter.run_system_cycles(120);
-    let start = converter.now();
-    converter.enable_trace("v_out");
-    converter.run_system_cycles(8);
-    let end = converter.now();
-    let trace = converter.take_trace().expect("tracing was enabled");
-    let (lo, hi) = trace.extent(start, end).expect("trace has samples");
-    let mean = trace.mean(start, end).expect("trace has samples");
-    WordOperatingPoint {
-        v_mean: Volts(mean),
-        v_min: Volts(lo),
-        v_max: Volts(hi),
-    }
-}
-
 /// Which supply the study's designs run from.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SupplySim {
     /// Ideal rail: each word is exactly `word × 18.75 mV`, ripple-free.
     Ideal,
-    /// The switched DC-DC converter: per-word droop and ripple from the
-    /// transient model. Rate is checked at the ripple trough (the MEP
+    /// A regulator backend's snapshot: per-word droop and ripple from
+    /// its settle table. Rate is checked at the ripple trough (the MEP
     /// margin must survive the worst instantaneous supply) and energy
-    /// at the cycle mean.
-    Switched(SwitchedSupplyModel),
+    /// at the cycle mean — the same split for every backend.
+    Regulated(RegulatorModel),
 }
 
 impl SupplySim {
-    /// Builds the switched-supply variant from converter parameters.
+    /// Snapshots any [`SupplyBackend`] into a supply model. The
+    /// snapshot happens here — once, serially, before any Monte-Carlo
+    /// fan-out — so workers only ever read plain data.
+    pub fn regulated(backend: &dyn SupplyBackend) -> SupplySim {
+        SupplySim::Regulated(RegulatorModel::build(backend))
+    }
+
+    /// Builds the buck (historically "switched") supply from converter
+    /// parameters — bit-identical to PR 4's switched-supply model.
     pub fn switched(params: ConverterParams) -> SupplySim {
-        SupplySim::Switched(SwitchedSupplyModel::build(params))
+        SupplySim::regulated(&BuckBackend::new(params))
     }
 }
 
@@ -543,15 +443,15 @@ impl<'a> StudyContext<'a> {
     ) -> (bool, Joules) {
         match self.supply {
             SupplySim::Ideal => self.passes_v(eval, word_voltage(word), die),
-            SupplySim::Switched(model) => {
+            SupplySim::Regulated(model) => {
                 let op = model.point(word);
                 self.passes_at(eval, op.v_min, op.v_mean, die)
             }
         }
     }
 
-    /// Scores the dithered design's continuous settled voltage. On the
-    /// switched supply the dither rides on the nearest word's PWM
+    /// Scores the dithered design's continuous settled voltage. On a
+    /// regulated supply the dither rides on the nearest word's settled
     /// waveform, so it inherits that word's droop and ripple trough.
     pub(crate) fn passes_dithered(
         &self,
@@ -561,7 +461,7 @@ impl<'a> StudyContext<'a> {
     ) -> (bool, Joules) {
         match self.supply {
             SupplySim::Ideal => self.passes_v(eval, v, die),
-            SupplySim::Switched(model) => {
+            SupplySim::Regulated(model) => {
                 let lsb = DCDC_LSB.volts();
                 let nearest = ((v.volts() / lsb).round() as i64).clamp(1, 63) as VoltageWord;
                 let op = model.point(nearest);
@@ -616,279 +516,10 @@ pub(crate) fn analytic(tech: &Technology) -> SharedEval {
     Arc::new(AnalyticEval::new(tech))
 }
 
-/// Runs the yield study over `dies` sampled dies.
-///
-/// Deprecated: this is the first of ten combinatorial entry points
-/// (`_jobs`/`_serial`/`_summary` × `_eval` × `_supply`) that the
-/// [`StudyConfig`] builder replaces. Each wrapper delegates to the
-/// builder and is bit-identical to its historical behaviour.
-#[deprecated(note = "use StudyConfig")]
-#[allow(clippy::too_many_arguments)] // frozen legacy signature
-pub fn yield_study<R: Rng + ?Sized>(
-    tech: &Technology,
-    load: &dyn CircuitLoad,
-    env: Environment,
-    variation: &VariationModel,
-    spec: YieldSpec,
-    fixed_word: VoltageWord,
-    design_word: VoltageWord,
-    dies: usize,
-    rng: &mut R,
-) -> YieldReport {
-    StudyConfig::new(dies, 0)
-        .tech(tech.clone())
-        .load(load)
-        .env(env)
-        .variation(*variation)
-        .spec(spec)
-        .words(fixed_word, design_word)
-        .exec(ExecConfig::from_env())
-        .run_with_rng(rng)
-}
-
-/// [`yield_study`] with an explicit worker count.
-#[deprecated(note = "use StudyConfig")]
-#[allow(clippy::too_many_arguments)] // frozen legacy signature
-pub fn yield_study_jobs<R: Rng + ?Sized>(
-    cfg: &ExecConfig,
-    tech: &Technology,
-    load: &dyn CircuitLoad,
-    env: Environment,
-    variation: &VariationModel,
-    spec: YieldSpec,
-    fixed_word: VoltageWord,
-    design_word: VoltageWord,
-    dies: usize,
-    rng: &mut R,
-) -> YieldReport {
-    StudyConfig::new(dies, 0)
-        .tech(tech.clone())
-        .load(load)
-        .env(env)
-        .variation(*variation)
-        .spec(spec)
-        .words(fixed_word, design_word)
-        .exec(*cfg)
-        .run_with_rng(rng)
-}
-
-/// [`yield_study_jobs`] through an explicit [`SharedEval`].
-#[deprecated(note = "use StudyConfig")]
-#[allow(clippy::too_many_arguments)] // frozen legacy signature
-pub fn yield_study_jobs_eval<R: Rng + ?Sized>(
-    cfg: &ExecConfig,
-    eval: SharedEval,
-    load: &dyn CircuitLoad,
-    env: Environment,
-    variation: &VariationModel,
-    spec: YieldSpec,
-    fixed_word: VoltageWord,
-    design_word: VoltageWord,
-    dies: usize,
-    rng: &mut R,
-) -> YieldReport {
-    StudyConfig::new(dies, 0)
-        .eval(eval)
-        .load(load)
-        .env(env)
-        .variation(*variation)
-        .spec(spec)
-        .words(fixed_word, design_word)
-        .exec(*cfg)
-        .run_with_rng(rng)
-}
-
-/// [`yield_study_jobs_eval`] with an explicit supply model.
-#[deprecated(note = "use StudyConfig")]
-#[allow(clippy::too_many_arguments)] // frozen legacy signature
-pub fn yield_study_jobs_supply_eval<R: Rng + ?Sized>(
-    cfg: &ExecConfig,
-    eval: SharedEval,
-    load: &dyn CircuitLoad,
-    env: Environment,
-    variation: &VariationModel,
-    spec: YieldSpec,
-    fixed_word: VoltageWord,
-    design_word: VoltageWord,
-    supply: &SupplySim,
-    dies: usize,
-    rng: &mut R,
-) -> YieldReport {
-    StudyConfig::new(dies, 0)
-        .eval(eval)
-        .load(load)
-        .env(env)
-        .variation(*variation)
-        .spec(spec)
-        .words(fixed_word, design_word)
-        .supply(supply.clone())
-        .exec(*cfg)
-        .run_with_rng(rng)
-}
-
-/// The reference serial implementation: a plain fork-per-die loop.
-#[deprecated(note = "use StudyConfig")]
-#[allow(clippy::too_many_arguments)] // frozen legacy signature
-pub fn yield_study_serial<R: Rng + ?Sized>(
-    tech: &Technology,
-    load: &dyn CircuitLoad,
-    env: Environment,
-    variation: &VariationModel,
-    spec: YieldSpec,
-    fixed_word: VoltageWord,
-    design_word: VoltageWord,
-    dies: usize,
-    rng: &mut R,
-) -> YieldReport {
-    StudyConfig::new(dies, 0)
-        .tech(tech.clone())
-        .load(load)
-        .env(env)
-        .variation(*variation)
-        .spec(spec)
-        .words(fixed_word, design_word)
-        .exec(ExecConfig::serial())
-        .run_with_rng(rng)
-}
-
-/// [`yield_study_serial`] through an explicit [`SharedEval`].
-#[deprecated(note = "use StudyConfig")]
-#[allow(clippy::too_many_arguments)] // frozen legacy signature
-pub fn yield_study_serial_eval<R: Rng + ?Sized>(
-    eval: SharedEval,
-    load: &dyn CircuitLoad,
-    env: Environment,
-    variation: &VariationModel,
-    spec: YieldSpec,
-    fixed_word: VoltageWord,
-    design_word: VoltageWord,
-    dies: usize,
-    rng: &mut R,
-) -> YieldReport {
-    StudyConfig::new(dies, 0)
-        .eval(eval)
-        .load(load)
-        .env(env)
-        .variation(*variation)
-        .spec(spec)
-        .words(fixed_word, design_word)
-        .exec(ExecConfig::serial())
-        .run_with_rng(rng)
-}
-
-/// [`yield_study_serial_eval`] with an explicit supply model.
-#[deprecated(note = "use StudyConfig")]
-#[allow(clippy::too_many_arguments)] // frozen legacy signature
-pub fn yield_study_serial_supply_eval<R: Rng + ?Sized>(
-    eval: SharedEval,
-    load: &dyn CircuitLoad,
-    env: Environment,
-    variation: &VariationModel,
-    spec: YieldSpec,
-    fixed_word: VoltageWord,
-    design_word: VoltageWord,
-    supply: &SupplySim,
-    dies: usize,
-    rng: &mut R,
-) -> YieldReport {
-    StudyConfig::new(dies, 0)
-        .eval(eval)
-        .load(load)
-        .env(env)
-        .variation(*variation)
-        .spec(spec)
-        .words(fixed_word, design_word)
-        .supply(supply.clone())
-        .exec(ExecConfig::serial())
-        .run_with_rng(rng)
-}
-
-/// Summary-only yield study: scores `dies` sampled dies without ever
-/// materializing a `Vec<DieOutcome>`.
-#[deprecated(note = "use StudyConfig")]
-#[allow(clippy::too_many_arguments)] // frozen legacy signature
-pub fn yield_study_summary<R: Rng + ?Sized>(
-    cfg: &ExecConfig,
-    tech: &Technology,
-    load: &dyn CircuitLoad,
-    env: Environment,
-    variation: &VariationModel,
-    spec: YieldSpec,
-    fixed_word: VoltageWord,
-    design_word: VoltageWord,
-    dies: usize,
-    rng: &mut R,
-) -> YieldSummary {
-    StudyConfig::new(dies, 0)
-        .tech(tech.clone())
-        .load(load)
-        .env(env)
-        .variation(*variation)
-        .spec(spec)
-        .words(fixed_word, design_word)
-        .exec(*cfg)
-        .run_summary_with_rng(rng)
-}
-
-/// [`yield_study_summary`] through an explicit [`SharedEval`].
-#[deprecated(note = "use StudyConfig")]
-#[allow(clippy::too_many_arguments)] // frozen legacy signature
-pub fn yield_study_summary_eval<R: Rng + ?Sized>(
-    cfg: &ExecConfig,
-    eval: SharedEval,
-    load: &dyn CircuitLoad,
-    env: Environment,
-    variation: &VariationModel,
-    spec: YieldSpec,
-    fixed_word: VoltageWord,
-    design_word: VoltageWord,
-    dies: usize,
-    rng: &mut R,
-) -> YieldSummary {
-    StudyConfig::new(dies, 0)
-        .eval(eval)
-        .load(load)
-        .env(env)
-        .variation(*variation)
-        .spec(spec)
-        .words(fixed_word, design_word)
-        .exec(*cfg)
-        .run_summary_with_rng(rng)
-}
-
-/// [`yield_study_summary_eval`] with an explicit supply model.
-#[deprecated(note = "use StudyConfig")]
-#[allow(clippy::too_many_arguments)] // frozen legacy signature
-pub fn yield_study_summary_supply_eval<R: Rng + ?Sized>(
-    cfg: &ExecConfig,
-    eval: SharedEval,
-    load: &dyn CircuitLoad,
-    env: Environment,
-    variation: &VariationModel,
-    spec: YieldSpec,
-    fixed_word: VoltageWord,
-    design_word: VoltageWord,
-    supply: &SupplySim,
-    dies: usize,
-    rng: &mut R,
-) -> YieldSummary {
-    StudyConfig::new(dies, 0)
-        .eval(eval)
-        .load(load)
-        .env(env)
-        .variation(*variation)
-        .spec(spec)
-        .words(fixed_word, design_word)
-        .supply(supply.clone())
-        .exec(*cfg)
-        .run_summary_with_rng(rng)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use subvt_loads::ring_oscillator::RingOscillator;
-    use subvt_rng::StdRng;
+    use crate::study::StudyConfig;
 
     fn study(spec: YieldSpec, fixed_word: VoltageWord) -> YieldReport {
         // Defaults cover the paper configuration (ST 130 nm, nominal
@@ -1066,59 +697,17 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // pins the legacy wrappers' equivalence
-    fn analytic_eval_variant_is_bit_identical_to_default() {
+    fn explicit_analytic_eval_is_bit_identical_to_default() {
+        // Spelling out the default evaluator must not perturb a single
+        // bit of the study — the builder's implicit `analytic(&tech)`
+        // and an explicit one share the whole scoring path.
         let tech = Technology::st_130nm();
-        let ring = RingOscillator::paper_circuit();
-        let variation = VariationModel::st_130nm();
-        let mut rng = StdRng::seed_from_u64(5);
-        let default = yield_study_serial(
-            &tech,
-            &ring,
-            Environment::nominal(),
-            &variation,
-            tight_spec(),
-            11,
-            11,
-            50,
-            &mut rng,
-        );
-        let mut rng = StdRng::seed_from_u64(5);
-        let explicit = yield_study_serial_eval(
-            analytic(&tech),
-            &ring,
-            Environment::nominal(),
-            &variation,
-            tight_spec(),
-            11,
-            11,
-            50,
-            &mut rng,
-        );
+        let default = StudyConfig::new(50, 5).spec(tight_spec()).run();
+        let explicit = StudyConfig::new(50, 5)
+            .spec(tight_spec())
+            .eval(analytic(&tech))
+            .run();
         assert_eq!(default, explicit);
-    }
-
-    #[test]
-    fn switched_supply_model_tracks_the_ideal_targets() {
-        let model = SwitchedSupplyModel::build(ConverterParams::default());
-        for word in [5u8, 11, 19, 32, 47, 63] {
-            let op = model.point(word);
-            let target = word_voltage(word);
-            assert!(
-                (op.v_mean.volts() - target.volts()).abs() < DCDC_LSB.volts(),
-                "word {word}: mean {} vs target {} V",
-                op.v_mean.volts(),
-                target.volts()
-            );
-            assert!(op.v_min.volts() < op.v_mean.volts());
-            assert!(op.v_mean.volts() < op.v_max.volts());
-            assert!(
-                op.ripple().volts() < DCDC_LSB.volts(),
-                "word {word}: ripple {} mV",
-                op.ripple().millivolts()
-            );
-        }
-        assert_eq!(model.point(0), WordOperatingPoint::ZERO);
     }
 
     #[test]
@@ -1151,36 +740,14 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // pins the legacy wrappers' equivalence
-    fn ideal_supply_entry_point_matches_the_default_path() {
-        let tech = Technology::st_130nm();
-        let ring = RingOscillator::paper_circuit();
-        let variation = VariationModel::st_130nm();
-        let mut rng = StdRng::seed_from_u64(9);
-        let default = yield_study_serial(
-            &tech,
-            &ring,
-            Environment::nominal(),
-            &variation,
-            tight_spec(),
-            11,
-            11,
-            50,
-            &mut rng,
-        );
-        let mut rng = StdRng::seed_from_u64(9);
-        let explicit = yield_study_serial_supply_eval(
-            analytic(&tech),
-            &ring,
-            Environment::nominal(),
-            &variation,
-            tight_spec(),
-            11,
-            11,
-            &SupplySim::Ideal,
-            50,
-            &mut rng,
-        );
+    fn explicit_ideal_supply_is_bit_identical_to_default() {
+        // The ideal rail is the builder default; passing it explicitly
+        // must be a no-op for every die outcome.
+        let default = StudyConfig::new(50, 9).spec(tight_spec()).run();
+        let explicit = StudyConfig::new(50, 9)
+            .spec(tight_spec())
+            .supply(SupplySim::Ideal)
+            .run();
         assert_eq!(default, explicit);
     }
 

@@ -8,8 +8,9 @@ use std::str::FromStr;
 
 use subvt_core::controller::SupplyKind;
 use subvt_core::experiment::{savings_experiment, Scenario};
-use subvt_core::study::{StudyArgs, StudyConfig, StudyError, DEFAULT_BATCH};
+use subvt_core::study::{StudyArgs, StudyConfig, StudyError, SupplyBackendKind, DEFAULT_BATCH};
 use subvt_core::transient::{fig6_schedule, run_transient};
+use subvt_core::SupplySim;
 use subvt_dcdc::converter::ConverterParams;
 use subvt_dcdc::filter::NoLoad;
 use subvt_dcdc::solver::SolverMode;
@@ -78,9 +79,9 @@ pub enum Command {
     Table1,
     /// The paper's savings experiment.
     Savings {
-        /// Supply model the controller runs from.
-        supply: SupplyKind,
-        /// Converter solver for switched-supply runs.
+        /// Supply backend the controller runs from.
+        supply: SupplyBackendKind,
+        /// Converter solver for buck-supply runs.
         solver: SolverMode,
     },
     /// Print usage.
@@ -396,7 +397,7 @@ impl Command {
                 let mut builder = StudyConfig::new(study.dies, study.seed)
                     .tech(op.technology())
                     .env(op.environment())
-                    .supply_kind(study.supply)
+                    .supply_backend(study.supply)
                     .solver(study.solver)
                     .exec(cfg);
                 if study.eval != EvalMode::Analytic {
@@ -516,7 +517,15 @@ impl Command {
                 Ok(out)
             }
             Command::Savings { supply, solver } => {
-                let mut scenario = Scenario::paper_worked_example().with_supply(*supply);
+                // The transient controller only models the buck stage
+                // electrically; the dldo/dlr backends run the worked
+                // example on the ideal rail and report their own
+                // closed-form regulation figures alongside it.
+                let scenario_supply = match supply {
+                    SupplyBackendKind::Buck => SupplyKind::Switched,
+                    _ => SupplyKind::Ideal,
+                };
+                let mut scenario = Scenario::paper_worked_example().with_supply(scenario_supply);
                 scenario.config.converter = scenario.config.converter.with_solver(*solver);
                 let report = savings_experiment(&scenario).map_err(|e| e.to_string())?;
                 let mut out = format!(
@@ -526,12 +535,27 @@ impl Command {
                     report.savings_vs_fixed() * 100.0,
                     report.savings_vs_uncompensated() * 100.0
                 );
-                if *supply == SupplyKind::Switched {
-                    out.push_str(&format!(
-                        "\nswitched supply ({} solver): converter loss {:.3} fJ",
-                        solver_label(*solver),
-                        report.compensated.account.converter().femtos()
-                    ));
+                match supply {
+                    SupplyBackendKind::Buck => {
+                        out.push_str(&format!(
+                            "\nbuck supply ({} solver): converter loss {:.3} fJ",
+                            solver_label(*solver),
+                            report.compensated.account.converter().femtos()
+                        ));
+                    }
+                    SupplyBackendKind::Dldo | SupplyBackendKind::Dlr => {
+                        if let SupplySim::Regulated(model) = supply.build_sim(*solver) {
+                            out.push_str(&format!(
+                                "\n{} backend at word 11: ripple {:.3} mV pp, \
+                                 settle {} cycle(s), regulation {:.1} fJ/cycle",
+                                model.tag(),
+                                model.point(11).ripple().millivolts(),
+                                model.response_cycles(),
+                                model.regulation_energy_per_cycle().femtos()
+                            ));
+                        }
+                    }
+                    SupplyBackendKind::Ideal => {}
                 }
                 Ok(out)
             }
@@ -548,10 +572,10 @@ fn solver_label(solver: SolverMode) -> &'static str {
 }
 
 /// Human label for a supply choice (used in provenance lines).
-fn supply_label(supply: SupplyKind, solver: SolverMode) -> String {
+fn supply_label(supply: SupplyBackendKind, solver: SolverMode) -> String {
     match supply {
-        SupplyKind::Ideal => "ideal".to_owned(),
-        SupplyKind::Switched => format!("switched[{}]", solver_label(solver)),
+        SupplyBackendKind::Buck => format!("buck[{}]", solver_label(solver)),
+        other => other.label().to_owned(),
     }
 }
 
@@ -602,13 +626,15 @@ FLAGS:
                          analytic model (default) or precomputed
                          monotone-cubic surfaces (≤1% accuracy
                          budget, much faster Monte-Carlo)
-    --supply ideal|switched     supply model for yield/savings: an
-                         ideal rail (default) or the switched
-                         converter's per-word droop and ripple (rate
-                         checked at the ripple trough, energy at the
-                         cycle mean)
+    --supply ideal|buck|dldo|dlr   supply backend for yield/savings:
+                         an ideal rail (default), the switched buck
+                         converter, a time-interleaved digital LDO, or
+                         a discrete-time linear regulator — regulated
+                         backends score rate at the ripple trough and
+                         energy at the cycle mean (`switched` is kept
+                         as a deprecated alias for `buck`)
     --solver closed-form|rk4    converter solver for fig6 and
-                         switched-supply runs (default closed-form;
+                         buck-supply runs (default closed-form;
                          rk4 is the reference integrator)
     --faults <0..1>      per-cycle fault rate for yield: inject
                          deterministic TDC/converter/controller
@@ -844,36 +870,79 @@ mod tests {
     }
 
     #[test]
-    fn savings_on_the_switched_supply_books_converter_loss() {
-        let s = parse(&["savings", "--supply", "switched"])
-            .unwrap()
-            .run()
-            .unwrap();
-        assert!(s.contains("switched supply (closed-form solver)"), "{s}");
-        assert!(s.contains("converter loss"), "{s}");
+    fn savings_on_the_buck_supply_books_converter_loss() {
+        // Both the new spelling and the deprecated alias reach the
+        // converter-backed scenario.
+        for raw in ["buck", "switched"] {
+            let s = parse(&["savings", "--supply", raw]).unwrap().run().unwrap();
+            assert!(s.contains("buck supply (closed-form solver)"), "{s}");
+            assert!(s.contains("converter loss"), "{s}");
+        }
     }
 
     #[test]
-    fn yield_accepts_the_switched_supply() {
+    fn savings_on_the_new_backends_reports_their_figures() {
+        let s = parse(&["savings", "--supply", "dldo"])
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(s.contains("dldo backend at word 11"), "{s}");
+        assert!(s.contains("settle 1 cycle"), "{s}");
+        let s = parse(&["savings", "--supply", "dlr"])
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(s.contains("dlr backend at word 11"), "{s}");
+        assert!(s.contains("regulation 6.0 fJ/cycle"), "{s}");
+    }
+
+    #[test]
+    fn yield_accepts_the_buck_supply() {
         let c = parse(&[
-            "yield", "--dies", "24", "--supply", "switched", "--jobs", "2", "--seed", "9",
+            "yield", "--dies", "24", "--supply", "buck", "--jobs", "2", "--seed", "9",
         ])
         .unwrap();
         match &c {
-            Command::Yield { study, .. } => assert_eq!(study.supply, SupplyKind::Switched),
+            Command::Yield { study, .. } => assert_eq!(study.supply, SupplyBackendKind::Buck),
             other => panic!("{other:?}"),
         }
         let out = c.run().unwrap();
-        assert!(out.contains("switched[closed-form] supply"), "{out}");
+        assert!(out.contains("buck[closed-form] supply"), "{out}");
 
-        // Worker count must not change the switched numbers either.
+        // Worker count must not change the buck numbers either.
         let serial = parse(&[
-            "yield", "--dies", "24", "--supply", "switched", "--jobs", "1", "--seed", "9",
+            "yield", "--dies", "24", "--supply", "buck", "--jobs", "1", "--seed", "9",
         ])
         .unwrap()
         .run()
         .unwrap();
         assert_eq!(out.replace("2 jobs", "1 jobs"), serial);
+
+        // The deprecated alias is the same study, byte for byte.
+        let alias = parse(&[
+            "yield", "--dies", "24", "--supply", "switched", "--jobs", "1", "--seed", "9",
+        ])
+        .unwrap()
+        .run()
+        .unwrap();
+        assert_eq!(alias, serial);
+    }
+
+    #[test]
+    fn yield_runs_on_the_new_backends_deterministically() {
+        for supply in ["dldo", "dlr"] {
+            let run = |jobs: &str| {
+                parse(&[
+                    "yield", "--dies", "24", "--supply", supply, "--jobs", jobs, "--seed", "9",
+                ])
+                .unwrap()
+                .run()
+                .unwrap()
+            };
+            let parallel = run("2");
+            assert!(parallel.contains(&format!("{supply} supply")), "{parallel}");
+            assert_eq!(parallel.replace("2 jobs", "1 jobs"), run("1"), "{supply}");
+        }
     }
 
     #[test]

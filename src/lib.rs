@@ -51,6 +51,7 @@ pub use subvt_device;
 pub use subvt_digital;
 pub use subvt_exec;
 pub use subvt_loads;
+pub use subvt_regulators;
 pub use subvt_rng;
 pub use subvt_sim;
 pub use subvt_tdc;
@@ -62,8 +63,8 @@ pub mod prelude {
         overhead_per_cycle, run_transient, run_with_drift, savings_experiment, AbbCompensator,
         AdaptiveController, BootSequence, BootState, CompensationPolicy, ControllerConfig,
         ControllerInventory, DitherPlan, DriftSchedule, FaultPlan, NetSavings, RateController,
-        RunSummary, SavingsReport, Scenario, StudyArgs, StudyConfig, SupplyKind, SupplyPolicy,
-        YieldReport, YieldSpec, YieldSummary,
+        RunSummary, SavingsReport, Scenario, StudyArgs, StudyConfig, SupplyBackendKind, SupplyKind,
+        SupplyPolicy, SupplySim, YieldReport, YieldSpec, YieldSummary,
     };
     pub use subvt_dcdc::{
         ConverterParams, DcDcConverter, IdealConverter, ModulationMode, NoLoad, ResistiveLoad,

@@ -1,8 +1,9 @@
-//! The deprecation contract of the study API redesign, checked against
-//! the source text: all fifteen legacy entry points still exist, every
-//! one of them carries `#[deprecated]` pointing at `StudyConfig`, and
-//! the builder surface they delegate to is really there. This is what
-//! lets downstream code migrate over one release instead of breaking.
+//! The post-deprecation contract of the study API redesign, checked
+//! against the source text: the fifteen legacy entry points that spent
+//! one release as `#[deprecated]` delegates are now GONE, nothing in
+//! the tree still names them, and the builder surface that replaced
+//! them is really there. Resurrecting one of the old names (e.g. by a
+//! careless merge) fails this suite, not just a doc review.
 
 use std::fs;
 use std::path::Path;
@@ -12,59 +13,64 @@ fn source(rel: &str) -> String {
     fs::read_to_string(root.join(rel)).unwrap_or_else(|e| panic!("read {rel}: {e}"))
 }
 
-/// Asserts `pub fn {name}` exists in `text` and that the nearest
-/// preceding attribute block contains `#[deprecated`.
-fn assert_deprecated(text: &str, rel: &str, name: &str) {
-    let needle = format!("pub fn {name}");
-    let pos = text
-        .find(&needle)
-        .unwrap_or_else(|| panic!("{rel}: `{needle}` is gone — keep the wrapper for one release"));
-    // Look back a few hundred bytes: attributes and doc comments sit
-    // directly above the signature.
-    let start = pos.saturating_sub(400);
-    let above = &text[start..pos];
+/// Asserts `fn {name}(` is not defined anywhere in `text` (pub or
+/// private — the name must be fully retired, not merely hidden).
+fn assert_absent(text: &str, rel: &str, name: &str) {
+    let needle = format!("fn {name}(");
     assert!(
-        above.contains("#[deprecated"),
-        "{rel}: `{name}` exists but is not marked #[deprecated] (the \
-         redesign keeps legacy entry points only as deprecated delegates)"
+        !text.contains(&needle),
+        "{rel}: `{needle}` reappeared — the legacy entry point was \
+         deleted after its deprecation release; use StudyConfig instead"
     );
 }
 
 #[test]
-fn all_ten_yield_study_entry_points_are_deprecated_delegates() {
+fn the_ten_legacy_yield_study_entry_points_stay_deleted() {
     let text = source("crates/subvt-core/src/yield_study.rs");
+    // Longest-suffix first so e.g. `yield_study_jobs_supply_eval` is
+    // checked on its own and not shadowed by a shorter prefix match.
     for name in [
-        "yield_study",
-        "yield_study_jobs",
-        "yield_study_jobs_eval",
         "yield_study_jobs_supply_eval",
-        "yield_study_serial",
-        "yield_study_serial_eval",
         "yield_study_serial_supply_eval",
-        "yield_study_summary",
-        "yield_study_summary_eval",
         "yield_study_summary_supply_eval",
+        "yield_study_jobs_eval",
+        "yield_study_serial_eval",
+        "yield_study_summary_eval",
+        "yield_study_jobs",
+        "yield_study_serial",
+        "yield_study_summary",
+        "yield_study",
     ] {
-        assert_deprecated(&text, "crates/subvt-core/src/yield_study.rs", name);
+        assert_absent(&text, "crates/subvt-core/src/yield_study.rs", name);
     }
-    assert!(
-        text.matches("#[deprecated").count() >= 10,
-        "fewer deprecation markers than legacy yield entry points"
+    // No lingering deprecation machinery either: the module carries
+    // zero `#[deprecated]` attributes now that the window closed.
+    assert_eq!(
+        text.matches("#[deprecated").count(),
+        0,
+        "yield_study.rs should carry no deprecation markers after the \
+         legacy surface was removed"
     );
 }
 
 #[test]
-fn all_five_savings_monte_carlo_entry_points_are_deprecated_delegates() {
+fn the_five_legacy_savings_monte_carlo_entry_points_stay_deleted() {
     let text = source("crates/subvt-bench/src/savings.rs");
     for name in [
-        "savings_monte_carlo",
-        "savings_monte_carlo_jobs",
         "savings_monte_carlo_jobs_eval",
-        "savings_monte_carlo_serial",
         "savings_monte_carlo_serial_eval",
+        "savings_monte_carlo_jobs",
+        "savings_monte_carlo_serial",
+        "savings_monte_carlo",
     ] {
-        assert_deprecated(&text, "crates/subvt-bench/src/savings.rs", name);
+        assert_absent(&text, "crates/subvt-bench/src/savings.rs", name);
     }
+    assert_eq!(
+        text.matches("#[deprecated").count(),
+        0,
+        "savings.rs should carry no deprecation markers after the \
+         legacy surface was removed"
+    );
 }
 
 #[test]
@@ -73,10 +79,12 @@ fn the_builder_replacement_surface_exists() {
     for needle in [
         "pub struct StudyConfig",
         "pub struct StudyArgs",
+        "pub enum SupplyBackendKind",
         "pub fn run(",
         "pub fn run_summary(",
         "pub fn run_faults(",
         "pub fn run_dies<",
+        "pub fn supply_backend(",
         "pub fn accept(",
     ] {
         assert!(
@@ -84,36 +92,61 @@ fn the_builder_replacement_surface_exists() {
             "crates/subvt-core/src/study.rs lost `{needle}`"
         );
     }
-    // And the deprecation notes point migrating callers at it.
-    for rel in [
-        "crates/subvt-core/src/yield_study.rs",
-        "crates/subvt-bench/src/savings.rs",
-    ] {
-        assert!(
-            source(rel).contains("use StudyConfig"),
-            "{rel}: deprecation notes should name StudyConfig as the replacement"
-        );
-    }
+    // The module that housed the legacy yield fns still documents the
+    // replacement, so a reader landing there is pointed at the builder.
+    assert!(
+        source("crates/subvt-core/src/yield_study.rs").contains("StudyConfig"),
+        "yield_study.rs should point readers at StudyConfig"
+    );
+    assert!(
+        source("crates/subvt-bench/src/savings.rs").contains("StudyConfig"),
+        "savings.rs should point readers at StudyConfig"
+    );
 }
 
 #[test]
-fn no_in_tree_binary_still_calls_a_legacy_entry_point() {
-    // The bins and the CLI migrated in this PR; only the determinism
-    // suite (which pins builder-vs-legacy identity) and the wrappers'
-    // own modules may mention the old names.
+fn nothing_in_the_tree_still_names_a_legacy_entry_point() {
+    // With the wrappers gone there is no longer any file that may
+    // mention the old names — not even the determinism suite, which
+    // used to pin builder-vs-legacy identity and now pins the builder
+    // against its own serial reference.
     for rel in [
         "src/cli.rs",
+        "src/lib.rs",
+        "tests/determinism.rs",
+        "tests/batch_equivalence.rs",
+        "tests/checkpoint_resume.rs",
+        "crates/subvt-core/src/lib.rs",
+        "crates/subvt-core/src/study.rs",
+        "crates/subvt-bench/src/jobs.rs",
         "crates/subvt-bench/src/bin/exp-yield.rs",
         "crates/subvt-bench/src/bin/exp-savings.rs",
         "crates/subvt-bench/src/bin/exp-faults.rs",
         "crates/subvt-bench/src/bin/exp-ablations.rs",
     ] {
         let text = source(rel);
-        for legacy in ["yield_study(", "yield_study_", "savings_monte_carlo"] {
+        for legacy in [
+            "yield_study_jobs",
+            "yield_study_serial",
+            "savings_monte_carlo",
+        ] {
             assert!(
                 !text.contains(legacy),
-                "{rel} still calls the deprecated `{legacy}` surface"
+                "{rel} still names the removed `{legacy}` surface"
             );
         }
+    }
+}
+
+#[test]
+fn every_supply_backend_kind_is_spelled_in_the_cli_help() {
+    // `--supply` must advertise exactly the surface SupplyBackendKind
+    // parses: the four canonical spellings plus the documented alias.
+    let help = source("crates/subvt-core/src/study.rs");
+    for spelling in ["ideal", "buck", "dldo", "dlr", "switched"] {
+        assert!(
+            help.contains(spelling),
+            "STUDY_HELP no longer documents the `{spelling}` supply spelling"
+        );
     }
 }

@@ -80,6 +80,37 @@ fn batched_switched_supply_summary_is_bit_identical() {
 }
 
 #[test]
+fn batched_dldo_and_dlr_summaries_are_bit_identical() {
+    // The two new regulator backends flow through the same snapshot
+    // table the buck does, so the lane path must reproduce the scalar
+    // reference for each of them too — per-word trough scoring and
+    // mean-voltage energy included.
+    for kind in [
+        subvt_core::SupplyBackendKind::Dldo,
+        subvt_core::SupplyBackendKind::Dlr,
+    ] {
+        let reference = config(40)
+            .supply_backend(kind)
+            .run()
+            .summarize()
+            .encode_state();
+        for (batch, jobs) in [(1, 2), (3, 1), (64, 7)] {
+            let got = config(40)
+                .supply_backend(kind)
+                .batch(batch)
+                .exec(ExecConfig::with_jobs(jobs))
+                .run_summary();
+            assert_eq!(
+                got.encode_state(),
+                reference,
+                "{} summary diverged at batch={batch} jobs={jobs}",
+                kind.label()
+            );
+        }
+    }
+}
+
+#[test]
 fn batched_tabulated_summary_is_bit_identical() {
     // Tabulated surfaces are where the lane API actually hoists work
     // (one grid resolution per lane); the hoist must not change bits.

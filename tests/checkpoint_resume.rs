@@ -173,6 +173,138 @@ fn progress_is_reported_and_counts_resumed_items() {
 }
 
 #[test]
+fn regulated_backend_runs_kill_and_resume_bit_identically() {
+    // The supply backend is part of the checkpoint fingerprint, so a
+    // dldo or dlr study killed mid-flight must resume — at a different
+    // worker count — to the byte-identical straight-through summary.
+    for kind in [
+        subvt_core::SupplyBackendKind::Dldo,
+        subvt_core::SupplyBackendKind::Dlr,
+    ] {
+        let reference = config(DIES)
+            .supply_backend(kind)
+            .run_summary()
+            .encode_state();
+        let file = ScratchFile::new(&format!("backend-{}", kind.label()));
+        let token = CancelToken::new();
+        let watch_token = token.clone();
+        let watch = move |p: Progress| {
+            if p.done as u64 >= (DIES / 2) as u64 {
+                watch_token.cancel();
+            }
+        };
+        let killed = config(DIES)
+            .supply_backend(kind)
+            .exec(ExecConfig::with_jobs(1))
+            .checkpoint(&file.0)
+            .cancel(&token)
+            .progress(&watch)
+            .try_run_summary();
+        assert!(
+            matches!(killed, Err(StudyError::Cancelled)),
+            "{}: expected cancellation, got {killed:?}",
+            kind.label()
+        );
+        let resumed = config(DIES)
+            .supply_backend(kind)
+            .exec(ExecConfig::with_jobs(7))
+            .checkpoint(&file.0)
+            .run_summary();
+        assert_eq!(
+            resumed.encode_state(),
+            reference,
+            "{} resume diverged from the straight-through run",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn a_checkpoint_written_under_one_backend_rejects_resume_under_another() {
+    // Swapping `--supply` between the write and the resume changes the
+    // fingerprint: the dldo half-run must not be silently continued as
+    // a dlr (or ideal-rail) study.
+    let file = ScratchFile::new("backend-mismatch");
+    let token = CancelToken::new();
+    let watch_token = token.clone();
+    let watch = move |p: Progress| {
+        if p.done as u64 >= (DIES / 2) as u64 {
+            watch_token.cancel();
+        }
+    };
+    let killed = config(DIES)
+        .supply_backend(subvt_core::SupplyBackendKind::Dldo)
+        .exec(ExecConfig::with_jobs(1))
+        .checkpoint(&file.0)
+        .cancel(&token)
+        .progress(&watch)
+        .try_run_summary();
+    assert!(matches!(killed, Err(StudyError::Cancelled)), "{killed:?}");
+    let r = config(DIES)
+        .supply_backend(subvt_core::SupplyBackendKind::Dlr)
+        .checkpoint(&file.0)
+        .try_run_summary();
+    assert!(
+        matches!(r, Err(StudyError::Checkpoint(_))),
+        "dlr resume of a dldo checkpoint must be rejected, got {r:?}"
+    );
+    let r = config(DIES).checkpoint(&file.0).try_run_summary();
+    assert!(
+        matches!(r, Err(StudyError::Checkpoint(_))),
+        "ideal-rail resume of a dldo checkpoint must be rejected, got {r:?}"
+    );
+    // The matching backend still resumes the untouched file.
+    let resumed = config(DIES)
+        .supply_backend(subvt_core::SupplyBackendKind::Dldo)
+        .checkpoint(&file.0)
+        .run_summary();
+    assert_eq!(
+        resumed.encode_state(),
+        config(DIES)
+            .supply_backend(subvt_core::SupplyBackendKind::Dldo)
+            .run_summary()
+            .encode_state()
+    );
+}
+
+#[test]
+fn the_switched_alias_resumes_a_buck_checkpoint() {
+    // `--supply switched` is a deprecated spelling of `--supply buck`;
+    // both parse to the same backend kind, so a checkpoint written
+    // under one spelling must resume under the other.
+    let buck: subvt_core::SupplyBackendKind = "buck".parse().unwrap();
+    let alias: subvt_core::SupplyBackendKind = "switched".parse().unwrap();
+    assert_eq!(buck, alias);
+    let file = ScratchFile::new("switched-alias");
+    let token = CancelToken::new();
+    let watch_token = token.clone();
+    let watch = move |p: Progress| {
+        if p.done as u64 >= (DIES / 2) as u64 {
+            watch_token.cancel();
+        }
+    };
+    let killed = config(DIES)
+        .supply_backend(buck)
+        .exec(ExecConfig::with_jobs(1))
+        .checkpoint(&file.0)
+        .cancel(&token)
+        .progress(&watch)
+        .try_run_summary();
+    assert!(matches!(killed, Err(StudyError::Cancelled)), "{killed:?}");
+    let resumed = config(DIES)
+        .supply_backend(alias)
+        .checkpoint(&file.0)
+        .run_summary();
+    assert_eq!(
+        resumed.encode_state(),
+        config(DIES)
+            .supply_backend(buck)
+            .run_summary()
+            .encode_state()
+    );
+}
+
+#[test]
 fn a_corrupt_checkpoint_is_rejected_not_silently_restarted() {
     let file = ScratchFile::new("corrupt");
     std::fs::write(&file.0, b"not a checkpoint at all").unwrap();

@@ -5,18 +5,7 @@
 
 use subvt::prelude::*;
 use subvt_bench::savings::savings_rows;
-// The legacy entry points are exercised deliberately: this file pins
-// the builder-vs-legacy bit-identity contract for the deprecation
-// window, so it is the one place allowed to call them.
-#[allow(deprecated)]
-use subvt_bench::savings::{savings_monte_carlo_jobs, savings_monte_carlo_serial};
-#[allow(deprecated)]
-use subvt_core::yield_study::{
-    yield_study, yield_study_jobs, yield_study_jobs_eval, yield_study_jobs_supply_eval,
-    yield_study_serial, yield_study_serial_eval, yield_study_serial_supply_eval,
-    yield_study_summary,
-};
-use subvt_core::yield_study::{SupplySim, YieldReport, YieldSpec};
+use subvt_dcdc::SolverMode;
 use subvt_device::tabulate::{EvalMode, ACCURACY_BUDGET};
 use subvt_rng::{Rng, StdRng};
 use subvt_sim::analog::{IntegrationMethod, OdeSystem};
@@ -113,25 +102,10 @@ fn sim_kernel_trajectory_is_bit_identical_across_runs() {
     assert_ne!(ta, tc, "seed change had no effect on the kernel run");
 }
 
-#[allow(deprecated)]
+/// The default study (paper spec, words 11/11) with workers from the
+/// environment — what the removed `yield_study` entry point computed.
 fn mc_yield(seed: u64, dies: usize) -> YieldReport {
-    let tech = Technology::st_130nm();
-    let ring = RingOscillator::paper_circuit();
-    let mut rng = StdRng::seed_from_u64(seed);
-    yield_study(
-        &tech,
-        &ring,
-        Environment::nominal(),
-        &VariationModel::st_130nm(),
-        YieldSpec {
-            min_rate: subvt_device::Hertz(110e3),
-            max_energy_per_op: Joules::from_femtos(2.9),
-        },
-        11,
-        11,
-        dies,
-        &mut rng,
-    )
+    StudyConfig::new(dies, seed).run()
 }
 
 /// The rendered statistics of a Monte-Carlo yield run — byte-for-byte
@@ -160,48 +134,15 @@ fn monte_carlo_energy_statistics_are_byte_identical_across_runs() {
     );
 }
 
-#[allow(deprecated)]
 fn mc_yield_jobs(jobs: usize, seed: u64, dies: usize) -> YieldReport {
-    let tech = Technology::st_130nm();
-    let ring = RingOscillator::paper_circuit();
-    let mut rng = StdRng::seed_from_u64(seed);
-    yield_study_jobs(
-        &ExecConfig::with_jobs(jobs),
-        &tech,
-        &ring,
-        Environment::nominal(),
-        &VariationModel::st_130nm(),
-        YieldSpec {
-            min_rate: subvt_device::Hertz(110e3),
-            max_energy_per_op: Joules::from_femtos(2.9),
-        },
-        11,
-        11,
-        dies,
-        &mut rng,
-    )
+    StudyConfig::new(dies, seed)
+        .exec(ExecConfig::with_jobs(jobs))
+        .run()
 }
 
 #[test]
-#[allow(deprecated)]
 fn parallel_yield_study_is_bit_identical_to_the_serial_reference() {
-    let tech = Technology::st_130nm();
-    let ring = RingOscillator::paper_circuit();
-    let mut rng = StdRng::seed_from_u64(77);
-    let reference = yield_study_serial(
-        &tech,
-        &ring,
-        Environment::nominal(),
-        &VariationModel::st_130nm(),
-        YieldSpec {
-            min_rate: subvt_device::Hertz(110e3),
-            max_energy_per_op: Joules::from_femtos(2.9),
-        },
-        11,
-        11,
-        120,
-        &mut rng,
-    );
+    let reference = StudyConfig::new(120, 77).exec(ExecConfig::serial()).run();
     for jobs in [1, 2, 7] {
         let parallel = mc_yield_jobs(jobs, 77, 120);
         assert_eq!(
@@ -216,29 +157,13 @@ fn parallel_yield_study_is_bit_identical_to_the_serial_reference() {
 }
 
 #[test]
-#[allow(deprecated)]
 fn summary_only_yield_study_is_thread_count_invariant() {
     let report = mc_yield_jobs(1, 77, 120);
     let expected = report.summarize();
     for jobs in [1, 2, 7] {
-        let tech = Technology::st_130nm();
-        let ring = RingOscillator::paper_circuit();
-        let mut rng = StdRng::seed_from_u64(77);
-        let summary = yield_study_summary(
-            &ExecConfig::with_jobs(jobs),
-            &tech,
-            &ring,
-            Environment::nominal(),
-            &VariationModel::st_130nm(),
-            YieldSpec {
-                min_rate: subvt_device::Hertz(110e3),
-                max_energy_per_op: Joules::from_femtos(2.9),
-            },
-            11,
-            11,
-            120,
-            &mut rng,
-        );
+        let summary = StudyConfig::new(120, 77)
+            .exec(ExecConfig::with_jobs(jobs))
+            .run_summary();
         assert_eq!(
             expected, summary,
             "summary-only path diverged from summarize() at {jobs} jobs"
@@ -246,51 +171,22 @@ fn summary_only_yield_study_is_thread_count_invariant() {
     }
 }
 
-#[allow(deprecated)]
 fn mc_yield_eval(mode: EvalMode, jobs: usize, seed: u64, dies: usize) -> YieldReport {
-    let tech = Technology::st_130nm();
-    let ring = RingOscillator::paper_circuit();
-    let mut rng = StdRng::seed_from_u64(seed);
-    yield_study_jobs_eval(
-        &ExecConfig::with_jobs(jobs),
-        mode.build(&tech),
-        &ring,
-        Environment::nominal(),
-        &VariationModel::st_130nm(),
-        YieldSpec {
-            min_rate: subvt_device::Hertz(110e3),
-            max_energy_per_op: Joules::from_femtos(2.9),
-        },
-        11,
-        11,
-        dies,
-        &mut rng,
-    )
+    StudyConfig::new(dies, seed)
+        .eval_mode(mode)
+        .exec(ExecConfig::with_jobs(jobs))
+        .run()
 }
 
 #[test]
-#[allow(deprecated)]
 fn tabulated_yield_study_is_bit_identical_across_job_counts() {
     // The tabulated surfaces are a pure function of the technology and
     // grid, and interpolation is a pure function of the table — so the
     // PR 2 determinism contract must hold unchanged with tabulation on.
-    let tech = Technology::st_130nm();
-    let ring = RingOscillator::paper_circuit();
-    let mut rng = StdRng::seed_from_u64(77);
-    let reference = yield_study_serial_eval(
-        EvalMode::Tabulated.build(&tech),
-        &ring,
-        Environment::nominal(),
-        &VariationModel::st_130nm(),
-        YieldSpec {
-            min_rate: subvt_device::Hertz(110e3),
-            max_energy_per_op: Joules::from_femtos(2.9),
-        },
-        11,
-        11,
-        120,
-        &mut rng,
-    );
+    let reference = StudyConfig::new(120, 77)
+        .eval_mode(EvalMode::Tabulated)
+        .exec(ExecConfig::serial())
+        .run();
     for jobs in [1, 2, 7] {
         let parallel = mc_yield_eval(EvalMode::Tabulated, jobs, 77, 120);
         assert_eq!(
@@ -350,114 +246,59 @@ fn tabulated_yield_study_divergence_from_analytic_is_bounded() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn switched_supply_yield_study_is_bit_identical_across_job_counts() {
-    // The switched-supply table (per-word droop/ripple) is built
-    // serially before the fan-out and only read by workers, so the
-    // `subvt yield --supply switched --jobs N` contract is the same as
-    // the ideal rail's: bit-identical to the serial reference at any N.
-    let tech = Technology::st_130nm();
-    let ring = RingOscillator::paper_circuit();
-    let spec = YieldSpec {
-        min_rate: subvt_device::Hertz(110e3),
-        max_energy_per_op: Joules::from_femtos(2.9),
-    };
-    let supply = SupplySim::switched(subvt_dcdc::converter::ConverterParams::default());
-    let mut rng = StdRng::seed_from_u64(77);
-    let reference = yield_study_serial_supply_eval(
-        EvalMode::Analytic.build(&tech),
-        &ring,
-        Environment::nominal(),
-        &VariationModel::st_130nm(),
-        spec,
-        11,
-        11,
-        &supply,
-        120,
-        &mut rng,
-    );
-    for jobs in [1, 2, 7] {
-        // A freshly built supply model must also reproduce exactly:
-        // the table itself is deterministic, not just its use.
-        let supply = SupplySim::switched(subvt_dcdc::converter::ConverterParams::default());
-        let mut rng = StdRng::seed_from_u64(77);
-        let parallel = yield_study_jobs_supply_eval(
-            &ExecConfig::with_jobs(jobs),
-            EvalMode::Analytic.build(&tech),
-            &ring,
-            Environment::nominal(),
-            &VariationModel::st_130nm(),
-            spec,
-            11,
-            11,
-            &supply,
-            120,
-            &mut rng,
-        );
-        assert_eq!(
-            reference, parallel,
-            "switched-supply yield diverged from the serial reference at {jobs} jobs"
-        );
-        assert_eq!(
-            mc_stats_text(&reference).into_bytes(),
-            mc_stats_text(&parallel).into_bytes()
-        );
+fn regulated_supply_yield_studies_are_bit_identical_across_job_counts() {
+    // Every backend's table (per-word droop/ripple) is built serially
+    // before the fan-out and only read by workers, so the
+    // `subvt yield --supply {buck,dldo,dlr} --jobs N` contract is the
+    // same as the ideal rail's: bit-identical to the serial reference
+    // at any N — and a freshly built supply model must also reproduce
+    // exactly (the table itself is deterministic, not just its use).
+    for kind in [
+        SupplyBackendKind::Buck,
+        SupplyBackendKind::Dldo,
+        SupplyBackendKind::Dlr,
+    ] {
+        let reference = StudyConfig::new(120, 77)
+            .supply(kind.build_sim(SolverMode::ClosedForm))
+            .exec(ExecConfig::serial())
+            .run();
+        for jobs in [2usize, 7] {
+            let parallel = StudyConfig::new(120, 77)
+                .supply(kind.build_sim(SolverMode::ClosedForm))
+                .exec(ExecConfig::with_jobs(jobs))
+                .run();
+            assert_eq!(
+                reference,
+                parallel,
+                "{} yield diverged from the serial reference at {jobs} jobs",
+                kind.label()
+            );
+            assert_eq!(
+                mc_stats_text(&reference).into_bytes(),
+                mc_stats_text(&parallel).into_bytes()
+            );
+        }
+        // The kind-built path (what `--supply` uses) and an explicitly
+        // built model agree bit-for-bit.
+        let by_kind = StudyConfig::new(120, 77).supply_backend(kind).run();
+        assert_eq!(reference, by_kind, "{} kind vs model", kind.label());
     }
 }
 
 #[test]
-#[allow(deprecated)]
-fn parallel_savings_monte_carlo_matches_the_serial_reference() {
-    let reference = savings_monte_carlo_serial(24, 2026);
+fn parallel_savings_rows_match_the_serial_reference() {
+    let reference = savings_rows(
+        &StudyConfig::new(24, 2026).exec(ExecConfig::serial()),
+        EvalMode::Analytic,
+    );
     for jobs in [1, 2, 7] {
-        let rows = savings_monte_carlo_jobs(&ExecConfig::with_jobs(jobs), 24, 2026);
+        let rows = savings_rows(
+            &StudyConfig::new(24, 2026).exec(ExecConfig::with_jobs(jobs)),
+            EvalMode::Analytic,
+        );
         assert_eq!(
             reference, rows,
             "savings MC diverged from the serial reference at {jobs} jobs"
-        );
-    }
-}
-
-#[test]
-#[allow(deprecated)]
-fn study_builder_is_bit_identical_to_the_legacy_yield_entry_points() {
-    // The deprecation contract: `StudyConfig` must reproduce the
-    // functions it replaces bit-for-bit, at every worker count, on
-    // both the per-die and summary-only terminals.
-    let reference = mc_yield(77, 120);
-    let expected_summary = reference.summarize();
-    for jobs in [1usize, 2, 7] {
-        let report = StudyConfig::new(120, 77)
-            .exec(ExecConfig::with_jobs(jobs))
-            .run();
-        assert_eq!(
-            reference, report,
-            "builder run() diverged from the legacy yield study at {jobs} jobs"
-        );
-        assert_eq!(
-            mc_stats_text(&reference).into_bytes(),
-            mc_stats_text(&report).into_bytes()
-        );
-        let summary = StudyConfig::new(120, 77)
-            .exec(ExecConfig::with_jobs(jobs))
-            .run_summary();
-        assert_eq!(
-            expected_summary, summary,
-            "builder run_summary() diverged from summarize() at {jobs} jobs"
-        );
-    }
-}
-
-#[test]
-#[allow(deprecated)]
-fn study_builder_is_bit_identical_to_the_legacy_savings_entry_points() {
-    let reference = savings_monte_carlo_serial(24, 2026);
-    for jobs in [1usize, 2, 7] {
-        let study = StudyConfig::new(24, 2026).exec(ExecConfig::with_jobs(jobs));
-        let rows = savings_rows(&study, subvt_device::tabulate::EvalMode::Analytic);
-        assert_eq!(
-            reference, rows,
-            "builder savings rows diverged from the legacy entry point at {jobs} jobs"
         );
     }
 }
