@@ -12,12 +12,25 @@
 //!   study (10⁴ in quick mode), timed once via `bench_once`, with its
 //!   computed yields echoed so the report doubles as a results record.
 //!
+//! Every leg carries a `dies/s` throughput figure (`items_per_sec` in
+//! the report), and the mega leg's per-phase wall-time profile (die
+//! draw / fixed lane / word settle / adaptive lanes / dither settle)
+//! is printed and dumped to `PROFILE_fleet.txt` next to the report, so
+//! a single bench run shows where the hot path spends its time.
+//!
 //! On a host with ≥ 4 cores (and outside quick mode) the bench
-//! *asserts* the 4-worker leg beats 1 worker by ≥ 1.5× — CI's
-//! multi-core runners enforce the scaling claim; a 1-core container
-//! only records honest numbers (its `machine.cores` block says so).
+//! *asserts* two claims:
+//!
+//! * the 4-worker leg beats 1 worker by ≥ 1.5× — CI's multi-core
+//!   runners enforce the scaling claim;
+//! * mega-leg throughput stays within 0.5× of the committed baseline
+//!   in `docs/results/BENCH_fleet.json` — the perf-regression gate.
+//!
+//! A 1-core container only records honest numbers (its
+//! `machine.cores` block says so).
 
 use subvt_core::study::{StudyConfig, DEFAULT_BATCH};
+use subvt_core::PhaseProfile;
 use subvt_exec::ExecConfig;
 use subvt_testkit::bench::Timer;
 
@@ -30,12 +43,45 @@ fn config(dies: usize) -> StudyConfig<'static> {
     StudyConfig::new(dies, SEED)
 }
 
+/// The committed baseline report, found by walking up from the bench
+/// cwd (the package root) to the repo root. `None` outside a checkout.
+fn committed_baseline() -> Option<std::path::PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let candidate = dir.join("docs/results/BENCH_fleet.json");
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Pulls `median_ns` for one benchmark out of a committed
+/// `subvt-bench-v*` report without a JSON parser: the writer puts one
+/// record per line, so scan for the name and read the field after it.
+fn baseline_median_ns(json: &str, bench_name: &str) -> Option<f64> {
+    let line = json
+        .lines()
+        .find(|l| l.contains(&format!("\"name\": \"{bench_name}\"")))?;
+    let tail = line.split("\"median_ns\": ").nth(1)?;
+    tail.split(',')
+        .next()?
+        .trim_end_matches('}')
+        .trim()
+        .parse()
+        .ok()
+}
+
 fn bench(c: &mut Timer) {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let quick = c.quick();
+    let profile_path = c.out_dir().join("PROFILE_fleet.txt");
 
     let mut g = c.benchmark_group("fleet");
     g.sample_size(10);
+    g.throughput(DIES as f64);
 
     for batch in [1usize, 16, DEFAULT_BATCH] {
         g.bench_function(&format!("summary_batch{batch}"), |b| {
@@ -69,11 +115,15 @@ fn bench(c: &mut Timer) {
     // summary path at full parallelism, timed once. Quick mode keeps
     // the smoke run to 10⁴ dies so `cargo test` stays fast.
     let mega = if quick { 10_000 } else { 1_000_000 };
-    let summary = g.bench_once(&format!("summary_{mega}_dies"), || {
+    g.throughput(mega as f64);
+    let mega_name = format!("summary_{mega}_dies");
+    let profile_before = PhaseProfile::snapshot();
+    let summary = g.bench_once(&mega_name, || {
         config(mega)
             .exec(ExecConfig::with_jobs(cores))
             .run_summary()
     });
+    let profile = PhaseProfile::snapshot().since(&profile_before);
     assert_eq!(summary.dies, mega as u64, "the mega study must complete");
     println!(
         "fleet mega study: {} dies, fixed yield {:.4}, adaptive yield {:.4}, dithered yield {:.4}",
@@ -82,6 +132,47 @@ fn bench(c: &mut Timer) {
         summary.adaptive_yield(),
         summary.dithered_yield(),
     );
+    println!("{profile}");
+    let profile_dump =
+        format!("fleet mega leg ({mega} dies, {cores} core(s), quick={quick})\n{profile}\n");
+    if let Some(parent) = profile_path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&profile_path, profile_dump) {
+        Ok(()) => println!("fleet phase profile written to {}", profile_path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", profile_path.display()),
+    }
+
+    // Perf-regression gate: compare mega-leg throughput against the
+    // committed baseline. Dormant in quick mode and on small runners,
+    // where the timing would gate on scheduler noise; the 0.5×
+    // tolerance absorbs runner-to-runner variance while still
+    // catching a real hot-path regression.
+    if !quick && cores >= 4 {
+        let mega_ns = g.median_ns(&mega_name).expect("mega leg ran");
+        match committed_baseline()
+            .and_then(|p| std::fs::read_to_string(p).ok())
+            .and_then(|json| baseline_median_ns(&json, &mega_name))
+        {
+            Some(base_ns) => {
+                let ratio = base_ns / mega_ns;
+                println!(
+                    "fleet perf gate: mega leg {:.2}x committed baseline ({:.2}s vs {:.2}s)",
+                    ratio,
+                    mega_ns / 1e9,
+                    base_ns / 1e9,
+                );
+                assert!(
+                    ratio >= 0.5,
+                    "fleet mega leg regressed below 0.5x the committed baseline: \
+                     {:.2}s vs {:.2}s committed ({ratio:.2}x)",
+                    mega_ns / 1e9,
+                    base_ns / 1e9,
+                );
+            }
+            None => println!("fleet perf gate: no committed baseline for {mega_name} (skipping)"),
+        }
+    }
     g.finish();
 
     println!("fleet ran on a machine with {cores} core(s)");

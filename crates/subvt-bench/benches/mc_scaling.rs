@@ -10,7 +10,7 @@
 //!   surfaces, isolating how much model cost the scheduler hides.
 //!
 //! The host core count lands in the report's top-level `machine` block
-//! (schema v2), distinguishing a single-core container — where
+//! (schema v3), distinguishing a single-core container — where
 //! jobs > 1 cannot beat serial — from a genuine scaling regression. An
 //! `eval_mode_M` marker record still names the device-evaluation mode
 //! of the unsuffixed legs so a report stays self-describing if the
@@ -38,6 +38,11 @@ fn bench(c: &mut Timer) {
 
     let mut g = c.benchmark_group("mc_scaling");
     g.sample_size(10);
+    g.bench_function(&format!("eval_mode_{}", EvalMode::Analytic.label()), |b| {
+        b.iter(|| std::hint::black_box(cores))
+    });
+
+    g.throughput(DIES as f64);
     let serial = StudyConfig::new(DIES, SEED).exec(ExecConfig::serial());
     g.bench_function("savings_mc_serial", |b| {
         b.iter(|| savings_rows(&serial, EvalMode::Analytic))
@@ -51,10 +56,6 @@ fn bench(c: &mut Timer) {
             b.iter(|| savings_rows(&study, EvalMode::Tabulated))
         });
     }
-    g.bench_function(&format!("eval_mode_{}", EvalMode::Analytic.label()), |b| {
-        b.iter(|| std::hint::black_box(cores))
-    });
-
     if !quick && cores >= 4 {
         let t1 = g.median_ns("savings_mc_jobs1").expect("jobs1 leg ran");
         let t4 = g.median_ns("savings_mc_jobs4").expect("jobs4 leg ran");

@@ -20,7 +20,9 @@
 //! property suite in `tests/batch_equivalence.rs` pins this.
 
 use std::borrow::Cow;
+use std::fmt::Write as _;
 use std::ops::Range;
+use std::time::Instant;
 
 use subvt_device::delay::GateMismatch;
 use subvt_device::tabulate::CachedEval;
@@ -28,13 +30,12 @@ use subvt_device::units::{Joules, Seconds, Volts};
 use subvt_digital::lut::VoltageWord;
 use subvt_exec::chunk_len;
 use subvt_faults::FaultPlan;
-use subvt_rng::{Rng, StdRng};
-use subvt_tdc::sensor::word_voltage;
+use subvt_rng::{Jump, Rng, StdRng};
+use subvt_tdc::sensor::{word_voltage, SenseError};
 
 use crate::fault_study::{score_faulted_die_with, FaultDieOutcome};
-use crate::yield_study::{
-    settled_voltage_dithered, settled_word, DieOutcome, StudyContext, SupplySim,
-};
+use crate::profile::{record_phase, record_sub_batch, Phase};
+use crate::yield_study::{DieOutcome, StudyContext, SupplySim};
 
 /// The per-die seed stream in `O(chunks)` memory.
 ///
@@ -65,14 +66,17 @@ impl ChunkSeeds {
         let chunk = chunk_len(dies);
         let mut parent = StdRng::seed_from_u64(seed);
         let mut states = Vec::with_capacity(dies.div_ceil(chunk));
-        for i in 0..dies {
-            if i % chunk == 0 {
-                states.push(parent.clone());
-            }
-            // Advance exactly as `fork_seed` would (the label hash
-            // never touches the parent), keeping every snapshot on the
-            // scalar path's stream.
-            let _ = parent.next_u64();
+        // The parent advances exactly one draw per die (`fork_seed`'s
+        // label hash never touches it), so each boundary state is one
+        // chunk-length jump past the previous — O(chunks) total, with
+        // one O(log chunk) matrix build, instead of O(dies) draws. The
+        // KAT suite in subvt-rng pins the jump to the sequential
+        // stream; the final jump overshoots a ragged last chunk, but
+        // that state is never snapshotted.
+        let jump = Jump::by(chunk as u64);
+        for _ in 0..dies.div_ceil(chunk) {
+            states.push(parent.clone());
+            jump.apply(&mut parent);
         }
         ChunkSeeds::Snapshots { states, chunk }
     }
@@ -86,7 +90,19 @@ impl ChunkSeeds {
             ChunkSeeds::Snapshots { states, chunk } => {
                 debug_assert_eq!(range.start % chunk, 0, "range must be chunk-aligned");
                 let mut rng = states[range.start / chunk].clone();
-                Cow::Owned(range.map(|i| rng.fork_seed(&format!("die-{i}"))).collect())
+                // One reused label buffer instead of a heap allocation
+                // per die — the label bytes (and so the seeds) are
+                // unchanged.
+                let mut label = String::with_capacity(24);
+                Cow::Owned(
+                    range
+                        .map(|i| {
+                            label.clear();
+                            write!(label, "die-{i}").expect("in-memory write");
+                            rng.fork_seed(&label)
+                        })
+                        .collect(),
+                )
             }
         }
     }
@@ -162,6 +178,15 @@ struct DieBatch {
     group_mm: Vec<GateMismatch>,
     group_t: Vec<Seconds>,
     group_pass: Vec<bool>,
+    // Lockstep-settle scratch: the dies still walking, their next
+    // round, and the per-die sense results and dither voltages.
+    active: Vec<usize>,
+    next_active: Vec<usize>,
+    round_words: Vec<VoltageWord>,
+    sense_out: Vec<Result<i16, SenseError>>,
+    voltages: Vec<Volts>,
+    group_v: Vec<Volts>,
+    frac_out: Vec<Result<f64, SenseError>>,
 }
 
 impl DieBatch {
@@ -179,6 +204,13 @@ impl DieBatch {
             group_mm: Vec::with_capacity(batch),
             group_t: Vec::with_capacity(batch),
             group_pass: Vec::with_capacity(batch),
+            active: Vec::with_capacity(batch),
+            next_active: Vec::with_capacity(batch),
+            round_words: Vec::with_capacity(batch),
+            sense_out: Vec::with_capacity(batch),
+            voltages: Vec::with_capacity(batch),
+            group_v: Vec::with_capacity(batch),
+            frac_out: Vec::with_capacity(batch),
         }
     }
 
@@ -206,18 +238,24 @@ impl DieBatch {
     fn score(&mut self, ctx: &StudyContext<'_>, cached: &CachedEval<'_>, seeds: &[u64]) {
         let n = seeds.len();
         self.reset(n);
+        record_sub_batch();
+        // The settle lanes go straight to the study evaluator: every
+        // iteration visits a fresh operating point, so the per-batch
+        // memo (pure, and kept for the energy legs) would only add
+        // lookups — bypassing it cannot change a bit.
+        let eval = ctx.eval.as_ref();
 
         // Phase A: sample the die population into the SoA lanes. One
-        // pre-forked stream per die, exactly as the scalar path draws.
-        for (k, &seed) in seeds.iter().enumerate() {
-            let mut die_rng = StdRng::seed_from_u64(seed);
-            let die = ctx.variation.sample_die(&mut die_rng);
-            self.corner_units[k] = die.corner_units();
-            self.mismatches[k] = die.mean_gate();
-        }
+        // pre-forked stream per die, exactly as the scalar path draws;
+        // the correlation/scale arithmetic runs four dies wide.
+        let t0 = Instant::now();
+        ctx.variation
+            .sample_die_lane(seeds, &mut self.corner_units, &mut self.mismatches);
+        record_phase(Phase::Draw, t0.elapsed().as_nanos() as u64);
 
         // Phase B: the fixed design — every die at one commanded word,
         // the natural lane.
+        let t0 = Instant::now();
         lane_passes(
             ctx,
             cached,
@@ -226,22 +264,84 @@ impl DieBatch {
             &mut self.delays,
             &mut self.fixed_pass,
         );
+        record_phase(Phase::Fixed, t0.elapsed().as_nanos() as u64);
 
-        // Phase C: the adaptive compensation walk. Data-dependent per
-        // die, so it stays scalar — through the shared memo, which
-        // dedups the operating points the walks revisit.
-        for k in 0..n {
-            self.words[k] = settled_word(
-                cached,
-                &ctx.sensor,
-                ctx.design_word,
-                ctx.env,
-                self.mismatches[k],
-            );
+        // Phase C: the adaptive compensation walk, in lockstep — every
+        // die takes one walk step per round, and the dies currently
+        // testing the same candidate word share one fused sensor lane.
+        // Each die's step sequence (sense → dev == 0? → clamp walk →
+        // fixed-point?) is exactly `yield_study::settled_word`'s.
+        let t0 = Instant::now();
+        self.words[..n].fill(ctx.design_word);
+        self.active.clear();
+        self.active.extend(0..n);
+        for _ in 0..8 {
+            if self.active.is_empty() {
+                break;
+            }
+            self.next_active.clear();
+            // Snapshot each walker's word at the round boundary: a die
+            // stepping up must not be re-sensed by a later cohort of
+            // the same round.
+            self.round_words.clear();
+            self.round_words
+                .extend(self.active.iter().map(|&k| self.words[k]));
+            let mut word = 0usize;
+            let mut remaining = self.active.len();
+            while remaining > 0 && word < 64 {
+                let w = word as VoltageWord;
+                word += 1;
+                self.group_idx.clear();
+                self.group_idx.extend(
+                    self.active
+                        .iter()
+                        .zip(&self.round_words)
+                        .filter(|&(_, &rw)| rw == w)
+                        .map(|(&k, _)| k),
+                );
+                if self.group_idx.is_empty() {
+                    continue;
+                }
+                remaining -= self.group_idx.len();
+                self.group_mm.clear();
+                self.group_mm
+                    .extend(self.group_idx.iter().map(|&k| self.mismatches[k]));
+                self.sense_out.clear();
+                self.sense_out.resize(self.group_idx.len(), Ok(0));
+                let sensed = ctx.sensor.sense_lane_with(
+                    eval,
+                    ctx.design_word,
+                    word_voltage(w),
+                    ctx.env,
+                    &self.group_mm,
+                    &mut self.sense_out,
+                );
+                // A band error is die-independent: the whole cohort
+                // stops walking, exactly as each scalar walk breaks.
+                if sensed.is_err() {
+                    continue;
+                }
+                for (j, &k) in self.group_idx.iter().enumerate() {
+                    let Ok(dev) = self.sense_out[j] else {
+                        continue;
+                    };
+                    if dev == 0 {
+                        continue;
+                    }
+                    let next = (i16::from(w) - dev.signum()).clamp(1, 63) as VoltageWord;
+                    if next != w {
+                        self.words[k] = next;
+                        self.next_active.push(k);
+                    }
+                }
+            }
+            std::mem::swap(&mut self.active, &mut self.next_active);
         }
+        record_phase(Phase::SettleWord, t0.elapsed().as_nanos() as u64);
 
         // Phase D: score each settled word's cohort as a lane — one
         // grid resolution and one energy evaluation per distinct word.
+        let t0 = Instant::now();
         let mut remaining = n;
         let mut word = 0usize;
         while remaining > 0 && word < 64 {
@@ -274,20 +374,62 @@ impl DieBatch {
                 self.adaptive_energy[k] = energy;
             }
         }
+        record_phase(Phase::AdaptiveLanes, t0.elapsed().as_nanos() as u64);
 
-        // Phase E: the sub-LSB dithered design settles on a continuous
-        // per-die voltage — no common operating point to lane over.
-        for k in 0..n {
-            let v = settled_voltage_dithered(
-                cached,
-                &ctx.sensor,
+        // Phase E: the sub-LSB dither settle, in lockstep — every die
+        // walks its own continuous voltage, so the rounds lane over
+        // the per-die-supply fused kernel instead of a common word.
+        // Per die the update sequence is exactly
+        // `yield_study::settled_voltage_dithered`'s.
+        let t0 = Instant::now();
+        self.voltages.clear();
+        self.voltages.resize(n, word_voltage(ctx.design_word));
+        self.active.clear();
+        self.active.extend(0..n);
+        for _ in 0..40 {
+            if self.active.is_empty() {
+                break;
+            }
+            self.group_v.clear();
+            self.group_v
+                .extend(self.active.iter().map(|&k| self.voltages[k]));
+            self.group_mm.clear();
+            self.group_mm
+                .extend(self.active.iter().map(|&k| self.mismatches[k]));
+            self.frac_out.clear();
+            self.frac_out.resize(self.active.len(), Ok(0.0));
+            let sensed = ctx.sensor.sense_fractional_multi_with(
+                eval,
                 ctx.design_word,
+                &self.group_v,
                 ctx.env,
-                self.mismatches[k],
+                &self.group_mm,
+                &mut self.frac_out,
             );
-            let (pass, _) = ctx.passes_dithered(cached, v, self.mismatches[k]);
+            if sensed.is_err() {
+                // Die-independent band error: every walk breaks at its
+                // current voltage.
+                break;
+            }
+            self.next_active.clear();
+            for (j, &k) in self.active.iter().enumerate() {
+                let Ok(frac) = self.frac_out[j] else {
+                    continue;
+                };
+                if frac.abs() < 0.02 {
+                    continue;
+                }
+                let v = self.voltages[k].volts();
+                self.voltages[k] = Volts((v - 0.2 * frac * 0.018_75).clamp(0.018_75, 1.18));
+                self.next_active.push(k);
+            }
+            std::mem::swap(&mut self.active, &mut self.next_active);
+        }
+        for k in 0..n {
+            let (pass, _) = ctx.passes_dithered(cached, self.voltages[k], self.mismatches[k]);
             self.dithered_pass[k] = pass;
         }
+        record_phase(Phase::Dither, t0.elapsed().as_nanos() as u64);
     }
 
     fn outcome(&self, k: usize) -> DieOutcome {

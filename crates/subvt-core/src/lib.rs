@@ -52,6 +52,7 @@ pub mod experiment;
 pub mod fault_study;
 pub mod idle_policy;
 pub mod overhead;
+pub mod profile;
 pub mod rate_controller;
 pub mod shared_rail;
 pub mod study;
@@ -75,6 +76,7 @@ pub use experiment::{
 pub use fault_study::{FaultDieOutcome, FaultStudySummary};
 pub use idle_policy::{breakeven_retention, compare_idle_policies, IdlePolicyComparison};
 pub use overhead::{overhead_per_cycle, ControllerInventory, NetSavings, OverheadBreakdown};
+pub use profile::PhaseProfile;
 pub use rate_controller::{DesignError, LutCheckpoint, RateController};
 pub use shared_rail::{compare_shared_rail, RailClient, RailComparison};
 pub use study::{

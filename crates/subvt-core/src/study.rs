@@ -809,6 +809,9 @@ pub struct StudyArgs {
     /// Fire a cancel token once this many dies finished
     /// (`--cancel-after-dies`, for exercising checkpoint/resume).
     pub cancel_after_dies: Option<u64>,
+    /// Print the per-phase wall-time profile of the batched hot path
+    /// after the run (`--profile-phases`).
+    pub profile_phases: bool,
 }
 
 /// Help text for the shared study flags.
@@ -825,7 +828,10 @@ pub const STUDY_HELP: &str = "\
     --batch N         SoA sub-batch size (default 32; results identical at any N)
     --checkpoint F    checkpoint file: resume from F if present, else create it
     --cancel-after-dies N
-                      stop (checkpointed) once N dies have been scored";
+                      stop (checkpointed) once N dies have been scored
+    --profile-phases  print per-phase wall time of the batched hot path
+                      (draw / fixed lane / word settle / adaptive lanes /
+                      dither settle) after the run";
 
 impl Default for StudyArgs {
     fn default() -> StudyArgs {
@@ -841,6 +847,7 @@ impl Default for StudyArgs {
             batch: None,
             checkpoint: None,
             cancel_after_dies: None,
+            profile_phases: false,
         }
     }
 }
@@ -948,6 +955,10 @@ impl StudyArgs {
                 }
                 self.cancel_after_dies = Some(dies);
             }
+            "--profile-phases" => {
+                self.profile_phases = true;
+                return Ok(Some(1));
+            }
             _ => return Ok(None),
         }
         Ok(Some(2))
@@ -1053,6 +1064,15 @@ mod tests {
         let plan = study.fault_plan().unwrap();
         assert_eq!(plan.tdc_rate, 0.02);
         assert!(!plan.mitigation);
+    }
+
+    #[test]
+    fn profile_phases_flag_is_a_bare_toggle() {
+        let study = parse_all(&["--profile-phases", "--dies", "40"]).unwrap();
+        assert!(study.profile_phases);
+        assert_eq!(study.dies, 40);
+        assert!(!StudyArgs::new().profile_phases);
+        assert!(STUDY_HELP.contains("--profile-phases"));
     }
 
     #[test]

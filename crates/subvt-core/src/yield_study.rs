@@ -505,8 +505,14 @@ impl<'a> StudyContext<'a> {
 /// `rng.fork("die-{i}")` would make inline, so expanding `seeds[i]`
 /// on a worker thread reproduces the serial loop bit-for-bit.
 pub(crate) fn die_seeds<R: Rng + ?Sized>(rng: &mut R, dies: usize) -> Vec<u64> {
+    use std::fmt::Write as _;
+    let mut label = String::with_capacity(24);
     (0..dies)
-        .map(|i| rng.fork_seed(&format!("die-{i}")))
+        .map(|i| {
+            label.clear();
+            write!(label, "die-{i}").expect("in-memory write");
+            rng.fork_seed(&label)
+        })
         .collect()
 }
 

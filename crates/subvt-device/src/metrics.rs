@@ -32,6 +32,14 @@ pub(crate) fn record_analytic_delay() {
     ANALYTIC_DELAY_EVALS.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Records `n` analytic delay evaluations in one atomic bump — the
+/// lane kernels price a whole batch of dies per call and must keep the
+/// analytic/tabulated query totals comparable with the scalar path.
+#[inline]
+pub(crate) fn record_analytic_delays(n: u64) {
+    ANALYTIC_DELAY_EVALS.fetch_add(n, Ordering::Relaxed);
+}
+
 #[inline]
 pub(crate) fn record_analytic_energy() {
     ANALYTIC_ENERGY_EVALS.fetch_add(1, Ordering::Relaxed);

@@ -42,6 +42,9 @@ use std::str::FromStr;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use subvt_simd::{F64x4, LANES};
+
+use crate::constants::{nominal_temperature, thermal_voltage};
 use crate::corner::ProcessCorner;
 use crate::delay::{GateMismatch, GateTiming, SupplyRangeError};
 use crate::energy::{energy_per_cycle, CircuitProfile, EnergyBreakdown};
@@ -336,6 +339,83 @@ pub trait DeviceEval: fmt::Debug + Send + Sync {
         }
         Ok(())
     }
+
+    /// Delays of two gate kinds at one shared (vdd, env, fanout)
+    /// operating point across a whole lane of per-die mismatches — the
+    /// batched TDC-sense shape: every die in a sub-batch times the same
+    /// replica cell at the same candidate supply, differing only in its
+    /// ΔVth draw. The default is the scalar loop, bit-identical to
+    /// calling [`DeviceEval::gate_delay_pair`] per die; the analytic
+    /// and tabulated implementations override it with 4-wide kernels
+    /// that hoist every die-independent term out of the loop.
+    ///
+    /// A single `Result` covers the lane because the only error —
+    /// `vdd` below the technology floor — does not depend on the die.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != mismatches.len()`.
+    ///
+    /// # Errors
+    ///
+    /// As [`DeviceEval::gate_delay`].
+    fn gate_delay_pair_lane(
+        &self,
+        kinds: (GateKind, GateKind),
+        vdd: Volts,
+        env: Environment,
+        mismatches: &[GateMismatch],
+        fanout: f64,
+        out: &mut [(Seconds, Seconds)],
+    ) -> Result<(), SupplyRangeError> {
+        assert_eq!(
+            mismatches.len(),
+            out.len(),
+            "lane output length must match the mismatch lane"
+        );
+        for (m, o) in mismatches.iter().zip(out.iter_mut()) {
+            *o = self.gate_delay_pair(kinds, vdd, env, *m, fanout)?;
+        }
+        Ok(())
+    }
+
+    /// Delays of two gate kinds with a *per-die* supply voltage — the
+    /// dithered settle loop's shape, where every die walks its own
+    /// supply toward the controller's operating point. `out[i]` is
+    /// `None` exactly when die `i`'s supply is below the technology
+    /// floor (the per-die analogue of the lane-wide error above); the
+    /// caller maps that to whatever its scalar path did with the
+    /// [`SupplyRangeError`].
+    ///
+    /// The default is the scalar loop, bit-identical to calling
+    /// [`DeviceEval::gate_delay_pair`] per die.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdds`, `mismatches` and `out` lengths differ.
+    fn gate_delay_pair_multi(
+        &self,
+        kinds: (GateKind, GateKind),
+        vdds: &[Volts],
+        env: Environment,
+        mismatches: &[GateMismatch],
+        fanout: f64,
+        out: &mut [Option<(Seconds, Seconds)>],
+    ) {
+        assert_eq!(
+            vdds.len(),
+            mismatches.len(),
+            "supply lane length must match the mismatch lane"
+        );
+        assert_eq!(
+            vdds.len(),
+            out.len(),
+            "lane output length must match the supply lane"
+        );
+        for ((v, m), o) in vdds.iter().zip(mismatches).zip(out.iter_mut()) {
+            *o = self.gate_delay_pair(kinds, *v, env, *m, fanout).ok();
+        }
+    }
 }
 
 /// A shareable, thread-safe evaluator handle.
@@ -355,6 +435,146 @@ impl AnalyticEval {
     pub fn new(tech: &Technology) -> AnalyticEval {
         AnalyticEval { tech: tech.clone() }
     }
+}
+
+/// `ln(1 + e^x)` with the same overflow guard as
+/// [`MosfetParams::drain_current`] — the one transcendental of the EKV
+/// delay path, kept scalar per lane under the SIMD contract.
+#[inline]
+fn softplus(x: f64) -> f64 {
+    if x > 30.0 {
+        x
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// Die-independent constants of one EKV on-current evaluation, hoisted
+/// out of the per-die loop: at a shared (vdd, env) operating point only
+/// the additive ΔVth differs between dies, so the temperature `powf`
+/// of the specific current, the corner/tempco/DIBL threshold terms, the
+/// softplus argument scale and the saturation factor are all computed
+/// once per lane. The per-die arithmetic in [`EkvOnCurrent::at`]
+/// mirrors [`MosfetParams::drain_current`] term for term — same
+/// values, same association — so every result is bit-identical to the
+/// scalar call.
+#[derive(Debug, Clone, Copy)]
+struct EkvOnCurrent {
+    vdd: f64,
+    /// [`MosfetParams::vth_effective`] minus the per-die local delta
+    /// (`Volts` ops are plain field arithmetic, so splitting the sum
+    /// here keeps the scalar association).
+    vth_base: f64,
+    /// `2 n U_T`, the softplus argument scale.
+    denom: f64,
+    /// Temperature-adjusted specific current.
+    spec: f64,
+    /// `1 − exp(−Vdd/U_T)`, the saturation factor.
+    sat: f64,
+}
+
+impl EkvOnCurrent {
+    fn new(p: &MosfetParams, vdd: Volts, env: Environment) -> EkvOnCurrent {
+        let ut = thermal_voltage(env.temperature).volts();
+        let dt = env.temperature.value() - nominal_temperature().value();
+        let vth_base =
+            p.vth0.volts() + p.device.corner_vth_shift(env.corner).volts() + p.vth_tempco * dt
+                - p.dibl * vdd.volts().abs();
+        EkvOnCurrent {
+            vdd: vdd.volts(),
+            vth_base,
+            denom: 2.0 * p.slope_factor * ut,
+            spec: p.spec_current_at(env.temperature).value(),
+            sat: 1.0 - (-vdd.volts().abs() / ut).exp(),
+        }
+    }
+
+    /// On-current for one die's local ΔVth (the ragged-tail form).
+    #[inline]
+    fn at(&self, local: f64) -> f64 {
+        let x = (self.vdd - (self.vth_base + local)) / self.denom;
+        let soft = softplus(x);
+        self.spec * soft * soft * self.sat
+    }
+
+    /// On-currents for four dies at once; the surrounding arithmetic
+    /// is elementwise 4-wide and the softplus stays scalar per lane,
+    /// so the result is bit-identical to four [`EkvOnCurrent::at`]
+    /// calls.
+    #[inline]
+    fn at4(&self, local: F64x4) -> F64x4 {
+        let x = (F64x4::splat(self.vdd) - (F64x4::splat(self.vth_base) + local))
+            / F64x4::splat(self.denom);
+        let xs = x.to_array();
+        let soft = F64x4([
+            softplus(xs[0]),
+            softplus(xs[1]),
+            softplus(xs[2]),
+            softplus(xs[3]),
+        ]);
+        F64x4::splat(self.spec) * soft * soft * F64x4::splat(self.sat)
+    }
+}
+
+/// Per-gate-kind constants of the analytic delay expression at a shared
+/// (vdd, fanout): `t = ½(charge/(iₙ·n_stack) + charge/(iₚ·p_stack))`,
+/// exactly the expression of [`GateTiming::gate_delay_with`] and
+/// [`TabulatedEval::delay_from_currents`].
+#[derive(Debug, Clone, Copy)]
+struct KindFactors {
+    charge: f64,
+    n_stack: f64,
+    p_stack: f64,
+}
+
+impl KindFactors {
+    fn new(tech: &Technology, kind: GateKind, vdd: Volts, fanout: f64) -> KindFactors {
+        let cap = tech.gate_cap.value() * kind.cap_factor() * fanout.max(0.0);
+        let (n_stack, p_stack) = kind.stack_factors();
+        KindFactors {
+            charge: tech.delay_fit * cap * vdd.volts(),
+            n_stack,
+            p_stack,
+        }
+    }
+
+    /// The delay for one die's on-currents.
+    #[inline]
+    fn delay(&self, i_on_n: f64, i_on_p: f64) -> Seconds {
+        let t_fall = self.charge / (i_on_n * self.n_stack);
+        let t_rise = self.charge / (i_on_p * self.p_stack);
+        Seconds(0.5 * (t_fall + t_rise))
+    }
+
+    /// Four dies' delays at once — the wide reciprocal transform
+    /// (IEEE divides, elementwise, bit-identical to four
+    /// [`KindFactors::delay`] calls).
+    #[inline]
+    fn delay4(&self, i_on_n: F64x4, i_on_p: F64x4) -> F64x4 {
+        let t_fall = F64x4::splat(self.charge) / (i_on_n * F64x4::splat(self.n_stack));
+        let t_rise = F64x4::splat(self.charge) / (i_on_p * F64x4::splat(self.p_stack));
+        F64x4::splat(0.5) * (t_fall + t_rise)
+    }
+}
+
+/// Splits a mismatch lane into its nMOS and pMOS ΔVth vectors for one
+/// 4-die chunk.
+#[inline]
+fn mismatch_lanes(ms: &[GateMismatch]) -> (F64x4, F64x4) {
+    (
+        F64x4([
+            ms[0].nmos_dvth.volts(),
+            ms[1].nmos_dvth.volts(),
+            ms[2].nmos_dvth.volts(),
+            ms[3].nmos_dvth.volts(),
+        ]),
+        F64x4([
+            ms[0].pmos_dvth.volts(),
+            ms[1].pmos_dvth.volts(),
+            ms[2].pmos_dvth.volts(),
+            ms[3].pmos_dvth.volts(),
+        ]),
+    )
 }
 
 impl DeviceEval for AnalyticEval {
@@ -380,6 +600,178 @@ impl DeviceEval for AnalyticEval {
         env: Environment,
     ) -> Result<EnergyBreakdown, SupplyRangeError> {
         energy_per_cycle(&self.tech, profile, vdd, env)
+    }
+
+    fn gate_delay_pair(
+        &self,
+        kinds: (GateKind, GateKind),
+        vdd: Volts,
+        env: Environment,
+        mismatch: GateMismatch,
+        fanout: f64,
+    ) -> Result<(Seconds, Seconds), SupplyRangeError> {
+        if !self.tech.is_operational(vdd) {
+            return Err(SupplyRangeError::new(vdd, self.tech.min_vdd));
+        }
+        metrics::record_analytic_delays(2);
+        // On-current is gate-kind independent, so the two EKV
+        // evaluations are shared and each kind only prices its own
+        // cap/stack factors — half the transcendental work of the
+        // default two-call path, bit-identical results.
+        let n = EkvOnCurrent::new(&self.tech.nmos, vdd, env);
+        let p = EkvOnCurrent::new(&self.tech.pmos, vdd, env);
+        let i_n = n.at(mismatch.nmos_dvth.volts());
+        let i_p = p.at(mismatch.pmos_dvth.volts());
+        Ok((
+            KindFactors::new(&self.tech, kinds.0, vdd, fanout).delay(i_n, i_p),
+            KindFactors::new(&self.tech, kinds.1, vdd, fanout).delay(i_n, i_p),
+        ))
+    }
+
+    fn gate_delay_lane(
+        &self,
+        kind: GateKind,
+        vdd: Volts,
+        env: Environment,
+        mismatches: &[GateMismatch],
+        fanout: f64,
+        out: &mut [Seconds],
+    ) -> Result<(), SupplyRangeError> {
+        assert_eq!(
+            mismatches.len(),
+            out.len(),
+            "lane output length must match the mismatch lane"
+        );
+        if !self.tech.is_operational(vdd) {
+            return Err(SupplyRangeError::new(vdd, self.tech.min_vdd));
+        }
+        metrics::record_analytic_delays(mismatches.len() as u64);
+        let n = EkvOnCurrent::new(&self.tech.nmos, vdd, env);
+        let p = EkvOnCurrent::new(&self.tech.pmos, vdd, env);
+        let k = KindFactors::new(&self.tech, kind, vdd, fanout);
+        let mut chunks_m = mismatches.chunks_exact(LANES);
+        let mut chunks_o = out.chunks_exact_mut(LANES);
+        for (ms, os) in (&mut chunks_m).zip(&mut chunks_o) {
+            let (ln, lp) = mismatch_lanes(ms);
+            let t = k.delay4(n.at4(ln), p.at4(lp)).to_array();
+            for (o, t) in os.iter_mut().zip(t) {
+                *o = Seconds(t);
+            }
+        }
+        for (m, o) in chunks_m.remainder().iter().zip(chunks_o.into_remainder()) {
+            *o = k.delay(n.at(m.nmos_dvth.volts()), p.at(m.pmos_dvth.volts()));
+        }
+        Ok(())
+    }
+
+    fn gate_delay_pair_lane(
+        &self,
+        kinds: (GateKind, GateKind),
+        vdd: Volts,
+        env: Environment,
+        mismatches: &[GateMismatch],
+        fanout: f64,
+        out: &mut [(Seconds, Seconds)],
+    ) -> Result<(), SupplyRangeError> {
+        assert_eq!(
+            mismatches.len(),
+            out.len(),
+            "lane output length must match the mismatch lane"
+        );
+        if !self.tech.is_operational(vdd) {
+            return Err(SupplyRangeError::new(vdd, self.tech.min_vdd));
+        }
+        metrics::record_analytic_delays(2 * mismatches.len() as u64);
+        let n = EkvOnCurrent::new(&self.tech.nmos, vdd, env);
+        let p = EkvOnCurrent::new(&self.tech.pmos, vdd, env);
+        let ka = KindFactors::new(&self.tech, kinds.0, vdd, fanout);
+        let kb = KindFactors::new(&self.tech, kinds.1, vdd, fanout);
+        let mut chunks_m = mismatches.chunks_exact(LANES);
+        let mut chunks_o = out.chunks_exact_mut(LANES);
+        for (ms, os) in (&mut chunks_m).zip(&mut chunks_o) {
+            let (ln, lp) = mismatch_lanes(ms);
+            let (i_n, i_p) = (n.at4(ln), p.at4(lp));
+            let a = ka.delay4(i_n, i_p).to_array();
+            let b = kb.delay4(i_n, i_p).to_array();
+            for (j, o) in os.iter_mut().enumerate() {
+                *o = (Seconds(a[j]), Seconds(b[j]));
+            }
+        }
+        for (m, o) in chunks_m.remainder().iter().zip(chunks_o.into_remainder()) {
+            let i_n = n.at(m.nmos_dvth.volts());
+            let i_p = p.at(m.pmos_dvth.volts());
+            *o = (ka.delay(i_n, i_p), kb.delay(i_n, i_p));
+        }
+        Ok(())
+    }
+
+    fn gate_delay_pair_multi(
+        &self,
+        kinds: (GateKind, GateKind),
+        vdds: &[Volts],
+        env: Environment,
+        mismatches: &[GateMismatch],
+        fanout: f64,
+        out: &mut [Option<(Seconds, Seconds)>],
+    ) {
+        assert_eq!(
+            vdds.len(),
+            mismatches.len(),
+            "supply lane length must match the mismatch lane"
+        );
+        assert_eq!(
+            vdds.len(),
+            out.len(),
+            "lane output length must match the supply lane"
+        );
+        // With a per-die supply the DIBL and saturation terms are
+        // per-die too, so the loop stays scalar — but the
+        // temperature-only hoists (the `powf` of the specific current,
+        // the tempco/corner threshold terms, the softplus scale) still
+        // come out, and they dominate the die-independent cost.
+        let ut = thermal_voltage(env.temperature).volts();
+        let dt = env.temperature.value() - nominal_temperature().value();
+        let nmos = &self.tech.nmos;
+        let pmos = &self.tech.pmos;
+        let spec_n = nmos.spec_current_at(env.temperature).value();
+        let spec_p = pmos.spec_current_at(env.temperature).value();
+        let vth_n0 = nmos.vth0.volts()
+            + nmos.device.corner_vth_shift(env.corner).volts()
+            + nmos.vth_tempco * dt;
+        let vth_p0 = pmos.vth0.volts()
+            + pmos.device.corner_vth_shift(env.corner).volts()
+            + pmos.vth_tempco * dt;
+        let denom_n = 2.0 * nmos.slope_factor * ut;
+        let denom_p = 2.0 * pmos.slope_factor * ut;
+        let cap_a = self.tech.gate_cap.value() * kinds.0.cap_factor() * fanout.max(0.0);
+        let cap_b = self.tech.gate_cap.value() * kinds.1.cap_factor() * fanout.max(0.0);
+        let dc_a = self.tech.delay_fit * cap_a;
+        let dc_b = self.tech.delay_fit * cap_b;
+        let (na, pa) = kinds.0.stack_factors();
+        let (nb, pb) = kinds.1.stack_factors();
+        let mut evals = 0u64;
+        for i in 0..vdds.len() {
+            let vdd = vdds[i];
+            if !self.tech.is_operational(vdd) {
+                out[i] = None;
+                continue;
+            }
+            evals += 2;
+            let v = vdd.volts();
+            let sat = 1.0 - (-v.abs() / ut).exp();
+            let vth_n = vth_n0 - nmos.dibl * v.abs() + mismatches[i].nmos_dvth.volts();
+            let vth_p = vth_p0 - pmos.dibl * v.abs() + mismatches[i].pmos_dvth.volts();
+            let soft_n = softplus((v - vth_n) / denom_n);
+            let soft_p = softplus((v - vth_p) / denom_p);
+            let i_n = spec_n * soft_n * soft_n * sat;
+            let i_p = spec_p * soft_p * soft_p * sat;
+            let ca = dc_a * v;
+            let cb = dc_b * v;
+            let d_a = Seconds(0.5 * (ca / (i_n * na) + ca / (i_p * pa)));
+            let d_b = Seconds(0.5 * (cb / (i_n * nb) + cb / (i_p * pb)));
+            out[i] = Some((d_a, d_b));
+        }
+        metrics::record_analytic_delays(evals);
     }
 }
 
@@ -444,14 +836,15 @@ impl Surface {
         let w01 = (1.0 - tf) * sf;
         let w10 = tf * (1.0 - sf);
         let w11 = tf * sf;
-        let mut cell = [0.0f64; 4];
+        // The four Hermite coefficients accumulate as one 4-lane
+        // vector; each step is the elementwise `cell[j] += w * node[j]`
+        // of the scalar form in the same order, so the blend is
+        // bit-identical to the pre-SIMD loop.
+        let mut acc = F64x4::splat(0.0);
         for (w, b) in [(w00, b00), (w01, b01), (w10, b10), (w11, b11)] {
-            let node = &self.data[b..b + 4];
-            cell[0] += w * node[0];
-            cell[1] += w * node[1];
-            cell[2] += w * node[2];
-            cell[3] += w * node[3];
+            acc = acc + F64x4::splat(w) * F64x4::load(&self.data, b);
         }
+        let cell = acc.to_array();
         let basis = &grid.basis;
         cell[0] * basis[0] + cell[1] * basis[1] + cell[2] * basis[2] + cell[3] * basis[3]
     }
@@ -779,18 +1172,141 @@ impl DeviceEval for TabulatedEval {
             }
             return Ok(());
         };
+        // Per die: ΔVth locate + Hermite blend (itself 4-wide over the
+        // cell coefficients) and the scalar `exp`; the current → delay
+        // reciprocal transform then runs four dies wide whenever the
+        // chunk has no off-grid stragglers. Both halves reproduce the
+        // scalar arithmetic exactly.
+        let k = KindFactors::new(&self.tech, kind, vdd, fanout);
         let mut hits = 0u64;
-        for (m, o) in mismatches.iter().zip(out.iter_mut()) {
-            match self.on_currents(&grid, env, *m) {
-                Some((i_n, i_p)) => {
+        let mut i = 0;
+        while i < mismatches.len() {
+            let n = (mismatches.len() - i).min(LANES);
+            let mut cur = [None; LANES];
+            for (j, c) in cur.iter_mut().enumerate().take(n) {
+                *c = self.on_currents(&grid, env, mismatches[i + j]);
+                if c.is_some() {
                     hits += 1;
-                    *o = self.delay_from_currents(kind, vdd, fanout, i_n, i_p);
-                }
-                None => {
-                    metrics::record_exact_fallback();
-                    *o = GateTiming::new(&self.tech).gate_delay_with(kind, vdd, env, *m, fanout)?;
                 }
             }
+            match cur {
+                [Some(a), Some(b), Some(c), Some(d)] if n == LANES => {
+                    let i_n = F64x4([a.0, b.0, c.0, d.0]);
+                    let i_p = F64x4([a.1, b.1, c.1, d.1]);
+                    let t = k.delay4(i_n, i_p).to_array();
+                    for (o, t) in out[i..i + LANES].iter_mut().zip(t) {
+                        *o = Seconds(t);
+                    }
+                }
+                _ => {
+                    for j in 0..n {
+                        match cur[j] {
+                            Some((i_n, i_p)) => out[i + j] = k.delay(i_n, i_p),
+                            None => {
+                                metrics::record_exact_fallback();
+                                out[i + j] = GateTiming::new(&self.tech).gate_delay_with(
+                                    kind,
+                                    vdd,
+                                    env,
+                                    mismatches[i + j],
+                                    fanout,
+                                )?;
+                            }
+                        }
+                    }
+                }
+            }
+            i += n;
+        }
+        metrics::record_interp_delay_hits(hits);
+        Ok(())
+    }
+
+    fn gate_delay_pair_lane(
+        &self,
+        kinds: (GateKind, GateKind),
+        vdd: Volts,
+        env: Environment,
+        mismatches: &[GateMismatch],
+        fanout: f64,
+        out: &mut [(Seconds, Seconds)],
+    ) -> Result<(), SupplyRangeError> {
+        assert_eq!(
+            mismatches.len(),
+            out.len(),
+            "lane output length must match the mismatch lane"
+        );
+        if !self.tech.is_operational(vdd) {
+            return Err(SupplyRangeError::new(vdd, self.tech.min_vdd));
+        }
+        let Some(grid) = self.grid_at(vdd, env) else {
+            metrics::record_exact_fallback();
+            let timing = GateTiming::new(&self.tech);
+            for (m, o) in mismatches.iter().zip(out.iter_mut()) {
+                *o = (
+                    timing.gate_delay_with(kinds.0, vdd, env, *m, fanout)?,
+                    timing.gate_delay_with(kinds.1, vdd, env, *m, fanout)?,
+                );
+            }
+            return Ok(());
+        };
+        // Same shape as `gate_delay_lane`, pricing both kinds from one
+        // per-die interpolation (two hits per die, matching the fused
+        // scalar pair's accounting).
+        let ka = KindFactors::new(&self.tech, kinds.0, vdd, fanout);
+        let kb = KindFactors::new(&self.tech, kinds.1, vdd, fanout);
+        let mut hits = 0u64;
+        let mut i = 0;
+        while i < mismatches.len() {
+            let n = (mismatches.len() - i).min(LANES);
+            let mut cur = [None; LANES];
+            for (j, c) in cur.iter_mut().enumerate().take(n) {
+                *c = self.on_currents(&grid, env, mismatches[i + j]);
+                if c.is_some() {
+                    hits += 2;
+                }
+            }
+            match cur {
+                [Some(a), Some(b), Some(c), Some(d)] if n == LANES => {
+                    let i_n = F64x4([a.0, b.0, c.0, d.0]);
+                    let i_p = F64x4([a.1, b.1, c.1, d.1]);
+                    let ta = ka.delay4(i_n, i_p).to_array();
+                    let tb = kb.delay4(i_n, i_p).to_array();
+                    for (j, o) in out[i..i + LANES].iter_mut().enumerate() {
+                        *o = (Seconds(ta[j]), Seconds(tb[j]));
+                    }
+                }
+                _ => {
+                    for j in 0..n {
+                        match cur[j] {
+                            Some((i_n, i_p)) => {
+                                out[i + j] = (ka.delay(i_n, i_p), kb.delay(i_n, i_p));
+                            }
+                            None => {
+                                metrics::record_exact_fallback();
+                                let timing = GateTiming::new(&self.tech);
+                                out[i + j] = (
+                                    timing.gate_delay_with(
+                                        kinds.0,
+                                        vdd,
+                                        env,
+                                        mismatches[i + j],
+                                        fanout,
+                                    )?,
+                                    timing.gate_delay_with(
+                                        kinds.1,
+                                        vdd,
+                                        env,
+                                        mismatches[i + j],
+                                        fanout,
+                                    )?,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            i += n;
         }
         metrics::record_interp_delay_hits(hits);
         Ok(())
@@ -1098,6 +1614,211 @@ mod tests {
                     &mut lane
                 )
                 .is_err());
+        }
+    }
+
+    #[test]
+    fn gate_delay_pair_is_bit_identical_to_two_single_calls() {
+        // The analytic pair override shares the two EKV on-currents
+        // between kinds; the tabulated one shares the interpolation.
+        // Both must stay bit-identical to two independent gate_delay
+        // calls — the contract the TDC replica cell and the memo cache
+        // rely on.
+        let tech = tech();
+        let evals: [&dyn DeviceEval; 2] = [&AnalyticEval::new(&tech), &TabulatedEval::new(&tech)];
+        let mms = [
+            GateMismatch::NOMINAL,
+            GateMismatch {
+                nmos_dvth: Volts(0.0123),
+                pmos_dvth: Volts(-0.0087),
+            },
+            GateMismatch {
+                nmos_dvth: Volts(0.5),
+                pmos_dvth: Volts(0.0),
+            },
+        ];
+        for eval in evals {
+            for env in [
+                Environment::nominal(),
+                Environment::at_corner(ProcessCorner::Ss).with_celsius(85.0),
+                Environment::at_celsius(150.0),
+            ] {
+                for vdd in [Volts(0.231), Volts(0.35)] {
+                    for mm in mms {
+                        let (inv, nor) = eval
+                            .gate_delay_pair(
+                                (GateKind::Inverter, GateKind::Nor2),
+                                vdd,
+                                env,
+                                mm,
+                                1.0,
+                            )
+                            .unwrap();
+                        let a = eval
+                            .gate_delay(GateKind::Inverter, vdd, env, mm, 1.0)
+                            .unwrap();
+                        let b = eval.gate_delay(GateKind::Nor2, vdd, env, mm, 1.0).unwrap();
+                        assert_eq!(inv.value().to_bits(), a.value().to_bits(), "{eval:?}");
+                        assert_eq!(nor.value().to_bits(), b.value().to_bits(), "{eval:?}");
+                    }
+                }
+            }
+            assert!(eval
+                .gate_delay_pair(
+                    (GateKind::Inverter, GateKind::Nor2),
+                    Volts(0.01),
+                    Environment::nominal(),
+                    GateMismatch::NOMINAL,
+                    1.0
+                )
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn gate_delay_pair_lane_is_bit_identical_to_scalar_pairs() {
+        let tech = tech();
+        let evals: [&dyn DeviceEval; 2] = [&AnalyticEval::new(&tech), &TabulatedEval::new(&tech)];
+        // Lane lengths exercising every ragged tail (1–3) plus full
+        // chunks, with one die far off the ΔVth grid to force the
+        // per-die exact fallback inside an otherwise wide lane.
+        let draws = [
+            (0.0, 0.0),
+            (0.013, -0.021),
+            (-0.008, 0.004),
+            (0.5, 0.0),
+            (0.0021, 0.0035),
+            (-0.0154, 0.0067),
+            (0.0302, -0.0298),
+        ];
+        for eval in evals {
+            for env in [Environment::nominal(), Environment::at_celsius(150.0)] {
+                for vdd in [Volts(0.231), Volts(0.35)] {
+                    for len in [1, 2, 3, 4, 5, 7] {
+                        let mms: Vec<GateMismatch> = draws[..len]
+                            .iter()
+                            .map(|&(n, p)| GateMismatch {
+                                nmos_dvth: Volts(n),
+                                pmos_dvth: Volts(p),
+                            })
+                            .collect();
+                        let mut lane = vec![(Seconds(0.0), Seconds(0.0)); len];
+                        eval.gate_delay_pair_lane(
+                            (GateKind::Inverter, GateKind::Nor2),
+                            vdd,
+                            env,
+                            &mms,
+                            1.0,
+                            &mut lane,
+                        )
+                        .unwrap();
+                        for (m, got) in mms.iter().zip(&lane) {
+                            let want = eval
+                                .gate_delay_pair(
+                                    (GateKind::Inverter, GateKind::Nor2),
+                                    vdd,
+                                    env,
+                                    *m,
+                                    1.0,
+                                )
+                                .unwrap();
+                            assert_eq!(
+                                got.0.value().to_bits(),
+                                want.0.value().to_bits(),
+                                "{eval:?} len={len}"
+                            );
+                            assert_eq!(
+                                got.1.value().to_bits(),
+                                want.1.value().to_bits(),
+                                "{eval:?} len={len}"
+                            );
+                        }
+                    }
+                }
+            }
+            let mut lane = vec![(Seconds(0.0), Seconds(0.0)); 4];
+            assert!(eval
+                .gate_delay_pair_lane(
+                    (GateKind::Inverter, GateKind::Nor2),
+                    Volts(0.01),
+                    Environment::nominal(),
+                    &[GateMismatch::NOMINAL; 4],
+                    1.0,
+                    &mut lane
+                )
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn gate_delay_pair_multi_matches_scalar_with_per_die_floor() {
+        let tech = tech();
+        let evals: [&dyn DeviceEval; 2] = [&AnalyticEval::new(&tech), &TabulatedEval::new(&tech)];
+        let vdds = [
+            Volts(0.231),
+            Volts(0.05), // below the functional floor → None
+            Volts(0.35),
+            Volts(0.2985),
+            Volts(1.18),
+        ];
+        let mms = [
+            GateMismatch::NOMINAL,
+            GateMismatch {
+                nmos_dvth: Volts(0.013),
+                pmos_dvth: Volts(-0.021),
+            },
+            GateMismatch {
+                nmos_dvth: Volts(0.5),
+                pmos_dvth: Volts(0.0),
+            },
+            GateMismatch {
+                nmos_dvth: Volts(-0.008),
+                pmos_dvth: Volts(0.004),
+            },
+            GateMismatch::NOMINAL,
+        ];
+        for eval in evals {
+            for env in [
+                Environment::nominal(),
+                Environment::at_corner(ProcessCorner::Sf).with_celsius(-10.0),
+            ] {
+                let mut out = vec![None; vdds.len()];
+                eval.gate_delay_pair_multi(
+                    (GateKind::Inverter, GateKind::Nor2),
+                    &vdds,
+                    env,
+                    &mms,
+                    1.0,
+                    &mut out,
+                );
+                for i in 0..vdds.len() {
+                    let want = eval
+                        .gate_delay_pair(
+                            (GateKind::Inverter, GateKind::Nor2),
+                            vdds[i],
+                            env,
+                            mms[i],
+                            1.0,
+                        )
+                        .ok();
+                    match (out[i], want) {
+                        (None, None) => {}
+                        (Some(got), Some(want)) => {
+                            assert_eq!(
+                                got.0.value().to_bits(),
+                                want.0.value().to_bits(),
+                                "{eval:?}"
+                            );
+                            assert_eq!(
+                                got.1.value().to_bits(),
+                                want.1.value().to_bits(),
+                                "{eval:?}"
+                            );
+                        }
+                        (got, want) => panic!("{eval:?} die {i}: {got:?} vs {want:?}"),
+                    }
+                }
+            }
         }
     }
 

@@ -7,7 +7,8 @@
 //! across a population of virtual chips, not just the named corners.
 
 use subvt_rng::Distribution;
-use subvt_rng::Rng;
+use subvt_rng::{Rng, StdRng};
+use subvt_simd::{F64x4, LANES};
 
 use crate::delay::GateMismatch;
 use crate::units::Volts;
@@ -75,6 +76,75 @@ impl VariationModel {
             nmos_dvth: Volts(zn * self.global_sigma.volts()),
             pmos_dvth: Volts(zp * self.global_sigma.volts()),
             local_sigma: self.local_sigma,
+        }
+    }
+
+    /// Samples a lane of virtual dies from pre-forked per-die seeds,
+    /// writing each die's severity ([`DieVariation::corner_units`]) and
+    /// die-average mismatch ([`DieVariation::mean_gate`]) — the
+    /// structure-of-arrays form the batched studies consume.
+    ///
+    /// Per die this is exactly `StdRng::seed_from_u64(seed)` followed
+    /// by [`VariationModel::sample_die`]: the Gaussian draws stay
+    /// scalar (their tail handling is data-dependent), while the
+    /// correlation and scaling arithmetic runs four dies wide with
+    /// unchanged per-element operation order, so the lane is
+    /// bit-identical to the scalar loop it replaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output slices' lengths differ from `seeds`.
+    pub fn sample_die_lane(
+        &self,
+        seeds: &[u64],
+        corner_units: &mut [f64],
+        mismatches: &mut [GateMismatch],
+    ) {
+        assert_eq!(
+            seeds.len(),
+            corner_units.len(),
+            "corner-unit lane length must match the seed lane"
+        );
+        assert_eq!(
+            seeds.len(),
+            mismatches.len(),
+            "mismatch lane length must match the seed lane"
+        );
+        let g = Gaussian::new(0.0, 1.0);
+        // Pure per-die constants, hoisted: the scalar path recomputes
+        // them from the same inputs every die.
+        let rho = self.np_correlation.clamp(-1.0, 1.0);
+        let ortho = (1.0 - rho * rho).sqrt();
+        let sigma = self.global_sigma.volts();
+        let shift = crate::corner::CORNER_VTH_SHIFT.volts();
+        let mut i = 0;
+        while i + LANES <= seeds.len() {
+            let mut zn = [0.0; LANES];
+            let mut zi = [0.0; LANES];
+            for k in 0..LANES {
+                let mut rng = StdRng::seed_from_u64(seeds[i + k]);
+                zn[k] = g.sample(&mut rng);
+                zi[k] = g.sample(&mut rng);
+            }
+            let zn = F64x4(zn);
+            let zp = F64x4::splat(rho) * zn + F64x4::splat(ortho) * F64x4(zi);
+            let n = zn * F64x4::splat(sigma);
+            let p = zp * F64x4::splat(sigma);
+            let units = (F64x4::splat(0.5) * (n + p)) / F64x4::splat(shift);
+            units.store(corner_units, i);
+            let (n, p) = (n.to_array(), p.to_array());
+            for k in 0..LANES {
+                mismatches[i + k] = GateMismatch {
+                    nmos_dvth: Volts(n[k]),
+                    pmos_dvth: Volts(p[k]),
+                };
+            }
+            i += LANES;
+        }
+        for k in i..seeds.len() {
+            let die = self.sample_die(&mut StdRng::seed_from_u64(seeds[k]));
+            corner_units[k] = die.corner_units();
+            mismatches[k] = die.mean_gate();
         }
     }
 }
@@ -171,6 +241,29 @@ mod tests {
             .count();
         let frac = inside as f64 / n as f64;
         assert!(frac > 0.99, "fraction inside 10% bound: {frac}");
+    }
+
+    #[test]
+    fn die_lane_is_bit_identical_to_scalar_sampling() {
+        let model = VariationModel::st_130nm();
+        let seeds: Vec<u64> = (0..11)
+            .map(|i| 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i + 1))
+            .collect();
+        // Every lane length: full chunks, ragged tails and sub-chunk.
+        for len in 1..=seeds.len() {
+            let mut units = vec![0.0; len];
+            let mut mms = vec![GateMismatch::NOMINAL; len];
+            model.sample_die_lane(&seeds[..len], &mut units, &mut mms);
+            for (k, &seed) in seeds[..len].iter().enumerate() {
+                let die = model.sample_die(&mut StdRng::seed_from_u64(seed));
+                assert_eq!(
+                    units[k].to_bits(),
+                    die.corner_units().to_bits(),
+                    "len {len} die {k}"
+                );
+                assert_eq!(mms[k], die.mean_gate(), "len {len} die {k}");
+            }
+        }
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod dist;
 pub mod generators;
 
 pub use dist::{Bernoulli, LogNormal, Normal, Uniform};
-pub use generators::{splitmix64, SplitMix64, StdRng, Xoshiro256pp};
+pub use generators::{splitmix64, Jump, SplitMix64, StdRng, Xoshiro256pp};
 
 /// A source of random `u64`s plus the derived convenience draws.
 ///

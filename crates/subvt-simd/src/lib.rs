@@ -1,0 +1,357 @@
+//! Portable 4-wide `f64` lanes for the fleet hot paths.
+//!
+//! This is a shim, not a SIMD library: [`F64x4`] is a plain
+//! `[f64; 4]` newtype whose operations are written as fixed-width
+//! elementwise loops that stable rustc reliably autovectorizes
+//! (`-C opt-level=3`, no intrinsics, no nightly features). The point
+//! is to make the wide shape *explicit* in the kernel source — four
+//! dies per iteration, a scalar ragged tail — instead of hoping the
+//! optimizer discovers it through iterator chains.
+//!
+//! # Bit-identity contract
+//!
+//! Every operation here is **elementwise in unchanged per-element
+//! order**: lane `i` of the result is exactly the scalar expression
+//! applied to lane `i` of the inputs, with no reassociation, no
+//! horizontal shuffles, and no fused rounding the scalar path didn't
+//! have. IEEE 754 `+ − × ÷`, `min`/`max` and comparisons are
+//! deterministic per element, so a kernel built from these ops is
+//! bit-identical to the scalar loop it replaces — the property the
+//! fleet engine's checkpoint-equality suite pins. Two deliberate
+//! consequences:
+//!
+//! * **Horizontal reductions stay scalar.** There is no `sum()` here;
+//!   folding lanes in a different order than the scalar loop would
+//!   reassociate floating-point addition.
+//! * **[`F64x4::mul_add`] is opt-in contraction.** It rounds once
+//!   where `a * b + c` rounds twice, so it may only replace scalar
+//!   code that itself called `f64::mul_add`.
+//!
+//! Transcendentals (`exp`, `ln_1p`, `powf`) are intentionally absent:
+//! the hot kernels keep those scalar per element, calling the exact
+//! libm routine the scalar path calls.
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// The lane width every wide kernel in the workspace is written at.
+pub const LANES: usize = 4;
+
+/// Four `f64` lanes with elementwise, order-preserving semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(transparent)]
+pub struct F64x4(pub [f64; 4]);
+
+impl F64x4 {
+    /// All four lanes set to `v`.
+    #[inline]
+    pub fn splat(v: f64) -> F64x4 {
+        F64x4([v; 4])
+    }
+
+    /// Loads four consecutive values from `slice` starting at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice[at..at + 4]` is out of bounds.
+    #[inline]
+    pub fn load(slice: &[f64], at: usize) -> F64x4 {
+        let s: &[f64; 4] = slice[at..at + 4].try_into().expect("4-wide load");
+        F64x4(*s)
+    }
+
+    /// Stores the four lanes into `slice[at..at + 4]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice[at..at + 4]` is out of bounds.
+    #[inline]
+    pub fn store(self, slice: &mut [f64], at: usize) {
+        let d: &mut [f64; 4] = (&mut slice[at..at + 4]).try_into().expect("4-wide store");
+        *d = self.0;
+    }
+
+    /// The lanes as a plain array.
+    #[inline]
+    pub fn to_array(self) -> [f64; 4] {
+        self.0
+    }
+
+    /// Elementwise fused multiply-add: `self[i].mul_add(b[i], c[i])`.
+    ///
+    /// Contracted rounding — bit-identical only to scalar code that
+    /// also called `f64::mul_add` (see the crate docs).
+    #[inline]
+    pub fn mul_add(self, b: F64x4, c: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0].mul_add(b.0[0], c.0[0]),
+            self.0[1].mul_add(b.0[1], c.0[1]),
+            self.0[2].mul_add(b.0[2], c.0[2]),
+            self.0[3].mul_add(b.0[3], c.0[3]),
+        ])
+    }
+
+    /// Elementwise `f64::min` (NaN-propagation semantics of
+    /// `f64::min`, i.e. the non-NaN operand wins).
+    #[inline]
+    pub fn min(self, o: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0].min(o.0[0]),
+            self.0[1].min(o.0[1]),
+            self.0[2].min(o.0[2]),
+            self.0[3].min(o.0[3]),
+        ])
+    }
+
+    /// Elementwise `f64::max`.
+    #[inline]
+    pub fn max(self, o: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0].max(o.0[0]),
+            self.0[1].max(o.0[1]),
+            self.0[2].max(o.0[2]),
+            self.0[3].max(o.0[3]),
+        ])
+    }
+
+    /// Elementwise absolute value.
+    #[inline]
+    pub fn abs(self) -> F64x4 {
+        F64x4([
+            self.0[0].abs(),
+            self.0[1].abs(),
+            self.0[2].abs(),
+            self.0[3].abs(),
+        ])
+    }
+
+    /// Elementwise reciprocal `1.0 / self[i]` (a true IEEE divide,
+    /// never the approximate `rcpps`).
+    #[inline]
+    pub fn recip(self) -> F64x4 {
+        F64x4([
+            1.0 / self.0[0],
+            1.0 / self.0[1],
+            1.0 / self.0[2],
+            1.0 / self.0[3],
+        ])
+    }
+
+    /// Elementwise `self[i] < o[i]`.
+    #[inline]
+    pub fn lt(self, o: F64x4) -> Mask4 {
+        Mask4([
+            self.0[0] < o.0[0],
+            self.0[1] < o.0[1],
+            self.0[2] < o.0[2],
+            self.0[3] < o.0[3],
+        ])
+    }
+
+    /// Elementwise `self[i] <= o[i]`.
+    #[inline]
+    pub fn le(self, o: F64x4) -> Mask4 {
+        Mask4([
+            self.0[0] <= o.0[0],
+            self.0[1] <= o.0[1],
+            self.0[2] <= o.0[2],
+            self.0[3] <= o.0[3],
+        ])
+    }
+
+    /// Elementwise `self[i] >= o[i]`.
+    #[inline]
+    pub fn ge(self, o: F64x4) -> Mask4 {
+        Mask4([
+            self.0[0] >= o.0[0],
+            self.0[1] >= o.0[1],
+            self.0[2] >= o.0[2],
+            self.0[3] >= o.0[3],
+        ])
+    }
+}
+
+impl Add for F64x4 {
+    type Output = F64x4;
+    #[inline]
+    fn add(self, o: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0] + o.0[0],
+            self.0[1] + o.0[1],
+            self.0[2] + o.0[2],
+            self.0[3] + o.0[3],
+        ])
+    }
+}
+
+impl Sub for F64x4 {
+    type Output = F64x4;
+    #[inline]
+    fn sub(self, o: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0] - o.0[0],
+            self.0[1] - o.0[1],
+            self.0[2] - o.0[2],
+            self.0[3] - o.0[3],
+        ])
+    }
+}
+
+impl Mul for F64x4 {
+    type Output = F64x4;
+    #[inline]
+    fn mul(self, o: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0] * o.0[0],
+            self.0[1] * o.0[1],
+            self.0[2] * o.0[2],
+            self.0[3] * o.0[3],
+        ])
+    }
+}
+
+impl Div for F64x4 {
+    type Output = F64x4;
+    #[inline]
+    fn div(self, o: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0] / o.0[0],
+            self.0[1] / o.0[1],
+            self.0[2] / o.0[2],
+            self.0[3] / o.0[3],
+        ])
+    }
+}
+
+impl Neg for F64x4 {
+    type Output = F64x4;
+    #[inline]
+    fn neg(self) -> F64x4 {
+        F64x4([-self.0[0], -self.0[1], -self.0[2], -self.0[3]])
+    }
+}
+
+/// A four-lane boolean mask (the result of the comparison ops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(transparent)]
+pub struct Mask4(pub [bool; 4]);
+
+impl Mask4 {
+    /// Lane-selects: `if mask[i] { a[i] } else { b[i] }`.
+    #[inline]
+    pub fn select(self, a: F64x4, b: F64x4) -> F64x4 {
+        F64x4([
+            if self.0[0] { a.0[0] } else { b.0[0] },
+            if self.0[1] { a.0[1] } else { b.0[1] },
+            if self.0[2] { a.0[2] } else { b.0[2] },
+            if self.0[3] { a.0[3] } else { b.0[3] },
+        ])
+    }
+
+    /// True when every lane is true.
+    #[inline]
+    pub fn all(self) -> bool {
+        self.0[0] && self.0[1] && self.0[2] && self.0[3]
+    }
+
+    /// True when any lane is true.
+    #[inline]
+    pub fn any(self) -> bool {
+        self.0[0] || self.0[1] || self.0[2] || self.0[3]
+    }
+
+    /// Lane-wise AND.
+    #[inline]
+    pub fn and(self, o: Mask4) -> Mask4 {
+        Mask4([
+            self.0[0] && o.0[0],
+            self.0[1] && o.0[1],
+            self.0[2] && o.0[2],
+            self.0[3] && o.0[3],
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a() -> F64x4 {
+        F64x4([1.5, -2.25, 3.0e-7, f64::MAX])
+    }
+
+    fn b() -> F64x4 {
+        F64x4([0.3, 7.0, -1.125e-7, 2.0])
+    }
+
+    #[test]
+    fn arithmetic_is_exactly_per_lane_scalar() {
+        // Each lane must be THE scalar result: same op, same operand
+        // order, compared by bits (via total equality on non-NaN).
+        let (x, y) = (a().to_array(), b().to_array());
+        for i in 0..LANES {
+            assert_eq!((a() + b()).to_array()[i], x[i] + y[i]);
+            assert_eq!((a() - b()).to_array()[i], x[i] - y[i]);
+            assert_eq!((a() * b()).to_array()[i], x[i] * y[i]);
+            assert_eq!((a() / b()).to_array()[i], x[i] / y[i]);
+            assert_eq!((-a()).to_array()[i], -x[i]);
+            assert_eq!(a().min(b()).to_array()[i], x[i].min(y[i]));
+            assert_eq!(a().max(b()).to_array()[i], x[i].max(y[i]));
+            assert_eq!(a().abs().to_array()[i], x[i].abs());
+            assert_eq!(a().recip().to_array()[i], 1.0 / x[i]);
+            assert_eq!(
+                a().mul_add(b(), F64x4::splat(0.125)).to_array()[i],
+                x[i].mul_add(y[i], 0.125)
+            );
+        }
+    }
+
+    #[test]
+    fn mul_add_differs_from_mul_then_add_where_scalar_does() {
+        // The contraction caveat is real: pick operands where fused
+        // and two-rounding answers differ, and check we match the
+        // *fused* scalar, not the unfused one.
+        let x = 1.0 + 2.0_f64.powi(-30);
+        let fused = x.mul_add(x, -1.0);
+        let unfused = x * x - 1.0;
+        assert_ne!(fused, unfused);
+        let wide = F64x4::splat(x).mul_add(F64x4::splat(x), F64x4::splat(-1.0));
+        assert_eq!(wide.to_array()[0], fused);
+    }
+
+    #[test]
+    fn compares_and_select() {
+        let m = a().lt(b());
+        assert_eq!(m, Mask4([false, true, false, false]));
+        assert_eq!(
+            m.select(F64x4::splat(1.0), F64x4::splat(0.0)).to_array(),
+            [0.0, 1.0, 0.0, 0.0]
+        );
+        assert!(a().le(a()).all());
+        assert!(a().ge(b()).any());
+        assert_eq!(
+            a().lt(b()).and(b().ge(F64x4::splat(0.0))),
+            Mask4([false, true, false, false])
+        );
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        let src = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let v = F64x4::load(&src, 1);
+        assert_eq!(v.to_array(), [1.0, 2.0, 3.0, 4.0]);
+        let mut dst = [0.0; 6];
+        v.store(&mut dst, 2);
+        assert_eq!(dst, [0.0, 0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn nan_lanes_behave_like_scalar() {
+        let n = F64x4([f64::NAN, 1.0, f64::NAN, 0.0]);
+        // f64::min/max: the non-NaN operand wins, same as scalar.
+        assert_eq!(n.min(b()).to_array()[0], b().to_array()[0]);
+        assert_eq!(n.max(b()).to_array()[2], b().to_array()[2]);
+        // Comparisons with NaN are false, same as scalar.
+        assert!(!n.lt(b()).0[0]);
+        assert!(!n.ge(b()).0[0]);
+    }
+}

@@ -57,7 +57,21 @@ impl RefClock {
     /// Waveform level at time `t` relative to a rising edge at `t = 0`
     /// (periodic for all `t`, including negative).
     pub fn level_at(&self, t: Seconds) -> bool {
-        let phase = t.value().rem_euclid(self.period.value());
+        let t = t.value();
+        let p = self.period.value();
+        // `rem_euclid` reduces to one (at most) add for |t| < p, which
+        // covers essentially every stage of every sense (the anchor is
+        // a fraction of the period): for 0 ≤ t < p, `t % p == t`
+        // exactly, so `rem_euclid` returns `t`; for −p < t < 0 it
+        // returns exactly `t + p`. Both branches are bit-identical to
+        // the general fmod path they bypass.
+        let phase = if (0.0..p).contains(&t) {
+            t
+        } else if -p < t && t < 0.0 {
+            t + p
+        } else {
+            t.rem_euclid(p)
+        };
         phase < self.high_time.value()
     }
 }
@@ -150,6 +164,24 @@ mod tests {
         assert!(clk.level_at(ns(15.0)));
         assert!(clk.level_at(ns(-13.0)));
         assert!(!clk.level_at(ns(-1.0)));
+    }
+
+    #[test]
+    fn level_at_fast_path_matches_rem_euclid() {
+        // Sweep through both fast branches (|t| < period, either sign)
+        // and the general fmod branch (|t| ≥ period), pinning each
+        // against the reference reduction bit for bit.
+        let clk = RefClock::paper_14ns();
+        let p = clk.period().value();
+        let high = clk.high_time().value();
+        for k in -300..300 {
+            let t = k as f64 * 0.097e-9;
+            assert_eq!(clk.level_at(Seconds(t)), t.rem_euclid(p) < high, "t = {t}");
+        }
+        // Exact boundaries.
+        for t in [0.0, p, -p, 2.0 * p, high, -high] {
+            assert_eq!(clk.level_at(Seconds(t)), t.rem_euclid(p) < high, "t = {t}");
+        }
     }
 
     #[test]

@@ -20,7 +20,7 @@ use subvt_device::constants::DCDC_LSB;
 use subvt_device::delay::GateMismatch;
 use subvt_device::mosfet::Environment;
 use subvt_device::tabulate::{AnalyticEval, DeviceEval};
-use subvt_device::technology::Technology;
+use subvt_device::technology::{GateKind, Technology};
 use subvt_device::units::{Seconds, Volts};
 use subvt_digital::encoder::{EncodeError, QuantizerWord};
 use subvt_digital::lut::VoltageWord;
@@ -458,6 +458,139 @@ impl VariationSensor {
         )
     }
 
+    /// [`VariationSensor::sense_with`] for a whole lane of dies
+    /// sharing one band and one actual supply — the batched word-walk
+    /// shape, where a cohort of dies all test the same candidate word.
+    /// `out[i]` is exactly what
+    /// `sense_with(eval, word, actual_vdd, env, mismatches[i])` would
+    /// return; the replica-cell delays come from the evaluator's fused
+    /// [`DeviceEval::gate_delay_pair_lane`] kernel, and the per-die
+    /// quantize/encode/classify steps stay scalar (they are integer
+    /// bit-twiddling, not float work).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != mismatches.len()`.
+    ///
+    /// # Errors
+    ///
+    /// [`SenseError::BandUnusable`] for uncalibrated bands (the band
+    /// does not depend on the die, so one `Err` covers the lane).
+    pub fn sense_lane_with(
+        &self,
+        eval: &dyn DeviceEval,
+        word: VoltageWord,
+        actual_vdd: Volts,
+        env: Environment,
+        mismatches: &[GateMismatch],
+        out: &mut [Result<i16, SenseError>],
+    ) -> Result<(), SenseError> {
+        assert_eq!(
+            mismatches.len(),
+            out.len(),
+            "lane output length must match the mismatch lane"
+        );
+        let band = self.band(word)?;
+        match self.line.cell() {
+            CellKind::InvNor => {
+                let mut pairs = vec![(Seconds(0.0), Seconds(0.0)); mismatches.len()];
+                match eval.gate_delay_pair_lane(
+                    (GateKind::Inverter, GateKind::Nor2),
+                    actual_vdd,
+                    env,
+                    mismatches,
+                    1.0,
+                    &mut pairs,
+                ) {
+                    Ok(()) => {
+                        for (o, (inv, nor)) in out.iter_mut().zip(&pairs) {
+                            *o = self.classify(word, Self::encode_cell(band, *inv + *nor));
+                        }
+                    }
+                    Err(_) => {
+                        // Below the functional floor the replica never
+                        // toggles: every die captures an empty word —
+                        // the same die-independent mapping
+                        // `measure_with` applies.
+                        for o in out.iter_mut() {
+                            *o = self
+                                .classify(word, Err(SenseError::Unreliable(EncodeError::Empty)));
+                        }
+                    }
+                }
+            }
+            CellKind::Inverter => {
+                for (m, o) in mismatches.iter().zip(out.iter_mut()) {
+                    *o = self.sense_with(eval, word, actual_vdd, env, *m);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// [`VariationSensor::sense_fractional_with`] for a lane of dies
+    /// sharing one band but each at its *own* actual supply — the
+    /// dither-settle shape, where every die walks its own voltage.
+    /// `out[i]` is exactly what
+    /// `sense_fractional_with(eval, word, vdds[i], env, mismatches[i])`
+    /// would return; per-die below-floor supplies classify as empty
+    /// words, exactly as in the scalar path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdds`, `mismatches` and `out` lengths differ.
+    ///
+    /// # Errors
+    ///
+    /// [`SenseError::BandUnusable`] for uncalibrated bands.
+    pub fn sense_fractional_multi_with(
+        &self,
+        eval: &dyn DeviceEval,
+        word: VoltageWord,
+        vdds: &[Volts],
+        env: Environment,
+        mismatches: &[GateMismatch],
+        out: &mut [Result<f64, SenseError>],
+    ) -> Result<(), SenseError> {
+        assert_eq!(
+            vdds.len(),
+            mismatches.len(),
+            "supply lane length must match the mismatch lane"
+        );
+        assert_eq!(
+            vdds.len(),
+            out.len(),
+            "lane output length must match the supply lane"
+        );
+        let band = self.band(word)?;
+        match self.line.cell() {
+            CellKind::InvNor => {
+                let mut pairs = vec![None; vdds.len()];
+                eval.gate_delay_pair_multi(
+                    (GateKind::Inverter, GateKind::Nor2),
+                    vdds,
+                    env,
+                    mismatches,
+                    1.0,
+                    &mut pairs,
+                );
+                for (o, p) in out.iter_mut().zip(&pairs) {
+                    let measured = match p {
+                        Some((inv, nor)) => Self::encode_cell(band, *inv + *nor),
+                        None => Err(SenseError::Unreliable(EncodeError::Empty)),
+                    };
+                    *o = self.classify_fractional(word, measured);
+                }
+            }
+            CellKind::Inverter => {
+                for ((v, m), o) in vdds.iter().zip(mismatches).zip(out.iter_mut()) {
+                    *o = self.sense_fractional_with(eval, word, *v, env, *m);
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Maps a measurement to the integer signature, classifying the
     /// out-of-range line states as extreme deviations.
     fn classify(
@@ -800,6 +933,120 @@ mod tests {
             sensor.decode_strict(19, sample).unwrap(),
             "strict decode mis-signatures the bubbled word"
         );
+    }
+
+    #[test]
+    fn sense_lane_matches_scalar_sense() {
+        use subvt_device::tabulate::{AnalyticEval, TabulatedEval};
+        let tech = Technology::st_130nm();
+        let sensor = VariationSensor::new(&tech, Environment::nominal(), SensorConfig::default());
+        let analytic = AnalyticEval::new(&tech);
+        let tabulated = TabulatedEval::new(&tech);
+        let evals: [&dyn DeviceEval; 2] = [&analytic, &tabulated];
+        // Lane lengths covering full chunks and every ragged tail,
+        // with mismatches spanning nominal, slow, fast and wild dies.
+        let draws = [0.0, 0.013, -0.021, 0.2, 0.004, -0.0087, 0.0123];
+        for eval in evals {
+            for env in [Environment::nominal(), Environment::at_celsius(85.0)] {
+                for (word, vdd) in [
+                    (19u8, word_voltage(19)),
+                    (12, word_voltage(13)),
+                    (47, Volts(0.9)),
+                ] {
+                    for len in [1, 2, 3, 4, 5, 7] {
+                        let mms: Vec<GateMismatch> = draws[..len]
+                            .iter()
+                            .map(|&d| GateMismatch {
+                                nmos_dvth: Volts(d),
+                                pmos_dvth: Volts(d * 0.5),
+                            })
+                            .collect();
+                        let mut lane = vec![Ok(0i16); len];
+                        sensor
+                            .sense_lane_with(eval, word, vdd, env, &mms, &mut lane)
+                            .unwrap();
+                        for (m, got) in mms.iter().zip(&lane) {
+                            let want = sensor.sense_with(eval, word, vdd, env, *m);
+                            assert_eq!(*got, want, "word {word} len {len}");
+                        }
+                    }
+                }
+            }
+            // Below-floor supply: every die reads empty → −range, as
+            // in the scalar path.
+            let mms = vec![GateMismatch::NOMINAL; 5];
+            let mut lane = vec![Ok(0i16); 5];
+            sensor
+                .sense_lane_with(
+                    eval,
+                    19,
+                    Volts(0.01),
+                    Environment::nominal(),
+                    &mms,
+                    &mut lane,
+                )
+                .unwrap();
+            for (m, got) in mms.iter().zip(&lane) {
+                let want = sensor.sense_with(eval, 19, Volts(0.01), Environment::nominal(), *m);
+                assert_eq!(*got, want);
+            }
+            // Unusable band errors for the whole lane, like each scalar
+            // call would.
+            assert!(sensor
+                .sense_lane_with(eval, 2, Volts(0.1), Environment::nominal(), &mms, &mut lane)
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn sense_fractional_multi_matches_scalar() {
+        use subvt_device::tabulate::{AnalyticEval, TabulatedEval};
+        let tech = Technology::st_130nm();
+        let sensor = VariationSensor::new(&tech, Environment::nominal(), SensorConfig::default());
+        let analytic = AnalyticEval::new(&tech);
+        let tabulated = TabulatedEval::new(&tech);
+        let evals: [&dyn DeviceEval; 2] = [&analytic, &tabulated];
+        let vdds = [
+            word_voltage(19),
+            Volts(0.01), // below the floor → empty word → −range
+            Volts(0.3601),
+            Volts(0.3389),
+            Volts(1.18),
+        ];
+        let mms: Vec<GateMismatch> = [0.0, 0.0094, -0.012, 0.2, -0.0021]
+            .iter()
+            .map(|&d| GateMismatch {
+                nmos_dvth: Volts(d),
+                pmos_dvth: Volts(d),
+            })
+            .collect();
+        for eval in evals {
+            for env in [Environment::nominal(), Environment::at_celsius(-10.0)] {
+                let mut lane = vec![Ok(0.0f64); vdds.len()];
+                sensor
+                    .sense_fractional_multi_with(eval, 19, &vdds, env, &mms, &mut lane)
+                    .unwrap();
+                for i in 0..vdds.len() {
+                    let want = sensor.sense_fractional_with(eval, 19, vdds[i], env, mms[i]);
+                    match (&lane[i], &want) {
+                        (Ok(a), Ok(b)) => {
+                            assert_eq!(a.to_bits(), b.to_bits(), "die {i}");
+                        }
+                        (a, b) => assert_eq!(a, b, "die {i}"),
+                    }
+                }
+            }
+            assert!(sensor
+                .sense_fractional_multi_with(
+                    eval,
+                    2,
+                    &vdds,
+                    Environment::nominal(),
+                    &mms,
+                    &mut vec![Ok(0.0f64); vdds.len()]
+                )
+                .is_err());
+        }
     }
 
     #[test]

@@ -13,9 +13,13 @@
 //! * `SUBVT_BENCH_OUT` — report directory (default: the nearest
 //!   ancestor `target/` directory, under `bench-reports/`);
 //! * `SUBVT_BENCH_SAMPLE_MS` — time budget per sample (default 10 ms);
-//! * `SUBVT_BENCH_QUICK=1` or a `--test` argument (as `cargo test`
-//!   passes to `harness = false` targets) — single-iteration smoke
-//!   mode, so benches double as tests without burning minutes.
+//! * `SUBVT_BENCH_QUICK=1` forces single-iteration smoke mode,
+//!   `SUBVT_BENCH_QUICK=0` forces full timed mode. Without the
+//!   variable, the timer runs quick unless a `--bench` argument is
+//!   present — `cargo bench` passes `--bench` to `harness = false`
+//!   targets, while `cargo test` does not, so benches double as smoke
+//!   tests without burning minutes and only `cargo bench` (or
+//!   `SUBVT_BENCH_QUICK=0`) produces real timings.
 
 pub use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -33,10 +37,11 @@ pub struct Timer {
 impl Timer {
     /// Configures a timer from the environment (see module docs).
     pub fn from_env() -> Timer {
-        let quick = std::env::var("SUBVT_BENCH_QUICK")
-            .map(|v| v == "1")
-            .unwrap_or(false)
-            || std::env::args().any(|a| a == "--test");
+        let quick = match std::env::var("SUBVT_BENCH_QUICK").ok().as_deref() {
+            Some("1") => true,
+            Some("0") => false,
+            _ => !std::env::args().any(|a| a == "--bench"),
+        };
         let sample_ms = std::env::var("SUBVT_BENCH_SAMPLE_MS")
             .ok()
             .and_then(|s| s.parse::<u64>().ok())
@@ -56,6 +61,7 @@ impl Timer {
             timer: self,
             name: name.to_owned(),
             sample_size: 10,
+            items_per_iter: None,
             records: Vec::new(),
             written: false,
         }
@@ -66,10 +72,16 @@ impl Timer {
         &self.groups_written
     }
 
-    /// Whether the timer runs in single-iteration smoke mode
-    /// (`SUBVT_BENCH_QUICK=1` or a `--test` argument). Benches use this
-    /// to skip timing-based assertions that are meaningless at one
-    /// iteration.
+    /// The directory bench reports land in, for benches that write
+    /// sibling artifacts (e.g. a phase-profile text dump).
+    pub fn out_dir(&self) -> &std::path::Path {
+        &self.out_dir
+    }
+
+    /// Whether the timer runs in single-iteration smoke mode (the
+    /// default outside `cargo bench`; see [`Timer::from_env`]). Benches
+    /// use this to skip timing-based assertions that are meaningless at
+    /// one iteration.
     pub fn quick(&self) -> bool {
         self.quick
     }
@@ -86,6 +98,7 @@ pub struct Group<'a> {
     timer: &'a mut Timer,
     name: String,
     sample_size: usize,
+    items_per_iter: Option<f64>,
     records: Vec<Record>,
     written: bool,
 }
@@ -99,6 +112,17 @@ struct Record {
     mean_ns: f64,
     min_ns: f64,
     max_ns: f64,
+    items_per_iter: Option<f64>,
+}
+
+impl Record {
+    /// Items processed per second at the median timing, when the bench
+    /// declared a throughput denominator.
+    fn items_per_sec(&self) -> Option<f64> {
+        self.items_per_iter
+            .filter(|_| self.median_ns > 0.0)
+            .map(|items| items * 1e9 / self.median_ns)
+    }
 }
 
 impl Group<'_> {
@@ -106,6 +130,20 @@ impl Group<'_> {
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         assert!(n > 0, "sample size must be positive");
         self.sample_size = n;
+        self
+    }
+
+    /// Declares how many items one iteration of the *following*
+    /// benchmarks processes (e.g. dies per study); their reports then
+    /// carry an `items_per_sec` throughput figure alongside the raw
+    /// timings. Call with the new denominator before each benchmark it
+    /// applies to; it stays in force until changed.
+    pub fn throughput(&mut self, items_per_iter: f64) -> &mut Self {
+        assert!(
+            items_per_iter > 0.0 && items_per_iter.is_finite(),
+            "throughput denominator must be a positive finite item count"
+        );
+        self.items_per_iter = Some(items_per_iter);
         self
     }
 
@@ -137,15 +175,17 @@ impl Group<'_> {
             mean_ns: stats.mean,
             min_ns: stats.min,
             max_ns: stats.max,
+            items_per_iter: self.items_per_iter,
         };
         println!(
-            "BENCH {}/{} median {} (mean {}, {} samples x {} iters)",
+            "BENCH {}/{} median {} (mean {}, {} samples x {} iters){}",
             self.name,
             name,
             fmt_ns(record.median_ns),
             fmt_ns(record.mean_ns),
             record.samples,
             record.iters_per_sample,
+            fmt_rate(record.items_per_sec()),
         );
         self.records.push(record);
         self
@@ -187,8 +227,15 @@ impl Group<'_> {
             mean_ns: ns,
             min_ns: ns,
             max_ns: ns,
+            items_per_iter: self.items_per_iter,
         };
-        println!("BENCH {}/{} once {}", self.name, name, fmt_ns(ns));
+        println!(
+            "BENCH {}/{} once {}{}",
+            self.name,
+            name,
+            fmt_ns(ns),
+            fmt_rate(record.items_per_sec()),
+        );
         self.records.push(record);
         out
     }
@@ -207,17 +254,25 @@ impl Group<'_> {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(out, "{{");
-        let _ = writeln!(out, "  \"schema\": \"subvt-bench-v2\",");
+        let _ = writeln!(out, "  \"schema\": \"subvt-bench-v3\",");
         let _ = writeln!(out, "  \"group\": \"{}\",", escape_json(&self.name));
         let _ = writeln!(out, "  \"quick\": {},", self.timer.quick);
         let _ = writeln!(out, "  \"machine\": {{\"cores\": {}}},", host_cores());
         let _ = writeln!(out, "  \"benchmarks\": [");
         for (i, r) in self.records.iter().enumerate() {
             let comma = if i + 1 < self.records.len() { "," } else { "" };
+            let throughput = match (r.items_per_iter, r.items_per_sec()) {
+                (Some(items), Some(rate)) => format!(
+                    ", \"items_per_iter\": {}, \"items_per_sec\": {}",
+                    json_f64(items),
+                    json_f64(rate)
+                ),
+                _ => String::new(),
+            };
             let _ = writeln!(
                 out,
                 "    {{\"name\": \"{}\", \"samples\": {}, \"iters_per_sample\": {}, \
-                 \"median_ns\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}{comma}",
+                 \"median_ns\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}{throughput}}}{comma}",
                 escape_json(&r.name),
                 r.samples,
                 r.iters_per_sample,
@@ -388,6 +443,17 @@ fn json_f64(v: f64) -> String {
     }
 }
 
+/// Formats an optional items/sec rate as a stdout suffix, scaled to
+/// keep the mantissa readable; empty when no throughput was declared.
+fn fmt_rate(rate: Option<f64>) -> String {
+    match rate {
+        Some(r) if r >= 1_000_000.0 => format!(" [{:.2} Mitems/s]", r / 1_000_000.0),
+        Some(r) if r >= 1_000.0 => format!(" [{:.2} kitems/s]", r / 1_000.0),
+        Some(r) => format!(" [{r:.1} items/s]"),
+        None => String::new(),
+    }
+}
+
 fn fmt_ns(ns: f64) -> String {
     if ns < 1_000.0 {
         format!("{ns:.1} ns")
@@ -427,7 +493,7 @@ mod tests {
         }
         assert_eq!(timer.groups_written(), ["unit".to_owned()]);
         let json = std::fs::read_to_string(dir.join("BENCH_unit.json")).unwrap();
-        assert!(json.contains("\"schema\": \"subvt-bench-v2\""), "{json}");
+        assert!(json.contains("\"schema\": \"subvt-bench-v3\""), "{json}");
         assert!(json.contains("\"group\": \"unit\""), "{json}");
         assert!(
             json.contains(&format!("\"machine\": {{\"cores\": {}}}", host_cores())),
@@ -435,6 +501,41 @@ mod tests {
         );
         assert!(json.contains("\"name\": \"noop\""), "{json}");
         assert!(json.contains("\"median_ns\""), "{json}");
+        // No throughput denominator declared, so no rate fields.
+        assert!(!json.contains("items_per_sec"), "{json}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn throughput_adds_rate_fields_to_following_benches() {
+        let dir = std::env::temp_dir().join("subvt-testkit-bench-throughput-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut timer = quick_timer(&dir);
+        {
+            let mut g = timer.benchmark_group("rate");
+            g.bench_function("plain", |b| b.iter(|| 1 + 1));
+            g.throughput(1024.0);
+            g.bench_function("batched", |b| b.iter(|| (0..100).sum::<u64>()));
+            g.throughput(4096.0);
+            g.bench_once("mega", || (0..1000).sum::<u64>());
+            let batched = g.records.iter().find(|r| r.name == "batched").unwrap();
+            assert_eq!(batched.items_per_iter, Some(1024.0));
+            let rate = batched.items_per_sec().unwrap();
+            assert!(rate > 0.0 && rate.is_finite(), "{rate}");
+            assert_eq!(
+                g.records
+                    .iter()
+                    .find(|r| r.name == "plain")
+                    .unwrap()
+                    .items_per_iter,
+                None
+            );
+            g.finish();
+        }
+        let json = std::fs::read_to_string(dir.join("BENCH_rate.json")).unwrap();
+        assert!(json.contains("\"items_per_iter\": 1024.000"), "{json}");
+        assert!(json.contains("\"items_per_iter\": 4096.000"), "{json}");
+        assert!(json.contains("\"items_per_sec\""), "{json}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

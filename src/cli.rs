@@ -10,7 +10,7 @@ use subvt_core::controller::SupplyKind;
 use subvt_core::experiment::{savings_experiment, Scenario};
 use subvt_core::study::{StudyArgs, StudyConfig, StudyError, SupplyBackendKind, DEFAULT_BATCH};
 use subvt_core::transient::{fig6_schedule, run_transient};
-use subvt_core::SupplySim;
+use subvt_core::{PhaseProfile, SupplySim};
 use subvt_dcdc::converter::ConverterParams;
 use subvt_dcdc::filter::NoLoad;
 use subvt_dcdc::solver::SolverMode;
@@ -440,6 +440,15 @@ impl Command {
                     cfg.jobs(),
                     study.batch.unwrap_or(DEFAULT_BATCH),
                 );
+                // `--profile-phases`: delta the process-global phase
+                // timers across the run and append the attribution.
+                let profile_before = study.profile_phases.then(PhaseProfile::snapshot);
+                let with_profile = |report: String| match profile_before {
+                    Some(before) => {
+                        format!("{report}{}\n", PhaseProfile::snapshot().since(&before))
+                    }
+                    None => report,
+                };
                 match study.fault_plan() {
                     None => {
                         let summary = match builder.try_run_summary() {
@@ -447,7 +456,7 @@ impl Command {
                             Err(StudyError::Cancelled) => return cancelled("yield"),
                             Err(e) => return Err(e.to_string()),
                         };
-                        Ok(format!(
+                        Ok(with_profile(format!(
                             "yield over {} dies {provenance}:\n\
                              fixed {:.1}%  adaptive {:.1}%  dithered {:.1}%  mean adaptive E {}\n",
                             summary.dies,
@@ -457,7 +466,7 @@ impl Command {
                             summary
                                 .mean_adaptive_energy()
                                 .map_or("-".into(), |e| format!("{:.3} fJ", e.femtos()))
-                        ))
+                        )))
                     }
                     Some(plan) => {
                         let s = match builder.faults(plan).try_run_faults() {
@@ -465,7 +474,7 @@ impl Command {
                             Err(StudyError::Cancelled) => return cancelled("fault"),
                             Err(e) => return Err(e.to_string()),
                         };
-                        Ok(format!(
+                        Ok(with_profile(format!(
                             "yield over {} dies {provenance}\n\
                              under faults (rate {} per domain-cycle, mitigation {}):\n\
                              fixed {:.1}%  adaptive {:.1}%  dithered {:.1}%  mean adaptive E {}\n\
@@ -484,7 +493,7 @@ impl Command {
                             s.mean_recovery_energy().femtos(),
                             s.watchdog_trips,
                             s.faults_injected,
-                        ))
+                        )))
                     }
                 }
             }
@@ -622,6 +631,10 @@ FLAGS:
     --cancel-after-dies <n>     stop the yield study gracefully once
                          ~n dies are scored (the in-flight chunk still
                          commits); pair with --checkpoint to resume
+    --profile-phases     append the batched hot path's per-phase wall
+                         time (die draw, fixed lane, word settle,
+                         adaptive lanes, dither settle) to the yield
+                         report — pure observation, results unchanged
     --eval analytic|tabulated   device model for yield: the exact
                          analytic model (default) or precomputed
                          monotone-cubic surfaces (≤1% accuracy
@@ -758,6 +771,25 @@ mod tests {
             .run()
             .unwrap();
         assert_eq!(out.replace("2 jobs", "1 jobs"), serial);
+    }
+
+    #[test]
+    fn yield_profile_phases_appends_the_profile_block() {
+        let plain = parse(&["yield", "--dies", "48", "--seed", "9"])
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(!plain.contains("phase profile"), "{plain}");
+
+        let profiled = parse(&["yield", "--dies", "48", "--seed", "9", "--profile-phases"])
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(profiled.starts_with(&plain), "{profiled}");
+        assert!(profiled.contains("phase profile"), "{profiled}");
+        for phase in ["draw", "word settle", "dither settle", "total"] {
+            assert!(profiled.contains(phase), "missing {phase}: {profiled}");
+        }
     }
 
     #[test]

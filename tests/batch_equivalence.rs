@@ -165,6 +165,71 @@ fn batched_fault_summary_is_bit_identical_to_the_scalar_reference() {
 }
 
 #[test]
+fn simd_ragged_tails_one_through_three_are_bit_identical() {
+    // The wide-lane kernels walk a sub-batch four dies at a time and
+    // finish the remainder through the scalar path. The fixtures above
+    // never see a full 4-lane (chunk_len ≤ 3), so pin each ragged tail
+    // width explicitly: sub-batches of 5, 6 and 7 dies leave scalar
+    // tails of 1, 2 and 3 after the SIMD pass, and 258 dies adds a
+    // ragged *final chunk* of 3 on top of its 5-die sub-batches.
+    for (dies, batch) in [(258usize, 5usize), (384, 6), (448, 7)] {
+        assert_eq!(chunk_len(dies), batch, "fixture drifted for {dies} dies");
+        let reference = config(dies).run().summarize().encode_state();
+        for jobs in JOBS {
+            let got = config(dies)
+                .batch(batch)
+                .exec(ExecConfig::with_jobs(jobs))
+                .run_summary();
+            assert_eq!(
+                got.encode_state(),
+                reference,
+                "summary diverged at dies={dies} batch={batch} jobs={jobs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn supply_backend_times_eval_mode_cross_product_is_bit_identical() {
+    // Every supply backend through every device-evaluation mode, at a
+    // population (320 dies, chunk 5) whose sub-batches genuinely run
+    // the 4-wide kernels plus a 1-die scalar tail. One batched shape
+    // per combination keeps the cross product affordable; the shapes
+    // themselves are exercised exhaustively above.
+    for kind in [
+        subvt_core::SupplyBackendKind::Ideal,
+        subvt_core::SupplyBackendKind::Buck,
+        subvt_core::SupplyBackendKind::Dldo,
+        subvt_core::SupplyBackendKind::Dlr,
+    ] {
+        for eval in [
+            subvt_device::tabulate::EvalMode::Analytic,
+            subvt_device::tabulate::EvalMode::Tabulated,
+        ] {
+            let reference = config(320)
+                .supply_backend(kind)
+                .eval_mode(eval)
+                .run()
+                .summarize()
+                .encode_state();
+            let got = config(320)
+                .supply_backend(kind)
+                .eval_mode(eval)
+                .batch(5)
+                .exec(ExecConfig::with_jobs(7))
+                .run_summary();
+            assert_eq!(
+                got.encode_state(),
+                reference,
+                "summary diverged at supply={} eval={}",
+                kind.label(),
+                eval.label()
+            );
+        }
+    }
+}
+
+#[test]
 fn default_batch_is_sensible_and_in_effect() {
     // The default must be a real batch (not 1, not unbounded), and a
     // defaulted run must equal an explicit `.batch(DEFAULT_BATCH)`.
