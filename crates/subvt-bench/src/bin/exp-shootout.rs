@@ -7,10 +7,18 @@
 //! backend's droop/ripple table is built serially before the fan-out)
 //! and across kill/resume; the committed reference output lives in
 //! `docs/results/supply_shootout.txt`.
+//!
+//! Since PR 9 the 18 cells are scored by the fused [`StudyMatrix`]
+//! engine on ONE shared die stream — each (corner, die) is drawn and
+//! device-evaluated once and every compatible cell folds from the same
+//! lanes — instead of 18 independent studies. The matrix engine's
+//! byte-identity contract (`tests/matrix_equivalence.rs`) is what
+//! keeps the committed reference output unchanged.
 
 use subvt_bench::jobs::harness_options;
 use subvt_bench::report::{f, pct, Table};
-use subvt_core::study::{StudyArgs, SupplyBackendKind, STUDY_HELP};
+use subvt_core::matrix::{CellSummary, MatrixCell, StudyMatrix};
+use subvt_core::study::{FaultPlan, SupplyBackendKind, STUDY_HELP};
 use subvt_core::SupplySim;
 use subvt_device::corner::ProcessCorner;
 use subvt_device::mosfet::Environment;
@@ -89,34 +97,46 @@ fn main() {
             "tracking err (LSB)",
         ],
     );
+    // One fused run over the whole grid: the matrix engine draws and
+    // device-evaluates each (corner, die) once and scores all 18 cells
+    // from the shared lanes.
+    let mut cells: Vec<(MatrixCell, &str, f64)> = Vec::new();
     for kind in BACKENDS {
         for (corner, corner_label) in CORNERS {
             for rate in FAULT_RATES {
-                let mut cell: StudyArgs = args.clone();
-                cell.supply = kind;
-                cell.faults = (rate > 0.0).then_some(rate);
-                let cfg = cell.study().env(Environment::at_corner(corner));
-                let (summary, tracking) = if rate > 0.0 {
-                    let s = cfg.run_faults();
-                    let err = f(s.mean_tracking_error(), 2);
-                    (s.base, err)
-                } else {
-                    (cfg.run_summary(), "-".to_owned())
+                let faults =
+                    (rate > 0.0).then(|| FaultPlan::uniform(rate).with_mitigation(args.mitigation));
+                let cell = MatrixCell {
+                    supply: kind,
+                    env: Environment::at_corner(corner),
+                    faults,
                 };
-                t.row(&[
-                    kind.label().to_owned(),
-                    corner_label.to_owned(),
-                    format!("{rate}"),
-                    pct(summary.fixed_yield()),
-                    pct(summary.adaptive_yield()),
-                    pct(summary.dithered_yield()),
-                    summary
-                        .mean_adaptive_energy()
-                        .map_or("-".into(), |e| f(e.femtos(), 3)),
-                    tracking,
-                ]);
+                cells.push((cell, corner_label, rate));
             }
         }
+    }
+    let matrix = cells.iter().fold(StudyMatrix::new(args.study()), |m, c| {
+        m.cell(c.0.supply, c.0.env, c.0.faults)
+    });
+    let results = matrix.run();
+
+    for ((cell, corner_label, rate), result) in cells.iter().zip(&results) {
+        let (summary, tracking) = match result {
+            CellSummary::Yield(s) => (s, "-".to_owned()),
+            CellSummary::Faults(s) => (&s.base, f(s.mean_tracking_error(), 2)),
+        };
+        t.row(&[
+            cell.supply.label().to_owned(),
+            (*corner_label).to_owned(),
+            format!("{rate}"),
+            pct(summary.fixed_yield()),
+            pct(summary.adaptive_yield()),
+            pct(summary.dithered_yield()),
+            summary
+                .mean_adaptive_energy()
+                .map_or("-".into(), |e| f(e.femtos(), 3)),
+            tracking,
+        ]);
     }
     println!("{}", t.render());
     println!(

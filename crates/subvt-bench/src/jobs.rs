@@ -32,10 +32,10 @@ pub const EVAL_HELP: &str = "\
 /// against a regulated supply's real operating points.
 pub const SUPPLY_HELP: &str = "\
     --supply S  supply backend: `ideal` (exact word voltages, the
-                default), `buck` (switched converter; `switched` is a
-                deprecated alias), `dldo` (time-interleaved digital
-                LDO) or `dlr` (discrete-time linear regulator); rate is
-                checked at the ripple trough, energy at the cycle mean";
+                default), `buck` (switched converter), `dldo`
+                (time-interleaved digital LDO) or `dlr` (discrete-time
+                linear regulator); rate is checked at the ripple
+                trough, energy at the cycle mean";
 
 /// The standard harness flags plus the device-evaluation mode.
 #[derive(Debug, Clone, PartialEq)]

@@ -25,7 +25,7 @@ use std::ops::Range;
 use std::time::Instant;
 
 use subvt_device::delay::GateMismatch;
-use subvt_device::tabulate::CachedEval;
+use subvt_device::tabulate::{CachedEval, DeviceEval};
 use subvt_device::units::{Joules, Seconds, Volts};
 use subvt_digital::lut::VoltageWord;
 use subvt_exec::chunk_len;
@@ -132,7 +132,7 @@ fn word_voltages(ctx: &StudyContext<'_>, word: VoltageWord) -> (Volts, Volts) {
 /// [`StudyContext::passes`] produces per die.
 fn lane_passes(
     ctx: &StudyContext<'_>,
-    energy_eval: &dyn subvt_device::tabulate::DeviceEval,
+    energy_eval: &dyn DeviceEval,
     word: VoltageWord,
     mismatches: &[GateMismatch],
     delays: &mut [Seconds],
@@ -164,7 +164,14 @@ fn lane_passes(
 /// Reusable SoA scratch for one sub-batch of dies. All arrays are
 /// bounded by the sub-batch size, so a million-die study's working set
 /// stays `O(jobs × batch)`, never `O(dies)`.
-struct DieBatch {
+///
+/// The phases are individually callable so the matrix path
+/// ([`crate::matrix`]) can run the shared ones (draw, word settle,
+/// dither walk) once per corner group and the supply-dependent tails
+/// (fixed lane, adaptive lanes, dithered check) once per cell group,
+/// against the same lanes. [`DieBatch::score`] composes them in the
+/// original order for the single-cell path.
+pub(crate) struct DieBatch {
     corner_units: Vec<f64>,
     mismatches: Vec<GateMismatch>,
     delays: Vec<Seconds>,
@@ -190,7 +197,7 @@ struct DieBatch {
 }
 
 impl DieBatch {
-    fn with_capacity(batch: usize) -> DieBatch {
+    pub(crate) fn with_capacity(batch: usize) -> DieBatch {
         DieBatch {
             corner_units: Vec::with_capacity(batch),
             mismatches: Vec::with_capacity(batch),
@@ -236,26 +243,56 @@ impl DieBatch {
     /// Scores the dies of `seeds` through the phased SoA pipeline,
     /// sharing `cached` (pure memoization) across the sub-batch.
     fn score(&mut self, ctx: &StudyContext<'_>, cached: &CachedEval<'_>, seeds: &[u64]) {
-        let n = seeds.len();
-        self.reset(n);
         record_sub_batch();
-        // The settle lanes go straight to the study evaluator: every
-        // iteration visits a fresh operating point, so the per-batch
-        // memo (pure, and kept for the energy legs) would only add
-        // lookups — bypassing it cannot change a bit.
-        let eval = ctx.eval.as_ref();
 
-        // Phase A: sample the die population into the SoA lanes. One
-        // pre-forked stream per die, exactly as the scalar path draws;
-        // the correlation/scale arithmetic runs four dies wide.
         let t0 = Instant::now();
-        ctx.variation
-            .sample_die_lane(seeds, &mut self.corner_units, &mut self.mismatches);
+        self.draw(ctx, seeds);
         record_phase(Phase::Draw, t0.elapsed().as_nanos() as u64);
 
-        // Phase B: the fixed design — every die at one commanded word,
-        // the natural lane.
         let t0 = Instant::now();
+        self.fixed_lane(ctx, cached);
+        record_phase(Phase::Fixed, t0.elapsed().as_nanos() as u64);
+
+        let t0 = Instant::now();
+        self.settle_words(ctx);
+        record_phase(Phase::SettleWord, t0.elapsed().as_nanos() as u64);
+
+        let t0 = Instant::now();
+        self.adaptive_lanes(ctx, cached);
+        record_phase(Phase::AdaptiveLanes, t0.elapsed().as_nanos() as u64);
+
+        let t0 = Instant::now();
+        self.dither_walk(ctx);
+        self.dither_check(ctx, cached);
+        record_phase(Phase::Dither, t0.elapsed().as_nanos() as u64);
+    }
+
+    /// Dies currently held in the scratch lanes.
+    pub(crate) fn len(&self) -> usize {
+        self.corner_units.len()
+    }
+
+    /// The mismatch lane entry of die `k` (for the matrix fault path's
+    /// clean reference pieces).
+    pub(crate) fn mismatch(&self, k: usize) -> GateMismatch {
+        self.mismatches[k]
+    }
+
+    /// Phase A: sample the die population into the SoA lanes. One
+    /// pre-forked stream per die, exactly as the scalar path draws;
+    /// the correlation/scale arithmetic runs four dies wide. Resets
+    /// every lane, so this must come first. Depends only on the seeds
+    /// and the variation model — never the corner or the supply — so
+    /// the matrix path runs it once for all cells.
+    pub(crate) fn draw(&mut self, ctx: &StudyContext<'_>, seeds: &[u64]) {
+        self.reset(seeds.len());
+        ctx.variation
+            .sample_die_lane(seeds, &mut self.corner_units, &mut self.mismatches);
+    }
+
+    /// Phase B: the fixed design — every die at one commanded word,
+    /// the natural lane. Depends on the corner and the supply.
+    pub(crate) fn fixed_lane(&mut self, ctx: &StudyContext<'_>, cached: &dyn DeviceEval) {
         lane_passes(
             ctx,
             cached,
@@ -264,14 +301,22 @@ impl DieBatch {
             &mut self.delays,
             &mut self.fixed_pass,
         );
-        record_phase(Phase::Fixed, t0.elapsed().as_nanos() as u64);
+    }
 
-        // Phase C: the adaptive compensation walk, in lockstep — every
-        // die takes one walk step per round, and the dies currently
-        // testing the same candidate word share one fused sensor lane.
-        // Each die's step sequence (sense → dev == 0? → clamp walk →
-        // fixed-point?) is exactly `yield_study::settled_word`'s.
-        let t0 = Instant::now();
+    /// Phase C: the adaptive compensation walk, in lockstep — every
+    /// die takes one walk step per round, and the dies currently
+    /// testing the same candidate word share one fused sensor lane.
+    /// Each die's step sequence (sense → dev == 0? → clamp walk →
+    /// fixed-point?) is exactly `yield_study::settled_word`'s. Senses
+    /// the exact candidate-word voltage, so it depends on the corner
+    /// but not the supply.
+    pub(crate) fn settle_words(&mut self, ctx: &StudyContext<'_>) {
+        let n = self.len();
+        // The settle lanes go straight to the study evaluator: every
+        // iteration visits a fresh operating point, so the per-batch
+        // memo (pure, and kept for the energy legs) would only add
+        // lookups — bypassing it cannot change a bit.
+        let eval = ctx.eval.as_ref();
         self.words[..n].fill(ctx.design_word);
         self.active.clear();
         self.active.extend(0..n);
@@ -337,11 +382,13 @@ impl DieBatch {
             }
             std::mem::swap(&mut self.active, &mut self.next_active);
         }
-        record_phase(Phase::SettleWord, t0.elapsed().as_nanos() as u64);
+    }
 
-        // Phase D: score each settled word's cohort as a lane — one
-        // grid resolution and one energy evaluation per distinct word.
-        let t0 = Instant::now();
+    /// Phase D: score each settled word's cohort as a lane — one
+    /// grid resolution and one energy evaluation per distinct word.
+    /// Depends on the corner and the supply.
+    pub(crate) fn adaptive_lanes(&mut self, ctx: &StudyContext<'_>, cached: &dyn DeviceEval) {
+        let n = self.len();
         let mut remaining = n;
         let mut word = 0usize;
         while remaining > 0 && word < 64 {
@@ -374,14 +421,17 @@ impl DieBatch {
                 self.adaptive_energy[k] = energy;
             }
         }
-        record_phase(Phase::AdaptiveLanes, t0.elapsed().as_nanos() as u64);
+    }
 
-        // Phase E: the sub-LSB dither settle, in lockstep — every die
-        // walks its own continuous voltage, so the rounds lane over
-        // the per-die-supply fused kernel instead of a common word.
-        // Per die the update sequence is exactly
-        // `yield_study::settled_voltage_dithered`'s.
-        let t0 = Instant::now();
+    /// Phase E (walk): the sub-LSB dither settle, in lockstep — every
+    /// die walks its own continuous voltage, so the rounds lane over
+    /// the per-die-supply fused kernel instead of a common word.
+    /// Per die the update sequence is exactly
+    /// `yield_study::settled_voltage_dithered`'s. Senses the exact
+    /// walked voltage, so it depends on the corner but not the supply.
+    pub(crate) fn dither_walk(&mut self, ctx: &StudyContext<'_>) {
+        let n = self.len();
+        let eval = ctx.eval.as_ref();
         self.voltages.clear();
         self.voltages.resize(n, word_voltage(ctx.design_word));
         self.active.clear();
@@ -425,14 +475,18 @@ impl DieBatch {
             }
             std::mem::swap(&mut self.active, &mut self.next_active);
         }
-        for k in 0..n {
+    }
+
+    /// Phase E (check): the dithered spec check at each die's settled
+    /// voltage. Depends on the corner and the supply.
+    pub(crate) fn dither_check(&mut self, ctx: &StudyContext<'_>, cached: &dyn DeviceEval) {
+        for k in 0..self.len() {
             let (pass, _) = ctx.passes_dithered(cached, self.voltages[k], self.mismatches[k]);
             self.dithered_pass[k] = pass;
         }
-        record_phase(Phase::Dither, t0.elapsed().as_nanos() as u64);
     }
 
-    fn outcome(&self, k: usize) -> DieOutcome {
+    pub(crate) fn outcome(&self, k: usize) -> DieOutcome {
         DieOutcome {
             corner_units: self.corner_units[k],
             fixed_passes: self.fixed_pass[k],
@@ -492,5 +546,78 @@ pub(crate) fn fold_faulted_dies(
             sink(first_die + k, &die);
         }
         lo = hi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// Serial reference for [`ChunkSeeds::from_seed`]: walk the parent
+    /// die by die with the real `fork_seed` labels, snapshotting its
+    /// state at every chunk boundary.
+    fn serial_boundary_states(seed: u64, dies: usize, chunk: usize) -> Vec<[u64; 4]> {
+        let mut parent = StdRng::seed_from_u64(seed);
+        let mut states = Vec::with_capacity(dies.div_ceil(chunk));
+        let mut label = String::with_capacity(24);
+        for i in 0..dies {
+            if i % chunk == 0 {
+                states.push(parent.state());
+            }
+            label.clear();
+            write!(label, "die-{i}").expect("in-memory write");
+            parent.fork_seed(&label);
+        }
+        states
+    }
+
+    #[test]
+    fn jump_ahead_matches_serial_reseeding_at_ten_thousand_chunks() {
+        // ≥10⁴ chunks forces dies ≥ 2048 · 10⁴ (chunk_len saturates at
+        // 2048): the jump table is exercised far past the small chunk
+        // counts the study suite reaches.
+        const CHUNKS: usize = 10_000;
+        let chunk = 2048;
+        let dies = chunk * CHUNKS;
+        assert_eq!(chunk_len(dies), chunk, "fixture: chunk_len saturated");
+        let seeds = ChunkSeeds::from_seed(2009, dies);
+        let ChunkSeeds::Snapshots { states, chunk: c } = &seeds else {
+            panic!("from_seed must snapshot");
+        };
+        assert_eq!((*c, states.len()), (chunk, CHUNKS));
+        let serial = serial_boundary_states(2009, dies, chunk);
+        for (i, (jumped, walked)) in states.iter().zip(&serial).enumerate() {
+            assert_eq!(jumped.state(), *walked, "boundary state of chunk {i}");
+        }
+        // And the re-derived per-die seeds of a far chunk are the
+        // serial stream's bytes, not merely the same parent state.
+        let last = (CHUNKS - 1) * chunk..CHUNKS * chunk;
+        let mut parent = StdRng::from_state(serial[CHUNKS - 1]);
+        let mut label = String::new();
+        let want: Vec<u64> = last
+            .clone()
+            .map(|i| {
+                label.clear();
+                write!(label, "die-{i}").expect("in-memory write");
+                parent.fork_seed(&label)
+            })
+            .collect();
+        assert_eq!(seeds.for_range(last).as_ref(), &want[..]);
+    }
+
+    #[test]
+    fn chunk_boundary_states_are_pairwise_distinct() {
+        const CHUNKS: usize = 10_000;
+        let dies = 2048 * CHUNKS;
+        let ChunkSeeds::Snapshots { states, .. } = ChunkSeeds::from_seed(42, dies) else {
+            panic!("from_seed must snapshot");
+        };
+        let distinct: HashSet<[u64; 4]> = states.iter().map(|s| s.state()).collect();
+        assert_eq!(
+            distinct.len(),
+            CHUNKS,
+            "a colliding boundary state would fold two chunks onto one stream"
+        );
     }
 }

@@ -28,6 +28,7 @@
 
 use subvt_dcdc::converter::ConverterParams;
 use subvt_dcdc::disturbance::{comparator_glitch_droop, missed_edge_droop};
+use subvt_device::delay::GateMismatch;
 use subvt_device::tabulate::{CachedEval, DeviceEval};
 use subvt_device::units::{Amps, Joules, Volts};
 use subvt_digital::encoder::QuantizerWord;
@@ -221,6 +222,46 @@ fn walk_step(word: &mut VoltageWord, dev: i16, budget: &mut u32) {
     }
 }
 
+/// The clean (fault-free) reference pieces of one die's fault scoring:
+/// everything the faulted walk needs that does not depend on the fault
+/// stream. The scalar path derives them per die; the matrix path hands
+/// in the SoA lane results, which are bit-identical by the batch
+/// equivalence contract.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct CleanDie {
+    /// The die's global-corner position (σ units).
+    pub corner_units: f64,
+    /// The die's mean gate mismatch.
+    pub mismatch: GateMismatch,
+    /// Fixed-design spec check at the common commanded word.
+    pub fixed_passes: bool,
+    /// The word the clean compensation walk settles on.
+    pub clean_word: VoltageWord,
+    /// Dithered spec check at the clean sub-LSB settled voltage.
+    pub dithered_passes: bool,
+}
+
+/// Converter-domain droop figures for a run's supply: a regulated
+/// supply answers from its own backend snapshot; the ideal rail keeps
+/// the historical paper-default buck disturbances (the injected faults
+/// are converter faults even when the scored rail is exact). Pure
+/// function of the supply, so the matrix path hoists it to once per
+/// cell instead of once per die.
+pub(crate) fn fault_droops(ctx: &StudyContext<'_>) -> (Volts, Volts) {
+    match ctx.supply {
+        SupplySim::Ideal => {
+            let params = ConverterParams::default();
+            (
+                comparator_glitch_droop(&params),
+                missed_edge_droop(&params, LOAD_IMAGE),
+            )
+        }
+        SupplySim::Regulated(model) => {
+            (model.comparator_glitch_droop(), model.missed_update_droop())
+        }
+    }
+}
+
 /// Scores one die with fault injection: the clean reference pieces
 /// (fixed, dithered, clean settled word) plus a cycle-by-cycle faulted
 /// compensation walk. Pure function of the context, plan and stream.
@@ -246,7 +287,7 @@ pub(crate) fn score_faulted_die_with(
     let mismatch = die.mean_gate();
     // Fork the fault stream only after the die sample: a clean die
     // consumes exactly the draws the plain path does.
-    let mut schedule = FaultSchedule::new(plan, die_rng.fork("faults"));
+    let fault_rng = die_rng.fork("faults");
 
     // Clean reference pieces, identical to the plain score_die.
     let (fixed_passes, _) = ctx.passes(cached, ctx.fixed_word, mismatch);
@@ -255,23 +296,43 @@ pub(crate) fn score_faulted_die_with(
         settled_voltage_dithered(cached, &ctx.sensor, ctx.design_word, ctx.env, mismatch);
     let (dithered_passes, _) = ctx.passes_dithered(cached, dithered_v, mismatch);
 
-    let neighbor = ctx.sensor.config().neighbor_range;
-    // Converter-domain droop figures for this run's supply: a regulated
-    // supply answers from its own backend; the ideal rail keeps the
-    // historical paper-default buck disturbances (the injected faults
-    // are converter faults even when the scored rail is exact).
-    let (glitch_droop, missed_droop) = match ctx.supply {
-        SupplySim::Ideal => {
-            let params = ConverterParams::default();
-            (
-                comparator_glitch_droop(&params),
-                missed_edge_droop(&params, LOAD_IMAGE),
-            )
-        }
-        SupplySim::Regulated(model) => {
-            (model.comparator_glitch_droop(), model.missed_update_droop())
-        }
+    let clean = CleanDie {
+        corner_units: die.corner_units(),
+        mismatch,
+        fixed_passes,
+        clean_word,
+        dithered_passes,
     };
+    faulted_walk(ctx, plan, fault_rng, cached, fault_droops(ctx), &clean)
+}
+
+/// A memoized raw TDC capture (see the capture memo in
+/// [`faulted_walk`]): the sensed word, or which sense error the sensor
+/// returned — enough to replay the walk's handling of it exactly.
+#[derive(Clone, Copy)]
+enum Capture {
+    Raw(QuantizerWord),
+    Unreliable,
+    BandUnusable,
+}
+
+/// The cycle-by-cycle faulted compensation walk over precomputed clean
+/// reference pieces — the fault-stream-dependent tail of
+/// [`score_faulted_die_with`], with identical arithmetic. `droops` must
+/// be [`fault_droops`] of the same context (hoisted by the matrix
+/// path).
+pub(crate) fn faulted_walk(
+    ctx: &StudyContext<'_>,
+    plan: FaultPlan,
+    fault_rng: StdRng,
+    cached: &dyn DeviceEval,
+    droops: (Volts, Volts),
+    clean: &CleanDie,
+) -> FaultDieOutcome {
+    let mismatch = clean.mismatch;
+    let mut schedule = FaultSchedule::new(plan, fault_rng);
+    let neighbor = ctx.sensor.config().neighbor_range;
+    let (glitch_droop, missed_droop) = droops;
 
     let mut word = ctx.design_word; // the LUT word register
     let mut ref_seu: VoltageWord = 0; // persistent reference-register upset
@@ -283,6 +344,15 @@ pub(crate) fn score_faulted_die_with(
     let mut debounce = SignatureDebounce::new(2);
     let mut dog = RailWatchdog::new(WatchdogPolicy::default());
     let mut last_dev: i16 = 0;
+
+    // Raw-capture memo: within one die the capture is a pure function
+    // of (effective word, droop) — band, environment and mismatch are
+    // fixed — and the walk revisits the same few operating points
+    // across its 24 cycles. The sensor clones its delay line and
+    // re-evaluates every gate per sample, so replaying a cached
+    // capture removes the walk's dominant cost without touching a bit
+    // (per-cycle TDC faults are applied downstream of the raw word).
+    let mut captures: Vec<((VoltageWord, u64), Capture)> = Vec::with_capacity(4);
 
     for _ in 0..FAULT_CYCLES {
         let faults = schedule.draw();
@@ -336,19 +406,35 @@ pub(crate) fn score_faulted_die_with(
             // reads as far-slow.
             Some((-neighbor, false))
         } else {
-            match ctx
-                .sensor
-                .sample_with(cached, ctx.design_word, v_rail, ctx.env, mismatch)
-            {
-                Err(SenseError::BandUnusable { .. }) => {
+            let key = (w_eff, droop.volts().to_bits());
+            let capture = match captures.iter().find(|(k, _)| *k == key) {
+                Some(&(_, hit)) => hit,
+                None => {
+                    let miss = match ctx.sensor.sample_with(
+                        cached,
+                        ctx.design_word,
+                        v_rail,
+                        ctx.env,
+                        mismatch,
+                    ) {
+                        Ok(raw) => Capture::Raw(raw),
+                        Err(SenseError::BandUnusable { .. }) => Capture::BandUnusable,
+                        Err(SenseError::Unreliable(_)) => Capture::Unreliable,
+                    };
+                    captures.push((key, miss));
+                    miss
+                }
+            };
+            match capture {
+                Capture::BandUnusable => {
                     blind = true;
                     None
                 }
                 // An empty capture classifies as far-slow (the plain
                 // path's behaviour); there is no word for a TDC fault
                 // to corrupt.
-                Err(SenseError::Unreliable(_)) => Some((-neighbor, false)),
-                Ok(raw) => {
+                Capture::Unreliable => Some((-neighbor, false)),
+                Capture::Raw(raw) => {
                     if plan.mitigation {
                         // Triple-sample majority vote: a one-shot TDC
                         // fault corrupts only the first capture, a
@@ -404,14 +490,14 @@ pub(crate) fn score_faulted_die_with(
     let final_eff = word ^ ref_seu;
     let score_word = final_eff.max(1);
     let (adaptive_passes, adaptive_energy) = ctx.passes(cached, score_word, mismatch);
-    let tracking_error_lsb = f64::from((i16::from(final_eff) - i16::from(clean_word)).abs());
+    let tracking_error_lsb = f64::from((i16::from(final_eff) - i16::from(clean.clean_word)).abs());
 
     FaultDieOutcome {
         base: DieOutcome {
-            corner_units: die.corner_units(),
-            fixed_passes,
+            corner_units: clean.corner_units,
+            fixed_passes: clean.fixed_passes,
             adaptive_passes,
-            dithered_passes,
+            dithered_passes: clean.dithered_passes,
             adaptive_word: final_eff,
             adaptive_energy,
         },

@@ -51,6 +51,7 @@ pub mod energy_account;
 pub mod experiment;
 pub mod fault_study;
 pub mod idle_policy;
+pub mod matrix;
 pub mod overhead;
 pub mod profile;
 pub mod rate_controller;
@@ -75,6 +76,7 @@ pub use experiment::{
 };
 pub use fault_study::{FaultDieOutcome, FaultStudySummary};
 pub use idle_policy::{breakeven_retention, compare_idle_policies, IdlePolicyComparison};
+pub use matrix::{CellSummary, MatrixCell, StudyMatrix};
 pub use overhead::{overhead_per_cycle, ControllerInventory, NetSavings, OverheadBreakdown};
 pub use profile::PhaseProfile;
 pub use rate_controller::{DesignError, LutCheckpoint, RateController};

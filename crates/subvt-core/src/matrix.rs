@@ -1,0 +1,668 @@
+//! The fused study-matrix engine: N study cells over one die stream.
+//!
+//! A supply shoot-out, corner sweep or fault-rate ladder runs the
+//! *same* die population through many (supply backend × environment ×
+//! fault plan) configurations. Run cell-by-cell, every cell pays the
+//! full pipeline again: the Monte-Carlo die draw, the adaptive settle
+//! walk, the dither walk — work that does not depend on the axis the
+//! cell varies. [`StudyMatrix`] evaluates all cells in one pass per
+//! chunk instead, sharing each phase at the widest scope its inputs
+//! allow:
+//!
+//! * **once per chunk** — the SoA die draw and the per-die fault-stream
+//!   seeds (depend only on the root seed and the variation model);
+//! * **once per environment group** — the adaptive word settle and the
+//!   sub-LSB dither walk (sense the exact candidate voltage, so the
+//!   supply never enters);
+//! * **once per (environment × supply) group** — the fixed lane, the
+//!   adaptive cohort lanes and the dithered spec check;
+//! * **once per fault cell** — only the cycle-by-cycle faulted walk
+//!   and the final scoring, over the shared clean pieces.
+//!
+//! **Byte-identity contract:** every cell's accumulator — the exact
+//! [`CellSummary::encode_state`] bytes — equals running that cell alone
+//! through [`StudyConfig::run_summary`] / [`StudyConfig::run_faults`].
+//! The shared phases are the pure-function hoists the batch-equivalence
+//! suite already pins lane-vs-scalar; the fault-stream seeds are
+//! replayed per die exactly as the standalone path forks them; and no
+//! cell's RNG, sense sequence or fault schedule can observe that other
+//! cells exist. `tests/matrix_equivalence.rs` pins all of it across
+//! worker counts, batch sizes, backends and fault rates.
+//!
+//! With [`StudyConfig::checkpoint`] armed, the matrix commits one
+//! version-2 record per chunk — the per-cell states side by side — so a
+//! killed 18-cell run resumes all cells bit-identically from one file,
+//! at any `--jobs`/`--batch` (see `subvt_exec::checkpoint`).
+
+use std::time::Instant;
+
+use subvt_device::mosfet::Environment;
+use subvt_device::tabulate::CachedEval;
+use subvt_device::units::Volts;
+use subvt_digital::lut::VoltageWord;
+use subvt_exec::checkpoint::{
+    fingerprint_of, open_matrix_for_resume, CheckpointError, MatrixCheckpointWriter,
+};
+use subvt_exec::{chunk_count, try_par_fold_commit_multi};
+use subvt_faults::FaultPlan;
+use subvt_rng::{Rng, StdRng};
+
+use crate::batch::{ChunkSeeds, DieBatch};
+use crate::fault_study::{fault_droops, faulted_walk, CleanDie, FaultStudySummary};
+use crate::profile::{record_phase, record_sub_batch, Phase};
+use crate::study::{StudyConfig, StudyError, SupplyBackendKind};
+use crate::yield_study::{StudyContext, SupplySim, YieldSummary};
+
+/// One cell of a study matrix: the axes a cell may vary against the
+/// base configuration. Everything else — dies, seed, spec, words,
+/// load, evaluator, solver, variation model — comes from the base
+/// [`StudyConfig`] and is common to every cell (which is what makes
+/// the die stream shareable).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatrixCell {
+    /// The supply backend scoring this cell (built once per run with
+    /// the base configuration's solver).
+    pub supply: SupplyBackendKind,
+    /// The operating environment (process corner, temperature) of this
+    /// cell.
+    pub env: Environment,
+    /// `Some(plan)` makes this a fault-study cell
+    /// ([`FaultStudySummary`]); `None` a summary cell
+    /// ([`YieldSummary`]). The base configuration's own fault plan is
+    /// ignored by the matrix.
+    pub faults: Option<FaultPlan>,
+}
+
+impl MatrixCell {
+    fn kind(&self) -> &'static str {
+        match self.faults {
+            None => "summary",
+            Some(_) => "faults",
+        }
+    }
+}
+
+/// One cell's result: the same aggregate the standalone terminal of
+/// that cell kind returns, bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellSummary {
+    /// A summary cell's aggregate ([`StudyConfig::run_summary`]).
+    Yield(YieldSummary),
+    /// A fault cell's aggregate ([`StudyConfig::run_faults`]).
+    Faults(FaultStudySummary),
+}
+
+impl CellSummary {
+    fn empty_for(cell: &MatrixCell) -> CellSummary {
+        match cell.faults {
+            None => CellSummary::Yield(YieldSummary::empty()),
+            Some(_) => CellSummary::Faults(FaultStudySummary::empty()),
+        }
+    }
+
+    fn decode_for(cell: &MatrixCell, state: &[u8]) -> Result<CellSummary, CheckpointError> {
+        match cell.faults {
+            None => YieldSummary::decode_state(state).map(CellSummary::Yield),
+            Some(_) => FaultStudySummary::decode_state(state).map(CellSummary::Faults),
+        }
+    }
+
+    fn merge(&mut self, other: CellSummary) {
+        match (self, other) {
+            (CellSummary::Yield(a), CellSummary::Yield(b)) => a.merge(b),
+            (CellSummary::Faults(a), CellSummary::Faults(b)) => a.merge(b),
+            _ => unreachable!("a cell's partial accumulators share its kind"),
+        }
+    }
+
+    fn set_fixed_word(&mut self, word: VoltageWord) {
+        match self {
+            CellSummary::Yield(s) => s.fixed_word = word,
+            CellSummary::Faults(s) => s.base.fixed_word = word,
+        }
+    }
+
+    /// The cell's accumulator state — untagged, so the bytes are
+    /// exactly [`YieldSummary::encode_state`] /
+    /// [`FaultStudySummary::encode_state`] of the standalone run. This
+    /// is the canonical equality witness of the matrix contract (and
+    /// the per-cell payload of a version-2 checkpoint record).
+    pub fn encode_state(&self) -> Vec<u8> {
+        match self {
+            CellSummary::Yield(s) => s.encode_state(),
+            CellSummary::Faults(s) => s.encode_state(),
+        }
+    }
+
+    /// The summary aggregate, when this is a summary cell.
+    pub fn as_yield(&self) -> Option<&YieldSummary> {
+        match self {
+            CellSummary::Yield(s) => Some(s),
+            CellSummary::Faults(_) => None,
+        }
+    }
+
+    /// The fault-study aggregate, when this is a fault cell.
+    pub fn as_faults(&self) -> Option<&FaultStudySummary> {
+        match self {
+            CellSummary::Yield(_) => None,
+            CellSummary::Faults(s) => Some(s),
+        }
+    }
+}
+
+/// The cells of one (environment × supply) group: they share the fixed
+/// lane, the adaptive cohort lanes and the dithered check.
+struct SupplyGroup {
+    /// Index of the group's representative cell (context provider).
+    lead: usize,
+    /// Every member cell, in matrix order.
+    members: Vec<usize>,
+}
+
+/// The supply groups of one environment group: they share the settle
+/// and dither walks.
+struct CornerGroup {
+    lead: usize,
+    supplies: Vec<SupplyGroup>,
+}
+
+/// The sharing structure of a matrix: cells grouped by *model
+/// equality*, not by label — two cells share work exactly when the
+/// values their phases read are equal.
+struct MatrixGroups {
+    corners: Vec<CornerGroup>,
+}
+
+impl MatrixGroups {
+    fn build(cells: &[MatrixCell], sims: &[SupplySim]) -> MatrixGroups {
+        let mut corners: Vec<CornerGroup> = Vec::new();
+        for (i, cell) in cells.iter().enumerate() {
+            let corner = match corners.iter_mut().find(|g| cells[g.lead].env == cell.env) {
+                Some(g) => g,
+                None => {
+                    corners.push(CornerGroup {
+                        lead: i,
+                        supplies: Vec::new(),
+                    });
+                    corners.last_mut().expect("just pushed")
+                }
+            };
+            match corner
+                .supplies
+                .iter_mut()
+                .find(|sg| sims[sg.lead] == sims[i])
+            {
+                Some(sg) => sg.members.push(i),
+                None => corner.supplies.push(SupplyGroup {
+                    lead: i,
+                    members: vec![i],
+                }),
+            }
+        }
+        MatrixGroups { corners }
+    }
+}
+
+/// The fused per-chunk fold: one shared draw, then every cell scored
+/// against the same lanes, sub-batch by sub-batch. Each cell's
+/// accumulator absorbs its dies in die order, so the per-cell
+/// fold/merge sequence is exactly the standalone terminal's.
+#[allow(clippy::too_many_arguments)] // crate-internal fold kernel
+fn fold_matrix_chunk(
+    cells: &[MatrixCell],
+    ctxs: &[StudyContext<'_>],
+    droops: &[(Volts, Volts)],
+    groups: &MatrixGroups,
+    batch: usize,
+    seeds: &[u64],
+    accs: &mut [CellSummary],
+) {
+    let batch = batch.max(1);
+    let mut scratch = DieBatch::with_capacity(batch.min(seeds.len().max(1)));
+    let any_faults = cells.iter().any(|c| c.faults.is_some());
+    let mut fault_seeds: Vec<u64> = Vec::with_capacity(if any_faults { batch } else { 0 });
+    let mut lo = 0;
+    while lo < seeds.len() {
+        let hi = (lo + batch).min(seeds.len());
+        let sub = &seeds[lo..hi];
+        record_sub_batch();
+
+        // Shared draw: the SoA die lanes once for every cell, plus the
+        // per-die fault-stream seeds. The scalar replay advances each
+        // die stream exactly as the standalone path does (sample, then
+        // fork), so `seed_from_u64(fault_seeds[k])` *is* the stream
+        // `die_rng.fork("faults")` hands the standalone walk.
+        let t0 = Instant::now();
+        scratch.draw(&ctxs[0], sub);
+        if any_faults {
+            fault_seeds.clear();
+            for &seed in sub {
+                let mut die_rng = StdRng::seed_from_u64(seed);
+                ctxs[0].variation.sample_die(&mut die_rng);
+                fault_seeds.push(die_rng.fork_seed("faults"));
+            }
+        }
+        record_phase(Phase::SharedDraw, t0.elapsed().as_nanos() as u64);
+
+        for corner in &groups.corners {
+            let cctx = &ctxs[corner.lead];
+            let t0 = Instant::now();
+            scratch.settle_words(cctx);
+            record_phase(Phase::SettleWord, t0.elapsed().as_nanos() as u64);
+            let t0 = Instant::now();
+            scratch.dither_walk(cctx);
+            record_phase(Phase::Dither, t0.elapsed().as_nanos() as u64);
+
+            for group in &corner.supplies {
+                let sctx = &ctxs[group.lead];
+                // One operating-point memo per group per sub-batch:
+                // pure memoization shared by the group's lanes and
+                // fault walks, exactly as each standalone sub-batch
+                // owns one.
+                let cached = CachedEval::new(sctx.eval.as_ref());
+                let t0 = Instant::now();
+                scratch.fixed_lane(sctx, &cached);
+                record_phase(Phase::Fixed, t0.elapsed().as_nanos() as u64);
+                let t0 = Instant::now();
+                scratch.adaptive_lanes(sctx, &cached);
+                record_phase(Phase::AdaptiveLanes, t0.elapsed().as_nanos() as u64);
+                let t0 = Instant::now();
+                scratch.dither_check(sctx, &cached);
+                record_phase(Phase::Dither, t0.elapsed().as_nanos() as u64);
+
+                for &ci in &group.members {
+                    match (cells[ci].faults, &mut accs[ci]) {
+                        (None, CellSummary::Yield(acc)) => {
+                            for k in 0..scratch.len() {
+                                acc.absorb(&scratch.outcome(k));
+                            }
+                        }
+                        (Some(plan), CellSummary::Faults(acc)) => {
+                            let t0 = Instant::now();
+                            let seeds = fault_seeds.iter().enumerate().take(scratch.len());
+                            for (k, &fault_seed) in seeds {
+                                let out = scratch.outcome(k);
+                                let clean = CleanDie {
+                                    corner_units: out.corner_units,
+                                    mismatch: scratch.mismatch(k),
+                                    fixed_passes: out.fixed_passes,
+                                    clean_word: out.adaptive_word,
+                                    dithered_passes: out.dithered_passes,
+                                };
+                                let die = faulted_walk(
+                                    sctx,
+                                    plan,
+                                    StdRng::seed_from_u64(fault_seed),
+                                    &cached,
+                                    droops[ci],
+                                    &clean,
+                                );
+                                acc.absorb(&die);
+                            }
+                            record_phase(Phase::FaultWalk, t0.elapsed().as_nanos() as u64);
+                        }
+                        _ => unreachable!("accumulator kind follows the cell kind"),
+                    }
+                }
+            }
+        }
+        lo = hi;
+    }
+}
+
+/// N study cells evaluated over one shared die stream.
+///
+/// Build from a base [`StudyConfig`] (whose dies, seed, spec, words,
+/// load, evaluator, solver, execution, batch, checkpoint and hooks
+/// apply to the whole matrix; its own supply/env/faults axes are
+/// superseded by the cells), add cells with [`StudyMatrix::cell`],
+/// then call [`StudyMatrix::run`] / [`StudyMatrix::try_run`].
+///
+/// ```
+/// use subvt_core::matrix::StudyMatrix;
+/// use subvt_core::study::{StudyConfig, SupplyBackendKind};
+/// use subvt_device::mosfet::Environment;
+///
+/// let results = StudyMatrix::new(StudyConfig::new(80, 7))
+///     .cell(SupplyBackendKind::Ideal, Environment::nominal(), None)
+///     .cell(SupplyBackendKind::Buck, Environment::nominal(), None)
+///     .run();
+/// let ideal = results[0].as_yield().unwrap();
+/// let buck = results[1].as_yield().unwrap();
+/// assert!(buck.adaptive_yield() <= ideal.adaptive_yield() + 1e-12);
+/// ```
+pub struct StudyMatrix<'a> {
+    base: StudyConfig<'a>,
+    cells: Vec<MatrixCell>,
+}
+
+impl std::fmt::Debug for StudyMatrix<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StudyMatrix")
+            .field("base", &self.base)
+            .field("cells", &self.cells)
+            .finish()
+    }
+}
+
+impl<'a> StudyMatrix<'a> {
+    /// An empty matrix over `base`'s die population.
+    pub fn new(base: StudyConfig<'a>) -> StudyMatrix<'a> {
+        StudyMatrix {
+            base,
+            cells: Vec::new(),
+        }
+    }
+
+    /// Appends one cell; results come back in insertion order.
+    pub fn cell(
+        mut self,
+        supply: SupplyBackendKind,
+        env: Environment,
+        faults: Option<FaultPlan>,
+    ) -> StudyMatrix<'a> {
+        self.cells.push(MatrixCell {
+            supply,
+            env,
+            faults,
+        });
+        self
+    }
+
+    /// The cells, in result order.
+    pub fn cells(&self) -> &[MatrixCell] {
+        &self.cells
+    }
+
+    /// The base configuration the cells share.
+    pub fn base(&self) -> &StudyConfig<'a> {
+        &self.base
+    }
+
+    /// The matrix identity hashed into a version-2 checkpoint
+    /// fingerprint: the cell count plus each cell's *standalone*
+    /// identity string (the exact text that cell's own checkpoint
+    /// would hash), so the per-cell identity cannot drift from the
+    /// single-cell path.
+    pub(crate) fn fingerprint_text(&self) -> String {
+        let mut text = format!("subvt-matrix-v1 cells={}", self.cells.len());
+        for cell in &self.cells {
+            text.push('\n');
+            text.push_str(&self.base.fingerprint_text_with(
+                cell.kind(),
+                cell.supply.label(),
+                cell.env,
+                cell.faults,
+            ));
+        }
+        text
+    }
+
+    /// Opens (or creates) the configured checkpoint file in the matrix
+    /// (version 2) format, returning the resume point.
+    fn open_checkpoint(
+        &self,
+    ) -> Result<(usize, Vec<CellSummary>, Option<MatrixCheckpointWriter>), StudyError> {
+        let empty = || self.cells.iter().map(CellSummary::empty_for).collect();
+        let Some(path) = &self.base.checkpoint else {
+            return Ok((0, empty(), None));
+        };
+        let fingerprint = fingerprint_of(&self.fingerprint_text());
+        let total = self.base.dies as u64;
+        let cells = u32::try_from(self.cells.len())
+            .map_err(|_| StudyError::Checkpoint(CheckpointError::Decode("too many cells")))?;
+        if !path.exists() {
+            let writer = MatrixCheckpointWriter::create(path, fingerprint, total, cells)?;
+            return Ok((0, empty(), Some(writer)));
+        }
+        let (checkpoint, writer) = open_matrix_for_resume(path)?;
+        checkpoint.verify(fingerprint, total, cells)?;
+        match checkpoint.last {
+            None => Ok((0, empty(), Some(writer))),
+            Some(record) => {
+                let start = usize::try_from(record.chunks_done)
+                    .ok()
+                    .filter(|&c| c <= chunk_count(self.base.dies))
+                    .ok_or(StudyError::Checkpoint(CheckpointError::Decode(
+                        "checkpoint is ahead of the population",
+                    )))?;
+                let accs = self
+                    .cells
+                    .iter()
+                    .zip(&record.states)
+                    .map(|(cell, state)| CellSummary::decode_for(cell, state))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok((start, accs, Some(writer)))
+            }
+        }
+    }
+
+    /// Runs every cell over the shared die stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an armed [`StudyConfig::checkpoint`] fails or an
+    /// armed [`StudyConfig::cancel`] token fires — use
+    /// [`StudyMatrix::try_run`] to handle those as values.
+    pub fn run(&self) -> Vec<CellSummary> {
+        match self.try_run() {
+            Ok(cells) => cells,
+            Err(e) => panic!("matrix study failed: {e}"),
+        }
+    }
+
+    /// [`StudyMatrix::run`] with cancellation, progress and
+    /// checkpointing surfaced as values. One version-2 checkpoint
+    /// record — every cell's state, side by side — commits per chunk;
+    /// an interrupted run resumes all cells bit-identically from the
+    /// same file at any worker count or batch size.
+    ///
+    /// # Errors
+    ///
+    /// As [`StudyConfig::try_run_summary`].
+    pub fn try_run(&self) -> Result<Vec<CellSummary>, StudyError> {
+        if self.cells.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (start_chunk, start, mut writer) = self.open_checkpoint()?;
+        let eval = self.base.resolved_eval();
+        // Per-cell supply models, hoisted to one *build* per distinct
+        // backend per run — a buck settle table costs milliseconds to
+        // integrate, and six buck cells share one snapshot. Clones
+        // compare equal, so the group builder still sees the sharing.
+        let mut sims: Vec<SupplySim> = Vec::with_capacity(self.cells.len());
+        for cell in &self.cells {
+            let sim = match self.cells[..sims.len()]
+                .iter()
+                .position(|prior| prior.supply == cell.supply)
+            {
+                Some(i) => sims[i].clone(),
+                None => cell.supply.build_sim(self.base.solver),
+            };
+            sims.push(sim);
+        }
+        let ctxs: Vec<StudyContext<'_>> = self
+            .cells
+            .iter()
+            .zip(&sims)
+            .map(|(cell, sim)| {
+                StudyContext::new(
+                    eval.clone(),
+                    self.base.load.as_dyn(),
+                    cell.env,
+                    &self.base.variation,
+                    self.base.spec,
+                    self.base.fixed_word,
+                    self.base.design_word,
+                    sim,
+                )
+            })
+            .collect();
+        // Converter-fault droop figures, hoisted to once per cell.
+        let droops: Vec<(Volts, Volts)> = ctxs.iter().map(fault_droops).collect();
+        let groups = MatrixGroups::build(&self.cells, &sims);
+        let seeds = ChunkSeeds::from_seed(self.base.seed, self.base.dies);
+        let batch = self.base.batch.max(1);
+        let hooks = self.base.hooks();
+        let mut result = try_par_fold_commit_multi(
+            &self.base.exec,
+            self.base.dies,
+            start_chunk,
+            &hooks,
+            self.cells.len(),
+            |cell| CellSummary::empty_for(&self.cells[cell]),
+            start,
+            |accs, range| {
+                let chunk_seeds = seeds.for_range(range);
+                fold_matrix_chunk(
+                    &self.cells,
+                    &ctxs,
+                    &droops,
+                    &groups,
+                    batch,
+                    &chunk_seeds,
+                    accs,
+                );
+            },
+            |_cell, acc, part| acc.merge(part),
+            |chunks_done, accs: &[CellSummary]| match &mut writer {
+                Some(w) => {
+                    let states: Vec<Vec<u8>> = accs.iter().map(CellSummary::encode_state).collect();
+                    w.append(chunks_done as u64, &states)
+                }
+                None => Ok(()),
+            },
+        )
+        .map_err(StudyError::from_fold)?;
+        for acc in &mut result {
+            acc.set_fixed_word(self.base.fixed_word);
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subvt_exec::ExecConfig;
+
+    #[test]
+    fn empty_matrix_is_empty() {
+        assert!(StudyMatrix::new(StudyConfig::new(10, 1)).run().is_empty());
+    }
+
+    #[test]
+    fn single_summary_cell_matches_the_standalone_terminal() {
+        let standalone = StudyConfig::new(90, 13)
+            .supply_backend(SupplyBackendKind::Buck)
+            .run_summary();
+        let fused = StudyMatrix::new(StudyConfig::new(90, 13))
+            .cell(SupplyBackendKind::Buck, Environment::nominal(), None)
+            .run();
+        assert_eq!(
+            fused[0].encode_state(),
+            standalone.encode_state(),
+            "byte-identity of a lone cell"
+        );
+        assert_eq!(
+            fused[0].as_yield().unwrap().fixed_word,
+            standalone.fixed_word
+        );
+    }
+
+    #[test]
+    fn single_fault_cell_matches_the_standalone_terminal() {
+        let plan = FaultPlan::uniform(0.02);
+        let standalone = StudyConfig::new(90, 13).faults(plan).run_faults();
+        let fused = StudyMatrix::new(StudyConfig::new(90, 13))
+            .cell(SupplyBackendKind::Ideal, Environment::nominal(), Some(plan))
+            .run();
+        assert_eq!(fused[0].encode_state(), standalone.encode_state());
+    }
+
+    #[test]
+    fn duplicate_cells_produce_identical_results() {
+        // Two cells with equal axes land in one group and must come
+        // back byte-identical — sharing is by model equality.
+        let fused = StudyMatrix::new(StudyConfig::new(60, 5))
+            .cell(SupplyBackendKind::Dldo, Environment::nominal(), None)
+            .cell(SupplyBackendKind::Dldo, Environment::nominal(), None)
+            .run();
+        assert_eq!(fused[0], fused[1]);
+    }
+
+    #[test]
+    fn grouping_shares_by_model_equality() {
+        let hot = Environment::nominal().with_celsius(65.0);
+        let cells = [
+            (SupplyBackendKind::Buck, Environment::nominal()),
+            (SupplyBackendKind::Dldo, Environment::nominal()),
+            (SupplyBackendKind::Buck, hot),
+            (SupplyBackendKind::Buck, Environment::nominal()),
+        ];
+        let matrix = cells.iter().fold(
+            StudyMatrix::new(StudyConfig::new(10, 1)),
+            |m, &(supply, env)| m.cell(supply, env, None),
+        );
+        let sims: Vec<SupplySim> = matrix
+            .cells()
+            .iter()
+            .map(|c| c.supply.build_sim(Default::default()))
+            .collect();
+        let groups = MatrixGroups::build(matrix.cells(), &sims);
+        assert_eq!(groups.corners.len(), 2, "two distinct environments");
+        let nominal = &groups.corners[0];
+        assert_eq!(nominal.supplies.len(), 2, "buck and dldo at nominal");
+        assert_eq!(
+            nominal.supplies[0].members,
+            vec![0, 3],
+            "duplicate buck cells share"
+        );
+        assert_eq!(groups.corners[1].supplies.len(), 1);
+    }
+
+    #[test]
+    fn matrix_is_bit_identical_at_any_job_count() {
+        let plan = FaultPlan::uniform(0.05);
+        let build = |jobs: usize| {
+            StudyMatrix::new(StudyConfig::new(70, 11).exec(ExecConfig::with_jobs(jobs)))
+                .cell(SupplyBackendKind::Ideal, Environment::nominal(), None)
+                .cell(SupplyBackendKind::Buck, Environment::nominal(), Some(plan))
+                .run()
+        };
+        let reference = build(1);
+        for jobs in [2usize, 7] {
+            assert_eq!(build(jobs), reference, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_cell_order_and_axes() {
+        let text = |cells: &[(SupplyBackendKind, Option<FaultPlan>)]| {
+            cells
+                .iter()
+                .fold(
+                    StudyMatrix::new(StudyConfig::new(10, 1)),
+                    |m, &(supply, faults)| m.cell(supply, Environment::nominal(), faults),
+                )
+                .fingerprint_text()
+        };
+        let plan = FaultPlan::uniform(0.02);
+        let a = text(&[
+            (SupplyBackendKind::Buck, None),
+            (SupplyBackendKind::Dldo, None),
+        ]);
+        let b = text(&[
+            (SupplyBackendKind::Dldo, None),
+            (SupplyBackendKind::Buck, None),
+        ]);
+        let c = text(&[
+            (SupplyBackendKind::Buck, Some(plan)),
+            (SupplyBackendKind::Dldo, None),
+        ]);
+        assert_ne!(a, b, "cell order is identity");
+        assert_ne!(a, c, "fault plan is identity");
+        assert!(a.starts_with("subvt-matrix-v1 cells=2\n"), "{a}");
+    }
+}

@@ -22,10 +22,16 @@ static FIXED_NANOS: AtomicU64 = AtomicU64::new(0);
 static SETTLE_WORD_NANOS: AtomicU64 = AtomicU64::new(0);
 static ADAPTIVE_LANE_NANOS: AtomicU64 = AtomicU64::new(0);
 static DITHER_NANOS: AtomicU64 = AtomicU64::new(0);
+static SHARED_DRAW_NANOS: AtomicU64 = AtomicU64::new(0);
+static FAULT_WALK_NANOS: AtomicU64 = AtomicU64::new(0);
 static SUB_BATCHES: AtomicU64 = AtomicU64::new(0);
 
-/// The five phases of the batched scoring pipeline, in execution
-/// order.
+/// The phases of the batched scoring pipeline, in execution order.
+/// The first five come from both the single-cell and matrix paths;
+/// the last two exist only on the matrix path
+/// ([`crate::matrix::StudyMatrix`]), which draws the die population
+/// once for *all* cells (`SharedDraw`) and then runs each fault
+/// cell's cycle-by-cycle walk as a per-cell tail (`FaultWalk`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {
     /// Monte-Carlo die draw into the SoA lanes.
@@ -38,6 +44,11 @@ pub enum Phase {
     AdaptiveLanes,
     /// Sub-LSB dither settle and dithered spec check.
     Dither,
+    /// Matrix path: the once-per-chunk die draw (and fault-stream
+    /// seed replay) every cell shares.
+    SharedDraw,
+    /// Matrix path: the per-fault-cell cycle-by-cycle walks.
+    FaultWalk,
 }
 
 #[inline]
@@ -48,6 +59,8 @@ pub(crate) fn record_phase(phase: Phase, nanos: u64) {
         Phase::SettleWord => &SETTLE_WORD_NANOS,
         Phase::AdaptiveLanes => &ADAPTIVE_LANE_NANOS,
         Phase::Dither => &DITHER_NANOS,
+        Phase::SharedDraw => &SHARED_DRAW_NANOS,
+        Phase::FaultWalk => &FAULT_WALK_NANOS,
     };
     slot.fetch_add(nanos, Ordering::Relaxed);
 }
@@ -70,6 +83,10 @@ pub struct PhaseProfile {
     pub adaptive_lane_nanos: u64,
     /// Nanoseconds in the dither settle + dithered spec check.
     pub dither_nanos: u64,
+    /// Nanoseconds in the matrix path's shared die draw (all cells).
+    pub shared_draw_nanos: u64,
+    /// Nanoseconds in the matrix path's per-fault-cell walks.
+    pub fault_walk_nanos: u64,
     /// Sub-batches scored.
     pub sub_batches: u64,
 }
@@ -83,6 +100,8 @@ impl PhaseProfile {
             settle_word_nanos: SETTLE_WORD_NANOS.load(Ordering::Relaxed),
             adaptive_lane_nanos: ADAPTIVE_LANE_NANOS.load(Ordering::Relaxed),
             dither_nanos: DITHER_NANOS.load(Ordering::Relaxed),
+            shared_draw_nanos: SHARED_DRAW_NANOS.load(Ordering::Relaxed),
+            fault_walk_nanos: FAULT_WALK_NANOS.load(Ordering::Relaxed),
             sub_batches: SUB_BATCHES.load(Ordering::Relaxed),
         }
     }
@@ -94,6 +113,8 @@ impl PhaseProfile {
         SETTLE_WORD_NANOS.store(0, Ordering::Relaxed);
         ADAPTIVE_LANE_NANOS.store(0, Ordering::Relaxed);
         DITHER_NANOS.store(0, Ordering::Relaxed);
+        SHARED_DRAW_NANOS.store(0, Ordering::Relaxed);
+        FAULT_WALK_NANOS.store(0, Ordering::Relaxed);
         SUB_BATCHES.store(0, Ordering::Relaxed);
     }
 
@@ -110,6 +131,12 @@ impl PhaseProfile {
                 .adaptive_lane_nanos
                 .saturating_sub(earlier.adaptive_lane_nanos),
             dither_nanos: self.dither_nanos.saturating_sub(earlier.dither_nanos),
+            shared_draw_nanos: self
+                .shared_draw_nanos
+                .saturating_sub(earlier.shared_draw_nanos),
+            fault_walk_nanos: self
+                .fault_walk_nanos
+                .saturating_sub(earlier.fault_walk_nanos),
             sub_batches: self.sub_batches.saturating_sub(earlier.sub_batches),
         }
     }
@@ -121,18 +148,45 @@ impl PhaseProfile {
             + self.settle_word_nanos
             + self.adaptive_lane_nanos
             + self.dither_nanos
+            + self.shared_draw_nanos
+            + self.fault_walk_nanos
     }
 
     /// `(label, nanos)` per phase in execution order — the iteration
-    /// shape report printers want.
-    pub fn phases(&self) -> [(&'static str, u64); 5] {
+    /// shape report printers want. The matrix-only phases come last.
+    pub fn phases(&self) -> [(&'static str, u64); 7] {
         [
             ("draw", self.draw_nanos),
             ("fixed lane", self.fixed_nanos),
             ("word settle", self.settle_word_nanos),
             ("adaptive lanes", self.adaptive_lane_nanos),
             ("dither settle", self.dither_nanos),
+            ("shared draw", self.shared_draw_nanos),
+            ("fault walk", self.fault_walk_nanos),
         ]
+    }
+
+    /// The profile as one machine-readable JSON object — the payload
+    /// `--profile-phases-json` writes. Keys are the [`phases`] labels
+    /// in snake_case plus `sub_batches` and `total_nanos`; values are
+    /// nanosecond counters.
+    ///
+    /// [`phases`]: PhaseProfile::phases
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"schema\": \"subvt-phase-profile-v1\"");
+        for (label, nanos) in self.phases() {
+            let key: String = label
+                .chars()
+                .map(|c| if c == ' ' { '_' } else { c })
+                .collect();
+            s.push_str(&format!(",\n  \"{key}_nanos\": {nanos}"));
+        }
+        s.push_str(&format!(",\n  \"sub_batches\": {}", self.sub_batches));
+        s.push_str(&format!(
+            ",\n  \"total_nanos\": {}\n}}\n",
+            self.total_nanos()
+        ));
+        s
     }
 }
 
@@ -188,6 +242,25 @@ mod tests {
             assert!(s.contains(label), "{s}");
         }
         assert!(s.contains("total"), "{s}");
+    }
+
+    #[test]
+    fn json_names_every_phase_in_snake_case() {
+        let json = PhaseProfile::snapshot().to_json();
+        for key in [
+            "\"schema\": \"subvt-phase-profile-v1\"",
+            "\"draw_nanos\":",
+            "\"fixed_lane_nanos\":",
+            "\"word_settle_nanos\":",
+            "\"adaptive_lanes_nanos\":",
+            "\"dither_settle_nanos\":",
+            "\"shared_draw_nanos\":",
+            "\"fault_walk_nanos\":",
+            "\"sub_batches\":",
+            "\"total_nanos\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 
     #[test]

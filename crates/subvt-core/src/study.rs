@@ -52,13 +52,13 @@ use crate::yield_study::{
 
 /// The circuit a study exercises: the paper's ring oscillator unless
 /// the caller borrows its own load.
-enum StudyLoad<'a> {
+pub(crate) enum StudyLoad<'a> {
     Paper(RingOscillator),
     Borrowed(&'a dyn CircuitLoad),
 }
 
 impl StudyLoad<'_> {
-    fn as_dyn(&self) -> &dyn CircuitLoad {
+    pub(crate) fn as_dyn(&self) -> &dyn CircuitLoad {
         match self {
             StudyLoad::Paper(ring) => ring,
             StudyLoad::Borrowed(load) => *load,
@@ -67,7 +67,7 @@ impl StudyLoad<'_> {
 }
 
 /// Which supply model scores the dies.
-enum StudySupply {
+pub(crate) enum StudySupply {
     /// A named backend, built at run time (with the configured solver
     /// for the buck).
     Backend(SupplyBackendKind),
@@ -122,8 +122,10 @@ impl SupplyBackendKind {
 impl std::str::FromStr for SupplyBackendKind {
     type Err = String;
 
-    /// Parses a `--supply` value; `switched` is accepted as a
-    /// deprecated alias for `buck` (same model, same fingerprint tag).
+    /// Parses a `--supply` value. `switched` is still accepted as a
+    /// silent alias for `buck` (same model, same fingerprint tag) so
+    /// old scripts and checkpoints keep working, but the help and
+    /// error text no longer advertise it.
     fn from_str(s: &str) -> Result<SupplyBackendKind, String> {
         match s {
             "ideal" => Ok(SupplyBackendKind::Ideal),
@@ -131,8 +133,7 @@ impl std::str::FromStr for SupplyBackendKind {
             "dldo" => Ok(SupplyBackendKind::Dldo),
             "dlr" => Ok(SupplyBackendKind::Dlr),
             other => Err(format!(
-                "unknown supply `{other}` (expected one of: ideal, buck, dldo, dlr; \
-                 `switched` is a deprecated alias for buck)"
+                "unknown supply `{other}` (expected one of: ideal, buck, dldo, dlr)"
             )),
         }
     }
@@ -156,7 +157,7 @@ pub enum StudyError {
 }
 
 impl StudyError {
-    fn from_fold(e: FoldError<CheckpointError>) -> StudyError {
+    pub(crate) fn from_fold(e: FoldError<CheckpointError>) -> StudyError {
         match e {
             FoldError::Cancelled => StudyError::Cancelled,
             FoldError::Commit(e) => StudyError::Checkpoint(e),
@@ -203,24 +204,24 @@ impl From<CheckpointError> for StudyError {
 /// spec with fixed and design words at the TT MEP (word 11), an ideal
 /// rail, no faults, and workers from the environment.
 pub struct StudyConfig<'a> {
-    dies: usize,
-    seed: u64,
-    tech: Technology,
-    eval: Option<SharedEval>,
-    env: Environment,
-    variation: VariationModel,
-    spec: YieldSpec,
-    fixed_word: VoltageWord,
-    design_word: VoltageWord,
-    load: StudyLoad<'a>,
-    supply: StudySupply,
-    solver: SolverMode,
-    faults: Option<FaultPlan>,
-    exec: ExecConfig,
-    batch: usize,
-    checkpoint: Option<PathBuf>,
-    cancel: Option<&'a CancelToken>,
-    progress: Option<&'a (dyn Fn(Progress) + Sync)>,
+    pub(crate) dies: usize,
+    pub(crate) seed: u64,
+    pub(crate) tech: Technology,
+    pub(crate) eval: Option<SharedEval>,
+    pub(crate) env: Environment,
+    pub(crate) variation: VariationModel,
+    pub(crate) spec: YieldSpec,
+    pub(crate) fixed_word: VoltageWord,
+    pub(crate) design_word: VoltageWord,
+    pub(crate) load: StudyLoad<'a>,
+    pub(crate) supply: StudySupply,
+    pub(crate) solver: SolverMode,
+    pub(crate) faults: Option<FaultPlan>,
+    pub(crate) exec: ExecConfig,
+    pub(crate) batch: usize,
+    pub(crate) checkpoint: Option<PathBuf>,
+    pub(crate) cancel: Option<&'a CancelToken>,
+    pub(crate) progress: Option<&'a (dyn Fn(Progress) + Sync)>,
 }
 
 impl std::fmt::Debug for StudyConfig<'_> {
@@ -407,7 +408,7 @@ impl<'a> StudyConfig<'a> {
         self.faults
     }
 
-    fn resolved_eval(&self) -> SharedEval {
+    pub(crate) fn resolved_eval(&self) -> SharedEval {
         self.eval.clone().unwrap_or_else(|| analytic(&self.tech))
     }
 
@@ -566,7 +567,7 @@ impl<'a> StudyConfig<'a> {
             .map_err(StudyError::from_fold)
     }
 
-    fn hooks(&self) -> ExecHooks<'_> {
+    pub(crate) fn hooks(&self) -> ExecHooks<'_> {
         ExecHooks {
             cancel: self.cancel,
             progress: self.progress,
@@ -698,6 +699,28 @@ impl<'a> StudyConfig<'a> {
     /// count and batch size are deliberately excluded, so a run may
     /// resume under a different `--jobs`/`--batch` bit-identically).
     fn fingerprint_text(&self, kind: &str) -> String {
+        let supply_tag = match &self.supply {
+            StudySupply::Backend(kind) => kind.label().to_owned(),
+            StudySupply::Model(SupplySim::Ideal) => "ideal".to_owned(),
+            StudySupply::Model(SupplySim::Regulated(model)) => {
+                format!("{}-model", model.tag())
+            }
+        };
+        self.fingerprint_text_with(kind, &supply_tag, self.env, self.faults)
+    }
+
+    /// [`StudyConfig::fingerprint_text`] with the cell-varying axes —
+    /// supply tag, environment, fault plan — passed explicitly, so the
+    /// matrix path ([`crate::matrix`]) derives each cell's identity
+    /// string from the same template a standalone run of that cell
+    /// would hash. One format string serves both; they cannot drift.
+    pub(crate) fn fingerprint_text_with(
+        &self,
+        kind: &str,
+        supply_tag: &str,
+        env: Environment,
+        faults: Option<FaultPlan>,
+    ) -> String {
         let eval_tag = match &self.eval {
             None => "analytic".to_owned(),
             Some(eval) => {
@@ -706,13 +729,6 @@ impl<'a> StudyConfig<'a> {
                     .next()
                     .unwrap_or("custom")
                     .to_owned()
-            }
-        };
-        let supply_tag = match &self.supply {
-            StudySupply::Backend(kind) => kind.label().to_owned(),
-            StudySupply::Model(SupplySim::Ideal) => "ideal".to_owned(),
-            StudySupply::Model(SupplySim::Regulated(model)) => {
-                format!("{}-model", model.tag())
             }
         };
         format!(
@@ -726,8 +742,8 @@ impl<'a> StudyConfig<'a> {
             self.spec.min_rate.value().to_bits(),
             self.spec.max_energy_per_op.value().to_bits(),
             self.solver,
-            self.faults,
-            self.env,
+            faults,
+            env,
             self.load.as_dyn().name(),
             self.variation,
         )
@@ -812,6 +828,10 @@ pub struct StudyArgs {
     /// Print the per-phase wall-time profile of the batched hot path
     /// after the run (`--profile-phases`).
     pub profile_phases: bool,
+    /// Write the per-phase profile as a JSON object to this path after
+    /// the run (`--profile-phases-json`); see
+    /// [`crate::PhaseProfile::to_json`] for the payload.
+    pub profile_phases_json: Option<String>,
 }
 
 /// Help text for the shared study flags.
@@ -820,8 +840,7 @@ pub const STUDY_HELP: &str = "\
     --jobs N          worker threads (default: SUBVT_JOBS, else all cores)
     --seed N          Monte-Carlo seed (default 1)
     --eval M          device evaluation: `analytic` (default) or `tabulated`
-    --supply S        supply backend: `ideal` (default), `buck`, `dldo`
-                      or `dlr` (`switched` is a deprecated alias for buck)
+    --supply S        supply backend: `ideal` (default), `buck`, `dldo` or `dlr`
     --solver S        converter solver for buck: `closed-form` (default) or `rk4`
     --faults R        per-cycle fault rate in [0,1] (default: no injection)
     --mitigation M    fault mitigation `on` (default) or `off`
@@ -831,7 +850,9 @@ pub const STUDY_HELP: &str = "\
                       stop (checkpointed) once N dies have been scored
     --profile-phases  print per-phase wall time of the batched hot path
                       (draw / fixed lane / word settle / adaptive lanes /
-                      dither settle) after the run";
+                      dither settle) after the run
+    --profile-phases-json F
+                      write the per-phase profile as JSON to F after the run";
 
 impl Default for StudyArgs {
     fn default() -> StudyArgs {
@@ -848,6 +869,7 @@ impl Default for StudyArgs {
             checkpoint: None,
             cancel_after_dies: None,
             profile_phases: false,
+            profile_phases_json: None,
         }
     }
 }
@@ -958,6 +980,9 @@ impl StudyArgs {
             "--profile-phases" => {
                 self.profile_phases = true;
                 return Ok(Some(1));
+            }
+            "--profile-phases-json" => {
+                self.profile_phases_json = Some(value()?.to_owned());
             }
             _ => return Ok(None),
         }
@@ -1073,6 +1098,28 @@ mod tests {
         assert_eq!(study.dies, 40);
         assert!(!StudyArgs::new().profile_phases);
         assert!(STUDY_HELP.contains("--profile-phases"));
+    }
+
+    #[test]
+    fn profile_phases_json_takes_a_path() {
+        let study = parse_all(&["--profile-phases-json", "out.json"]).unwrap();
+        assert_eq!(study.profile_phases_json.as_deref(), Some("out.json"));
+        assert!(!study.profile_phases);
+        assert!(parse_all(&["--profile-phases-json"]).is_err());
+        assert!(STUDY_HELP.contains("--profile-phases-json"));
+    }
+
+    #[test]
+    fn switched_alias_parses_but_is_not_advertised() {
+        // The alias stays accepted (scripts, checkpoint fingerprints)
+        // but is retired from every user-facing listing.
+        assert_eq!(
+            "switched".parse::<SupplyBackendKind>().unwrap(),
+            SupplyBackendKind::Buck
+        );
+        assert!(!STUDY_HELP.contains("switched"), "{STUDY_HELP}");
+        let err = "battery".parse::<SupplyBackendKind>().unwrap_err();
+        assert!(!err.contains("switched"), "{err}");
     }
 
     #[test]

@@ -37,6 +37,32 @@
 //! Worker count and batch size must *not* be part of it: the engine
 //! guarantees those don't change results, and resuming at a different
 //! `--jobs` is explicitly supported.
+//!
+//! ## Matrix format (version 2)
+//!
+//! A matrix run ([`try_par_fold_commit_multi`]) folds one die stream
+//! into N per-cell accumulators, so its records carry N state blobs:
+//!
+//! ```text
+//! header:  magic  b"SVCP"       4 bytes
+//!          version u32          = 2
+//!          fingerprint u64      matrix identity (all cells)
+//!          total_items u64      population size n
+//!          cells u32            per-record state count N
+//!          crc32 u32            over the 28 header bytes above
+//! record:  chunks_done u64
+//!          N × (state_len u32, state bytes)
+//!          crc32 u32            over the whole record body
+//! ```
+//!
+//! Everything else — append-only single-write records, the strict
+//! reader, the reject-never-salvage rule — carries over unchanged.
+//! The version-1 reader rejects a version-2 file (and vice versa)
+//! with [`CheckpointError::BadVersion`]: the two formats are distinct
+//! on purpose, so a single-cell resume can never consume a matrix
+//! file.
+//!
+//! [`try_par_fold_commit_multi`]: crate::try_par_fold_commit_multi
 
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
@@ -44,8 +70,11 @@ use std::path::Path;
 
 const MAGIC: [u8; 4] = *b"SVCP";
 const VERSION: u32 = 1;
+const MATRIX_VERSION: u32 = 2;
 /// magic + version + fingerprint + total_items + crc32.
 const HEADER_LEN: usize = 4 + 4 + 8 + 8 + 4;
+/// magic + version + fingerprint + total_items + cells + crc32.
+const MATRIX_HEADER_LEN: usize = 4 + 4 + 8 + 8 + 4 + 4;
 /// chunks_done + state_len + crc32 (excluding the state bytes).
 const RECORD_OVERHEAD: usize = 8 + 4 + 4;
 
@@ -72,6 +101,13 @@ pub enum CheckpointError {
         expected: u64,
         /// Population stored in the file.
         found: u64,
+    },
+    /// A matrix file was written for a different cell count.
+    CellsMismatch {
+        /// Cell count of the matrix asking to resume.
+        expected: u32,
+        /// Cell count stored in the file.
+        found: u32,
     },
     /// The file is damaged: truncated, torn, CRC mismatch, or records
     /// out of order. The message names the first violation.
@@ -101,6 +137,10 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::TotalMismatch { expected, found } => write!(
                 f,
                 "checkpoint covers {found} items, this run has {expected}"
+            ),
+            CheckpointError::CellsMismatch { expected, found } => write!(
+                f,
+                "matrix checkpoint carries {found} cells, this matrix has {expected}"
             ),
             CheckpointError::Corrupt(what) => {
                 write!(f, "corrupt checkpoint file ({what}); refusing to resume")
@@ -424,6 +464,261 @@ pub fn open_for_resume(path: &Path) -> Result<(Checkpoint, CheckpointWriter), Ch
     ))
 }
 
+/// The latest committed matrix record: one state blob per cell, all
+/// merged through the same `chunks_done` chunks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatrixCheckpointRecord {
+    /// Chunks merged into every cell state.
+    pub chunks_done: u64,
+    /// One opaque accumulator state per cell, in cell order.
+    pub states: Vec<Vec<u8>>,
+}
+
+/// A fully validated version-2 (matrix) checkpoint file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatrixCheckpoint {
+    /// Matrix identity the file was created with.
+    pub fingerprint: u64,
+    /// Population size the file was created with.
+    pub total_items: u64,
+    /// Cell count every record carries.
+    pub cells: u32,
+    /// The last committed record; `None` for a header-only file.
+    pub last: Option<MatrixCheckpointRecord>,
+}
+
+impl MatrixCheckpoint {
+    /// Checks the file belongs to the matrix asking to resume.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::FingerprintMismatch`] /
+    /// [`CheckpointError::TotalMismatch`] /
+    /// [`CheckpointError::CellsMismatch`] when it does not.
+    pub fn verify(
+        &self,
+        fingerprint: u64,
+        total_items: u64,
+        cells: u32,
+    ) -> Result<(), CheckpointError> {
+        if self.fingerprint != fingerprint {
+            return Err(CheckpointError::FingerprintMismatch {
+                expected: fingerprint,
+                found: self.fingerprint,
+            });
+        }
+        if self.total_items != total_items {
+            return Err(CheckpointError::TotalMismatch {
+                expected: total_items,
+                found: self.total_items,
+            });
+        }
+        if self.cells != cells {
+            return Err(CheckpointError::CellsMismatch {
+                expected: cells,
+                found: self.cells,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Append-only writer for a version-2 (matrix) checkpoint file.
+#[derive(Debug)]
+pub struct MatrixCheckpointWriter {
+    file: File,
+    last_chunks_done: u64,
+    cells: u32,
+}
+
+impl MatrixCheckpointWriter {
+    /// Creates (truncating) a matrix checkpoint file and writes its
+    /// header.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] on filesystem failure.
+    pub fn create(
+        path: &Path,
+        fingerprint: u64,
+        total_items: u64,
+        cells: u32,
+    ) -> Result<MatrixCheckpointWriter, CheckpointError> {
+        let mut header = Vec::with_capacity(MATRIX_HEADER_LEN);
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&MATRIX_VERSION.to_le_bytes());
+        header.extend_from_slice(&fingerprint.to_le_bytes());
+        header.extend_from_slice(&total_items.to_le_bytes());
+        header.extend_from_slice(&cells.to_le_bytes());
+        let crc = crc32(&header);
+        header.extend_from_slice(&crc.to_le_bytes());
+        let mut file = File::create(path)?;
+        file.write_all(&header)?;
+        file.flush()?;
+        Ok(MatrixCheckpointWriter {
+            file,
+            last_chunks_done: 0,
+            cells,
+        })
+    }
+
+    /// Appends one committed multi-cell record (a single `write` +
+    /// flush, like the single-cell writer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunks_done` does not increase monotonically or
+    /// `states` does not match the header's cell count — both hold by
+    /// construction in the commit engine.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] on filesystem failure.
+    pub fn append(&mut self, chunks_done: u64, states: &[Vec<u8>]) -> Result<(), CheckpointError> {
+        assert!(
+            chunks_done > self.last_chunks_done,
+            "checkpoint records must advance: {} after {}",
+            chunks_done,
+            self.last_chunks_done
+        );
+        assert_eq!(
+            states.len(),
+            self.cells as usize,
+            "matrix record must carry one state per cell"
+        );
+        let body_len = 8 + states.iter().map(|s| 4 + s.len()).sum::<usize>();
+        let mut record = Vec::with_capacity(body_len + 4);
+        record.extend_from_slice(&chunks_done.to_le_bytes());
+        for state in states {
+            let state_len = u32::try_from(state.len())
+                .map_err(|_| CheckpointError::Decode("state too large"))?;
+            record.extend_from_slice(&state_len.to_le_bytes());
+            record.extend_from_slice(state);
+        }
+        let crc = crc32(&record);
+        record.extend_from_slice(&crc.to_le_bytes());
+        self.file.write_all(&record)?;
+        self.file.flush()?;
+        self.last_chunks_done = chunks_done;
+        Ok(())
+    }
+}
+
+/// Reads and fully validates a version-2 (matrix) checkpoint file,
+/// with the same strictness as [`read_checkpoint`].
+///
+/// # Errors
+///
+/// As [`read_checkpoint`]; a version-1 file is
+/// [`CheckpointError::BadVersion`]`(1)`.
+pub fn read_matrix_checkpoint(path: &Path) -> Result<MatrixCheckpoint, CheckpointError> {
+    let data = std::fs::read(path)?;
+    parse_matrix_checkpoint(&data)
+}
+
+fn parse_matrix_checkpoint(data: &[u8]) -> Result<MatrixCheckpoint, CheckpointError> {
+    if data.len() < 4 {
+        return Err(
+            if data.starts_with(&MAGIC[..data.len()]) && !data.is_empty() {
+                CheckpointError::Corrupt("truncated header")
+            } else {
+                CheckpointError::BadMagic
+            },
+        );
+    }
+    if data[..4] != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let field_u32 = |at: usize| u32::from_le_bytes(data[at..at + 4].try_into().expect("4 bytes"));
+    let field_u64 = |at: usize| u64::from_le_bytes(data[at..at + 8].try_into().expect("8 bytes"));
+    if data.len() < 8 {
+        return Err(CheckpointError::Corrupt("truncated header"));
+    }
+    // Version before length: a well-formed version-1 file is shorter
+    // than a matrix header, and must report the version mismatch, not
+    // truncation.
+    let version = field_u32(4);
+    if version != MATRIX_VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    if data.len() < MATRIX_HEADER_LEN {
+        return Err(CheckpointError::Corrupt("truncated header"));
+    }
+    if crc32(&data[..MATRIX_HEADER_LEN - 4]) != field_u32(MATRIX_HEADER_LEN - 4) {
+        return Err(CheckpointError::Corrupt("header CRC mismatch"));
+    }
+    let fingerprint = field_u64(8);
+    let total_items = field_u64(16);
+    let cells = field_u32(24);
+
+    let mut last: Option<MatrixCheckpointRecord> = None;
+    let mut at = MATRIX_HEADER_LEN;
+    while at < data.len() {
+        let start = at;
+        if data.len() - at < 8 {
+            return Err(CheckpointError::Corrupt("truncated record"));
+        }
+        let chunks_done = field_u64(at);
+        at += 8;
+        let mut states = Vec::with_capacity(cells as usize);
+        for _ in 0..cells {
+            if data.len() - at < 4 {
+                return Err(CheckpointError::Corrupt("truncated record"));
+            }
+            let state_len = field_u32(at) as usize;
+            at += 4;
+            if data.len() - at < state_len {
+                return Err(CheckpointError::Corrupt("truncated record"));
+            }
+            states.push(data[at..at + state_len].to_vec());
+            at += state_len;
+        }
+        if data.len() - at < 4 {
+            return Err(CheckpointError::Corrupt("truncated record"));
+        }
+        if crc32(&data[start..at]) != field_u32(at) {
+            return Err(CheckpointError::Corrupt("record CRC mismatch"));
+        }
+        at += 4;
+        if last.as_ref().is_some_and(|l| chunks_done <= l.chunks_done) {
+            return Err(CheckpointError::Corrupt("records out of order"));
+        }
+        last = Some(MatrixCheckpointRecord {
+            chunks_done,
+            states,
+        });
+    }
+    Ok(MatrixCheckpoint {
+        fingerprint,
+        total_items,
+        cells,
+        last,
+    })
+}
+
+/// Opens an existing matrix checkpoint for resuming: validates the
+/// whole file, then returns it with a writer positioned to append.
+///
+/// # Errors
+///
+/// As [`read_matrix_checkpoint`].
+pub fn open_matrix_for_resume(
+    path: &Path,
+) -> Result<(MatrixCheckpoint, MatrixCheckpointWriter), CheckpointError> {
+    let checkpoint = read_matrix_checkpoint(path)?;
+    let file = OpenOptions::new().append(true).open(path)?;
+    let last_chunks_done = checkpoint.last.as_ref().map_or(0, |r| r.chunks_done);
+    let cells = checkpoint.cells;
+    Ok((
+        checkpoint,
+        MatrixCheckpointWriter {
+            file,
+            last_chunks_done,
+            cells,
+        },
+    ))
+}
+
 /// FNV-1a hash of a run-identity description — the conventional way
 /// to derive a checkpoint fingerprint from a config string.
 pub fn fingerprint_of(description: &str) -> u64 {
@@ -557,6 +852,85 @@ mod tests {
         assert!(matches!(
             read_checkpoint(&path),
             Err(CheckpointError::Corrupt("header CRC mismatch"))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn matrix_round_trips_per_cell_states() {
+        let path = tmp("matrix-roundtrip");
+        let mut w = MatrixCheckpointWriter::create(&path, 0xFACE, 500, 3).unwrap();
+        w.append(2, &[vec![1], vec![2, 2], vec![]]).unwrap();
+        w.append(5, &[vec![9], vec![8, 8], vec![7]]).unwrap();
+        let cp = read_matrix_checkpoint(&path).unwrap();
+        assert_eq!((cp.fingerprint, cp.total_items, cp.cells), (0xFACE, 500, 3));
+        cp.verify(0xFACE, 500, 3).unwrap();
+        assert!(matches!(
+            cp.verify(0xFACE, 500, 4),
+            Err(CheckpointError::CellsMismatch {
+                expected: 4,
+                found: 3
+            })
+        ));
+        let last = cp.last.unwrap();
+        assert_eq!(last.chunks_done, 5);
+        assert_eq!(last.states, vec![vec![9], vec![8, 8], vec![7]]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn matrix_resume_writer_appends_after_existing_records() {
+        let path = tmp("matrix-resume");
+        let mut w = MatrixCheckpointWriter::create(&path, 4, 60, 2).unwrap();
+        w.append(1, &[vec![5; 10], vec![6; 10]]).unwrap();
+        drop(w);
+        let (cp, mut w) = open_matrix_for_resume(&path).unwrap();
+        assert_eq!(cp.last.as_ref().unwrap().chunks_done, 1);
+        w.append(3, &[vec![1; 10], vec![2; 10]]).unwrap();
+        let cp = read_matrix_checkpoint(&path).unwrap();
+        assert_eq!(cp.last.unwrap().chunks_done, 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn matrix_and_single_cell_formats_reject_each_other() {
+        let single = tmp("v1-for-v2");
+        CheckpointWriter::create(&single, 1, 10).unwrap();
+        assert!(matches!(
+            read_matrix_checkpoint(&single),
+            Err(CheckpointError::BadVersion(1))
+        ));
+        let matrix = tmp("v2-for-v1");
+        MatrixCheckpointWriter::create(&matrix, 1, 10, 2).unwrap();
+        assert!(matches!(
+            read_checkpoint(&matrix),
+            Err(CheckpointError::BadVersion(2))
+        ));
+        std::fs::remove_file(&single).ok();
+        std::fs::remove_file(&matrix).ok();
+    }
+
+    #[test]
+    fn matrix_damage_is_rejected_not_salvaged() {
+        let path = tmp("matrix-damage");
+        let mut w = MatrixCheckpointWriter::create(&path, 3, 64, 2).unwrap();
+        w.append(1, &[vec![9; 20], vec![8; 20]]).unwrap();
+        drop(w);
+        let good = std::fs::read(&path).unwrap();
+        let n = good.len();
+
+        let mut bad = good.clone();
+        bad[n - 10] ^= 0xFF;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            read_matrix_checkpoint(&path),
+            Err(CheckpointError::Corrupt("record CRC mismatch"))
+        ));
+
+        std::fs::write(&path, &good[..n - 7]).unwrap();
+        assert!(matches!(
+            read_matrix_checkpoint(&path),
+            Err(CheckpointError::Corrupt("truncated record"))
         ));
         std::fs::remove_file(&path).ok();
     }

@@ -388,6 +388,67 @@ where
     })
 }
 
+/// The multi-fold committing engine: [`try_par_fold_commit`] carrying
+/// one accumulator **per cell** through a single pass over the index
+/// range, for runs that score the same population against N
+/// configurations at once (study matrices).
+///
+/// Each chunk folds its range into a fresh vector of per-cell states
+/// (`init(cell)` for `cell` in `0..cells`); the calling thread merges
+/// chunk vectors into `seed` element-wise — `merge(cell, &mut
+/// acc[cell], part[cell])` in cell order — in ascending chunk order,
+/// then invokes `on_commit(chunks_done, &accs)` with every cell's
+/// state. One index-ordered merge sequence drives all cells, so every
+/// cell inherits the [`try_par_fold_commit`] determinism contract
+/// individually: for a fixed `n`, any worker count and any resume
+/// point produce bit-identical per-cell states.
+///
+/// # Panics
+///
+/// Panics if `seed.len() != cells`, if `start_chunk >
+/// chunk_count(n)`, and propagates panics from `fold`.
+///
+/// # Errors
+///
+/// As [`try_par_fold_commit`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_par_fold_commit_multi<A, I, F, M, C, E>(
+    cfg: &ExecConfig,
+    n: usize,
+    start_chunk: usize,
+    hooks: &ExecHooks<'_>,
+    cells: usize,
+    init: I,
+    seed: Vec<A>,
+    fold: F,
+    merge: M,
+    mut on_commit: C,
+) -> Result<Vec<A>, FoldError<E>>
+where
+    A: Send,
+    I: Fn(usize) -> A + Sync,
+    F: Fn(&mut [A], std::ops::Range<usize>) + Sync,
+    M: Fn(usize, &mut A, A),
+    C: FnMut(usize, &[A]) -> Result<(), E>,
+{
+    assert_eq!(seed.len(), cells, "one seed state per cell");
+    try_par_fold_commit(
+        cfg,
+        n,
+        start_chunk,
+        hooks,
+        || (0..cells).map(&init).collect::<Vec<A>>(),
+        seed,
+        |accs: &mut Vec<A>, range| fold(accs, range),
+        |accs: &mut Vec<A>, parts: Vec<A>| {
+            for (cell, (acc, part)) in accs.iter_mut().zip(parts).enumerate() {
+                merge(cell, acc, part);
+            }
+        },
+        |chunks_done, accs: &Vec<A>| on_commit(chunks_done, accs),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -564,6 +625,82 @@ mod tests {
         let done = commit_sum(4, n, chunk_count(n), reference, &mut none);
         assert_eq!(done.to_bits(), reference.to_bits());
         assert!(none.is_empty());
+    }
+
+    /// Multi-fold under test: cell `c` accumulates an order-sensitive
+    /// float sum scaled by `c + 1`, so cross-cell mixups and sequencing
+    /// deviations both show up in the bits.
+    fn multi_commit_sum(
+        jobs: usize,
+        n: usize,
+        start_chunk: usize,
+        seed: Vec<f64>,
+        commits: &mut Vec<(usize, Vec<f64>)>,
+    ) -> Vec<f64> {
+        let cells = seed.len();
+        try_par_fold_commit_multi(
+            &ExecConfig::with_jobs(jobs),
+            n,
+            start_chunk,
+            &ExecHooks::default(),
+            cells,
+            |_cell| 0.0f64,
+            seed,
+            |accs, range| {
+                for i in range {
+                    for (cell, acc) in accs.iter_mut().enumerate() {
+                        *acc += (cell + 1) as f64 / (1.0 + i as f64);
+                    }
+                }
+            },
+            |_cell, acc, part| *acc += part,
+            |done, accs: &[f64]| {
+                commits.push((done, accs.to_vec()));
+                Ok::<(), std::convert::Infallible>(())
+            },
+        )
+        .expect("infallible commit cannot fail")
+    }
+
+    #[test]
+    fn multi_fold_cells_match_independent_single_folds() {
+        let n = 10_000;
+        let reference: Vec<f64> = (0..3)
+            .map(|cell| {
+                par_fold_chunked(
+                    &ExecConfig::with_jobs(1),
+                    n,
+                    || 0.0f64,
+                    |acc, i| *acc += (cell + 1) as f64 / (1.0 + i as f64),
+                    |acc, part| *acc += part,
+                )
+            })
+            .collect();
+        for jobs in [1, 2, 7] {
+            let mut commits = Vec::new();
+            let got = multi_commit_sum(jobs, n, 0, vec![0.0; 3], &mut commits);
+            for (cell, (g, r)) in got.iter().zip(&reference).enumerate() {
+                assert_eq!(g.to_bits(), r.to_bits(), "jobs={jobs} cell={cell}");
+            }
+            assert_eq!(commits.len(), chunk_count(n), "jobs={jobs}");
+            assert!(commits.windows(2).all(|w| w[1].0 == w[0].0 + 1));
+        }
+    }
+
+    #[test]
+    fn resumed_multi_fold_is_bit_identical_per_cell() {
+        let n = 10_000;
+        let mut full = Vec::new();
+        let reference = multi_commit_sum(3, n, 0, vec![0.0; 3], &mut full);
+        for stop in [1usize, chunk_count(n) / 2] {
+            let (_, state) = full[stop - 1].clone();
+            let mut tail = Vec::new();
+            let resumed = multi_commit_sum(7, n, stop, state, &mut tail);
+            for (cell, (g, r)) in resumed.iter().zip(&reference).enumerate() {
+                assert_eq!(g.to_bits(), r.to_bits(), "stop={stop} cell={cell}");
+            }
+            assert_eq!(tail.first().unwrap().0, stop + 1);
+        }
     }
 
     #[test]

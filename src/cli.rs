@@ -8,7 +8,10 @@ use std::str::FromStr;
 
 use subvt_core::controller::SupplyKind;
 use subvt_core::experiment::{savings_experiment, Scenario};
-use subvt_core::study::{StudyArgs, StudyConfig, StudyError, SupplyBackendKind, DEFAULT_BATCH};
+use subvt_core::matrix::{CellSummary, MatrixCell, StudyMatrix};
+use subvt_core::study::{
+    FaultPlan, StudyArgs, StudyConfig, StudyError, SupplyBackendKind, DEFAULT_BATCH,
+};
 use subvt_core::transient::{fig6_schedule, run_transient};
 use subvt_core::{PhaseProfile, SupplySim};
 use subvt_dcdc::converter::ConverterParams;
@@ -69,6 +72,20 @@ pub enum Command {
         /// `--eval`, `--supply`, `--solver`, `--faults`,
         /// `--mitigation`).
         study: StudyArgs,
+    },
+    /// The 18-cell supply × corner × fault shoot-out grid, scored on
+    /// one shared die stream by the fused [`StudyMatrix`] engine.
+    Matrix {
+        /// Operating point (technology node and temperature) shared by
+        /// every cell; the corners come from the grid itself.
+        op: Operating,
+        /// The shared study flags (`--dies`, `--jobs`, `--seed`,
+        /// `--batch`, `--checkpoint`, `--solver`, `--faults`, …).
+        study: StudyArgs,
+        /// Score each cell with its own standalone study instead of
+        /// the fused engine — the slow reference mode; the report is
+        /// byte-identical by the matrix engine's contract.
+        per_cell: bool,
     },
     /// Fig. 6 transient summary.
     Fig6 {
@@ -180,6 +197,7 @@ impl Command {
         let mut from_mv = 120.0;
         let mut to_mv = 600.0;
         let mut steps = 24usize;
+        let mut per_cell = false;
         let mut study = StudyArgs::new();
 
         let mut i = 0;
@@ -246,6 +264,10 @@ impl Command {
                     steps = parse_value(flag, value)?;
                     i += 2;
                 }
+                "--per-cell" => {
+                    per_cell = true;
+                    i += 1;
+                }
                 // Everything else is a shared study flag (`--dies`,
                 // `--jobs`, `--seed`, `--eval`, `--supply`,
                 // `--solver`, `--faults`, `--mitigation`) — one
@@ -286,6 +308,11 @@ impl Command {
                 })
             }
             "yield" => Ok(Command::Yield { op, study }),
+            "matrix" => Ok(Command::Matrix {
+                op,
+                study,
+                per_cell,
+            }),
             "fig6" => Ok(Command::Fig6 {
                 solver: study.solver,
             }),
@@ -442,13 +469,8 @@ impl Command {
                 );
                 // `--profile-phases`: delta the process-global phase
                 // timers across the run and append the attribution.
-                let profile_before = study.profile_phases.then(PhaseProfile::snapshot);
-                let with_profile = |report: String| match profile_before {
-                    Some(before) => {
-                        format!("{report}{}\n", PhaseProfile::snapshot().since(&before))
-                    }
-                    None => report,
-                };
+                // `--profile-phases-json` writes the same delta as JSON.
+                let with_profile = profile_sink(study);
                 match study.fault_plan() {
                     None => {
                         let summary = match builder.try_run_summary() {
@@ -456,7 +478,7 @@ impl Command {
                             Err(StudyError::Cancelled) => return cancelled("yield"),
                             Err(e) => return Err(e.to_string()),
                         };
-                        Ok(with_profile(format!(
+                        with_profile(format!(
                             "yield over {} dies {provenance}:\n\
                              fixed {:.1}%  adaptive {:.1}%  dithered {:.1}%  mean adaptive E {}\n",
                             summary.dies,
@@ -466,7 +488,7 @@ impl Command {
                             summary
                                 .mean_adaptive_energy()
                                 .map_or("-".into(), |e| format!("{:.3} fJ", e.femtos()))
-                        )))
+                        ))
                     }
                     Some(plan) => {
                         let s = match builder.faults(plan).try_run_faults() {
@@ -474,7 +496,7 @@ impl Command {
                             Err(StudyError::Cancelled) => return cancelled("fault"),
                             Err(e) => return Err(e.to_string()),
                         };
-                        Ok(with_profile(format!(
+                        with_profile(format!(
                             "yield over {} dies {provenance}\n\
                              under faults (rate {} per domain-cycle, mitigation {}):\n\
                              fixed {:.1}%  adaptive {:.1}%  dithered {:.1}%  mean adaptive E {}\n\
@@ -493,9 +515,116 @@ impl Command {
                             s.mean_recovery_energy().femtos(),
                             s.watchdog_trips,
                             s.faults_injected,
-                        )))
+                        ))
                     }
                 }
+            }
+            Command::Matrix {
+                op,
+                study,
+                per_cell,
+            } => {
+                let cfg = study.exec();
+                let rate = study.faults.unwrap_or(0.02);
+                let plan = FaultPlan::uniform(rate).with_mitigation(study.mitigation);
+                let mut cells = Vec::new();
+                for supply in [
+                    SupplyBackendKind::Buck,
+                    SupplyBackendKind::Dldo,
+                    SupplyBackendKind::Dlr,
+                ] {
+                    for corner in [ProcessCorner::Tt, ProcessCorner::Ss, ProcessCorner::Ff] {
+                        for faults in [None, Some(plan)] {
+                            cells.push(MatrixCell {
+                                supply,
+                                env: Environment::at_corner(corner).with_celsius(op.celsius),
+                                faults,
+                            });
+                        }
+                    }
+                }
+                let build_base = || {
+                    let mut b = StudyConfig::new(study.dies, study.seed)
+                        .tech(op.technology())
+                        .solver(study.solver)
+                        .exec(cfg);
+                    if study.eval != EvalMode::Analytic {
+                        b = b.eval_mode(study.eval);
+                    }
+                    if let Some(batch) = study.batch {
+                        b = b.batch(batch);
+                    }
+                    b
+                };
+                let with_profile = profile_sink(study);
+                let results: Vec<CellSummary> = if *per_cell {
+                    if study.checkpoint.is_some() {
+                        return Err(
+                            "--checkpoint needs the fused engine; drop --per-cell".to_owned()
+                        );
+                    }
+                    // The slow reference: one standalone study per
+                    // cell. Byte-identical to the fused path by the
+                    // matrix engine's contract — that is what
+                    // tests/matrix_equivalence.rs pins.
+                    cells
+                        .iter()
+                        .map(|cell| {
+                            let base = build_base().supply_backend(cell.supply).env(cell.env);
+                            match cell.faults {
+                                None => CellSummary::Yield(base.run_summary()),
+                                Some(plan) => CellSummary::Faults(base.faults(plan).run_faults()),
+                            }
+                        })
+                        .collect()
+                } else {
+                    let mut base = build_base();
+                    if let Some(path) = &study.checkpoint {
+                        base = base.checkpoint(path);
+                    }
+                    let token = CancelToken::new();
+                    let watch_token = token.clone();
+                    let limit = study.cancel_after_dies;
+                    let watch = move |p: Progress| {
+                        if limit.is_some_and(|n| p.done as u64 >= n) {
+                            watch_token.cancel();
+                        }
+                    };
+                    if limit.is_some() {
+                        base = base.cancel(&token).progress(&watch);
+                    }
+                    let matrix = cells.iter().fold(StudyMatrix::new(base), |m, c| {
+                        m.cell(c.supply, c.env, c.faults)
+                    });
+                    match matrix.try_run() {
+                        Ok(results) => results,
+                        Err(StudyError::Cancelled) => {
+                            let kept = match &study.checkpoint {
+                                Some(path) => format!("progress saved to {path}"),
+                                None => "no --checkpoint, progress discarded".to_owned(),
+                            };
+                            return Ok(format!(
+                                "matrix study stopped by --cancel-after-dies; {kept}\n"
+                            ));
+                        }
+                        Err(e) => return Err(e.to_string()),
+                    }
+                };
+                let mut out = format!(
+                    "study matrix over {} dies × {} cells (spec 110 kHz @ ≤2.9 fJ, {} model, \
+                     {} solver, {} jobs, batch {}, fault rate {rate}, mitigation {}):\n",
+                    study.dies,
+                    cells.len(),
+                    study.eval.label(),
+                    solver_label(study.solver),
+                    cfg.jobs(),
+                    study.batch.unwrap_or(DEFAULT_BATCH),
+                    if study.mitigation { "on" } else { "off" },
+                );
+                for (cell, result) in cells.iter().zip(&results) {
+                    out.push_str(&matrix_line(cell, result));
+                }
+                with_profile(out)
             }
             Command::Fig6 { solver } => {
                 let result = run_transient(
@@ -572,6 +701,68 @@ impl Command {
     }
 }
 
+/// Builds the report post-processor behind `--profile-phases` and
+/// `--profile-phases-json`: both delta the process-global phase timers
+/// across the run — one appends the human-readable block to the
+/// report, the other writes the JSON form to a file. Pure observation;
+/// the report numbers are unchanged.
+fn profile_sink(study: &StudyArgs) -> impl Fn(String) -> Result<String, String> + '_ {
+    let before =
+        (study.profile_phases || study.profile_phases_json.is_some()).then(PhaseProfile::snapshot);
+    move |report: String| {
+        let Some(before) = &before else {
+            return Ok(report);
+        };
+        let delta = PhaseProfile::snapshot().since(before);
+        if let Some(path) = &study.profile_phases_json {
+            std::fs::write(path, delta.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+        }
+        Ok(if study.profile_phases {
+            format!("{report}{delta}\n")
+        } else {
+            report
+        })
+    }
+}
+
+/// One row of the matrix report — a pure function of the cell and its
+/// summary, so the fused and `--per-cell` paths render identically.
+fn matrix_line(cell: &MatrixCell, result: &CellSummary) -> String {
+    let head = format!(
+        "{:<5} {}  {:<7}",
+        cell.supply.label(),
+        cell.env.corner,
+        if cell.faults.is_some() {
+            "faulted"
+        } else {
+            "clean"
+        },
+    );
+    match result {
+        CellSummary::Yield(s) => format!(
+            "{head}  fixed {:5.1}%  adaptive {:5.1}%  dithered {:5.1}%  mean E {}\n",
+            s.fixed_yield() * 100.0,
+            s.adaptive_yield() * 100.0,
+            s.dithered_yield() * 100.0,
+            s.mean_adaptive_energy()
+                .map_or("-".into(), |e| format!("{:.3} fJ", e.femtos())),
+        ),
+        CellSummary::Faults(s) => format!(
+            "{head}  fixed {:5.1}%  adaptive {:5.1}%  dithered {:5.1}%  mean E {}  \
+             trk {:.2} LSB  {} trips  {} faults\n",
+            s.fixed_yield() * 100.0,
+            s.adaptive_yield() * 100.0,
+            s.base.dithered_yield() * 100.0,
+            s.base
+                .mean_adaptive_energy()
+                .map_or("-".into(), |e| format!("{:.3} fJ", e.femtos())),
+            s.mean_tracking_error(),
+            s.watchdog_trips,
+            s.faults_injected,
+        ),
+    }
+}
+
 /// Human label for a solver mode (used in provenance lines).
 fn solver_label(solver: SolverMode) -> &'static str {
     match solver {
@@ -600,6 +791,8 @@ COMMANDS:
     sense     run the TDC sensor once    (needs --word)
     sweep     CSV energy sweep
     yield     Monte-Carlo parametric yield (streaming, parallel)
+    matrix    the 18-cell supply × corner × fault shoot-out, scored on
+              one shared die stream by the fused study-matrix engine
     fig6      converter transient summary
     table1    quantizer signatures vs the paper
     savings   the paper's worked example
@@ -633,26 +826,33 @@ FLAGS:
                          commits); pair with --checkpoint to resume
     --profile-phases     append the batched hot path's per-phase wall
                          time (die draw, fixed lane, word settle,
-                         adaptive lanes, dither settle) to the yield
-                         report — pure observation, results unchanged
+                         adaptive lanes, dither settle, plus the
+                         matrix engine's shared draw and fault walk)
+                         to the report — pure observation, results
+                         unchanged
+    --profile-phases-json <file>    write the same per-phase profile
+                         as JSON to <file> after a yield/matrix run
+    --per-cell           matrix only: score each cell with its own
+                         standalone study instead of the fused engine
+                         (slow reference mode; identical report)
     --eval analytic|tabulated   device model for yield: the exact
                          analytic model (default) or precomputed
                          monotone-cubic surfaces (≤1% accuracy
                          budget, much faster Monte-Carlo)
     --supply ideal|buck|dldo|dlr   supply backend for yield/savings:
-                         an ideal rail (default), the switched buck
-                         converter, a time-interleaved digital LDO, or
-                         a discrete-time linear regulator — regulated
+                         an ideal rail (default), the buck converter,
+                         a time-interleaved digital LDO, or a
+                         discrete-time linear regulator — regulated
                          backends score rate at the ripple trough and
-                         energy at the cycle mean (`switched` is kept
-                         as a deprecated alias for `buck`)
+                         energy at the cycle mean
     --solver closed-form|rk4    converter solver for fig6 and
                          buck-supply runs (default closed-form;
                          rk4 is the reference integrator)
     --faults <0..1>      per-cycle fault rate for yield: inject
                          deterministic TDC/converter/controller
                          faults at this probability per domain-cycle
-                         (default: no injection)
+                         (default: no injection; for matrix, the rate
+                         of the faulted half of the grid, default 0.02)
     --mitigation on|off  graceful-degradation machinery (triple-sample
                          TDC vote, signature debounce, LUT scrub, rail
                          watchdog) for faulted yield runs (default on)
@@ -974,6 +1174,104 @@ mod tests {
             let parallel = run("2");
             assert!(parallel.contains(&format!("{supply} supply")), "{parallel}");
             assert_eq!(parallel.replace("2 jobs", "1 jobs"), run("1"), "{supply}");
+        }
+    }
+
+    #[test]
+    fn matrix_parses_runs_and_is_jobs_invariant() {
+        let c = parse(&["matrix", "--dies", "12", "--seed", "9", "--jobs", "2"]).unwrap();
+        match &c {
+            Command::Matrix {
+                study, per_cell, ..
+            } => {
+                assert_eq!(study.dies, 12);
+                assert!(!per_cell);
+            }
+            other => panic!("{other:?}"),
+        }
+        let out = c.run().unwrap();
+        assert!(out.contains("12 dies × 18 cells"), "{out}");
+        assert!(out.contains("fault rate 0.02, mitigation on"), "{out}");
+        // Header plus one row per cell.
+        assert_eq!(out.lines().count(), 19, "{out}");
+        for label in ["buck", "dldo", "dlr", "TT", "SS", "FF", "clean", "faulted"] {
+            assert!(out.contains(label), "missing {label}: {out}");
+        }
+
+        let serial = parse(&["matrix", "--dies", "12", "--seed", "9", "--jobs", "1"])
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(out.replace("2 jobs", "1 jobs"), serial);
+    }
+
+    #[test]
+    fn matrix_per_cell_reference_mode_is_byte_identical() {
+        let fused = parse(&["matrix", "--dies", "10", "--seed", "9", "--jobs", "2"])
+            .unwrap()
+            .run()
+            .unwrap();
+        let per_cell = parse(&[
+            "matrix",
+            "--dies",
+            "10",
+            "--seed",
+            "9",
+            "--jobs",
+            "2",
+            "--per-cell",
+        ])
+        .unwrap()
+        .run()
+        .unwrap();
+        assert_eq!(fused, per_cell);
+
+        // The reference mode cannot drive the fused checkpoint format.
+        let e = parse(&[
+            "matrix",
+            "--dies",
+            "10",
+            "--per-cell",
+            "--checkpoint",
+            "/tmp/never-written.svcp",
+        ])
+        .unwrap()
+        .run()
+        .unwrap_err();
+        assert!(e.contains("fused"), "{e}");
+    }
+
+    #[test]
+    fn profile_phases_json_writes_the_profile_file() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("subvt-cli-profile-{}.json", std::process::id()));
+        let path_str = path.to_str().unwrap().to_owned();
+
+        let out = parse(&[
+            "matrix",
+            "--dies",
+            "8",
+            "--seed",
+            "9",
+            "--profile-phases-json",
+            &path_str,
+        ])
+        .unwrap()
+        .run()
+        .unwrap();
+        // The JSON flag alone does not alter the report text.
+        assert!(!out.contains("phase profile"), "{out}");
+
+        let json = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(json.contains("subvt-phase-profile-v1"), "{json}");
+        for key in [
+            "shared_draw_nanos",
+            "fault_walk_nanos",
+            "draw_nanos",
+            "total_nanos",
+        ] {
+            assert!(json.contains(key), "missing {key}: {json}");
         }
     }
 
