@@ -6,14 +6,15 @@
 //! fixed order afterwards.
 
 use subvt_bench::ablation::{ablation_bits, ablation_fifo, ablation_refclk, ablation_shrink};
-use subvt_bench::jobs::{harness_config, JOBS_HELP};
+use subvt_bench::jobs::harness_config;
 use subvt_bench::report::{f, pct, Table};
+use subvt_core::study::STUDY_HELP;
 use subvt_exec::par_map_indexed;
 
 fn usage() -> String {
     format!(
         "exp-ablations — design-choice ablation tables\n\n\
-         USAGE: exp-ablations [--jobs N]\n\n{JOBS_HELP}"
+         USAGE: exp-ablations [study flags]\n\n{STUDY_HELP}"
     )
 }
 

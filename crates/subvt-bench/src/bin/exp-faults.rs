@@ -5,10 +5,20 @@
 //!
 //! Results are bit-identical for any `--jobs`; the committed reference
 //! output lives in `docs/results/faults.txt`.
+//!
+//! Since PR 10 the clean baseline and every (rate, mitigation) arm are
+//! cells of ONE fused [`StudyMatrix`] run — each die is drawn and
+//! device-evaluated once and all arms fold from the shared lanes — and
+//! the output renders through the shared [`Report`] model. The matrix
+//! engine's byte-identity contract keeps the reference output
+//! unchanged from the standalone-runs era.
 
 use subvt_bench::jobs::harness_options;
 use subvt_bench::report::{f, pct, Table};
-use subvt_core::study::{StudyArgs, STUDY_HELP};
+use subvt_core::matrix::{CellSummary, StudyMatrix};
+use subvt_core::study::{FaultPlan, STUDY_HELP};
+use subvt_device::mosfet::Environment;
+use subvt_scenario::Report;
 
 fn usage() -> String {
     format!(
@@ -23,26 +33,43 @@ fn main() {
     let opts = harness_options(&usage());
     let args = opts.study;
 
-    // The clean baseline: the same population with no fault plan.
-    let mut clean_args = args.clone();
-    clean_args.faults = None;
-    let clean = clean_args.study().run_summary();
-
-    println!(
-        "Fault injection & graceful degradation ({} dies, seed {})\n",
-        args.dies, args.seed
-    );
-    println!(
-        "Clean baseline: adaptive yield {}, fixed yield {}, dithered yield {}\n",
-        pct(clean.adaptive_yield()),
-        pct(clean.fixed_yield()),
-        pct(clean.dithered_yield()),
-    );
-
     let rates: Vec<f64> = match args.faults {
         Some(rate) => vec![rate],
         None => vec![0.005, 0.02, 0.08],
     };
+
+    // One fused run: cell 0 is the clean baseline, then an
+    // (off, on) mitigation pair per rate, all folding from one shared
+    // die stream.
+    let mut clean_args = args.clone();
+    clean_args.faults = None;
+    let env = Environment::nominal();
+    let mut matrix = StudyMatrix::new(clean_args.study()).cell(args.supply, env, None);
+    for &rate in &rates {
+        for mitigation in [false, true] {
+            matrix = matrix.cell(
+                args.supply,
+                env,
+                Some(FaultPlan::uniform(rate).with_mitigation(mitigation)),
+            );
+        }
+    }
+    let results = matrix.run();
+    let clean = match &results[0] {
+        CellSummary::Yield(s) => s.clone(),
+        CellSummary::Faults(_) => unreachable!("cell 0 carries no fault plan"),
+    };
+
+    let mut report = Report::new(format!(
+        "Fault injection & graceful degradation ({} dies, seed {})",
+        args.dies, args.seed
+    ));
+    report.note([format!(
+        "Clean baseline: adaptive yield {}, fixed yield {}, dithered yield {}",
+        pct(clean.adaptive_yield()),
+        pct(clean.fixed_yield()),
+        pct(clean.dithered_yield()),
+    )]);
 
     let mut t = Table::new(
         "Per-domain fault rate (probability per system cycle) vs the clean baseline",
@@ -58,15 +85,13 @@ fn main() {
         ],
     );
     let mut notes = Vec::new();
-    for &rate in &rates {
-        let run = |mitigation: bool| {
-            let mut a: StudyArgs = args.clone();
-            a.faults = Some(rate);
-            a.mitigation = mitigation;
-            a.study().run_faults()
+    for (i, &rate) in rates.iter().enumerate() {
+        let arm = |idx: usize| match &results[idx] {
+            CellSummary::Faults(s) => s.clone(),
+            CellSummary::Yield(_) => unreachable!("fault arms carry a plan"),
         };
-        let off = run(false);
-        let on = run(true);
+        let off = arm(1 + 2 * i);
+        let on = arm(2 + 2 * i);
         for (label, s) in [("off", &off), ("on", &on)] {
             t.row(&[
                 format!("{rate}"),
@@ -91,8 +116,9 @@ fn main() {
             ));
         }
     }
-    println!("{}", t.render());
-    for line in &notes {
-        println!("{line}");
+    report.table(t);
+    if !notes.is_empty() {
+        report.note(notes);
     }
+    print!("{}", report.to_text());
 }

@@ -2,19 +2,19 @@
 //! adaptive controller vs running without it, across corners,
 //! temperatures and Monte-Carlo dies.
 
-use subvt_bench::jobs::{harness_options, JOBS_HELP, SUPPLY_HELP};
+use subvt_bench::jobs::harness_options;
 use subvt_bench::report::{f, pct, Table};
 use subvt_bench::savings::{savings_matrix, savings_rows};
 use subvt_core::controller::SupplyKind;
 use subvt_core::experiment::{savings_experiment, Scenario};
-use subvt_core::study::{StudyConfig, SupplyBackendKind};
+use subvt_core::study::{StudyConfig, SupplyBackendKind, STUDY_HELP};
 use subvt_core::SupplySim;
 use subvt_device::tabulate::EvalMode;
 
 fn usage() -> String {
     format!(
         "exp-savings — Sec. IV energy-savings tables\n\n\
-         USAGE: exp-savings [--jobs N] [--supply S]\n\n{JOBS_HELP}\n{SUPPLY_HELP}"
+         USAGE: exp-savings [study flags]\n\n{STUDY_HELP}"
     )
 }
 

@@ -8,36 +8,18 @@
 //! and across kill/resume; the committed reference output lives in
 //! `docs/results/supply_shootout.txt`.
 //!
-//! Since PR 9 the 18 cells are scored by the fused [`StudyMatrix`]
-//! engine on ONE shared die stream — each (corner, die) is drawn and
-//! device-evaluated once and every compatible cell folds from the same
-//! lanes — instead of 18 independent studies. The matrix engine's
-//! byte-identity contract (`tests/matrix_equivalence.rs`) is what
-//! keeps the committed reference output unchanged.
+//! Since PR 10 the whole study is the declarative scenario
+//! [`Scenario::supply_shootout`] — the same 18-cell grid that
+//! `subvt suite docs/scenarios/supply_shootout.toml` runs, rendered by
+//! the shared report model, so this binary and the suite runner cannot
+//! drift apart. The fused `StudyMatrix` engine (PR 9) still scores all
+//! cells from ONE shared die stream; the matrix engine's byte-identity
+//! contract (`tests/matrix_equivalence.rs`) is what keeps the committed
+//! reference output unchanged.
 
 use subvt_bench::jobs::harness_options;
-use subvt_bench::report::{f, pct, Table};
-use subvt_core::matrix::{CellSummary, MatrixCell, StudyMatrix};
-use subvt_core::study::{FaultPlan, SupplyBackendKind, STUDY_HELP};
-use subvt_core::SupplySim;
-use subvt_device::corner::ProcessCorner;
-use subvt_device::mosfet::Environment;
-
-const BACKENDS: [SupplyBackendKind; 3] = [
-    SupplyBackendKind::Buck,
-    SupplyBackendKind::Dldo,
-    SupplyBackendKind::Dlr,
-];
-
-const CORNERS: [(ProcessCorner, &str); 3] = [
-    (ProcessCorner::Tt, "TT"),
-    (ProcessCorner::Ss, "SS"),
-    (ProcessCorner::Ff, "FF"),
-];
-
-/// Per-cycle fault probabilities swept per (backend, corner) cell:
-/// clean, and the mid rate of the fault study's low/mid/high sweep.
-const FAULT_RATES: [f64; 2] = [0.0, 0.02];
+use subvt_core::study::STUDY_HELP;
+use subvt_scenario::{RunOptions, Scenario};
 
 fn usage() -> String {
     format!(
@@ -50,102 +32,11 @@ fn usage() -> String {
 
 fn main() {
     let opts = harness_options(&usage());
-    let args = opts.study;
-
-    println!(
-        "Supply-backend shoot-out ({} dies per cell, seed {})\n",
-        args.dies, args.seed
-    );
-
-    // Static figures first: everything here is a closed-form property
-    // of the backend itself, independent of the die population.
-    let mut fig = Table::new(
-        "Backend figures at the design word (11)",
-        &[
-            "backend",
-            "ripple (mV pp)",
-            "settle (cycles)",
-            "regulation (fJ/cycle)",
-            "glitch droop (mV)",
-            "missed-update droop (mV)",
-        ],
-    );
-    for kind in BACKENDS {
-        if let SupplySim::Regulated(model) = kind.build_sim(args.solver) {
-            fig.row(&[
-                kind.label().to_owned(),
-                f(model.point(11).ripple().millivolts(), 3),
-                model.response_cycles().to_string(),
-                f(model.regulation_energy_per_cycle().femtos(), 1),
-                f(model.comparator_glitch_droop().millivolts(), 2),
-                f(model.missed_update_droop().millivolts(), 2),
-            ]);
-        }
-    }
-    println!("{}", fig.render());
-
-    let mut t = Table::new(
-        "Monte-Carlo yield per backend x corner x per-cycle fault rate",
-        &[
-            "backend",
-            "corner",
-            "fault rate",
-            "fixed",
-            "adaptive",
-            "dithered",
-            "mean adaptive E (fJ)",
-            "tracking err (LSB)",
-        ],
-    );
-    // One fused run over the whole grid: the matrix engine draws and
-    // device-evaluates each (corner, die) once and scores all 18 cells
-    // from the shared lanes.
-    let mut cells: Vec<(MatrixCell, &str, f64)> = Vec::new();
-    for kind in BACKENDS {
-        for (corner, corner_label) in CORNERS {
-            for rate in FAULT_RATES {
-                let faults =
-                    (rate > 0.0).then(|| FaultPlan::uniform(rate).with_mitigation(args.mitigation));
-                let cell = MatrixCell {
-                    supply: kind,
-                    env: Environment::at_corner(corner),
-                    faults,
-                };
-                cells.push((cell, corner_label, rate));
-            }
-        }
-    }
-    let matrix = cells.iter().fold(StudyMatrix::new(args.study()), |m, c| {
-        m.cell(c.0.supply, c.0.env, c.0.faults)
+    let mut scenario = Scenario::supply_shootout();
+    scenario.apply_args(&opts.study);
+    let report = scenario.run(&RunOptions {
+        exec: Some(opts.cfg),
+        checkpoint: None,
     });
-    let results = matrix.run();
-
-    for ((cell, corner_label, rate), result) in cells.iter().zip(&results) {
-        let (summary, tracking) = match result {
-            CellSummary::Yield(s) => (s, "-".to_owned()),
-            CellSummary::Faults(s) => (&s.base, f(s.mean_tracking_error(), 2)),
-        };
-        t.row(&[
-            cell.supply.label().to_owned(),
-            (*corner_label).to_owned(),
-            format!("{rate}"),
-            pct(summary.fixed_yield()),
-            pct(summary.adaptive_yield()),
-            pct(summary.dithered_yield()),
-            summary
-                .mean_adaptive_energy()
-                .map_or("-".into(), |e| f(e.femtos(), 3)),
-            tracking,
-        ]);
-    }
-    println!("{}", t.render());
-    println!(
-        "Reading the table: the DLDO's one-LSB-of-charge ripple (0.15 mV pp) makes\n\
-         it electrically closest to the ideal rail, so its yields track the ideal\n\
-         study and it pays the least regulation overhead. The DLR sits between:\n\
-         quiet in steady state but slow-sampled (1 MHz), so a corrupted decision\n\
-         costs a full 20 mV excursion. The buck trades the worst ripple and the\n\
-         slowest settle for the simplest hardware story; its trough scoring is\n\
-         what cut adaptive yield below the ideal rail in the PR 4 study.\n"
-    );
+    print!("{}", report.to_text());
 }

@@ -1,20 +1,24 @@
 //! Parametric yield: fraction of Monte-Carlo dies meeting a
 //! (throughput, energy) spec with and without the adaptive controller.
+//!
+//! Since PR 10 the output renders through the shared [`Report`] model
+//! (same text backend as `subvt suite`); the committed reference in
+//! `docs/results/yield.txt` is byte-identical to the pre-port output.
 
-use subvt_bench::jobs::{harness_options, EVAL_HELP, JOBS_HELP, SUPPLY_HELP};
+use subvt_bench::jobs::harness_options;
 use subvt_bench::report::{f, pct, Table};
-use subvt_core::study::{StudyConfig, SupplyBackendKind};
+use subvt_core::study::{StudyConfig, SupplyBackendKind, STUDY_HELP};
 use subvt_core::yield_study::YieldSpec;
 use subvt_dcdc::SolverMode;
 use subvt_device::technology::Technology;
 use subvt_device::units::{Hertz, Joules};
 use subvt_device::MetricsSnapshot;
+use subvt_scenario::Report;
 
 fn usage() -> String {
     format!(
         "exp-yield — parametric yield under Monte-Carlo variation\n\n\
-         USAGE: exp-yield [--jobs N] [--eval M] [--supply S]\n\n\
-         {JOBS_HELP}\n{EVAL_HELP}\n{SUPPLY_HELP}"
+         USAGE: exp-yield [study flags]\n\n{STUDY_HELP}"
     )
 }
 
@@ -35,11 +39,11 @@ fn main() {
         kind => format!("{} supply", kind.label()),
     };
 
-    println!(
-        "Parametric yield under Monte-Carlo variation (500 dies per row, {} device model, {})\n",
+    let mut report = Report::new(format!(
+        "Parametric yield under Monte-Carlo variation (500 dies per row, {} device model, {})",
         opts.eval.label(),
         supply_note
-    );
+    ));
 
     let tech = Technology::st_130nm();
     let before = MetricsSnapshot::snapshot();
@@ -85,13 +89,13 @@ fn main() {
                 .map_or("-".into(), |e| f(e.femtos(), 3)),
         ]);
     }
-    println!("{}", t.render());
-    println!(
-        "The fixed design is squeezed: at the MEP word it fails slow dies on rate;\n\
-         guard-banded up it fails the energy bound. The adaptive design settles\n\
-         each die at its own word and escapes the squeeze (residual misses are\n\
-         18.75 mV quantization — the dithering extension's territory).\n"
-    );
+    report.table(t);
+    report.note([
+        "The fixed design is squeezed: at the MEP word it fails slow dies on rate;",
+        "guard-banded up it fails the energy bound. The adaptive design settles",
+        "each die at its own word and escapes the squeeze (residual misses are",
+        "18.75 mV quantization — the dithering extension's territory).",
+    ]);
 
     // Large-population confirmation: the summary-only path never
     // materialises per-die outcomes, so the population can be scaled
@@ -127,10 +131,9 @@ fn main() {
             .mean_adaptive_energy()
             .map_or("-".into(), |e| f(e.femtos(), 3)),
     ]);
-    println!("{}", big.render());
+    report.table(big);
 
     let delta = MetricsSnapshot::snapshot().since(&before);
-    println!("device-model counters ({} mode):", opts.eval.label());
     // Zero the build wall time before printing: harness output is held
     // to byte-identical reruns, and build nanos are the one counter
     // that is timing, not accounting (the device_eval bench measures
@@ -139,14 +142,19 @@ fn main() {
         table_build_nanos: 0,
         ..delta
     };
-    println!("  {delta}");
+    let mut counters = vec![
+        format!("device-model counters ({} mode):", opts.eval.label()),
+        format!("  {delta}"),
+    ];
     if delta.interp_hits() > 0 {
         let total = delta.analytic_evals() + delta.interp_hits();
-        println!(
+        counters.push(format!(
             "  analytic share {:.2}% of {total} model queries \
              ({:.1}× fewer analytic evals than an all-analytic run)",
             delta.analytic_evals() as f64 / total as f64 * 100.0,
             total as f64 / delta.analytic_evals().max(1) as f64,
-        );
+        ));
     }
+    report.note(counters);
+    print!("{}", report.to_text());
 }

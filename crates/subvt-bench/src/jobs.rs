@@ -14,29 +14,6 @@ use subvt_core::study::{StudyArgs, SupplyBackendKind};
 use subvt_device::tabulate::EvalMode;
 use subvt_exec::ExecConfig;
 
-/// The `--jobs`/`SUBVT_JOBS` help paragraph shared by the harness
-/// binaries' `--help` output.
-pub const JOBS_HELP: &str = "\
-    --jobs N    worker threads for Monte-Carlo/sweep fan-out
-                (default: SUBVT_JOBS env var, else all cores;
-                 results are bit-identical for any N)";
-
-/// The `--eval` help paragraph for harness binaries that support the
-/// tabulated device surfaces.
-pub const EVAL_HELP: &str = "\
-    --eval M    device evaluation mode: `analytic` (exact model, the
-                default) or `tabulated` (precomputed monotone-cubic
-                surfaces; ≤1% accuracy budget, much faster MC)";
-
-/// The `--supply` help paragraph for harness binaries that can score
-/// against a regulated supply's real operating points.
-pub const SUPPLY_HELP: &str = "\
-    --supply S  supply backend: `ideal` (exact word voltages, the
-                default), `buck` (switched converter), `dldo`
-                (time-interleaved digital LDO) or `dlr` (discrete-time
-                linear regulator); rate is checked at the ripple
-                trough, energy at the cycle mean";
-
 /// The standard harness flags plus the device-evaluation mode.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HarnessOptions {

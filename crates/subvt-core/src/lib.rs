@@ -82,7 +82,8 @@ pub use profile::PhaseProfile;
 pub use rate_controller::{DesignError, LutCheckpoint, RateController};
 pub use shared_rail::{compare_shared_rail, RailClient, RailComparison};
 pub use study::{
-    FaultPlan, StudyArgs, StudyConfig, StudyError, SupplyBackendKind, DEFAULT_BATCH, STUDY_HELP,
+    ArgError, FaultPlan, StudyArgs, StudyConfig, StudyError, SupplyBackendKind, DEFAULT_BATCH,
+    STUDY_HELP,
 };
 pub use transient::{fig6_schedule, run_transient, SegmentSummary, TransientResult, TransientStep};
 pub use watchdog::{RailWatchdog, WatchdogPolicy};

@@ -385,7 +385,7 @@ impl<'a> StudyMatrix<'a> {
     /// identity string (the exact text that cell's own checkpoint
     /// would hash), so the per-cell identity cannot drift from the
     /// single-cell path.
-    pub(crate) fn fingerprint_text(&self) -> String {
+    pub fn fingerprint_text(&self) -> String {
         let mut text = format!("subvt-matrix-v1 cells={}", self.cells.len());
         for cell in &self.cells {
             text.push('\n');

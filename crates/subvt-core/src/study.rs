@@ -21,6 +21,7 @@
 //! worker count ([`StudyConfig::exec`]); a zero-rate
 //! [`FaultPlan`] is byte-identical to no plan at all.
 
+use std::fmt;
 use std::path::PathBuf;
 
 use subvt_dcdc::converter::ConverterParams;
@@ -698,7 +699,7 @@ impl<'a> StudyConfig<'a> {
     /// models — and nothing that only shapes the *execution* (worker
     /// count and batch size are deliberately excluded, so a run may
     /// resume under a different `--jobs`/`--batch` bit-identically).
-    fn fingerprint_text(&self, kind: &str) -> String {
+    pub fn fingerprint_text(&self, kind: &str) -> String {
         let supply_tag = match &self.supply {
             StudySupply::Backend(kind) => kind.label().to_owned(),
             StudySupply::Model(SupplySim::Ideal) => "ideal".to_owned(),
@@ -874,6 +875,72 @@ impl Default for StudyArgs {
     }
 }
 
+/// A rejected study flag: which flag, what went wrong, and what the
+/// flag accepts.
+///
+/// Every rejection names the flag and lists its valid forms, in the
+/// style the enum flags (`--supply`, `--solver`) established — a bare
+/// `--dies must be positive` with no hint of the valid domain is the
+/// failure mode this type retires. Converts into `String` so callers
+/// that accumulate plain-text CLI errors keep working with `?`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// The flag appeared without its value.
+    MissingValue {
+        /// The flag, e.g. `--dies`.
+        flag: &'static str,
+        /// The valid forms, e.g. `a positive integer`.
+        expected: &'static str,
+    },
+    /// The value did not parse, or parsed outside the valid domain.
+    InvalidValue {
+        /// The flag, e.g. `--dies`.
+        flag: &'static str,
+        /// The offending value as given.
+        value: String,
+        /// The valid forms, e.g. `a probability in [0, 1]`.
+        expected: &'static str,
+    },
+    /// A rejection that already carries its full message (the enum
+    /// flags' `unknown supply ...` strings).
+    Other(String),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingValue { flag, expected } => {
+                write!(f, "{flag} needs a value (expected {expected})")
+            }
+            ArgError::InvalidValue {
+                flag,
+                value,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "invalid value `{value}` for {flag} (expected {expected})"
+                )
+            }
+            ArgError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl From<ArgError> for String {
+    fn from(e: ArgError) -> String {
+        e.to_string()
+    }
+}
+
+impl From<String> for ArgError {
+    fn from(msg: String) -> ArgError {
+        ArgError::Other(msg)
+    }
+}
+
 impl StudyArgs {
     /// Defaults: 500 dies, seed 1, analytic eval, ideal supply, no
     /// faults, mitigation on, workers from the environment.
@@ -885,96 +952,109 @@ impl StudyArgs {
     ///
     /// Returns `Ok(Some(n))` when `n` arguments were consumed,
     /// `Ok(None)` when `args[i]` is not a study flag (the caller's
-    /// parser proceeds), and `Err` on a malformed value.
-    pub fn accept(&mut self, args: &[String], i: usize) -> Result<Option<usize>, String> {
-        let flag = args[i].as_str();
-        let value = || -> Result<&str, String> {
+    /// parser proceeds), and a typed [`ArgError`] — naming the flag
+    /// and its valid forms — on a malformed value.
+    pub fn accept(&mut self, args: &[String], i: usize) -> Result<Option<usize>, ArgError> {
+        let value = |flag: &'static str, expected: &'static str| -> Result<&str, ArgError> {
             args.get(i + 1)
                 .map(|s| s.as_str())
-                .ok_or_else(|| format!("{flag} needs a value"))
+                .ok_or(ArgError::MissingValue { flag, expected })
         };
-        match flag {
+        let invalid = |flag: &'static str, raw: &str, expected: &'static str| -> ArgError {
+            ArgError::InvalidValue {
+                flag,
+                value: raw.to_owned(),
+                expected,
+            }
+        };
+        match args[i].as_str() {
             "--dies" => {
-                let raw = value()?;
-                let dies: usize = raw
+                const EXPECTED: &str = "a positive integer";
+                let raw = value("--dies", EXPECTED)?;
+                self.dies = raw
                     .parse()
-                    .map_err(|_| format!("invalid value `{raw}` for --dies"))?;
-                if dies == 0 {
-                    return Err("--dies must be positive".to_owned());
-                }
-                self.dies = dies;
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or_else(|| invalid("--dies", raw, EXPECTED))?;
             }
             "--jobs" => {
-                let raw = value()?;
-                let jobs: usize = raw
+                const EXPECTED: &str = "a positive integer";
+                let raw = value("--jobs", EXPECTED)?;
+                let jobs = raw
                     .parse()
-                    .map_err(|_| format!("invalid value `{raw}` for --jobs"))?;
-                if jobs == 0 {
-                    return Err("--jobs must be at least 1".to_owned());
-                }
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or_else(|| invalid("--jobs", raw, EXPECTED))?;
                 self.jobs = Some(jobs);
             }
             "--seed" => {
-                let raw = value()?;
-                self.seed = raw
-                    .parse()
-                    .map_err(|_| format!("invalid value `{raw}` for --seed"))?;
+                const EXPECTED: &str = "an unsigned integer";
+                let raw = value("--seed", EXPECTED)?;
+                self.seed = raw.parse().map_err(|_| invalid("--seed", raw, EXPECTED))?;
             }
             "--eval" => {
-                self.eval = value()?.parse().map_err(|e| format!("{e}"))?;
+                self.eval = value("--eval", "one of: analytic, tabulated")?
+                    .parse()
+                    .map_err(|e| ArgError::Other(format!("{e}")))?;
             }
             "--supply" => {
-                self.supply = value()?.parse()?;
+                self.supply = value("--supply", "one of: ideal, buck, dldo, dlr")?
+                    .parse()
+                    .map_err(ArgError::Other)?;
             }
             "--solver" => {
-                self.solver = match value()? {
+                self.solver = match value("--solver", "one of: closed-form, rk4")? {
                     "closed-form" | "closed_form" => SolverMode::ClosedForm,
                     "rk4" => SolverMode::Rk4,
                     other => {
-                        return Err(format!(
+                        return Err(ArgError::Other(format!(
                             "unknown solver `{other}` (expected one of: closed-form, rk4)"
-                        ))
+                        )))
                     }
                 };
             }
             "--faults" => {
-                let raw = value()?;
-                let rate: f64 = raw
+                const EXPECTED: &str = "a probability in [0, 1]";
+                let raw = value("--faults", EXPECTED)?;
+                let rate = raw
                     .parse()
-                    .map_err(|_| format!("invalid value `{raw}` for --faults"))?;
-                if !(0.0..=1.0).contains(&rate) {
-                    return Err("--faults must be a probability in [0, 1]".to_owned());
-                }
+                    .ok()
+                    .filter(|rate| (0.0..=1.0).contains(rate))
+                    .ok_or_else(|| invalid("--faults", raw, EXPECTED))?;
                 self.faults = Some(rate);
             }
             "--mitigation" => {
-                self.mitigation = match value()? {
+                self.mitigation = match value("--mitigation", "`on` or `off`")? {
                     "on" => true,
                     "off" => false,
-                    other => return Err(format!("unknown mitigation `{other}` (on|off)")),
+                    other => {
+                        return Err(ArgError::Other(format!(
+                            "unknown mitigation `{other}` (on|off)"
+                        )))
+                    }
                 };
             }
             "--batch" => {
-                let raw = value()?;
-                let batch: usize = raw
+                const EXPECTED: &str = "a positive integer";
+                let raw = value("--batch", EXPECTED)?;
+                let batch = raw
                     .parse()
-                    .map_err(|_| format!("invalid value `{raw}` for --batch"))?;
-                if batch == 0 {
-                    return Err("--batch must be at least 1".to_owned());
-                }
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or_else(|| invalid("--batch", raw, EXPECTED))?;
                 self.batch = Some(batch);
             }
             "--checkpoint" => {
-                self.checkpoint = Some(value()?.to_owned());
+                self.checkpoint = Some(value("--checkpoint", "a file path")?.to_owned());
             }
             "--cancel-after-dies" => {
-                let raw = value()?;
-                let dies: u64 = raw
+                const EXPECTED: &str = "a positive integer";
+                let raw = value("--cancel-after-dies", EXPECTED)?;
+                let dies = raw
                     .parse()
-                    .map_err(|_| format!("invalid value `{raw}` for --cancel-after-dies"))?;
-                if dies == 0 {
-                    return Err("--cancel-after-dies must be positive".to_owned());
-                }
+                    .ok()
+                    .filter(|&n: &u64| n > 0)
+                    .ok_or_else(|| invalid("--cancel-after-dies", raw, EXPECTED))?;
                 self.cancel_after_dies = Some(dies);
             }
             "--profile-phases" => {
@@ -982,7 +1062,8 @@ impl StudyArgs {
                 return Ok(Some(1));
             }
             "--profile-phases-json" => {
-                self.profile_phases_json = Some(value()?.to_owned());
+                self.profile_phases_json =
+                    Some(value("--profile-phases-json", "a file path")?.to_owned());
             }
             _ => return Ok(None),
         }
@@ -1139,6 +1220,85 @@ mod tests {
         ] {
             assert!(parse_all(bad).is_err(), "{bad:?} should be rejected");
         }
+    }
+
+    #[test]
+    fn numeric_rejections_name_the_flag_and_the_valid_forms() {
+        // Typed errors: every numeric rejection carries the flag, the
+        // offending value, and the valid domain.
+        for (bad, expected) in [
+            (
+                &["--dies", "0"][..],
+                "invalid value `0` for --dies (expected a positive integer)",
+            ),
+            (
+                &["--dies", "x"],
+                "invalid value `x` for --dies (expected a positive integer)",
+            ),
+            (
+                &["--jobs", "0"],
+                "invalid value `0` for --jobs (expected a positive integer)",
+            ),
+            (
+                &["--seed", "pi"],
+                "invalid value `pi` for --seed (expected an unsigned integer)",
+            ),
+            (
+                &["--batch", "0"],
+                "invalid value `0` for --batch (expected a positive integer)",
+            ),
+            (
+                &["--faults", "1.5"],
+                "invalid value `1.5` for --faults (expected a probability in [0, 1])",
+            ),
+            (
+                &["--faults", "lots"],
+                "invalid value `lots` for --faults (expected a probability in [0, 1])",
+            ),
+            (
+                &["--cancel-after-dies", "0"],
+                "invalid value `0` for --cancel-after-dies (expected a positive integer)",
+            ),
+            (
+                &["--dies"],
+                "--dies needs a value (expected a positive integer)",
+            ),
+            (
+                &["--faults"],
+                "--faults needs a value (expected a probability in [0, 1])",
+            ),
+        ] {
+            assert_eq!(parse_all(bad).unwrap_err(), expected, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn arg_errors_are_typed_and_convert_to_strings() {
+        let mut study = StudyArgs::new();
+        let e = study.accept(&argv(&["--dies", "0"]), 0).unwrap_err();
+        assert_eq!(
+            e,
+            ArgError::InvalidValue {
+                flag: "--dies",
+                value: "0".to_owned(),
+                expected: "a positive integer",
+            }
+        );
+        let e = study.accept(&argv(&["--batch"]), 0).unwrap_err();
+        assert_eq!(
+            e,
+            ArgError::MissingValue {
+                flag: "--batch",
+                expected: "a positive integer",
+            }
+        );
+        // Enum flags keep their established full-message form.
+        let e = study
+            .accept(&argv(&["--supply", "battery"]), 0)
+            .unwrap_err();
+        assert!(matches!(e, ArgError::Other(_)), "{e}");
+        let s: String = e.into();
+        assert!(s.contains("unknown supply `battery`"), "{s}");
     }
 
     #[test]

@@ -1,0 +1,31 @@
+//! Declarative study scenarios for the subthreshold-controller suite.
+//!
+//! This crate turns the repo's study matrix into configuration:
+//!
+//! * [`toml`] — a hermetic TOML subset parser/serializer (the
+//!   workspace takes no external dependencies) with line/column spans
+//!   on every node;
+//! * [`scenario`] — the [`Scenario`] model: one study's knobs plus a
+//!   `[matrix]` expansion block, compiled onto
+//!   [`subvt_core::StudyMatrix`] for execution on the fused engine;
+//! * [`report`] — the [`Report`] data model every harness renders
+//!   through: per-cell summaries plus provenance (fingerprint, seed,
+//!   schema version), with machine-readable JSON and themed text
+//!   backends;
+//! * [`render`] — the shared table/number formatting the text backend
+//!   and the exp harnesses use.
+//!
+//! Adding a study to the paper reproduction is now "add a `.toml`
+//! file under `docs/scenarios/` and run `subvt suite`", not a code
+//! change.
+
+pub mod render;
+pub mod report;
+pub mod scenario;
+pub mod toml;
+
+pub use report::{CellReport, Provenance, Report, ReportBlock};
+pub use scenario::{
+    CellPlan, MatrixSpec, ReportSpec, RunOptions, Scenario, ScenarioError, StudySpec,
+};
+pub use toml::{Spanned, Table, TomlError, Value};

@@ -1,0 +1,369 @@
+//! The one report data model every study output renders through.
+//!
+//! A [`Report`] carries three things:
+//!
+//! * **presentation blocks** — titled tables and free-text notes, in
+//!   document order, rendered by the text backend
+//!   ([`Report::to_text`]) in the exact byte format of the committed
+//!   `docs/results/*.txt` references;
+//! * **per-cell summaries** ([`CellReport`]) — the machine-readable
+//!   numbers behind the tables, rendered by the JSON backend
+//!   ([`Report::to_json`]);
+//! * **provenance** ([`Provenance`]) — what produced the numbers:
+//!   scenario name, checkpoint fingerprint, seed, die count, and the
+//!   worker count *only when the scenario pins one*. A runtime
+//!   `--jobs` choice never enters a report: results are bit-identical
+//!   at any worker count, and CI diffs suite reports across job
+//!   counts byte-for-byte.
+//!
+//! The text layout contract (shared by every harness): the title line,
+//! then each block preceded by one blank line. A table block ends with
+//! its own newline; a note block is its lines, each newline-terminated.
+
+use crate::render::Table;
+
+/// Schema tag stamped into every JSON report.
+pub const REPORT_SCHEMA: &str = "subvt-report-v1";
+
+/// What produced a report's numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Provenance {
+    /// Scenario (or harness) name.
+    pub scenario: String,
+    /// FNV-1a fingerprint of the study matrix identity — the same
+    /// value a checkpoint of the run would be stamped with.
+    pub fingerprint: u64,
+    /// Root Monte-Carlo seed.
+    pub seed: u64,
+    /// Die population per cell.
+    pub dies: usize,
+    /// Worker count, only when the scenario pins one. `None` means
+    /// "decided at run time" — deliberately absent from the report so
+    /// suite outputs stay byte-identical at any `--jobs`.
+    pub jobs: Option<usize>,
+}
+
+/// One study cell's machine-readable summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// Supply backend label (`ideal`/`buck`/`dldo`/`dlr`).
+    pub supply: String,
+    /// Process corner name (`TT`, `SS`, ...).
+    pub corner: String,
+    /// Die temperature in Celsius.
+    pub temp_c: f64,
+    /// Per-cycle fault rate (0 for a clean cell).
+    pub fault_rate: f64,
+    /// Cell kind: `summary` (clean) or `faults`.
+    pub kind: String,
+    /// Dies scored.
+    pub dies: u64,
+    /// Fraction of dies the fixed design shipped.
+    pub fixed_yield: f64,
+    /// Fraction of dies the adaptive design shipped.
+    pub adaptive_yield: f64,
+    /// Fraction of dies the dithered design shipped.
+    pub dithered_yield: f64,
+    /// Mean adaptive energy per op (fJ) over passing dies, if any
+    /// passed.
+    pub mean_adaptive_energy_fj: Option<f64>,
+    /// Mean MEP-tracking error (LSB); fault cells only.
+    pub tracking_error_lsb: Option<f64>,
+    /// Mean recovery energy per die (fJ); fault cells only.
+    pub recovery_energy_fj: Option<f64>,
+    /// Watchdog trips across the population; fault cells only.
+    pub watchdog_trips: Option<u64>,
+    /// Faults injected across the population; fault cells only.
+    pub faults_injected: Option<u64>,
+}
+
+/// One presentation block of a report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReportBlock {
+    /// A rendered table.
+    Table(Table),
+    /// Free-text lines (each rendered newline-terminated).
+    Note(Vec<String>),
+}
+
+/// A study's full output: presentation blocks for the text backend,
+/// cells + provenance for the JSON backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// The title line.
+    pub title: String,
+    /// Provenance, when the producer has a stable identity (suite runs
+    /// always do; ad-hoc harness reports may not).
+    pub provenance: Option<Provenance>,
+    /// Machine-readable per-cell summaries.
+    pub cells: Vec<CellReport>,
+    blocks: Vec<ReportBlock>,
+}
+
+impl Report {
+    /// An empty report with a title.
+    pub fn new(title: impl Into<String>) -> Report {
+        Report {
+            title: title.into(),
+            provenance: None,
+            cells: Vec::new(),
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Attaches provenance.
+    pub fn provenance(mut self, provenance: Provenance) -> Report {
+        self.provenance = Some(provenance);
+        self
+    }
+
+    /// Appends a table block.
+    pub fn table(&mut self, table: Table) -> &mut Report {
+        self.blocks.push(ReportBlock::Table(table));
+        self
+    }
+
+    /// Appends a note block of newline-terminated lines.
+    pub fn note<S: Into<String>>(&mut self, lines: impl IntoIterator<Item = S>) -> &mut Report {
+        self.blocks.push(ReportBlock::Note(
+            lines.into_iter().map(Into::into).collect(),
+        ));
+        self
+    }
+
+    /// The presentation blocks, in document order.
+    pub fn blocks(&self) -> &[ReportBlock] {
+        &self.blocks
+    }
+
+    /// Renders the themed human-readable text: the title line, then
+    /// each block preceded by one blank line. This is the byte format
+    /// of the committed `docs/results/*.txt` references.
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str(&self.title);
+        out.push('\n');
+        for block in &self.blocks {
+            out.push('\n');
+            match block {
+                ReportBlock::Table(table) => out.push_str(&table.render()),
+                ReportBlock::Note(lines) => {
+                    for line in lines {
+                        out.push_str(line);
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the machine-readable JSON document: schema, title,
+    /// provenance and per-cell summaries (presentation blocks are
+    /// text-backend-only). Byte-deterministic: fixed key order, floats
+    /// in shortest round-trip form.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": {},\n", json_str(REPORT_SCHEMA)));
+        out.push_str(&format!("  \"title\": {},\n", json_str(&self.title)));
+        match &self.provenance {
+            None => out.push_str("  \"provenance\": null,\n"),
+            Some(p) => {
+                out.push_str("  \"provenance\": {\n");
+                out.push_str(&format!("    \"scenario\": {},\n", json_str(&p.scenario)));
+                out.push_str(&format!(
+                    "    \"fingerprint\": \"{:016x}\",\n",
+                    p.fingerprint
+                ));
+                out.push_str(&format!("    \"seed\": {},\n", p.seed));
+                out.push_str(&format!("    \"dies\": {},\n", p.dies));
+                match p.jobs {
+                    None => out.push_str("    \"jobs\": null\n"),
+                    Some(jobs) => out.push_str(&format!("    \"jobs\": {jobs}\n")),
+                }
+                out.push_str("  },\n");
+            }
+        }
+        out.push_str("  \"cells\": [");
+        for (i, cell) in self.cells.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"supply\": {},\n", json_str(&cell.supply)));
+            out.push_str(&format!("      \"corner\": {},\n", json_str(&cell.corner)));
+            out.push_str(&format!("      \"temp_c\": {},\n", json_num(cell.temp_c)));
+            out.push_str(&format!(
+                "      \"fault_rate\": {},\n",
+                json_num(cell.fault_rate)
+            ));
+            out.push_str(&format!("      \"kind\": {},\n", json_str(&cell.kind)));
+            out.push_str(&format!("      \"dies\": {},\n", cell.dies));
+            out.push_str(&format!(
+                "      \"fixed_yield\": {},\n",
+                json_num(cell.fixed_yield)
+            ));
+            out.push_str(&format!(
+                "      \"adaptive_yield\": {},\n",
+                json_num(cell.adaptive_yield)
+            ));
+            out.push_str(&format!(
+                "      \"dithered_yield\": {},\n",
+                json_num(cell.dithered_yield)
+            ));
+            out.push_str(&format!(
+                "      \"mean_adaptive_energy_fj\": {},\n",
+                json_opt_num(cell.mean_adaptive_energy_fj)
+            ));
+            out.push_str(&format!(
+                "      \"tracking_error_lsb\": {},\n",
+                json_opt_num(cell.tracking_error_lsb)
+            ));
+            out.push_str(&format!(
+                "      \"recovery_energy_fj\": {},\n",
+                json_opt_num(cell.recovery_energy_fj)
+            ));
+            out.push_str(&format!(
+                "      \"watchdog_trips\": {},\n",
+                cell.watchdog_trips
+                    .map_or("null".to_owned(), |v| v.to_string())
+            ));
+            out.push_str(&format!(
+                "      \"faults_injected\": {}\n",
+                cell.faults_injected
+                    .map_or("null".to_owned(), |v| v.to_string())
+            ));
+            out.push_str("    }");
+        }
+        out.push_str(if self.cells.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// JSON string escaping per RFC 8259.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Shortest round-trip float form; always a valid JSON number.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn json_opt_num(v: Option<f64>) -> String {
+    v.map_or("null".to_owned(), json_num)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cell() -> CellReport {
+        CellReport {
+            supply: "dldo".into(),
+            corner: "TT".into(),
+            temp_c: 25.0,
+            fault_rate: 0.02,
+            kind: "faults".into(),
+            dies: 500,
+            fixed_yield: 0.684,
+            adaptive_yield: 0.776,
+            dithered_yield: 0.972,
+            mean_adaptive_energy_fj: Some(2.684),
+            tracking_error_lsb: Some(0.19),
+            recovery_energy_fj: Some(0.058),
+            watchdog_trips: Some(53),
+            faults_injected: Some(718),
+        }
+    }
+
+    #[test]
+    fn text_layout_is_title_then_blank_separated_blocks() {
+        let mut report = Report::new("Demo study (10 dies, seed 1)");
+        let mut t = Table::new("Numbers", &["a", "b"]);
+        t.row(&["1".into(), "2".into()]);
+        report.table(t);
+        report.note(["first line", "second line"]);
+        let text = report.to_text();
+        assert_eq!(
+            text,
+            "Demo study (10 dies, seed 1)\n\
+             \n\
+             ## Numbers\n\
+             | a | b |\n\
+             |---|---|\n\
+             | 1 | 2 |\n\
+             \n\
+             first line\n\
+             second line\n"
+        );
+    }
+
+    #[test]
+    fn json_is_schema_tagged_and_deterministic() {
+        let mut report = Report::new("Demo").provenance(Provenance {
+            scenario: "demo".into(),
+            fingerprint: 0xdead_beef,
+            seed: 1,
+            dies: 500,
+            jobs: None,
+        });
+        report.cells.push(sample_cell());
+        let json = report.to_json();
+        assert!(json.starts_with("{\n  \"schema\": \"subvt-report-v1\",\n"));
+        assert!(
+            json.contains("\"fingerprint\": \"00000000deadbeef\""),
+            "{json}"
+        );
+        assert!(json.contains("\"jobs\": null"), "{json}");
+        assert!(json.contains("\"fault_rate\": 0.02"), "{json}");
+        assert!(json.contains("\"temp_c\": 25"), "{json}");
+        assert!(json.contains("\"watchdog_trips\": 53"), "{json}");
+        assert!(json.ends_with("}\n"), "{json}");
+        assert_eq!(json, report.to_json(), "rendering is a pure function");
+    }
+
+    #[test]
+    fn pinned_jobs_enter_provenance_only_when_set() {
+        let pinned = Report::new("x").provenance(Provenance {
+            scenario: "x".into(),
+            fingerprint: 1,
+            seed: 1,
+            dies: 10,
+            jobs: Some(4),
+        });
+        assert!(pinned.to_json().contains("\"jobs\": 4"));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let report = Report::new("a \"quoted\" title\nwith newline");
+        let json = report.to_json();
+        assert!(
+            json.contains("\"title\": \"a \\\"quoted\\\" title\\nwith newline\""),
+            "{json}"
+        );
+    }
+}

@@ -1,0 +1,832 @@
+//! A minimal TOML subset, parsed and serialized in-tree.
+//!
+//! The workspace is hermetic (no `serde`, no `toml` crate), so the
+//! scenario compiler carries its own reader/writer for the slice of
+//! TOML the scenario format needs:
+//!
+//! * tables (`[study]`, `[study.spec]`) and arrays of tables
+//!   (`[[sweep]]`);
+//! * basic strings with the common escapes, integers, floats and
+//!   booleans;
+//! * single-line homogeneous scalar arrays (`corners = ["TT", "SS"]`);
+//! * `#` comments, full-line or trailing.
+//!
+//! Everything a decoder might complain about carries a **span**: every
+//! key and value remembers the 1-based line and column it came from,
+//! so "unknown key" and "expected a float" errors point at the exact
+//! spot in the file. Spans are metadata — two documents with the same
+//! shape compare equal even when their layouts differ, which is what
+//! the parse → serialize → parse identity property leans on.
+//!
+//! The serializer emits one canonical layout (root scalars first, then
+//! sub-tables depth-first, arrays of tables as repeated `[[...]]`
+//! blocks), so a committed scenario file doubles as the canonical
+//! serialization of its model.
+
+use std::fmt;
+
+/// A parse or decode failure, pinned to a line and column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TomlError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub col: usize,
+    /// What went wrong, in user-facing words.
+    pub msg: String,
+}
+
+impl TomlError {
+    pub(crate) fn new(line: usize, col: usize, msg: impl Into<String>) -> TomlError {
+        TomlError {
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for TomlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+/// A value plus the line/column it was parsed from.
+///
+/// The span is diagnostic metadata: `PartialEq` compares only the
+/// value, so round-tripping a document through the serializer (which
+/// reflows the layout) still compares equal node-for-node.
+#[derive(Debug, Clone)]
+pub struct Spanned<T> {
+    /// The parsed node.
+    pub value: T,
+    /// 1-based source line (0 for synthesized nodes).
+    pub line: usize,
+    /// 1-based source column (0 for synthesized nodes).
+    pub col: usize,
+}
+
+impl<T> Spanned<T> {
+    /// Wraps a synthesized (not parsed) node with a zero span.
+    pub fn synthetic(value: T) -> Spanned<T> {
+        Spanned {
+            value,
+            line: 0,
+            col: 0,
+        }
+    }
+}
+
+impl<T: PartialEq> PartialEq for Spanned<T> {
+    fn eq(&self, other: &Spanned<T>) -> bool {
+        self.value == other.value
+    }
+}
+
+/// One TOML value of the supported subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A basic string.
+    Str(String),
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A single-line array of scalars — or, for `[[key]]` headers, an
+    /// array of tables.
+    Array(Vec<Spanned<Value>>),
+    /// A (sub-)table.
+    Table(Table),
+}
+
+impl Value {
+    /// Human noun for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "a string",
+            Value::Int(_) => "an integer",
+            Value::Float(_) => "a float",
+            Value::Bool(_) => "a boolean",
+            Value::Array(_) => "an array",
+            Value::Table(_) => "a table",
+        }
+    }
+}
+
+/// An ordered table: entries keep file order, and every key remembers
+/// where it was written.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Table {
+    entries: Vec<(Spanned<String>, Spanned<Value>)>,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new() -> Table {
+        Table::default()
+    }
+
+    /// Looks a key up.
+    pub fn get(&self, key: &str) -> Option<&Spanned<Value>> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k.value == key)
+            .map(|(_, v)| v)
+    }
+
+    /// The entries, in file (or insertion) order.
+    pub fn entries(&self) -> impl Iterator<Item = (&Spanned<String>, &Spanned<Value>)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts a synthesized entry (serializer-side construction).
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) {
+        self.entries
+            .push((Spanned::synthetic(key.into()), Spanned::synthetic(value)));
+    }
+
+    fn insert_spanned(
+        &mut self,
+        key: Spanned<String>,
+        value: Spanned<Value>,
+    ) -> Result<(), TomlError> {
+        if self.get(&key.value).is_some() {
+            return Err(TomlError::new(
+                key.line,
+                key.col,
+                format!("duplicate key `{}`", key.value),
+            ));
+        }
+        self.entries.push((key, value));
+        Ok(())
+    }
+
+    /// Walks (or creates) the nested table at `path`, e.g. for a
+    /// `[study.spec]` header.
+    fn descend_mut(
+        &mut self,
+        path: &[Spanned<String>],
+        header: bool,
+    ) -> Result<&mut Table, TomlError> {
+        let mut table = self;
+        for seg in path {
+            if table.get(&seg.value).is_none() {
+                table
+                    .entries
+                    .push((seg.clone(), Spanned::synthetic(Value::Table(Table::new()))));
+            }
+            let entry = table
+                .entries
+                .iter_mut()
+                .find(|(k, _)| k.value == seg.value)
+                .map(|(_, v)| v)
+                .expect("just ensured");
+            let type_name = entry.value.type_name();
+            table = match &mut entry.value {
+                Value::Table(t) => t,
+                // `[[x]]` then `[x.y]`: the sub-table belongs to the
+                // last element of the array of tables.
+                Value::Array(items) if header => match items.last_mut() {
+                    Some(Spanned {
+                        value: Value::Table(t),
+                        ..
+                    }) => t,
+                    _ => {
+                        return Err(TomlError::new(
+                            seg.line,
+                            seg.col,
+                            format!("`{}` is not a table", seg.value),
+                        ))
+                    }
+                },
+                _ => {
+                    return Err(TomlError::new(
+                        seg.line,
+                        seg.col,
+                        format!("`{}` is {}, not a table", seg.value, type_name),
+                    ))
+                }
+            };
+        }
+        Ok(table)
+    }
+}
+
+/// Parses a document of the supported subset into its root table.
+///
+/// # Errors
+///
+/// Returns a [`TomlError`] naming the line and column of the first
+/// problem: an unterminated string, a malformed number, a duplicate
+/// key, a stray token after a value, or an unsupported construct.
+pub fn parse(text: &str) -> Result<Table, TomlError> {
+    let mut root = Table::new();
+    // Path of the currently open `[header]` (empty = root scope).
+    let mut open: Vec<Spanned<String>> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut cur = Cursor::new(raw, line_no);
+        cur.skip_ws();
+        match cur.peek() {
+            None | Some('#') => continue,
+            Some('[') => {
+                let aot = cur.rest().starts_with("[[");
+                cur.bump();
+                if aot {
+                    cur.bump();
+                }
+                let path = cur.key_path()?;
+                let close = if aot { "]]" } else { "]" };
+                if !cur.rest().starts_with(close) {
+                    return Err(cur.error(format!("expected `{close}` to close the header")));
+                }
+                for _ in 0..close.len() {
+                    cur.bump();
+                }
+                cur.end_of_line()?;
+                if aot {
+                    let (last, parent_path) = path.split_last().expect("key path is non-empty");
+                    let parent = root.descend_mut(parent_path, true)?;
+                    if parent.get(&last.value).is_none() {
+                        parent
+                            .entries
+                            .push((last.clone(), Spanned::synthetic(Value::Array(Vec::new()))));
+                    }
+                    let entry = parent
+                        .entries
+                        .iter_mut()
+                        .find(|(k, _)| k.value == last.value)
+                        .map(|(_, v)| v)
+                        .expect("just ensured");
+                    match &mut entry.value {
+                        Value::Array(items) => items.push(Spanned {
+                            value: Value::Table(Table::new()),
+                            line: last.line,
+                            col: last.col,
+                        }),
+                        other => {
+                            return Err(TomlError::new(
+                                last.line,
+                                last.col,
+                                format!(
+                                    "`{}` is {}, not an array of tables",
+                                    last.value,
+                                    other.type_name()
+                                ),
+                            ))
+                        }
+                    }
+                } else {
+                    // Re-opening a plain header that already exists is
+                    // a duplicate-definition error only when it holds
+                    // scalars already; the subset keeps it simple and
+                    // allows extending tables created implicitly.
+                    root.descend_mut(&path, true)?;
+                }
+                open = path;
+            }
+            _ => {
+                let key = cur.bare_key()?;
+                cur.skip_ws();
+                if cur.peek() != Some('=') {
+                    return Err(cur.error("expected `=` after the key"));
+                }
+                cur.bump();
+                cur.skip_ws();
+                let value = cur.value()?;
+                cur.end_of_line()?;
+                let table = root.descend_mut(&open, true)?;
+                table.insert_spanned(key, value)?;
+            }
+        }
+    }
+    Ok(root)
+}
+
+/// A character cursor over one source line.
+struct Cursor<'a> {
+    line: &'a str,
+    pos: usize,
+    line_no: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(line: &'a str, line_no: usize) -> Cursor<'a> {
+        Cursor {
+            line,
+            pos: 0,
+            line_no,
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.line[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) {
+        if let Some(c) = self.peek() {
+            self.pos += c.len_utf8();
+        }
+    }
+
+    fn col(&self) -> usize {
+        self.line[..self.pos].chars().count() + 1
+    }
+
+    fn error(&self, msg: impl Into<String>) -> TomlError {
+        TomlError::new(self.line_no, self.col(), msg)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ') | Some('\t')) {
+            self.bump();
+        }
+    }
+
+    /// A bare key: letters, digits, `-`, `_`.
+    fn bare_key(&mut self) -> Result<Spanned<String>, TomlError> {
+        let (line, col) = (self.line_no, self.col());
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '-' || c == '_') {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.error("expected a key"));
+        }
+        Ok(Spanned {
+            value: self.line[start..self.pos].to_owned(),
+            line,
+            col,
+        })
+    }
+
+    /// A dotted header path: `a.b.c`.
+    fn key_path(&mut self) -> Result<Vec<Spanned<String>>, TomlError> {
+        let mut path = vec![self.bare_key()?];
+        while self.peek() == Some('.') {
+            self.bump();
+            path.push(self.bare_key()?);
+        }
+        Ok(path)
+    }
+
+    /// Only trailing whitespace or a comment may follow.
+    fn end_of_line(&mut self) -> Result<(), TomlError> {
+        self.skip_ws();
+        match self.peek() {
+            None | Some('#') => Ok(()),
+            Some(c) => Err(self.error(format!("unexpected `{c}` after the value"))),
+        }
+    }
+
+    fn value(&mut self) -> Result<Spanned<Value>, TomlError> {
+        let (line, col) = (self.line_no, self.col());
+        let value = match self.peek() {
+            None => return Err(self.error("expected a value")),
+            Some('"') => Value::Str(self.string()?),
+            Some('[') => {
+                self.bump();
+                let mut items = Vec::new();
+                loop {
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(']') => {
+                            self.bump();
+                            break;
+                        }
+                        None => return Err(self.error("unterminated array")),
+                        _ => {}
+                    }
+                    let item = self.value()?;
+                    if matches!(item.value, Value::Array(_)) {
+                        return Err(TomlError::new(
+                            item.line,
+                            item.col,
+                            "nested arrays are not supported",
+                        ));
+                    }
+                    items.push(item);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(',') => self.bump(),
+                        Some(']') => {}
+                        _ => return Err(self.error("expected `,` or `]` in the array")),
+                    }
+                }
+                Value::Array(items)
+            }
+            Some(_) => {
+                // A bare scalar token: bool, int or float.
+                let start = self.pos;
+                while matches!(self.peek(), Some(c) if !c.is_whitespace() && c != ',' && c != ']' && c != '#')
+                {
+                    self.bump();
+                }
+                let token = &self.line[start..self.pos];
+                match token {
+                    "true" => Value::Bool(true),
+                    "false" => Value::Bool(false),
+                    _ => {
+                        if let Ok(i) = token.parse::<i64>() {
+                            Value::Int(i)
+                        } else if let Ok(f) = token.parse::<f64>() {
+                            if f.is_finite() {
+                                Value::Float(f)
+                            } else {
+                                return Err(TomlError::new(
+                                    line,
+                                    col,
+                                    format!("non-finite float `{token}`"),
+                                ));
+                            }
+                        } else {
+                            return Err(TomlError::new(
+                                line,
+                                col,
+                                format!("unrecognized value `{token}`"),
+                            ));
+                        }
+                    }
+                }
+            }
+        };
+        Ok(Spanned { value, line, col })
+    }
+
+    /// A basic string with the `\"`, `\\`, `\n`, `\t`, `\r` escapes.
+    fn string(&mut self) -> Result<String, TomlError> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some('"') => {
+                    self.bump();
+                    return Ok(out);
+                }
+                Some('\\') => {
+                    self.bump();
+                    let escaped = match self.peek() {
+                        Some('"') => '"',
+                        Some('\\') => '\\',
+                        Some('n') => '\n',
+                        Some('t') => '\t',
+                        Some('r') => '\r',
+                        other => {
+                            return Err(self.error(format!(
+                                "unsupported escape `\\{}`",
+                                other.map(String::from).unwrap_or_default()
+                            )))
+                        }
+                    };
+                    out.push(escaped);
+                    self.bump();
+                }
+                Some(c) => {
+                    out.push(c);
+                    self.bump();
+                }
+            }
+        }
+    }
+}
+
+/// Serializes a table in the canonical layout: scalar/array entries
+/// first, then sub-tables (and arrays of tables) depth-first under
+/// their dotted headers.
+pub fn serialize(root: &Table) -> String {
+    let mut out = String::new();
+    write_table(&mut out, root, &mut Vec::new(), true);
+    out
+}
+
+fn write_table(out: &mut String, table: &Table, path: &mut Vec<String>, first: bool) {
+    let scalars: Vec<_> = table
+        .entries()
+        .filter(|(_, v)| {
+            !matches!(v.value, Value::Table(_) | Value::Array(_)) || is_scalar_array(v)
+        })
+        .collect();
+    if !scalars.is_empty() || (table.is_empty() && !path.is_empty()) {
+        if !path.is_empty() {
+            if !first {
+                out.push('\n');
+            }
+            out.push_str(&format!("[{}]\n", path.join(".")));
+        }
+        for (k, v) in &scalars {
+            out.push_str(&format!("{} = {}\n", k.value, scalar(&v.value)));
+        }
+    }
+    let mut emitted = first && path.is_empty() && scalars.is_empty();
+    for (k, v) in table.entries() {
+        match &v.value {
+            Value::Table(sub) => {
+                path.push(k.value.clone());
+                write_table(out, sub, path, emitted && scalars.is_empty());
+                path.pop();
+                emitted = false;
+            }
+            Value::Array(items) if !is_scalar_array(v) => {
+                for item in items {
+                    if let Value::Table(sub) = &item.value {
+                        out.push('\n');
+                        path.push(k.value.clone());
+                        out.push_str(&format!("[[{}]]\n", path.join(".")));
+                        for (ik, iv) in sub
+                            .entries()
+                            .filter(|(_, iv)| !matches!(iv.value, Value::Table(_)))
+                        {
+                            out.push_str(&format!("{} = {}\n", ik.value, scalar(&iv.value)));
+                        }
+                        path.pop();
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// True for an array whose items are all scalars (rendered inline).
+fn is_scalar_array(v: &Spanned<Value>) -> bool {
+    match &v.value {
+        Value::Array(items) => items
+            .iter()
+            .all(|i| !matches!(i.value, Value::Table(_) | Value::Array(_))),
+        _ => false,
+    }
+}
+
+/// Renders one scalar (or inline array) value.
+fn scalar(v: &Value) -> String {
+    match v {
+        Value::Str(s) => quote(s),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => float(*f),
+        Value::Bool(b) => b.to_string(),
+        Value::Array(items) => {
+            let inner: Vec<String> = items.iter().map(|i| scalar(&i.value)).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        Value::Table(_) => unreachable!("tables are emitted under headers"),
+    }
+}
+
+/// Canonical float rendering: always float-typed on re-parse.
+fn float(f: f64) -> String {
+    let s = format!("{f}");
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Typed accessors used by the scenario decoder.
+// ---------------------------------------------------------------------------
+
+impl Spanned<Value> {
+    /// Type-mismatch error for this node.
+    pub fn mismatch(&self, expected: &str) -> TomlError {
+        TomlError::new(
+            self.line,
+            self.col,
+            format!("expected {expected}, found {}", self.value.type_name()),
+        )
+    }
+
+    /// The string value, or a located type error.
+    pub fn as_str(&self) -> Result<&str, TomlError> {
+        match &self.value {
+            Value::Str(s) => Ok(s),
+            _ => Err(self.mismatch("a string")),
+        }
+    }
+
+    /// The integer value, or a located type error.
+    pub fn as_int(&self) -> Result<i64, TomlError> {
+        match self.value {
+            Value::Int(i) => Ok(i),
+            _ => Err(self.mismatch("an integer")),
+        }
+    }
+
+    /// The float value (integers coerce), or a located type error.
+    pub fn as_float(&self) -> Result<f64, TomlError> {
+        match self.value {
+            Value::Float(f) => Ok(f),
+            Value::Int(i) => Ok(i as f64),
+            _ => Err(self.mismatch("a float")),
+        }
+    }
+
+    /// The boolean value, or a located type error.
+    pub fn as_bool(&self) -> Result<bool, TomlError> {
+        match self.value {
+            Value::Bool(b) => Ok(b),
+            _ => Err(self.mismatch("a boolean")),
+        }
+    }
+
+    /// The array items, or a located type error.
+    pub fn as_array(&self) -> Result<&[Spanned<Value>], TomlError> {
+        match &self.value {
+            Value::Array(items) => Ok(items),
+            _ => Err(self.mismatch("an array")),
+        }
+    }
+
+    /// The sub-table, or a located type error.
+    pub fn as_table(&self) -> Result<&Table, TomlError> {
+        match &self.value {
+            Value::Table(t) => Ok(t),
+            _ => Err(self.mismatch("a table")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(text: &str) -> Table {
+        parse(text).unwrap_or_else(|e| panic!("{e}\n{text}"))
+    }
+
+    #[test]
+    fn scalars_tables_and_arrays_parse() {
+        let doc = parse_ok(
+            r#"
+# a scenario
+title = "shoot-out"   # trailing comment
+dies = 500
+rate = 110e3
+cold = -0.5
+on = true
+
+[study]
+seed = 1
+
+[study.spec]
+max_energy_fj = 2.9
+corners = ["TT", "SS", "FF"]
+rates = [0, 0.02]
+"#,
+        );
+        assert_eq!(doc.get("title").unwrap().as_str().unwrap(), "shoot-out");
+        assert_eq!(doc.get("dies").unwrap().as_int().unwrap(), 500);
+        assert_eq!(doc.get("rate").unwrap().as_float().unwrap(), 110e3);
+        assert_eq!(doc.get("cold").unwrap().as_float().unwrap(), -0.5);
+        assert!(doc.get("on").unwrap().as_bool().unwrap());
+        let study = doc.get("study").unwrap().as_table().unwrap();
+        assert_eq!(study.get("seed").unwrap().as_int().unwrap(), 1);
+        let spec = study.get("spec").unwrap().as_table().unwrap();
+        assert_eq!(spec.get("max_energy_fj").unwrap().as_float().unwrap(), 2.9);
+        let corners = spec.get("corners").unwrap().as_array().unwrap();
+        assert_eq!(corners.len(), 3);
+        assert_eq!(corners[1].as_str().unwrap(), "SS");
+        let rates = spec.get("rates").unwrap().as_array().unwrap();
+        assert_eq!(rates[0].as_float().unwrap(), 0.0);
+        assert_eq!(rates[1].as_float().unwrap(), 0.02);
+    }
+
+    #[test]
+    fn arrays_of_tables_parse() {
+        let doc = parse_ok(
+            r#"
+[[sweep]]
+name = "a"
+
+[[sweep]]
+name = "b"
+"#,
+        );
+        let sweeps = doc.get("sweep").unwrap().as_array().unwrap();
+        assert_eq!(sweeps.len(), 2);
+        assert_eq!(
+            sweeps[1]
+                .as_table()
+                .unwrap()
+                .get("name")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "b"
+        );
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let doc = parse_ok(r#"s = "a \"b\" \\ c\nd""#);
+        assert_eq!(doc.get("s").unwrap().as_str().unwrap(), "a \"b\" \\ c\nd");
+        let text = serialize(&doc);
+        assert_eq!(parse_ok(&text), doc);
+    }
+
+    #[test]
+    fn errors_carry_the_line_and_column() {
+        let e = parse("a = 1\nb = \"unterminated").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().starts_with("line 2:"), "{e}");
+
+        let e = parse("a = 1\na = 2").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("duplicate key `a`"), "{e}");
+
+        let e = parse("x = @").unwrap_err();
+        assert_eq!((e.line, e.col), (1, 5));
+
+        let e = parse("x = 1 y = 2").unwrap_err();
+        assert!(e.to_string().contains("after the value"), "{e}");
+
+        let e = parse("[t\nx = 1").unwrap_err();
+        assert!(e.to_string().contains("expected `]`"), "{e}");
+    }
+
+    #[test]
+    fn type_mismatches_point_at_the_value() {
+        let doc = parse_ok("x = \"not a number\"");
+        let e = doc.get("x").unwrap().as_int().unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(
+            e.to_string()
+                .contains("expected an integer, found a string"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn scalar_clash_with_table_header_is_an_error() {
+        let e = parse("x = 1\n[x]\ny = 2").unwrap_err();
+        assert!(e.to_string().contains("not a table"), "{e}");
+    }
+
+    #[test]
+    fn serialization_is_canonical_and_round_trips() {
+        let text = "\
+title = \"demo\"\n\
+dies = 500\n\
+\n\
+[study]\n\
+seed = 1\n\
+temp_c = 25.0\n\
+corners = [\"TT\", \"SS\"]\n\
+rates = [0.0, 0.02]\n\
+\n\
+[study.spec]\n\
+min_rate_hz = 110000.0\n";
+        let doc = parse_ok(text);
+        assert_eq!(serialize(&doc), text);
+        assert_eq!(parse_ok(&serialize(&doc)), doc);
+    }
+
+    #[test]
+    fn floats_serialize_float_typed() {
+        let mut t = Table::new();
+        t.insert("x", Value::Float(25.0));
+        t.insert("y", Value::Float(0.02));
+        let text = serialize(&t);
+        assert!(text.contains("x = 25.0"), "{text}");
+        assert!(text.contains("y = 0.02"), "{text}");
+        let back = parse_ok(&text);
+        assert!(matches!(back.get("x").unwrap().value, Value::Float(_)));
+    }
+}

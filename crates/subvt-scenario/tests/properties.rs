@@ -1,0 +1,152 @@
+//! Codec properties of the scenario format: parse ∘ serialize is the
+//! identity on the model, the canonical encoding is a fixed point, and
+//! a TOML round trip never moves a study's checkpoint fingerprint.
+//!
+//! Randomized over the full knob space (die counts, seeds, backends,
+//! corners, fault rates, DAC words, matrix axes) with the in-tree
+//! property harness; failures shrink and replay via
+//! `tests/testkit-regressions.txt`.
+
+use subvt_core::study::SupplyBackendKind;
+use subvt_device::corner::ProcessCorner;
+use subvt_device::tabulate::EvalMode;
+use subvt_scenario::Scenario;
+use subvt_testkit::prelude::*;
+
+const SUPPLIES: [SupplyBackendKind; 4] = [
+    SupplyBackendKind::Ideal,
+    SupplyBackendKind::Buck,
+    SupplyBackendKind::Dldo,
+    SupplyBackendKind::Dlr,
+];
+
+const CORNERS: [ProcessCorner; 5] = [
+    ProcessCorner::Tt,
+    ProcessCorner::Ss,
+    ProcessCorner::Ff,
+    ProcessCorner::Sf,
+    ProcessCorner::Fs,
+];
+
+/// A scenario exercising every scalar knob, driven by drawn values.
+fn build(dies: usize, seed: u64, supply: usize, corner: usize, rate: f64, word: u8) -> Scenario {
+    let mut s = Scenario::new("prop");
+    s.study.dies = dies;
+    s.study.seed = seed;
+    s.study.supply = SUPPLIES[supply % SUPPLIES.len()];
+    s.study.corner = CORNERS[corner % CORNERS.len()];
+    s.study.eval = if seed.is_multiple_of(2) {
+        EvalMode::Analytic
+    } else {
+        EvalMode::Tabulated
+    };
+    s.study.fixed_word = word;
+    s.study.design_word = 1 + (word % 63);
+    if rate > 0.0 {
+        s.study.fault_rate = Some(rate);
+    }
+    s.study.mitigation = !seed.is_multiple_of(3);
+    s
+}
+
+properties! {
+    cases = 96;
+
+    /// parse ∘ serialize is the identity on the scenario model, and
+    /// the canonical encoding is a fixed point of the codec.
+    fn toml_round_trip_is_identity(
+        dies in 1usize..5000,
+        seed in 0u64..1_000_000,
+        supply in 0usize..4,
+        corner in 0usize..5,
+        rate in 0.0f64..1.0,
+        word in 1u8..64,
+    ) {
+        let scenario = build(dies, seed, supply, corner, rate, word);
+        let text = scenario.to_toml();
+        let back = Scenario::from_toml(&text)
+            .map_err(|e| PropError::fail(format!("canonical form rejected: {e}\n{text}")))?;
+        prop_assert_eq!(&back, &scenario);
+        prop_assert_eq!(back.to_toml(), text);
+    }
+
+    /// Compiling the study before and after a TOML round trip yields
+    /// the same checkpoint fingerprint — a resumable `.svcp` written
+    /// against the in-memory scenario replays against the re-parsed
+    /// one.
+    fn round_trip_preserves_checkpoint_fingerprint(
+        dies in 1usize..5000,
+        seed in 0u64..1_000_000,
+        supply in 0usize..4,
+        corner in 0usize..5,
+        rate in 0.0f64..1.0,
+        word in 1u8..64,
+    ) {
+        let scenario = build(dies, seed, supply, corner, rate, word);
+        let back = Scenario::from_toml(&scenario.to_toml())
+            .map_err(|e| PropError::fail(format!("canonical form rejected: {e}")))?;
+        prop_assert_eq!(back.fingerprint(), scenario.fingerprint());
+        let kind = if scenario.study.fault_rate.is_some() {
+            "faults"
+        } else {
+            "summary"
+        };
+        prop_assert_eq!(
+            back.study_config().fingerprint_text(kind),
+            scenario.study_config().fingerprint_text(kind)
+        );
+    }
+
+    /// Matrix expansion is the full cross product of the axes, in
+    /// axis order, regardless of which axes a document pins.
+    fn matrix_expansion_is_the_cross_product(
+        supplies in vec(0usize..4, 1..4),
+        corners in vec(0usize..5, 1..5),
+        rates in vec(0.0f64..0.5, 1..4),
+        pin in 0usize..8,
+    ) {
+        let mut s = Scenario::new("prop-matrix");
+        // Each axis is pinned or left to its single-value default.
+        let mut expect = 1;
+        if pin & 1 != 0 {
+            s.matrix.supplies =
+                Some(supplies.iter().map(|&i| SUPPLIES[i]).collect());
+            expect *= supplies.len();
+        }
+        if pin & 2 != 0 {
+            s.matrix.corners =
+                Some(corners.iter().map(|&i| CORNERS[i]).collect());
+            expect *= corners.len();
+        }
+        if pin & 4 != 0 {
+            s.matrix.fault_rates = Some(rates.clone());
+            expect *= rates.len();
+        }
+        let plans = s.cell_plans();
+        prop_assert_eq!(plans.len(), expect);
+        let back = Scenario::from_toml(&s.to_toml())
+            .map_err(|e| PropError::fail(format!("canonical form rejected: {e}")))?;
+        prop_assert_eq!(back.cell_plans().len(), expect);
+        prop_assert_eq!(back.fingerprint(), s.fingerprint());
+    }
+}
+
+/// Malformed documents are rejected with the line of the offending
+/// token — the rejection vocabulary the suite runner surfaces.
+#[test]
+fn rejections_carry_line_numbers() {
+    for (doc, line, needle) in [
+        ("name = \"x\"\n\n[study]\ndies = 0\n", 4, "positive"),
+        ("[study]\nseed = \"one\"\n", 2, "expected an integer"),
+        ("[study]\nfault_rate = 1.5\n", 2, "probability in [0, 1]"),
+        ("[study]\nfixed_word = 77\n", 2, "1..=63"),
+        ("[study]\nsupply = \"solar\"\n", 2, "unknown supply"),
+        ("[report]\nnotes = 3\n", 2, "expected"),
+        ("[matrix]\ncorners = []\n", 2, "must not be empty"),
+        ("name = \"x\"\nname = \"y\"\n", 2, "duplicate key"),
+    ] {
+        let e = Scenario::from_toml(doc).expect_err(doc);
+        assert_eq!(e.line, line, "{doc}: {e}");
+        assert!(e.to_string().contains(needle), "{doc}: {e}");
+    }
+}

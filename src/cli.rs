@@ -25,7 +25,8 @@ use subvt_device::mosfet::Environment;
 use subvt_device::tabulate::EvalMode;
 use subvt_device::technology::{GateKind, Technology};
 use subvt_device::units::Volts;
-use subvt_exec::{CancelToken, Progress};
+use subvt_exec::{CancelToken, ExecConfig, Progress};
+use subvt_scenario::{RunOptions, Scenario as StudyScenario};
 use subvt_tdc::sensor::{word_voltage, SensorConfig, VariationSensor};
 use subvt_tdc::table1::{reproduce_table1, PAPER_SIGNATURES};
 
@@ -86,6 +87,20 @@ pub enum Command {
         /// the fused engine — the slow reference mode; the report is
         /// byte-identical by the matrix engine's contract.
         per_cell: bool,
+    },
+    /// Run a scenario corpus (a `.toml` file or a directory of them)
+    /// on the fused matrix engine and render the shared report model.
+    Suite {
+        /// Scenario file or directory.
+        path: String,
+        /// Output directory: write `<stem>.txt` and `<stem>.json` per
+        /// scenario instead of printing the text reports.
+        out: Option<String>,
+        /// Checkpoint directory: arm `<stem>.svcp` per scenario.
+        checkpoint_dir: Option<String>,
+        /// Worker-thread override (runtime-only; results and report
+        /// bytes are identical at any value).
+        jobs: Option<usize>,
     },
     /// Fig. 6 transient summary.
     Fig6 {
@@ -175,6 +190,75 @@ fn parse_value<T: FromStr>(flag: &str, value: Option<&String>) -> Result<T, Pars
         .map_err(|_| err(format!("invalid value `{raw}` for {flag}")))
 }
 
+/// Parses `suite <path> [--out DIR] [--checkpoint-dir DIR] [--jobs N]`.
+///
+/// The scenario files own every study knob, so the only flags here are
+/// runtime ones — where the work runs, where the outputs and
+/// checkpoints land. None of them can change report bytes.
+fn parse_suite(rest: &[String]) -> Result<Command, ParseCliError> {
+    let mut path: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut checkpoint_dir: Option<String> = None;
+    let mut jobs: Option<usize> = None;
+    let mut i = 0;
+    while i < rest.len() {
+        let flag = rest[i].as_str();
+        match flag {
+            "--out" => {
+                out = Some(parse_value(flag, rest.get(i + 1))?);
+                i += 2;
+            }
+            "--checkpoint-dir" => {
+                checkpoint_dir = Some(parse_value(flag, rest.get(i + 1))?);
+                i += 2;
+            }
+            "--jobs" => {
+                let raw: String = parse_value(flag, rest.get(i + 1))?;
+                jobs = Some(raw.parse().ok().filter(|&n: &usize| n > 0).ok_or_else(|| {
+                    err(format!(
+                        "invalid value `{raw}` for --jobs (expected a positive integer)"
+                    ))
+                })?);
+                i += 2;
+            }
+            _ if !flag.starts_with('-') && path.is_none() => {
+                path = Some(flag.to_owned());
+                i += 1;
+            }
+            other => return Err(err(format!("unknown flag `{other}` for suite"))),
+        }
+    }
+    let path = path.ok_or_else(|| err("suite needs a scenario file or directory"))?;
+    Ok(Command::Suite {
+        path,
+        out,
+        checkpoint_dir,
+        jobs,
+    })
+}
+
+/// The scenario corpus behind a `suite` path argument: the file
+/// itself, or every `.toml` in the directory in name order.
+fn scenario_files(path: &str) -> Result<Vec<std::path::PathBuf>, String> {
+    let p = std::path::Path::new(path);
+    if p.is_dir() {
+        let entries = std::fs::read_dir(p).map_err(|e| format!("{path}: {e}"))?;
+        let mut files: Vec<std::path::PathBuf> = entries
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|f| f.extension().is_some_and(|ext| ext == "toml"))
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            return Err(format!("{path}: no `.toml` scenarios found"));
+        }
+        Ok(files)
+    } else if p.is_file() {
+        Ok(vec![p.to_path_buf()])
+    } else {
+        Err(format!("{path}: no such file or directory"))
+    }
+}
+
 impl Command {
     /// Parses an argument vector (without the program name).
     ///
@@ -190,6 +274,13 @@ impl Command {
 
         // Collect flags into (name, value) pairs.
         let rest: Vec<String> = it.cloned().collect();
+
+        // `suite` takes a positional scenario path plus its own output
+        // flags; it never mixes with the study flags (the scenario
+        // files are the source of truth for every study knob).
+        if sub == "suite" {
+            return parse_suite(&rest);
+        }
         let mut op = Operating::default();
         let mut vdd_mv: Option<f64> = None;
         let mut word: Option<u8> = None;
@@ -626,6 +717,70 @@ impl Command {
                 }
                 with_profile(out)
             }
+            Command::Suite {
+                path,
+                out,
+                checkpoint_dir,
+                jobs,
+            } => {
+                let files = scenario_files(path)?;
+                let mut summaries = Vec::new();
+                let mut combined = String::new();
+                for (idx, file) in files.iter().enumerate() {
+                    let name = file.display();
+                    let text = std::fs::read_to_string(file).map_err(|e| format!("{name}: {e}"))?;
+                    let scenario =
+                        StudyScenario::from_toml(&text).map_err(|e| format!("{name}: {e}"))?;
+                    let stem = file
+                        .file_stem()
+                        .and_then(|s| s.to_str())
+                        .unwrap_or("scenario")
+                        .to_owned();
+                    let checkpoint = match checkpoint_dir {
+                        Some(dir) => {
+                            std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+                            Some(std::path::Path::new(dir).join(format!("{stem}.svcp")))
+                        }
+                        None => None,
+                    };
+                    let opts = RunOptions {
+                        exec: jobs.map(ExecConfig::with_jobs),
+                        checkpoint,
+                    };
+                    let report = scenario
+                        .try_run(&opts)
+                        .map_err(|e| format!("{name}: {e}"))?;
+                    match out {
+                        Some(dir) => {
+                            std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+                            let txt = std::path::Path::new(dir).join(format!("{stem}.txt"));
+                            let json = std::path::Path::new(dir).join(format!("{stem}.json"));
+                            std::fs::write(&txt, report.to_text())
+                                .map_err(|e| format!("{}: {e}", txt.display()))?;
+                            std::fs::write(&json, report.to_json())
+                                .map_err(|e| format!("{}: {e}", json.display()))?;
+                            summaries.push(format!(
+                                "{stem}: {} cells, fingerprint {:016x}, wrote {} and {}",
+                                report.cells.len(),
+                                scenario.fingerprint(),
+                                txt.display(),
+                                json.display(),
+                            ));
+                        }
+                        None => {
+                            if idx > 0 {
+                                combined.push('\n');
+                            }
+                            combined.push_str(&report.to_text());
+                        }
+                    }
+                }
+                Ok(if out.is_some() {
+                    summaries.join("\n") + "\n"
+                } else {
+                    combined
+                })
+            }
             Command::Fig6 { solver } => {
                 let result = run_transient(
                     ConverterParams::default().with_solver(*solver),
@@ -793,6 +948,9 @@ COMMANDS:
     yield     Monte-Carlo parametric yield (streaming, parallel)
     matrix    the 18-cell supply × corner × fault shoot-out, scored on
               one shared die stream by the fused study-matrix engine
+    suite     run a scenario corpus — a `.toml` study file, or every
+              `.toml` in a directory — on the fused engine and render
+              the shared report (text, and JSON with --out)
     fig6      converter transient summary
     table1    quantizer signatures vs the paper
     savings   the paper's worked example
@@ -856,6 +1014,15 @@ FLAGS:
     --mitigation on|off  graceful-degradation machinery (triple-sample
                          TDC vote, signature debounce, LUT scrub, rail
                          watchdog) for faulted yield runs (default on)
+
+SUITE FLAGS (suite <path> only — scenario files own the study knobs):
+    --out <dir>          write <stem>.txt and <stem>.json per scenario
+                         instead of printing the text reports
+    --checkpoint-dir <dir>      arm a <stem>.svcp checkpoint per
+                         scenario (resume/replay semantics as
+                         --checkpoint)
+    --jobs <n>           worker threads (runtime-only; report bytes
+                         identical at any value)
 ";
 
 #[cfg(test)]

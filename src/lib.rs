@@ -53,6 +53,7 @@ pub use subvt_exec;
 pub use subvt_loads;
 pub use subvt_regulators;
 pub use subvt_rng;
+pub use subvt_scenario;
 pub use subvt_sim;
 pub use subvt_tdc;
 

@@ -178,3 +178,67 @@ fn every_supply_backend_kind_is_spelled_in_the_cli_help() {
         "the subvt USAGE text still advertises the retired `switched` alias"
     );
 }
+
+#[test]
+fn every_harness_binary_shares_the_one_study_help_text() {
+    // Satellite of the scenario PR: the four study harnesses used to
+    // assemble `--help` from per-binary JOBS_HELP/EVAL_HELP/SUPPLY_HELP
+    // fragments that drifted independently. They now all interpolate
+    // the one STUDY_HELP const, so a flag documented for one binary is
+    // documented identically for all of them.
+    for rel in [
+        "crates/subvt-bench/src/bin/exp-yield.rs",
+        "crates/subvt-bench/src/bin/exp-savings.rs",
+        "crates/subvt-bench/src/bin/exp-faults.rs",
+        "crates/subvt-bench/src/bin/exp-ablations.rs",
+        "crates/subvt-bench/src/bin/exp-shootout.rs",
+    ] {
+        let text = source(rel);
+        assert!(
+            text.contains("{STUDY_HELP}"),
+            "{rel} no longer interpolates the shared STUDY_HELP text"
+        );
+        assert!(
+            text.contains("[study flags]"),
+            "{rel} drifted from the unified `USAGE: <bin> [study flags]` form"
+        );
+        for retired in ["JOBS_HELP", "EVAL_HELP", "SUPPLY_HELP"] {
+            assert!(
+                !text.contains(retired),
+                "{rel} resurrects the retired per-binary `{retired}` fragment"
+            );
+        }
+    }
+    // The fragments themselves stay deleted from the shared harness
+    // module.
+    let jobs = source("crates/subvt-bench/src/jobs.rs");
+    for retired in ["JOBS_HELP", "EVAL_HELP", "SUPPLY_HELP"] {
+        assert!(
+            !jobs.contains(retired),
+            "jobs.rs redefines the retired `{retired}` fragment"
+        );
+    }
+}
+
+#[test]
+fn fleet_perf_gate_warnings_go_to_stderr() {
+    // The fleet bench's missing/stale-baseline warnings must never
+    // land on stdout: CI and scripts parse the bench's stdout, and a
+    // warning line would corrupt it. Pin every warning print in the
+    // baseline-handling code to eprintln!.
+    let text = source("crates/subvt-bench/benches/fleet.rs");
+    for (i, line) in text.lines().enumerate() {
+        if line.contains("warning") && line.contains("println!") {
+            assert!(
+                line.contains("eprintln!"),
+                "fleet.rs:{}: baseline warning printed to stdout: {line}",
+                i + 1
+            );
+        }
+    }
+    assert!(
+        text.contains("eprintln!"),
+        "fleet.rs no longer routes any warning to stderr — did the \
+         baseline warnings move?"
+    );
+}
